@@ -1,0 +1,72 @@
+// Figure 3 (motivation, §2.4): the diversity of mobile GPU SKUs — new SKUs
+// per year, showing why per-SKU recordings cannot be produced on developer
+// machines, plus §3's counterpoint: a single driver covers a whole family,
+// so the cloud needs few drivers.
+//
+// The yearly counts are transcribed (approximately) from the paper's
+// Figure 3, which cites gadgetversus.com [24]; around 80 SKUs total are on
+// smartphones, no SKU dominates, and new ones roll out every year.
+#include <cstdio>
+
+#include "src/harness/table.h"
+#include "src/sku/devicetree.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+namespace {
+
+struct YearRow {
+  int year;
+  int adreno;
+  int mali;
+  int powervr_other;
+};
+
+int Run() {
+  // Approximate transcription of Figure 3's bars.
+  const YearRow kNewSkusPerYear[] = {
+      {2014, 3, 4, 1}, {2015, 3, 5, 1}, {2016, 3, 6, 1}, {2017, 4, 6, 1},
+      {2018, 4, 7, 1}, {2019, 4, 6, 1}, {2020, 3, 6, 1}, {2021, 3, 6, 1},
+  };
+
+  std::printf("=== Figure 3: new mobile GPU SKUs per year (transcribed "
+              "from [24]) ===\n");
+  TextTable table({"year", "Adreno", "Mali", "PowerVR/other", "total",
+                   "bar"});
+  int cumulative = 0;
+  for (const YearRow& row : kNewSkusPerYear) {
+    int total = row.adreno + row.mali + row.powervr_other;
+    cumulative += total;
+    table.AddRow({std::to_string(row.year), std::to_string(row.adreno),
+                  std::to_string(row.mali), std::to_string(row.powervr_other),
+                  std::to_string(total), std::string(total, '#')});
+  }
+  table.Print();
+  std::printf("cumulative SKUs: %d (paper: ~80 on today's smartphones, "
+              "none dominating)\n", cumulative);
+
+  std::printf("\n=== S3: \"will the cloud have too many GPU drivers?\" ===\n");
+  TextTable drivers({"driver (compatible)", "SKUs covered in this repo",
+                     "names"});
+  std::map<std::string, std::vector<std::string>> by_family;
+  for (const GpuSku& sku : AllSkus()) {
+    by_family[GpuCompatibleString(sku)].push_back(sku.name);
+  }
+  for (const auto& [family, names] : by_family) {
+    std::string joined;
+    for (const std::string& n : names) {
+      joined += (joined.empty() ? "" : ", ") + n;
+    }
+    drivers.AddRow({family, std::to_string(names.size()), joined});
+  }
+  drivers.Print();
+  std::printf("paper: the real Mali Bifrost driver supports 6 GPUs, the\n"
+              "Qualcomm Adreno 6xx driver 7 — one VM image with per-client\n"
+              "devicetrees covers a whole family (S6).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace grt
+
+int main() { return grt::Run(); }

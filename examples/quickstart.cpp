@@ -1,0 +1,89 @@
+// Quickstart: the complete GR-T flow in one file.
+//
+//   1. a client device (TrustZone TEE + Mali-class GPU) asks the cloud
+//      service to dry-run an MNIST inference workload over a simulated
+//      WiFi link, producing a signed recording;
+//   2. the TEE replayer verifies the recording, injects the real model
+//      parameters and an input, and replays — GPU compute inside the TEE
+//      with no GPU stack present;
+//   3. the output is checked against a CPU reference.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+using namespace grt;
+
+int main() {
+  // --- The client: a phone with a Mali G71 MP8 (the paper's Hikey960). --
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  std::printf("client GPU: %s\n", device.sku().name.c_str());
+
+  // --- Record: cloud dry run over WiFi (20 ms RTT / 80 Mbps). ----------
+  CloudService service;
+  SpeculationHistory history;  // commit history for speculation (§4.2)
+  RecordSessionConfig config;
+  config.network = WifiConditions();
+  config.shim = ShimConfig::OursMDS();  // all of GR-T's optimizations
+
+  NetworkDef net = BuildMnist();
+  RecordSession session(&service, &device, config, &history);
+  if (!session.Connect().ok()) {
+    std::printf("attestation/handshake failed\n");
+    return 1;
+  }
+  auto outcome = session.RecordWorkload(net, /*nonce=*/1);
+  if (!outcome.ok()) {
+    std::printf("recording failed: %s\n",
+                outcome.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %s: %zu GPU jobs, %zu log entries, "
+              "recording delay %s, %llu blocking RTTs\n",
+              net.name.c_str(), outcome->gpu_jobs, outcome->log_entries,
+              FormatDuration(outcome->client_delay).c_str(),
+              static_cast<unsigned long long>(
+                  session.channel().stats().blocking_rtts));
+
+  // --- Replay: inside the TEE, on real parameters + new input. ---------
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  if (!replayer
+           .LoadSigned(outcome->signed_recording, session.key()->key())
+           .ok()) {
+    std::printf("recording rejected\n");
+    return 1;
+  }
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      (void)replayer.StageTensor(t.name, GenerateParams(net.name, t, 7));
+    }
+  }
+  std::vector<float> input = GenerateInput(net, 42);
+  (void)replayer.StageTensor("input", input);
+
+  auto report = replayer.Replay();
+  if (!report.ok()) {
+    std::printf("replay failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("replayed %zu interactions in %s\n", report->entries_replayed,
+              FormatDuration(report->delay).c_str());
+
+  // --- Check the answer. ------------------------------------------------
+  auto out = replayer.ReadTensor(net.output_tensor);
+  auto ref = RunReference(net, input, 7);
+  float diff = MaxAbsDiff(*out, *ref);
+  std::printf("output vs CPU reference: max |diff| = %g -> %s\n", diff,
+              diff < 1e-4f ? "MATCH" : "MISMATCH");
+  std::printf("class probabilities:");
+  for (float p : *out) {
+    std::printf(" %.3f", p);
+  }
+  std::printf("\n");
+  return diff < 1e-4f ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+// recording_inspector: produces a recording and dissects it — what a
+// developer tooling view of GR-T's artifact looks like. Prints the header,
+// the tensor bindings (the replayer's injection/readout points), an entry
+// histogram, the per-register access profile (the paper's "hot function"
+// observation: a handful of registers dominate), and the memory-image
+// composition (metastate vs program data, §5).
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "src/cloud/session.h"
+#include "src/harness/table.h"
+#include "src/hw/regs.h"
+#include "src/ml/network.h"
+
+using namespace grt;
+
+int main() {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  NetworkDef net = BuildMnist();
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  RecordSession session(&service, &device, config, &history);
+  if (!session.Connect().ok()) {
+    return 1;
+  }
+  auto outcome = session.RecordWorkload(net, 7);
+  if (!outcome.ok()) {
+    return 1;
+  }
+  auto rec = Recording::ParseSigned(outcome->signed_recording,
+                                    session.key()->key());
+  if (!rec.ok()) {
+    return 1;
+  }
+
+  std::printf("=== recording: %s ===\n", rec->header.workload.c_str());
+  std::printf("sku: 0x%x   nonce: %llu   segments: %u/%u   wire size: %zu B\n",
+              static_cast<uint32_t>(rec->header.sku),
+              static_cast<unsigned long long>(rec->header.record_nonce),
+              rec->header.segment_index + 1, rec->header.segment_count,
+              outcome->signed_recording.size());
+
+  std::printf("\n--- tensor bindings (%zu) ---\n", rec->bindings.size());
+  for (const auto& [name, b] : rec->bindings) {
+    std::printf("  %-14s %8llu floats @ va 0x%llx, %zu pages, %s\n",
+                name.c_str(), static_cast<unsigned long long>(b.n_floats),
+                static_cast<unsigned long long>(b.va), b.pages.size(),
+                b.writable_at_replay ? "injectable" : "read-only");
+  }
+
+  std::printf("\n--- interaction log (%zu entries) ---\n", rec->log.size());
+  const char* kind_names[] = {"?",     "reg write", "reg read", "poll wait",
+                              "delay", "irq wait",  "mem page"};
+  std::map<LogOp, size_t> by_kind;
+  std::map<uint32_t, size_t> by_reg;
+  size_t meta_pages = 0, data_pages = 0, image_bytes = 0;
+  for (const LogEntry& e : rec->log.entries()) {
+    ++by_kind[e.op];
+    if (e.op == LogOp::kRegRead || e.op == LogOp::kRegWrite ||
+        e.op == LogOp::kPollWait) {
+      ++by_reg[e.reg];
+    }
+    if (e.op == LogOp::kMemPage) {
+      (e.metastate ? meta_pages : data_pages) += 1;
+      image_bytes += e.data.size();
+    }
+  }
+  for (const auto& [op, n] : by_kind) {
+    std::printf("  %-10s %6zu\n", kind_names[static_cast<int>(op)], n);
+  }
+
+  std::printf("\n--- register access profile (top 10) ---\n");
+  std::vector<std::pair<size_t, uint32_t>> ranked;
+  for (const auto& [reg, n] : by_reg) {
+    ranked.push_back({n, reg});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  size_t total = 0, top = 0;
+  for (const auto& [n, reg] : ranked) {
+    total += n;
+  }
+  for (size_t i = 0; i < std::min<size_t>(10, ranked.size()); ++i) {
+    top += ranked[i].first;
+    std::printf("  %-20s %5zu\n", RegisterName(ranked[i].second),
+                ranked[i].first);
+  }
+  std::printf("top-10 registers carry %.0f%% of all register interactions\n"
+              "(the locality behind the paper's hot-function scoping, S4.1)\n",
+              100.0 * top / total);
+
+  std::printf("\n--- memory image ---\n");
+  std::printf("  metastate pages: %zu   program-data pages: %zu   "
+              "%.1f KB total\n",
+              meta_pages, data_pages, image_bytes / 1024.0);
+  return 0;
+}

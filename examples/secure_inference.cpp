@@ -1,0 +1,92 @@
+// secure_inference: the app developer's view of GR-T (§3.1 workflow).
+//
+// An app ships a hardware-neutral model (here: SqueezeNet). On first use
+// the client TEE records it once via the cloud; afterwards the app runs
+// inference repeatedly inside the TEE — each replay injects a fresh input
+// and reads the output, with the model parameters never leaving the
+// device and no GPU stack in the TCB.
+//
+// Demonstrates: record-once/replay-many, per-replay input injection, and
+// that the normal-world OS is locked out of the GPU during secure compute.
+#include <cstdio>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+using namespace grt;
+
+int main() {
+  constexpr uint64_t kModelSeed = 2024;  // the app's (private) weights
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  NetworkDef net = BuildSqueezeNet();
+
+  // First launch: record once via the cloud (cellular conditions).
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.network = CellularConditions();
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, &device, config, &history);
+  if (!session.Connect().ok()) {
+    return 1;
+  }
+  auto rec = session.RecordWorkload(net, /*nonce=*/99);
+  if (!rec.ok()) {
+    std::printf("recording failed: %s\n", rec.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("one-time recording: %s (%zu jobs) in %s over %s\n",
+              net.name.c_str(), rec->gpu_jobs,
+              FormatDuration(rec->client_delay).c_str(),
+              config.network.name.c_str());
+
+  // Load the recording into the TEE replayer and install the model once.
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  if (!replayer.LoadSigned(rec->signed_recording, session.key()->key()).ok()) {
+    return 1;
+  }
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      (void)replayer.StageTensor(t.name,
+                                 GenerateParams(net.name, t, kModelSeed));
+    }
+  }
+
+  // Inference loop: replay on a new input each time, no cloud contact.
+  Duration total = 0;
+  int correct = 0;
+  const int kInferences = 8;
+  for (int i = 0; i < kInferences; ++i) {
+    std::vector<float> input = GenerateInput(net, 100 + i);
+    (void)replayer.StageTensor("input", input);
+    auto report = replayer.Replay();
+    if (!report.ok()) {
+      std::printf("replay %d failed: %s\n", i,
+                  report.status().ToString().c_str());
+      return 1;
+    }
+    total += report->delay;
+    auto out = replayer.ReadTensor(net.output_tensor);
+    auto ref = RunReference(net, input, kModelSeed);
+    bool ok = MaxAbsDiff(*out, *ref) < 1e-4f;
+    correct += ok;
+    std::printf("inference %d: %s in %s\n", i, ok ? "correct" : "WRONG",
+                FormatDuration(report->delay).c_str());
+  }
+  std::printf("%d/%d inferences match the CPU reference; average replay "
+              "delay %s\n",
+              correct, kInferences,
+              FormatDuration(total / kInferences).c_str());
+
+  // While the TEE holds the GPU, the normal world is locked out.
+  device.tzasc().AssignGpu(World::kSecure);
+  auto denied = device.tzasc().ReadGpuRegister(World::kNormal, &device.gpu(),
+                                               kRegGpuId);
+  std::printf("normal-world GPU access during secure compute: %s\n",
+              denied.ok() ? "ALLOWED (bug!)" : "denied (as required)");
+  device.tzasc().AssignGpu(World::kNormal);
+  return correct == kInferences && !denied.ok() ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// sku_portability: why GR-T exists (§2.4).
+//
+// Records the same hardware-neutral workload for two different GPU SKUs
+// (Mali G71 MP8 and MP4). Shows that:
+//   * the cloud's JIT emits different shader binaries per SKU (tiling is
+//     bound to the core count at record time — early binding);
+//   * both recordings replay correctly on their own SKU;
+//   * replaying an MP8 recording on an MP4 device is rejected up front,
+//     and even a forged header can't make foreign shaders run (the GPU
+//     faults on the core-count mismatch).
+#include <cstdio>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+#include "src/runtime/runtime.h"
+
+using namespace grt;
+
+namespace {
+
+struct Recorded {
+  Bytes wire;
+  Bytes key;
+};
+
+bool RecordFor(ClientDevice* device, const NetworkDef& net, Recorded* out) {
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, device, config, &history);
+  if (!session.Connect().ok()) {
+    return false;
+  }
+  auto rec = session.RecordWorkload(net, 5);
+  if (!rec.ok()) {
+    std::printf("record failed: %s\n", rec.status().ToString().c_str());
+    return false;
+  }
+  out->wire = rec->signed_recording;
+  out->key = session.key()->key();
+  return true;
+}
+
+bool ReplayOn(ClientDevice* device, const NetworkDef& net,
+              const Recorded& rec) {
+  Replayer replayer(&device->gpu(), &device->tzasc(), &device->mem(),
+                    &device->timeline());
+  Status load = replayer.LoadSigned(rec.wire, rec.key);
+  if (!load.ok()) {
+    std::printf("  -> rejected at load: %s\n", load.ToString().c_str());
+    return false;
+  }
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      (void)replayer.StageTensor(t.name, GenerateParams(net.name, t, 7));
+    }
+  }
+  std::vector<float> input = GenerateInput(net, 8);
+  (void)replayer.StageTensor("input", input);
+  auto report = replayer.Replay();
+  if (!report.ok()) {
+    std::printf("  -> replay failed: %s\n",
+                report.status().ToString().c_str());
+    return false;
+  }
+  auto out = replayer.ReadTensor(net.output_tensor);
+  auto ref = RunReference(net, input, 7);
+  bool ok = out.ok() && ref.ok() && MaxAbsDiff(*out, *ref) < 1e-4f;
+  std::printf("  -> replayed, output %s\n", ok ? "correct" : "WRONG");
+  return ok;
+}
+
+}  // namespace
+
+int main() {
+  NetworkDef net = BuildMnist();
+
+  // The JIT's per-SKU early binding: same kernel, different binaries.
+  GpuSku mp8 = FindSku(SkuId::kMaliG71Mp8).value();
+  GpuSku mp4 = FindSku(SkuId::kMaliG71Mp4).value();
+  ShaderBlobHeader h8 = JitShaderHeader(GpuOp::kGemm, mp8);
+  ShaderBlobHeader h4 = JitShaderHeader(GpuOp::kGemm, mp4);
+  std::printf("GEMM shader tiling: %s -> %ux%u, %s -> %ux%u\n",
+              mp8.name.c_str(), h8.tile_m, h8.tile_n, mp4.name.c_str(),
+              h4.tile_m, h4.tile_n);
+
+  ClientDevice dev8(SkuId::kMaliG71Mp8);
+  ClientDevice dev4(SkuId::kMaliG71Mp4);
+  Recorded rec8, rec4;
+  if (!RecordFor(&dev8, net, &rec8) || !RecordFor(&dev4, net, &rec4)) {
+    return 1;
+  }
+  std::printf("recording sizes: MP8 %zu B, MP4 %zu B (SKU-specific "
+              "content)\n", rec8.wire.size(), rec4.wire.size());
+
+  std::printf("replay MP8 recording on MP8 device:\n");
+  bool ok8 = ReplayOn(&dev8, net, rec8);
+  std::printf("replay MP4 recording on MP4 device:\n");
+  bool ok4 = ReplayOn(&dev4, net, rec4);
+
+  std::printf("replay MP8 recording on MP4 device (must be rejected):\n");
+  bool cross = ReplayOn(&dev4, net, rec8);
+
+  return ok8 && ok4 && !cross ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+#include "src/cloud/service.h"
+
+namespace grt {
+namespace {
+
+VmMeasurement MeasureImage(const std::string& name,
+                           const std::vector<SkuId>& skus) {
+  ByteWriter w;
+  w.PutString("grt-vm-image-v1");
+  w.PutString(name);
+  for (SkuId id : skus) {
+    w.PutU32(static_cast<uint32_t>(id));
+  }
+  return Sha256::Hash(w.bytes());
+}
+
+}  // namespace
+
+CloudService::CloudService() {
+  root_key_ = Bytes{'g', 'r', 't', '-', 'a', 't', 't', 'e', 's', 't',
+                    '-', 'r', 'o', 'o', 't', '-', 'k', 'e', 'y', '1'};
+
+  VmImage bifrost;
+  bifrost.name = "mali-bifrost-stack";
+  bifrost.driver_family = "arm,mali-bifrost";
+  bifrost.supported_skus = {SkuId::kMaliG71Mp2, SkuId::kMaliG71Mp4,
+                            SkuId::kMaliG71Mp8, SkuId::kMaliG72Mp12};
+  bifrost.measurement = MeasureImage(bifrost.name, bifrost.supported_skus);
+  images_.push_back(std::move(bifrost));
+
+  VmImage gen2;
+  gen2.name = "mali-bifrost-gen2-stack";
+  gen2.driver_family = "arm,mali-bifrost-gen2";
+  gen2.supported_skus = {SkuId::kMaliG76Mp10, SkuId::kMaliG52Mp2};
+  gen2.measurement = MeasureImage(gen2.name, gen2.supported_skus);
+  images_.push_back(std::move(gen2));
+}
+
+Result<VmImage> CloudService::SelectImage(SkuId sku) const {
+  for (const VmImage& image : images_) {
+    for (SkuId supported : image.supported_skus) {
+      if (supported == sku) {
+        return image;
+      }
+    }
+  }
+  return NotFound("no VM image supports this GPU SKU");
+}
+
+Result<DeviceTree> CloudService::DeviceTreeFor(SkuId sku) const {
+  GRT_ASSIGN_OR_RETURN(GpuSku gpu_sku, FindSku(sku));
+  return BuildGpuDeviceTree(gpu_sku);
+}
+
+}  // namespace grt

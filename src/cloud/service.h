@@ -1,0 +1,50 @@
+// Cloud service: manages GPU-stack VM images and record sessions (§3.2).
+//
+// "The cloud service manages multiple VM images corresponding to variants
+// of GPU stack. The VM is lean... Once launched, a VM is dedicated to
+// serving only one client TEE." A single VM image incorporates multiple
+// GPU drivers; the per-client devicetree selects which one binds (§6).
+#ifndef GRT_SRC_CLOUD_SERVICE_H_
+#define GRT_SRC_CLOUD_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/sha256.h"
+#include "src/tee/session.h"
+#include "src/common/status.h"
+#include "src/sku/devicetree.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+struct VmImage {
+  std::string name;           // e.g. "mali-stack-acl20.05"
+  std::string driver_family;  // compatible prefix this image's driver binds
+  std::vector<SkuId> supported_skus;
+  VmMeasurement measurement;  // attested identity of the image
+};
+
+class CloudService {
+ public:
+  CloudService();
+
+  // Picks the VM image whose GPU stack supports the client's SKU.
+  Result<VmImage> SelectImage(SkuId sku) const;
+
+  // Builds the devicetree the VM boots with for this client (§6: per-GPU
+  // devicetree dynamically loaded depending on the client GPU model).
+  Result<DeviceTree> DeviceTreeFor(SkuId sku) const;
+
+  const std::vector<VmImage>& images() const { return images_; }
+  // The attestation root of trust shared with client TEEs.
+  const Bytes& attestation_root_key() const { return root_key_; }
+
+ private:
+  std::vector<VmImage> images_;
+  Bytes root_key_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_CLOUD_SERVICE_H_

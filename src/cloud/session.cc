@@ -1,0 +1,184 @@
+#include "src/cloud/session.h"
+
+#include "src/common/rng.h"
+#include "src/record/recorder.h"
+
+namespace grt {
+
+RecordSession::RecordSession(const CloudService* service, ClientDevice* device,
+                             RecordSessionConfig config,
+                             SpeculationHistory* history)
+    : service_(service),
+      device_(device),
+      config_(config),
+      cloud_tl_("cloud"),
+      cloud_mem_(kCarveoutBase, kCarveoutSize),
+      cloud_alloc_(kCarveoutBase, kCarveoutSize) {
+  // The cloud VM joins the client's present: its virtual clock starts at
+  // the client's current time.
+  cloud_tl_.AdvanceTo(device->timeline().now());
+
+  gpushim_ = std::make_unique<GpuShim>(
+      &device->gpu(), &device->tzasc(), &device->mem(), &device->timeline(),
+      config_.shim.meta_only_sync, config_.shim.compress_sync,
+      &device->soc());
+  channel_ = std::make_unique<NetChannel>(config_.network, &cloud_tl_,
+                                          &device->timeline());
+  shim_ = std::make_unique<DriverShim>(config_.shim, channel_.get(),
+                                       gpushim_.get(), &cloud_mem_, history);
+  kernel_ = std::make_unique<KernelServices>(shim_.get());
+  driver_ = std::make_unique<KbaseDriver>(kernel_.get(), &cloud_mem_,
+                                          &cloud_alloc_);
+  runtime_ = std::make_unique<GpuRuntime>(driver_.get());
+  shim_->AttachDriver(driver_.get());
+}
+
+Status RecordSession::Connect() {
+  GRT_ASSIGN_OR_RETURN(VmImage image,
+                       service_->SelectImage(device_->sku().id));
+
+  // Attested TLS-style handshake (§7.1): client nonce -> quote -> confirm.
+  Rng rng(config_.session_nonce_seed ^ 0xA77E57);
+  Bytes client_nonce(32), cloud_nonce(32);
+  for (auto& b : client_nonce) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  for (auto& b : cloud_nonce) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+
+  Attestor attestor(service_->attestation_root_key(), image.measurement);
+  AttestationVerifier verifier(service_->attestation_root_key(),
+                               image.measurement);
+
+  // RTT 1: client hello (nonce) -> cloud; quote -> client.
+  channel_->BlockingRoundTrip(kClientEnd, 32 + 16,
+                              attestor.Quote(client_nonce).Serialize().size());
+  AttestationQuote quote = attestor.Quote(client_nonce);
+  GRT_RETURN_IF_ERROR(verifier.Verify(quote, client_nonce));
+
+  // RTT 2: key confirmation both ways.
+  key_ = SessionKey::Derive(service_->attestation_root_key(), client_nonce,
+                            cloud_nonce);
+  Bytes confirm = {'o', 'k'};
+  Sha256Digest mac = key_->Mac(confirm);
+  channel_->BlockingRoundTrip(kClientEnd, confirm.size() + mac.size(),
+                              confirm.size() + mac.size());
+  GRT_RETURN_IF_ERROR(key_->VerifyMac(confirm, mac));
+
+  connected_ = true;
+  return OkStatus();
+}
+
+Result<std::vector<Bytes>> RecordSession::RecordWorkloadLayered(
+    const NetworkDef& net, uint64_t nonce) {
+  if (!connected_) {
+    return FailedPrecondition("RecordWorkloadLayered before Connect");
+  }
+  gpushim_->BeginSession();
+  device_->mem().ZeroAll();
+  GRT_ASSIGN_OR_RETURN(DeviceTree dt,
+                       service_->DeviceTreeFor(device_->sku().id));
+  GRT_RETURN_IF_ERROR(driver_->Probe(dt));
+  GRT_RETURN_IF_ERROR(driver_->InitHardware());
+
+  NnRunner runner(net, runtime_.get());
+  GRT_RETURN_IF_ERROR(runner.Setup(/*zero_params=*/true));
+  // Segment 0 = driver init + buffer setup + the initial memory image
+  // (so the replayer's tensor injection supersedes it in segment 0).
+  GRT_RETURN_IF_ERROR(shim_->SnapshotNow());
+  GRT_RETURN_IF_ERROR(shim_->MarkCut());
+  auto dry = runner.Run([&](int) { return shim_->MarkCut(); });
+  if (!dry.ok()) {
+    gpushim_->EndSession();
+    return dry.status();
+  }
+
+  std::map<std::string, TensorBinding> bindings;
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kActivation) {
+      continue;
+    }
+    GRT_ASSIGN_OR_RETURN(
+        TensorBinding b,
+        MakeBinding(*driver_, runner.buffers().at(t.name).va, t.n_floats,
+                    t.kind != TensorKind::kOutput));
+    bindings[t.name] = std::move(b);
+  }
+
+  GRT_ASSIGN_OR_RETURN(
+      std::vector<Recording> segments,
+      shim_->FinishLayeredRecording(net.name, device_->sku().id, bindings,
+                                    nonce));
+  std::vector<Bytes> wires;
+  for (const Recording& segment : segments) {
+    Bytes wire = segment.SerializeSigned(key_->key());
+    channel_->SendOneWay(kCloudEnd, wire.size());
+    wires.push_back(std::move(wire));
+  }
+  gpushim_->EndSession();
+  return wires;
+}
+
+Result<RecordOutcome> RecordSession::RecordWorkload(const NetworkDef& net,
+                                                    uint64_t nonce) {
+  if (!connected_) {
+    return FailedPrecondition("RecordWorkload before Connect");
+  }
+  TimePoint client_start = device_->timeline().now();
+
+  // The TEE locks the GPU and scrubs carveout + hardware state so both
+  // parties start from identical (zeroed) shared memory.
+  gpushim_->BeginSession();
+  device_->mem().ZeroAll();
+
+  // The VM boots with the devicetree for this client's GPU (§6).
+  GRT_ASSIGN_OR_RETURN(DeviceTree dt,
+                       service_->DeviceTreeFor(device_->sku().id));
+  GRT_RETURN_IF_ERROR(driver_->Probe(dt));
+  GRT_RETURN_IF_ERROR(driver_->InitHardware());
+
+  // Dry run: zero parameters, zero input (§7.1 confidentiality).
+  NnRunner runner(net, runtime_.get());
+  GRT_RETURN_IF_ERROR(runner.Setup(/*zero_params=*/true));
+  auto dry = runner.Run();
+  if (!dry.ok()) {
+    gpushim_->EndSession();
+    return dry.status();
+  }
+
+  // Tensor bindings: where the replayer will inject inputs/parameters and
+  // read outputs. Physical pages are the cloud driver's — valid on the
+  // client because both carveouts are the same reserved range.
+  std::map<std::string, TensorBinding> bindings;
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kActivation) {
+      continue;
+    }
+    GRT_ASSIGN_OR_RETURN(
+        TensorBinding b,
+        MakeBinding(*driver_, runner.buffers().at(t.name).va, t.n_floats,
+                    t.kind != TensorKind::kOutput));
+    bindings[t.name] = std::move(b);
+  }
+
+  GRT_ASSIGN_OR_RETURN(Recording rec,
+                       shim_->FinishRecording(net.name, device_->sku().id,
+                                              bindings, nonce));
+  Bytes signed_rec = rec.SerializeSigned(key_->key());
+
+  // The client downloads the signed recording (cloud -> client transfer).
+  TimePoint before_download = device_->timeline().now();
+  channel_->SendOneWay(kCloudEnd, signed_rec.size());
+  gpushim_->EndSession();
+
+  RecordOutcome outcome;
+  outcome.signed_recording = std::move(signed_rec);
+  outcome.client_delay = device_->timeline().now() - client_start;
+  outcome.download_time = device_->timeline().now() - before_download;
+  outcome.log_entries = rec.log.size();
+  outcome.gpu_jobs = net.job_count();
+  return outcome;
+}
+
+}  // namespace grt

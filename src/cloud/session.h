@@ -1,0 +1,90 @@
+// RecordSession: one cloud-VM <-> client-TEE recording session, end to end.
+//
+// Wires the whole GR-T record pipeline of Figure 4: a dedicated cloud VM
+// (its own timeline, carveout copy, page allocator, kernel, driver bound
+// via the client's devicetree, runtime, ML runner) talking to the client's
+// GpuShim over a NetChannel, with attestation + session keying up front
+// and a signed recording downloaded at the end.
+#ifndef GRT_SRC_CLOUD_SESSION_H_
+#define GRT_SRC_CLOUD_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/cloud/service.h"
+#include "src/harness/rig.h"
+#include "src/ml/runner.h"
+#include "src/net/channel.h"
+#include "src/shim/drivershim.h"
+#include "src/shim/gpushim.h"
+#include "src/tee/session.h"
+
+namespace grt {
+
+struct RecordSessionConfig {
+  NetworkConditions network = WifiConditions();
+  ShimConfig shim = ShimConfig::OursMDS();
+  uint64_t session_nonce_seed = 1;
+};
+
+struct RecordOutcome {
+  Bytes signed_recording;
+  Duration client_delay = 0;      // end-to-end recording delay at the client
+  Duration download_time = 0;     // recording download portion
+  size_t log_entries = 0;
+  size_t gpu_jobs = 0;
+};
+
+class RecordSession {
+ public:
+  // `history` may be shared across sessions to model §7.3's "retaining
+  // register access history in between" benchmarks; pass a fresh one for
+  // cold-history experiments.
+  RecordSession(const CloudService* service, ClientDevice* device,
+                RecordSessionConfig config, SpeculationHistory* history);
+
+  // Attestation + session keying (a couple of RTTs, §7.1).
+  Status Connect();
+
+  // Dry-runs `net` on the cloud GPU stack against the client GPU and
+  // returns the signed recording (downloaded to the client).
+  Result<RecordOutcome> RecordWorkload(const NetworkDef& net, uint64_t nonce);
+
+  // Per-layer granularity (Fig. 2): same dry run, but the recorder cuts at
+  // layer boundaries and returns one signed recording per segment (segment
+  // 0 = driver init, then one per NN layer).
+  Result<std::vector<Bytes>> RecordWorkloadLayered(const NetworkDef& net,
+                                                   uint64_t nonce);
+
+  // Introspection for benches/tests.
+  DriverShim& shim() { return *shim_; }
+  GpuShim& gpushim() { return *gpushim_; }
+  NetChannel& channel() { return *channel_; }
+  KbaseDriver& driver() { return *driver_; }
+  Timeline& cloud_timeline() { return cloud_tl_; }
+  const SessionKey* key() const {
+    return key_.has_value() ? &key_.value() : nullptr;
+  }
+
+ private:
+  const CloudService* service_;
+  ClientDevice* device_;
+  RecordSessionConfig config_;
+
+  Timeline cloud_tl_;
+  PhysicalMemory cloud_mem_;   // the VM's copy of the GPU carveout
+  PageAllocator cloud_alloc_;
+  std::unique_ptr<GpuShim> gpushim_;
+  std::unique_ptr<NetChannel> channel_;
+  std::unique_ptr<DriverShim> shim_;
+  std::unique_ptr<KernelServices> kernel_;
+  std::unique_ptr<KbaseDriver> driver_;
+  std::unique_ptr<GpuRuntime> runtime_;
+  std::optional<SessionKey> key_;
+  bool connected_ = false;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_CLOUD_SESSION_H_

@@ -1,0 +1,156 @@
+// Byte-buffer serialization used for network messages, recordings, and
+// memory dumps. Little-endian, length-prefixed containers, no alignment
+// assumptions on the wire.
+#ifndef GRT_SRC_COMMON_BYTES_H_
+#define GRT_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace grt {
+
+using Bytes = std::vector<uint8_t>;
+
+// Appends primitives to a growing byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutLe(v); }
+  void PutU32(uint32_t v) { PutLe(v); }
+  void PutU64(uint64_t v) { PutLe(v); }
+  void PutI64(int64_t v) { PutLe(static_cast<uint64_t>(v)); }
+  void PutF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU32(bits);
+  }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // Length-prefixed (u32) blob / string.
+  void PutBytes(const uint8_t* data, size_t n) {
+    PutU32(static_cast<uint32_t>(n));
+    buf_.insert(buf_.end(), data, data + n);
+  }
+  void PutBytes(const Bytes& b) { PutBytes(b.data(), b.size()); }
+  void PutString(std::string_view s) {
+    PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  // Raw append with no length prefix (caller knows the framing).
+  void PutRaw(const uint8_t* data, size_t n) {
+    buf_.insert(buf_.end(), data, data + n);
+  }
+  void PutRaw(const Bytes& b) { PutRaw(b.data(), b.size()); }
+
+  // Pre-sizes the backing buffer (large messages: memory-sync payloads).
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
+  size_t size() const { return buf_.size(); }
+  const Bytes& bytes() const { return buf_; }
+  Bytes Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void PutLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+// Consumes primitives from a byte span; all reads are bounds-checked and
+// report kOutOfRange on truncated input (recordings cross a trust boundary,
+// so the replayer must never trust lengths).
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> ReadU8() { return ReadLe<uint8_t>(); }
+  Result<uint16_t> ReadU16() { return ReadLe<uint16_t>(); }
+  Result<uint32_t> ReadU32() { return ReadLe<uint32_t>(); }
+  Result<uint64_t> ReadU64() { return ReadLe<uint64_t>(); }
+  Result<int64_t> ReadI64() {
+    GRT_ASSIGN_OR_RETURN(uint64_t v, ReadLe<uint64_t>());
+    return static_cast<int64_t>(v);
+  }
+  Result<float> ReadF32() {
+    GRT_ASSIGN_OR_RETURN(uint32_t bits, ReadU32());
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<double> ReadF64() {
+    GRT_ASSIGN_OR_RETURN(uint64_t bits, ReadU64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  Result<bool> ReadBool() {
+    GRT_ASSIGN_OR_RETURN(uint8_t v, ReadU8());
+    return v != 0;
+  }
+
+  Result<Bytes> ReadBytes() {
+    GRT_ASSIGN_OR_RETURN(uint32_t n, ReadU32());
+    if (n > remaining()) {
+      return OutOfRange("truncated blob");
+    }
+    Bytes out(data_ + pos_, data_ + pos_ + n);
+    pos_ += n;
+    return out;
+  }
+  Result<std::string> ReadString() {
+    GRT_ASSIGN_OR_RETURN(Bytes b, ReadBytes());
+    return std::string(b.begin(), b.end());
+  }
+
+  Status ReadRaw(uint8_t* out, size_t n) {
+    if (n > remaining()) {
+      return OutOfRange("truncated raw read");
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return OkStatus();
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool Done() const { return pos_ == size_; }
+  size_t pos() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> ReadLe() {
+    if (sizeof(T) > remaining()) {
+      return OutOfRange("truncated integer");
+    }
+    T v = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_BYTES_H_

@@ -1,0 +1,22 @@
+#include "src/common/clock.h"
+
+#include <cstdio>
+
+namespace grt {
+
+std::string FormatDuration(Duration d) {
+  char buf[64];
+  if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ToSeconds(d));
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ToMilliseconds(d));
+  } else if (d >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us",
+                  static_cast<double>(d) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace grt

@@ -1,0 +1,91 @@
+// Virtual time primitives.
+//
+// Every component of the co-simulation (cloud GPU stack, client TEE, network
+// channel, GPU device model) charges costs against a Timeline instead of the
+// wall clock. This makes "hundreds of seconds" recording experiments run in
+// milliseconds and makes every experiment bit-for-bit deterministic.
+#ifndef GRT_SRC_COMMON_CLOCK_H_
+#define GRT_SRC_COMMON_CLOCK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace grt {
+
+// Virtual durations and instants, in nanoseconds.
+using Duration = int64_t;
+using TimePoint = int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1000 * kNanosecond;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+
+inline double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+inline double ToMilliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+inline Duration FromMilliseconds(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+inline Duration FromMicroseconds(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+inline Duration FromSeconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+// "12.345 s" / "67.8 ms" / "910 us" — for logs and bench tables.
+std::string FormatDuration(Duration d);
+
+// A monotonically advancing virtual clock owned by one simulated party
+// (e.g. the cloud VM, or the client TEE). Parties exchange messages by
+// synchronizing each other's timelines, Lamport style.
+class Timeline {
+ public:
+  explicit Timeline(std::string name) : name_(std::move(name)) {}
+
+  TimePoint now() const { return now_; }
+  const std::string& name() const { return name_; }
+
+  // Charges local work: compute, driver CPU time, GPU wait, ...
+  void Advance(Duration d) {
+    if (d > 0) {
+      now_ += d;
+    }
+  }
+
+  // Synchronizes to an externally-imposed instant (message arrival, IRQ).
+  // Never moves backwards.
+  void AdvanceTo(TimePoint t) { now_ = std::max(now_, t); }
+
+  // Resets to zero; used between experiment repetitions.
+  void Reset() { now_ = 0; }
+
+ private:
+  std::string name_;
+  TimePoint now_ = 0;
+};
+
+// Accumulates named spans of busy time against a timeline, used by the
+// energy model to integrate power over component-active intervals.
+class BusyTracker {
+ public:
+  void AddBusy(Duration d) {
+    if (d > 0) {
+      busy_ += d;
+    }
+  }
+  Duration busy() const { return busy_; }
+  void Reset() { busy_ = 0; }
+
+ private:
+  Duration busy_ = 0;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_CLOCK_H_

@@ -1,0 +1,45 @@
+// Non-cryptographic hashes: FNV-1a for signatures of register-access
+// sequences (speculation history keys) and CRC32 for integrity of memory
+// dumps inside a trust domain.
+#ifndef GRT_SRC_COMMON_HASH_H_
+#define GRT_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace grt {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t Fnv1a(const void* data, size_t n, uint64_t seed = kFnvOffset) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a(std::string_view s, uint64_t seed = kFnvOffset) {
+  return Fnv1a(s.data(), s.size(), seed);
+}
+
+// Incrementally mixes a 64-bit word into a running FNV state; used to build
+// hashes of structured sequences without materializing bytes.
+inline uint64_t FnvMix(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// CRC-32 (IEEE 802.3 polynomial, reflected).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_HASH_H_

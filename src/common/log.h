@@ -1,0 +1,51 @@
+// Minimal leveled logger. Off by default above kWarn so tests and benches
+// stay quiet; experiments flip the level for debugging.
+#ifndef GRT_SRC_COMMON_LOG_H_
+#define GRT_SRC_COMMON_LOG_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace grt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Process-wide minimum level; not thread-safe by design (the simulation is
+// single-threaded and deterministic).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) {
+      stream_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace grt
+
+#define GRT_LOG(level)                                                  \
+  ::grt::internal::LogMessage(::grt::LogLevel::level, __FILE__, __LINE__)
+
+#define GRT_DLOG GRT_LOG(kDebug)
+#define GRT_ILOG GRT_LOG(kInfo)
+#define GRT_WLOG GRT_LOG(kWarn)
+#define GRT_ELOG GRT_LOG(kError)
+
+#endif  // GRT_SRC_COMMON_LOG_H_

@@ -1,0 +1,63 @@
+// Deterministic PRNG (SplitMix64 seeded xoshiro256**) for workload inputs
+// and fault injection. All experiment randomness flows through explicit
+// seeds so every run of a bench/test reproduces exactly.
+#ifndef GRT_SRC_COMMON_RNG_H_
+#define GRT_SRC_COMMON_RNG_H_
+
+#include <array>
+#include <cstdint>
+
+namespace grt {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return NextU64() % bound; }
+
+  // Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextU64() >> 40) * (1.0f / (1ull << 24));
+  }
+
+  // Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+  bool NextBool(double p_true = 0.5) {
+    return NextFloat() < static_cast<float>(p_true);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::array<uint64_t, 4> state_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_RNG_H_

@@ -1,0 +1,52 @@
+// SHA-256 and HMAC-SHA256, implemented from the FIPS 180-4 spec.
+//
+// Used by the TEE/cloud session layer: recordings are signed (HMAC under the
+// session key) by the cloud and verified by the replayer in the client TEE
+// (§3.2, §7.1). A from-scratch implementation keeps the simulation free of
+// external dependencies.
+#ifndef GRT_SRC_COMMON_SHA256_H_
+#define GRT_SRC_COMMON_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+#include "src/common/bytes.h"
+
+namespace grt {
+
+using Sha256Digest = std::array<uint8_t, 32>;
+
+// Incremental SHA-256.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t n);
+  void Update(const Bytes& b) { Update(b.data(), b.size()); }
+  Sha256Digest Finish();
+
+  // One-shot convenience.
+  static Sha256Digest Hash(const void* data, size_t n);
+  static Sha256Digest Hash(const Bytes& b) { return Hash(b.data(), b.size()); }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> block_;
+  size_t block_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+// HMAC-SHA256 per RFC 2104.
+Sha256Digest HmacSha256(const Bytes& key, const Bytes& message);
+
+// Lowercase hex string of a digest, for logs and recording headers.
+std::string DigestToHex(const Sha256Digest& d);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_SHA256_H_

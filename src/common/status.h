@@ -1,0 +1,166 @@
+// Lightweight error-handling primitives used across the GR-T codebase.
+//
+// The project does not use exceptions on any hot or driver-facing path
+// (os-systems idiom): fallible operations return Status or Result<T>.
+#ifndef GRT_SRC_COMMON_STATUS_H_
+#define GRT_SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace grt {
+
+// Error categories, deliberately coarse: callers branch on a handful of
+// conditions (ok / invalid / not-found / integrity / hardware fault).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kPermissionDenied,     // TEE / TZASC / world violations
+  kIntegrityViolation,   // signature or replay-consistency failures
+  kDeviceFault,          // simulated GPU fault (bad job, MMU fault)
+  kTimeout,              // polling loop or IRQ wait exhausted
+  kResourceExhausted,
+};
+
+// Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A status is a code plus an optional message. Copyable, cheap when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: why" for logs and test failure output.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(StatusCode::kPermissionDenied, std::move(msg));
+}
+inline Status IntegrityViolation(std::string msg) {
+  return Status(StatusCode::kIntegrityViolation, std::move(msg));
+}
+inline Status DeviceFault(std::string msg) {
+  return Status(StatusCode::kDeviceFault, std::move(msg));
+}
+inline Status Timeout(std::string msg) {
+  return Status(StatusCode::kTimeout, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK status. A minimal expected<> stand-in
+// that keeps call sites terse: `GRT_ASSIGN_OR_RETURN(auto x, Compute());`.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeError();` both
+  // work at call sites.
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {   // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+#define GRT_RETURN_IF_ERROR(expr)             \
+  do {                                        \
+    ::grt::Status grt_status_ = (expr);       \
+    if (!grt_status_.ok()) {                  \
+      return grt_status_;                     \
+    }                                         \
+  } while (0)
+
+#define GRT_CONCAT_IMPL_(a, b) a##b
+#define GRT_CONCAT_(a, b) GRT_CONCAT_IMPL_(a, b)
+
+#define GRT_ASSIGN_OR_RETURN(decl, expr)                        \
+  auto GRT_CONCAT_(grt_result_, __LINE__) = (expr);             \
+  if (!GRT_CONCAT_(grt_result_, __LINE__).ok()) {               \
+    return GRT_CONCAT_(grt_result_, __LINE__).status();         \
+  }                                                             \
+  decl = std::move(GRT_CONCAT_(grt_result_, __LINE__)).value()
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMMON_STATUS_H_

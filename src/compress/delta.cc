@@ -1,0 +1,107 @@
+#include "src/compress/delta.h"
+
+#include <algorithm>
+
+namespace grt {
+
+Bytes XorDelta(const Bytes& base, const Bytes& next) {
+  size_t n = std::max(base.size(), next.size());
+  Bytes out(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = i < base.size() ? base[i] : 0;
+    uint8_t b = i < next.size() ? next[i] : 0;
+    out[i] = a ^ b;
+  }
+  return out;
+}
+
+Bytes ApplyXorDelta(const Bytes& base, const Bytes& delta) {
+  size_t n = std::max(base.size(), delta.size());
+  Bytes out(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t a = i < base.size() ? base[i] : 0;
+    uint8_t d = i < delta.size() ? delta[i] : 0;
+    out[i] = a ^ d;
+  }
+  return out;
+}
+
+Bytes ZeroRleEncode(const Bytes& input) {
+  // Token stream: varint-free fixed framing for simplicity.
+  //   0x00 <u32 len>            — run of `len` zero bytes
+  //   0x01 <u32 len> <bytes...> — literal run
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(input.size()));
+  size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] == 0) {
+      size_t j = i;
+      while (j < input.size() && input[j] == 0) {
+        ++j;
+      }
+      w.PutU8(0x00);
+      w.PutU32(static_cast<uint32_t>(j - i));
+      i = j;
+    } else {
+      size_t j = i;
+      // A literal run ends at the next *worthwhile* zero run (>= 8 bytes);
+      // short zero gaps are cheaper inline than as separate tokens.
+      while (j < input.size()) {
+        if (input[j] == 0) {
+          size_t k = j;
+          while (k < input.size() && input[k] == 0) {
+            ++k;
+          }
+          if (k - j >= 8) {
+            break;
+          }
+          j = k;
+        } else {
+          ++j;
+        }
+      }
+      w.PutU8(0x01);
+      w.PutU32(static_cast<uint32_t>(j - i));
+      w.PutRaw(input.data() + i, j - i);
+      i = j;
+    }
+  }
+  return w.Take();
+}
+
+Result<Bytes> ZeroRleDecode(const Bytes& encoded) {
+  ByteReader r(encoded);
+  GRT_ASSIGN_OR_RETURN(uint32_t total, r.ReadU32());
+  Bytes out;
+  out.reserve(total);
+  while (out.size() < total) {
+    GRT_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+    GRT_ASSIGN_OR_RETURN(uint32_t len, r.ReadU32());
+    if (out.size() + len > total) {
+      return IntegrityViolation("zero-rle overflow");
+    }
+    if (tag == 0x00) {
+      out.insert(out.end(), len, 0);
+    } else if (tag == 0x01) {
+      size_t at = out.size();
+      out.resize(at + len);
+      GRT_RETURN_IF_ERROR(r.ReadRaw(out.data() + at, len));
+    } else {
+      return IntegrityViolation("zero-rle bad tag");
+    }
+  }
+  return out;
+}
+
+double ZeroFraction(const Bytes& b) {
+  if (b.empty()) {
+    return 1.0;
+  }
+  size_t zeros = 0;
+  for (uint8_t v : b) {
+    zeros += (v == 0);
+  }
+  return static_cast<double>(zeros) / static_cast<double>(b.size());
+}
+
+}  // namespace grt

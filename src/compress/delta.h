@@ -1,0 +1,35 @@
+// Dump-to-dump delta and sparsity helpers for memory synchronization (§5).
+//
+// Consecutive dumps of the same GPU memory region differ in few bytes;
+// XOR deltas turn the common bytes into zeros which the range coder then
+// squeezes to a fraction of a bit each.
+#ifndef GRT_SRC_COMPRESS_DELTA_H_
+#define GRT_SRC_COMPRESS_DELTA_H_
+
+#include <cstddef>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace grt {
+
+// out[i] = a[i] ^ b[i]; buffers may differ in size — the tail of the longer
+// one is appended verbatim (XOR against implicit zeros). Result has
+// max(a.size, b.size) bytes.
+Bytes XorDelta(const Bytes& base, const Bytes& next);
+
+// Reconstructs `next` from `base` and the delta produced by XorDelta.
+Bytes ApplyXorDelta(const Bytes& base, const Bytes& delta);
+
+// Zero run-length encoding: tokens of (zero-run length | literal run).
+// Useful standalone when a dump is mostly zeros (zero-filled program data,
+// §5 technique 3) and as a pre-pass ahead of the range coder.
+Bytes ZeroRleEncode(const Bytes& input);
+Result<Bytes> ZeroRleDecode(const Bytes& encoded);
+
+// Fraction of zero bytes in a buffer, in [0, 1]; 1.0 for empty input.
+double ZeroFraction(const Bytes& b);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMPRESS_DELTA_H_

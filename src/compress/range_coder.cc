@@ -1,0 +1,183 @@
+#include "src/compress/range_coder.h"
+
+#include <array>
+#include <cstdint>
+
+namespace grt {
+namespace {
+
+constexpr uint32_t kTop = 1u << 24;
+constexpr uint32_t kBot = 1u << 16;
+
+// Adaptive order-0 byte model with periodic rescaling.
+class Model {
+ public:
+  Model() {
+    freq_.fill(1);
+    total_ = 256;
+  }
+
+  void Lookup(uint8_t sym, uint32_t* cum, uint32_t* freq) const {
+    uint32_t c = 0;
+    for (int i = 0; i < sym; ++i) {
+      c += freq_[i];
+    }
+    *cum = c;
+    *freq = freq_[sym];
+  }
+
+  // Finds the symbol whose cumulative interval contains `f`.
+  uint8_t FindSymbol(uint32_t f, uint32_t* cum, uint32_t* freq) const {
+    uint32_t c = 0;
+    for (int i = 0; i < 256; ++i) {
+      if (f < c + freq_[i]) {
+        *cum = c;
+        *freq = freq_[i];
+        return static_cast<uint8_t>(i);
+      }
+      c += freq_[i];
+    }
+    // Unreachable for f < total_; defensively return the last symbol.
+    *cum = c - freq_[255];
+    *freq = freq_[255];
+    return 255;
+  }
+
+  uint32_t total() const { return total_; }
+
+  void Update(uint8_t sym) {
+    freq_[sym] += kIncrement;
+    total_ += kIncrement;
+    if (total_ > kRescaleLimit) {
+      total_ = 0;
+      for (auto& f : freq_) {
+        f = (f + 1) / 2;
+        total_ += f;
+      }
+    }
+  }
+
+ private:
+  static constexpr uint32_t kIncrement = 32;
+  static constexpr uint32_t kRescaleLimit = kBot - 256;
+
+  std::array<uint32_t, 256> freq_;
+  uint32_t total_;
+};
+
+class Encoder {
+ public:
+  void Encode(uint32_t cum, uint32_t freq, uint32_t total) {
+    range_ /= total;
+    low_ += cum * range_;
+    range_ *= freq;
+    Normalize();
+  }
+
+  void Flush() {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<uint8_t>(low_ >> 24));
+      low_ <<= 8;
+    }
+  }
+
+  Bytes Take() { return std::move(out_); }
+
+ private:
+  void Normalize() {
+    while ((low_ ^ (low_ + range_)) < kTop ||
+           (range_ < kBot && ((range_ = (0u - low_) & (kBot - 1)), true))) {
+      out_.push_back(static_cast<uint8_t>(low_ >> 24));
+      low_ <<= 8;
+      range_ <<= 8;
+    }
+  }
+
+  uint32_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  Bytes out_;
+};
+
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {
+    for (int i = 0; i < 4; ++i) {
+      code_ = (code_ << 8) | NextByte();
+    }
+  }
+
+  uint32_t DecodeFreq(uint32_t total) {
+    range_ /= total;
+    return (code_ - low_) / range_;
+  }
+
+  void Consume(uint32_t cum, uint32_t freq) {
+    low_ += cum * range_;
+    range_ *= freq;
+    Normalize();
+  }
+
+ private:
+  uint8_t NextByte() { return pos_ < size_ ? data_[pos_++] : 0; }
+
+  void Normalize() {
+    while ((low_ ^ (low_ + range_)) < kTop ||
+           (range_ < kBot && ((range_ = (0u - low_) & (kBot - 1)), true))) {
+      code_ = (code_ << 8) | NextByte();
+      low_ <<= 8;
+      range_ <<= 8;
+    }
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+}  // namespace
+
+Bytes RangeEncode(const Bytes& input) {
+  Model model;
+  Encoder enc;
+  for (uint8_t b : input) {
+    uint32_t cum, freq;
+    model.Lookup(b, &cum, &freq);
+    enc.Encode(cum, freq, model.total());
+    model.Update(b);
+  }
+  enc.Flush();
+  Bytes payload = enc.Take();
+
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(input.size()));
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+Result<Bytes> RangeDecode(const Bytes& encoded) {
+  ByteReader r(encoded);
+  GRT_ASSIGN_OR_RETURN(uint32_t raw_size, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(Bytes payload, r.ReadBytes());
+
+  Bytes out;
+  out.reserve(raw_size);
+  Model model;
+  Decoder dec(payload.data(), payload.size());
+  for (uint32_t i = 0; i < raw_size; ++i) {
+    uint32_t f = dec.DecodeFreq(model.total());
+    if (f >= model.total()) {
+      return IntegrityViolation("range decoder desync");
+    }
+    uint32_t cum, freq;
+    uint8_t sym = model.FindSymbol(f, &cum, &freq);
+    dec.Consume(cum, freq);
+    model.Update(sym);
+    out.push_back(sym);
+  }
+  return out;
+}
+
+}  // namespace grt

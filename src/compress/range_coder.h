@@ -1,0 +1,24 @@
+// Adaptive order-0 range coder (carryless, Subbotin style).
+//
+// GR-T compresses shared-memory dumps with range encoding before shipping
+// them between the cloud and the client (§5 "We further apply standard
+// compression"). Combined with XOR deltas between consecutive sync points,
+// an adaptive order-0 model is highly effective because deltas are
+// overwhelmingly zero bytes.
+#ifndef GRT_SRC_COMPRESS_RANGE_CODER_H_
+#define GRT_SRC_COMPRESS_RANGE_CODER_H_
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace grt {
+
+// Compresses `input`; output is self-framing (length header + payload).
+Bytes RangeEncode(const Bytes& input);
+
+// Inverse of RangeEncode. Fails on truncated or corrupt input.
+Result<Bytes> RangeDecode(const Bytes& encoded);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_COMPRESS_RANGE_CODER_H_

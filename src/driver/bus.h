@@ -1,0 +1,115 @@
+// GpuBus: the CPU/GPU boundary as seen by the kernel driver.
+//
+// Every CPU/GPU interaction the paper records — register accesses, polling
+// loops, explicit delays, interrupt waits — flows through this interface.
+// Backends:
+//   * DirectBus       — CPU and GPU co-located (native execution, replay
+//                       verification, the "developer machine" GR baseline).
+//   * RecordingBus    — DirectBus + interaction logging (record module).
+//   * DriverShimBus   — the GR-T cloud side: deferral, speculation, polling
+//                       offload over a NetChannel to the client's GPUShim.
+//
+// The driver source is written once against this interface, mirroring the
+// paper's "the driver source code remains unmodified" property of its
+// Clang-plugin instrumentation.
+#ifndef GRT_SRC_DRIVER_BUS_H_
+#define GRT_SRC_DRIVER_BUS_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/driver/regvalue.h"
+
+namespace grt {
+
+// Kernel API events the backend must observe (§4.1 commit triggers and
+// §4.2 externalization stalls).
+enum class KernelEvent {
+  kLockAcquire,
+  kLockRelease,  // commit point: release consistency
+  kPrintk,       // externalization: stall until speculation validated
+  kSchedule,     // scheduling API invocation: commit point
+};
+
+// The cooperative stand-in for kernel threads: the driver's task context
+// and its interrupt context get separate deferral queues (§4.1 "one queue
+// per kernel thread").
+enum class DriverContext : uint8_t {
+  kTask = 0,
+  kIrq = 1,
+};
+constexpr int kNumDriverContexts = 2;
+
+struct PollResult {
+  uint32_t final_value = 0;
+  int iterations = 0;
+  bool timed_out = false;
+};
+
+struct IrqStatus {
+  bool job = false;
+  bool gpu = false;
+  bool mmu = false;
+  bool any() const { return job || gpu || mmu; }
+};
+
+class GpuBus {
+ public:
+  virtual ~GpuBus() = default;
+
+  // `site` tags the driver source location issuing the access; speculation
+  // keys its commit history by site (§4.2 "looks up the commit history at
+  // the same driver source location").
+  virtual RegValue ReadReg(uint32_t offset, const char* site) = 0;
+  virtual void WriteReg(uint32_t offset, const RegValue& value,
+                        const char* site) = 0;
+
+  // Forces a symbolic value to a concrete u32 (control/data dependency).
+  virtual uint32_t Force(const SymNodePtr& node) = 0;
+
+  // A simple polling loop (§4.3): spin until (read(offset) & mask) ==
+  // expected, at most max_iters iterations of iter_delay each. Backends may
+  // execute it locally, or offload it to the client in one round trip.
+  virtual PollResult Poll(uint32_t offset, uint32_t mask, uint32_t expected,
+                          int max_iters, Duration iter_delay,
+                          const char* site) = 0;
+
+  // Driver explicit delay (kernel delay-family): a commit barrier (§4.1).
+  virtual void Delay(Duration d) = 0;
+
+  // Lock/printk/schedule notifications from the kernel-services layer.
+  virtual void KernelApi(KernelEvent ev) = 0;
+
+  // Blocks until a GPU interrupt line is asserted (or virtual timeout).
+  virtual Result<IrqStatus> WaitForIrq(Duration timeout) = 0;
+
+  // Cooperative context switch (task <-> irq handler).
+  virtual void SetContext(DriverContext ctx) = 0;
+
+  // Hot-function scoping (§4.1 optimization): accesses outside hot
+  // functions execute synchronously; leaving a hot function commits.
+  virtual void EnterHotFunction(const char* fn) = 0;
+  virtual void LeaveHotFunction() = 0;
+
+  // The timeline driver CPU work is charged to.
+  virtual Timeline* timeline() = 0;
+};
+
+// RAII hot-function scope.
+class HotScope {
+ public:
+  HotScope(GpuBus* bus, const char* fn) : bus_(bus) {
+    bus_->EnterHotFunction(fn);
+  }
+  ~HotScope() { bus_->LeaveHotFunction(); }
+  HotScope(const HotScope&) = delete;
+  HotScope& operator=(const HotScope&) = delete;
+
+ private:
+  GpuBus* bus_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_DRIVER_BUS_H_

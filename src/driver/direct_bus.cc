@@ -1,0 +1,139 @@
+#include "src/driver/direct_bus.h"
+
+#include "src/common/log.h"
+
+namespace grt {
+namespace {
+
+// Local MMIO access cost (on-chip interconnect, sub-microsecond).
+constexpr Duration kMmioAccessCost = 200 * kNanosecond;
+
+}  // namespace
+
+DirectBus::DirectBus(MaliGpu* gpu, Tzasc* tzasc, World world,
+                     Timeline* timeline)
+    : gpu_(gpu), tzasc_(tzasc), world_(world), timeline_(timeline) {}
+
+uint32_t DirectBus::ReadNow(uint32_t offset) {
+  timeline_->Advance(kMmioAccessCost);
+  auto v = tzasc_->ReadGpuRegister(world_, gpu_, offset);
+  if (!v.ok()) {
+    last_error_ = v.status();
+    GRT_WLOG << "MMIO read denied/failed @" << RegisterName(offset) << ": "
+             << v.status().ToString();
+    return 0;  // bus reads-as-zero on a blocked access, like real hardware
+  }
+  ++stats_.reg_reads;
+  if (observer_ != nullptr) {
+    observer_->OnRegRead(offset, v.value());
+  }
+  return v.value();
+}
+
+void DirectBus::WriteNow(uint32_t offset, uint32_t value) {
+  timeline_->Advance(kMmioAccessCost);
+  // The observer (recorder) sees the write BEFORE it reaches the device:
+  // a job-start write must trigger the pre-job memory snapshot while the
+  // shared memory still holds the pre-execution state (§5).
+  if (observer_ != nullptr) {
+    observer_->OnRegWrite(offset, value);
+  }
+  Status s = tzasc_->WriteGpuRegister(world_, gpu_, offset, value);
+  if (!s.ok()) {
+    last_error_ = s;
+    GRT_WLOG << "MMIO write denied/failed @" << RegisterName(offset) << ": "
+             << s.ToString();
+    return;
+  }
+  ++stats_.reg_writes;
+}
+
+RegValue DirectBus::ReadReg(uint32_t offset, const char* /*site*/) {
+  uint32_t v = ReadNow(offset);
+  // Direct mode resolves immediately; the node still carries the register
+  // offset so diagnostics stay uniform across backends.
+  SymNodePtr node = MakeReadNode(next_read_id_++, offset);
+  node->resolved = true;
+  node->value = v;
+  return RegValue(std::move(node), this);
+}
+
+void DirectBus::WriteReg(uint32_t offset, const RegValue& value,
+                         const char* /*site*/) {
+  auto v = EvalSym(value.node());
+  if (!v.ok()) {
+    last_error_ = Internal("symbolic write reached DirectBus");
+    return;
+  }
+  WriteNow(offset, v.value());
+}
+
+uint32_t DirectBus::Force(const SymNodePtr& node) {
+  ++stats_.forces;
+  auto v = EvalSym(node);
+  if (!v.ok()) {
+    last_error_ = Internal("Force on unresolved value in DirectBus");
+    return 0;
+  }
+  return v.value();
+}
+
+PollResult DirectBus::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
+                           int max_iters, Duration iter_delay,
+                           const char* /*site*/) {
+  ++stats_.poll_instances;
+  // Iteration reads are timing-sensitive (the polled state machine races
+  // the CPU), so they are NOT logged as individual expected-value reads;
+  // the whole loop is recorded as one kPollWait via OnPoll.
+  BusObserver* saved = observer_;
+  observer_ = nullptr;
+  PollResult result;
+  for (int i = 0; i < max_iters; ++i) {
+    result.final_value = ReadNow(offset);
+    ++result.iterations;
+    ++stats_.poll_iterations;
+    if ((result.final_value & mask) == expected) {
+      break;
+    }
+    timeline_->Advance(iter_delay);
+    if (i + 1 == max_iters) {
+      result.timed_out = true;
+    }
+  }
+  observer_ = saved;
+  if (observer_ != nullptr) {
+    observer_->OnPoll(offset, mask, expected, result);
+  }
+  return result;
+}
+
+void DirectBus::Delay(Duration d) {
+  timeline_->Advance(d);
+  if (observer_ != nullptr) {
+    observer_->OnDelay(d);
+  }
+}
+
+Result<IrqStatus> DirectBus::WaitForIrq(Duration timeout) {
+  ++stats_.irq_waits;
+  TimePoint deadline = timeline_->now() + timeout;
+  for (;;) {
+    IrqStatus st;
+    st.job = gpu_->JobIrqAsserted();
+    st.gpu = gpu_->GpuIrqAsserted();
+    st.mmu = gpu_->MmuIrqAsserted();
+    if (st.any()) {
+      if (observer_ != nullptr) {
+        observer_->OnIrqWait(st);
+      }
+      return st;
+    }
+    TimePoint next = gpu_->NextEventTime();
+    if (next == kNoEvent || next > deadline) {
+      return Timeout("IRQ wait timed out");
+    }
+    timeline_->AdvanceTo(next);
+  }
+}
+
+}  // namespace grt

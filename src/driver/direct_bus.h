@@ -1,0 +1,85 @@
+// DirectBus: CPU and GPU on the same interconnect.
+//
+// Register accesses complete synchronously in sub-microsecond virtual time.
+// Used for native (insecure) execution, for the replayer's verification
+// runs, and as the substrate the RecordingBus wraps. An optional observer
+// sees every interaction — that observer *is* the record-phase interposer.
+#ifndef GRT_SRC_DRIVER_DIRECT_BUS_H_
+#define GRT_SRC_DRIVER_DIRECT_BUS_H_
+
+#include <cstdint>
+
+#include "src/driver/bus.h"
+#include "src/hw/gpu.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+
+// Observes CPU/GPU interactions at the boundary (recording hook).
+class BusObserver {
+ public:
+  virtual ~BusObserver() = default;
+  virtual void OnRegRead(uint32_t /*offset*/, uint32_t /*value*/) {}
+  virtual void OnRegWrite(uint32_t /*offset*/, uint32_t /*value*/) {}
+  virtual void OnPoll(uint32_t /*offset*/, uint32_t /*mask*/, uint32_t /*expected*/,
+                      const PollResult& /*result*/) {}
+  virtual void OnDelay(Duration /*d*/) {}
+  virtual void OnIrqWait(const IrqStatus& /*status*/) {}
+};
+
+struct BusStats {
+  uint64_t reg_reads = 0;
+  uint64_t reg_writes = 0;
+  uint64_t poll_instances = 0;
+  uint64_t poll_iterations = 0;
+  uint64_t irq_waits = 0;
+  uint64_t forces = 0;
+
+  uint64_t total_accesses() const { return reg_reads + reg_writes; }
+};
+
+class DirectBus : public GpuBus {
+ public:
+  // `world` is the CPU world issuing accesses; the TZASC checks ownership.
+  DirectBus(MaliGpu* gpu, Tzasc* tzasc, World world, Timeline* timeline);
+
+  RegValue ReadReg(uint32_t offset, const char* site) override;
+  void WriteReg(uint32_t offset, const RegValue& value,
+                const char* site) override;
+  uint32_t Force(const SymNodePtr& node) override;
+  PollResult Poll(uint32_t offset, uint32_t mask, uint32_t expected,
+                  int max_iters, Duration iter_delay,
+                  const char* site) override;
+  void Delay(Duration d) override;
+  void KernelApi(KernelEvent /*ev*/) override {}
+  Result<IrqStatus> WaitForIrq(Duration timeout) override;
+  void SetContext(DriverContext ctx) override { context_ = ctx; }
+  void EnterHotFunction(const char* /*fn*/) override {}
+  void LeaveHotFunction() override {}
+  Timeline* timeline() override { return timeline_; }
+
+  void SetObserver(BusObserver* observer) { observer_ = observer; }
+  const BusStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BusStats{}; }
+  // The last register access status (TZASC denials surface here; the
+  // driver treats a denied access as a wedged device).
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  uint32_t ReadNow(uint32_t offset);
+  void WriteNow(uint32_t offset, uint32_t value);
+
+  MaliGpu* gpu_;
+  Tzasc* tzasc_;
+  World world_;
+  Timeline* timeline_;
+  BusObserver* observer_ = nullptr;
+  BusStats stats_;
+  Status last_error_;
+  DriverContext context_ = DriverContext::kTask;
+  uint64_t next_read_id_ = 1;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_DRIVER_DIRECT_BUS_H_

@@ -1,0 +1,631 @@
+#include "src/driver/kbase.h"
+
+#include <cinttypes>
+#include <cstring>
+
+#include "src/common/log.h"
+
+namespace grt {
+
+const char* RegionUsageName(RegionUsage usage) {
+  switch (usage) {
+    case RegionUsage::kShaderCode: return "shader";
+    case RegionUsage::kCommands: return "commands";
+    case RegionUsage::kDataInput: return "input";
+    case RegionUsage::kDataOutput: return "output";
+    case RegionUsage::kDataScratch: return "scratch";
+  }
+  return "?";
+}
+
+bool IsMetastateUsage(RegionUsage usage) {
+  return usage == RegionUsage::kShaderCode || usage == RegionUsage::kCommands;
+}
+
+KbaseDriver::KbaseDriver(KernelServices* kernel, PhysicalMemory* mem,
+                         PageAllocator* alloc, DriverPolicy policy)
+    : kernel_(kernel),
+      mem_(mem),
+      alloc_(alloc),
+      policy_(policy),
+      hwaccess_lock_(kernel, "hwaccess"),
+      mmu_lock_(kernel, "mmu"),
+      pm_lock_(kernel, "pm") {}
+
+Status KbaseDriver::Probe(const DeviceTree& dt) {
+  // Bind: find a GPU node we are compatible with.
+  GRT_ASSIGN_OR_RETURN(SkuId dt_sku, SkuFromDeviceTree(dt));
+  (void)dt_sku;  // binding succeeded; identity confirmed via GPU_ID below
+
+  HotScope hot(bus(), "kbase_probe");
+  ScopedLock guard(hwaccess_lock_);
+
+  // Hardware discovery: read GPU_ID and match the product (Init category).
+  RegValue gpu_id = bus()->ReadReg(kRegGpuId, "init:gpu_id");
+  uint32_t id = gpu_id.Get();
+  GRT_ASSIGN_OR_RETURN(sku_, FindSkuByGpuIdReg(id));
+  GRT_RETURN_IF_ERROR(ProbeFeatures());
+
+  // Externalize what we found, like kbase's dmesg banner. This is a
+  // printk: backends must have validated any speculative values by now.
+  char banner[128];
+  std::snprintf(banner, sizeof(banner), "mali: GPU %s (id=0x%08x, %d cores)",
+                sku_.name.c_str(), id, sku_.core_count());
+  kernel_->Printk(banner);
+
+  pt_ = std::make_unique<PageTableBuilder>(sku_.pt_format, mem_, alloc_);
+  GRT_RETURN_IF_ERROR(pt_->Init());
+  probed_ = true;
+  return OkStatus();
+}
+
+Status KbaseDriver::ProbeFeatures() {
+  HotScope hot(bus(), "kbase_gpuprops_probe");
+  // The register set kbase snapshots into its gpu_props structure. Values
+  // are stored (and a few branched on), exercising data dependencies.
+  static constexpr uint32_t kFeatureRegs[] = {
+      kRegL2Features,      kRegCoreFeatures,    kRegTilerFeatures,
+      kRegMemFeatures,     kRegMmuFeatures,     kRegAsPresent,
+      kRegJsPresent,       kRegThreadMaxThreads, kRegThreadMaxWorkgroup,
+      kRegThreadMaxBarrier, kRegThreadFeatures,  kRegTextureFeatures0,
+      kRegTextureFeatures1, kRegTextureFeatures2,
+      kRegShaderPresentLo, kRegShaderPresentHi, kRegTilerPresentLo,
+      kRegTilerPresentHi,  kRegL2PresentLo,     kRegL2PresentHi,
+  };
+  // Like kbase_gpuprops_get_props: issue all the reads, stash the raw
+  // values, and only consume them afterwards — under a deferring backend
+  // this whole block is one large commit.
+  std::vector<RegValue> props;
+  props.reserve(32);
+  for (uint32_t reg : kFeatureRegs) {
+    props.push_back(bus()->ReadReg(reg, "init:features"));
+  }
+  for (uint32_t js = 0; js < sku_.js_count; ++js) {
+    props.push_back(
+        bus()->ReadReg(kRegJsFeatures0 + 4 * js, "init:features"));
+  }
+  RegValue shader_lo = bus()->ReadReg(kRegShaderPresentLo, "init:features");
+  // Sanity branch on the discovered shader topology (control dependency —
+  // the first Get() resolves the entire batch).
+  if (shader_lo.Get() == 0) {
+    return DeviceFault("no shader cores present");
+  }
+  uint32_t check = 0;
+  for (const RegValue& v : props) {
+    check ^= v.Get();
+  }
+  (void)check;
+  return OkStatus();
+}
+
+Status KbaseDriver::ApplyHardwareQuirks() {
+  HotScope hot(bus(), "kbase_hw_quirks");
+  // Listing 1(a): read config registers, OR in quirk bits, write back.
+  // The writes may carry symbolic expressions under a deferring backend.
+  RegValue shader_cfg = bus()->ReadReg(kRegShaderConfig, "init:shader_cfg");
+  if ((sku_.quirks & kQuirkSlowCacheFlush) != 0) {
+    shader_cfg = shader_cfg | kShaderConfigLsAllowAttrTypes;
+  }
+  bus()->WriteReg(kRegShaderConfig, shader_cfg, "init:shader_cfg_w");
+
+  RegValue mmu_cfg = bus()->ReadReg(kRegL2MmuConfig, "init:mmu_cfg");
+  if ((sku_.quirks & kQuirkMmuSnoopDisparity) != 0) {
+    mmu_cfg = mmu_cfg | kL2MmuConfigAllowSnoopDisparity;
+  }
+  bus()->WriteReg(kRegL2MmuConfig, mmu_cfg, "init:mmu_cfg_w");
+
+  RegValue tiler_cfg = bus()->ReadReg(kRegTilerConfig, "init:tiler_cfg");
+  if ((sku_.quirks & kQuirkTilerPowerErratum) != 0) {
+    tiler_cfg = tiler_cfg | 1u;
+  }
+  bus()->WriteReg(kRegTilerConfig, tiler_cfg, "init:tiler_cfg_w");
+  return OkStatus();
+}
+
+Status KbaseDriver::SoftResetGpu() {
+  HotScope hot(bus(), "kbase_soft_reset");
+  bus()->WriteReg(kRegGpuIrqClear, RegValue(0xFFFFFFFF), "init:irq_clear");
+  bus()->WriteReg(kRegGpuIrqMask, RegValue(kGpuIrqResetCompleted),
+                  "init:irq_mask_reset");
+  bus()->WriteReg(kRegGpuCommand, RegValue(kGpuCommandSoftReset),
+                  "init:soft_reset");
+  PollResult r = bus()->Poll(kRegGpuIrqRawstat, kGpuIrqResetCompleted,
+                             kGpuIrqResetCompleted, policy_.poll_max_iters,
+                             policy_.poll_iter_delay, "poll:reset_done");
+  if (r.timed_out) {
+    return Timeout("GPU soft reset did not complete");
+  }
+  bus()->WriteReg(kRegGpuIrqClear, RegValue(kGpuIrqResetCompleted),
+                  "init:irq_clear_reset");
+  return OkStatus();
+}
+
+Status KbaseDriver::EnableInterrupts() {
+  HotScope hot(bus(), "kbase_enable_irqs");
+  bus()->WriteReg(kRegGpuIrqMask,
+                  RegValue(kGpuIrqFault | kGpuIrqResetCompleted |
+                           kGpuIrqCleanCachesCompleted),
+                  "init:gpu_irq_mask");
+  bus()->WriteReg(kRegJobIrqMask, RegValue(0xFFFFFFFF), "init:job_irq_mask");
+  bus()->WriteReg(kRegMmuIrqMask, RegValue(0xFFFFFFFF), "init:mmu_irq_mask");
+  return OkStatus();
+}
+
+Status KbaseDriver::PowerUpDomain(const char* site, uint32_t pwron_reg,
+                                  uint32_t pwrtrans_reg, uint32_t ready_reg,
+                                  uint32_t mask) {
+  HotScope hot(bus(), "kbase_pm_domain_on");
+  // All power registers are 64-bit lo/hi pairs; the pm software state
+  // machine tracks desired state, so no pre-read is needed. The lo/hi
+  // writes and the transition poll's first read share one commit under
+  // deferral.
+  bus()->WriteReg(pwron_reg, RegValue(mask), site);
+  bus()->WriteReg(pwron_reg + 4, RegValue(0), site);  // HI word
+  PollResult trans = bus()->Poll(pwrtrans_reg, mask, 0,
+                                 policy_.poll_max_iters,
+                                 policy_.poll_iter_delay, site);
+  if (trans.timed_out) {
+    return Timeout("power-on transition stuck");
+  }
+  // Confirm the state change (lo + hi reads, one commit).
+  RegValue after_lo = bus()->ReadReg(ready_reg, "pm:ready_post");
+  RegValue after_hi = bus()->ReadReg(ready_reg + 4, "pm:ready_post");
+  if ((after_lo.Get() & mask) != mask || after_hi.Get() != 0) {
+    return DeviceFault("cores failed to power on");
+  }
+  return OkStatus();
+}
+
+Status KbaseDriver::PowerDownDomain(const char* site, uint32_t pwroff_reg,
+                                    uint32_t pwrtrans_reg, uint32_t mask) {
+  HotScope hot(bus(), "kbase_pm_domain_off");
+  (void)pwrtrans_reg;
+  // Power-off is fire-and-forget: completion is tracked via the
+  // POWER_CHANGED interrupt by the pm state machine, not by polling.
+  bus()->WriteReg(pwroff_reg, RegValue(mask), site);
+  bus()->WriteReg(pwroff_reg + 4, RegValue(0), site);  // HI word
+  return OkStatus();
+}
+
+Status KbaseDriver::PowerUpShaderCores() {
+  ScopedLock guard(pm_lock_);
+  GRT_RETURN_IF_ERROR(PowerUpDomain("pm:shader_on", kRegShaderPwrOnLo,
+                                    kRegShaderPwrTransLo, kRegShaderReadyLo,
+                                    sku_.shader_present));
+  return OkStatus();
+}
+
+Status KbaseDriver::PowerDownShaderCores() {
+  ScopedLock guard(pm_lock_);
+  GRT_RETURN_IF_ERROR(PowerDownDomain("pm:shader_off", kRegShaderPwrOffLo,
+                                      kRegShaderPwrTransLo,
+                                      sku_.shader_present));
+  return OkStatus();
+}
+
+Status KbaseDriver::InitHardware() {
+  if (!probed_) {
+    return FailedPrecondition("InitHardware before Probe");
+  }
+  ScopedLock guard(hwaccess_lock_);
+  GRT_RETURN_IF_ERROR(SoftResetGpu());
+  GRT_RETURN_IF_ERROR(ApplyHardwareQuirks());
+  GRT_RETURN_IF_ERROR(EnableInterrupts());
+  {
+    ScopedLock pm_guard(pm_lock_);
+    // L2 and tiler stay powered for the driver's lifetime; shader cores are
+    // power-gated around jobs per policy (the "Power state" category).
+    GRT_RETURN_IF_ERROR(PowerUpDomain("pm:l2_on", kRegL2PwrOnLo,
+                                      kRegL2PwrTransLo, kRegL2ReadyLo,
+                                      sku_.l2_present));
+    GRT_RETURN_IF_ERROR(PowerUpDomain("pm:tiler_on", kRegTilerPwrOnLo,
+                                      kRegTilerPwrTransLo, kRegTilerReadyLo,
+                                      sku_.tiler_present));
+  }
+  hw_ready_ = true;
+  return OkStatus();
+}
+
+Status KbaseDriver::Shutdown() {
+  if (!hw_ready_) {
+    return OkStatus();
+  }
+  ScopedLock guard(hwaccess_lock_);
+  ScopedLock pm_guard(pm_lock_);
+  GRT_RETURN_IF_ERROR(PowerDownDomain("pm:shader_off", kRegShaderPwrOffLo,
+                                      kRegShaderPwrTransLo,
+                                      sku_.shader_present));
+  GRT_RETURN_IF_ERROR(PowerDownDomain("pm:tiler_off", kRegTilerPwrOffLo,
+                                      kRegTilerPwrTransLo,
+                                      sku_.tiler_present));
+  GRT_RETURN_IF_ERROR(PowerDownDomain("pm:l2_off", kRegL2PwrOffLo,
+                                      kRegL2PwrTransLo, sku_.l2_present));
+  hw_ready_ = false;
+  return OkStatus();
+}
+
+Result<uint64_t> KbaseDriver::AllocRegion(uint64_t bytes, RegionUsage usage) {
+  if (!probed_) {
+    return FailedPrecondition("AllocRegion before Probe");
+  }
+  if (bytes == 0) {
+    return InvalidArgument("AllocRegion(0)");
+  }
+  ScopedLock guard(mmu_lock_);
+  GpuRegion region;
+  region.va = next_va_;
+  region.n_pages = PageAlignUp(bytes) / kPageSize;
+  region.usage = usage;
+
+  PteFlags flags;
+  flags.read = true;
+  switch (usage) {
+    case RegionUsage::kShaderCode:
+      flags.execute = true;  // metastate marker the synchronizer keys on
+      break;
+    case RegionUsage::kCommands:
+      break;  // GPU reads descriptors only
+    case RegionUsage::kDataInput:
+      break;
+    case RegionUsage::kDataOutput:
+    case RegionUsage::kDataScratch:
+      flags.write = true;
+      break;
+  }
+
+  for (uint64_t i = 0; i < region.n_pages; ++i) {
+    GRT_ASSIGN_OR_RETURN(uint64_t page, alloc_->AllocPage());
+    region.pages.push_back(page);
+    GRT_RETURN_IF_ERROR(
+        pt_->MapPage(region.va + i * kPageSize, page, flags));
+  }
+  next_va_ += region.n_pages * kPageSize + kPageSize;  // guard page
+  uint64_t va = region.va;
+  regions_[va] = std::move(region);
+  return va;
+}
+
+Status KbaseDriver::FreeRegion(uint64_t va) {
+  auto it = regions_.find(va);
+  if (it == regions_.end()) {
+    return NotFound("FreeRegion: unknown region");
+  }
+  ScopedLock guard(mmu_lock_);
+  for (uint64_t i = 0; i < it->second.n_pages; ++i) {
+    GRT_RETURN_IF_ERROR(pt_->UnmapPage(va + i * kPageSize));
+  }
+  for (uint64_t page : it->second.pages) {
+    GRT_RETURN_IF_ERROR(alloc_->FreePage(page));
+  }
+  regions_.erase(it);
+  return OkStatus();
+}
+
+Result<uint64_t> KbaseDriver::VaToPa(uint64_t va) const {
+  auto it = regions_.upper_bound(va);
+  if (it == regions_.begin()) {
+    return NotFound("VA not in any region");
+  }
+  --it;
+  const GpuRegion& r = it->second;
+  if (va >= r.va + r.size_bytes()) {
+    return NotFound("VA not in any region");
+  }
+  uint64_t offset = va - r.va;
+  return r.pages[offset / kPageSize] + (offset & kPageMask);
+}
+
+Status KbaseDriver::CpuWrite(uint64_t va, const void* data, uint64_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur & kPageMask));
+    GRT_ASSIGN_OR_RETURN(uint64_t pa, VaToPa(cur));
+    GRT_RETURN_IF_ERROR(mem_->Write(pa, p + done, chunk));
+    done += chunk;
+  }
+  return OkStatus();
+}
+
+Status KbaseDriver::CpuRead(uint64_t va, void* out, uint64_t len) const {
+  auto* p = static_cast<uint8_t*>(out);
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur & kPageMask));
+    GRT_ASSIGN_OR_RETURN(uint64_t pa, VaToPa(cur));
+    GRT_RETURN_IF_ERROR(mem_->Read(pa, p + done, chunk));
+    done += chunk;
+  }
+  return OkStatus();
+}
+
+Status KbaseDriver::MmuFlush() {
+  HotScope hot(bus(), "kbase_mmu_update");
+  ScopedLock guard(mmu_lock_);
+  uint32_t as_base = kAsBase + policy_.as_index * kAsStride;
+  uint64_t root = pt_->root_pa();
+  bus()->WriteReg(as_base + kAsTranstabLo,
+                  RegValue(static_cast<uint32_t>(root)), "mmu:transtab_lo");
+  bus()->WriteReg(as_base + kAsTranstabHi,
+                  RegValue(static_cast<uint32_t>(root >> 32)),
+                  "mmu:transtab_hi");
+  bus()->WriteReg(as_base + kAsMemattrLo, RegValue(0x88888888),
+                  "mmu:memattr_lo");
+  bus()->WriteReg(as_base + kAsMemattrHi, RegValue(0x88888888),
+                  "mmu:memattr_hi");
+  bus()->WriteReg(as_base + kAsCommand, RegValue(kAsCommandUpdate),
+                  "mmu:update");
+  PollResult r = bus()->Poll(as_base + kAsStatus, kAsStatusActive, 0,
+                             policy_.poll_max_iters, policy_.poll_iter_delay,
+                             "poll:as_active");
+  if (r.timed_out) {
+    return Timeout("AS UPDATE stuck active");
+  }
+  return OkStatus();
+}
+
+Result<uint32_t> KbaseDriver::FlushCaches(const char* phase) {
+  HotScope hot(bus(), "kbase_cache_clean");
+  // Kick the flush and poll its completion interrupt; under deferral the
+  // command write rides in the same batch as the poll's first read.
+  bus()->WriteReg(kRegGpuCommand, RegValue(kGpuCommandCleanInvCaches), phase);
+  PollResult done = bus()->Poll(kRegGpuIrqRawstat, kGpuIrqCleanCachesCompleted,
+                                kGpuIrqCleanCachesCompleted,
+                                policy_.poll_max_iters,
+                                policy_.poll_iter_delay, "poll:flush_done");
+  if (done.timed_out) {
+    return Timeout("cache flush did not complete");
+  }
+  // Drivers use a short delay as a write-visibility barrier here (§4.1
+  // "driver's explicit delay" commit trigger).
+  kernel_->Delay(2 * kMicrosecond);
+  bus()->WriteReg(kRegGpuIrqClear, RegValue(kGpuIrqCleanCachesCompleted),
+                  "flush:irq_clear");
+  // The flush id is genuinely nondeterministic across runs; reading it
+  // creates the unpredictable commits §7.3 describes (LATEST_FLUSH_ID).
+  // The ack write above rides in the same (blocking) commit.
+  RegValue flush_id = bus()->ReadReg(kRegLatestFlush, "flush:latest_id");
+  return flush_id.Get();
+}
+
+Status KbaseDriver::SubmitChain(uint64_t head_va, JobRunStats* stats) {
+  HotScope hot(bus(), "kbase_job_submit");
+  uint32_t slot_base = kJobSlotBase + policy_.job_slot * kJobSlotStride;
+  // The slot must be idle (queue length 1, §5); also timestamp the
+  // submission like kbase's job tracing (a genuinely nondeterministic
+  // read). Both reads go into one commit; forcing the status resolves it.
+  RegValue js_status = bus()->ReadReg(slot_base + kJsStatus, "job:status");
+  RegValue ts = bus()->ReadReg(kRegTimestampLo, "job:status");
+  if (js_status.Get() == kJsStatusActive) {
+    return FailedPrecondition("job slot busy; queue length is 1");
+  }
+  stats->submit_timestamp = ts.Get();
+
+  bus()->WriteReg(slot_base + kJsHeadNextLo,
+                  RegValue(static_cast<uint32_t>(head_va)), "job:head_lo");
+  bus()->WriteReg(slot_base + kJsHeadNextHi,
+                  RegValue(static_cast<uint32_t>(head_va >> 32)),
+                  "job:head_hi");
+  bus()->WriteReg(slot_base + kJsAffinityNextLo,
+                  RegValue(sku_.shader_present), "job:affinity_lo");
+  bus()->WriteReg(slot_base + kJsAffinityNextHi, RegValue(0),
+                  "job:affinity_hi");
+  bus()->WriteReg(slot_base + kJsConfigNext,
+                  RegValue(static_cast<uint32_t>(policy_.as_index)),
+                  "job:config");
+  bus()->WriteReg(slot_base + kJsCommandNext, RegValue(kJsCommandStart),
+                  "job:start");
+  return OkStatus();
+}
+
+KbaseDriver::IrqVerdict KbaseDriver::DispatchIrq(JobRunStats* stats) {
+  HotScope hot(bus(), "kbase_irq_dispatch");
+  // The SoC routes the GPU's interrupt outputs through one line; the
+  // dispatcher reads all three RAWSTATs (one commit under deferral) and
+  // routes. Listing 1(b) shape: the first branch resolves the batch.
+  RegValue job_stat = bus()->ReadReg(kRegJobIrqRawstat, "irq:rawstats");
+  RegValue gpu_stat = bus()->ReadReg(kRegGpuIrqRawstat, "irq:rawstats");
+  RegValue mmu_stat = bus()->ReadReg(kRegMmuIrqRawstat, "irq:rawstats");
+
+  uint32_t mmu = mmu_stat.Get();
+  if (mmu != 0) {
+    MmuIrqHandler(mmu, stats);
+  }
+  uint32_t gpu = gpu_stat.Get();
+  if (gpu != 0) {
+    GpuIrqHandler(gpu_stat, gpu);
+  }
+  IrqVerdict verdict = JobIrqHandler(job_stat.Get(), stats);
+  if (verdict == IrqVerdict::kNone && (mmu != 0 || gpu != 0)) {
+    return IrqVerdict::kGpuEvent;
+  }
+  return verdict;
+}
+
+KbaseDriver::IrqVerdict KbaseDriver::JobIrqHandler(uint32_t done,
+                                                   JobRunStats* stats) {
+  HotScope hot(bus(), "kbase_job_irq");
+  if (done == 0) {
+    return IrqVerdict::kNone;
+  }
+  // Read the slot status before acknowledging (the ack returns the slot to
+  // idle); the ack and the status read share one commit.
+  uint32_t slot_base = kJobSlotBase + policy_.job_slot * kJobSlotStride;
+  RegValue js_status = bus()->ReadReg(slot_base + kJsStatus, "irq:js_status");
+  bus()->WriteReg(kRegJobIrqClear, RegValue(done), "irq:job_clear");
+  stats->js_status = js_status.Get();
+
+  if ((done & JobIrqFailBit(policy_.job_slot)) != 0 ||
+      stats->js_status == kJsStatusFaulted) {
+    // Failure path: read the tail pointer for the fault report.
+    RegValue tail_lo = bus()->ReadReg(slot_base + kJsTailLo, "irq:tail_lo");
+    RegValue tail_hi = bus()->ReadReg(slot_base + kJsTailHi, "irq:tail_hi");
+    stats->fault_address = (static_cast<uint64_t>(tail_hi.Get()) << 32) |
+                           tail_lo.Get();
+    stats->faulted = true;
+    return IrqVerdict::kJobFailed;
+  }
+  if ((done & JobIrqDoneBit(policy_.job_slot)) != 0) {
+    return IrqVerdict::kJobDone;
+  }
+  return IrqVerdict::kGpuEvent;
+}
+
+void KbaseDriver::GpuIrqHandler(const RegValue& rawstat, uint32_t value) {
+  HotScope hot(bus(), "kbase_gpu_irq");
+  // Acknowledge with the (possibly symbolic) rawstat value — exactly
+  // Listing 1(b)'s WRITE(IRQ_CLEAR, S1) data-dependency shape.
+  bus()->WriteReg(kRegGpuIrqClear, rawstat, "irq:gpu_clear");
+  if ((value & kGpuIrqFault) != 0) {
+    RegValue fault = bus()->ReadReg(kRegGpuFaultStatus, "irq:gpu_fault");
+    char msg[64];
+    std::snprintf(msg, sizeof(msg), "mali: GPU fault status=0x%x",
+                  fault.Get());
+    kernel_->Printk(msg);
+  }
+}
+
+void KbaseDriver::MmuIrqHandler(uint32_t stat, JobRunStats* stats) {
+  HotScope hot(bus(), "kbase_mmu_irq");
+  bus()->WriteReg(kRegMmuIrqClear, RegValue(stat), "irq:mmu_clear");
+  for (int as = 0; as < kMaxAddressSpaces; ++as) {
+    if ((stat & (1u << as)) == 0) {
+      continue;
+    }
+    uint32_t as_base = kAsBase + as * kAsStride;
+    RegValue fs = bus()->ReadReg(as_base + kAsFaultStatus, "irq:as_fault");
+    RegValue fa_lo =
+        bus()->ReadReg(as_base + kAsFaultAddressLo, "irq:as_fa_lo");
+    RegValue fa_hi =
+        bus()->ReadReg(as_base + kAsFaultAddressHi, "irq:as_fa_hi");
+    stats->fault_status = fs.Get();
+    stats->fault_address = (static_cast<uint64_t>(fa_hi.Get()) << 32) |
+                           fa_lo.Get();
+    stats->faulted = true;
+  }
+}
+
+Result<JobRunStats> KbaseDriver::RunJobChain(uint64_t head_va) {
+  if (!hw_ready_) {
+    return FailedPrecondition("RunJobChain before InitHardware");
+  }
+  if (job_outstanding_) {
+    return FailedPrecondition("job queue length is 1 (§5)");
+  }
+  job_outstanding_ = true;
+  JobRunStats stats;
+
+  {
+    ScopedLock guard(hwaccess_lock_);
+    if (policy_.power_gate_per_job) {
+      Status s = PowerUpShaderCores();
+      if (!s.ok()) {
+        job_outstanding_ = false;
+        return s;
+      }
+    }
+    if (policy_.flush_before_job) {
+      auto fid = FlushCaches("flush:before_job");
+      if (!fid.ok()) {
+        job_outstanding_ = false;
+        return fid.status();
+      }
+      stats.flush_id_before = fid.value();
+    }
+    Status s = SubmitChain(head_va, &stats);
+    if (!s.ok()) {
+      job_outstanding_ = false;
+      return s;
+    }
+  }
+
+  // Interrupt wait loop: handle spurious GPU/MMU interrupts until the job
+  // completes or fails.
+  bool finished = false;
+  for (int spins = 0; spins < 64 && !finished; ++spins) {
+    auto irq = bus()->WaitForIrq(policy_.irq_timeout);
+    if (!irq.ok()) {
+      // Watchdog: the job blew its deadline. Hard-stop the slot and scrub
+      // interrupt state so the device stays usable (kbase's job-hang
+      // handling); the caller sees a timeout, not a wedged GPU.
+      HotScope hot(bus(), "kbase_job_watchdog");
+      ScopedLock guard(hwaccess_lock_);
+      uint32_t slot_base = kJobSlotBase + policy_.job_slot * kJobSlotStride;
+      bus()->WriteReg(slot_base + kJsCommand, RegValue(kJsCommandHardStop),
+                      "job:hard_stop");
+      bus()->WriteReg(kRegJobIrqClear, RegValue(0xFFFFFFFF),
+                      "irq:watchdog_clear");
+      job_outstanding_ = false;
+      return Timeout("job hung; hard-stopped by watchdog");
+    }
+    bus()->SetContext(DriverContext::kIrq);
+    IrqVerdict verdict = DispatchIrq(&stats);
+    finished = verdict == IrqVerdict::kJobDone ||
+               verdict == IrqVerdict::kJobFailed;
+    bus()->SetContext(DriverContext::kTask);
+    if (stats.faulted) {
+      finished = true;
+    }
+  }
+  if (!finished) {
+    job_outstanding_ = false;
+    return Timeout("job never signaled completion");
+  }
+
+  {
+    ScopedLock guard(hwaccess_lock_);
+    if (policy_.flush_after_job) {
+      auto fid = FlushCaches("flush:after_job");
+      if (!fid.ok()) {
+        job_outstanding_ = false;
+        return fid.status();
+      }
+      stats.flush_id_after = fid.value();
+    }
+    if (policy_.power_gate_per_job) {
+      Status s = PowerDownShaderCores();
+      if (!s.ok()) {
+        job_outstanding_ = false;
+        return s;
+      }
+    }
+  }
+
+  job_outstanding_ = false;
+  if (stats.faulted) {
+    return DeviceFault("GPU job faulted");
+  }
+  return stats;
+}
+
+uint64_t KbaseDriver::pt_root() const { return pt_ ? pt_->root_pa() : 0; }
+
+std::vector<uint64_t> KbaseDriver::MetastatePages() const {
+  std::vector<uint64_t> pages;
+  if (pt_ != nullptr) {
+    pages = pt_->table_pages();
+  }
+  for (const auto& [va, region] : regions_) {
+    if (IsMetastateUsage(region.usage)) {
+      pages.insert(pages.end(), region.pages.begin(), region.pages.end());
+    }
+  }
+  return pages;
+}
+
+std::vector<uint64_t> KbaseDriver::AllGpuPages() const {
+  std::vector<uint64_t> pages;
+  if (pt_ != nullptr) {
+    pages = pt_->table_pages();
+  }
+  for (const auto& [va, region] : regions_) {
+    pages.insert(pages.end(), region.pages.begin(), region.pages.end());
+  }
+  return pages;
+}
+
+}  // namespace grt

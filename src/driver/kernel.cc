@@ -1,0 +1,13 @@
+#include "src/driver/kernel.h"
+
+#include "src/common/log.h"
+
+namespace grt {
+
+void KernelServices::Printk(const std::string& message) {
+  bus_->KernelApi(KernelEvent::kPrintk);
+  ++printk_count_;
+  GRT_DLOG << "[driver] " << message;
+}
+
+}  // namespace grt

@@ -1,0 +1,78 @@
+// Cooperative kernel services consumed by the GPU driver.
+//
+// The paper's DriverShim commits deferred register accesses at kernel-API
+// boundaries — lock release (release consistency, §4.1), printk-style
+// externalization (§4.2), scheduling calls, and explicit delays. We model
+// kernel threads cooperatively (the simulation is deterministic), and the
+// lock/printk/delay calls notify the GpuBus backend so each policy fires
+// exactly where the paper says it must.
+#ifndef GRT_SRC_DRIVER_KERNEL_H_
+#define GRT_SRC_DRIVER_KERNEL_H_
+
+#include <string>
+
+#include "src/driver/bus.h"
+
+namespace grt {
+
+class KernelServices {
+ public:
+  explicit KernelServices(GpuBus* bus) : bus_(bus) {}
+
+  // printk externalizes kernel state: the backend must ensure no value
+  // printed depends on an unvalidated speculative register read.
+  void Printk(const std::string& message);
+
+  // Kernel delay family (udelay/msleep); a commit barrier for deferral.
+  void Delay(Duration d) { bus_->Delay(d); }
+
+  void Schedule() { bus_->KernelApi(KernelEvent::kSchedule); }
+
+  GpuBus* bus() { return bus_; }
+
+  uint64_t printk_count() const { return printk_count_; }
+
+ private:
+  GpuBus* bus_;
+  uint64_t printk_count_ = 0;
+};
+
+// A driver lock. Acquire/release notify the backend; the backend commits
+// queued register accesses before the release completes so no other
+// context can observe stale (symbolic) shared state.
+class DriverLock {
+ public:
+  DriverLock(KernelServices* kernel, std::string name)
+      : kernel_(kernel), name_(std::move(name)) {}
+
+  void Acquire() {
+    kernel_->bus()->KernelApi(KernelEvent::kLockAcquire);
+    ++holds_;
+  }
+  void Release() {
+    kernel_->bus()->KernelApi(KernelEvent::kLockRelease);
+    --holds_;
+  }
+  bool held() const { return holds_ > 0; }
+  const std::string& name() const { return name_; }
+
+ private:
+  KernelServices* kernel_;
+  std::string name_;
+  int holds_ = 0;
+};
+
+class ScopedLock {
+ public:
+  explicit ScopedLock(DriverLock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~ScopedLock() { lock_.Release(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  DriverLock& lock_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_DRIVER_KERNEL_H_

@@ -1,0 +1,165 @@
+#include "src/driver/regvalue.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/driver/bus.h"
+
+namespace grt {
+
+SymNodePtr MakeConstNode(uint32_t v) {
+  auto n = std::make_shared<SymNode>();
+  n->op = SymOp::kConst;
+  n->value = v;
+  return n;
+}
+
+SymNodePtr MakeReadNode(uint64_t read_id, uint32_t reg_offset) {
+  auto n = std::make_shared<SymNode>();
+  n->op = SymOp::kRead;
+  n->read_id = read_id;
+  n->reg_offset = reg_offset;
+  return n;
+}
+
+SymNodePtr MakeOpNode(SymOp op, SymNodePtr lhs, SymNodePtr rhs) {
+  auto n = std::make_shared<SymNode>();
+  n->op = op;
+  n->lhs = std::move(lhs);
+  n->rhs = std::move(rhs);
+  return n;
+}
+
+Result<uint32_t> EvalSym(const SymNodePtr& node) {
+  switch (node->op) {
+    case SymOp::kConst:
+      return node->value;
+    case SymOp::kRead:
+      if (!node->resolved) {
+        return FailedPrecondition("unresolved symbolic read");
+      }
+      return node->value;
+    case SymOp::kNot: {
+      GRT_ASSIGN_OR_RETURN(uint32_t v, EvalSym(node->lhs));
+      return ~v;
+    }
+    default:
+      break;
+  }
+  GRT_ASSIGN_OR_RETURN(uint32_t a, EvalSym(node->lhs));
+  GRT_ASSIGN_OR_RETURN(uint32_t b, EvalSym(node->rhs));
+  switch (node->op) {
+    case SymOp::kAnd: return a & b;
+    case SymOp::kOr: return a | b;
+    case SymOp::kXor: return a ^ b;
+    case SymOp::kAdd: return a + b;
+    case SymOp::kShl: return b >= 32 ? 0 : (a << b);
+    case SymOp::kShr: return b >= 32 ? 0 : (a >> b);
+    default:
+      return Internal("bad symbolic op");
+  }
+}
+
+bool IsConcreteSym(const SymNodePtr& node) {
+  switch (node->op) {
+    case SymOp::kConst:
+      return true;
+    case SymOp::kRead:
+      return node->resolved;
+    case SymOp::kNot:
+      return IsConcreteSym(node->lhs);
+    default:
+      return IsConcreteSym(node->lhs) && IsConcreteSym(node->rhs);
+  }
+}
+
+bool IsSpeculativeSym(const SymNodePtr& node) {
+  switch (node->op) {
+    case SymOp::kConst:
+      return false;
+    case SymOp::kRead:
+      return node->speculative;
+    case SymOp::kNot:
+      return IsSpeculativeSym(node->lhs);
+    default:
+      return IsSpeculativeSym(node->lhs) || IsSpeculativeSym(node->rhs);
+  }
+}
+
+std::string SymToString(const SymNodePtr& node) {
+  char buf[64];
+  switch (node->op) {
+    case SymOp::kConst:
+      std::snprintf(buf, sizeof(buf), "0x%X", node->value);
+      return buf;
+    case SymOp::kRead:
+      if (node->resolved) {
+        std::snprintf(buf, sizeof(buf), "S%llu=0x%X%s",
+                      static_cast<unsigned long long>(node->read_id),
+                      node->value, node->speculative ? "?" : "");
+      } else {
+        std::snprintf(buf, sizeof(buf), "S%llu",
+                      static_cast<unsigned long long>(node->read_id));
+      }
+      return buf;
+    case SymOp::kNot:
+      return "~" + SymToString(node->lhs);
+    default:
+      break;
+  }
+  const char* op = "?";
+  switch (node->op) {
+    case SymOp::kAnd: op = "&"; break;
+    case SymOp::kOr: op = "|"; break;
+    case SymOp::kXor: op = "^"; break;
+    case SymOp::kAdd: op = "+"; break;
+    case SymOp::kShl: op = "<<"; break;
+    case SymOp::kShr: op = ">>"; break;
+    default: break;
+  }
+  return "(" + SymToString(node->lhs) + " " + op + " " +
+         SymToString(node->rhs) + ")";
+}
+
+uint32_t RegValue::Get() const {
+  if (IsConcreteSym(node_)) {
+    auto v = EvalSym(node_);
+    assert(v.ok());
+    // Speculative-but-resolved values still flow through the bus so the
+    // backend can account for taint on externalization.
+    if (!IsSpeculativeSym(node_) || bus_ == nullptr) {
+      return v.value();
+    }
+  }
+  assert(bus_ != nullptr && "unresolved RegValue with no bus");
+  return bus_->Force(node_);
+}
+
+RegValue RegValue::Bin(SymOp op, const RegValue& rhs) const {
+  GpuBus* bus = bus_ != nullptr ? bus_ : rhs.bus_;
+  // Constant folding keeps direct-mode trees flat.
+  if (IsConcreteSym(node_) && IsSpeculativeSym(node_) == false &&
+      IsConcreteSym(rhs.node_) && IsSpeculativeSym(rhs.node_) == false) {
+    auto folded = EvalSym(MakeOpNode(op, node_, rhs.node_));
+    if (folded.ok()) {
+      return RegValue(MakeConstNode(folded.value()), bus);
+    }
+  }
+  return RegValue(MakeOpNode(op, node_, rhs.node_), bus);
+}
+
+RegValue RegValue::operator~() const {
+  GpuBus* bus = bus_;
+  if (IsConcreteSym(node_) && !IsSpeculativeSym(node_)) {
+    auto v = EvalSym(node_);
+    if (v.ok()) {
+      return RegValue(MakeConstNode(~v.value()), bus);
+    }
+  }
+  auto n = std::make_shared<SymNode>();
+  n->op = SymOp::kNot;
+  n->lhs = node_;
+  return RegValue(std::move(n), bus);
+}
+
+}  // namespace grt

@@ -1,0 +1,114 @@
+// Symbolic-capable register values.
+//
+// The paper's DriverShim represents the values of pending (deferred)
+// register reads as symbols and executes the driver symbolically until a
+// commit resolves them (§4.1, Listing 1). Our instrumentation seam is the
+// type system: every driver register read yields a RegValue that may wrap
+// an unresolved symbol; arithmetic on RegValues builds expression trees
+// (e.g. `reg | quirk_bit` in Listing 1(a)); forcing a RegValue to a
+// concrete u32 — for a branch or any externalization — is the control/data
+// dependency that triggers the backend's commit policy.
+#ifndef GRT_SRC_DRIVER_REGVALUE_H_
+#define GRT_SRC_DRIVER_REGVALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+
+namespace grt {
+
+class GpuBus;
+
+enum class SymOp : uint8_t {
+  kConst,
+  kRead,  // a register read; resolved later with the device's value
+  kAnd,
+  kOr,
+  kXor,
+  kAdd,
+  kShl,
+  kShr,
+  kNot,
+};
+
+struct SymNode;
+using SymNodePtr = std::shared_ptr<SymNode>;
+
+struct SymNode {
+  SymOp op = SymOp::kConst;
+  uint32_t value = 0;       // kConst payload, or the resolved read value
+  uint64_t read_id = 0;     // kRead: unique id assigned by the backend
+  uint32_t reg_offset = 0;  // kRead: which register (for diagnostics)
+  bool resolved = false;    // kRead: value is valid
+  bool speculative = false; // kRead: value came from prediction (§4.2 taint)
+  SymNodePtr lhs, rhs;
+};
+
+SymNodePtr MakeConstNode(uint32_t v);
+SymNodePtr MakeReadNode(uint64_t read_id, uint32_t reg_offset);
+SymNodePtr MakeOpNode(SymOp op, SymNodePtr lhs, SymNodePtr rhs);
+
+// Evaluates the tree; kFailedPrecondition if any read is unresolved.
+Result<uint32_t> EvalSym(const SymNodePtr& node);
+
+// True if the tree contains no unresolved reads.
+bool IsConcreteSym(const SymNodePtr& node);
+
+// True if any read in the tree carries a speculative (predicted) value.
+bool IsSpeculativeSym(const SymNodePtr& node);
+
+// Debug rendering, e.g. "(S3 | 0x10)".
+std::string SymToString(const SymNodePtr& node);
+
+// A register value as seen by driver code. Cheap to copy (shared tree).
+class RegValue {
+ public:
+  RegValue() : node_(MakeConstNode(0)) {}
+  explicit RegValue(uint32_t v) : node_(MakeConstNode(v)) {}
+  RegValue(SymNodePtr node, GpuBus* bus)
+      : node_(std::move(node)), bus_(bus) {}
+
+  // Forces concretization. Under a deferring backend this commits the
+  // pending register-access queue (a control/data dependency); under the
+  // direct backend it is free.
+  uint32_t Get() const;
+
+  // Expression building. Concrete operands fold eagerly.
+  RegValue operator|(const RegValue& rhs) const { return Bin(SymOp::kOr, rhs); }
+  RegValue operator&(const RegValue& rhs) const {
+    return Bin(SymOp::kAnd, rhs);
+  }
+  RegValue operator^(const RegValue& rhs) const {
+    return Bin(SymOp::kXor, rhs);
+  }
+  RegValue operator+(const RegValue& rhs) const {
+    return Bin(SymOp::kAdd, rhs);
+  }
+  RegValue operator|(uint32_t rhs) const { return *this | RegValue(rhs); }
+  RegValue operator&(uint32_t rhs) const { return *this & RegValue(rhs); }
+  RegValue operator^(uint32_t rhs) const { return *this ^ RegValue(rhs); }
+  RegValue operator+(uint32_t rhs) const { return *this + RegValue(rhs); }
+  RegValue operator<<(uint32_t sh) const {
+    return Bin(SymOp::kShl, RegValue(sh));
+  }
+  RegValue operator>>(uint32_t sh) const {
+    return Bin(SymOp::kShr, RegValue(sh));
+  }
+  RegValue operator~() const;
+
+  bool IsConcrete() const { return IsConcreteSym(node_); }
+  const SymNodePtr& node() const { return node_; }
+  GpuBus* bus() const { return bus_; }
+
+ private:
+  RegValue Bin(SymOp op, const RegValue& rhs) const;
+
+  SymNodePtr node_;
+  GpuBus* bus_ = nullptr;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_DRIVER_REGVALUE_H_

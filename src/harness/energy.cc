@@ -1,0 +1,31 @@
+#include "src/harness/energy.h"
+
+#include <algorithm>
+
+namespace grt {
+
+EnergyReport RecordEnergy(const PowerModel& model, Duration span,
+                          Duration airtime, Duration gpu_busy) {
+  EnergyReport r;
+  double span_s = ToSeconds(span);
+  double air_s = std::min(ToSeconds(airtime), span_s);
+  double gpu_s = std::min(ToSeconds(gpu_busy), span_s);
+  r.base_j = model.soc_base_w * span_s;
+  r.radio_j = model.radio_active_w * air_s +
+              model.radio_idle_w * (span_s - air_s);
+  r.gpu_j = model.gpu_active_w * gpu_s;
+  return r;
+}
+
+EnergyReport ReplayEnergy(const PowerModel& model, Duration span,
+                          Duration gpu_busy) {
+  EnergyReport r;
+  double span_s = ToSeconds(span);
+  double gpu_s = std::min(ToSeconds(gpu_busy), span_s);
+  r.base_j = model.soc_base_w * span_s;
+  r.gpu_j = model.gpu_active_w * gpu_s;
+  r.cpu_j = model.cpu_active_w * (span_s - gpu_s);
+  return r;
+}
+
+}  // namespace grt

@@ -1,0 +1,44 @@
+// Client-device energy model (§7.4, Figure 9).
+//
+// The paper measures whole-device energy with a multimeter on a Hikey960
+// (no display, WL1835 WiFi). We integrate a power-state model over the
+// client's virtual timeline: SoC base power for the session span, radio
+// power for transmit/receive airtime plus idle-listening while a session
+// is open, and GPU power for the time the GPU model reports busy.
+#ifndef GRT_SRC_HARNESS_ENERGY_H_
+#define GRT_SRC_HARNESS_ENERGY_H_
+
+#include "src/common/clock.h"
+
+namespace grt {
+
+struct PowerModel {
+  double soc_base_w = 0.30;      // idle SoC floor
+  double radio_active_w = 0.85;  // radio actively moving bits
+  double radio_idle_w = 0.15;    // radio connected, session open
+  double gpu_active_w = 1.80;    // GPU executing jobs
+  double cpu_active_w = 0.45;    // TEE/replayer CPU work
+};
+
+struct EnergyReport {
+  double base_j = 0.0;
+  double radio_j = 0.0;
+  double gpu_j = 0.0;
+  double cpu_j = 0.0;
+
+  double total_j() const { return base_j + radio_j + gpu_j + cpu_j; }
+};
+
+// Energy of a recording session: `span` is the client-observed session
+// length, `airtime` the client's radio-active time, `gpu_busy` the GPU's
+// busy time during the session.
+EnergyReport RecordEnergy(const PowerModel& model, Duration span,
+                          Duration airtime, Duration gpu_busy);
+
+// Energy of a replay (no radio involved).
+EnergyReport ReplayEnergy(const PowerModel& model, Duration span,
+                          Duration gpu_busy);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_ENERGY_H_

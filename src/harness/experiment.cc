@@ -1,0 +1,137 @@
+#include "src/harness/experiment.h"
+
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+
+std::vector<std::string> AllVariantNames() {
+  return {"Naive", "OursM", "OursMD", "OursMDS"};
+}
+
+Result<ShimConfig> VariantConfig(const std::string& name) {
+  if (name == "Naive") {
+    return ShimConfig::Naive();
+  }
+  if (name == "OursM") {
+    return ShimConfig::OursM();
+  }
+  if (name == "OursMD") {
+    return ShimConfig::OursMD();
+  }
+  if (name == "OursMDS") {
+    return ShimConfig::OursMDS();
+  }
+  return InvalidArgument("unknown variant '" + name + "'");
+}
+
+Result<RecordMeasurement> RunRecordVariant(ClientDevice* device,
+                                           const NetworkDef& net,
+                                           const std::string& variant,
+                                           NetworkConditions conditions,
+                                           SpeculationHistory* history,
+                                           int warm_runs) {
+  GRT_ASSIGN_OR_RETURN(ShimConfig shim_config, VariantConfig(variant));
+  CloudService service;
+
+  for (int i = 0; i < warm_runs; ++i) {
+    RecordSessionConfig config;
+    config.network = conditions;
+    config.shim = shim_config;
+    config.session_nonce_seed = 1000 + i;
+    RecordSession warm(&service, device, config, history);
+    GRT_RETURN_IF_ERROR(warm.Connect());
+    GRT_ASSIGN_OR_RETURN(RecordOutcome unused, warm.RecordWorkload(net, i));
+    (void)unused;
+    GRT_RETURN_IF_ERROR(warm.shim().last_error());
+  }
+
+  RecordSessionConfig config;
+  config.network = conditions;
+  config.shim = shim_config;
+  config.session_nonce_seed = 7;
+  RecordSession session(&service, device, config, history);
+  GRT_RETURN_IF_ERROR(session.Connect());
+  Duration gpu_busy_before = device->gpu().busy_time();
+  GRT_ASSIGN_OR_RETURN(RecordOutcome outcome,
+                       session.RecordWorkload(net, /*nonce=*/42));
+  GRT_RETURN_IF_ERROR(session.shim().last_error());
+
+  RecordMeasurement m;
+  m.variant = variant;
+  m.workload = net.name;
+  m.network = conditions.name;
+  m.gpu_jobs = outcome.gpu_jobs;
+  m.client_delay = outcome.client_delay;
+  m.blocking_rtts = session.channel().stats().blocking_rtts;
+  m.total_bytes = session.channel().stats().total_bytes();
+  m.sync_wire_bytes = session.shim().sync_stats().wire_bytes +
+                      session.gpushim().sync_stats().wire_bytes;
+  m.sync_raw_bytes = session.shim().sync_stats().raw_bytes +
+                     session.gpushim().sync_stats().raw_bytes;
+  m.client_airtime = session.channel().stats().airtime[kClientEnd];
+  m.gpu_busy = device->gpu().busy_time() - gpu_busy_before;
+  m.shim = session.shim().stats();
+  m.signed_recording = std::move(outcome.signed_recording);
+  m.session_key = session.key()->key();
+  return m;
+}
+
+Result<ReplayMeasurement> MeasureNativeVsReplay(SkuId sku,
+                                                const NetworkDef& net,
+                                                uint64_t param_seed,
+                                                uint64_t input_seed) {
+  ReplayMeasurement result;
+  result.workload = net.name;
+  std::vector<float> input = GenerateInput(net, input_seed);
+  GRT_ASSIGN_OR_RETURN(std::vector<float> reference,
+                       RunReference(net, input, param_seed));
+
+  // --- Native: full GPU stack in the normal world, real parameters. ---
+  {
+    ClientDevice device(sku, /*nondet_seed=*/5);
+    NativeStack stack(&device);
+    GRT_RETURN_IF_ERROR(stack.BringUp());
+    NnRunner runner(net, &stack.runtime());
+    GRT_RETURN_IF_ERROR(runner.Setup(/*zero_params=*/false, param_seed));
+    GRT_RETURN_IF_ERROR(runner.SetInput(input));
+    TimePoint start = device.timeline().now();
+    GRT_ASSIGN_OR_RETURN(std::vector<float> out, runner.Run());
+    result.native_delay = device.timeline().now() - start;
+    if (MaxAbsDiff(out, reference) > 1e-4f) {
+      return Internal("native output diverges from reference");
+    }
+  }
+
+  // --- Replay: record remotely once, then replay in the TEE. ---
+  {
+    ClientDevice device(sku, /*nondet_seed=*/5);
+    SpeculationHistory history;
+    GRT_ASSIGN_OR_RETURN(
+        RecordMeasurement rec,
+        RunRecordVariant(&device, net, "OursMDS", WifiConditions(), &history,
+                         /*warm_runs=*/1));
+
+    Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                      &device.timeline());
+    GRT_RETURN_IF_ERROR(
+        replayer.LoadSigned(rec.signed_recording, rec.session_key));
+    for (const TensorDef& t : net.tensors) {
+      if (t.kind == TensorKind::kParam) {
+        GRT_RETURN_IF_ERROR(replayer.StageTensor(
+            t.name, GenerateParams(net.name, t, param_seed)));
+      }
+    }
+    GRT_RETURN_IF_ERROR(replayer.StageTensor("input", input));
+    Duration busy_before = device.gpu().busy_time();
+    GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+    result.replay_delay = report.delay;
+    result.replay_gpu_busy = device.gpu().busy_time() - busy_before;
+    GRT_ASSIGN_OR_RETURN(std::vector<float> out,
+                         replayer.ReadTensor(net.output_tensor));
+    result.outputs_match_reference = MaxAbsDiff(out, reference) <= 1e-4f;
+  }
+  return result;
+}
+
+}  // namespace grt

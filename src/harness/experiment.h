@@ -1,0 +1,66 @@
+// Experiment helpers shared by the benches: run a record session for a
+// given variant / workload / network condition and collect every statistic
+// the paper's tables and figures report.
+#ifndef GRT_SRC_HARNESS_EXPERIMENT_H_
+#define GRT_SRC_HARNESS_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cloud/session.h"
+#include "src/harness/rig.h"
+#include "src/ml/network.h"
+#include "src/net/channel.h"
+#include "src/shim/drivershim.h"
+
+namespace grt {
+
+// The paper's recorder variants, in presentation order.
+std::vector<std::string> AllVariantNames();
+Result<ShimConfig> VariantConfig(const std::string& name);
+
+struct RecordMeasurement {
+  std::string variant;
+  std::string workload;
+  std::string network;
+  size_t gpu_jobs = 0;
+  Duration client_delay = 0;  // end-to-end recording delay (Fig 7)
+  uint64_t blocking_rtts = 0; // Table 1
+  uint64_t total_bytes = 0;   // network traffic
+  uint64_t sync_wire_bytes = 0;  // memory synchronization traffic (Table 1)
+  uint64_t sync_raw_bytes = 0;
+  Duration client_airtime = 0;   // for the energy model (Fig 9)
+  Duration gpu_busy = 0;
+  ShimStats shim;
+  Bytes signed_recording;
+  Bytes session_key;
+};
+
+// Records `net` once on a fresh session. `history` carries speculation
+// state across calls (§7.3 retains history across benchmarks); pass
+// `warm_runs` > 0 to pre-run the same workload first (discarded).
+Result<RecordMeasurement> RunRecordVariant(ClientDevice* device,
+                                           const NetworkDef& net,
+                                           const std::string& variant,
+                                           NetworkConditions conditions,
+                                           SpeculationHistory* history,
+                                           int warm_runs = 0);
+
+struct ReplayMeasurement {
+  std::string workload;
+  Duration native_delay = 0;   // full-stack execution in the normal world
+  Duration replay_delay = 0;   // TEE replay of the recording
+  Duration replay_gpu_busy = 0;
+  bool outputs_match_reference = false;
+};
+
+// Table 2: native (full stack, normal world) vs replay (TEE, no stack).
+// Uses a recording produced by `variant` over `conditions`.
+Result<ReplayMeasurement> MeasureNativeVsReplay(SkuId sku,
+                                                const NetworkDef& net,
+                                                uint64_t param_seed,
+                                                uint64_t input_seed);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,32 @@
+#include "src/harness/rig.h"
+
+namespace grt {
+
+ClientDevice::ClientDevice(SkuId sku_id, uint64_t nondet_seed)
+    : timeline_("client"), mem_(kCarveoutBase, kCarveoutSize) {
+  auto sku = FindSku(sku_id);
+  sku_ = sku.value_or(AllSkus().front());
+  gpu_ = std::make_unique<MaliGpu>(sku_, &mem_, &timeline_, nondet_seed);
+  tzasc_ = std::make_unique<Tzasc>(&mem_);
+  soc_ = std::make_unique<SocResources>(tzasc_.get());
+  tzasc_->AttachSoc(soc_.get());
+}
+
+NativeStack::NativeStack(ClientDevice* device, World world,
+                         DriverPolicy policy)
+    : device_(device), alloc_(kCarveoutBase, kCarveoutSize) {
+  bus_ = std::make_unique<DirectBus>(&device->gpu(), &device->tzasc(), world,
+                                     &device->timeline());
+  kernel_ = std::make_unique<KernelServices>(bus_.get());
+  driver_ = std::make_unique<KbaseDriver>(kernel_.get(), &device->mem(),
+                                          &alloc_, policy);
+  runtime_ = std::make_unique<GpuRuntime>(driver_.get());
+}
+
+Status NativeStack::BringUp() {
+  DeviceTree dt = BuildGpuDeviceTree(device_->sku());
+  GRT_RETURN_IF_ERROR(driver_->Probe(dt));
+  return driver_->InitHardware();
+}
+
+}  // namespace grt

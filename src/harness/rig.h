@@ -1,0 +1,79 @@
+// Experiment rigs: pre-wired compositions of the simulation's parts.
+//
+//  * ClientDevice — the mobile device: GPU carveout memory, the physical
+//    GPU, TZASC, TEE timeline. (The paper's Hikey960.)
+//  * NativeStack  — a full GPU stack running locally on the client's
+//    normal world over DirectBus (the paper's "Native" baseline and the
+//    developer-machine recording environment).
+//
+// The GR-T cloud composition lives in src/cloud (it needs the shim).
+#ifndef GRT_SRC_HARNESS_RIG_H_
+#define GRT_SRC_HARNESS_RIG_H_
+
+#include <memory>
+
+#include "src/driver/direct_bus.h"
+#include "src/driver/kbase.h"
+#include "src/driver/kernel.h"
+#include "src/hw/gpu.h"
+#include "src/mem/phys_mem.h"
+#include "src/ml/runner.h"
+#include "src/runtime/runtime.h"
+#include "src/sku/devicetree.h"
+#include "src/tee/soc.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+
+// Physical layout shared by every rig: the GPU carveout both parties
+// reserve (§6: statically reserved GPU memory region).
+constexpr uint64_t kCarveoutBase = 0x80000000ull;
+constexpr uint64_t kCarveoutSize = 96ull * 1024 * 1024;
+
+class ClientDevice {
+ public:
+  explicit ClientDevice(SkuId sku_id, uint64_t nondet_seed = 1);
+
+  const GpuSku& sku() const { return sku_; }
+  PhysicalMemory& mem() { return mem_; }
+  MaliGpu& gpu() { return *gpu_; }
+  Tzasc& tzasc() { return *tzasc_; }
+  SocResources& soc() { return *soc_; }
+  Timeline& timeline() { return timeline_; }
+
+ private:
+  GpuSku sku_;
+  Timeline timeline_;
+  PhysicalMemory mem_;
+  std::unique_ptr<MaliGpu> gpu_;
+  std::unique_ptr<Tzasc> tzasc_;
+  std::unique_ptr<SocResources> soc_;
+};
+
+// A complete local GPU stack (driver + runtime) bound to a ClientDevice.
+class NativeStack {
+ public:
+  NativeStack(ClientDevice* device, World world = World::kNormal,
+              DriverPolicy policy = DriverPolicy{});
+
+  // Probe + InitHardware against the device's devicetree.
+  Status BringUp();
+
+  DirectBus& bus() { return *bus_; }
+  KernelServices& kernel() { return *kernel_; }
+  KbaseDriver& driver() { return *driver_; }
+  GpuRuntime& runtime() { return *runtime_; }
+  PageAllocator& allocator() { return alloc_; }
+
+ private:
+  ClientDevice* device_;
+  PageAllocator alloc_;
+  std::unique_ptr<DirectBus> bus_;
+  std::unique_ptr<KernelServices> kernel_;
+  std::unique_ptr<KbaseDriver> driver_;
+  std::unique_ptr<GpuRuntime> runtime_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_RIG_H_

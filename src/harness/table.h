@@ -1,0 +1,36 @@
+// Minimal aligned-table printer for bench output (paper-style tables).
+#ifndef GRT_SRC_HARNESS_TABLE_H_
+#define GRT_SRC_HARNESS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace grt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders with column alignment and a separator under the header.
+  std::string Render() const;
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers used across bench tables.
+std::string FormatSeconds(double s);
+std::string FormatMs(double ms);
+std::string FormatMb(double bytes);
+std::string FormatCount(uint64_t n);
+std::string FormatPercent(double fraction);
+std::string FormatJoules(double j);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_TABLE_H_

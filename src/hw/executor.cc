@@ -1,0 +1,419 @@
+#include "src/hw/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace grt {
+
+Status GpuDma::Read(uint64_t va, void* out, uint64_t len, bool as_code) {
+  auto* dst = static_cast<uint8_t*>(out);
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur_va = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur_va & kPageMask));
+    auto t = walker_->Translate(root_pa_, cur_va, tlb_, &fault_);
+    if (!t.ok()) {
+      return t.status();
+    }
+    bool permitted = as_code ? t.value().flags.execute : t.value().flags.read;
+    if (!permitted) {
+      fault_.status = kFaultPermission;
+      fault_.address = cur_va;
+      return DeviceFault("MMU permission fault (read)");
+    }
+    GRT_RETURN_IF_ERROR(
+        mem_->Read(t.value().pa, dst + done, chunk, MemAccessOrigin::kGpu));
+    done += chunk;
+  }
+  bytes_moved_ += len;
+  return OkStatus();
+}
+
+Status GpuDma::Write(uint64_t va, const void* in, uint64_t len) {
+  const auto* src = static_cast<const uint8_t*>(in);
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur_va = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur_va & kPageMask));
+    auto t = walker_->Translate(root_pa_, cur_va, tlb_, &fault_);
+    if (!t.ok()) {
+      return t.status();
+    }
+    if (!t.value().flags.write) {
+      fault_.status = kFaultPermission;
+      fault_.address = cur_va;
+      return DeviceFault("MMU permission fault (write)");
+    }
+    GRT_RETURN_IF_ERROR(
+        mem_->Write(t.value().pa, src + done, chunk, MemAccessOrigin::kGpu));
+    done += chunk;
+  }
+  bytes_moved_ += len;
+  return OkStatus();
+}
+
+Result<Bytes> GpuDma::ReadBytes(uint64_t va, uint64_t len, bool as_code) {
+  Bytes out(len);
+  GRT_RETURN_IF_ERROR(Read(va, out.data(), len, as_code));
+  return out;
+}
+
+namespace {
+
+// Reads a float tensor from GPU memory.
+Status ReadF32(GpuDma* dma, uint64_t va, std::vector<float>* out, size_t n) {
+  out->resize(n);
+  return dma->Read(va, out->data(), n * sizeof(float));
+}
+
+Status WriteF32(GpuDma* dma, uint64_t va, const std::vector<float>& v) {
+  return dma->Write(va, v.data(), v.size() * sizeof(float));
+}
+
+}  // namespace
+
+Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
+                                      uint64_t* macs) {
+  switch (d.op) {
+    case GpuOp::kNop:
+      return OkStatus();
+
+    case GpuOp::kGemm: {
+      uint32_t m = d.params[0], k = d.params[1], n = d.params[2];
+      if (m == 0 || k == 0 || n == 0) {
+        return DeviceFault("GEMM with zero dimension");
+      }
+      std::vector<float> a, b, c(static_cast<size_t>(m) * n, 0.0f);
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &a,
+                                  static_cast<size_t>(m) * k));
+      GRT_RETURN_IF_ERROR(
+          ReadF32(dma, d.aux_va, &b, static_cast<size_t>(k) * n));
+      for (uint32_t i = 0; i < m; ++i) {
+        for (uint32_t kk = 0; kk < k; ++kk) {
+          float av = a[static_cast<size_t>(i) * k + kk];
+          if (av == 0.0f) {
+            continue;
+          }
+          for (uint32_t j = 0; j < n; ++j) {
+            c[static_cast<size_t>(i) * n + j] +=
+                av * b[static_cast<size_t>(kk) * n + j];
+          }
+        }
+      }
+      if (d.flags & kJobFlagReluFused) {
+        for (float& v : c) {
+          v = std::max(0.0f, v);
+        }
+      }
+      *macs += static_cast<uint64_t>(m) * k * n;
+      return WriteF32(dma, d.output_va, c);
+    }
+
+    case GpuOp::kIm2Col: {
+      uint32_t cin = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t kh = d.params[3], kw = d.params[4];
+      uint32_t stride = d.params[5], pad = d.params[6];
+      if (stride == 0) {
+        return DeviceFault("im2col stride 0");
+      }
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      std::vector<float> in;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &in,
+                                  static_cast<size_t>(cin) * h * w));
+      std::vector<float> out(static_cast<size_t>(cin) * kh * kw * oh * ow,
+                             0.0f);
+      size_t col = static_cast<size_t>(oh) * ow;
+      for (uint32_t c = 0; c < cin; ++c) {
+        for (uint32_t ki = 0; ki < kh; ++ki) {
+          for (uint32_t kj = 0; kj < kw; ++kj) {
+            size_t row = (static_cast<size_t>(c) * kh + ki) * kw + kj;
+            for (uint32_t oi = 0; oi < oh; ++oi) {
+              for (uint32_t oj = 0; oj < ow; ++oj) {
+                int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+                int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+                float v = 0.0f;
+                if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                  v = in[(static_cast<size_t>(c) * h + ii) * w + jj];
+                }
+                out[row * col + static_cast<size_t>(oi) * ow + oj] = v;
+              }
+            }
+          }
+        }
+      }
+      *macs += out.size();  // data movement cost proxy
+      return WriteF32(dma, d.output_va, out);
+    }
+
+    case GpuOp::kConv2d: {
+      uint32_t cin = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t cout = d.params[3], kh = d.params[4], kw = d.params[5];
+      uint32_t stride = d.params[6], pad = d.params[7];
+      if (stride == 0) {
+        return DeviceFault("conv stride 0");
+      }
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      std::vector<float> in, wts;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &in,
+                                  static_cast<size_t>(cin) * h * w));
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.aux_va, &wts,
+                                  static_cast<size_t>(cout) * cin * kh * kw));
+      std::vector<float> out(static_cast<size_t>(cout) * oh * ow, 0.0f);
+      for (uint32_t co = 0; co < cout; ++co) {
+        for (uint32_t oi = 0; oi < oh; ++oi) {
+          for (uint32_t oj = 0; oj < ow; ++oj) {
+            float acc = 0.0f;
+            for (uint32_t ci = 0; ci < cin; ++ci) {
+              for (uint32_t ki = 0; ki < kh; ++ki) {
+                for (uint32_t kj = 0; kj < kw; ++kj) {
+                  int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+                  int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+                  if (ii < 0 || ii >= h || jj < 0 || jj >= w) {
+                    continue;
+                  }
+                  acc += in[(static_cast<size_t>(ci) * h + ii) * w + jj] *
+                         wts[((static_cast<size_t>(co) * cin + ci) * kh + ki) *
+                                 kw +
+                             kj];
+                }
+              }
+            }
+            out[(static_cast<size_t>(co) * oh + oi) * ow + oj] = acc;
+          }
+        }
+      }
+      if (d.flags & kJobFlagReluFused) {
+        for (float& v : out) {
+          v = std::max(0.0f, v);
+        }
+      }
+      *macs += static_cast<uint64_t>(cout) * oh * ow * cin * kh * kw;
+      return WriteF32(dma, d.output_va, out);
+    }
+
+    case GpuOp::kBiasRelu: {
+      uint32_t count = d.params[0], bias_len = d.params[1];
+      std::vector<float> x, b;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &x, count));
+      if (bias_len > 0) {
+        GRT_RETURN_IF_ERROR(ReadF32(dma, d.aux_va, &b, bias_len));
+      }
+      // Bias is per-channel: count = bias_len * spatial; channel-major.
+      uint32_t spatial = bias_len > 0 ? count / bias_len : count;
+      for (uint32_t i = 0; i < count; ++i) {
+        float v = x[i];
+        if (bias_len > 0) {
+          v += b[(i / spatial) % bias_len];
+        }
+        if (d.flags & kJobFlagReluFused) {
+          v = std::max(0.0f, v);
+        }
+        x[i] = v;
+      }
+      *macs += count;
+      return WriteF32(dma, d.output_va, x);
+    }
+
+    case GpuOp::kPoolMax:
+    case GpuOp::kPoolAvg: {
+      uint32_t c = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t win = d.params[3], stride = d.params[4];
+      if (stride == 0 || win == 0) {
+        return DeviceFault("pool with zero window/stride");
+      }
+      uint32_t oh = (h - win) / stride + 1;
+      uint32_t ow = (w - win) / stride + 1;
+      std::vector<float> in;
+      GRT_RETURN_IF_ERROR(
+          ReadF32(dma, d.input_va[0], &in, static_cast<size_t>(c) * h * w));
+      std::vector<float> out(static_cast<size_t>(c) * oh * ow, 0.0f);
+      for (uint32_t ci = 0; ci < c; ++ci) {
+        for (uint32_t oi = 0; oi < oh; ++oi) {
+          for (uint32_t oj = 0; oj < ow; ++oj) {
+            float acc = d.op == GpuOp::kPoolMax
+                            ? -std::numeric_limits<float>::infinity()
+                            : 0.0f;
+            for (uint32_t ki = 0; ki < win; ++ki) {
+              for (uint32_t kj = 0; kj < win; ++kj) {
+                float v = in[(static_cast<size_t>(ci) * h + oi * stride + ki) *
+                                 w +
+                             oj * stride + kj];
+                acc = d.op == GpuOp::kPoolMax ? std::max(acc, v) : acc + v;
+              }
+            }
+            if (d.op == GpuOp::kPoolAvg) {
+              acc /= static_cast<float>(win * win);
+            }
+            out[(static_cast<size_t>(ci) * oh + oi) * ow + oj] = acc;
+          }
+        }
+      }
+      *macs += static_cast<uint64_t>(c) * oh * ow * win * win;
+      return WriteF32(dma, d.output_va, out);
+    }
+
+    case GpuOp::kEltwiseAdd: {
+      uint32_t count = d.params[0];
+      std::vector<float> a, b;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &a, count));
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[1], &b, count));
+      for (uint32_t i = 0; i < count; ++i) {
+        a[i] += b[i];
+      }
+      if (d.flags & kJobFlagReluFused) {
+        for (float& v : a) {
+          v = std::max(0.0f, v);
+        }
+      }
+      *macs += count;
+      return WriteF32(dma, d.output_va, a);
+    }
+
+    case GpuOp::kSoftmax: {
+      uint32_t count = d.params[0];
+      std::vector<float> x;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &x, count));
+      float mx = -std::numeric_limits<float>::infinity();
+      for (float v : x) {
+        mx = std::max(mx, v);
+      }
+      double sum = 0.0;
+      for (float& v : x) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (float& v : x) {
+        v = static_cast<float>(v / sum);
+      }
+      *macs += 4ull * count;
+      return WriteF32(dma, d.output_va, x);
+    }
+
+    case GpuOp::kCopy: {
+      uint32_t count = d.params[0];
+      std::vector<float> x;
+      GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &x, count));
+      *macs += count;
+      return WriteF32(dma, d.output_va, x);
+    }
+
+    case GpuOp::kFill: {
+      uint32_t count = d.params[0];
+      float value;
+      uint32_t bits = d.params[1];
+      std::memcpy(&value, &bits, sizeof(value));
+      std::vector<float> x(count, value);
+      *macs += count;
+      return WriteF32(dma, d.output_va, x);
+    }
+  }
+  return DeviceFault("unknown GPU op");
+}
+
+ExecResult ShaderCoreExecutor::ExecuteChain(uint64_t head_va, uint64_t root_pa,
+                                            GpuTlb* tlb) {
+  ExecResult result;
+  GpuDma dma(&walker_, mem_, tlb, root_pa);
+
+  constexpr Duration kJobOverhead = 18 * kMicrosecond;
+  constexpr int kMaxChainLength = 4096;  // runaway-chain backstop
+
+  uint64_t va = head_va;
+  int chain_len = 0;
+  while (va != 0) {
+    if (++chain_len > kMaxChainLength) {
+      result.status = DeviceFault("job chain too long");
+      return result;
+    }
+    auto raw = dma.ReadBytes(va, kJobDescSize);
+    if (!raw.ok()) {
+      result.status = raw.status();
+      result.mmu_fault = dma.fault();
+      result.is_mmu_fault = true;
+      result.duration += kJobOverhead;
+      return result;
+    }
+    auto desc = JobDescriptor::Deserialize(raw.value());
+    if (!desc.ok()) {
+      result.status = desc.status();
+      result.duration += kJobOverhead;
+      return result;
+    }
+    const JobDescriptor& d = desc.value();
+
+    // Shared-memory layout check: a descriptor produced for another SKU
+    // generation is rejected (§2.4 breakage).
+    if (d.layout_version != sku_.mem_layout_version) {
+      result.status = DeviceFault("job descriptor layout mismatch");
+      result.duration += kJobOverhead;
+      return result;
+    }
+
+    // Shader fetch + validation (requires executable mapping).
+    if (d.shader_va != 0) {
+      auto blob = dma.ReadBytes(d.shader_va, d.shader_len, /*as_code=*/true);
+      if (!blob.ok()) {
+        result.status = blob.status();
+        result.mmu_fault = dma.fault();
+        result.is_mmu_fault = true;
+        result.duration += kJobOverhead;
+        return result;
+      }
+      auto header = ParseShaderBlob(blob.value());
+      if (!header.ok()) {
+        result.status = header.status();
+        result.duration += kJobOverhead;
+        return result;
+      }
+      // The JIT tiled this shader for a specific core count; running it on
+      // different hardware is invalid (the paper: shader core count
+      // "determines how the JIT compiler generates and optimizes shaders").
+      if (header.value().core_count !=
+              static_cast<uint32_t>(sku_.core_count()) ||
+          header.value().layout_version != sku_.mem_layout_version ||
+          header.value().op != d.op) {
+        result.status = DeviceFault("shader/SKU mismatch");
+        result.duration += kJobOverhead;
+        return result;
+      }
+    }
+
+    uint64_t macs = 0;
+    Status s = ExecuteJob(d, &dma, &macs);
+    if (!s.ok()) {
+      result.status = s;
+      if (dma.fault().status != 0) {
+        result.mmu_fault = dma.fault();
+        result.is_mmu_fault = true;
+      }
+      result.duration += kJobOverhead;
+      return result;
+    }
+
+    // Cost model: MAC throughput + memory traffic at ~8 GB/s.
+    double clock_hz = static_cast<double>(sku_.clock_mhz) * 1e6;
+    double mac_rate =
+        clock_hz * sku_.macs_per_core_clk * sku_.core_count();
+    Duration compute = static_cast<Duration>(
+        static_cast<double>(macs) / mac_rate * kSecond);
+    result.duration += kJobOverhead + compute;
+    result.total_macs += macs;
+    ++result.jobs_executed;
+
+    va = d.next_job_va;
+  }
+
+  // Memory traffic term, once per chain.
+  constexpr double kMemBytesPerSec = 8e9;
+  result.duration += static_cast<Duration>(
+      static_cast<double>(dma.bytes_moved()) / kMemBytesPerSec * kSecond);
+  return result;
+}
+
+}  // namespace grt

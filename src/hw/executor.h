@@ -1,0 +1,79 @@
+// Shader-core executor: parses job chains from GPU-virtual memory and
+// actually performs the compute (GEMM, convolution lowering, pooling,
+// elementwise ops) so that record/replay correctness is checkable
+// end-to-end against a CPU reference.
+//
+// All memory traffic goes through the MMU walker + TLB with permission
+// enforcement: shader fetches require the execute bit, data reads the read
+// bit, result writes the write bit. Job duration follows a per-SKU cost
+// model (core count × MACs/cycle × clock), so the same workload runs
+// faster on an MP8 than an MP2 — and the JIT's per-SKU tiling is validated
+// by the hardware (core-count mismatch faults the job).
+#ifndef GRT_SRC_HW_EXECUTOR_H_
+#define GRT_SRC_HW_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/hw/job_format.h"
+#include "src/hw/mmu.h"
+#include "src/mem/phys_mem.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+// DMA engine view of GPU memory: VA-addressed, permission-checked.
+class GpuDma {
+ public:
+  GpuDma(const MmuWalker* walker, PhysicalMemory* mem, GpuTlb* tlb,
+         uint64_t root_pa)
+      : walker_(walker), mem_(mem), tlb_(tlb), root_pa_(root_pa) {}
+
+  Status Read(uint64_t va, void* out, uint64_t len, bool as_code = false);
+  Status Write(uint64_t va, const void* in, uint64_t len);
+
+  Result<Bytes> ReadBytes(uint64_t va, uint64_t len, bool as_code = false);
+
+  const MmuFault& fault() const { return fault_; }
+  uint64_t bytes_moved() const { return bytes_moved_; }
+
+ private:
+  const MmuWalker* walker_;
+  PhysicalMemory* mem_;
+  GpuTlb* tlb_;
+  uint64_t root_pa_;
+  MmuFault fault_;
+  uint64_t bytes_moved_ = 0;
+};
+
+struct ExecResult {
+  Status status = OkStatus();   // kDeviceFault on job fault
+  Duration duration = 0;        // modeled GPU execution time of the chain
+  MmuFault mmu_fault;           // valid if status is an MMU-origin fault
+  bool is_mmu_fault = false;
+  uint64_t jobs_executed = 0;
+  uint64_t total_macs = 0;
+};
+
+class ShaderCoreExecutor {
+ public:
+  ShaderCoreExecutor(const GpuSku& sku, PhysicalMemory* mem)
+      : sku_(sku), mem_(mem), walker_(sku.pt_format, mem) {}
+
+  // Executes the job chain rooted at head_va under address space root_pa.
+  // Performs the math immediately; the caller schedules IRQ delivery at
+  // now + result.duration.
+  ExecResult ExecuteChain(uint64_t head_va, uint64_t root_pa, GpuTlb* tlb);
+
+ private:
+  Status ExecuteJob(const JobDescriptor& d, GpuDma* dma, uint64_t* macs);
+
+  const GpuSku& sku_;
+  PhysicalMemory* mem_;
+  MmuWalker walker_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HW_EXECUTOR_H_

@@ -1,0 +1,641 @@
+#include "src/hw/gpu.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace grt {
+
+MaliGpu::MaliGpu(const GpuSku& sku, PhysicalMemory* mem, Timeline* timeline,
+                 uint64_t nondet_seed)
+    : sku_(sku),
+      mem_(mem),
+      timeline_(timeline),
+      executor_(sku_, mem),
+      nondet_(nondet_seed) {
+  shader_.present = sku_.shader_present;
+  tiler_.present = sku_.tiler_present;
+  l2_.present = sku_.l2_present;
+  latest_flush_base_ = nondet_.NextU32() & 0xFFFF;
+}
+
+void MaliGpu::HardReset() {
+  events_.clear();
+  SoftReset();
+  reset_active_ = false;
+  gpu_irq_rawstat_ = 0;
+}
+
+void MaliGpu::SoftReset() {
+  shader_.ready = shader_.trans = 0;
+  tiler_.ready = tiler_.trans = 0;
+  l2_.ready = l2_.trans = 0;
+  for (auto& slot : slots_) {
+    slot = JobSlot{};
+  }
+  for (auto& as : as_) {
+    as = AddressSpace{};
+  }
+  job_irq_rawstat_ = job_irq_mask_ = 0;
+  mmu_irq_rawstat_ = mmu_irq_mask_ = 0;
+  gpu_irq_mask_ = 0;
+  shader_config_ = tiler_config_ = l2_mmu_config_ = 0;
+  cache_flush_active_ = false;
+  gpu_fault_status_ = 0;
+  gpu_fault_address_ = 0;
+  tlb_.Flush();
+  // Events scheduled before the reset are void.
+  events_.clear();
+}
+
+void MaliGpu::Schedule(PendingEvent ev) { events_.push_back(std::move(ev)); }
+
+TimePoint MaliGpu::NextEventTime() const {
+  TimePoint best = kNoEvent;
+  for (const auto& ev : events_) {
+    best = std::min(best, ev.time);
+  }
+  return best;
+}
+
+void MaliGpu::Settle() {
+  TimePoint now = timeline_->now();
+  // Apply events in time order; applying one never schedules another that
+  // is already due (all latencies are positive), but sort for determinism.
+  std::sort(events_.begin(), events_.end(),
+            [](const PendingEvent& a, const PendingEvent& b) {
+              return a.time < b.time;
+            });
+  std::vector<PendingEvent> remaining;
+  remaining.reserve(events_.size());
+  std::vector<PendingEvent> due;
+  for (auto& ev : events_) {
+    if (ev.time <= now) {
+      due.push_back(std::move(ev));
+    } else {
+      remaining.push_back(std::move(ev));
+    }
+  }
+  events_ = std::move(remaining);
+  for (const auto& ev : due) {
+    Apply(ev);
+  }
+}
+
+MaliGpu::PowerDomain* MaliGpu::DomainByIndex(int idx) {
+  switch (idx) {
+    case 0:
+      return &shader_;
+    case 1:
+      return &tiler_;
+    case 2:
+      return &l2_;
+    default:
+      return nullptr;
+  }
+}
+
+void MaliGpu::Apply(const PendingEvent& ev) {
+  switch (ev.kind) {
+    case EventKind::kResetDone:
+      reset_active_ = false;
+      gpu_irq_rawstat_ |= kGpuIrqResetCompleted;
+      break;
+
+    case EventKind::kPowerOnDone: {
+      PowerDomain* d = DomainByIndex(ev.index);
+      d->trans &= ~ev.mask;
+      d->ready |= ev.mask;
+      gpu_irq_rawstat_ |= kGpuIrqPowerChangedAll;
+      break;
+    }
+
+    case EventKind::kPowerOffDone: {
+      PowerDomain* d = DomainByIndex(ev.index);
+      d->trans &= ~ev.mask;
+      d->ready &= ~ev.mask;
+      gpu_irq_rawstat_ |= kGpuIrqPowerChangedAll;
+      break;
+    }
+
+    case EventKind::kCacheFlushDone:
+      cache_flush_active_ = false;
+      ++flush_count_;
+      gpu_irq_rawstat_ |= kGpuIrqCleanCachesCompleted;
+      break;
+
+    case EventKind::kAsCommandDone:
+      as_[ev.index].command_active = false;
+      break;
+
+    case EventKind::kJobDone: {
+      JobSlot& slot = slots_[ev.index];
+      slot.busy = false;
+      slot.tail = ev.job_tail;
+      if (ev.job_failed) {
+        slot.status = kJsStatusFaulted;
+        job_irq_rawstat_ |= JobIrqFailBit(ev.index);
+        if (ev.job_mmu_fault) {
+          int as_idx = static_cast<int>(slot.config & 0x7);
+          as_[as_idx].fault_status = ev.fault.status;
+          as_[as_idx].fault_address = ev.fault.address;
+          mmu_irq_rawstat_ |= (1u << as_idx);
+        }
+      } else {
+        slot.status = kJsStatusDone;
+        job_irq_rawstat_ |= JobIrqDoneBit(ev.index);
+        ++jobs_completed_;
+      }
+      break;
+    }
+  }
+}
+
+void MaliGpu::HandlePowerWrite(PowerDomain* domain, int domain_idx,
+                               uint64_t bits, bool on) {
+  bits &= domain->present;
+  // An opposite-direction command on cores still transitioning cancels the
+  // in-flight transition (the hardware re-targets the cores).
+  EventKind opposite = on ? EventKind::kPowerOffDone : EventKind::kPowerOnDone;
+  for (auto& ev : events_) {
+    if (ev.kind == opposite && ev.index == domain_idx) {
+      uint64_t cancelled = ev.mask & bits;
+      ev.mask &= ~bits;
+      domain->trans &= ~cancelled;
+    }
+  }
+  events_.erase(std::remove_if(events_.begin(), events_.end(),
+                               [&](const PendingEvent& ev) {
+                                 return (ev.kind == EventKind::kPowerOnDone ||
+                                         ev.kind == EventKind::kPowerOffDone) &&
+                                        ev.index == domain_idx && ev.mask == 0;
+                               }),
+                events_.end());
+
+  uint64_t change = on ? (bits & ~domain->ready) : (bits & domain->ready);
+  if (change == 0) {
+    // Already in (or re-targeted to) the requested state: hardware still
+    // reports a POWER_CHANGED interrupt.
+    gpu_irq_rawstat_ |= kGpuIrqPowerChangedAll;
+    return;
+  }
+  domain->trans |= change;
+  PendingEvent ev;
+  ev.time = timeline_->now() + timings_.power_trans;
+  ev.kind = on ? EventKind::kPowerOnDone : EventKind::kPowerOffDone;
+  ev.index = domain_idx;
+  ev.mask = change;
+  Schedule(ev);
+}
+
+void MaliGpu::HandleGpuCommand(uint32_t command) {
+  switch (command) {
+    case kGpuCommandNop:
+      break;
+    case kGpuCommandSoftReset:
+    case kGpuCommandHardReset: {
+      SoftReset();
+      reset_active_ = true;
+      PendingEvent ev;
+      ev.time = timeline_->now() + timings_.reset;
+      ev.kind = EventKind::kResetDone;
+      Schedule(ev);
+      break;
+    }
+    case kGpuCommandCleanCaches:
+    case kGpuCommandCleanInvCaches: {
+      cache_flush_active_ = true;
+      // The slow-flush erratum: without the SHADER_CONFIG workaround bit,
+      // flushes take ~5x longer on affected SKUs.
+      Duration latency = timings_.cache_flush;
+      if ((sku_.quirks & kQuirkSlowCacheFlush) != 0 &&
+          (shader_config_ & kShaderConfigLsAllowAttrTypes) == 0) {
+        latency = timings_.cache_flush_slow;
+      }
+      PendingEvent ev;
+      ev.time = timeline_->now() + latency;
+      ev.kind = EventKind::kCacheFlushDone;
+      Schedule(ev);
+      break;
+    }
+    default:
+      gpu_fault_status_ = 0xE0;  // unknown command
+      gpu_irq_rawstat_ |= kGpuIrqFault;
+      break;
+  }
+}
+
+void MaliGpu::HandleAsCommand(int as_index, uint32_t command) {
+  AddressSpace& as = as_[as_index];
+  switch (command) {
+    case kAsCommandNop:
+      return;
+    case kAsCommandUpdate:
+      as.active_root = (static_cast<uint64_t>(as.transtab_hi) << 32) |
+                       as.transtab_lo;
+      tlb_.Flush();
+      break;
+    case kAsCommandFlushPt:
+    case kAsCommandFlushMem:
+      tlb_.Flush();
+      break;
+    case kAsCommandLock:
+    case kAsCommandUnlock:
+      break;
+    default:
+      return;
+  }
+  as.command_active = true;
+  PendingEvent ev;
+  ev.time = timeline_->now() + timings_.as_command;
+  ev.kind = EventKind::kAsCommandDone;
+  ev.index = as_index;
+  Schedule(ev);
+}
+
+void MaliGpu::StartJob(int slot_index) {
+  JobSlot& slot = slots_[slot_index];
+  if (slot.busy) {
+    // Starting a busy slot is a programming error; real hardware behaviour
+    // is undefined. We fault the GPU.
+    gpu_fault_status_ = 0xE1;
+    gpu_irq_rawstat_ |= kGpuIrqFault;
+    return;
+  }
+  slot.head = (static_cast<uint64_t>(slot.head_next_hi) << 32) |
+              slot.head_next_lo;
+  slot.affinity = (static_cast<uint64_t>(slot.affinity_next_hi) << 32) |
+                  slot.affinity_next_lo;
+  slot.config = slot.config_next;
+  slot.status = kJsStatusActive;
+  slot.busy = true;
+
+  PendingEvent ev;
+  ev.kind = EventKind::kJobDone;
+  ev.index = slot_index;
+  ev.job_tail = slot.head;
+
+  // Jobs need powered shader cores and L2.
+  if ((slot.affinity & shader_.ready) == 0 || l2_.ready == 0) {
+    ev.time = timeline_->now() + 5 * kMicrosecond;
+    ev.job_failed = true;
+    Schedule(ev);
+    return;
+  }
+
+  int as_index = static_cast<int>(slot.config & 0x7);
+  uint64_t root = as_[as_index].active_root;
+  ExecResult result = executor_.ExecuteChain(slot.head, root, &tlb_);
+  ev.time = timeline_->now() + std::max<Duration>(result.duration,
+                                                  kMicrosecond);
+  busy_time_ += ev.time - timeline_->now();
+  if (!result.status.ok()) {
+    GRT_DLOG << "GPU job fault: " << result.status.ToString() << " va=0x"
+             << std::hex << result.mmu_fault.address << " head=0x"
+             << slot.head << std::dec;
+    ev.job_failed = true;
+    ev.job_mmu_fault = result.is_mmu_fault;
+    ev.fault = result.mmu_fault;
+  }
+  Schedule(ev);
+}
+
+Result<uint32_t> MaliGpu::ReadRegister(uint32_t offset) {
+  if (offset >= kGpuMmioSize || (offset & 3) != 0) {
+    return OutOfRange("bad register offset");
+  }
+  Settle();
+  uint32_t value;
+  if (offset >= kAsBase &&
+      offset < kAsBase + kMaxAddressSpaces * kAsStride) {
+    value = ReadMmu(offset);
+  } else if (offset >= kRegMmuIrqRawstat && offset <= kRegMmuIrqStatus) {
+    value = ReadMmu(offset);
+  } else if (offset >= kRegJobIrqRawstat) {
+    value = ReadJobControl(offset);
+  } else {
+    value = ReadGpuControl(offset);
+  }
+  if (fault_xor_ != 0 && offset == fault_reg_) {
+    value ^= fault_xor_;  // injected malfunction
+  }
+  return value;
+}
+
+uint32_t MaliGpu::ReadGpuControl(uint32_t offset) {
+  switch (offset) {
+    case kRegGpuId: return sku_.gpu_id_reg;
+    case kRegL2Features: return 0x07110206;
+    case kRegCoreFeatures: return sku_.macs_per_core_clk;
+    case kRegTilerFeatures: return 0x00000809;
+    case kRegMemFeatures: return 0x00000001;
+    case kRegMmuFeatures: return sku_.mmu_features;
+    case kRegAsPresent: return (1u << sku_.as_count) - 1;
+    case kRegJsPresent: return (1u << sku_.js_count) - 1;
+    case kRegGpuIrqRawstat: return gpu_irq_rawstat_;
+    case kRegGpuIrqMask: return gpu_irq_mask_;
+    case kRegGpuIrqStatus: return gpu_irq_rawstat_ & gpu_irq_mask_;
+    case kRegGpuStatus:
+      return (cache_flush_active_ ? 1u : 0u) | (reset_active_ ? 2u : 0u);
+    case kRegLatestFlush: return latest_flush_base_ + flush_count_;
+    case kRegGpuFaultStatus: return gpu_fault_status_;
+    case kRegGpuFaultAddressLo:
+      return static_cast<uint32_t>(gpu_fault_address_);
+    case kRegGpuFaultAddressHi:
+      return static_cast<uint32_t>(gpu_fault_address_ >> 32);
+    case kRegPwrKey: return pwr_key_;
+    case kRegPwrOverride0: return pwr_override0_;
+    case kRegPwrOverride1: return pwr_override1_;
+    case kRegCycleCountLo:
+    case kRegCycleCountHi:
+    case kRegTimestampLo:
+    case kRegTimestampHi: {
+      uint64_t cycles = static_cast<uint64_t>(
+          ToSeconds(timeline_->now()) * sku_.clock_mhz * 1e6);
+      bool hi = offset == kRegCycleCountHi || offset == kRegTimestampHi;
+      return hi ? static_cast<uint32_t>(cycles >> 32)
+                : static_cast<uint32_t>(cycles);
+    }
+    case kRegThreadMaxThreads: return sku_.thread_max;
+    case kRegThreadMaxWorkgroup: return 384;
+    case kRegThreadMaxBarrier: return 24;
+    case kRegThreadFeatures: return 0x0A040400;
+    case kRegTextureFeatures0: return sku_.texture_features;
+    case kRegTextureFeatures1: return sku_.texture_features ^ 0x00FF;
+    case kRegTextureFeatures2: return sku_.texture_features ^ 0xFF00;
+    case kRegShaderPresentLo: return static_cast<uint32_t>(shader_.present);
+    case kRegShaderPresentHi:
+      return static_cast<uint32_t>(shader_.present >> 32);
+    case kRegTilerPresentLo: return static_cast<uint32_t>(tiler_.present);
+    case kRegTilerPresentHi:
+      return static_cast<uint32_t>(tiler_.present >> 32);
+    case kRegL2PresentLo: return static_cast<uint32_t>(l2_.present);
+    case kRegL2PresentHi: return static_cast<uint32_t>(l2_.present >> 32);
+    case kRegShaderReadyLo: return static_cast<uint32_t>(shader_.ready);
+    case kRegShaderReadyHi: return static_cast<uint32_t>(shader_.ready >> 32);
+    case kRegTilerReadyLo: return static_cast<uint32_t>(tiler_.ready);
+    case kRegTilerReadyHi: return static_cast<uint32_t>(tiler_.ready >> 32);
+    case kRegL2ReadyLo: return static_cast<uint32_t>(l2_.ready);
+    case kRegL2ReadyHi: return static_cast<uint32_t>(l2_.ready >> 32);
+    case kRegShaderPwrTransLo: return static_cast<uint32_t>(shader_.trans);
+    case kRegShaderPwrTransHi:
+      return static_cast<uint32_t>(shader_.trans >> 32);
+    case kRegTilerPwrTransLo: return static_cast<uint32_t>(tiler_.trans);
+    case kRegTilerPwrTransHi: return static_cast<uint32_t>(tiler_.trans >> 32);
+    case kRegL2PwrTransLo: return static_cast<uint32_t>(l2_.trans);
+    case kRegL2PwrTransHi: return static_cast<uint32_t>(l2_.trans >> 32);
+    case kRegShaderConfig: return shader_config_;
+    case kRegTilerConfig: return tiler_config_;
+    case kRegL2MmuConfig: return l2_mmu_config_;
+    default:
+      break;
+  }
+  if (offset >= kRegJsFeatures0 && offset < kRegJsFeatures0 + 16 * 4) {
+    uint32_t n = (offset - kRegJsFeatures0) / 4;
+    return n < sku_.js_count ? 0x20E : 0;
+  }
+  return 0;  // reserved registers read as zero
+}
+
+uint32_t MaliGpu::ReadJobControl(uint32_t offset) {
+  switch (offset) {
+    case kRegJobIrqRawstat: return job_irq_rawstat_;
+    case kRegJobIrqMask: return job_irq_mask_;
+    case kRegJobIrqStatus: return job_irq_rawstat_ & job_irq_mask_;
+    default:
+      break;
+  }
+  if (offset >= kJobSlotBase &&
+      offset < kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    int slot_idx = (offset - kJobSlotBase) / kJobSlotStride;
+    uint32_t rel = (offset - kJobSlotBase) % kJobSlotStride;
+    const JobSlot& slot = slots_[slot_idx];
+    switch (rel) {
+      case kJsHeadLo: return static_cast<uint32_t>(slot.head);
+      case kJsHeadHi: return static_cast<uint32_t>(slot.head >> 32);
+      case kJsTailLo: return static_cast<uint32_t>(slot.tail);
+      case kJsTailHi: return static_cast<uint32_t>(slot.tail >> 32);
+      case kJsAffinityLo: return static_cast<uint32_t>(slot.affinity);
+      case kJsAffinityHi: return static_cast<uint32_t>(slot.affinity >> 32);
+      case kJsConfig: return slot.config;
+      case kJsStatus: return slot.status;
+      case kJsHeadNextLo: return slot.head_next_lo;
+      case kJsHeadNextHi: return slot.head_next_hi;
+      case kJsAffinityNextLo: return slot.affinity_next_lo;
+      case kJsAffinityNextHi: return slot.affinity_next_hi;
+      case kJsConfigNext: return slot.config_next;
+      default: return 0;
+    }
+  }
+  return 0;
+}
+
+uint32_t MaliGpu::ReadMmu(uint32_t offset) {
+  switch (offset) {
+    case kRegMmuIrqRawstat: return mmu_irq_rawstat_;
+    case kRegMmuIrqMask: return mmu_irq_mask_;
+    case kRegMmuIrqStatus: return mmu_irq_rawstat_ & mmu_irq_mask_;
+    default:
+      break;
+  }
+  if (offset >= kAsBase && offset < kAsBase + kMaxAddressSpaces * kAsStride) {
+    int as_idx = (offset - kAsBase) / kAsStride;
+    uint32_t rel = (offset - kAsBase) % kAsStride;
+    const AddressSpace& as = as_[as_idx];
+    switch (rel) {
+      case kAsTranstabLo: return as.transtab_lo;
+      case kAsTranstabHi: return as.transtab_hi;
+      case kAsMemattrLo: return as.memattr_lo;
+      case kAsMemattrHi: return as.memattr_hi;
+      case kAsStatus: return as.command_active ? kAsStatusActive : 0;
+      case kAsFaultStatus: return as.fault_status;
+      case kAsFaultAddressLo: return static_cast<uint32_t>(as.fault_address);
+      case kAsFaultAddressHi:
+        return static_cast<uint32_t>(as.fault_address >> 32);
+      default: return 0;
+    }
+  }
+  return 0;
+}
+
+Status MaliGpu::WriteRegister(uint32_t offset, uint32_t value) {
+  if (offset >= kGpuMmioSize || (offset & 3) != 0) {
+    return OutOfRange("bad register offset");
+  }
+  Settle();
+
+  // GPU control block.
+  switch (offset) {
+    case kRegGpuIrqClear:
+      gpu_irq_rawstat_ &= ~value;
+      return OkStatus();
+    case kRegGpuIrqMask:
+      gpu_irq_mask_ = value;
+      return OkStatus();
+    case kRegGpuCommand:
+      HandleGpuCommand(value);
+      return OkStatus();
+    case kRegPwrKey:
+      pwr_key_ = value;
+      return OkStatus();
+    case kRegPwrOverride0:
+      pwr_override0_ = value;
+      return OkStatus();
+    case kRegPwrOverride1:
+      pwr_override1_ = value;
+      return OkStatus();
+    case kRegShaderConfig:
+      shader_config_ = value;
+      return OkStatus();
+    case kRegTilerConfig:
+      tiler_config_ = value;
+      return OkStatus();
+    case kRegL2MmuConfig:
+      l2_mmu_config_ = value;
+      return OkStatus();
+    case kRegShaderPwrOnLo:
+      HandlePowerWrite(&shader_, 0, value, true);
+      return OkStatus();
+    case kRegTilerPwrOnLo:
+      HandlePowerWrite(&tiler_, 1, value, true);
+      return OkStatus();
+    case kRegL2PwrOnLo:
+      HandlePowerWrite(&l2_, 2, value, true);
+      return OkStatus();
+    case kRegShaderPwrOffLo:
+      HandlePowerWrite(&shader_, 0, value, false);
+      return OkStatus();
+    case kRegTilerPwrOffLo:
+      HandlePowerWrite(&tiler_, 1, value, false);
+      return OkStatus();
+    case kRegL2PwrOffLo:
+      HandlePowerWrite(&l2_, 2, value, false);
+      return OkStatus();
+    case kRegShaderPwrOnHi:
+    case kRegTilerPwrOnHi:
+    case kRegL2PwrOnHi:
+    case kRegShaderPwrOffHi:
+    case kRegTilerPwrOffHi:
+    case kRegL2PwrOffHi:
+      return OkStatus();  // cores above bit 31 not modeled
+    case kRegJobIrqClear:
+      job_irq_rawstat_ &= ~value;
+      // Acknowledging a slot's done/fail interrupt returns the slot to
+      // idle (the driver has consumed the completion).
+      for (int slot_idx = 0; slot_idx < kMaxJobSlots; ++slot_idx) {
+        if ((value & (JobIrqDoneBit(slot_idx) | JobIrqFailBit(slot_idx))) !=
+                0 &&
+            !slots_[slot_idx].busy) {
+          slots_[slot_idx].status = kJsStatusIdle;
+        }
+      }
+      return OkStatus();
+    case kRegJobIrqMask:
+      job_irq_mask_ = value;
+      return OkStatus();
+    case kRegMmuIrqClear:
+      mmu_irq_rawstat_ &= ~value;
+      return OkStatus();
+    case kRegMmuIrqMask:
+      mmu_irq_mask_ = value;
+      return OkStatus();
+    default:
+      break;
+  }
+
+  // Job slots.
+  if (offset >= kJobSlotBase &&
+      offset < kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    int slot_idx = (offset - kJobSlotBase) / kJobSlotStride;
+    uint32_t rel = (offset - kJobSlotBase) % kJobSlotStride;
+    JobSlot& slot = slots_[slot_idx];
+    switch (rel) {
+      case kJsHeadNextLo:
+        slot.head_next_lo = value;
+        return OkStatus();
+      case kJsHeadNextHi:
+        slot.head_next_hi = value;
+        return OkStatus();
+      case kJsAffinityNextLo:
+        slot.affinity_next_lo = value;
+        return OkStatus();
+      case kJsAffinityNextHi:
+        slot.affinity_next_hi = value;
+        return OkStatus();
+      case kJsConfigNext:
+        slot.config_next = value;
+        return OkStatus();
+      case kJsCommandNext:
+        if (value == kJsCommandStart) {
+          StartJob(slot_idx);
+        }
+        return OkStatus();
+      case kJsCommand:
+        // SOFT_STOP/HARD_STOP: cancel the active job.
+        if ((value == kJsCommandSoftStop || value == kJsCommandHardStop) &&
+            slot.busy) {
+          events_.erase(
+              std::remove_if(events_.begin(), events_.end(),
+                             [&](const PendingEvent& ev) {
+                               return ev.kind == EventKind::kJobDone &&
+                                      ev.index == slot_idx;
+                             }),
+              events_.end());
+          slot.busy = false;
+          slot.status = kJsStatusIdle;
+          job_irq_rawstat_ |= JobIrqFailBit(slot_idx);
+        }
+        return OkStatus();
+      default:
+        return OkStatus();  // writes to RO slot regs are ignored
+    }
+  }
+
+  // MMU / address spaces.
+  if (offset >= kAsBase && offset < kAsBase + kMaxAddressSpaces * kAsStride) {
+    int as_idx = (offset - kAsBase) / kAsStride;
+    uint32_t rel = (offset - kAsBase) % kAsStride;
+    AddressSpace& as = as_[as_idx];
+    switch (rel) {
+      case kAsTranstabLo:
+        as.transtab_lo = value;
+        return OkStatus();
+      case kAsTranstabHi:
+        as.transtab_hi = value;
+        return OkStatus();
+      case kAsMemattrLo:
+        as.memattr_lo = value;
+        return OkStatus();
+      case kAsMemattrHi:
+        as.memattr_hi = value;
+        return OkStatus();
+      case kAsCommand:
+        HandleAsCommand(as_idx, value);
+        return OkStatus();
+      case kAsFaultStatus:
+        as.fault_status = 0;  // write-to-clear
+        return OkStatus();
+      default:
+        return OkStatus();
+    }
+  }
+
+  return OkStatus();  // writes to RO/reserved registers are ignored
+}
+
+bool MaliGpu::JobIrqAsserted() {
+  Settle();
+  return (job_irq_rawstat_ & job_irq_mask_) != 0;
+}
+
+bool MaliGpu::GpuIrqAsserted() {
+  Settle();
+  return (gpu_irq_rawstat_ & gpu_irq_mask_) != 0;
+}
+
+bool MaliGpu::MmuIrqAsserted() {
+  Settle();
+  return (mmu_irq_rawstat_ & mmu_irq_mask_) != 0;
+}
+
+}  // namespace grt

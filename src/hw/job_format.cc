@@ -1,0 +1,120 @@
+#include "src/hw/job_format.h"
+
+#include "src/common/hash.h"
+
+namespace grt {
+
+const char* GpuOpName(GpuOp op) {
+  switch (op) {
+    case GpuOp::kNop: return "NOP";
+    case GpuOp::kGemm: return "GEMM";
+    case GpuOp::kIm2Col: return "IM2COL";
+    case GpuOp::kConv2d: return "CONV2D";
+    case GpuOp::kBiasRelu: return "BIAS_RELU";
+    case GpuOp::kPoolMax: return "POOL_MAX";
+    case GpuOp::kPoolAvg: return "POOL_AVG";
+    case GpuOp::kEltwiseAdd: return "ELTWISE_ADD";
+    case GpuOp::kSoftmax: return "SOFTMAX";
+    case GpuOp::kCopy: return "COPY";
+    case GpuOp::kFill: return "FILL";
+  }
+  return "?";
+}
+
+Bytes JobDescriptor::Serialize() const {
+  ByteWriter w;
+  w.PutU32(magic);
+  w.PutU8(layout_version);
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutU16(flags);
+  w.PutU64(next_job_va);
+  w.PutU64(shader_va);
+  w.PutU32(shader_len);
+  w.PutU64(input_va[0]);
+  w.PutU64(input_va[1]);
+  w.PutU64(aux_va);
+  w.PutU64(output_va);
+  for (uint32_t p : params) {
+    w.PutU32(p);
+  }
+  Bytes out = w.Take();
+  out.resize(kJobDescSize, 0);
+  return out;
+}
+
+Result<JobDescriptor> JobDescriptor::Deserialize(const Bytes& raw) {
+  if (raw.size() < kJobDescSize) {
+    return InvalidArgument("job descriptor truncated");
+  }
+  ByteReader r(raw);
+  JobDescriptor d;
+  GRT_ASSIGN_OR_RETURN(d.magic, r.ReadU32());
+  if (d.magic != kJobDescMagic) {
+    return DeviceFault("bad job descriptor magic");
+  }
+  GRT_ASSIGN_OR_RETURN(d.layout_version, r.ReadU8());
+  GRT_ASSIGN_OR_RETURN(uint8_t op_raw, r.ReadU8());
+  if (op_raw > static_cast<uint8_t>(GpuOp::kFill)) {
+    return DeviceFault("bad job op");
+  }
+  d.op = static_cast<GpuOp>(op_raw);
+  GRT_ASSIGN_OR_RETURN(d.flags, r.ReadU16());
+  GRT_ASSIGN_OR_RETURN(d.next_job_va, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(d.shader_va, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(d.shader_len, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(d.input_va[0], r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(d.input_va[1], r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(d.aux_va, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(d.output_va, r.ReadU64());
+  for (auto& p : d.params) {
+    GRT_ASSIGN_OR_RETURN(p, r.ReadU32());
+  }
+  return d;
+}
+
+Bytes BuildShaderBlob(const ShaderBlobHeader& header) {
+  ByteWriter w;
+  w.PutU32(header.magic);
+  w.PutU8(header.layout_version);
+  w.PutU8(static_cast<uint8_t>(header.op));
+  w.PutU16(header.reserved);
+  w.PutU32(header.core_count);
+  w.PutU32(header.tile_m);
+  w.PutU32(header.tile_n);
+  w.PutU32(header.code_len);
+
+  // Pseudo shader text: deterministic bytes derived from the header so the
+  // blob differs across SKUs (different tiling) like real JIT output.
+  uint64_t h = Fnv1a(&header, sizeof(header));
+  for (uint32_t i = 0; i < header.code_len; ++i) {
+    h = FnvMix(h, i * 0x9E3779B97F4A7C15ull);
+    w.PutU8(static_cast<uint8_t>(h >> 32));
+  }
+  return w.Take();
+}
+
+Result<ShaderBlobHeader> ParseShaderBlob(const Bytes& raw) {
+  ByteReader r(raw);
+  ShaderBlobHeader h;
+  GRT_ASSIGN_OR_RETURN(h.magic, r.ReadU32());
+  if (h.magic != kShaderMagic) {
+    return DeviceFault("bad shader magic");
+  }
+  GRT_ASSIGN_OR_RETURN(h.layout_version, r.ReadU8());
+  GRT_ASSIGN_OR_RETURN(uint8_t op_raw, r.ReadU8());
+  if (op_raw > static_cast<uint8_t>(GpuOp::kFill)) {
+    return DeviceFault("bad shader op");
+  }
+  h.op = static_cast<GpuOp>(op_raw);
+  GRT_ASSIGN_OR_RETURN(h.reserved, r.ReadU16());
+  GRT_ASSIGN_OR_RETURN(h.core_count, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(h.tile_m, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(h.tile_n, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(h.code_len, r.ReadU32());
+  if (h.code_len != r.remaining()) {
+    return DeviceFault("shader blob length mismatch");
+  }
+  return h;
+}
+
+}  // namespace grt

@@ -1,0 +1,100 @@
+// In-memory GPU job descriptor and shader-binary formats.
+//
+// This is the hardware contract between the userspace runtime's "JIT"
+// (which emits descriptors and shader blobs into CPU/GPU shared memory)
+// and the GPU's job executor (which parses them after MMU translation).
+// Both carry the SKU's shared-memory layout version and the shader blob
+// carries the core count it was tiled for — replaying a recording on a
+// mismatched SKU therefore faults, reproducing §2.4's breakage modes.
+#ifndef GRT_SRC_HW_JOB_FORMAT_H_
+#define GRT_SRC_HW_JOB_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+
+namespace grt {
+
+// GPU compute operations implemented by the shader-core executor.
+enum class GpuOp : uint8_t {
+  kNop = 0,
+  kGemm,         // C[m,n] += A[m,k] * B[k,n]
+  kIm2Col,       // convolution lowering
+  kConv2d,       // direct convolution (small kernels)
+  kBiasRelu,     // y = max(0, x + b) (relu optional via flag)
+  kPoolMax,
+  kPoolAvg,
+  kEltwiseAdd,   // residual connections
+  kSoftmax,
+  kCopy,
+  kFill,
+};
+
+const char* GpuOpName(GpuOp op);
+
+constexpr uint32_t kJobDescMagic = 0x4A4F4221;  // "JOB!"
+constexpr uint32_t kShaderMagic = 0x53484452;   // "SHDR"
+constexpr uint32_t kJobDescSize = 128;          // bytes in GPU memory
+
+// Flags in JobDescriptor.flags.
+constexpr uint16_t kJobFlagReluFused = 1u << 0;
+constexpr uint16_t kJobFlagBarrier = 1u << 1;   // wait for previous writes
+
+// A job descriptor as laid out in shared memory. Descriptors form a chain
+// via next_job_va (a job chain is what JS_HEAD points at); the job-queue-
+// length-1 constraint (§5) means a chain is submitted only when the GPU
+// is idle.
+struct JobDescriptor {
+  uint32_t magic = kJobDescMagic;
+  uint8_t layout_version = 0;  // must match the SKU's mem_layout_version
+  GpuOp op = GpuOp::kNop;
+  uint16_t flags = 0;
+
+  uint64_t next_job_va = 0;    // 0 terminates the chain
+
+  uint64_t shader_va = 0;      // shader blob (metastate; mapped executable)
+  uint32_t shader_len = 0;
+
+  uint64_t input_va[2] = {0, 0};
+  uint64_t aux_va = 0;         // bias / pool params / B matrix
+  uint64_t output_va = 0;
+
+  // Op-specific dimensions; meaning depends on `op`:
+  //  kGemm:    p0=M p1=K p2=N
+  //  kConv2d:  p0=Cin p1=H p2=W p3=Cout p4=KH p5=KW p6=stride p7=pad
+  //  kIm2Col:  p0=Cin p1=H p2=W p3=KH p4=KW p5=stride p6=pad
+  //  kPool*:   p0=C p1=H p2=W p3=window p4=stride
+  //  kBiasRelu/kEltwiseAdd/kSoftmax/kCopy/kFill: p0=element count
+  std::array<uint32_t, 8> params = {0, 0, 0, 0, 0, 0, 0, 0};
+
+  // Serialization to/from GPU shared memory (exactly kJobDescSize bytes).
+  Bytes Serialize() const;
+  static Result<JobDescriptor> Deserialize(const Bytes& raw);
+};
+
+// Shader blob header; followed by `code_len` bytes of pseudo-code whose
+// content is a deterministic function of the header (stands in for real
+// compiled shader text; its bytes make shader pages non-trivial to
+// compress, like real code).
+struct ShaderBlobHeader {
+  uint32_t magic = kShaderMagic;
+  uint8_t layout_version = 0;
+  GpuOp op = GpuOp::kNop;
+  uint16_t reserved = 0;
+  uint32_t core_count = 0;   // the JIT tiled for this many cores
+  uint32_t tile_m = 0;       // chosen tile sizes (per-SKU)
+  uint32_t tile_n = 0;
+  uint32_t code_len = 0;
+};
+
+// Builds a complete shader blob (header + pseudo-code body).
+Bytes BuildShaderBlob(const ShaderBlobHeader& header);
+
+// Parses and sanity-checks a shader blob read from GPU memory.
+Result<ShaderBlobHeader> ParseShaderBlob(const Bytes& raw);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HW_JOB_FORMAT_H_

@@ -1,0 +1,208 @@
+#include "src/hw/mmu.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kPaMask = 0x000000FFFFFFF000ull;  // PA bits [39:12]
+
+// Leaf type markers live in bits [1:0], like ARM's descriptor-type field;
+// the two hardware generations use different markers, so a leaf encoded
+// for one format is *invalid* (not merely mis-permissioned) on the other.
+// Format A: type 0b01; READ=bit2, WRITE=bit3, EXECUTE=bit4.
+constexpr uint64_t kATypeLeaf = 0b01;
+constexpr uint64_t kARead = 1ull << 2;
+constexpr uint64_t kAWrite = 1ull << 3;
+constexpr uint64_t kAExec = 1ull << 4;
+
+// Format B: type 0b11; ACCESS=bit2, READ=bit3, WRITE=bit4, EXEC=bit5.
+constexpr uint64_t kBTypeLeaf = 0b11;
+constexpr uint64_t kBAccess = 1ull << 2;
+constexpr uint64_t kBRead = 1ull << 3;
+constexpr uint64_t kBWrite = 1ull << 4;
+constexpr uint64_t kBExec = 1ull << 5;
+
+// Table-pointer marker (bit 63 distinguishes table from leaf entries).
+constexpr uint64_t kTableBit = 1ull << 63;
+
+}  // namespace
+
+uint64_t EncodePte(PageTableFormat format, uint64_t pa, PteFlags flags) {
+  uint64_t pte = pa & kPaMask;
+  if (format == PageTableFormat::kFormatA) {
+    pte |= kATypeLeaf;
+    if (flags.read) pte |= kARead;
+    if (flags.write) pte |= kAWrite;
+    if (flags.execute) pte |= kAExec;
+  } else {
+    pte |= kBTypeLeaf | kBAccess;
+    if (flags.read) pte |= kBRead;
+    if (flags.write) pte |= kBWrite;
+    if (flags.execute) pte |= kBExec;
+  }
+  return pte;
+}
+
+Result<std::pair<uint64_t, PteFlags>> DecodePte(PageTableFormat format,
+                                                uint64_t pte) {
+  PteFlags flags;
+  if (format == PageTableFormat::kFormatA) {
+    if ((pte & 0b11) != kATypeLeaf) {
+      return NotFound("invalid PTE");
+    }
+    flags.read = (pte & kARead) != 0;
+    flags.write = (pte & kAWrite) != 0;
+    flags.execute = (pte & kAExec) != 0;
+  } else {
+    // The type marker differs between generations: a format-A leaf is an
+    // invalid descriptor here — the cross-SKU page-table breakage the
+    // paper warns about (§2.4).
+    if ((pte & 0b11) != kBTypeLeaf || (pte & kBAccess) == 0) {
+      return NotFound("invalid PTE");
+    }
+    flags.read = (pte & kBRead) != 0;
+    flags.write = (pte & kBWrite) != 0;
+    flags.execute = (pte & kBExec) != 0;
+  }
+  return std::make_pair(pte & kPaMask, flags);
+}
+
+uint64_t EncodeTablePte(PageTableFormat format, uint64_t table_pa) {
+  (void)format;
+  // Table pointers share one encoding across generations (bit 63 marks a
+  // table, bit 0 validity); only the *leaf* formats diverged.
+  return (table_pa & kPaMask) | kTableBit | 1ull;
+}
+
+Result<Translation> MmuWalker::Translate(uint64_t root_pa, uint64_t va,
+                                         GpuTlb* tlb, MmuFault* fault) const {
+  uint64_t va_page = PageAlignDown(va);
+  if (tlb != nullptr) {
+    if (const Translation* hit = tlb->Lookup(va_page)) {
+      Translation t = *hit;
+      t.pa = t.pa + (va - va_page);
+      return t;
+    }
+  }
+
+  if (va >= (1ull << kGpuVaBits)) {
+    fault->status = kFaultTranslation;
+    fault->address = va;
+    return DeviceFault("VA outside GPU address space");
+  }
+
+  uint64_t table_pa = root_pa;
+  for (int level = 0; level < kPtLevels; ++level) {
+    uint64_t entry_pa = table_pa + PtIndex(va, level) * 8;
+    auto pte = mem_->ReadU64(entry_pa, MemAccessOrigin::kGpu);
+    if (!pte.ok()) {
+      fault->status = kFaultTranslation;
+      fault->address = va;
+      return DeviceFault("page table walk hit unmapped physical memory");
+    }
+    if (level < kPtLevels - 1) {
+      if ((pte.value() & kTableBit) == 0 || (pte.value() & 1) == 0) {
+        fault->status = kFaultTranslation;
+        fault->address = va;
+        return DeviceFault("translation fault (missing table)");
+      }
+      table_pa = pte.value() & kPaMask;
+    } else {
+      auto leaf = DecodePte(format_, pte.value());
+      if (!leaf.ok()) {
+        fault->status = kFaultTranslation;
+        fault->address = va;
+        return DeviceFault("translation fault (invalid leaf)");
+      }
+      Translation t;
+      t.pa = leaf.value().first;
+      t.flags = leaf.value().second;
+      if (tlb != nullptr) {
+        tlb->Insert(va_page, t);
+      }
+      t.pa += (va - va_page);
+      return t;
+    }
+  }
+  fault->status = kFaultTranslation;
+  fault->address = va;
+  return DeviceFault("unreachable walk state");
+}
+
+PageTableBuilder::PageTableBuilder(PageTableFormat format, PhysicalMemory* mem,
+                                   PageAllocator* alloc)
+    : format_(format), mem_(mem), alloc_(alloc) {}
+
+Status PageTableBuilder::Init() {
+  GRT_ASSIGN_OR_RETURN(root_pa_, alloc_->AllocPage());
+  table_pages_.push_back(root_pa_);
+  Bytes zero(kPageSize, 0);
+  return mem_->LoadPage(root_pa_, zero);
+}
+
+Result<uint64_t> PageTableBuilder::EnsureTable(uint64_t table_pa,
+                                               uint64_t index) {
+  uint64_t entry_pa = table_pa + index * 8;
+  GRT_ASSIGN_OR_RETURN(uint64_t pte, mem_->ReadU64(entry_pa));
+  if ((pte & 1) != 0) {
+    return pte & kPaMask;
+  }
+  GRT_ASSIGN_OR_RETURN(uint64_t new_table, alloc_->AllocPage());
+  table_pages_.push_back(new_table);
+  Bytes zero(kPageSize, 0);
+  GRT_RETURN_IF_ERROR(mem_->LoadPage(new_table, zero));
+  GRT_RETURN_IF_ERROR(
+      mem_->WriteU64(entry_pa, EncodeTablePte(format_, new_table)));
+  return new_table;
+}
+
+Status PageTableBuilder::MapPage(uint64_t va, uint64_t pa, PteFlags flags) {
+  if (root_pa_ == 0) {
+    return FailedPrecondition("PageTableBuilder not initialized");
+  }
+  if ((va & kPageMask) != 0 || (pa & kPageMask) != 0) {
+    return InvalidArgument("MapPage requires page alignment");
+  }
+  uint64_t table_pa = root_pa_;
+  for (int level = 0; level < kPtLevels - 1; ++level) {
+    GRT_ASSIGN_OR_RETURN(table_pa, EnsureTable(table_pa, PtIndex(va, level)));
+  }
+  uint64_t leaf_pa = table_pa + PtIndex(va, kPtLevels - 1) * 8;
+  return mem_->WriteU64(leaf_pa, EncodePte(format_, pa, flags));
+}
+
+Status PageTableBuilder::MapRange(uint64_t va, uint64_t pa, uint64_t n_pages,
+                                  PteFlags flags) {
+  for (uint64_t i = 0; i < n_pages; ++i) {
+    GRT_RETURN_IF_ERROR(
+        MapPage(va + i * kPageSize, pa + i * kPageSize, flags));
+  }
+  return OkStatus();
+}
+
+Status PageTableBuilder::UnmapPage(uint64_t va) {
+  if (root_pa_ == 0) {
+    return FailedPrecondition("PageTableBuilder not initialized");
+  }
+  uint64_t table_pa = root_pa_;
+  for (int level = 0; level < kPtLevels - 1; ++level) {
+    uint64_t entry_pa = table_pa + PtIndex(va, level) * 8;
+    GRT_ASSIGN_OR_RETURN(uint64_t pte, mem_->ReadU64(entry_pa));
+    if ((pte & 1) == 0) {
+      return NotFound("UnmapPage: not mapped");
+    }
+    table_pa = pte & kPaMask;
+  }
+  uint64_t leaf_pa = table_pa + PtIndex(va, kPtLevels - 1) * 8;
+  return mem_->WriteU64(leaf_pa, 0);
+}
+
+Status PageTableBuilder::Release() {
+  for (uint64_t page : table_pages_) {
+    GRT_RETURN_IF_ERROR(alloc_->FreePage(page));
+  }
+  table_pages_.clear();
+  root_pa_ = 0;
+  return OkStatus();
+}
+
+}  // namespace grt

@@ -1,0 +1,134 @@
+// GPU MMU: page-table entry formats, the hardware table walker + TLB, and
+// the CPU-side page-table builder used by the kernel driver.
+//
+// Two PTE formats exist across SKUs (§2.4: "variations in GPU page table
+// formats" break replay). Permission bits — in particular the *executable*
+// bit on shader pages — are what GR-T's memory synchronizer uses to locate
+// metastate in shared memory (§5, Mali maps metastate executable).
+#ifndef GRT_SRC_HW_MMU_H_
+#define GRT_SRC_HW_MMU_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mem/phys_mem.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+struct PteFlags {
+  bool read = false;
+  bool write = false;
+  bool execute = false;
+
+  bool operator==(const PteFlags&) const = default;
+};
+
+// 3-level table: VA bits [38:30] / [29:21] / [20:12]; one page per table.
+constexpr int kPtLevels = 3;
+constexpr uint64_t kPtEntries = kPageSize / 8;  // 512
+constexpr uint64_t kGpuVaBits = 39;
+
+inline uint64_t PtIndex(uint64_t va, int level) {
+  int shift = 12 + 9 * (kPtLevels - 1 - level);
+  return (va >> shift) & (kPtEntries - 1);
+}
+
+// PTE encode/decode, format-dependent.
+uint64_t EncodePte(PageTableFormat format, uint64_t pa, PteFlags flags);
+// Returns kNotFound for an invalid (unmapped) entry.
+Result<std::pair<uint64_t, PteFlags>> DecodePte(PageTableFormat format,
+                                                uint64_t pte);
+// Table-pointer entries at non-leaf levels (valid bit + next-table PA).
+uint64_t EncodeTablePte(PageTableFormat format, uint64_t table_pa);
+
+// MMU fault codes (AS_FAULTSTATUS low byte).
+constexpr uint32_t kFaultTranslation = 0xC4;
+constexpr uint32_t kFaultPermission = 0xC8;
+
+struct MmuFault {
+  uint32_t status = 0;
+  uint64_t address = 0;
+};
+
+// Result of a successful translation.
+struct Translation {
+  uint64_t pa = 0;
+  PteFlags flags;
+};
+
+// The GPU's TLB: caches leaf translations; invalidated by AS UPDATE /
+// FLUSH commands. Stale entries after an unflushed table update are real,
+// reproducible behavior.
+class GpuTlb {
+ public:
+  void Insert(uint64_t va_page, const Translation& t) {
+    entries_[va_page] = t;
+  }
+  const Translation* Lookup(uint64_t va_page) const {
+    auto it = entries_.find(va_page);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  void Flush() { entries_.clear(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::unordered_map<uint64_t, Translation> entries_;
+};
+
+// Hardware table walker: translates GPU VAs against a root table in
+// physical memory, filling the TLB on success.
+class MmuWalker {
+ public:
+  MmuWalker(PageTableFormat format, const PhysicalMemory* mem)
+      : format_(format), mem_(mem) {}
+
+  // Translates `va`; on fault returns kDeviceFault and fills *fault.
+  Result<Translation> Translate(uint64_t root_pa, uint64_t va, GpuTlb* tlb,
+                                MmuFault* fault) const;
+
+ private:
+  PageTableFormat format_;
+  const PhysicalMemory* mem_;
+};
+
+// CPU-side page-table builder, used by the kernel driver to construct the
+// GPU address space in the shared carveout. Tracks the physical pages it
+// uses for tables so the memory synchronizer can ship them as metastate.
+class PageTableBuilder {
+ public:
+  PageTableBuilder(PageTableFormat format, PhysicalMemory* mem,
+                   PageAllocator* alloc);
+
+  // Allocates the root table. Must be called before Map/Unmap.
+  Status Init();
+
+  // Maps one page va -> pa with the given permissions.
+  Status MapPage(uint64_t va, uint64_t pa, PteFlags flags);
+  // Maps a run of n_pages starting at (va, pa).
+  Status MapRange(uint64_t va, uint64_t pa, uint64_t n_pages, PteFlags flags);
+  Status UnmapPage(uint64_t va);
+
+  uint64_t root_pa() const { return root_pa_; }
+  PageTableFormat format() const { return format_; }
+  // Physical pages holding page tables (metastate for memory sync).
+  const std::vector<uint64_t>& table_pages() const { return table_pages_; }
+
+  // Releases all table pages back to the allocator.
+  Status Release();
+
+ private:
+  Result<uint64_t> EnsureTable(uint64_t table_pa, uint64_t index);
+
+  PageTableFormat format_;
+  PhysicalMemory* mem_;
+  PageAllocator* alloc_;
+  uint64_t root_pa_ = 0;
+  std::vector<uint64_t> table_pages_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HW_MMU_H_

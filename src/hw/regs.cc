@@ -1,0 +1,159 @@
+#include "src/hw/regs.h"
+
+#include <cstdio>
+
+namespace grt {
+namespace {
+
+thread_local char g_name_buf[48];
+
+}  // namespace
+
+const char* RegisterName(uint32_t offset) {
+  switch (offset) {
+    case kRegGpuId: return "GPU_ID";
+    case kRegL2Features: return "L2_FEATURES";
+    case kRegCoreFeatures: return "CORE_FEATURES";
+    case kRegTilerFeatures: return "TILER_FEATURES";
+    case kRegMemFeatures: return "MEM_FEATURES";
+    case kRegMmuFeatures: return "MMU_FEATURES";
+    case kRegAsPresent: return "AS_PRESENT";
+    case kRegJsPresent: return "JS_PRESENT";
+    case kRegGpuIrqRawstat: return "GPU_IRQ_RAWSTAT";
+    case kRegGpuIrqClear: return "GPU_IRQ_CLEAR";
+    case kRegGpuIrqMask: return "GPU_IRQ_MASK";
+    case kRegGpuIrqStatus: return "GPU_IRQ_STATUS";
+    case kRegGpuCommand: return "GPU_COMMAND";
+    case kRegGpuStatus: return "GPU_STATUS";
+    case kRegLatestFlush: return "LATEST_FLUSH";
+    case kRegGpuFaultStatus: return "GPU_FAULTSTATUS";
+    case kRegGpuFaultAddressLo: return "GPU_FAULTADDRESS_LO";
+    case kRegGpuFaultAddressHi: return "GPU_FAULTADDRESS_HI";
+    case kRegPwrKey: return "PWR_KEY";
+    case kRegPwrOverride0: return "PWR_OVERRIDE0";
+    case kRegPwrOverride1: return "PWR_OVERRIDE1";
+    case kRegCycleCountLo: return "CYCLE_COUNT_LO";
+    case kRegCycleCountHi: return "CYCLE_COUNT_HI";
+    case kRegTimestampLo: return "TIMESTAMP_LO";
+    case kRegTimestampHi: return "TIMESTAMP_HI";
+    case kRegThreadMaxThreads: return "THREAD_MAX_THREADS";
+    case kRegThreadMaxWorkgroup: return "THREAD_MAX_WORKGROUP";
+    case kRegThreadMaxBarrier: return "THREAD_MAX_BARRIER";
+    case kRegThreadFeatures: return "THREAD_FEATURES";
+    case kRegTextureFeatures0: return "TEXTURE_FEATURES_0";
+    case kRegTextureFeatures1: return "TEXTURE_FEATURES_1";
+    case kRegTextureFeatures2: return "TEXTURE_FEATURES_2";
+    case kRegShaderPresentLo: return "SHADER_PRESENT_LO";
+    case kRegShaderPresentHi: return "SHADER_PRESENT_HI";
+    case kRegTilerPresentLo: return "TILER_PRESENT_LO";
+    case kRegTilerPresentHi: return "TILER_PRESENT_HI";
+    case kRegL2PresentLo: return "L2_PRESENT_LO";
+    case kRegL2PresentHi: return "L2_PRESENT_HI";
+    case kRegShaderReadyLo: return "SHADER_READY_LO";
+    case kRegShaderReadyHi: return "SHADER_READY_HI";
+    case kRegTilerReadyLo: return "TILER_READY_LO";
+    case kRegTilerReadyHi: return "TILER_READY_HI";
+    case kRegL2ReadyLo: return "L2_READY_LO";
+    case kRegL2ReadyHi: return "L2_READY_HI";
+    case kRegShaderPwrOnLo: return "SHADER_PWRON_LO";
+    case kRegShaderPwrOnHi: return "SHADER_PWRON_HI";
+    case kRegTilerPwrOnLo: return "TILER_PWRON_LO";
+    case kRegTilerPwrOnHi: return "TILER_PWRON_HI";
+    case kRegL2PwrOnLo: return "L2_PWRON_LO";
+    case kRegL2PwrOnHi: return "L2_PWRON_HI";
+    case kRegShaderPwrOffLo: return "SHADER_PWROFF_LO";
+    case kRegShaderPwrOffHi: return "SHADER_PWROFF_HI";
+    case kRegTilerPwrOffLo: return "TILER_PWROFF_LO";
+    case kRegTilerPwrOffHi: return "TILER_PWROFF_HI";
+    case kRegL2PwrOffLo: return "L2_PWROFF_LO";
+    case kRegL2PwrOffHi: return "L2_PWROFF_HI";
+    case kRegShaderPwrTransLo: return "SHADER_PWRTRANS_LO";
+    case kRegShaderPwrTransHi: return "SHADER_PWRTRANS_HI";
+    case kRegTilerPwrTransLo: return "TILER_PWRTRANS_LO";
+    case kRegTilerPwrTransHi: return "TILER_PWRTRANS_HI";
+    case kRegL2PwrTransLo: return "L2_PWRTRANS_LO";
+    case kRegL2PwrTransHi: return "L2_PWRTRANS_HI";
+    case kRegShaderConfig: return "SHADER_CONFIG";
+    case kRegTilerConfig: return "TILER_CONFIG";
+    case kRegL2MmuConfig: return "L2_MMU_CONFIG";
+    case kRegJobIrqRawstat: return "JOB_IRQ_RAWSTAT";
+    case kRegJobIrqClear: return "JOB_IRQ_CLEAR";
+    case kRegJobIrqMask: return "JOB_IRQ_MASK";
+    case kRegJobIrqStatus: return "JOB_IRQ_STATUS";
+    case kRegMmuIrqRawstat: return "MMU_IRQ_RAWSTAT";
+    case kRegMmuIrqClear: return "MMU_IRQ_CLEAR";
+    case kRegMmuIrqMask: return "MMU_IRQ_MASK";
+    case kRegMmuIrqStatus: return "MMU_IRQ_STATUS";
+    default:
+      break;
+  }
+  if (offset >= kJobSlotBase &&
+      offset < kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    int slot = (offset - kJobSlotBase) / kJobSlotStride;
+    uint32_t rel = (offset - kJobSlotBase) % kJobSlotStride;
+    const char* sub = "?";
+    switch (rel) {
+      case kJsHeadLo: sub = "HEAD_LO"; break;
+      case kJsHeadHi: sub = "HEAD_HI"; break;
+      case kJsTailLo: sub = "TAIL_LO"; break;
+      case kJsTailHi: sub = "TAIL_HI"; break;
+      case kJsAffinityLo: sub = "AFFINITY_LO"; break;
+      case kJsAffinityHi: sub = "AFFINITY_HI"; break;
+      case kJsConfig: sub = "CONFIG"; break;
+      case kJsCommand: sub = "COMMAND"; break;
+      case kJsStatus: sub = "STATUS"; break;
+      case kJsHeadNextLo: sub = "HEAD_NEXT_LO"; break;
+      case kJsHeadNextHi: sub = "HEAD_NEXT_HI"; break;
+      case kJsAffinityNextLo: sub = "AFFINITY_NEXT_LO"; break;
+      case kJsAffinityNextHi: sub = "AFFINITY_NEXT_HI"; break;
+      case kJsConfigNext: sub = "CONFIG_NEXT"; break;
+      case kJsCommandNext: sub = "COMMAND_NEXT"; break;
+      default: break;
+    }
+    std::snprintf(g_name_buf, sizeof(g_name_buf), "JS%d_%s", slot, sub);
+    return g_name_buf;
+  }
+  if (offset >= kAsBase && offset < kAsBase + kMaxAddressSpaces * kAsStride) {
+    int as = (offset - kAsBase) / kAsStride;
+    uint32_t rel = (offset - kAsBase) % kAsStride;
+    const char* sub = "?";
+    switch (rel) {
+      case kAsTranstabLo: sub = "TRANSTAB_LO"; break;
+      case kAsTranstabHi: sub = "TRANSTAB_HI"; break;
+      case kAsMemattrLo: sub = "MEMATTR_LO"; break;
+      case kAsMemattrHi: sub = "MEMATTR_HI"; break;
+      case kAsLockaddrLo: sub = "LOCKADDR_LO"; break;
+      case kAsLockaddrHi: sub = "LOCKADDR_HI"; break;
+      case kAsCommand: sub = "COMMAND"; break;
+      case kAsFaultStatus: sub = "FAULTSTATUS"; break;
+      case kAsFaultAddressLo: sub = "FAULTADDRESS_LO"; break;
+      case kAsFaultAddressHi: sub = "FAULTADDRESS_HI"; break;
+      case kAsStatus: sub = "STATUS"; break;
+      default: break;
+    }
+    std::snprintf(g_name_buf, sizeof(g_name_buf), "AS%d_%s", as, sub);
+    return g_name_buf;
+  }
+  if (offset >= kRegJsFeatures0 && offset < kRegJsFeatures0 + 16 * 4) {
+    std::snprintf(g_name_buf, sizeof(g_name_buf), "JS%u_FEATURES",
+                  (offset - kRegJsFeatures0) / 4);
+    return g_name_buf;
+  }
+  std::snprintf(g_name_buf, sizeof(g_name_buf), "REG_0x%04X", offset);
+  return g_name_buf;
+}
+
+bool IsNondeterministicRegister(uint32_t offset) {
+  switch (offset) {
+    case kRegLatestFlush:
+    case kRegCycleCountLo:
+    case kRegCycleCountHi:
+    case kRegTimestampLo:
+    case kRegTimestampHi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace grt

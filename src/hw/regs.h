@@ -1,0 +1,207 @@
+// Register map of the simulated Mali-Bifrost-class GPU.
+//
+// Offsets and bit layouts follow the structure of the open Mali kbase
+// driver's register interface (GPU control / job control / MMU blocks),
+// simplified where the detail does not affect CPU/GPU interaction patterns.
+#ifndef GRT_SRC_HW_REGS_H_
+#define GRT_SRC_HW_REGS_H_
+
+#include <cstdint>
+
+namespace grt {
+
+// MMIO window size.
+constexpr uint32_t kGpuMmioSize = 0x4000;
+// Physical base address of the GPU register window (matches devicetree).
+constexpr uint64_t kGpuMmioBase = 0xE82C0000ull;
+
+// ---------------------------------------------------------------- GPU control
+constexpr uint32_t kRegGpuId = 0x000;
+constexpr uint32_t kRegL2Features = 0x004;
+constexpr uint32_t kRegCoreFeatures = 0x008;
+constexpr uint32_t kRegTilerFeatures = 0x00C;
+constexpr uint32_t kRegMemFeatures = 0x010;
+constexpr uint32_t kRegMmuFeatures = 0x014;
+constexpr uint32_t kRegAsPresent = 0x018;
+constexpr uint32_t kRegJsPresent = 0x01C;
+
+constexpr uint32_t kRegGpuIrqRawstat = 0x020;
+constexpr uint32_t kRegGpuIrqClear = 0x024;
+constexpr uint32_t kRegGpuIrqMask = 0x028;
+constexpr uint32_t kRegGpuIrqStatus = 0x02C;
+
+constexpr uint32_t kRegGpuCommand = 0x030;
+constexpr uint32_t kRegGpuStatus = 0x034;
+constexpr uint32_t kRegLatestFlush = 0x038;  // nondeterministic flush counter
+constexpr uint32_t kRegGpuFaultStatus = 0x03C;
+constexpr uint32_t kRegGpuFaultAddressLo = 0x040;
+constexpr uint32_t kRegGpuFaultAddressHi = 0x044;
+
+constexpr uint32_t kRegPwrKey = 0x050;
+constexpr uint32_t kRegPwrOverride0 = 0x054;
+constexpr uint32_t kRegPwrOverride1 = 0x058;
+
+constexpr uint32_t kRegCycleCountLo = 0x090;  // nondeterministic
+constexpr uint32_t kRegCycleCountHi = 0x094;
+constexpr uint32_t kRegTimestampLo = 0x098;  // nondeterministic
+constexpr uint32_t kRegTimestampHi = 0x09C;
+
+constexpr uint32_t kRegThreadMaxThreads = 0x0A0;
+constexpr uint32_t kRegThreadMaxWorkgroup = 0x0A4;
+constexpr uint32_t kRegThreadMaxBarrier = 0x0A8;
+constexpr uint32_t kRegThreadFeatures = 0x0AC;
+
+constexpr uint32_t kRegTextureFeatures0 = 0x0B0;
+constexpr uint32_t kRegTextureFeatures1 = 0x0B4;
+constexpr uint32_t kRegTextureFeatures2 = 0x0B8;
+
+// JSn_FEATURES, n in [0, 16).
+constexpr uint32_t kRegJsFeatures0 = 0x0C0;
+
+constexpr uint32_t kRegShaderPresentLo = 0x100;
+constexpr uint32_t kRegShaderPresentHi = 0x104;
+constexpr uint32_t kRegTilerPresentLo = 0x110;
+constexpr uint32_t kRegTilerPresentHi = 0x114;
+constexpr uint32_t kRegL2PresentLo = 0x120;
+constexpr uint32_t kRegL2PresentHi = 0x124;
+
+constexpr uint32_t kRegShaderReadyLo = 0x140;
+constexpr uint32_t kRegShaderReadyHi = 0x144;
+constexpr uint32_t kRegTilerReadyLo = 0x150;
+constexpr uint32_t kRegTilerReadyHi = 0x154;
+constexpr uint32_t kRegL2ReadyLo = 0x160;
+constexpr uint32_t kRegL2ReadyHi = 0x164;
+
+constexpr uint32_t kRegShaderPwrOnLo = 0x180;
+constexpr uint32_t kRegShaderPwrOnHi = 0x184;
+constexpr uint32_t kRegTilerPwrOnLo = 0x190;
+constexpr uint32_t kRegTilerPwrOnHi = 0x194;
+constexpr uint32_t kRegL2PwrOnLo = 0x1A0;
+constexpr uint32_t kRegL2PwrOnHi = 0x1A4;
+
+constexpr uint32_t kRegShaderPwrOffLo = 0x1C0;
+constexpr uint32_t kRegShaderPwrOffHi = 0x1C4;
+constexpr uint32_t kRegTilerPwrOffLo = 0x1D0;
+constexpr uint32_t kRegTilerPwrOffHi = 0x1D4;
+constexpr uint32_t kRegL2PwrOffLo = 0x1E0;
+constexpr uint32_t kRegL2PwrOffHi = 0x1E4;
+
+constexpr uint32_t kRegShaderPwrTransLo = 0x200;
+constexpr uint32_t kRegShaderPwrTransHi = 0x204;
+constexpr uint32_t kRegTilerPwrTransLo = 0x210;
+constexpr uint32_t kRegTilerPwrTransHi = 0x214;
+constexpr uint32_t kRegL2PwrTransLo = 0x220;
+constexpr uint32_t kRegL2PwrTransHi = 0x224;
+
+// Quirk/workaround configuration (Listing 1(a) territory).
+constexpr uint32_t kRegShaderConfig = 0xF04;
+constexpr uint32_t kRegTilerConfig = 0xF08;
+constexpr uint32_t kRegL2MmuConfig = 0xF0C;
+
+// GPU_COMMAND values.
+constexpr uint32_t kGpuCommandNop = 0x00;
+constexpr uint32_t kGpuCommandSoftReset = 0x01;
+constexpr uint32_t kGpuCommandHardReset = 0x02;
+constexpr uint32_t kGpuCommandCleanCaches = 0x07;
+constexpr uint32_t kGpuCommandCleanInvCaches = 0x08;
+
+// GPU_IRQ bits.
+constexpr uint32_t kGpuIrqFault = 1u << 0;
+constexpr uint32_t kGpuIrqResetCompleted = 1u << 8;
+constexpr uint32_t kGpuIrqPowerChangedSingle = 1u << 9;
+constexpr uint32_t kGpuIrqPowerChangedAll = 1u << 10;
+constexpr uint32_t kGpuIrqCleanCachesCompleted = 1u << 17;
+
+// MMU_ALLOW_SNOOP_DISPARITY-style quirk bit in L2_MMU_CONFIG.
+constexpr uint32_t kL2MmuConfigAllowSnoopDisparity = 1u << 4;
+// SHADER_CONFIG workaround bit for the slow-cache-flush erratum.
+constexpr uint32_t kShaderConfigLsAllowAttrTypes = 1u << 16;
+
+// ---------------------------------------------------------------- Job control
+constexpr uint32_t kRegJobIrqRawstat = 0x1000;
+constexpr uint32_t kRegJobIrqClear = 0x1004;
+constexpr uint32_t kRegJobIrqMask = 0x1008;
+constexpr uint32_t kRegJobIrqStatus = 0x100C;
+
+constexpr uint32_t kJobSlotBase = 0x1800;
+constexpr uint32_t kJobSlotStride = 0x80;
+constexpr int kMaxJobSlots = 3;
+
+// Per-slot register offsets (relative to the slot base).
+constexpr uint32_t kJsHeadLo = 0x00;
+constexpr uint32_t kJsHeadHi = 0x04;
+constexpr uint32_t kJsTailLo = 0x08;
+constexpr uint32_t kJsTailHi = 0x0C;
+constexpr uint32_t kJsAffinityLo = 0x10;
+constexpr uint32_t kJsAffinityHi = 0x14;
+constexpr uint32_t kJsConfig = 0x18;
+constexpr uint32_t kJsCommand = 0x20;
+constexpr uint32_t kJsStatus = 0x24;
+constexpr uint32_t kJsHeadNextLo = 0x40;
+constexpr uint32_t kJsHeadNextHi = 0x44;
+constexpr uint32_t kJsAffinityNextLo = 0x50;
+constexpr uint32_t kJsAffinityNextHi = 0x54;
+constexpr uint32_t kJsConfigNext = 0x58;
+constexpr uint32_t kJsCommandNext = 0x60;
+
+// JSn_COMMAND values.
+constexpr uint32_t kJsCommandNop = 0x00;
+constexpr uint32_t kJsCommandStart = 0x01;
+constexpr uint32_t kJsCommandSoftStop = 0x02;
+constexpr uint32_t kJsCommandHardStop = 0x03;
+
+// JSn_STATUS values (subset).
+constexpr uint32_t kJsStatusIdle = 0x00;
+constexpr uint32_t kJsStatusActive = 0x08;
+constexpr uint32_t kJsStatusDone = 0x01;
+constexpr uint32_t kJsStatusFaulted = 0x40;
+
+// Job IRQ bit for slot n: done = bit n, fail = bit (16 + n).
+inline uint32_t JobIrqDoneBit(int slot) { return 1u << slot; }
+inline uint32_t JobIrqFailBit(int slot) { return 1u << (16 + slot); }
+
+// ---------------------------------------------------------------------- MMU
+constexpr uint32_t kRegMmuIrqRawstat = 0x2000;
+constexpr uint32_t kRegMmuIrqClear = 0x2004;
+constexpr uint32_t kRegMmuIrqMask = 0x2008;
+constexpr uint32_t kRegMmuIrqStatus = 0x200C;
+
+constexpr uint32_t kAsBase = 0x2400;
+constexpr uint32_t kAsStride = 0x40;
+constexpr int kMaxAddressSpaces = 8;
+
+// Per-AS register offsets (relative to the AS base).
+constexpr uint32_t kAsTranstabLo = 0x00;
+constexpr uint32_t kAsTranstabHi = 0x04;
+constexpr uint32_t kAsMemattrLo = 0x08;
+constexpr uint32_t kAsMemattrHi = 0x0C;
+constexpr uint32_t kAsLockaddrLo = 0x10;
+constexpr uint32_t kAsLockaddrHi = 0x14;
+constexpr uint32_t kAsCommand = 0x18;
+constexpr uint32_t kAsFaultStatus = 0x1C;
+constexpr uint32_t kAsFaultAddressLo = 0x20;
+constexpr uint32_t kAsFaultAddressHi = 0x24;
+constexpr uint32_t kAsStatus = 0x28;
+
+// AS_COMMAND values.
+constexpr uint32_t kAsCommandNop = 0x00;
+constexpr uint32_t kAsCommandUpdate = 0x01;
+constexpr uint32_t kAsCommandLock = 0x02;
+constexpr uint32_t kAsCommandUnlock = 0x03;
+constexpr uint32_t kAsCommandFlushPt = 0x04;
+constexpr uint32_t kAsCommandFlushMem = 0x05;
+
+// AS_STATUS bits.
+constexpr uint32_t kAsStatusActive = 1u << 0;
+
+// Human-readable register name for logs/recordings ("JS0_COMMAND_NEXT").
+const char* RegisterName(uint32_t offset);
+
+// True for registers whose read values are inherently nondeterministic
+// across runs (timestamps, cycle counters, flush ids). The speculation
+// engine refuses to predict these (§7.3: LATEST_FLUSH_ID example).
+bool IsNondeterministicRegister(uint32_t offset);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HW_REGS_H_

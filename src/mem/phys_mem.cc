@@ -1,0 +1,148 @@
+#include "src/mem/phys_mem.h"
+
+#include <cstring>
+
+namespace grt {
+
+Status PhysicalMemory::CheckAccess(uint64_t pa, uint64_t len, bool write,
+                                   MemAccessOrigin origin) const {
+  if (!Contains(pa, len)) {
+    return OutOfRange("physical access outside carveout");
+  }
+  for (const auto& [id, policy] : policies_) {
+    if (!policy(pa, len, write, origin)) {
+      return PermissionDenied("physical access denied by policy");
+    }
+  }
+  return OkStatus();
+}
+
+Status PhysicalMemory::Read(uint64_t pa, void* out, uint64_t len,
+                            MemAccessOrigin origin) const {
+  GRT_RETURN_IF_ERROR(CheckAccess(pa, len, /*write=*/false, origin));
+  std::memcpy(out, data_.data() + (pa - base_), len);
+  return OkStatus();
+}
+
+Status PhysicalMemory::Write(uint64_t pa, const void* in, uint64_t len,
+                             MemAccessOrigin origin) {
+  GRT_RETURN_IF_ERROR(CheckAccess(pa, len, /*write=*/true, origin));
+  std::memcpy(data_.data() + (pa - base_), in, len);
+  return OkStatus();
+}
+
+Result<uint32_t> PhysicalMemory::ReadU32(uint64_t pa,
+                                         MemAccessOrigin origin) const {
+  uint32_t v;
+  GRT_RETURN_IF_ERROR(Read(pa, &v, sizeof(v), origin));
+  return v;
+}
+
+Result<uint64_t> PhysicalMemory::ReadU64(uint64_t pa,
+                                         MemAccessOrigin origin) const {
+  uint64_t v;
+  GRT_RETURN_IF_ERROR(Read(pa, &v, sizeof(v), origin));
+  return v;
+}
+
+Status PhysicalMemory::WriteU32(uint64_t pa, uint32_t v,
+                                MemAccessOrigin origin) {
+  return Write(pa, &v, sizeof(v), origin);
+}
+
+Status PhysicalMemory::WriteU64(uint64_t pa, uint64_t v,
+                                MemAccessOrigin origin) {
+  return Write(pa, &v, sizeof(v), origin);
+}
+
+Result<const uint8_t*> PhysicalMemory::PageView(uint64_t page_pa) const {
+  if ((page_pa & kPageMask) != 0) {
+    return InvalidArgument("PageView requires page-aligned address");
+  }
+  GRT_RETURN_IF_ERROR(
+      CheckAccess(page_pa, kPageSize, /*write=*/false,
+                  MemAccessOrigin::kCpuSecureWorld));
+  return data_.data() + (page_pa - base_);
+}
+
+Result<Bytes> PhysicalMemory::DumpPage(uint64_t page_pa) const {
+  if ((page_pa & kPageMask) != 0) {
+    return InvalidArgument("DumpPage requires page-aligned address");
+  }
+  Bytes out(kPageSize);
+  GRT_RETURN_IF_ERROR(Read(page_pa, out.data(), kPageSize));
+  return out;
+}
+
+Status PhysicalMemory::LoadPage(uint64_t page_pa, const Bytes& content) {
+  if ((page_pa & kPageMask) != 0) {
+    return InvalidArgument("LoadPage requires page-aligned address");
+  }
+  if (content.size() != kPageSize) {
+    return InvalidArgument("LoadPage requires a full page of content");
+  }
+  return Write(page_pa, content.data(), kPageSize);
+}
+
+PageAllocator::PageAllocator(uint64_t base_pa, uint64_t size)
+    : base_(base_pa), used_(size / kPageSize, false),
+      free_count_(size / kPageSize) {}
+
+Result<uint64_t> PageAllocator::AllocPage() { return AllocContiguous(1); }
+
+Result<uint64_t> PageAllocator::AllocContiguous(uint64_t n_pages) {
+  if (n_pages == 0) {
+    return InvalidArgument("AllocContiguous(0)");
+  }
+  if (n_pages > free_count_) {
+    return ResourceExhausted("GPU carveout out of pages");
+  }
+  // First-fit scan starting at the hint; wraps once.
+  uint64_t total = used_.size();
+  for (uint64_t pass = 0; pass < 2; ++pass) {
+    uint64_t start = pass == 0 ? next_hint_ : 0;
+    uint64_t end = pass == 0 ? total : next_hint_;
+    uint64_t run = 0;
+    for (uint64_t i = start; i < end; ++i) {
+      if (used_[i]) {
+        run = 0;
+        continue;
+      }
+      ++run;
+      if (run == n_pages) {
+        uint64_t first = i + 1 - n_pages;
+        for (uint64_t j = first; j <= i; ++j) {
+          used_[j] = true;
+        }
+        free_count_ -= n_pages;
+        next_hint_ = (i + 1) % total;
+        return base_ + first * kPageSize;
+      }
+    }
+  }
+  return ResourceExhausted("no contiguous run of pages");
+}
+
+Status PageAllocator::FreePage(uint64_t page_pa) {
+  if ((page_pa & kPageMask) != 0 || page_pa < base_) {
+    return InvalidArgument("FreePage: bad address");
+  }
+  uint64_t idx = (page_pa - base_) / kPageSize;
+  if (idx >= used_.size()) {
+    return OutOfRange("FreePage: outside carveout");
+  }
+  if (!used_[idx]) {
+    return FailedPrecondition("FreePage: double free");
+  }
+  used_[idx] = false;
+  ++free_count_;
+  return OkStatus();
+}
+
+void PageAllocator::Reset() {
+  std::fill(used_.begin(), used_.end(), false);
+  free_count_ = used_.size();
+  next_hint_ = 0;
+}
+
+}  // namespace grt

@@ -1,0 +1,449 @@
+#include "src/ml/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace grt {
+
+int NetworkDef::layer_count() const {
+  int layers = 0;
+  for (const OpDef& op : ops) {
+    layers = std::max(layers, op.layer + 1);
+  }
+  return layers;
+}
+
+Result<TensorDef> NetworkDef::FindTensor(const std::string& tensor_name) const {
+  for (const TensorDef& t : tensors) {
+    if (t.name == tensor_name) {
+      return t;
+    }
+  }
+  return NotFound("no tensor '" + tensor_name + "'");
+}
+
+uint64_t NetworkDef::FloatsOfKind(TensorKind kind) const {
+  uint64_t n = 0;
+  for (const TensorDef& t : tensors) {
+    if (t.kind == kind) {
+      n += t.n_floats;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+// Builds a NetworkDef layer by layer, tracking the current activation
+// shape and lowering layers into GPU job sequences the way a mobile ML
+// framework (ACL-style) does: im2col + GEMM + bias/activation for big
+// convolutions, direct kernels for 1x1/small ones, etc.
+class NetBuilder {
+ public:
+  explicit NetBuilder(std::string name) { net_.name = std::move(name); }
+
+  NetBuilder& Input(uint32_t c, uint32_t h, uint32_t w) {
+    NextLayer();
+    c_ = c;
+    h_ = h;
+    w_ = w;
+    net_.input_tensor = "input";
+    AddTensor("input", Count(), TensorKind::kInput);
+    // Ingest/normalize copy: frameworks stage the user buffer into an
+    // internal layout first.
+    cur_ = NewActivation("act_in");
+    Op(GpuOp::kCopy, {{Count()}}, "input", "", "", cur_);
+    return *this;
+  }
+
+  // Convolution lowered via im2col: fill (clear col buffer) + im2col +
+  // GEMM + bias(+ReLU). 4 jobs.
+  NetBuilder& ConvIm2col(uint32_t cout, uint32_t k, uint32_t stride,
+                         uint32_t pad, bool relu = true) {
+    NextLayer();
+    uint32_t oh = (h_ + 2 * pad - k) / stride + 1;
+    uint32_t ow = (w_ + 2 * pad - k) / stride + 1;
+    uint64_t col_floats = static_cast<uint64_t>(c_) * k * k * oh * ow;
+    std::string col = NewActivation("col", col_floats);
+    std::string weights = NewParam("w", static_cast<uint64_t>(cout) * c_ * k * k,
+                                   static_cast<uint64_t>(c_) * k * k);
+    std::string bias = NewParam("b", cout);
+    std::string gemm_out = NewActivation("gemm", static_cast<uint64_t>(cout) * oh * ow);
+
+    Op(GpuOp::kFill, {{static_cast<uint32_t>(col_floats), 0}}, "", "", "", col);
+    Op(GpuOp::kIm2Col, {{c_, h_, w_, k, k, stride, pad}}, cur_, "", "", col);
+    Op(GpuOp::kGemm, {{cout, c_ * k * k, oh * ow}}, weights, "", col, gemm_out);
+    c_ = cout;
+    h_ = oh;
+    w_ = ow;
+    cur_ = NewActivation("act");
+    Op(GpuOp::kBiasRelu, {{Count(), cout}}, gemm_out, "", bias, cur_,
+       relu ? kJobFlagReluFused : 0);
+    return *this;
+  }
+
+  // Direct convolution + bias(+ReLU). 2 jobs. Optionally writes the
+  // bias/ReLU result into `concat_into` at a channel offset.
+  NetBuilder& ConvDirect(uint32_t cout, uint32_t k, uint32_t stride,
+                         uint32_t pad, bool relu = true,
+                         const std::string& concat_into = "",
+                         uint64_t concat_offset = 0) {
+    NextLayer();
+    uint32_t oh = (h_ + 2 * pad - k) / stride + 1;
+    uint32_t ow = (w_ + 2 * pad - k) / stride + 1;
+    std::string weights =
+        NewParam("w", static_cast<uint64_t>(cout) * c_ * k * k,
+                 static_cast<uint64_t>(c_) * k * k);
+    std::string bias = NewParam("b", cout);
+    std::string conv_out =
+        NewActivation("conv", static_cast<uint64_t>(cout) * oh * ow);
+    Op(GpuOp::kConv2d, {{c_, h_, w_, cout, k, k, stride, pad}}, cur_, "",
+       weights, conv_out);
+    c_ = cout;
+    h_ = oh;
+    w_ = ow;
+    if (concat_into.empty()) {
+      cur_ = NewActivation("act");
+      Op(GpuOp::kBiasRelu, {{Count(), cout}}, conv_out, "", bias, cur_,
+         relu ? kJobFlagReluFused : 0);
+    } else {
+      Op(GpuOp::kBiasRelu, {{Count(), cout}}, conv_out, "", bias, concat_into,
+         relu ? kJobFlagReluFused : 0, concat_offset);
+      cur_ = concat_into;
+    }
+    return *this;
+  }
+
+  // BatchNorm folded to per-channel scale+shift (a BiasRelu without ReLU),
+  // then a separate activation job — ResNet-style conv+BN+ReLU adds 2 jobs
+  // beyond the GEMM path.
+  NetBuilder& BatchNormRelu(bool relu = true) {
+    std::string scale = NewParam("bn", c_);
+    std::string bn_out = NewActivation("bn");
+    Op(GpuOp::kBiasRelu, {{Count(), c_}}, cur_, "", scale, bn_out, 0);
+    cur_ = bn_out;
+    if (relu) {
+      std::string relu_out = NewActivation("relu");
+      Op(GpuOp::kBiasRelu, {{Count(), 0}}, cur_, "", "", relu_out,
+         kJobFlagReluFused);
+      cur_ = relu_out;
+    }
+    return *this;
+  }
+
+  NetBuilder& Pool(bool max_pool, uint32_t win, uint32_t stride) {
+    NextLayer();
+    uint32_t oh = (h_ - win) / stride + 1;
+    uint32_t ow = (w_ - win) / stride + 1;
+    std::string out =
+        NewActivation("pool", static_cast<uint64_t>(c_) * oh * ow);
+    Op(max_pool ? GpuOp::kPoolMax : GpuOp::kPoolAvg, {{c_, h_, w_, win, stride}},
+       cur_, "", "", out);
+    h_ = oh;
+    w_ = ow;
+    cur_ = out;
+    return *this;
+  }
+
+  NetBuilder& GlobalAvgPool() { return Pool(false, h_, 1); }
+
+  // Fully connected: GEMM (out x in x 1) + bias(+ReLU). 2 jobs.
+  NetBuilder& Fc(uint32_t out_features, bool relu = true) {
+    NextLayer();
+    uint32_t in_features = Count();
+    std::string weights =
+        NewParam("w", static_cast<uint64_t>(out_features) * in_features,
+                 in_features);
+    std::string bias = NewParam("b", out_features);
+    std::string gemm_out = NewActivation("fc", out_features);
+    Op(GpuOp::kGemm, {{out_features, in_features, 1}}, weights, "", cur_,
+       gemm_out);
+    c_ = out_features;
+    h_ = 1;
+    w_ = 1;
+    cur_ = NewActivation("act");
+    Op(GpuOp::kBiasRelu, {{out_features, out_features}}, gemm_out, "", bias,
+       cur_, relu ? kJobFlagReluFused : 0);
+    return *this;
+  }
+
+  NetBuilder& Softmax() {
+    NextLayer();
+    std::string out = NewActivation("prob");
+    Op(GpuOp::kSoftmax, {{Count()}}, cur_, "", "", out);
+    cur_ = out;
+    return *this;
+  }
+
+  // Residual add (+ReLU): 2 jobs.
+  NetBuilder& ResidualAdd(const std::string& skip) {
+    NextLayer();
+    std::string sum = NewActivation("sum");
+    Op(GpuOp::kEltwiseAdd, {{Count()}}, cur_, skip, "", sum);
+    cur_ = sum;
+    std::string relu_out = NewActivation("relu");
+    Op(GpuOp::kBiasRelu, {{Count(), 0}}, cur_, "", "", relu_out,
+       kJobFlagReluFused);
+    cur_ = relu_out;
+    return *this;
+  }
+
+  // Copies the current activation into `dst` at a float offset (channel
+  // concatenation); the destination becomes current with `dst_channels`.
+  NetBuilder& CopyInto(const std::string& dst, uint64_t offset,
+                       uint32_t dst_channels) {
+    Op(GpuOp::kCopy, {{Count()}}, cur_, "", "", dst, 0, offset);
+    cur_ = dst;
+    c_ = dst_channels;
+    return *this;
+  }
+
+  // Allocates a concat destination covering `channels` at current h/w.
+  std::string ConcatBuffer(uint32_t channels) {
+    return NewActivation("concat",
+                         static_cast<uint64_t>(channels) * h_ * w_);
+  }
+  void SetCurrent(const std::string& tensor, uint32_t c) {
+    cur_ = tensor;
+    c_ = c;
+  }
+
+  const std::string& current() const { return cur_; }
+  uint32_t channels() const { return c_; }
+  uint32_t height() const { return h_; }
+  uint32_t width() const { return w_; }
+  uint64_t spatial() const { return static_cast<uint64_t>(h_) * w_; }
+
+  NetworkDef Finish() {
+    // The last activation becomes the output tensor.
+    for (TensorDef& t : net_.tensors) {
+      if (t.name == cur_) {
+        t.kind = TensorKind::kOutput;
+      }
+    }
+    net_.output_tensor = cur_;
+    return std::move(net_);
+  }
+
+ private:
+  uint32_t Count() const { return static_cast<uint32_t>(c_ * h_ * w_); }
+
+  void AddTensor(const std::string& name, uint64_t n, TensorKind kind) {
+    net_.tensors.push_back(TensorDef{name, n, kind});
+  }
+
+  std::string NewActivation(const std::string& stem, uint64_t n = 0) {
+    std::string name = stem + "_" + std::to_string(counter_++);
+    AddTensor(name, n == 0 ? Count() : n, TensorKind::kActivation);
+    return name;
+  }
+
+  std::string NewParam(const std::string& stem, uint64_t n,
+                       uint64_t fan_in = 0) {
+    std::string name = stem + "_" + std::to_string(counter_++);
+    net_.tensors.push_back(TensorDef{name, n, TensorKind::kParam, fan_in});
+    return name;
+  }
+
+  // Starts a new recording-granularity unit (an NN layer, Fig. 2).
+  void NextLayer() { layer_ = next_layer_++; }
+
+  void Op(GpuOp op, std::array<uint32_t, 8> params, const std::string& in0,
+          const std::string& in1, const std::string& aux,
+          const std::string& out, uint16_t flags = 0,
+          uint64_t out_offset = 0) {
+    OpDef d;
+    d.layer = layer_;
+    d.op = op;
+    d.flags = flags;
+    d.in0 = in0;
+    d.in1 = in1;
+    d.aux = aux;
+    d.out = out;
+    d.out_offset_floats = out_offset;
+    d.params = params;
+    net_.ops.push_back(std::move(d));
+  }
+
+  NetworkDef net_;
+  std::string cur_;
+  uint32_t c_ = 0, h_ = 0, w_ = 0;
+  int counter_ = 0;
+  int layer_ = 0;
+  int next_layer_ = 0;
+};
+
+}  // namespace
+
+NetworkDef BuildMnist() {
+  NetBuilder b("mnist");
+  b.Input(1, 28, 28)
+      .ConvIm2col(8, 5, 1, 2)
+      .Pool(true, 2, 2)
+      .ConvIm2col(16, 5, 1, 2)
+      .Pool(true, 2, 2)
+      .Fc(64)
+      .Fc(10, /*relu=*/false)
+      .Softmax();
+  return b.Finish();
+}
+
+NetworkDef BuildAlexNet() {
+  NetBuilder b("alexnet");
+  b.Input(3, 32, 32)
+      .ConvIm2col(16, 5, 1, 2)
+      .Pool(true, 2, 2)
+      .ConvIm2col(32, 5, 1, 2)
+      .Pool(true, 2, 2)
+      .ConvIm2col(48, 3, 1, 1)
+      .ConvIm2col(48, 3, 1, 1)
+      .ConvIm2col(32, 3, 1, 1)
+      .Pool(true, 2, 2)
+      .Fc(1024)
+      .Fc(256)
+      .Fc(10, /*relu=*/false)
+      .Softmax();
+  return b.Finish();
+}
+
+NetworkDef BuildMobileNet() {
+  NetBuilder b("mobilenet");
+  b.Input(3, 32, 32).ConvIm2col(8, 3, 2, 1);
+  // Depthwise-separable blocks (width multiplier ~0.25, with the real
+  // MobileNet downsampling pattern): depthwise-ish direct conv +
+  // pointwise conv via the im2col path (6 jobs per block).
+  struct Block {
+    uint32_t cout, stride;
+  };
+  const Block blocks[13] = {{16, 1}, {32, 2}, {32, 1}, {64, 2}, {64, 1},
+                            {64, 1}, {64, 1}, {64, 1}, {64, 1}, {128, 2},
+                            {128, 1}, {128, 1}, {128, 1}};
+  for (const Block& blk : blocks) {
+    b.ConvDirect(b.channels(), 3, blk.stride, 1);  // depthwise stand-in
+    b.ConvIm2col(blk.cout, 1, 1, 0);               // pointwise
+  }
+  b.GlobalAvgPool().Fc(10, /*relu=*/false).Softmax();
+  return b.Finish();
+}
+
+NetworkDef BuildSqueezeNet() {
+  NetBuilder b("squeezenet");
+  b.Input(3, 32, 32).ConvIm2col(16, 3, 2, 1).Pool(true, 2, 2);
+  struct Fire {
+    uint32_t squeeze, expand;
+  };
+  const Fire fires[8] = {{4, 16}, {4, 16},  {8, 32},  {8, 32},
+                         {12, 48}, {12, 48}, {16, 64}, {16, 64}};
+  int pool_after = 0;
+  for (const Fire& f : fires) {
+    // Squeeze 1x1.
+    b.ConvDirect(f.squeeze, 1, 1, 0);
+    // Expand 1x1 and 3x3 write into the two halves of a concat buffer.
+    std::string concat = b.ConcatBuffer(2 * f.expand);
+    uint32_t squeeze_c = b.channels();
+    std::string squeezed = b.current();
+    b.ConvDirect(f.expand, 1, 1, 0, true, concat, 0);
+    b.SetCurrent(squeezed, squeeze_c);
+    b.ConvIm2col(f.expand, 3, 1, 1);
+    // The im2col path produced its own activation; stage it into the
+    // concat's second half (frameworks emit exactly this copy job).
+    b.CopyInto(concat, static_cast<uint64_t>(f.expand) * b.spatial(),
+               2 * f.expand);
+    ++pool_after;
+    if (pool_after == 4) {
+      b.Pool(true, 2, 2);
+    }
+  }
+  b.ConvDirect(10, 1, 1, 0, /*relu=*/false).GlobalAvgPool().Softmax();
+  return b.Finish();
+}
+
+NetworkDef BuildResNet12() {
+  NetBuilder b("resnet12");
+  b.Input(3, 32, 32);
+  // Downsampling stem (stride-2 conv + pool), as in ImageNet-style
+  // ResNets; residual blocks then run at 8x8.
+  b.ConvIm2col(16, 3, 2, 1, /*relu=*/false).BatchNormRelu().Pool(true, 2, 2);
+  const uint32_t widths[5] = {16, 32, 32, 64, 64};
+  for (int block = 0; block < 5; ++block) {
+    uint32_t cout = widths[block];
+    std::string skip = b.current();
+    uint32_t skip_c = b.channels();
+    bool projected = cout != skip_c;
+    std::string projected_skip;
+    if (projected) {
+      // 1x1 projection shortcut (+BN): 3 jobs.
+      std::string main = b.current();
+      b.ConvDirect(cout, 1, 1, 0, /*relu=*/false);
+      b.BatchNormRelu(/*relu=*/false);
+      projected_skip = b.current();
+      b.SetCurrent(main, skip_c);
+    }
+    b.ConvIm2col(cout, 3, 1, 1, /*relu=*/false).BatchNormRelu();
+    b.ConvIm2col(cout, 3, 1, 1, /*relu=*/false).BatchNormRelu(/*relu=*/false);
+    b.ResidualAdd(projected ? projected_skip : skip);
+  }
+  b.GlobalAvgPool().Fc(10, /*relu=*/false).Softmax();
+  return b.Finish();
+}
+
+NetworkDef BuildVgg16() {
+  NetBuilder b("vgg16");
+  b.Input(3, 32, 32);
+  const uint32_t stages[5][3] = {{16, 16, 0},
+                                 {32, 32, 0},
+                                 {64, 64, 64},
+                                 {128, 128, 128},
+                                 {128, 128, 128}};
+  for (const auto& stage : stages) {
+    for (uint32_t cout : stage) {
+      if (cout != 0) {
+        b.ConvIm2col(cout, 3, 1, 1);
+      }
+    }
+    b.Pool(true, 2, 2);
+  }
+  b.Fc(2048).Fc(2048).Fc(10, /*relu=*/false).Softmax();
+  return b.Finish();
+}
+
+std::vector<NetworkDef> BuildAllNetworks() {
+  std::vector<NetworkDef> nets;
+  nets.push_back(BuildMnist());
+  nets.push_back(BuildAlexNet());
+  nets.push_back(BuildMobileNet());
+  nets.push_back(BuildSqueezeNet());
+  nets.push_back(BuildResNet12());
+  nets.push_back(BuildVgg16());
+  return nets;
+}
+
+std::vector<float> GenerateParams(const std::string& network,
+                                  const TensorDef& tensor, uint64_t seed) {
+  Rng rng(Fnv1a(network) ^ Fnv1a(tensor.name) ^ seed);
+  // He-style uniform init for weights (signal survives deep ReLU stacks);
+  // small values for biases/shifts.
+  float scale = tensor.fan_in > 0
+                    ? std::sqrt(6.0f / static_cast<float>(tensor.fan_in))
+                    : 0.05f;
+  std::vector<float> out(tensor.n_floats);
+  for (float& v : out) {
+    v = rng.NextFloat(-scale, scale);
+  }
+  return out;
+}
+
+std::vector<float> GenerateInput(const NetworkDef& net, uint64_t seed) {
+  Rng rng(Fnv1a(net.name) ^ (seed * 0x9E3779B97F4A7C15ull) ^ 0x1234);
+  auto input = net.FindTensor(net.input_tensor);
+  std::vector<float> out(input.ok() ? input.value().n_floats : 0);
+  for (float& v : out) {
+    v = rng.NextFloat(0.0f, 1.0f);
+  }
+  return out;
+}
+
+}  // namespace grt

@@ -1,0 +1,89 @@
+// Network definitions: the six NN inference workloads of the evaluation
+// (§7.2, Table 1): MNIST, AlexNet, MobileNet, SqueezeNet, ResNet12, VGG16.
+//
+// Dimensions are scaled down (the paper runs full nets on a real ACL
+// stack; we preserve the *structure*: per-layer lowering into GPU job
+// sequences, job-count ordering across networks, and the memory-footprint
+// ordering that drives Table 1's MemSync column — VGG16 heaviest, MNIST
+// lightest). Networks are static job graphs with no data-dependent
+// branches between jobs: the input-independence property replay relies on
+// (§2.3).
+#ifndef GRT_SRC_ML_NETWORK_H_
+#define GRT_SRC_ML_NETWORK_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/hw/job_format.h"
+
+namespace grt {
+
+enum class TensorKind : uint8_t {
+  kInput,       // injected at replay
+  kParam,       // model weights; injected at replay (never sent to cloud)
+  kActivation,  // intermediate; GPU scratch
+  kOutput,      // read back after replay
+};
+
+struct TensorDef {
+  std::string name;
+  uint64_t n_floats = 0;
+  TensorKind kind = TensorKind::kActivation;
+  // For kParam weights: incoming fan (He-style init keeps activations
+  // alive through deep ReLU stacks); 0 for biases/shifts.
+  uint64_t fan_in = 0;
+};
+
+// One GPU job. Tensor references are by name; `out_offset_floats` lets an
+// op write into the middle of a tensor (channel concatenation). `layer`
+// groups the jobs of one NN layer — the paper's per-layer recording
+// granularity (Figure 2) cuts recordings at layer boundaries.
+struct OpDef {
+  GpuOp op = GpuOp::kNop;
+  uint16_t flags = 0;
+  std::string in0, in1, aux, out;
+  uint64_t out_offset_floats = 0;
+  std::array<uint32_t, 8> params = {0, 0, 0, 0, 0, 0, 0, 0};
+  int layer = 0;
+};
+
+struct NetworkDef {
+  std::string name;
+  std::vector<TensorDef> tensors;
+  std::vector<OpDef> ops;
+  std::string input_tensor;
+  std::string output_tensor;
+
+  size_t job_count() const { return ops.size(); }
+  // Number of NN layers (recording-granularity units, Fig. 2).
+  int layer_count() const;
+  Result<TensorDef> FindTensor(const std::string& tensor_name) const;
+  // Total floats by kind (footprint accounting).
+  uint64_t FloatsOfKind(TensorKind kind) const;
+};
+
+// The evaluation suite, in the paper's Table 1 order.
+NetworkDef BuildMnist();
+NetworkDef BuildAlexNet();
+NetworkDef BuildMobileNet();
+NetworkDef BuildSqueezeNet();
+NetworkDef BuildResNet12();
+NetworkDef BuildVgg16();
+
+std::vector<NetworkDef> BuildAllNetworks();
+
+// Deterministic parameter initialization: every param tensor's content is
+// a pure function of (network, tensor, seed), so the client app and the
+// test reference agree on model weights without shipping them anywhere.
+std::vector<float> GenerateParams(const std::string& network,
+                                  const TensorDef& tensor, uint64_t seed);
+
+// Deterministic input generation for tests/benches.
+std::vector<float> GenerateInput(const NetworkDef& net, uint64_t seed);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ML_NETWORK_H_

@@ -1,0 +1,266 @@
+#include "src/ml/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace grt {
+namespace {
+
+using TensorMap = std::map<std::string, std::vector<float>>;
+
+Status RunOp(const OpDef& op, TensorMap* tensors) {
+  auto in0 = [&]() -> const std::vector<float>& { return (*tensors)[op.in0]; };
+  auto in1 = [&]() -> const std::vector<float>& { return (*tensors)[op.in1]; };
+  auto aux = [&]() -> const std::vector<float>& { return (*tensors)[op.aux]; };
+  const auto& p = op.params;
+
+  std::vector<float> result;
+  switch (op.op) {
+    case GpuOp::kNop:
+      return OkStatus();
+
+    case GpuOp::kGemm: {
+      uint32_t m = p[0], k = p[1], n = p[2];
+      const auto& a = in0();
+      const auto& b = aux();
+      result.assign(static_cast<size_t>(m) * n, 0.0f);
+      for (uint32_t i = 0; i < m; ++i) {
+        for (uint32_t kk = 0; kk < k; ++kk) {
+          float av = a[static_cast<size_t>(i) * k + kk];
+          if (av == 0.0f) {
+            continue;
+          }
+          for (uint32_t j = 0; j < n; ++j) {
+            result[static_cast<size_t>(i) * n + j] +=
+                av * b[static_cast<size_t>(kk) * n + j];
+          }
+        }
+      }
+      if (op.flags & kJobFlagReluFused) {
+        for (float& v : result) {
+          v = std::max(0.0f, v);
+        }
+      }
+      break;
+    }
+
+    case GpuOp::kIm2Col: {
+      uint32_t cin = p[0], h = p[1], w = p[2], kh = p[3], kw = p[4];
+      uint32_t stride = p[5], pad = p[6];
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      const auto& in = in0();
+      result.assign(static_cast<size_t>(cin) * kh * kw * oh * ow, 0.0f);
+      size_t col = static_cast<size_t>(oh) * ow;
+      for (uint32_t c = 0; c < cin; ++c) {
+        for (uint32_t ki = 0; ki < kh; ++ki) {
+          for (uint32_t kj = 0; kj < kw; ++kj) {
+            size_t row = (static_cast<size_t>(c) * kh + ki) * kw + kj;
+            for (uint32_t oi = 0; oi < oh; ++oi) {
+              for (uint32_t oj = 0; oj < ow; ++oj) {
+                int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+                int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+                float v = 0.0f;
+                if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+                  v = in[(static_cast<size_t>(c) * h + ii) * w + jj];
+                }
+                result[row * col + static_cast<size_t>(oi) * ow + oj] = v;
+              }
+            }
+          }
+        }
+      }
+      break;
+    }
+
+    case GpuOp::kConv2d: {
+      uint32_t cin = p[0], h = p[1], w = p[2], cout = p[3];
+      uint32_t kh = p[4], kw = p[5], stride = p[6], pad = p[7];
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      const auto& in = in0();
+      const auto& wts = aux();
+      result.assign(static_cast<size_t>(cout) * oh * ow, 0.0f);
+      for (uint32_t co = 0; co < cout; ++co) {
+        for (uint32_t oi = 0; oi < oh; ++oi) {
+          for (uint32_t oj = 0; oj < ow; ++oj) {
+            float acc = 0.0f;
+            for (uint32_t ci = 0; ci < cin; ++ci) {
+              for (uint32_t ki = 0; ki < kh; ++ki) {
+                for (uint32_t kj = 0; kj < kw; ++kj) {
+                  int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+                  int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+                  if (ii < 0 || ii >= h || jj < 0 || jj >= w) {
+                    continue;
+                  }
+                  acc += in[(static_cast<size_t>(ci) * h + ii) * w + jj] *
+                         wts[((static_cast<size_t>(co) * cin + ci) * kh + ki) *
+                                 kw +
+                             kj];
+                }
+              }
+            }
+            result[(static_cast<size_t>(co) * oh + oi) * ow + oj] = acc;
+          }
+        }
+      }
+      if (op.flags & kJobFlagReluFused) {
+        for (float& v : result) {
+          v = std::max(0.0f, v);
+        }
+      }
+      break;
+    }
+
+    case GpuOp::kBiasRelu: {
+      uint32_t count = p[0], bias_len = p[1];
+      result = in0();
+      result.resize(count);
+      uint32_t spatial = bias_len > 0 ? count / bias_len : count;
+      for (uint32_t i = 0; i < count; ++i) {
+        float v = result[i];
+        if (bias_len > 0) {
+          v += aux()[(i / spatial) % bias_len];
+        }
+        if (op.flags & kJobFlagReluFused) {
+          v = std::max(0.0f, v);
+        }
+        result[i] = v;
+      }
+      break;
+    }
+
+    case GpuOp::kPoolMax:
+    case GpuOp::kPoolAvg: {
+      uint32_t c = p[0], h = p[1], w = p[2], win = p[3], stride = p[4];
+      uint32_t oh = (h - win) / stride + 1;
+      uint32_t ow = (w - win) / stride + 1;
+      const auto& in = in0();
+      result.assign(static_cast<size_t>(c) * oh * ow, 0.0f);
+      for (uint32_t ci = 0; ci < c; ++ci) {
+        for (uint32_t oi = 0; oi < oh; ++oi) {
+          for (uint32_t oj = 0; oj < ow; ++oj) {
+            float acc = op.op == GpuOp::kPoolMax
+                            ? -std::numeric_limits<float>::infinity()
+                            : 0.0f;
+            for (uint32_t ki = 0; ki < win; ++ki) {
+              for (uint32_t kj = 0; kj < win; ++kj) {
+                float v = in[(static_cast<size_t>(ci) * h + oi * stride + ki) *
+                                 w +
+                             oj * stride + kj];
+                acc = op.op == GpuOp::kPoolMax ? std::max(acc, v) : acc + v;
+              }
+            }
+            if (op.op == GpuOp::kPoolAvg) {
+              acc /= static_cast<float>(win * win);
+            }
+            result[(static_cast<size_t>(ci) * oh + oi) * ow + oj] = acc;
+          }
+        }
+      }
+      break;
+    }
+
+    case GpuOp::kEltwiseAdd: {
+      uint32_t count = p[0];
+      result = in0();
+      result.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        result[i] += in1()[i];
+      }
+      if (op.flags & kJobFlagReluFused) {
+        for (float& v : result) {
+          v = std::max(0.0f, v);
+        }
+      }
+      break;
+    }
+
+    case GpuOp::kSoftmax: {
+      uint32_t count = p[0];
+      result = in0();
+      result.resize(count);
+      float mx = -std::numeric_limits<float>::infinity();
+      for (float v : result) {
+        mx = std::max(mx, v);
+      }
+      double sum = 0.0;
+      for (float& v : result) {
+        v = std::exp(v - mx);
+        sum += v;
+      }
+      for (float& v : result) {
+        v = static_cast<float>(v / sum);
+      }
+      break;
+    }
+
+    case GpuOp::kCopy: {
+      uint32_t count = p[0];
+      result = in0();
+      result.resize(count);
+      break;
+    }
+
+    case GpuOp::kFill: {
+      uint32_t count = p[0];
+      float value;
+      uint32_t bits = p[1];
+      std::memcpy(&value, &bits, sizeof(value));
+      result.assign(count, value);
+      break;
+    }
+  }
+
+  // Write result into the (possibly offset) output tensor.
+  auto& out = (*tensors)[op.out];
+  if (out.size() < op.out_offset_floats + result.size()) {
+    out.resize(op.out_offset_floats + result.size(), 0.0f);
+  }
+  std::copy(result.begin(), result.end(),
+            out.begin() + static_cast<ptrdiff_t>(op.out_offset_floats));
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<float>> RunReference(const NetworkDef& net,
+                                        const std::vector<float>& input,
+                                        uint64_t param_seed) {
+  TensorMap tensors;
+  for (const TensorDef& t : net.tensors) {
+    switch (t.kind) {
+      case TensorKind::kInput:
+        tensors[t.name] = input;
+        tensors[t.name].resize(t.n_floats, 0.0f);
+        break;
+      case TensorKind::kParam:
+        tensors[t.name] = GenerateParams(net.name, t, param_seed);
+        break;
+      case TensorKind::kActivation:
+      case TensorKind::kOutput:
+        tensors[t.name].assign(t.n_floats, 0.0f);
+        break;
+    }
+  }
+  for (const OpDef& op : net.ops) {
+    GRT_RETURN_IF_ERROR(RunOp(op, &tensors));
+  }
+  auto it = tensors.find(net.output_tensor);
+  if (it == tensors.end()) {
+    return NotFound("output tensor missing");
+  }
+  return it->second;
+}
+
+float MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b) {
+  float mx = a.size() == b.size() ? 0.0f
+                                  : std::numeric_limits<float>::infinity();
+  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    mx = std::max(mx, std::abs(a[i] - b[i]));
+  }
+  return mx;
+}
+
+}  // namespace grt

@@ -1,0 +1,29 @@
+// CPU reference executor for NetworkDefs.
+//
+// An independent implementation of the GPU ops over plain vectors, used as
+// ground truth: native GPU runs, replay runs, and this reference must all
+// agree (replay vs native bit-exactly; reference within float tolerance).
+#ifndef GRT_SRC_ML_REFERENCE_H_
+#define GRT_SRC_ML_REFERENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ml/network.h"
+
+namespace grt {
+
+// Runs the whole network on the CPU with parameters generated from
+// `param_seed` and the given input; returns the output tensor.
+Result<std::vector<float>> RunReference(const NetworkDef& net,
+                                        const std::vector<float>& input,
+                                        uint64_t param_seed);
+
+// Max absolute elementwise difference (for tolerance comparisons).
+float MaxAbsDiff(const std::vector<float>& a, const std::vector<float>& b);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ML_REFERENCE_H_

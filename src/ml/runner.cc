@@ -1,0 +1,91 @@
+#include "src/ml/runner.h"
+
+namespace grt {
+
+Status NnRunner::Setup(bool zero_params, uint64_t param_seed) {
+  for (const TensorDef& t : net_.tensors) {
+    RegionUsage usage = RegionUsage::kDataScratch;
+    switch (t.kind) {
+      case TensorKind::kInput:
+      case TensorKind::kParam:
+        usage = RegionUsage::kDataInput;
+        break;
+      case TensorKind::kOutput:
+        usage = RegionUsage::kDataOutput;
+        break;
+      case TensorKind::kActivation:
+        usage = RegionUsage::kDataScratch;
+        break;
+    }
+    GRT_ASSIGN_OR_RETURN(GpuBuffer buf, runtime_->AllocBuffer(t.n_floats,
+                                                              usage));
+    buffers_[t.name] = buf;
+    if (t.kind == TensorKind::kParam && !zero_params) {
+      GRT_RETURN_IF_ERROR(
+          runtime_->Upload(buf, GenerateParams(net_.name, t, param_seed)));
+    }
+  }
+  GRT_RETURN_IF_ERROR(runtime_->Finalize());
+  ready_ = true;
+  return OkStatus();
+}
+
+Status NnRunner::SetInput(const std::vector<float>& input) {
+  if (!ready_) {
+    return FailedPrecondition("SetInput before Setup");
+  }
+  auto it = buffers_.find(net_.input_tensor);
+  if (it == buffers_.end()) {
+    return NotFound("input buffer missing");
+  }
+  return runtime_->Upload(it->second, input);
+}
+
+Result<uint64_t> NnRunner::VaOf(const std::string& name) const {
+  if (name.empty()) {
+    return static_cast<uint64_t>(0);
+  }
+  auto it = buffers_.find(name);
+  if (it == buffers_.end()) {
+    return NotFound("tensor '" + name + "' has no buffer");
+  }
+  return it->second.va;
+}
+
+Result<std::vector<float>> NnRunner::Run(
+    const LayerBoundaryHook& on_layer_boundary) {
+  if (!ready_) {
+    return FailedPrecondition("Run before Setup");
+  }
+  int current_layer = net_.ops.empty() ? 0 : net_.ops.front().layer;
+  for (const OpDef& op : net_.ops) {
+    if (on_layer_boundary && op.layer != current_layer) {
+      GRT_RETURN_IF_ERROR(on_layer_boundary(current_layer));
+      current_layer = op.layer;
+    }
+    JobDescriptor d;
+    d.op = op.op;
+    d.flags = op.flags;
+    GRT_ASSIGN_OR_RETURN(d.input_va[0], VaOf(op.in0));
+    GRT_ASSIGN_OR_RETURN(d.input_va[1], VaOf(op.in1));
+    GRT_ASSIGN_OR_RETURN(d.aux_va, VaOf(op.aux));
+    GRT_ASSIGN_OR_RETURN(uint64_t out_va, VaOf(op.out));
+    d.output_va = out_va + op.out_offset_floats * sizeof(float);
+    for (size_t i = 0; i < op.params.size(); ++i) {
+      d.params[i] = op.params[i];
+    }
+    auto stats = runtime_->RunJob(d);
+    if (!stats.ok()) {
+      return Status(stats.status().code(),
+                    "job '" + std::string(GpuOpName(op.op)) +
+                        "' failed: " + stats.status().message());
+    }
+  }
+  auto it = buffers_.find(net_.output_tensor);
+  if (it == buffers_.end()) {
+    return NotFound("output buffer missing");
+  }
+  return runtime_->Download(it->second);
+}
+
+}  // namespace grt

@@ -1,0 +1,57 @@
+// NnRunner: executes a NetworkDef on the GPU stack (runtime + driver).
+//
+// This is the "ML framework" layer of the paper's GPU stack: it plans
+// buffers, installs parameters, lowers ops to GPU jobs through the
+// runtime, and exposes the tensor locations that become the recording's
+// bindings. In record mode parameters and inputs stay zero — the cloud dry
+// run never sees model weights or user data (§7.1 confidentiality).
+#ifndef GRT_SRC_ML_RUNNER_H_
+#define GRT_SRC_ML_RUNNER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ml/network.h"
+#include "src/runtime/runtime.h"
+
+namespace grt {
+
+class NnRunner {
+ public:
+  NnRunner(const NetworkDef& net, GpuRuntime* runtime)
+      : net_(net), runtime_(runtime) {}
+
+  // Allocates all tensors and uploads parameters. With zero_params
+  // (record mode) parameter buffers stay zero-filled — §5's sparsity
+  // technique and §7.1's confidentiality both rest on this.
+  Status Setup(bool zero_params, uint64_t param_seed = 1);
+
+  Status SetInput(const std::vector<float>& input);
+
+  // Called between layers (after the last job of layer N, before the first
+  // of layer N+1); the recorder cuts per-layer recordings here (Fig. 2).
+  using LayerBoundaryHook = std::function<Status(int completed_layer)>;
+
+  // Runs every op as a GPU job (serialized, queue depth 1) and returns the
+  // downloaded output.
+  Result<std::vector<float>> Run(
+      const LayerBoundaryHook& on_layer_boundary = nullptr);
+
+  const std::map<std::string, GpuBuffer>& buffers() const { return buffers_; }
+  const NetworkDef& net() const { return net_; }
+
+ private:
+  Result<uint64_t> VaOf(const std::string& name) const;
+
+  const NetworkDef& net_;
+  GpuRuntime* runtime_;
+  std::map<std::string, GpuBuffer> buffers_;
+  bool ready_ = false;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ML_RUNNER_H_

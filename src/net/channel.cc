@@ -1,0 +1,57 @@
+#include "src/net/channel.h"
+
+namespace grt {
+
+NetworkConditions WifiConditions() {
+  return NetworkConditions{"wifi", 20 * kMillisecond, 80e6};
+}
+
+NetworkConditions CellularConditions() {
+  return NetworkConditions{"cellular", 50 * kMillisecond, 40e6};
+}
+
+NetworkConditions LoopbackConditions() {
+  // Same-interconnect: sub-microsecond, effectively infinite bandwidth.
+  return NetworkConditions{"loopback", 2 * kMicrosecond, 1e12};
+}
+
+TimePoint NetChannel::SendOneWay(int from, uint64_t bytes) {
+  bytes += kWireOverheadBytes;
+  int to = 1 - from;
+  TimePoint arrival =
+      timelines_[from]->now() + cond_.OneWayLatency(bytes);
+  timelines_[to]->AdvanceTo(arrival);
+  stats_.messages[from] += 1;
+  stats_.bytes[from] += bytes;
+  // Radio is on for the serialization time on both ends; we charge the
+  // sender's airtime to the sender and the receive airtime to the receiver.
+  stats_.airtime[from] += Airtime(bytes);
+  stats_.airtime[to] += Airtime(bytes);
+  return arrival;
+}
+
+TimePoint NetChannel::SendNoAdvance(int from, uint64_t bytes) {
+  bytes += kWireOverheadBytes;
+  int to = 1 - from;
+  TimePoint arrival = timelines_[from]->now() + cond_.OneWayLatency(bytes);
+  stats_.messages[from] += 1;
+  stats_.bytes[from] += bytes;
+  stats_.airtime[from] += Airtime(bytes);
+  stats_.airtime[to] += Airtime(bytes);
+  return arrival;
+}
+
+TimePoint NetChannel::BlockingRoundTrip(int from, uint64_t request_bytes,
+                                        uint64_t response_bytes,
+                                        Duration remote_compute) {
+  int to = 1 - from;
+  TimePoint request_arrival = SendOneWay(from, request_bytes);
+  timelines_[to]->AdvanceTo(request_arrival);
+  timelines_[to]->Advance(remote_compute);
+  TimePoint response_arrival = SendOneWay(to, response_bytes);
+  timelines_[from]->AdvanceTo(response_arrival);
+  stats_.blocking_rtts += 1;
+  return response_arrival;
+}
+
+}  // namespace grt

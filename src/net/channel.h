@@ -1,0 +1,112 @@
+// Virtual-time network channel between the cloud VM and the client TEE.
+//
+// Conditions mirror the paper's NetEm setups (§7.2): WiFi-like
+// (20 ms RTT, 80 Mbps) and cellular-like (50 ms RTT, 40 Mbps).
+// The channel connects two Timelines. A message from A to B arrives at
+//   max(B.now, A.now + rtt/2 + bytes*8/bandwidth)
+// and advances B there. Blocking round trips additionally advance A to the
+// response arrival; one-way (asynchronous) messages do not block A — this
+// asymmetry is precisely what deferral/speculation exploit.
+#ifndef GRT_SRC_NET_CHANNEL_H_
+#define GRT_SRC_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/clock.h"
+
+namespace grt {
+
+struct NetworkConditions {
+  std::string name;
+  Duration rtt = 0;            // full round-trip latency
+  double bandwidth_bps = 0.0;  // payload bandwidth, bits per second
+
+  Duration OneWayLatency(uint64_t bytes) const {
+    return rtt / 2 + static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                                           bandwidth_bps * kSecond);
+  }
+};
+
+// The paper's two evaluation conditions.
+NetworkConditions WifiConditions();      // 20 ms RTT, 80 Mbps
+NetworkConditions CellularConditions();  // 50 ms RTT, 40 Mbps
+// Zero-latency "same interconnect" channel for local/baseline runs.
+NetworkConditions LoopbackConditions();
+
+// Per-message protocol overhead: TLS record framing + MAC + TCP/IP
+// headers. Applied to every message's latency and byte accounting (the
+// paper's 200-400 B commit payloads include this envelope).
+constexpr uint64_t kWireOverheadBytes = 96;
+
+// Endpoint indices.
+constexpr int kCloudEnd = 0;
+constexpr int kClientEnd = 1;
+
+struct ChannelStats {
+  uint64_t messages[2] = {0, 0};    // sent by endpoint i
+  uint64_t bytes[2] = {0, 0};       // payload bytes sent by endpoint i
+  uint64_t blocking_rtts = 0;       // round trips that stalled the sender
+  Duration airtime[2] = {0, 0};     // radio-on time attributed to endpoint i
+
+  uint64_t total_bytes() const { return bytes[0] + bytes[1]; }
+};
+
+class NetChannel {
+ public:
+  NetChannel(NetworkConditions cond, Timeline* cloud, Timeline* client)
+      : cond_(std::move(cond)) {
+    timelines_[kCloudEnd] = cloud;
+    timelines_[kClientEnd] = client;
+  }
+
+  const NetworkConditions& conditions() const { return cond_; }
+
+  // Fire-and-forget message: advances the receiver to the arrival instant,
+  // leaves the sender untouched. Returns the arrival time.
+  TimePoint SendOneWay(int from, uint64_t bytes);
+
+  // Synchronous request/response: the sender stalls until the response
+  // arrives (request latency + remote compute + response latency).
+  // Increments blocking_rtts.
+  TimePoint BlockingRoundTrip(int from, uint64_t request_bytes,
+                              uint64_t response_bytes,
+                              Duration remote_compute = 0);
+
+  // For asynchronous replies: accounts the message (bytes, airtime) and
+  // returns its arrival time WITHOUT advancing the receiver — receiving an
+  // async validation reply must not stall the cloud (§4.2). The caller
+  // advances to the returned instant only if/when it must wait.
+  TimePoint SendNoAdvance(int from, uint64_t bytes);
+
+  // Marks a round trip as blocking for the Table 1 statistic when the
+  // caller orchestrates the trip manually (e.g. executing remote state
+  // between request and response).
+  void NoteBlocking() { ++stats_.blocking_rtts; }
+
+  // For asynchronous commits: computes when a response launched by the
+  // receiver at `receiver_send_time` reaches `to`, advancing nothing.
+  TimePoint ResponseArrival(int /*to*/, TimePoint receiver_send_time,
+                            uint64_t bytes) const {
+    return receiver_send_time + cond_.OneWayLatency(bytes);
+  }
+
+  const ChannelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChannelStats{}; }
+
+  Timeline* timeline(int end) { return timelines_[end]; }
+
+ private:
+  Duration Airtime(uint64_t bytes) const {
+    return static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                                 cond_.bandwidth_bps * kSecond);
+  }
+
+  NetworkConditions cond_;
+  Timeline* timelines_[2];
+  ChannelStats stats_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_NET_CHANNEL_H_

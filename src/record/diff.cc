@@ -1,0 +1,101 @@
+#include "src/record/diff.h"
+
+#include <cstdio>
+
+#include "src/hw/regs.h"
+
+namespace grt {
+namespace {
+
+std::string Describe(size_t index, const std::string& what) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "entry %zu: %s",
+                index, what.c_str());
+  return buf;
+}
+
+}  // namespace
+
+LogDiff CompareInteractionLogs(const InteractionLog& expected,
+                               const InteractionLog& observed,
+                               const LogDiffOptions& options) {
+  LogDiff diff;
+  size_t n = std::min(expected.size(), observed.size());
+
+  auto note = [&](size_t i, bool structural, const std::string& what) {
+    if (diff.identical) {
+      diff.identical = false;
+      diff.first_divergence = i;
+      diff.description = Describe(i, what);
+    }
+    if (structural) {
+      ++diff.structure_mismatches;
+    } else {
+      ++diff.value_mismatches;
+    }
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    const LogEntry& e = expected.entries()[i];
+    const LogEntry& o = observed.entries()[i];
+    ++diff.entries_compared;
+    if (e.op != o.op) {
+      note(i, true, "entry kind differs");
+      continue;
+    }
+    switch (e.op) {
+      case LogOp::kRegWrite:
+        if (e.reg != o.reg || e.value != o.value) {
+          note(i, e.reg != o.reg,
+               std::string("write to ") + RegisterName(e.reg) + " differs");
+        }
+        break;
+      case LogOp::kRegRead: {
+        if (e.reg != o.reg) {
+          note(i, true, "read register differs");
+          break;
+        }
+        bool skip = options.ignore_nondeterministic_values &&
+                    IsNondeterministicRegister(e.reg);
+        if (!skip && e.value != o.value) {
+          char what[128];
+          std::snprintf(what, sizeof(what),
+                        "read %s: expected 0x%x, observed 0x%x",
+                        RegisterName(e.reg), e.value, o.value);
+          note(i, false, what);
+        }
+        break;
+      }
+      case LogOp::kPollWait:
+        if (e.reg != o.reg || e.mask != o.mask || e.expected != o.expected) {
+          note(i, true, std::string("poll on ") + RegisterName(e.reg) +
+                            " differs structurally");
+        }
+        break;
+      case LogOp::kDelay:
+        if (e.delay != o.delay) {
+          note(i, false, "delay length differs");
+        }
+        break;
+      case LogOp::kIrqWait:
+        if (e.irq_lines != o.irq_lines) {
+          note(i, false, "interrupt lines differ");
+        }
+        break;
+      case LogOp::kMemPage:
+        if (e.pa != o.pa || e.metastate != o.metastate) {
+          note(i, true, "memory page identity differs");
+        } else if (!options.ignore_page_contents && e.data != o.data) {
+          note(i, false, "memory page content differs");
+        }
+        break;
+    }
+  }
+
+  if (expected.size() != observed.size()) {
+    note(n, true, "log lengths differ");
+  }
+  return diff;
+}
+
+}  // namespace grt

@@ -1,0 +1,41 @@
+// Interaction-log comparison — the paper's "broader applicability" (§3.4):
+// "by comparing a client's GPU register logs and memory dumps with the
+// ones from the cloud, the cloud may detect and report firmware
+// malfunctioning and vendors may troubleshoot remotely."
+//
+// Compares an expected log (from a recording) against an observed log
+// (collected while replaying on the device under test) and localizes the
+// first deviation.
+#ifndef GRT_SRC_RECORD_DIFF_H_
+#define GRT_SRC_RECORD_DIFF_H_
+
+#include <string>
+
+#include "src/record/log.h"
+
+namespace grt {
+
+struct LogDiffOptions {
+  // Skip value comparison on inherently nondeterministic registers
+  // (LATEST_FLUSH, timestamps); structure is still compared.
+  bool ignore_nondeterministic_values = true;
+  // Skip comparison of memory-page contents (compare pa/class only).
+  bool ignore_page_contents = false;
+};
+
+struct LogDiff {
+  bool identical = true;
+  size_t first_divergence = 0;   // entry index (valid if !identical)
+  std::string description;       // human-readable deviation report
+  size_t entries_compared = 0;
+  size_t value_mismatches = 0;   // total differing read/poll values
+  size_t structure_mismatches = 0;  // differing kinds/registers/lengths
+};
+
+LogDiff CompareInteractionLogs(const InteractionLog& expected,
+                               const InteractionLog& observed,
+                               const LogDiffOptions& options = {});
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_DIFF_H_

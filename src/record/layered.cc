@@ -1,0 +1,99 @@
+#include "src/record/layered.h"
+
+namespace grt {
+
+Status LayeredReplayer::LoadSigned(const std::vector<Bytes>& wires,
+                                   const Bytes& key) {
+  std::vector<Recording> segments;
+  for (const Bytes& wire : wires) {
+    GRT_ASSIGN_OR_RETURN(Recording rec, Recording::ParseSigned(wire, key));
+    segments.push_back(std::move(rec));
+  }
+  return Load(std::move(segments));
+}
+
+Status LayeredReplayer::Load(std::vector<Recording> segments) {
+  if (segments.empty()) {
+    return InvalidArgument("no segments");
+  }
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const RecordingHeader& h = segments[i].header;
+    if (h.segment_index != i) {
+      return IntegrityViolation("segments out of order");
+    }
+    if (h.segment_count != segments.size()) {
+      return IntegrityViolation("segment count mismatch");
+    }
+    if (h.sku != segments[0].header.sku ||
+        h.record_nonce != segments[0].header.record_nonce) {
+      return IntegrityViolation("segments from different record runs");
+    }
+    if (h.sku != gpu_->sku().id) {
+      return FailedPrecondition(
+          "recording was produced for a different GPU SKU");
+    }
+  }
+  segments_ = std::move(segments);
+  return OkStatus();
+}
+
+Status LayeredReplayer::StageTensor(const std::string& name,
+                                    const std::vector<float>& data) {
+  if (segments_.empty()) {
+    return FailedPrecondition("StageTensor before Load");
+  }
+  auto it = segments_[0].bindings.find(name);
+  if (it == segments_[0].bindings.end()) {
+    return NotFound("no tensor binding '" + name + "'");
+  }
+  if (!it->second.writable_at_replay) {
+    return PermissionDenied("tensor '" + name + "' is not injectable");
+  }
+  if (data.size() != it->second.n_floats) {
+    return InvalidArgument("tensor '" + name + "' size mismatch");
+  }
+  staged_[name] = data;
+  return OkStatus();
+}
+
+Result<ReplayReport> LayeredReplayer::ReplayAll(size_t first_segment,
+                                                bool scrub_after_last) {
+  if (segments_.empty()) {
+    return FailedPrecondition("ReplayAll before Load");
+  }
+  if (first_segment >= segments_.size()) {
+    return OutOfRange("first_segment beyond the last segment");
+  }
+  ReplayReport total;
+  TimePoint start = timeline_->now();
+  for (size_t i = first_segment; i < segments_.size(); ++i) {
+    ReplayConfig config;
+    config.scrub_before = i == first_segment && first_segment == 0;
+    config.scrub_after = scrub_after_last && i + 1 == segments_.size();
+    Replayer replayer(gpu_, tzasc_, mem_, timeline_, config);
+    GRT_RETURN_IF_ERROR(replayer.Load(segments_[i]));
+    if (i == first_segment) {
+      for (const auto& [name, data] : staged_) {
+        GRT_RETURN_IF_ERROR(replayer.StageTensor(name, data));
+      }
+    }
+    GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+    total.entries_replayed += report.entries_replayed;
+    total.pages_applied += report.pages_applied;
+    total.reads_verified += report.reads_verified;
+  }
+  total.delay = timeline_->now() - start;
+  return total;
+}
+
+Result<std::vector<float>> LayeredReplayer::ReadTensor(
+    const std::string& name) const {
+  if (segments_.empty()) {
+    return FailedPrecondition("ReadTensor before Load");
+  }
+  Replayer probe(gpu_, tzasc_, mem_, timeline_);
+  GRT_RETURN_IF_ERROR(probe.Load(segments_[0]));
+  return probe.ReadTensor(name);
+}
+
+}  // namespace grt

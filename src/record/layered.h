@@ -1,0 +1,56 @@
+// LayeredReplayer: replays a sequence of per-layer recordings (Fig. 2).
+//
+// "To replay, a target ML app executes the recordings in the layer order."
+// Segment 0 carries the driver-initialization stimuli and the initial
+// memory image; each later segment carries one layer's jobs. Between
+// segments the GPU state persists (no scrubbing), so intermediate
+// activations flow from one layer's recording into the next — which is
+// exactly what makes the granularity composable: an app may re-run a
+// suffix of layers, or splice recordings that share a boundary.
+#ifndef GRT_SRC_RECORD_LAYERED_H_
+#define GRT_SRC_RECORD_LAYERED_H_
+
+#include <string>
+#include <vector>
+
+#include "src/record/replayer.h"
+
+namespace grt {
+
+class LayeredReplayer {
+ public:
+  LayeredReplayer(MaliGpu* gpu, Tzasc* tzasc, PhysicalMemory* mem,
+                  Timeline* timeline)
+      : gpu_(gpu), tzasc_(tzasc), mem_(mem), timeline_(timeline) {}
+
+  // Verifies and loads all segments (each individually signed). Segments
+  // must agree on SKU/nonce/count and arrive in order.
+  Status LoadSigned(const std::vector<Bytes>& wires, const Bytes& key);
+  Status Load(std::vector<Recording> segments);
+
+  // Staged tensors are injected at the start of segment 0.
+  Status StageTensor(const std::string& name, const std::vector<float>& data);
+
+  // Replays all segments in layer order. `first_segment` allows replaying
+  // a suffix when the device still holds the state of the preceding
+  // segments (composability); pass scrub_after_last=false to keep the
+  // hardware state for such a follow-up partial replay.
+  Result<ReplayReport> ReplayAll(size_t first_segment = 0,
+                                 bool scrub_after_last = true);
+
+  Result<std::vector<float>> ReadTensor(const std::string& name) const;
+
+  size_t segment_count() const { return segments_.size(); }
+
+ private:
+  MaliGpu* gpu_;
+  Tzasc* tzasc_;
+  PhysicalMemory* mem_;
+  Timeline* timeline_;
+  std::vector<Recording> segments_;
+  std::map<std::string, std::vector<float>> staged_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_LAYERED_H_

@@ -1,0 +1,114 @@
+#include "src/record/log.h"
+
+namespace grt {
+
+void LogEntry::Serialize(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(op));
+  switch (op) {
+    case LogOp::kRegWrite:
+    case LogOp::kRegRead:
+      w->PutU32(reg);
+      w->PutU32(value);
+      break;
+    case LogOp::kPollWait:
+      w->PutU32(reg);
+      w->PutU32(mask);
+      w->PutU32(expected);
+      w->PutU32(value);  // final observed value
+      break;
+    case LogOp::kDelay:
+      w->PutI64(delay);
+      break;
+    case LogOp::kIrqWait:
+      w->PutU8(irq_lines);
+      break;
+    case LogOp::kMemPage:
+      w->PutU64(pa);
+      w->PutBool(metastate);
+      w->PutBytes(data);
+      break;
+  }
+}
+
+Result<LogEntry> LogEntry::Deserialize(ByteReader* r) {
+  LogEntry e;
+  GRT_ASSIGN_OR_RETURN(uint8_t op_raw, r->ReadU8());
+  if (op_raw < 1 || op_raw > 6) {
+    return IntegrityViolation("bad log entry tag");
+  }
+  e.op = static_cast<LogOp>(op_raw);
+  switch (e.op) {
+    case LogOp::kRegWrite:
+    case LogOp::kRegRead: {
+      GRT_ASSIGN_OR_RETURN(e.reg, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.value, r->ReadU32());
+      break;
+    }
+    case LogOp::kPollWait: {
+      GRT_ASSIGN_OR_RETURN(e.reg, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.mask, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.expected, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.value, r->ReadU32());
+      break;
+    }
+    case LogOp::kDelay: {
+      GRT_ASSIGN_OR_RETURN(e.delay, r->ReadI64());
+      break;
+    }
+    case LogOp::kIrqWait: {
+      GRT_ASSIGN_OR_RETURN(e.irq_lines, r->ReadU8());
+      break;
+    }
+    case LogOp::kMemPage: {
+      GRT_ASSIGN_OR_RETURN(e.pa, r->ReadU64());
+      GRT_ASSIGN_OR_RETURN(e.metastate, r->ReadBool());
+      GRT_ASSIGN_OR_RETURN(e.data, r->ReadBytes());
+      break;
+    }
+  }
+  return e;
+}
+
+Status InteractionLog::PatchReadValue(size_t index, uint32_t value) {
+  if (index >= entries_.size()) {
+    return OutOfRange("PatchReadValue: bad index");
+  }
+  if (entries_[index].op != LogOp::kRegRead) {
+    return InvalidArgument("PatchReadValue: not a read entry");
+  }
+  entries_[index].value = value;
+  return OkStatus();
+}
+
+size_t InteractionLog::CountOf(LogOp op) const {
+  size_t n = 0;
+  for (const auto& e : entries_) {
+    n += (e.op == op);
+  }
+  return n;
+}
+
+Bytes InteractionLog::Serialize() const {
+  ByteWriter w;
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    e.Serialize(&w);
+  }
+  return w.Take();
+}
+
+Result<InteractionLog> InteractionLog::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  GRT_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  InteractionLog log;
+  for (uint32_t i = 0; i < n; ++i) {
+    GRT_ASSIGN_OR_RETURN(LogEntry e, LogEntry::Deserialize(&r));
+    log.Add(std::move(e));
+  }
+  if (!r.Done()) {
+    return IntegrityViolation("trailing bytes after log");
+  }
+  return log;
+}
+
+}  // namespace grt

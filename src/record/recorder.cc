@@ -1,0 +1,120 @@
+#include "src/record/recorder.h"
+
+#include <unordered_set>
+
+#include "src/common/hash.h"
+#include "src/hw/regs.h"
+
+namespace grt {
+namespace {
+
+bool IsJobStartWrite(uint32_t offset, uint32_t value) {
+  if (offset < kJobSlotBase ||
+      offset >= kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    return false;
+  }
+  uint32_t rel = (offset - kJobSlotBase) % kJobSlotStride;
+  return rel == kJsCommandNext && value == kJsCommandStart;
+}
+
+}  // namespace
+
+void Recorder::OnRegRead(uint32_t offset, uint32_t value) {
+  LogEntry e;
+  e.op = LogOp::kRegRead;
+  e.reg = offset;
+  e.value = value;
+  log_.Add(std::move(e));
+}
+
+void Recorder::OnRegWrite(uint32_t offset, uint32_t value) {
+  if (IsJobStartWrite(offset, value)) {
+    // §5: "Right before the register write that starts a new GPU job,
+    // [the recorder] dumps its local memory allocated to GPU."
+    SnapshotMemory();
+  }
+  LogEntry e;
+  e.op = LogOp::kRegWrite;
+  e.reg = offset;
+  e.value = value;
+  log_.Add(std::move(e));
+}
+
+void Recorder::OnPoll(uint32_t offset, uint32_t mask, uint32_t expected,
+                      const PollResult& result) {
+  LogEntry e;
+  e.op = LogOp::kPollWait;
+  e.reg = offset;
+  e.mask = mask;
+  e.expected = expected;
+  e.value = result.final_value;
+  log_.Add(std::move(e));
+}
+
+void Recorder::OnDelay(Duration d) {
+  LogEntry e;
+  e.op = LogOp::kDelay;
+  e.delay = d;
+  log_.Add(std::move(e));
+}
+
+void Recorder::OnIrqWait(const IrqStatus& status) {
+  LogEntry e;
+  e.op = LogOp::kIrqWait;
+  e.irq_lines = (status.job ? 1 : 0) | (status.gpu ? 2 : 0) |
+                (status.mmu ? 4 : 0);
+  log_.Add(std::move(e));
+}
+
+void Recorder::SnapshotMemory() {
+  std::vector<uint64_t> all = driver_->AllGpuPages();
+  std::vector<uint64_t> meta = driver_->MetastatePages();
+  std::unordered_set<uint64_t> meta_set(meta.begin(), meta.end());
+
+  for (uint64_t pa : all) {
+    auto view = mem_->PageView(pa);
+    if (!view.ok()) {
+      continue;  // page fell out of the carveout; nothing to record
+    }
+    uint32_t crc = Crc32(view.value(), kPageSize);
+    auto it = page_crc_.find(pa);
+    if (it != page_crc_.end() && it->second == crc) {
+      continue;  // unchanged since last snapshot
+    }
+    page_crc_[pa] = crc;
+    LogEntry e;
+    e.op = LogOp::kMemPage;
+    e.pa = pa;
+    e.metastate = meta_set.count(pa) > 0;
+    e.data.assign(view.value(), view.value() + kPageSize);
+    log_.Add(std::move(e));
+  }
+}
+
+Result<Recording> Recorder::Finish(
+    const std::string& workload, SkuId sku,
+    const std::map<std::string, TensorBinding>& bindings, uint64_t nonce) {
+  Recording rec;
+  rec.header.workload = workload;
+  rec.header.sku = sku;
+  rec.header.record_nonce = nonce;
+  rec.bindings = bindings;
+  rec.log = std::move(log_);
+  return rec;
+}
+
+Result<TensorBinding> MakeBinding(const KbaseDriver& driver, uint64_t va,
+                                  uint64_t n_floats, bool writable_at_replay) {
+  TensorBinding b;
+  b.va = va;
+  b.n_floats = n_floats;
+  b.writable_at_replay = writable_at_replay;
+  uint64_t bytes = n_floats * sizeof(float);
+  for (uint64_t off = 0; off < bytes; off += kPageSize) {
+    GRT_ASSIGN_OR_RETURN(uint64_t pa, driver.VaToPa(va + off));
+    b.pages.push_back(PageAlignDown(pa));
+  }
+  return b;
+}
+
+}  // namespace grt

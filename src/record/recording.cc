@@ -1,0 +1,90 @@
+#include "src/record/recording.h"
+
+namespace grt {
+
+Bytes Recording::SerializeBody() const {
+  ByteWriter w;
+  w.PutU32(header.magic);
+  w.PutU32(header.version);
+  w.PutString(header.workload);
+  w.PutU32(static_cast<uint32_t>(header.sku));
+  w.PutU64(header.record_nonce);
+  w.PutU32(header.segment_index);
+  w.PutU32(header.segment_count);
+
+  w.PutU32(static_cast<uint32_t>(bindings.size()));
+  for (const auto& [name, b] : bindings) {
+    w.PutString(name);
+    w.PutU64(b.va);
+    w.PutU64(b.n_floats);
+    w.PutU32(static_cast<uint32_t>(b.pages.size()));
+    for (uint64_t p : b.pages) {
+      w.PutU64(p);
+    }
+    w.PutBool(b.writable_at_replay);
+  }
+
+  w.PutBytes(log.Serialize());
+  return w.Take();
+}
+
+Bytes Recording::SerializeSigned(const Bytes& key) const {
+  Bytes body = SerializeBody();
+  Sha256Digest mac = HmacSha256(key, body);
+  ByteWriter w;
+  w.PutBytes(body);
+  w.PutRaw(mac.data(), mac.size());
+  return w.Take();
+}
+
+Result<Recording> Recording::ParseUnsigned(const Bytes& body) {
+  ByteReader r(body);
+  Recording rec;
+  GRT_ASSIGN_OR_RETURN(rec.header.magic, r.ReadU32());
+  if (rec.header.magic != RecordingHeader{}.magic) {
+    return IntegrityViolation("bad recording magic");
+  }
+  GRT_ASSIGN_OR_RETURN(rec.header.version, r.ReadU32());
+  if (rec.header.version != 1) {
+    return IntegrityViolation("unsupported recording version");
+  }
+  GRT_ASSIGN_OR_RETURN(rec.header.workload, r.ReadString());
+  GRT_ASSIGN_OR_RETURN(uint32_t sku_raw, r.ReadU32());
+  rec.header.sku = static_cast<SkuId>(sku_raw);
+  GRT_ASSIGN_OR_RETURN(rec.header.record_nonce, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(rec.header.segment_index, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(rec.header.segment_count, r.ReadU32());
+
+  GRT_ASSIGN_OR_RETURN(uint32_t n_bindings, r.ReadU32());
+  for (uint32_t i = 0; i < n_bindings; ++i) {
+    GRT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    TensorBinding b;
+    GRT_ASSIGN_OR_RETURN(b.va, r.ReadU64());
+    GRT_ASSIGN_OR_RETURN(b.n_floats, r.ReadU64());
+    GRT_ASSIGN_OR_RETURN(uint32_t n_pages, r.ReadU32());
+    for (uint32_t p = 0; p < n_pages; ++p) {
+      GRT_ASSIGN_OR_RETURN(uint64_t pa, r.ReadU64());
+      b.pages.push_back(pa);
+    }
+    GRT_ASSIGN_OR_RETURN(b.writable_at_replay, r.ReadBool());
+    rec.bindings[name] = std::move(b);
+  }
+
+  GRT_ASSIGN_OR_RETURN(Bytes log_bytes, r.ReadBytes());
+  GRT_ASSIGN_OR_RETURN(rec.log, InteractionLog::Deserialize(log_bytes));
+  return rec;
+}
+
+Result<Recording> Recording::ParseSigned(const Bytes& raw, const Bytes& key) {
+  ByteReader r(raw);
+  GRT_ASSIGN_OR_RETURN(Bytes body, r.ReadBytes());
+  Sha256Digest mac;
+  GRT_RETURN_IF_ERROR(r.ReadRaw(mac.data(), mac.size()));
+  Sha256Digest expected = HmacSha256(key, body);
+  if (expected != mac) {
+    return IntegrityViolation("recording signature verification failed");
+  }
+  return ParseUnsigned(body);
+}
+
+}  // namespace grt

@@ -1,0 +1,70 @@
+// The recording container: header + tensor bindings + interaction log,
+// signed by the producer (the cloud, §3.2: "DriverShim processes logged
+// interactions as a recording; it signs and sends the recording back").
+//
+// The replayer verifies the signature and the SKU identity before touching
+// the GPU: "the replayer only accepts recordings signed by the cloud"
+// (§7.1), and recordings are SKU-specific (§2.4).
+#ifndef GRT_SRC_RECORD_RECORDING_H_
+#define GRT_SRC_RECORD_RECORDING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/sha256.h"
+#include "src/common/status.h"
+#include "src/record/log.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+// Where a named workload tensor lives in GPU memory; the replayer uses
+// these to inject new inputs / model parameters and fetch outputs
+// ("the replayer injects a new input to the recorded input address and can
+// later retrieve the corresponding output from the recorded output
+// address", §2.3).
+struct TensorBinding {
+  uint64_t va = 0;
+  uint64_t n_floats = 0;
+  // Physical pages backing the tensor, in VA order (the replayer writes
+  // through physical addresses; it has no GPU stack to translate).
+  std::vector<uint64_t> pages;
+  bool writable_at_replay = false;  // inputs/parameters: yes; outputs: no
+};
+
+struct RecordingHeader {
+  uint32_t magic = 0x47525452;  // "GRTR"
+  uint32_t version = 1;
+  std::string workload;
+  SkuId sku = SkuId::kMaliG71Mp8;
+  uint64_t record_nonce = 0;  // freshness / identification
+  // Per-layer granularity (Fig. 2): this recording is segment k of n
+  // produced by one record run; {0, 1} for a monolithic recording.
+  uint32_t segment_index = 0;
+  uint32_t segment_count = 1;
+};
+
+class Recording {
+ public:
+  RecordingHeader header;
+  std::map<std::string, TensorBinding> bindings;
+  InteractionLog log;
+
+  // Serializes the body (everything except the signature).
+  Bytes SerializeBody() const;
+
+  // Body + HMAC trailer under `key` (the cloud/session key).
+  Bytes SerializeSigned(const Bytes& key) const;
+
+  // Verifies the trailer MAC and parses. Refuses tampered recordings.
+  static Result<Recording> ParseSigned(const Bytes& raw, const Bytes& key);
+
+  // Parses without verification (for introspection in trusted tests).
+  static Result<Recording> ParseUnsigned(const Bytes& body);
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_RECORDING_H_

@@ -1,0 +1,275 @@
+#include "src/record/replayer.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "src/common/log.h"
+#include "src/hw/regs.h"
+
+namespace grt {
+namespace {
+
+// True for a JS*_COMMAND_NEXT = START write (a job-chain kickoff).
+bool IsJobStartLike(const LogEntry& e) {
+  if (e.op != LogOp::kRegWrite || e.value != kJsCommandStart) {
+    return false;
+  }
+  if (e.reg < kJobSlotBase ||
+      e.reg >= kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    return false;
+  }
+  return (e.reg - kJobSlotBase) % kJobSlotStride == kJsCommandNext;
+}
+
+}  // namespace
+
+Status Replayer::LoadSigned(const Bytes& raw, const Bytes& signing_key) {
+  GRT_ASSIGN_OR_RETURN(Recording rec, Recording::ParseSigned(raw, signing_key));
+  return Load(std::move(rec));
+}
+
+Status Replayer::Load(Recording recording) {
+  // SKU check: recordings are SKU-specific; even subtle differences break
+  // replay (§2.4), so refuse early and explicitly.
+  if (recording.header.sku != gpu_->sku().id) {
+    return FailedPrecondition(
+        "recording was produced for a different GPU SKU");
+  }
+  recording_ = std::move(recording);
+  loaded_ = true;
+  return OkStatus();
+}
+
+Status Replayer::StageTensor(const std::string& name,
+                             const std::vector<float>& data) {
+  if (!loaded_) {
+    return FailedPrecondition("StageTensor before Load");
+  }
+  auto it = recording_.bindings.find(name);
+  if (it == recording_.bindings.end()) {
+    return NotFound("no tensor binding '" + name + "'");
+  }
+  if (!it->second.writable_at_replay) {
+    return PermissionDenied("tensor '" + name + "' is not injectable");
+  }
+  if (data.size() != it->second.n_floats) {
+    return InvalidArgument("tensor '" + name + "' size mismatch");
+  }
+  staged_[name] = data;
+  return OkStatus();
+}
+
+Status Replayer::InjectStaged() {
+  for (const auto& [name, data] : staged_) {
+    const TensorBinding& b = recording_.bindings.at(name);
+    uint64_t bytes = data.size() * sizeof(float);
+    const auto* src = reinterpret_cast<const uint8_t*>(data.data());
+    uint64_t done = 0;
+    size_t page_idx = 0;
+    while (done < bytes) {
+      if (page_idx >= b.pages.size()) {
+        return Internal("binding page list too short");
+      }
+      uint64_t chunk = std::min<uint64_t>(bytes - done, kPageSize);
+      GRT_RETURN_IF_ERROR(mem_->Write(b.pages[page_idx], src + done, chunk,
+                                      MemAccessOrigin::kCpuSecureWorld));
+      done += chunk;
+      ++page_idx;
+    }
+  }
+  return OkStatus();
+}
+
+Status Replayer::ApplyMemEntry(const LogEntry& e, ReplayReport* report) {
+  GRT_RETURN_IF_ERROR(mem_->Write(e.pa, e.data.data(), e.data.size(),
+                                  MemAccessOrigin::kCpuSecureWorld));
+  ++report->pages_applied;
+  // CPU copy cost for the page.
+  timeline_->Advance(static_cast<Duration>(e.data.size() / 8));  // ~8 B/ns
+  return OkStatus();
+}
+
+Status Replayer::WaitIrqLines(uint8_t lines) {
+  TimePoint deadline = timeline_->now() + config_.irq_timeout;
+  for (;;) {
+    uint8_t have = (gpu_->JobIrqAsserted() ? 1 : 0) |
+                   (gpu_->GpuIrqAsserted() ? 2 : 0) |
+                   (gpu_->MmuIrqAsserted() ? 4 : 0);
+    if ((have & lines) == lines) {
+      return OkStatus();
+    }
+    if (have != 0 && (have & lines) != have) {
+      // An interrupt the recording did not expect (e.g. an MMU fault while
+      // waiting for job completion): replay divergence.
+      return IntegrityViolation("unexpected interrupt lines during replay");
+    }
+    TimePoint next = gpu_->NextEventTime();
+    if (next == kNoEvent || next > deadline) {
+      return Timeout("replay IRQ wait timed out (want=" +
+                     std::to_string(lines) + " have=" + std::to_string(have) +
+                     " no_event=" + std::to_string(next == kNoEvent) + ")");
+    }
+    timeline_->AdvanceTo(next);
+  }
+}
+
+Result<ReplayReport> Replayer::Replay() {
+  if (!loaded_) {
+    return FailedPrecondition("Replay before Load");
+  }
+  ReplayReport report;
+  observed_.Clear();
+  TimePoint start = timeline_->now();
+
+  // Lock the GPU into the TEE and scrub hardware state (§3.2).
+  tzasc_->AssignGpu(World::kSecure);
+  if (config_.scrub_before) {
+    gpu_->HardReset();
+  }
+
+  // Pages owned by injected tensors are skipped when applying recorded
+  // images: the recorded (dry-run) content would clobber real data.
+  std::unordered_set<uint64_t> injected_pages;
+  for (const auto& [name, data] : staged_) {
+    for (uint64_t pa : recording_.bindings.at(name).pages) {
+      injected_pages.insert(pa);
+    }
+  }
+
+  bool first_image_done = false;
+  GRT_RETURN_IF_ERROR(InjectStaged());
+
+  constexpr Duration kMmioCost = 200 * kNanosecond;
+  for (const LogEntry& e : recording_.log.entries()) {
+    ++report.entries_replayed;
+    switch (e.op) {
+      case LogOp::kMemPage: {
+        if (injected_pages.count(e.pa) > 0) {
+          break;  // superseded by injected tensor data
+        }
+        // After the initial image, only metastate pages are reapplied:
+        // program-data pages mid-run reflect the dry run's (zero-input)
+        // compute and must not overwrite real intermediate results.
+        if (first_image_done && !e.metastate) {
+          break;
+        }
+        GRT_RETURN_IF_ERROR(ApplyMemEntry(e, &report));
+        if (config_.collect_observed) {
+          observed_.Add(e);
+        }
+        break;
+      }
+      case LogOp::kRegWrite: {
+        timeline_->Advance(kMmioCost);
+        GRT_RETURN_IF_ERROR(
+            tzasc_->WriteGpuRegister(World::kSecure, gpu_, e.reg, e.value));
+        if (config_.collect_observed) {
+          observed_.Add(e);
+        }
+        if (!first_image_done && IsJobStartLike(e)) {
+          first_image_done = true;
+        }
+        break;
+      }
+      case LogOp::kRegRead: {
+        timeline_->Advance(kMmioCost);
+        GRT_ASSIGN_OR_RETURN(
+            uint32_t v, tzasc_->ReadGpuRegister(World::kSecure, gpu_, e.reg));
+        if (config_.collect_observed) {
+          LogEntry obs = e;
+          obs.value = v;
+          observed_.Add(std::move(obs));
+        }
+        if (config_.verify_reads && !IsNondeterministicRegister(e.reg)) {
+          if (v != e.value) {
+            return IntegrityViolation(
+                std::string("replay divergence at register ") +
+                RegisterName(e.reg) + ", entry " +
+                std::to_string(report.entries_replayed) + ": got " +
+                std::to_string(v) + " want " + std::to_string(e.value));
+          }
+          ++report.reads_verified;
+        }
+        break;
+      }
+      case LogOp::kPollWait: {
+        bool satisfied = false;
+        for (int i = 0; i < config_.poll_max_iters; ++i) {
+          timeline_->Advance(kMmioCost);
+          GRT_ASSIGN_OR_RETURN(uint32_t v, tzasc_->ReadGpuRegister(
+                                               World::kSecure, gpu_, e.reg));
+          if ((v & e.mask) == e.expected) {
+            satisfied = true;
+            break;
+          }
+          // Between iterations, let the device make progress.
+          TimePoint next = gpu_->NextEventTime();
+          if (next != kNoEvent) {
+            timeline_->AdvanceTo(next);
+          } else {
+            timeline_->Advance(config_.poll_iter_delay);
+          }
+        }
+        if (!satisfied) {
+          return Timeout("replay poll never satisfied at entry " +
+                         std::to_string(report.entries_replayed));
+        }
+        if (config_.collect_observed) {
+          observed_.Add(e);
+        }
+        break;
+      }
+      case LogOp::kDelay: {
+        timeline_->Advance(e.delay);
+        if (config_.collect_observed) {
+          observed_.Add(e);
+        }
+        break;
+      }
+      case LogOp::kIrqWait: {
+        Status irq_status = WaitIrqLines(e.irq_lines);
+        if (!irq_status.ok()) {
+          return Status(irq_status.code(),
+                        irq_status.message() + " at entry " +
+                            std::to_string(report.entries_replayed));
+        }
+        if (config_.collect_observed) {
+          observed_.Add(e);
+        }
+        break;
+      }
+    }
+  }
+
+  // Scrub and release (unless the caller resumes from this state).
+  if (config_.scrub_after) {
+    gpu_->HardReset();
+    tzasc_->AssignGpu(World::kNormal);
+  }
+
+  report.delay = timeline_->now() - start;
+  return report;
+}
+
+Result<std::vector<float>> Replayer::ReadTensor(const std::string& name) const {
+  auto it = recording_.bindings.find(name);
+  if (it == recording_.bindings.end()) {
+    return NotFound("no tensor binding '" + name + "'");
+  }
+  const TensorBinding& b = it->second;
+  std::vector<float> out(b.n_floats);
+  uint64_t bytes = b.n_floats * sizeof(float);
+  auto* dst = reinterpret_cast<uint8_t*>(out.data());
+  uint64_t done = 0;
+  size_t page_idx = 0;
+  while (done < bytes) {
+    uint64_t chunk = std::min<uint64_t>(bytes - done, kPageSize);
+    GRT_RETURN_IF_ERROR(mem_->Read(b.pages[page_idx], dst + done, chunk,
+                                   MemAccessOrigin::kCpuSecureWorld));
+    done += chunk;
+    ++page_idx;
+  }
+  return out;
+}
+
+}  // namespace grt

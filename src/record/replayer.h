@@ -1,0 +1,109 @@
+// Replayer: reproduces recorded GPU computation inside the TEE, with no
+// GPU stack present (§2.3, §3.2).
+//
+// The replayer is deliberately tiny and has no dependency on the driver,
+// runtime, or ML framework — the paper's point is that this is the only
+// GPU-facing code deployed inside TrustZone ("a few KSLoC, ... contains no
+// vulnerabilities commonly seen in a GPU stack").
+//
+// Replay procedure:
+//   1. verify the recording's signature and SKU identity;
+//   2. lock the GPU to the secure world and reset it;
+//   3. apply recorded memory images (metastate always; program-data pages
+//      unless superseded by injected tensors);
+//   4. inject new input / model parameters at the recorded addresses;
+//   5. replay register stimuli, re-validating recorded read values on
+//      deterministic registers, re-waiting polls and interrupts;
+//   6. read outputs from the recorded output addresses; reset the GPU and
+//      release it.
+#ifndef GRT_SRC_RECORD_REPLAYER_H_
+#define GRT_SRC_RECORD_REPLAYER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/hw/gpu.h"
+#include "src/record/recording.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+
+struct ReplayConfig {
+  bool verify_reads = true;
+  // Reset the GPU before starting. Segment 0 of a layered replay (and any
+  // monolithic replay) wants this; later segments continue from the
+  // hardware state the previous segment left.
+  bool scrub_before = true;
+  // Reset the GPU and release it to the normal world when done. Normal
+  // replay wants this (§3.2); misprediction recovery must NOT scrub —
+  // the recording session resumes from the replayed hardware state.
+  bool scrub_after = true;
+  Duration poll_iter_delay = 3 * kMicrosecond;
+  int poll_max_iters = 100000;
+  Duration irq_timeout = 60 * kSecond;  // virtual
+  // Collect the interactions actually observed on this device; diffing the
+  // observed log against the recording localizes firmware malfunction
+  // (§3.4 remote debugging). Adds memory/time overhead.
+  bool collect_observed = false;
+};
+
+struct ReplayReport {
+  Duration delay = 0;          // end-to-end replay time (Table 2 metric)
+  size_t entries_replayed = 0;
+  size_t pages_applied = 0;
+  size_t reads_verified = 0;
+};
+
+class Replayer {
+ public:
+  Replayer(MaliGpu* gpu, Tzasc* tzasc, PhysicalMemory* mem,
+           Timeline* timeline, ReplayConfig config = ReplayConfig{})
+      : gpu_(gpu), tzasc_(tzasc), mem_(mem), timeline_(timeline),
+        config_(config) {}
+
+  // Verifies signature + SKU and loads the recording.
+  Status LoadSigned(const Bytes& raw, const Bytes& signing_key);
+  // Loads a parsed recording (trusted path for tests).
+  Status Load(Recording recording);
+
+  // Stages tensor data to inject (model parameters, new input). Data is
+  // written at replay start through the recorded physical pages.
+  Status StageTensor(const std::string& name, const std::vector<float>& data);
+
+  // Runs the replay. May be called repeatedly (each call resets the GPU,
+  // reapplies memory, and re-injects staged tensors) — "the replay can
+  // recur within the TEE on new input repeatedly".
+  Result<ReplayReport> Replay();
+
+  // Reads a tensor (typically the output) from the recorded pages.
+  Result<std::vector<float>> ReadTensor(const std::string& name) const;
+
+  // The device-observed interaction log of the last Replay() (only
+  // populated with config.collect_observed).
+  const InteractionLog& observed_log() const { return observed_; }
+
+  const Recording& recording() const { return recording_; }
+
+ private:
+  Status ApplyMemEntry(const LogEntry& e, ReplayReport* report);
+  Status InjectStaged();
+  Status WaitIrqLines(uint8_t lines);
+
+  MaliGpu* gpu_;
+  Tzasc* tzasc_;
+  PhysicalMemory* mem_;
+  Timeline* timeline_;
+  ReplayConfig config_;
+  Recording recording_;
+  InteractionLog observed_;
+  bool loaded_ = false;
+  std::map<std::string, std::vector<float>> staged_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_REPLAYER_H_

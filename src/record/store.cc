@@ -1,0 +1,92 @@
+#include "src/record/store.h"
+
+#include "src/common/sha256.h"
+
+namespace grt {
+
+std::string RecordingStore::KeyOf(const std::string& workload, SkuId sku) {
+  return workload + "|" + std::to_string(static_cast<uint32_t>(sku));
+}
+
+Status RecordingStore::Install(const Bytes& signed_recording) {
+  GRT_ASSIGN_OR_RETURN(Recording rec,
+                       Recording::ParseSigned(signed_recording, key_));
+  std::string k = KeyOf(rec.header.workload, rec.header.sku);
+  auto it = entries_.find(k);
+  if (it != entries_.end()) {
+    // Only accept strictly newer recordings for the same identity (a
+    // rolled-back recording could reintroduce a withdrawn computation).
+    auto existing = Recording::ParseSigned(it->second, key_);
+    if (existing.ok() &&
+        existing->header.record_nonce >= rec.header.record_nonce) {
+      return FailedPrecondition(
+          "an equal-or-newer recording is already installed");
+    }
+  }
+  entries_[k] = signed_recording;
+  return OkStatus();
+}
+
+Result<Recording> RecordingStore::Load(const std::string& workload,
+                                       SkuId sku) const {
+  auto it = entries_.find(KeyOf(workload, sku));
+  if (it == entries_.end()) {
+    return NotFound("no recording for '" + workload + "' on this SKU");
+  }
+  // Re-verify on every load: stored bytes are outside the TCB at rest.
+  return Recording::ParseSigned(it->second, key_);
+}
+
+bool RecordingStore::Contains(const std::string& workload, SkuId sku) const {
+  return Load(workload, sku).ok();
+}
+
+Status RecordingStore::Remove(const std::string& workload, SkuId sku) {
+  if (entries_.erase(KeyOf(workload, sku)) == 0) {
+    return NotFound("no such recording");
+  }
+  return OkStatus();
+}
+
+Bytes RecordingStore::Seal() const {
+  ByteWriter w;
+  w.PutString("grt-store-v1");
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const auto& [k, bytes] : entries_) {
+    w.PutString(k);
+    w.PutBytes(bytes);
+  }
+  Bytes body = w.Take();
+  Sha256Digest mac = HmacSha256(key_, body);
+  ByteWriter sealed;
+  sealed.PutBytes(body);
+  sealed.PutRaw(mac.data(), mac.size());
+  return sealed.Take();
+}
+
+Result<RecordingStore> RecordingStore::Unseal(const Bytes& sealed,
+                                              Bytes key) {
+  ByteReader r(sealed);
+  GRT_ASSIGN_OR_RETURN(Bytes body, r.ReadBytes());
+  Sha256Digest mac;
+  GRT_RETURN_IF_ERROR(r.ReadRaw(mac.data(), mac.size()));
+  if (HmacSha256(key, body) != mac) {
+    return IntegrityViolation("sealed store authentication failed");
+  }
+
+  ByteReader br(body);
+  GRT_ASSIGN_OR_RETURN(std::string magic, br.ReadString());
+  if (magic != "grt-store-v1") {
+    return IntegrityViolation("bad store magic");
+  }
+  RecordingStore store(std::move(key));
+  GRT_ASSIGN_OR_RETURN(uint32_t n, br.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    GRT_ASSIGN_OR_RETURN(std::string k, br.ReadString());
+    GRT_ASSIGN_OR_RETURN(Bytes bytes, br.ReadBytes());
+    store.entries_[k] = std::move(bytes);
+  }
+  return store;
+}
+
+}  // namespace grt

@@ -1,0 +1,54 @@
+// RecordingStore: the client TEE's persistent recording cache.
+//
+// §3.1: after the one-time dry run, "for actual executions of the ML
+// workload, the client TEE replays the recorded CPU/GPU interactions on
+// new input; it no longer invokes the cloud." The store holds downloaded,
+// signed recordings keyed by (workload, SKU), re-verifies the signature on
+// every load (the flash contents cross the TEE boundary), and persists to
+// a single blob the TEE can seal to storage.
+#ifndef GRT_SRC_RECORD_STORE_H_
+#define GRT_SRC_RECORD_STORE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/record/recording.h"
+
+namespace grt {
+
+class RecordingStore {
+ public:
+  // `key` authenticates both individual recordings and the sealed image.
+  explicit RecordingStore(Bytes key) : key_(std::move(key)) {}
+
+  // Installs a signed recording (e.g. fresh from a record session).
+  // Verifies before accepting; replaces an existing entry for the same
+  // (workload, SKU) only if the nonce is newer.
+  Status Install(const Bytes& signed_recording);
+
+  // Loads and re-verifies a recording for this workload + device SKU.
+  Result<Recording> Load(const std::string& workload, SkuId sku) const;
+
+  // True if a verified entry exists.
+  bool Contains(const std::string& workload, SkuId sku) const;
+
+  Status Remove(const std::string& workload, SkuId sku);
+
+  size_t size() const { return entries_.size(); }
+
+  // Seals the whole store into one authenticated blob / restores it.
+  Bytes Seal() const;
+  static Result<RecordingStore> Unseal(const Bytes& sealed, Bytes key);
+
+ private:
+  static std::string KeyOf(const std::string& workload, SkuId sku);
+
+  Bytes key_;
+  std::map<std::string, Bytes> entries_;  // (workload|sku) -> signed bytes
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_STORE_H_

@@ -1,0 +1,132 @@
+#include "src/runtime/runtime.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kShaderRegionBytes = 64 * 1024;
+constexpr uint64_t kCommandRegionBytes = 256 * 1024;  // 2048 descriptor slots
+// CPU-side cost of preparing one job: command emission, bookkeeping. This
+// is the GPU-stack overhead replay elides (Table 2's ~25% advantage).
+constexpr Duration kJobPrepCost = 120 * kMicrosecond;
+constexpr double kCpuCopyBytesPerNs = 8.0;
+
+}  // namespace
+
+ShaderBlobHeader JitShaderHeader(GpuOp op, const GpuSku& sku) {
+  ShaderBlobHeader h;
+  h.layout_version = sku.mem_layout_version;
+  h.op = op;
+  h.core_count = static_cast<uint32_t>(sku.core_count());
+  // Tiling scales with parallel width — the SKU-specific decision that
+  // early-binds a recording to its GPU (§2.4).
+  h.tile_m = 4 * h.core_count;
+  h.tile_n = 2 * h.core_count;
+  h.code_len = 384 + 24 * h.core_count;
+  return h;
+}
+
+GpuRuntime::GpuRuntime(KbaseDriver* driver) : driver_(driver) {}
+
+Status GpuRuntime::EnsureInfraRegions() {
+  if (shader_region_va_ != 0) {
+    return OkStatus();
+  }
+  GRT_ASSIGN_OR_RETURN(shader_region_va_,
+                       driver_->AllocRegion(kShaderRegionBytes,
+                                            RegionUsage::kShaderCode));
+  GRT_ASSIGN_OR_RETURN(command_region_va_,
+                       driver_->AllocRegion(kCommandRegionBytes,
+                                            RegionUsage::kCommands));
+  return OkStatus();
+}
+
+Result<GpuBuffer> GpuRuntime::AllocBuffer(uint64_t n_floats,
+                                          RegionUsage usage) {
+  GRT_RETURN_IF_ERROR(EnsureInfraRegions());
+  GpuBuffer b;
+  b.n_floats = n_floats;
+  b.usage = usage;
+  GRT_ASSIGN_OR_RETURN(b.va,
+                       driver_->AllocRegion(n_floats * sizeof(float), usage));
+  finalized_ = false;
+  return b;
+}
+
+Status GpuRuntime::Upload(const GpuBuffer& buffer,
+                          const std::vector<float>& data) {
+  if (data.size() > buffer.n_floats) {
+    return InvalidArgument("Upload larger than buffer");
+  }
+  stats_.bytes_uploaded += data.size() * sizeof(float);
+  driver_->kernel()->bus()->timeline()->Advance(static_cast<Duration>(
+      data.size() * sizeof(float) / kCpuCopyBytesPerNs));
+  return driver_->CpuWrite(buffer.va, data.data(),
+                           data.size() * sizeof(float));
+}
+
+Result<std::vector<float>> GpuRuntime::Download(const GpuBuffer& buffer) {
+  std::vector<float> out(buffer.n_floats);
+  GRT_RETURN_IF_ERROR(
+      driver_->CpuRead(buffer.va, out.data(), out.size() * sizeof(float)));
+  stats_.bytes_downloaded += out.size() * sizeof(float);
+  driver_->kernel()->bus()->timeline()->Advance(static_cast<Duration>(
+      out.size() * sizeof(float) / kCpuCopyBytesPerNs));
+  return out;
+}
+
+Status GpuRuntime::Finalize() {
+  GRT_RETURN_IF_ERROR(EnsureInfraRegions());
+  GRT_RETURN_IF_ERROR(driver_->MmuFlush());
+  finalized_ = true;
+  return OkStatus();
+}
+
+Result<std::pair<uint64_t, uint32_t>> GpuRuntime::ShaderFor(GpuOp op) {
+  auto it = shader_cache_.find(op);
+  if (it != shader_cache_.end()) {
+    return it->second;
+  }
+  if (!driver_->probed()) {
+    return FailedPrecondition("runtime used before driver probe");
+  }
+  ShaderBlobHeader header = JitShaderHeader(op, driver_->sku());
+  Bytes blob = BuildShaderBlob(header);
+  if (shader_region_used_ + blob.size() > kShaderRegionBytes) {
+    return ResourceExhausted("shader region full");
+  }
+  uint64_t va = shader_region_va_ + shader_region_used_;
+  GRT_RETURN_IF_ERROR(driver_->CpuWrite(va, blob.data(), blob.size()));
+  // Round the next blob to 64B, like a real code allocator.
+  shader_region_used_ += (blob.size() + 63) & ~63ull;
+  ++stats_.shaders_compiled;
+  auto entry = std::make_pair(va, static_cast<uint32_t>(blob.size()));
+  shader_cache_[op] = entry;
+  return entry;
+}
+
+Result<JobRunStats> GpuRuntime::RunJob(JobDescriptor desc) {
+  if (!finalized_) {
+    return FailedPrecondition("RunJob before Finalize");
+  }
+  GRT_ASSIGN_OR_RETURN(auto shader, ShaderFor(desc.op));
+  desc.layout_version = driver_->sku().mem_layout_version;
+  desc.shader_va = shader.first;
+  desc.shader_len = shader.second;
+  desc.next_job_va = 0;
+
+  // Emit the descriptor into the next command slot (CPU work).
+  driver_->kernel()->bus()->timeline()->Advance(kJobPrepCost);
+  uint64_t slot_va =
+      command_region_va_ + static_cast<uint64_t>(next_descriptor_slot_) *
+                               kJobDescSize;
+  next_descriptor_slot_ =
+      (next_descriptor_slot_ + 1) %
+      static_cast<uint32_t>(kCommandRegionBytes / kJobDescSize);
+  Bytes raw = desc.Serialize();
+  GRT_RETURN_IF_ERROR(driver_->CpuWrite(slot_va, raw.data(), raw.size()));
+
+  ++stats_.jobs_enqueued;
+  return driver_->RunJobChain(slot_va);
+}
+
+}  // namespace grt

@@ -1,0 +1,81 @@
+// GpuRuntime: the userspace GPU runtime (the libmali/OpenCL layer of §2.1).
+//
+// Responsibilities mirror the real runtime's: allocate GPU buffers through
+// the driver's ioctl surface, JIT-"compile" kernels into shader blobs whose
+// tiling is parameterized by the GPU SKU (core count — the early-binding
+// property of §2.4), emit job descriptors into the command region, and
+// enqueue jobs (in-order, queue depth 1 per §5).
+#ifndef GRT_SRC_RUNTIME_RUNTIME_H_
+#define GRT_SRC_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/driver/kbase.h"
+#include "src/hw/job_format.h"
+
+namespace grt {
+
+struct GpuBuffer {
+  uint64_t va = 0;
+  uint64_t n_floats = 0;
+  RegionUsage usage = RegionUsage::kDataScratch;
+
+  uint64_t bytes() const { return n_floats * sizeof(float); }
+};
+
+struct RuntimeStats {
+  uint64_t jobs_enqueued = 0;
+  uint64_t shaders_compiled = 0;
+  uint64_t bytes_uploaded = 0;
+  uint64_t bytes_downloaded = 0;
+};
+
+class GpuRuntime {
+ public:
+  explicit GpuRuntime(KbaseDriver* driver);
+
+  // Buffer management. Buffers are page-aligned (one region each), which
+  // is also what makes tensor bindings page-addressable for the replayer.
+  Result<GpuBuffer> AllocBuffer(uint64_t n_floats, RegionUsage usage);
+  Status Upload(const GpuBuffer& buffer, const std::vector<float>& data);
+  Result<std::vector<float>> Download(const GpuBuffer& buffer);
+
+  // Makes all mappings visible to the GPU. Must be called after the last
+  // AllocBuffer and before the first job.
+  Status Finalize();
+
+  // Enqueues a single compute job and runs it to completion (synchronous,
+  // queue length 1). `desc` needs op/inputs/outputs/params; the runtime
+  // fills in shader fields and layout version.
+  Result<JobRunStats> RunJob(JobDescriptor desc);
+
+  const RuntimeStats& stats() const { return stats_; }
+  KbaseDriver* driver() { return driver_; }
+
+ private:
+  // Returns (va, len) of the JIT-compiled shader blob for `op`, compiling
+  // and caching on first use.
+  Result<std::pair<uint64_t, uint32_t>> ShaderFor(GpuOp op);
+  Status EnsureInfraRegions();
+
+  KbaseDriver* driver_;
+  RuntimeStats stats_;
+
+  uint64_t shader_region_va_ = 0;
+  uint64_t shader_region_used_ = 0;
+  uint64_t command_region_va_ = 0;
+  uint32_t next_descriptor_slot_ = 0;
+  std::map<GpuOp, std::pair<uint64_t, uint32_t>> shader_cache_;
+  bool finalized_ = false;
+};
+
+// The per-SKU tiling decision of the "JIT" — exposed for tests asserting
+// that different SKUs produce different shader binaries.
+ShaderBlobHeader JitShaderHeader(GpuOp op, const GpuSku& sku);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RUNTIME_RUNTIME_H_

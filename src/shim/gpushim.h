@@ -1,0 +1,106 @@
+// GpuShim: the client-TEE half of GR-T's recorder (§3.2).
+//
+// Instantiated as a TEE module: it locks the GPU away from the normal
+// world for the duration of a recording session, executes register-access
+// batches and offloaded polling loops on behalf of the cloud's DriverShim,
+// forwards interrupts (with the client->cloud memory dump), applies
+// cloud->client memory synchronization, and performs the client half of
+// misprediction recovery (reset + local log replay, §4.2).
+#ifndef GRT_SRC_SHIM_GPUSHIM_H_
+#define GRT_SRC_SHIM_GPUSHIM_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/hw/gpu.h"
+#include "src/mem/phys_mem.h"
+#include "src/record/log.h"
+#include "src/shim/memsync.h"
+#include "src/shim/wire.h"
+#include "src/tee/soc.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+
+class GpuShim {
+ public:
+  GpuShim(MaliGpu* gpu, Tzasc* tzasc, PhysicalMemory* mem, Timeline* timeline,
+          bool meta_only_sync, bool compress_sync,
+          SocResources* soc = nullptr);
+
+  // Locks the GPU into the secure world and scrubs hardware state.
+  void BeginSession();
+  // Scrubs and releases the GPU back to the normal world.
+  void EndSession();
+
+  // Executes a commit batch in program order against the physical GPU.
+  // Returns the serialized CommitReplyMsg.
+  Result<Bytes> ExecuteCommit(const Bytes& batch_bytes);
+
+  // Runs an offloaded polling loop locally (§4.3): one round trip total.
+  Result<Bytes> ExecutePoll(const Bytes& request_bytes);
+
+  // Applies a cloud->client memory synchronization message.
+  Status ApplyCloudSync(const Bytes& msg);
+
+  // Blocks (in virtual time) until the GPU raises an interrupt, then
+  // builds the IrqEventMsg carrying the client->cloud memory dump.
+  Result<IrqEventMsg> AwaitIrq(Duration timeout);
+
+  // Client half of misprediction recovery: reset the GPU and replay the
+  // interaction log locally (no network). Returns the time it took.
+  Result<Duration> RecoverByReplay(const InteractionLog& log, SkuId sku);
+
+  // Fault injection (§7.3): corrupt the read values in the next commit
+  // reply. The GPU executes correctly; only the reply is wrong, modeling a
+  // response that deviates from the cloud's prediction.
+  void CorruptNextReply() { corrupt_next_reply_ = true; }
+
+  // True values of a commit's reads (pre-corruption), re-reported to the
+  // cloud during recovery. Returns nullptr for unknown sequence numbers.
+  const std::vector<uint32_t>* TrueValuesFor(uint64_t seq) const {
+    auto it = true_values_.find(seq);
+    return it == true_values_.end() ? nullptr : &it->second;
+  }
+
+  uint64_t batches_executed() const { return batches_executed_; }
+  const MemSyncStats& sync_stats() const { return sync_.stats(); }
+  // §5 continuous validation: GPU-origin memory accesses outside
+  // cloud-sanctioned activity (commits, polls, interrupt waits) trapped
+  // while a recording session is open.
+  uint64_t spurious_gpu_traps() const { return spurious_gpu_traps_; }
+
+ private:
+  MaliGpu* gpu_;
+  Tzasc* tzasc_;
+  SocResources* soc_;
+  PhysicalMemory* mem_;
+  Timeline* timeline_;
+  MemSyncEngine sync_;  // both directions share the last-agreed baseline
+  // RAII sanction scope for cloud-directed GPU activity.
+  class Sanction {
+   public:
+    explicit Sanction(GpuShim* shim) : shim_(shim) {
+      shim_->sanctioned_ = true;
+    }
+    ~Sanction() { shim_->sanctioned_ = false; }
+
+   private:
+    GpuShim* shim_;
+  };
+
+  uint64_t expected_seq_ = 0;
+  uint64_t batches_executed_ = 0;
+  bool sanctioned_ = false;
+  int session_policy_id_ = 0;
+  uint64_t spurious_gpu_traps_ = 0;
+  bool corrupt_next_reply_ = false;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> true_values_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SHIM_GPUSHIM_H_

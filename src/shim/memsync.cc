@@ -1,0 +1,143 @@
+#include "src/shim/memsync.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "src/compress/delta.h"
+#include "src/compress/range_coder.h"
+
+namespace grt {
+
+std::vector<PageRun> BuildManifest(const std::vector<uint64_t>& all_pages,
+                                   const std::vector<uint64_t>& meta_pages) {
+  std::map<uint64_t, bool> pages;  // pa -> meta
+  for (uint64_t pa : all_pages) {
+    pages[pa] = false;
+  }
+  for (uint64_t pa : meta_pages) {
+    pages[pa] = true;
+  }
+  std::vector<PageRun> runs;
+  for (const auto& [pa, meta] : pages) {
+    if (!runs.empty() &&
+        runs.back().start_pa + runs.back().n_pages * kPageSize == pa &&
+        runs.back().meta == meta) {
+      ++runs.back().n_pages;
+    } else {
+      runs.push_back(PageRun{pa, 1, meta});
+    }
+  }
+  return runs;
+}
+
+Bytes& MemSyncEngine::BaselineFor(uint64_t pa) {
+  Bytes& baseline = baseline_[pa];
+  if (baseline.empty()) {
+    baseline.assign(kPageSize, 0);  // both sides start zeroed
+  }
+  return baseline;
+}
+
+Result<Bytes> MemSyncEngine::BuildSync(const std::vector<PageRun>& manifest) {
+  ByteWriter w;
+  // Manifest travels with every sync (compact: a few dozen runs).
+  w.PutU32(static_cast<uint32_t>(manifest.size()));
+  for (const PageRun& run : manifest) {
+    w.PutU64(run.start_pa);
+    w.PutU32(run.n_pages);
+    w.PutBool(run.meta);
+  }
+
+  ByteWriter pages;
+  uint64_t total_pages = 0;
+  for (const PageRun& run : manifest) {
+    total_pages += run.n_pages;
+  }
+  if (!compress_) {
+    pages.Reserve(total_pages * (kPageSize + 16));
+  }
+  uint32_t n_pages = 0;
+  for (const PageRun& run : manifest) {
+    for (uint32_t i = 0; i < run.n_pages; ++i) {
+      uint64_t pa = run.start_pa + static_cast<uint64_t>(i) * kPageSize;
+      if (meta_only_ && !run.meta) {
+        continue;
+      }
+      stats_.raw_bytes += kPageSize;
+      ++stats_.pages_considered;
+      GRT_ASSIGN_OR_RETURN(const uint8_t* view, mem_->PageView(pa));
+
+      if (!compress_) {
+        // Naive: raw page, every sync, no dedup.
+        pages.PutU64(pa);
+        pages.PutU8(static_cast<uint8_t>(PageEncoding::kRaw));
+        pages.PutBytes(view, kPageSize);
+        ++n_pages;
+        ++stats_.pages_shipped;
+        continue;
+      }
+
+      Bytes& baseline = BaselineFor(pa);
+      if (std::memcmp(baseline.data(), view, kPageSize) == 0) {
+        continue;  // unchanged since the parties last agreed
+      }
+      Bytes content(view, view + kPageSize);
+      Bytes delta = XorDelta(baseline, content);
+      Bytes encoded = RangeEncode(ZeroRleEncode(delta));
+      baseline = std::move(content);
+      pages.PutU64(pa);
+      pages.PutU8(static_cast<uint8_t>(PageEncoding::kCompressedDelta));
+      pages.PutBytes(encoded);
+      ++n_pages;
+      ++stats_.pages_shipped;
+    }
+  }
+
+  w.PutU32(n_pages);
+  w.PutRaw(pages.bytes());
+  ++stats_.syncs;
+  Bytes out = w.Take();
+  stats_.wire_bytes += out.size();
+  return out;
+}
+
+Status MemSyncEngine::ApplySync(const Bytes& msg) {
+  ByteReader r(msg);
+  GRT_ASSIGN_OR_RETURN(uint32_t n_runs, r.ReadU32());
+  learned_manifest_.clear();
+  for (uint32_t i = 0; i < n_runs; ++i) {
+    PageRun run;
+    GRT_ASSIGN_OR_RETURN(run.start_pa, r.ReadU64());
+    GRT_ASSIGN_OR_RETURN(run.n_pages, r.ReadU32());
+    GRT_ASSIGN_OR_RETURN(run.meta, r.ReadBool());
+    learned_manifest_.push_back(run);
+  }
+
+  GRT_ASSIGN_OR_RETURN(uint32_t n_pages, r.ReadU32());
+  for (uint32_t i = 0; i < n_pages; ++i) {
+    GRT_ASSIGN_OR_RETURN(uint64_t pa, r.ReadU64());
+    GRT_ASSIGN_OR_RETURN(uint8_t enc_raw, r.ReadU8());
+    GRT_ASSIGN_OR_RETURN(Bytes payload, r.ReadBytes());
+    switch (static_cast<PageEncoding>(enc_raw)) {
+      case PageEncoding::kRaw: {
+        GRT_RETURN_IF_ERROR(mem_->LoadPage(pa, payload));
+        break;
+      }
+      case PageEncoding::kCompressedDelta: {
+        GRT_ASSIGN_OR_RETURN(Bytes rle, RangeDecode(payload));
+        GRT_ASSIGN_OR_RETURN(Bytes delta, ZeroRleDecode(rle));
+        Bytes next = ApplyXorDelta(BaselineFor(pa), delta);
+        next.resize(kPageSize, 0);
+        GRT_RETURN_IF_ERROR(mem_->LoadPage(pa, next));
+        baseline_[pa] = std::move(next);
+        break;
+      }
+      default:
+        return IntegrityViolation("bad page encoding");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace grt

@@ -1,0 +1,92 @@
+// Memory synchronization between the cloud's and the client's copies of
+// the GPU carveout (§5).
+//
+// Sync points: right before a job-start register write (cloud -> client)
+// and right after the job-completion interrupt (client -> cloud); the
+// job-queue-length-1 constraint guarantees the two parties never touch the
+// shared memory simultaneously.
+//
+// Modes:
+//  * naive     — ship every GPU page, raw, every sync (the Naive baseline).
+//  * meta-only — ship only metastate pages (page tables, shaders, command
+//    lists), as XOR deltas against the *last agreed state*, zero-RLE'd and
+//    range-coded; unchanged pages are skipped entirely.
+//
+// Each party owns ONE engine handling both directions: the delta baseline
+// is the per-page content as of the last synchronization in either
+// direction (sending updates it, applying updates it), so deltas always
+// encode "what changed since we last agreed".
+#ifndef GRT_SRC_SHIM_MEMSYNC_H_
+#define GRT_SRC_SHIM_MEMSYNC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/mem/phys_mem.h"
+
+namespace grt {
+
+// A run of physically-contiguous GPU pages with a metastate class.
+// Manifests describe what to synchronize; the cloud derives them from the
+// driver's region table (ioctl flags) and page-table permission bits, and
+// teaches them to the client inside sync messages.
+struct PageRun {
+  uint64_t start_pa = 0;
+  uint32_t n_pages = 0;
+  bool meta = false;
+};
+
+// Builds a compact run list from page sets (sorted, coalesced).
+std::vector<PageRun> BuildManifest(const std::vector<uint64_t>& all_pages,
+                                   const std::vector<uint64_t>& meta_pages);
+
+struct MemSyncStats {
+  uint64_t syncs = 0;
+  uint64_t pages_considered = 0;
+  uint64_t pages_shipped = 0;
+  uint64_t raw_bytes = 0;   // bytes represented (what Naive would ship)
+  uint64_t wire_bytes = 0;  // bytes actually on the wire
+};
+
+class MemSyncEngine {
+ public:
+  MemSyncEngine(PhysicalMemory* mem, bool meta_only, bool compress)
+      : mem_(mem), meta_only_(meta_only), compress_(compress) {}
+
+  // Sender side: builds the sync message for the given manifest; updates
+  // the baseline to the content shipped.
+  Result<Bytes> BuildSync(const std::vector<PageRun>& manifest);
+
+  // Receiver side: applies a sync message against the baseline; updates
+  // the baseline and learns the sender's manifest.
+  Status ApplySync(const Bytes& msg);
+
+  const std::vector<PageRun>& learned_manifest() const {
+    return learned_manifest_;
+  }
+  const MemSyncStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MemSyncStats{}; }
+
+ private:
+  enum class PageEncoding : uint8_t {
+    kRaw = 0,
+    kCompressedDelta = 1,
+  };
+
+  Bytes& BaselineFor(uint64_t pa);
+
+  PhysicalMemory* mem_;
+  bool meta_only_;
+  bool compress_;
+  MemSyncStats stats_;
+  // Last agreed per-page content (zeros before the first sync).
+  std::unordered_map<uint64_t, Bytes> baseline_;
+  std::vector<PageRun> learned_manifest_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SHIM_MEMSYNC_H_

@@ -1,0 +1,245 @@
+#include "src/shim/wire.h"
+
+namespace grt {
+namespace {
+
+using TokenKind = BatchItem::Token::Kind;
+
+Status CompileInto(const SymNodePtr& node,
+                   const std::vector<const SymNode*>& batch_reads,
+                   std::vector<BatchItem::Token>* out) {
+  switch (node->op) {
+    case SymOp::kConst: {
+      out->push_back({TokenKind::kConst, node->value});
+      return OkStatus();
+    }
+    case SymOp::kRead: {
+      for (size_t i = 0; i < batch_reads.size(); ++i) {
+        if (batch_reads[i] == node.get()) {
+          out->push_back({TokenKind::kSlot, static_cast<uint32_t>(i)});
+          return OkStatus();
+        }
+      }
+      if (node->resolved) {
+        // A read committed earlier: its value is already concrete.
+        out->push_back({TokenKind::kConst, node->value});
+        return OkStatus();
+      }
+      return FailedPrecondition(
+          "write depends on an unresolved read outside this batch");
+    }
+    case SymOp::kNot: {
+      GRT_RETURN_IF_ERROR(CompileInto(node->lhs, batch_reads, out));
+      out->push_back({TokenKind::kNot, 0});
+      return OkStatus();
+    }
+    default:
+      break;
+  }
+  GRT_RETURN_IF_ERROR(CompileInto(node->lhs, batch_reads, out));
+  GRT_RETURN_IF_ERROR(CompileInto(node->rhs, batch_reads, out));
+  TokenKind kind;
+  switch (node->op) {
+    case SymOp::kAnd: kind = TokenKind::kAnd; break;
+    case SymOp::kOr: kind = TokenKind::kOr; break;
+    case SymOp::kXor: kind = TokenKind::kXor; break;
+    case SymOp::kAdd: kind = TokenKind::kAdd; break;
+    case SymOp::kShl: kind = TokenKind::kShl; break;
+    case SymOp::kShr: kind = TokenKind::kShr; break;
+    default:
+      return Internal("bad sym op");
+  }
+  out->push_back({kind, 0});
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<BatchItem::Token>> CompileExpr(
+    const SymNodePtr& node,
+    const std::vector<const SymNode*>& batch_reads) {
+  std::vector<BatchItem::Token> out;
+  GRT_RETURN_IF_ERROR(CompileInto(node, batch_reads, &out));
+  return out;
+}
+
+Result<uint32_t> EvalExpr(const std::vector<BatchItem::Token>& expr,
+                          const std::vector<uint32_t>& slot_values) {
+  std::vector<uint32_t> stack;
+  for (const auto& t : expr) {
+    switch (t.kind) {
+      case TokenKind::kConst:
+        stack.push_back(t.value);
+        break;
+      case TokenKind::kSlot:
+        if (t.value >= slot_values.size()) {
+          return IntegrityViolation("slot reference out of range");
+        }
+        stack.push_back(slot_values[t.value]);
+        break;
+      case TokenKind::kNot: {
+        if (stack.empty()) {
+          return IntegrityViolation("expr stack underflow");
+        }
+        stack.back() = ~stack.back();
+        break;
+      }
+      default: {
+        if (stack.size() < 2) {
+          return IntegrityViolation("expr stack underflow");
+        }
+        uint32_t b = stack.back();
+        stack.pop_back();
+        uint32_t a = stack.back();
+        switch (t.kind) {
+          case TokenKind::kAnd: stack.back() = a & b; break;
+          case TokenKind::kOr: stack.back() = a | b; break;
+          case TokenKind::kXor: stack.back() = a ^ b; break;
+          case TokenKind::kAdd: stack.back() = a + b; break;
+          case TokenKind::kShl: stack.back() = b >= 32 ? 0 : (a << b); break;
+          case TokenKind::kShr: stack.back() = b >= 32 ? 0 : (a >> b); break;
+          default:
+            return IntegrityViolation("bad token");
+        }
+        break;
+      }
+    }
+  }
+  if (stack.size() != 1) {
+    return IntegrityViolation("expr did not reduce to one value");
+  }
+  return stack[0];
+}
+
+Bytes CommitBatchMsg::Serialize() const {
+  ByteWriter w;
+  w.PutU64(seq);
+  w.PutU32(static_cast<uint32_t>(items.size()));
+  for (const auto& item : items) {
+    w.PutBool(item.is_write);
+    w.PutU32(item.reg);
+    if (item.is_write) {
+      w.PutU16(static_cast<uint16_t>(item.expr.size()));
+      for (const auto& t : item.expr) {
+        w.PutU8(static_cast<uint8_t>(t.kind));
+        if (t.kind == TokenKind::kConst || t.kind == TokenKind::kSlot) {
+          w.PutU32(t.value);
+        }
+      }
+    }
+  }
+  return w.Take();
+}
+
+Result<CommitBatchMsg> CommitBatchMsg::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  CommitBatchMsg msg;
+  GRT_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    BatchItem item;
+    GRT_ASSIGN_OR_RETURN(item.is_write, r.ReadBool());
+    GRT_ASSIGN_OR_RETURN(item.reg, r.ReadU32());
+    if (item.is_write) {
+      GRT_ASSIGN_OR_RETURN(uint16_t n_tokens, r.ReadU16());
+      for (uint16_t t = 0; t < n_tokens; ++t) {
+        BatchItem::Token token;
+        GRT_ASSIGN_OR_RETURN(uint8_t kind, r.ReadU8());
+        if (kind > static_cast<uint8_t>(TokenKind::kNot)) {
+          return IntegrityViolation("bad token kind");
+        }
+        token.kind = static_cast<TokenKind>(kind);
+        if (token.kind == TokenKind::kConst ||
+            token.kind == TokenKind::kSlot) {
+          GRT_ASSIGN_OR_RETURN(token.value, r.ReadU32());
+        }
+        item.expr.push_back(token);
+      }
+    }
+    msg.items.push_back(std::move(item));
+  }
+  return msg;
+}
+
+Bytes CommitReplyMsg::Serialize() const {
+  ByteWriter w;
+  w.PutU64(seq);
+  w.PutU32(static_cast<uint32_t>(read_values.size()));
+  for (uint32_t v : read_values) {
+    w.PutU32(v);
+  }
+  return w.Take();
+}
+
+Result<CommitReplyMsg> CommitReplyMsg::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  CommitReplyMsg msg;
+  GRT_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(uint32_t n, r.ReadU32());
+  for (uint32_t i = 0; i < n; ++i) {
+    GRT_ASSIGN_OR_RETURN(uint32_t v, r.ReadU32());
+    msg.read_values.push_back(v);
+  }
+  return msg;
+}
+
+Bytes PollRequestMsg::Serialize() const {
+  ByteWriter w;
+  w.PutU64(seq);
+  w.PutU32(reg);
+  w.PutU32(mask);
+  w.PutU32(expected);
+  w.PutU32(static_cast<uint32_t>(max_iters));
+  w.PutI64(iter_delay_ns);
+  return w.Take();
+}
+
+Result<PollRequestMsg> PollRequestMsg::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  PollRequestMsg msg;
+  GRT_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(msg.reg, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(msg.mask, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(msg.expected, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(uint32_t iters, r.ReadU32());
+  msg.max_iters = static_cast<int32_t>(iters);
+  GRT_ASSIGN_OR_RETURN(msg.iter_delay_ns, r.ReadI64());
+  return msg;
+}
+
+Bytes PollReplyMsg::Serialize() const {
+  ByteWriter w;
+  w.PutU64(seq);
+  w.PutU32(final_value);
+  w.PutU32(static_cast<uint32_t>(iterations));
+  w.PutBool(timed_out);
+  return w.Take();
+}
+
+Result<PollReplyMsg> PollReplyMsg::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  PollReplyMsg msg;
+  GRT_ASSIGN_OR_RETURN(msg.seq, r.ReadU64());
+  GRT_ASSIGN_OR_RETURN(msg.final_value, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(uint32_t iters, r.ReadU32());
+  msg.iterations = static_cast<int32_t>(iters);
+  GRT_ASSIGN_OR_RETURN(msg.timed_out, r.ReadBool());
+  return msg;
+}
+
+Bytes IrqEventMsg::Serialize() const {
+  ByteWriter w;
+  w.PutU8(lines);
+  w.PutBytes(mem_dump);
+  return w.Take();
+}
+
+Result<IrqEventMsg> IrqEventMsg::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  IrqEventMsg msg;
+  GRT_ASSIGN_OR_RETURN(msg.lines, r.ReadU8());
+  GRT_ASSIGN_OR_RETURN(msg.mem_dump, r.ReadBytes());
+  return msg;
+}
+
+}  // namespace grt

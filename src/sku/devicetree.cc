@@ -1,0 +1,109 @@
+#include "src/sku/devicetree.h"
+
+namespace grt {
+
+Result<std::string> DtNode::GetString(const std::string& key) const {
+  auto it = props_.find(key);
+  if (it == props_.end() || !it->second.is_string) {
+    return NotFound("no string property '" + key + "'");
+  }
+  return it->second.str_value;
+}
+
+Result<std::vector<uint32_t>> DtNode::GetU32s(const std::string& key) const {
+  auto it = props_.find(key);
+  if (it == props_.end() || it->second.is_string) {
+    return NotFound("no u32 property '" + key + "'");
+  }
+  return it->second.u32_values;
+}
+
+DtNode* DtNode::AddChild(std::string name) {
+  children_.push_back(std::make_unique<DtNode>(std::move(name)));
+  return children_.back().get();
+}
+
+const DtNode* DtNode::FindChild(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) {
+      return c.get();
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+const DtNode* FindCompatibleIn(const DtNode* node,
+                               const std::string& compatible) {
+  auto compat = node->GetString("compatible");
+  if (compat.ok() && compat.value() == compatible) {
+    return node;
+  }
+  for (const auto& c : node->children()) {
+    const DtNode* found = FindCompatibleIn(c.get(), compatible);
+    if (found != nullptr) {
+      return found;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const DtNode* DeviceTree::FindCompatible(const std::string& compatible) const {
+  return FindCompatibleIn(root(), compatible);
+}
+
+std::string GpuCompatibleString(const GpuSku& sku) {
+  // Family-level compatible: one driver binds all SKUs of a family (§3,
+  // "a single GPU driver often supports many GPU SKUs of the same family").
+  switch (sku.id) {
+    case SkuId::kMaliG71Mp2:
+    case SkuId::kMaliG71Mp4:
+    case SkuId::kMaliG71Mp8:
+    case SkuId::kMaliG72Mp12:
+      return "arm,mali-bifrost";
+    case SkuId::kMaliG76Mp10:
+    case SkuId::kMaliG52Mp2:
+      return "arm,mali-bifrost-gen2";
+  }
+  return "arm,mali-unknown";
+}
+
+DeviceTree BuildGpuDeviceTree(const GpuSku& sku) {
+  DeviceTree dt;
+  DtNode* soc = dt.root()->AddChild("soc");
+  soc->SetString("compatible", "simple-bus");
+
+  DtNode* gpu = soc->AddChild("gpu@e82c0000");
+  gpu->SetString("compatible", GpuCompatibleString(sku));
+  gpu->SetU32s("reg", {0xE82C0000u, 0x4000u});
+  gpu->SetU32s("interrupts", {/*JOB=*/64, /*MMU=*/65, /*GPU=*/66});
+  gpu->SetU32s("arm,gpu-id", {sku.gpu_id_reg});
+  gpu->SetU32s("arm,shader-core-count",
+               {static_cast<uint32_t>(sku.core_count())});
+  gpu->SetU32s("clock-frequency", {sku.clock_mhz * 1000u * 1000u});
+
+  DtNode* power = gpu->AddChild("power-model");
+  power->SetString("compatible", "arm,mali-simple-power-model");
+  power->SetU32s("static-coefficient", {2427750});
+  power->SetU32s("dynamic-coefficient", {4687});
+  return dt;
+}
+
+Result<SkuId> SkuFromDeviceTree(const DeviceTree& dt) {
+  for (const GpuSku& sku : AllSkus()) {
+    const DtNode* node = dt.FindCompatible(GpuCompatibleString(sku));
+    if (node == nullptr) {
+      continue;
+    }
+    auto id = node->GetU32s("arm,gpu-id");
+    if (id.ok() && !id.value().empty() && id.value()[0] == sku.gpu_id_reg) {
+      return sku.id;
+    }
+  }
+  return NotFound("devicetree has no recognizable GPU node");
+}
+
+}  // namespace grt

@@ -1,0 +1,92 @@
+// Devicetree model.
+//
+// §6: "We install GPU devicetrees in the cloud VM, so the GPU stack can run
+// transparently even [though] a physical GPU is not present... a single VM
+// image can incorporate multiple GPU drivers, which are dynamically loaded
+// depending on the specific client GPU model."
+//
+// This module provides a small node/property tree, a builder that crafts the
+// GPU node for a given SKU, and the matching logic a driver uses to bind.
+#ifndef GRT_SRC_SKU_DEVICETREE_H_
+#define GRT_SRC_SKU_DEVICETREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+// A devicetree property: string or u32-array valued.
+struct DtProperty {
+  std::string str_value;
+  std::vector<uint32_t> u32_values;
+  bool is_string = false;
+};
+
+class DtNode {
+ public:
+  explicit DtNode(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  void SetString(const std::string& key, std::string value) {
+    DtProperty p;
+    p.str_value = std::move(value);
+    p.is_string = true;
+    props_[key] = std::move(p);
+  }
+  void SetU32s(const std::string& key, std::vector<uint32_t> values) {
+    DtProperty p;
+    p.u32_values = std::move(values);
+    props_[key] = std::move(p);
+  }
+
+  Result<std::string> GetString(const std::string& key) const;
+  Result<std::vector<uint32_t>> GetU32s(const std::string& key) const;
+  bool Has(const std::string& key) const { return props_.count(key) > 0; }
+
+  DtNode* AddChild(std::string name);
+  const DtNode* FindChild(const std::string& name) const;
+  const std::vector<std::unique_ptr<DtNode>>& children() const {
+    return children_;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, DtProperty> props_;
+  std::vector<std::unique_ptr<DtNode>> children_;
+};
+
+class DeviceTree {
+ public:
+  DeviceTree() : root_(std::make_unique<DtNode>("/")) {}
+
+  DtNode* root() { return root_.get(); }
+  const DtNode* root() const { return root_.get(); }
+
+  // Depth-first search for the first node with a matching "compatible".
+  const DtNode* FindCompatible(const std::string& compatible) const;
+
+ private:
+  std::unique_ptr<DtNode> root_;
+};
+
+// Compatible string for a SKU's GPU node, e.g. "arm,mali-g71".
+std::string GpuCompatibleString(const GpuSku& sku);
+
+// Builds the devicetree a cloud VM boots with when serving a client that
+// owns `sku`: a /soc node containing the GPU with reg/interrupt/core-count
+// properties matching the client hardware.
+DeviceTree BuildGpuDeviceTree(const GpuSku& sku);
+
+// Extracts the SKU a devicetree describes (what the driver binds against).
+Result<SkuId> SkuFromDeviceTree(const DeviceTree& dt);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SKU_DEVICETREE_H_

@@ -1,0 +1,72 @@
+#include "src/sku/sku.h"
+
+namespace grt {
+namespace {
+
+std::vector<GpuSku> BuildRegistry() {
+  std::vector<GpuSku> skus;
+
+  auto add = [&](SkuId id, std::string name, uint32_t cores,
+                 PageTableFormat ptf, uint8_t mem_layout, uint32_t clock_mhz,
+                 uint32_t macs, uint32_t quirks) {
+    GpuSku s;
+    s.id = id;
+    s.name = std::move(name);
+    s.gpu_id_reg = (static_cast<uint32_t>(id) << 16) | 0x0010;  // rev r0p1
+    s.shader_present = (cores >= 32) ? 0xFFFFFFFFu : ((1u << cores) - 1);
+    s.tiler_present = 0x1;
+    s.l2_present = 0x1;
+    s.thread_max = 384;
+    s.texture_features = 0x00FE00FFu ^ static_cast<uint32_t>(id);
+    s.mmu_features = 40 | (40u << 8);  // 40-bit VA / 40-bit PA class device
+    s.as_count = 8;
+    s.js_count = 3;
+    s.pt_format = ptf;
+    s.mem_layout_version = mem_layout;
+    s.clock_mhz = clock_mhz;
+    s.macs_per_core_clk = macs;
+    s.quirks = quirks;
+    skus.push_back(std::move(s));
+  };
+
+  add(SkuId::kMaliG71Mp2, "Mali-G71 MP2", 2, PageTableFormat::kFormatA, 1, 650,
+      8, kQuirkMmuSnoopDisparity);
+  add(SkuId::kMaliG71Mp4, "Mali-G71 MP4", 4, PageTableFormat::kFormatA, 1, 772,
+      8, kQuirkMmuSnoopDisparity);
+  add(SkuId::kMaliG71Mp8, "Mali-G71 MP8", 8, PageTableFormat::kFormatA, 1, 900,
+      8, kQuirkMmuSnoopDisparity | kQuirkSlowCacheFlush);
+  add(SkuId::kMaliG72Mp12, "Mali-G72 MP12", 12, PageTableFormat::kFormatA, 2,
+      850, 12, 0);
+  add(SkuId::kMaliG76Mp10, "Mali-G76 MP10", 10, PageTableFormat::kFormatB, 3,
+      720, 24, kQuirkTilerPowerErratum);
+  add(SkuId::kMaliG52Mp2, "Mali-G52 MP2", 2, PageTableFormat::kFormatB, 3, 850,
+      16, 0);
+  return skus;
+}
+
+}  // namespace
+
+const std::vector<GpuSku>& AllSkus() {
+  static const std::vector<GpuSku> kRegistry = BuildRegistry();
+  return kRegistry;
+}
+
+Result<GpuSku> FindSku(SkuId id) {
+  for (const GpuSku& s : AllSkus()) {
+    if (s.id == id) {
+      return s;
+    }
+  }
+  return NotFound("unknown SKU id");
+}
+
+Result<GpuSku> FindSkuByGpuIdReg(uint32_t gpu_id_reg) {
+  for (const GpuSku& s : AllSkus()) {
+    if (s.gpu_id_reg == gpu_id_reg) {
+      return s;
+    }
+  }
+  return NotFound("no SKU matches GPU_ID value");
+}
+
+}  // namespace grt

@@ -1,0 +1,90 @@
+// GPU SKU registry.
+//
+// The paper's key practicality problem is SKU diversity (§2.4, Figure 3):
+// ~80 mobile GPU SKUs, recordings are SKU-specific, and "even subtle SKU
+// differences can break replay" — shader core count changes JIT output,
+// page-table formats differ, shared-memory layouts differ. This module
+// models a family of Mali-Bifrost-like SKUs whose differences are exactly
+// the ones the paper calls out, so tests can demonstrate SKU-specific
+// recordings and cross-SKU replay rejection.
+#ifndef GRT_SRC_SKU_SKU_H_
+#define GRT_SRC_SKU_SKU_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace grt {
+
+// Stable identifier for a SKU; doubles as the GPU_ID register's product
+// field so driver probe and recording headers agree.
+enum class SkuId : uint32_t {
+  kMaliG71Mp2 = 0x6001,
+  kMaliG71Mp4 = 0x6002,
+  kMaliG71Mp8 = 0x6003,  // the paper's client GPU (Hikey960)
+  kMaliG72Mp12 = 0x6201,
+  kMaliG76Mp10 = 0x7201,
+  kMaliG52Mp2 = 0x7401,
+};
+
+// Page-table entry layout revision. Bifrost-era parts use format A; later
+// parts add an access-flag bit and pack permissions differently. A replayer
+// fed a recording with the wrong format sees MMU faults — mirroring the
+// paper's "variations in GPU page table formats" breakage.
+enum class PageTableFormat : uint8_t {
+  kFormatA = 0,
+  kFormatB = 1,
+};
+
+struct GpuSku {
+  SkuId id;
+  std::string name;
+
+  // Hardware discovery values (returned by probe-time register reads).
+  uint32_t gpu_id_reg;        // product id << 16 | revision
+  uint32_t shader_present;    // bitmask of shader cores
+  uint32_t tiler_present;     // bitmask of tiler units
+  uint32_t l2_present;        // bitmask of L2 slices
+  uint32_t thread_max;        // max threads per core
+  uint32_t texture_features;  // opaque feature word
+  uint32_t mmu_features;      // VA bits | PA bits << 8
+  uint32_t as_count;          // number of MMU address spaces
+  uint32_t js_count;          // number of job slots
+
+  PageTableFormat pt_format;
+
+  // Shared-memory layout revision: job descriptors embed this; GPUs reject
+  // descriptors with a mismatched layout (the paper's "variations in shared
+  // memory layout" breakage).
+  uint8_t mem_layout_version;
+
+  // Timing model.
+  uint32_t clock_mhz;          // shader clock
+  uint32_t macs_per_core_clk;  // multiply-accumulates per core per cycle
+
+  // Hardware quirk bits consumed by the driver's workaround paths
+  // (Listing 1(a): MMU_ALLOW_SNOOP_DISPARITY style configuration).
+  uint32_t quirks;
+
+  int core_count() const { return __builtin_popcount(shader_present); }
+};
+
+// Quirk bits.
+constexpr uint32_t kQuirkMmuSnoopDisparity = 1u << 0;
+constexpr uint32_t kQuirkSlowCacheFlush = 1u << 1;
+constexpr uint32_t kQuirkTilerPowerErratum = 1u << 2;
+
+// All SKUs known to the registry (every SKU the cloud can serve).
+const std::vector<GpuSku>& AllSkus();
+
+// Lookup by id; kNotFound if the SKU is not in the registry.
+Result<GpuSku> FindSku(SkuId id);
+
+// Lookup from a raw GPU_ID register value as read during hardware probe.
+Result<GpuSku> FindSkuByGpuIdReg(uint32_t gpu_id_reg);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SKU_SKU_H_

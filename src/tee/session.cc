@@ -1,0 +1,89 @@
+#include "src/tee/session.h"
+
+#include <cstring>
+
+namespace grt {
+
+Bytes AttestationQuote::Serialize() const {
+  ByteWriter w;
+  w.PutRaw(measurement.data(), measurement.size());
+  w.PutBytes(nonce);
+  w.PutRaw(signature.data(), signature.size());
+  return w.Take();
+}
+
+Result<AttestationQuote> AttestationQuote::Deserialize(const Bytes& raw) {
+  ByteReader r(raw);
+  AttestationQuote q;
+  GRT_RETURN_IF_ERROR(r.ReadRaw(q.measurement.data(), q.measurement.size()));
+  GRT_ASSIGN_OR_RETURN(q.nonce, r.ReadBytes());
+  GRT_RETURN_IF_ERROR(r.ReadRaw(q.signature.data(), q.signature.size()));
+  return q;
+}
+
+namespace {
+
+Sha256Digest QuoteMac(const Bytes& root_key, const VmMeasurement& m,
+                      const Bytes& nonce) {
+  ByteWriter w;
+  w.PutString("grt-attest-v1");
+  w.PutRaw(m.data(), m.size());
+  w.PutBytes(nonce);
+  return HmacSha256(root_key, w.bytes());
+}
+
+}  // namespace
+
+AttestationQuote Attestor::Quote(const Bytes& client_nonce) const {
+  AttestationQuote q;
+  q.measurement = measurement_;
+  q.nonce = client_nonce;
+  q.signature = QuoteMac(root_key_, measurement_, client_nonce);
+  return q;
+}
+
+Status AttestationVerifier::Verify(const AttestationQuote& quote,
+                                   const Bytes& nonce) const {
+  if (quote.nonce != nonce) {
+    return IntegrityViolation("attestation nonce mismatch (replay?)");
+  }
+  if (quote.measurement != expected_) {
+    return IntegrityViolation("unexpected VM measurement");
+  }
+  Sha256Digest expected_sig = QuoteMac(root_key_, quote.measurement, nonce);
+  if (expected_sig != quote.signature) {
+    return IntegrityViolation("bad attestation signature");
+  }
+  return OkStatus();
+}
+
+SessionKey SessionKey::Derive(const Bytes& root_key, const Bytes& client_nonce,
+                              const Bytes& cloud_nonce) {
+  ByteWriter w;
+  w.PutString("grt-session-v1");
+  w.PutBytes(client_nonce);
+  w.PutBytes(cloud_nonce);
+  Sha256Digest d = HmacSha256(root_key, w.bytes());
+  return SessionKey(Bytes(d.begin(), d.end()));
+}
+
+Sha256Digest SessionKey::Mac(const Bytes& message) const {
+  return HmacSha256(key_, message);
+}
+
+Status SessionKey::VerifyMac(const Bytes& message,
+                             const Sha256Digest& mac) const {
+  // Constant-time comparison (defensive habit; the simulation has no real
+  // timing side channel, but the code is the documentation).
+  Sha256Digest expected = Mac(message);
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    diff |= expected[i] ^ mac[i];
+  }
+  if (diff != 0) {
+    return IntegrityViolation("MAC verification failed");
+  }
+  return OkStatus();
+}
+
+}  // namespace grt

@@ -1,0 +1,90 @@
+// Attested, authenticated cloud/client session crypto (§3.2, §7.1).
+//
+// The threat model trusts the cloud service and its attested VMs; the
+// client TEE verifies an attestation quote before keying the channel, then
+// all recording traffic is authenticated under the derived session key and
+// the finished recording is signed by the cloud. We model the trust anchor
+// as a pre-provisioned root key (standing in for the attestation PKI —
+// the substitution is documented in DESIGN.md) and derive per-session keys
+// from fresh nonces, HKDF-style over HMAC-SHA256.
+#ifndef GRT_SRC_TEE_SESSION_H_
+#define GRT_SRC_TEE_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.h"
+#include "src/common/sha256.h"
+#include "src/common/status.h"
+
+namespace grt {
+
+// Measurement of a cloud VM image (hash of its "contents"): the quote binds
+// the session to a specific GPU-stack VM build.
+using VmMeasurement = Sha256Digest;
+
+struct AttestationQuote {
+  VmMeasurement measurement;
+  Bytes nonce;            // client-chosen freshness nonce
+  Sha256Digest signature; // HMAC under the attestation root key
+
+  Bytes Serialize() const;
+  static Result<AttestationQuote> Deserialize(const Bytes& raw);
+};
+
+// Cloud side: produces quotes for its VM measurement.
+class Attestor {
+ public:
+  Attestor(Bytes root_key, VmMeasurement measurement)
+      : root_key_(std::move(root_key)), measurement_(measurement) {}
+
+  AttestationQuote Quote(const Bytes& client_nonce) const;
+
+ private:
+  Bytes root_key_;
+  VmMeasurement measurement_;
+};
+
+// Client side: verifies quotes against the trust anchor and an expected
+// measurement (the TEE only talks to known-good GPU-stack images).
+class AttestationVerifier {
+ public:
+  AttestationVerifier(Bytes root_key, VmMeasurement expected)
+      : root_key_(std::move(root_key)), expected_(expected) {}
+
+  Status Verify(const AttestationQuote& quote, const Bytes& nonce) const;
+
+ private:
+  Bytes root_key_;
+  VmMeasurement expected_;
+};
+
+// Symmetric session keyed by both parties after attestation. Provides
+// authenticated framing for recording traffic and the recording signature.
+class SessionKey {
+ public:
+  // key = HMAC(root, "grt-session" || nonce_c || nonce_s)
+  static SessionKey Derive(const Bytes& root_key, const Bytes& client_nonce,
+                           const Bytes& cloud_nonce);
+
+  // MAC over a message; receivers verify before trusting content.
+  Sha256Digest Mac(const Bytes& message) const;
+  Status VerifyMac(const Bytes& message, const Sha256Digest& mac) const;
+
+  const Bytes& key() const { return key_; }
+
+ private:
+  explicit SessionKey(Bytes key) : key_(std::move(key)) {}
+  Bytes key_;
+};
+
+// Extra round trips + bytes for session establishment; the §7.1 security-
+// overhead bench accounts for these ("a couple of additional RTTs").
+struct HandshakeCost {
+  int round_trips = 2;
+  uint64_t bytes = 2 * (32 + 64 + 32);  // nonces + quote + confirmations
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_TEE_SESSION_H_

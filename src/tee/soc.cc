@@ -1,0 +1,23 @@
+#include "src/tee/soc.h"
+
+namespace grt {
+
+Status SocResources::SetGpuRail(World caller, bool on) {
+  if (!Permitted(caller)) {
+    ++denied_;
+    return PermissionDenied("GPU rail control from non-owning world");
+  }
+  rail_on_ = on;
+  return OkStatus();
+}
+
+Status SocResources::SetGpuClock(World caller, uint32_t mhz) {
+  if (!Permitted(caller)) {
+    ++denied_;
+    return PermissionDenied("GPU clock control from non-owning world");
+  }
+  clock_mhz_ = mhz;
+  return OkStatus();
+}
+
+}  // namespace grt

@@ -1,0 +1,45 @@
+// SoC resources outside the GPU driver's purview (§6): "To bootstrap the
+// GPU, the client TEE needs to access SoC resources not managed by the GPU
+// driver, e.g. power/clock for GPU. For strong security, we protect these
+// resources inside the TEE" (instead of RPC-ing to the untrusted OS).
+//
+// Model: a power rail + clock gate for the GPU. Whoever owns the GPU (per
+// the TZASC) may toggle them; with the rail off, the GPU's register file
+// is unreachable (bus error), so a malicious normal world cannot yank
+// power mid-recording — it is simply not allowed to touch the rail while
+// the TEE holds the GPU.
+#ifndef GRT_SRC_TEE_SOC_H_
+#define GRT_SRC_TEE_SOC_H_
+
+#include "src/common/status.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+
+class SocResources {
+ public:
+  explicit SocResources(const Tzasc* tzasc) : tzasc_(tzasc) {}
+
+  // Rail/clock control is permitted only to the world owning the GPU
+  // (the secure world always qualifies).
+  Status SetGpuRail(World caller, bool on);
+  Status SetGpuClock(World caller, uint32_t mhz);
+
+  bool gpu_rail_on() const { return rail_on_; }
+  uint32_t gpu_clock_mhz() const { return clock_mhz_; }
+  uint64_t denied_toggles() const { return denied_; }
+
+ private:
+  bool Permitted(World caller) const {
+    return caller == World::kSecure || tzasc_->gpu_owner() == World::kNormal;
+  }
+
+  const Tzasc* tzasc_;
+  bool rail_on_ = true;      // firmware leaves the GPU powered at boot
+  uint32_t clock_mhz_ = 0;   // 0 = SKU default
+  mutable uint64_t denied_ = 0;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_TEE_SOC_H_

@@ -1,0 +1,52 @@
+#include "src/tee/tzasc.h"
+
+#include "src/tee/soc.h"
+
+namespace grt {
+
+const char* WorldName(World w) {
+  return w == World::kNormal ? "normal" : "secure";
+}
+
+Tzasc::Tzasc(PhysicalMemory* carveout) : carveout_(carveout) {
+  // Install the carveout policy: when the GPU is secured, normal-world CPU
+  // accesses to GPU memory are denied. GPU-originated and secure-world
+  // accesses always pass.
+  carveout_->SetAccessPolicy([this](uint64_t, uint64_t, bool,
+                                    MemAccessOrigin origin) {
+    if (origin == MemAccessOrigin::kCpuNormalWorld &&
+        gpu_owner_ == World::kSecure) {
+      ++violations_;
+      return false;
+    }
+    return true;
+  });
+}
+
+void Tzasc::AssignGpu(World world) { gpu_owner_ = world; }
+
+Result<uint32_t> Tzasc::ReadGpuRegister(World caller, MaliGpu* gpu,
+                                        uint32_t offset) {
+  if (!Permit(caller)) {
+    ++violations_;
+    return PermissionDenied("GPU MMIO read from non-owning world");
+  }
+  if (soc_ != nullptr && !soc_->gpu_rail_on()) {
+    return DeviceFault("GPU power rail is off (bus error)");
+  }
+  return gpu->ReadRegister(offset);
+}
+
+Status Tzasc::WriteGpuRegister(World caller, MaliGpu* gpu, uint32_t offset,
+                               uint32_t value) {
+  if (!Permit(caller)) {
+    ++violations_;
+    return PermissionDenied("GPU MMIO write from non-owning world");
+  }
+  if (soc_ != nullptr && !soc_->gpu_rail_on()) {
+    return DeviceFault("GPU power rail is off (bus error)");
+  }
+  return gpu->WriteRegister(offset, value);
+}
+
+}  // namespace grt

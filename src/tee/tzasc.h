@@ -1,0 +1,85 @@
+// TrustZone world model and TZASC (TrustZone Address Space Controller).
+//
+// §6: the trusted firmware dynamically switches the GPU between the normal
+// world and the TEE with a configurable TZASC; GR-T statically reserves the
+// GPU memory region and maps it (plus GPU registers) to the TEE during
+// record/replay. We model the controller as an access policy installed on
+// the physical carveout plus an ownership gate on the GPU MMIO window:
+// while the TEE holds the GPU, normal-world register or memory access is
+// denied (and recorded as a violation for tests to assert on).
+#ifndef GRT_SRC_TEE_TZASC_H_
+#define GRT_SRC_TEE_TZASC_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/hw/gpu.h"
+#include "src/mem/phys_mem.h"
+
+namespace grt {
+
+enum class World {
+  kNormal,
+  kSecure,
+};
+
+const char* WorldName(World w);
+
+class SocResources;
+
+// Gates the GPU carveout and MMIO between worlds.
+class Tzasc {
+ public:
+  explicit Tzasc(PhysicalMemory* carveout);
+
+  // Optional: with SoC resources attached, register access additionally
+  // requires the GPU power rail to be on (§6).
+  void AttachSoc(const SocResources* soc) { soc_ = soc; }
+
+  // Assigns the GPU (registers + carveout) to a world. Secure assignment is
+  // what GPUShim does for the duration of record/replay (§3.2).
+  void AssignGpu(World world);
+  World gpu_owner() const { return gpu_owner_; }
+
+  // Mediated register access: checks the caller's world against ownership.
+  Result<uint32_t> ReadGpuRegister(World caller, MaliGpu* gpu,
+                                   uint32_t offset);
+  Status WriteGpuRegister(World caller, MaliGpu* gpu, uint32_t offset,
+                          uint32_t value);
+
+  // Number of denied accesses (normal world poking secured GPU state);
+  // the security tests assert these are blocked, not silently permitted.
+  uint64_t violations() const { return violations_; }
+
+ private:
+  bool Permit(World caller) const {
+    // The normal world may touch the GPU only while it owns it; the secure
+    // world may always access (it is strictly more privileged).
+    return caller == World::kSecure || gpu_owner_ == World::kNormal;
+  }
+
+  PhysicalMemory* carveout_;
+  const SocResources* soc_ = nullptr;
+  World gpu_owner_ = World::kNormal;
+  mutable uint64_t violations_ = 0;
+};
+
+// Secure monitor: routes GPU interrupts to the owning world (§6 "We modify
+// the secure monitor to route the GPU's interrupts to the TEE").
+class SecureMonitor {
+ public:
+  explicit SecureMonitor(const Tzasc* tzasc) : tzasc_(tzasc) {}
+
+  // Which world receives GPU interrupts right now.
+  World IrqTarget() const { return tzasc_->gpu_owner(); }
+
+  // True if `world` is allowed to observe a pending GPU interrupt.
+  bool DeliverTo(World world) const { return IrqTarget() == world; }
+
+ private:
+  const Tzasc* tzasc_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_TEE_TZASC_H_

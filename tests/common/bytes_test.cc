@@ -1,0 +1,103 @@
+#include "src/common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace grt {
+namespace {
+
+TEST(Bytes, PrimitiveRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  w.PutBool(true);
+  w.PutString("hello");
+
+  Bytes b = w.Take();
+  ByteReader r(b);
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU16().value(), 0xBEEF);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.ReadI64().value(), -42);
+  EXPECT_EQ(r.ReadF32().value(), 3.5f);
+  EXPECT_EQ(r.ReadF64().value(), -2.25);
+  EXPECT_TRUE(r.ReadBool().value());
+  EXPECT_EQ(r.ReadString().value(), "hello");
+  EXPECT_TRUE(r.Done());
+}
+
+TEST(Bytes, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(7);
+  Bytes b = w.Take();
+  b.pop_back();
+  ByteReader r(b);
+  EXPECT_FALSE(r.ReadU32().ok());
+}
+
+TEST(Bytes, TruncatedBlobFails) {
+  ByteWriter w;
+  w.PutU32(1000);  // claims 1000 bytes follow
+  Bytes b = w.Take();
+  ByteReader r(b);
+  auto blob = r.ReadBytes();
+  EXPECT_FALSE(blob.ok());
+  EXPECT_EQ(blob.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Bytes, EmptyBlobRoundTrip) {
+  ByteWriter w;
+  w.PutBytes(Bytes{});
+  Bytes b = w.Take();
+  ByteReader r(b);
+  EXPECT_TRUE(r.ReadBytes().value().empty());
+}
+
+TEST(Bytes, RawReadBoundsChecked) {
+  Bytes b = {1, 2, 3};
+  ByteReader r(b);
+  uint8_t out[8];
+  EXPECT_FALSE(r.ReadRaw(out, 8).ok());
+  EXPECT_TRUE(r.ReadRaw(out, 3).ok());
+  EXPECT_EQ(out[2], 3);
+}
+
+class BytesPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BytesPropertyTest, RandomSequenceRoundTrips) {
+  Rng rng(GetParam());
+  ByteWriter w;
+  std::vector<uint64_t> u64s;
+  std::vector<Bytes> blobs;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t v = rng.NextU64();
+    u64s.push_back(v);
+    w.PutU64(v);
+    Bytes blob(rng.NextBelow(64));
+    for (auto& x : blob) {
+      x = static_cast<uint8_t>(rng.NextU32());
+    }
+    blobs.push_back(blob);
+    w.PutBytes(blob);
+  }
+  Bytes b = w.Take();
+  ByteReader r(b);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(r.ReadU64().value(), u64s[i]);
+    EXPECT_EQ(r.ReadBytes().value(), blobs[i]);
+  }
+  EXPECT_TRUE(r.Done());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BytesPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337, 99999));
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,102 @@
+// Tests for clock, hash, and rng primitives.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/clock.h"
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace grt {
+namespace {
+
+TEST(Clock, AdvanceIsMonotonic) {
+  Timeline t("x");
+  EXPECT_EQ(t.now(), 0);
+  t.Advance(100);
+  EXPECT_EQ(t.now(), 100);
+  t.Advance(-50);  // negative advances are ignored
+  EXPECT_EQ(t.now(), 100);
+  t.AdvanceTo(50);  // never moves backwards
+  EXPECT_EQ(t.now(), 100);
+  t.AdvanceTo(500);
+  EXPECT_EQ(t.now(), 500);
+}
+
+TEST(Clock, UnitConversions) {
+  EXPECT_EQ(FromMilliseconds(1.0), kMillisecond);
+  EXPECT_EQ(FromSeconds(2.0), 2 * kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(kSecond), 1000.0);
+}
+
+TEST(Clock, FormatDurationPicksUnits) {
+  EXPECT_EQ(FormatDuration(2 * kSecond), "2.000 s");
+  EXPECT_EQ(FormatDuration(3 * kMillisecond), "3.000 ms");
+  EXPECT_EQ(FormatDuration(4 * kMicrosecond), "4.000 us");
+  EXPECT_EQ(FormatDuration(5), "5 ns");
+}
+
+TEST(Hash, Crc32KnownVectors) {
+  // "123456789" -> 0xCBF43926 (IEEE CRC-32 check value).
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Hash, Crc32Discriminates) {
+  EXPECT_NE(Crc32("abc", 3), Crc32("abd", 3));
+}
+
+TEST(Hash, FnvDeterministicAndSensitive) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  uint64_t h = kFnvOffset;
+  EXPECT_NE(FnvMix(h, 1), FnvMix(h, 2));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64());
+  }
+  EXPECT_EQ(same, 0);
+}
+
+class RngRangeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngRangeTest, BoundsRespected) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+    float f = rng.NextFloat();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+    float g = rng.NextFloat(-2.0f, 3.0f);
+    EXPECT_GE(g, -2.0f);
+    EXPECT_LT(g, 3.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngRangeTest,
+                         ::testing::Values(1, 7, 123, 98765));
+
+TEST(Rng, FloatDistributionRoughlyUniform) {
+  Rng rng(9);
+  double sum = 0;
+  const int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.NextFloat();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,82 @@
+#include "src/common/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace grt {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(nullptr, 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  const char* msg = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(DigestToHex(Sha256::Hash(msg, 56)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(chunk.data(), chunk.size());
+  }
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg = "the quick brown fox jumps over the lazy dog and more";
+  Sha256 h;
+  for (char c : msg) {
+    h.Update(&c, 1);
+  }
+  EXPECT_EQ(h.Finish(), Sha256::Hash(msg.data(), msg.size()));
+}
+
+// RFC 4231 test case 2.
+TEST(Hmac, Rfc4231Case2) {
+  Bytes key = {'J', 'e', 'f', 'e'};
+  std::string msg = "what do ya want for nothing?";
+  Bytes message(msg.begin(), msg.end());
+  EXPECT_EQ(DigestToHex(HmacSha256(key, message)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  std::string msg = "Hi There";
+  Bytes message(msg.begin(), msg.end());
+  EXPECT_EQ(DigestToHex(HmacSha256(key, message)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6 (key longer than block size).
+TEST(Hmac, LongKeyIsHashed) {
+  Bytes key(131, 0xaa);
+  std::string msg = "Test Using Larger Than Block-Size Key - Hash Key First";
+  Bytes message(msg.begin(), msg.end());
+  EXPECT_EQ(DigestToHex(HmacSha256(key, message)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDiffer) {
+  Bytes m = {1, 2, 3};
+  EXPECT_NE(HmacSha256(Bytes(32, 1), m), HmacSha256(Bytes(32, 2), m));
+}
+
+TEST(Hmac, DifferentMessagesDiffer) {
+  Bytes key(32, 7);
+  EXPECT_NE(HmacSha256(key, {1, 2, 3}), HmacSha256(key, {1, 2, 4}));
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,162 @@
+// Property tests for the range coder, zero-RLE, and XOR delta codecs —
+// the compression pipeline behind §5's memory synchronization.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/compress/delta.h"
+#include "src/compress/range_coder.h"
+
+namespace grt {
+namespace {
+
+Bytes RandomBytes(Rng* rng, size_t n, double density) {
+  Bytes out(n, 0);
+  for (auto& b : out) {
+    if (rng->NextBool(density)) {
+      b = static_cast<uint8_t>(rng->NextU32());
+    }
+  }
+  return out;
+}
+
+// ---- Range coder ----------------------------------------------------------
+
+struct CodecCase {
+  size_t size;
+  double density;
+  uint64_t seed;
+};
+
+class RangeCoderProperty : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(RangeCoderProperty, RoundTrips) {
+  Rng rng(GetParam().seed);
+  Bytes input = RandomBytes(&rng, GetParam().size, GetParam().density);
+  Bytes encoded = RangeEncode(input);
+  auto decoded = RangeDecode(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RangeCoderProperty,
+    ::testing::Values(CodecCase{0, 0.0, 1}, CodecCase{1, 1.0, 2},
+                      CodecCase{100, 0.0, 3}, CodecCase{4096, 0.01, 4},
+                      CodecCase{4096, 0.5, 5}, CodecCase{4096, 1.0, 6},
+                      CodecCase{70000, 0.05, 7}, CodecCase{257, 0.9, 8}));
+
+TEST(RangeCoder, SparseInputCompressesWell) {
+  Rng rng(11);
+  Bytes sparse = RandomBytes(&rng, 4096, 0.01);
+  Bytes encoded = RangeEncode(sparse);
+  EXPECT_LT(encoded.size(), sparse.size() / 4);
+}
+
+TEST(RangeCoder, AllSameByteCompressesExtremely) {
+  Bytes input(4096, 0x7F);
+  Bytes encoded = RangeEncode(input);
+  EXPECT_LT(encoded.size(), 200u);
+  EXPECT_EQ(RangeDecode(encoded).value(), input);
+}
+
+TEST(RangeCoder, TruncatedInputFails) {
+  Bytes encoded = RangeEncode(Bytes(128, 0xAA));
+  encoded.resize(4);  // destroy the frame
+  EXPECT_FALSE(RangeDecode(encoded).ok());
+}
+
+// ---- Zero RLE -------------------------------------------------------------
+
+class ZeroRleProperty : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(ZeroRleProperty, RoundTrips) {
+  Rng rng(GetParam().seed);
+  Bytes input = RandomBytes(&rng, GetParam().size, GetParam().density);
+  auto decoded = ZeroRleDecode(ZeroRleEncode(input));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZeroRleProperty,
+    ::testing::Values(CodecCase{0, 0.0, 1}, CodecCase{1, 0.0, 2},
+                      CodecCase{1, 1.0, 3}, CodecCase{4096, 0.005, 4},
+                      CodecCase{4096, 0.3, 5}, CodecCase{9000, 0.98, 6}));
+
+TEST(ZeroRle, MostlyZerosShrink) {
+  Bytes input(4096, 0);
+  input[100] = 1;
+  input[3000] = 2;
+  Bytes encoded = ZeroRleEncode(input);
+  EXPECT_LT(encoded.size(), 64u);
+}
+
+TEST(ZeroRle, BadTagRejected) {
+  ByteWriter w;
+  w.PutU32(10);
+  w.PutU8(0x77);  // invalid tag
+  w.PutU32(10);
+  EXPECT_FALSE(ZeroRleDecode(w.Take()).ok());
+}
+
+TEST(ZeroRle, OverflowingRunRejected) {
+  ByteWriter w;
+  w.PutU32(4);   // total = 4
+  w.PutU8(0x00);
+  w.PutU32(10);  // but a 10-byte zero run
+  EXPECT_FALSE(ZeroRleDecode(w.Take()).ok());
+}
+
+// ---- XOR delta ------------------------------------------------------------
+
+class DeltaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaProperty, ApplyInvertsDelta) {
+  Rng rng(GetParam());
+  Bytes base = RandomBytes(&rng, 4096, 0.5);
+  Bytes next = base;
+  // Mutate a few random bytes.
+  for (int i = 0; i < 20; ++i) {
+    next[rng.NextBelow(next.size())] ^= static_cast<uint8_t>(rng.NextU32());
+  }
+  Bytes delta = XorDelta(base, next);
+  EXPECT_EQ(ApplyXorDelta(base, delta), next);
+  // Identical buffers produce an all-zero delta.
+  EXPECT_GT(ZeroFraction(XorDelta(next, next)), 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Delta, SizeMismatchHandled) {
+  Bytes small = {1, 2, 3};
+  Bytes big = {1, 2, 3, 4, 5};
+  Bytes delta = XorDelta(small, big);
+  EXPECT_EQ(delta.size(), 5u);
+  EXPECT_EQ(ApplyXorDelta(small, delta), big);
+}
+
+TEST(Delta, ZeroFractionEdgeCases) {
+  EXPECT_DOUBLE_EQ(ZeroFraction({}), 1.0);
+  EXPECT_DOUBLE_EQ(ZeroFraction({0, 0, 0, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(ZeroFraction({1, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(ZeroFraction({0, 1}), 0.5);
+}
+
+// ---- Full sync pipeline (delta -> RLE -> range coder) ----------------------
+
+TEST(Pipeline, PageDeltaPipelineRoundTrips) {
+  Rng rng(77);
+  Bytes base = RandomBytes(&rng, 4096, 0.4);
+  Bytes next = base;
+  next[17] ^= 0xFF;
+  next[2900] ^= 0x01;
+  Bytes wire = RangeEncode(ZeroRleEncode(XorDelta(base, next)));
+  EXPECT_LT(wire.size(), 120u);  // two changed bytes cost almost nothing
+  Bytes recovered = ApplyXorDelta(
+      base, ZeroRleDecode(RangeDecode(wire).value()).value());
+  EXPECT_EQ(recovered, next);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,95 @@
+// Symbolic register value tests: expression algebra, constant folding,
+// resolution, and speculation taint propagation.
+#include <gtest/gtest.h>
+
+#include "src/driver/regvalue.h"
+
+namespace grt {
+namespace {
+
+SymNodePtr Resolved(uint64_t id, uint32_t value, bool speculative = false) {
+  SymNodePtr n = MakeReadNode(id, 0x100);
+  n->resolved = true;
+  n->value = value;
+  n->speculative = speculative;
+  return n;
+}
+
+TEST(SymExpr, ConstEval) {
+  EXPECT_EQ(EvalSym(MakeConstNode(42)).value(), 42u);
+  EXPECT_TRUE(IsConcreteSym(MakeConstNode(0)));
+  EXPECT_FALSE(IsSpeculativeSym(MakeConstNode(0)));
+}
+
+TEST(SymExpr, UnresolvedReadFailsEval) {
+  SymNodePtr read = MakeReadNode(1, 0x100);
+  EXPECT_FALSE(EvalSym(read).ok());
+  EXPECT_FALSE(IsConcreteSym(read));
+  read->resolved = true;
+  read->value = 7;
+  EXPECT_EQ(EvalSym(read).value(), 7u);
+}
+
+TEST(SymExpr, OperatorsEvaluate) {
+  SymNodePtr a = Resolved(1, 0xF0);
+  SymNodePtr b = Resolved(2, 0x0F);
+  EXPECT_EQ(EvalSym(MakeOpNode(SymOp::kOr, a, b)).value(), 0xFFu);
+  EXPECT_EQ(EvalSym(MakeOpNode(SymOp::kAnd, a, b)).value(), 0x00u);
+  EXPECT_EQ(EvalSym(MakeOpNode(SymOp::kXor, a, b)).value(), 0xFFu);
+  EXPECT_EQ(EvalSym(MakeOpNode(SymOp::kAdd, a, b)).value(), 0xFFu);
+  EXPECT_EQ(
+      EvalSym(MakeOpNode(SymOp::kShl, a, MakeConstNode(4))).value(),
+      0xF00u);
+  EXPECT_EQ(
+      EvalSym(MakeOpNode(SymOp::kShr, a, MakeConstNode(4))).value(),
+      0x0Fu);
+  EXPECT_EQ(
+      EvalSym(MakeOpNode(SymOp::kShl, a, MakeConstNode(40))).value(), 0u);
+}
+
+TEST(SymExpr, SpeculationTaintPropagates) {
+  SymNodePtr spec = Resolved(1, 5, /*speculative=*/true);
+  SymNodePtr clean = Resolved(2, 6);
+  SymNodePtr expr = MakeOpNode(SymOp::kAdd, spec, clean);
+  EXPECT_TRUE(IsSpeculativeSym(expr));
+  spec->speculative = false;  // validation confirms the prediction
+  EXPECT_FALSE(IsSpeculativeSym(expr));
+}
+
+TEST(SymExpr, ToStringRendersStructure) {
+  SymNodePtr read = MakeReadNode(3, 0x100);
+  std::string s =
+      SymToString(MakeOpNode(SymOp::kOr, read, MakeConstNode(0x10)));
+  EXPECT_NE(s.find("S3"), std::string::npos);
+  EXPECT_NE(s.find("0x10"), std::string::npos);
+  EXPECT_NE(s.find("|"), std::string::npos);
+}
+
+TEST(RegValue, ConcreteArithmeticFolds) {
+  RegValue a(0xF0);
+  RegValue b = (a | 0x0F) & 0xFF;
+  // Folded to a constant: no bus needed for Get().
+  EXPECT_TRUE(b.IsConcrete());
+  EXPECT_EQ(b.node()->op, SymOp::kConst);
+  EXPECT_EQ(b.Get(), 0xFFu);
+  EXPECT_EQ((~RegValue(0)).Get(), 0xFFFFFFFFu);
+  EXPECT_EQ((RegValue(1) << 4).Get(), 16u);
+  EXPECT_EQ((RegValue(16) >> 4).Get(), 1u);
+  EXPECT_EQ((RegValue(3) + RegValue(4)).Get(), 7u);
+  EXPECT_EQ((RegValue(0b1100) ^ RegValue(0b1010)).Get(), 0b0110u);
+}
+
+TEST(RegValue, SymbolicExpressionPreserved) {
+  // Listing 1(a): quirk |= bit over an unresolved read must stay symbolic.
+  SymNodePtr read = MakeReadNode(9, 0x100);
+  RegValue v(read, nullptr);
+  RegValue expr = v | 0x10u;
+  EXPECT_FALSE(expr.IsConcrete());
+  read->resolved = true;
+  read->value = 0x03;
+  EXPECT_TRUE(expr.IsConcrete());
+  EXPECT_EQ(EvalSym(expr.node()).value(), 0x13u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,76 @@
+// Job-hang watchdog tests: a job that exceeds its deadline is hard-stopped
+// and the device remains usable afterwards.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/hw/job_format.h"
+
+namespace grt {
+namespace {
+
+TEST(Watchdog, HungJobIsHardStoppedAndDeviceRecovers) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  DriverPolicy policy;
+  policy.irq_timeout = 60 * kMicrosecond;  // tight deadline
+  NativeStack stack(&device, World::kNormal, policy);
+  ASSERT_TRUE(stack.BringUp().ok());
+  GpuRuntime& rt = stack.runtime();
+
+  // A GEMM large enough to miss the 60us deadline (~0.3 ms of GPU time).
+  const uint32_t n = 128;
+  GpuBuffer a = rt.AllocBuffer(n * n, RegionUsage::kDataInput).value();
+  GpuBuffer b = rt.AllocBuffer(n * n, RegionUsage::kDataInput).value();
+  GpuBuffer c = rt.AllocBuffer(n * n, RegionUsage::kDataOutput).value();
+  GpuBuffer small = rt.AllocBuffer(8, RegionUsage::kDataOutput).value();
+  ASSERT_TRUE(rt.Finalize().ok());
+  ASSERT_TRUE(rt.Upload(a, std::vector<float>(n * n, 1.0f)).ok());
+  ASSERT_TRUE(rt.Upload(b, std::vector<float>(n * n, 1.0f)).ok());
+
+  JobDescriptor big;
+  big.op = GpuOp::kGemm;
+  big.input_va[0] = a.va;
+  big.aux_va = b.va;
+  big.output_va = c.va;
+  big.params = {n, n, n, 0, 0, 0, 0, 0};
+  auto hung = rt.RunJob(big);
+  ASSERT_FALSE(hung.ok());
+  EXPECT_EQ(hung.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(hung.status().message().find("watchdog"), std::string::npos);
+
+  // The hard stop scrubbed the slot: a small job still runs to completion
+  // on the same driver instance.
+  device.timeline().Advance(kMillisecond);  // drain leftover transitions
+  JobDescriptor tiny;
+  tiny.op = GpuOp::kFill;
+  float v = 1.0f;
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  tiny.params = {8, bits, 0, 0, 0, 0, 0, 0};
+  tiny.output_va = small.va;
+  auto ok = rt.RunJob(tiny);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->js_status, kJsStatusDone);
+  EXPECT_FLOAT_EQ(rt.Download(small).value()[7], 1.0f);
+}
+
+TEST(Watchdog, GenerousDeadlineDoesNotTrigger) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  NativeStack stack(&device);  // default 30s (virtual) deadline
+  ASSERT_TRUE(stack.BringUp().ok());
+  GpuRuntime& rt = stack.runtime();
+  const uint32_t n = 128;
+  GpuBuffer a = rt.AllocBuffer(n * n, RegionUsage::kDataInput).value();
+  GpuBuffer b = rt.AllocBuffer(n * n, RegionUsage::kDataInput).value();
+  GpuBuffer c = rt.AllocBuffer(n * n, RegionUsage::kDataOutput).value();
+  ASSERT_TRUE(rt.Finalize().ok());
+  JobDescriptor big;
+  big.op = GpuOp::kGemm;
+  big.input_va[0] = a.va;
+  big.aux_va = b.va;
+  big.output_va = c.va;
+  big.params = {n, n, n, 0, 0, 0, 0, 0};
+  EXPECT_TRUE(rt.RunJob(big).ok());
+}
+
+}  // namespace
+}  // namespace grt

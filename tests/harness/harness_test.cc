@@ -1,0 +1,93 @@
+// Harness tests: the energy model, table rendering, and variant configs.
+#include <gtest/gtest.h>
+
+#include "src/harness/energy.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+namespace grt {
+namespace {
+
+TEST(Energy, RecordEnergyComposition) {
+  PowerModel model;
+  // 10 s session, 2 s radio-active, 1 s GPU-busy.
+  EnergyReport r = RecordEnergy(model, 10 * kSecond, 2 * kSecond, kSecond);
+  EXPECT_DOUBLE_EQ(r.base_j, model.soc_base_w * 10.0);
+  EXPECT_DOUBLE_EQ(r.radio_j,
+                   model.radio_active_w * 2.0 + model.radio_idle_w * 8.0);
+  EXPECT_DOUBLE_EQ(r.gpu_j, model.gpu_active_w * 1.0);
+  EXPECT_GT(r.total_j(), 0.0);
+}
+
+TEST(Energy, AirtimeClampedToSpan) {
+  PowerModel model;
+  // Radio can't be active longer than the session existed.
+  EnergyReport r = RecordEnergy(model, kSecond, 5 * kSecond, 0);
+  EXPECT_DOUBLE_EQ(r.radio_j, model.radio_active_w * 1.0);
+}
+
+TEST(Energy, MoreAirtimeCostsMore) {
+  PowerModel model;
+  EnergyReport lo = RecordEnergy(model, 10 * kSecond, kSecond, 0);
+  EnergyReport hi = RecordEnergy(model, 10 * kSecond, 8 * kSecond, 0);
+  EXPECT_GT(hi.total_j(), lo.total_j());
+}
+
+TEST(Energy, ReplayHasNoRadioTerm) {
+  PowerModel model;
+  EnergyReport r = ReplayEnergy(model, kSecond, kSecond / 2);
+  EXPECT_DOUBLE_EQ(r.radio_j, 0.0);
+  EXPECT_GT(r.gpu_j, 0.0);
+  EXPECT_GT(r.cpu_j, 0.0);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"a", "bbbb"});
+  t.AddRow({"xx", "y"});
+  t.AddRow({"1", "22222"});
+  std::string out = t.Render();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same width.
+  size_t first_nl = out.find('\n');
+  size_t width = first_nl;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    EXPECT_EQ(nl - pos, width);
+    pos = nl + 1;
+  }
+  EXPECT_NE(out.find("22222"), std::string::npos);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  EXPECT_NE(t.Render().find("only-one"), std::string::npos);
+}
+
+TEST(Formatters, Units) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.50 s");
+  EXPECT_EQ(FormatMs(2.25), "2.25 ms");
+  EXPECT_EQ(FormatMb(1024.0 * 1024.0 * 3), "3.00 MB");
+  EXPECT_EQ(FormatCount(1234567), "1234567");
+  EXPECT_EQ(FormatPercent(0.505), "50.5%");
+  EXPECT_EQ(FormatJoules(0.5), "0.500 J");
+}
+
+TEST(Variants, NamesResolveToConfigs) {
+  auto names = AllVariantNames();
+  ASSERT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(VariantConfig(name).ok()) << name;
+  }
+  EXPECT_FALSE(VariantConfig("OursXYZ").ok());
+  // The progression is monotone in enabled features.
+  EXPECT_FALSE(VariantConfig("Naive")->meta_only_sync);
+  EXPECT_TRUE(VariantConfig("OursM")->meta_only_sync);
+  EXPECT_TRUE(VariantConfig("OursMD")->defer);
+  EXPECT_TRUE(VariantConfig("OursMDS")->speculate);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,331 @@
+// Shader-core executor tests: per-op math against hand-computed results,
+// the SKU validation paths (layout version, core count), and MMU
+// permission enforcement during execution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/hw/executor.h"
+#include "src/hw/gpu.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kBase = 0x80000000ull;
+constexpr uint64_t kSize = 16 << 20;
+
+// A bare-metal harness: page tables and job state built by hand, executed
+// directly through ShaderCoreExecutor.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest()
+      : sku_(FindSku(SkuId::kMaliG71Mp8).value()),
+        mem_(kBase, kSize),
+        alloc_(kBase, kSize),
+        builder_(sku_.pt_format, &mem_, &alloc_),
+        executor_(sku_, &mem_) {
+    EXPECT_TRUE(builder_.Init().ok());
+  }
+
+  // Maps n_pages at the next free VA with the given permissions.
+  uint64_t Map(uint64_t n_pages, PteFlags flags) {
+    uint64_t va = next_va_;
+    for (uint64_t i = 0; i < n_pages; ++i) {
+      uint64_t pa = alloc_.AllocPage().value();
+      EXPECT_TRUE(builder_.MapPage(va + i * kPageSize, pa, flags).ok());
+      pa_of_[va + i * kPageSize] = pa;
+    }
+    next_va_ += (n_pages + 1) * kPageSize;
+    return va;
+  }
+
+  void WriteVa(uint64_t va, const void* data, uint64_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    uint64_t done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Write(pa_of_[page_va] + off, p + done, chunk).ok());
+      done += chunk;
+    }
+  }
+
+  std::vector<float> ReadVaF32(uint64_t va, size_t n) {
+    std::vector<float> out(n);
+    auto* p = reinterpret_cast<uint8_t*>(out.data());
+    uint64_t len = n * sizeof(float), done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Read(pa_of_[page_va] + off, p + done, chunk).ok());
+      done += chunk;
+    }
+    return out;
+  }
+
+  // Installs a shader for `op` and a one-job chain; returns the chain va.
+  uint64_t InstallJob(JobDescriptor d) {
+    ShaderBlobHeader h;
+    h.layout_version = sku_.mem_layout_version;
+    h.op = d.op;
+    h.core_count = static_cast<uint32_t>(sku_.core_count());
+    h.code_len = 256;
+    Bytes blob = BuildShaderBlob(h);
+    uint64_t shader_va = Map(1, {true, false, true});
+    WriteVa(shader_va, blob.data(), blob.size());
+
+    d.layout_version = sku_.mem_layout_version;
+    d.shader_va = shader_va;
+    d.shader_len = static_cast<uint32_t>(blob.size());
+    uint64_t desc_va = Map(1, {true, false, false});
+    Bytes raw = d.Serialize();
+    WriteVa(desc_va, raw.data(), raw.size());
+    return desc_va;
+  }
+
+  ExecResult Execute(uint64_t chain_va) {
+    return executor_.ExecuteChain(chain_va, builder_.root_pa(), &tlb_);
+  }
+
+  GpuSku sku_;
+  PhysicalMemory mem_;
+  PageAllocator alloc_;
+  PageTableBuilder builder_;
+  ShaderCoreExecutor executor_;
+  GpuTlb tlb_;
+  uint64_t next_va_ = 0x10000000;
+  std::map<uint64_t, uint64_t> pa_of_;
+};
+
+TEST_F(ExecutorTest, GemmComputesCorrectly) {
+  // A(2x3) * B(3x2), hand-checked.
+  std::vector<float> a = {1, 2, 3, 4, 5, 6};
+  std::vector<float> b = {7, 8, 9, 10, 11, 12};
+  uint64_t a_va = Map(1, {true, false, false});
+  uint64_t b_va = Map(1, {true, false, false});
+  uint64_t c_va = Map(1, {true, true, false});
+  WriteVa(a_va, a.data(), a.size() * 4);
+  WriteVa(b_va, b.data(), b.size() * 4);
+
+  JobDescriptor d;
+  d.op = GpuOp::kGemm;
+  d.input_va[0] = a_va;
+  d.aux_va = b_va;
+  d.output_va = c_va;
+  d.params = {2, 3, 2, 0, 0, 0, 0, 0};
+  ExecResult r = Execute(InstallJob(d));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.jobs_executed, 1u);
+  EXPECT_EQ(r.total_macs, 2u * 3u * 2u);
+  std::vector<float> c = ReadVaF32(c_va, 4);
+  EXPECT_FLOAT_EQ(c[0], 58);   // 1*7+2*9+3*11
+  EXPECT_FLOAT_EQ(c[1], 64);   // 1*8+2*10+3*12
+  EXPECT_FLOAT_EQ(c[2], 139);  // 4*7+5*9+6*11
+  EXPECT_FLOAT_EQ(c[3], 154);
+}
+
+TEST_F(ExecutorTest, BiasReluAppliesPerChannel) {
+  std::vector<float> x = {-1, 2, -3, 4};  // 2 channels x 2 spatial
+  std::vector<float> bias = {10, -10};
+  uint64_t x_va = Map(1, {true, false, false});
+  uint64_t b_va = Map(1, {true, false, false});
+  uint64_t y_va = Map(1, {true, true, false});
+  WriteVa(x_va, x.data(), 16);
+  WriteVa(b_va, bias.data(), 8);
+
+  JobDescriptor d;
+  d.op = GpuOp::kBiasRelu;
+  d.flags = kJobFlagReluFused;
+  d.input_va[0] = x_va;
+  d.aux_va = b_va;
+  d.output_va = y_va;
+  d.params = {4, 2, 0, 0, 0, 0, 0, 0};
+  ASSERT_TRUE(Execute(InstallJob(d)).status.ok());
+  std::vector<float> y = ReadVaF32(y_va, 4);
+  EXPECT_FLOAT_EQ(y[0], 9);   // -1+10
+  EXPECT_FLOAT_EQ(y[1], 12);  // 2+10
+  EXPECT_FLOAT_EQ(y[2], 0);   // relu(-3-10)
+  EXPECT_FLOAT_EQ(y[3], 0);   // relu(4-10)
+}
+
+TEST_F(ExecutorTest, PoolMaxAndAvg) {
+  // 1 channel 4x4, window 2 stride 2.
+  std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8,
+                          9, 10, 11, 12, 13, 14, 15, 16};
+  uint64_t x_va = Map(1, {true, false, false});
+  uint64_t y_va = Map(1, {true, true, false});
+  WriteVa(x_va, x.data(), 64);
+
+  JobDescriptor d;
+  d.op = GpuOp::kPoolMax;
+  d.input_va[0] = x_va;
+  d.output_va = y_va;
+  d.params = {1, 4, 4, 2, 2, 0, 0, 0};
+  ASSERT_TRUE(Execute(InstallJob(d)).status.ok());
+  std::vector<float> mx = ReadVaF32(y_va, 4);
+  EXPECT_FLOAT_EQ(mx[0], 6);
+  EXPECT_FLOAT_EQ(mx[3], 16);
+
+  d.op = GpuOp::kPoolAvg;
+  ASSERT_TRUE(Execute(InstallJob(d)).status.ok());
+  std::vector<float> avg = ReadVaF32(y_va, 4);
+  EXPECT_FLOAT_EQ(avg[0], 3.5f);
+  EXPECT_FLOAT_EQ(avg[3], 13.5f);
+}
+
+TEST_F(ExecutorTest, SoftmaxNormalizes) {
+  std::vector<float> x = {0, 1, 2, 3};
+  uint64_t x_va = Map(1, {true, false, false});
+  uint64_t y_va = Map(1, {true, true, false});
+  WriteVa(x_va, x.data(), 16);
+  JobDescriptor d;
+  d.op = GpuOp::kSoftmax;
+  d.input_va[0] = x_va;
+  d.output_va = y_va;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  ASSERT_TRUE(Execute(InstallJob(d)).status.ok());
+  std::vector<float> y = ReadVaF32(y_va, 4);
+  float sum = y[0] + y[1] + y[2] + y[3];
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  EXPECT_GT(y[3], y[2]);
+}
+
+TEST_F(ExecutorTest, ChainExecutesInOrder) {
+  // fill(5) -> eltwise-add with itself => 10.
+  uint64_t buf = Map(1, {true, true, false});
+  uint64_t out = Map(1, {true, true, false});
+
+  JobDescriptor fill;
+  fill.op = GpuOp::kFill;
+  fill.output_va = buf;
+  float five = 5.0f;
+  uint32_t bits;
+  std::memcpy(&bits, &five, 4);
+  fill.params = {8, bits, 0, 0, 0, 0, 0, 0};
+  uint64_t first = InstallJob(fill);
+
+  JobDescriptor add;
+  add.op = GpuOp::kEltwiseAdd;
+  add.input_va[0] = buf;
+  add.input_va[1] = buf;
+  add.output_va = out;
+  add.params = {8, 0, 0, 0, 0, 0, 0, 0};
+  uint64_t second = InstallJob(add);
+
+  // Chain: patch first descriptor's next pointer.
+  auto raw = JobDescriptor::Deserialize(
+      [&] {
+        Bytes bytes(kJobDescSize);
+        EXPECT_TRUE(mem_.Read(pa_of_[first], bytes.data(), kJobDescSize).ok());
+        return bytes;
+      }());
+  JobDescriptor patched = raw.value();
+  patched.next_job_va = second;
+  Bytes reser = patched.Serialize();
+  WriteVa(first, reser.data(), reser.size());
+
+  ExecResult r = Execute(first);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.jobs_executed, 2u);
+  EXPECT_FLOAT_EQ(ReadVaF32(out, 8)[3], 10.0f);
+}
+
+TEST_F(ExecutorTest, WriteToReadOnlyPageFaults) {
+  uint64_t ro = Map(1, {true, false, false});
+  JobDescriptor d;
+  d.op = GpuOp::kFill;
+  d.output_va = ro;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  ExecResult r = Execute(InstallJob(d));
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.is_mmu_fault);
+  EXPECT_EQ(r.mmu_fault.status, kFaultPermission);
+}
+
+TEST_F(ExecutorTest, ShaderFetchRequiresExecutePermission) {
+  // Install a valid job, then remap the shader page without execute.
+  uint64_t buf = Map(1, {true, true, false});
+  JobDescriptor d;
+  d.op = GpuOp::kFill;
+  d.output_va = buf;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  uint64_t chain = InstallJob(d);
+  // The shader page is the one mapped just before the descriptor page.
+  uint64_t shader_va = chain - 2 * kPageSize;
+  ASSERT_TRUE(builder_
+                  .MapPage(shader_va, pa_of_[shader_va],
+                           {true, false, false})  // execute dropped
+                  .ok());
+  ExecResult r = Execute(chain);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_TRUE(r.is_mmu_fault);
+}
+
+TEST_F(ExecutorTest, LayoutVersionMismatchFaults) {
+  uint64_t buf = Map(1, {true, true, false});
+  JobDescriptor d;
+  d.op = GpuOp::kFill;
+  d.output_va = buf;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  uint64_t chain = InstallJob(d);
+  // Corrupt the descriptor's layout version in memory.
+  uint8_t bad_version = 0x7E;
+  EXPECT_TRUE(mem_.Write(pa_of_[chain] + 4, &bad_version, 1).ok());
+  ExecResult r = Execute(chain);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_FALSE(r.is_mmu_fault);
+}
+
+TEST_F(ExecutorTest, ForeignCoreCountShaderFaults) {
+  // Build the shader as if JIT'd for a 4-core part; MP8 must refuse it.
+  ShaderBlobHeader h;
+  h.layout_version = sku_.mem_layout_version;
+  h.op = GpuOp::kFill;
+  h.core_count = 4;
+  h.code_len = 128;
+  Bytes blob = BuildShaderBlob(h);
+  uint64_t shader_va = Map(1, {true, false, true});
+  WriteVa(shader_va, blob.data(), blob.size());
+
+  uint64_t buf = Map(1, {true, true, false});
+  JobDescriptor d;
+  d.layout_version = sku_.mem_layout_version;
+  d.op = GpuOp::kFill;
+  d.output_va = buf;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  d.shader_va = shader_va;
+  d.shader_len = static_cast<uint32_t>(blob.size());
+  uint64_t desc_va = Map(1, {true, false, false});
+  Bytes raw = d.Serialize();
+  WriteVa(desc_va, raw.data(), raw.size());
+
+  ExecResult r = Execute(desc_va);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_NE(r.status.message().find("SKU"), std::string::npos);
+}
+
+TEST_F(ExecutorTest, DurationScalesWithWork) {
+  auto run_gemm = [&](uint32_t n) {
+    uint64_t a = Map(4, {true, false, false});
+    uint64_t b = Map(4, {true, false, false});
+    uint64_t c = Map(4, {true, true, false});
+    std::vector<float> ones(n * n, 1.0f);
+    WriteVa(a, ones.data(), ones.size() * 4);
+    WriteVa(b, ones.data(), ones.size() * 4);
+    JobDescriptor d;
+    d.op = GpuOp::kGemm;
+    d.input_va[0] = a;
+    d.aux_va = b;
+    d.output_va = c;
+    d.params = {n, n, n, 0, 0, 0, 0, 0};
+    ExecResult r = Execute(InstallJob(d));
+    EXPECT_TRUE(r.status.ok());
+    return r.duration;
+  };
+  EXPECT_LT(run_gemm(8), run_gemm(32));
+}
+
+}  // namespace
+}  // namespace grt

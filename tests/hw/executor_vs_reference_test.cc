@@ -1,0 +1,224 @@
+// Cross-validation property sweep: for randomized op dimensions, the GPU
+// shader-core executor (running through page tables from GPU memory) must
+// agree with the independent CPU reference implementation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/common/rng.h"
+#include "src/hw/executor.h"
+#include "src/hw/gpu.h"
+#include "src/ml/reference.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kBase = 0x80000000ull;
+constexpr uint64_t kSize = 32 << 20;
+
+// Runs a single op both ways and compares.
+class CrossValidator {
+ public:
+  explicit CrossValidator(uint64_t seed)
+      : sku_(FindSku(SkuId::kMaliG71Mp8).value()),
+        mem_(kBase, kSize),
+        alloc_(kBase, kSize),
+        builder_(sku_.pt_format, &mem_, &alloc_),
+        executor_(sku_, &mem_),
+        rng_(seed) {
+    EXPECT_TRUE(builder_.Init().ok());
+  }
+
+  std::vector<float> RandomTensor(size_t n) {
+    std::vector<float> out(n);
+    for (float& v : out) {
+      v = rng_.NextFloat(-1.0f, 1.0f);
+    }
+    return out;
+  }
+
+  uint64_t MapAndWrite(const std::vector<float>& data, bool writable) {
+    uint64_t bytes = data.size() * sizeof(float);
+    uint64_t n_pages = PageAlignUp(std::max<uint64_t>(bytes, 1)) / kPageSize;
+    uint64_t va = next_va_;
+    next_va_ += (n_pages + 1) * kPageSize;
+    for (uint64_t i = 0; i < n_pages; ++i) {
+      uint64_t pa = alloc_.AllocPage().value();
+      EXPECT_TRUE(builder_
+                      .MapPage(va + i * kPageSize, pa,
+                               PteFlags{true, writable, false})
+                      .ok());
+      pa_of_[va + i * kPageSize] = pa;
+    }
+    WriteVa(va, data.data(), bytes);
+    return va;
+  }
+
+  void WriteVa(uint64_t va, const void* data, uint64_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    uint64_t done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Write(pa_of_[page_va] + off, p + done, chunk).ok());
+      done += chunk;
+    }
+  }
+
+  std::vector<float> ReadVa(uint64_t va, size_t n) {
+    std::vector<float> out(n);
+    auto* p = reinterpret_cast<uint8_t*>(out.data());
+    uint64_t len = n * sizeof(float), done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Read(pa_of_[page_va] + off, p + done, chunk).ok());
+      done += chunk;
+    }
+    return out;
+  }
+
+  // Installs + executes a one-job chain for `d` (shader auto-attached);
+  // returns the output tensor of `out_n` floats.
+  Result<std::vector<float>> RunGpu(JobDescriptor d, uint64_t out_va,
+                                    size_t out_n) {
+    ShaderBlobHeader h;
+    h.layout_version = sku_.mem_layout_version;
+    h.op = d.op;
+    h.core_count = static_cast<uint32_t>(sku_.core_count());
+    h.code_len = 128;
+    Bytes blob = BuildShaderBlob(h);
+    uint64_t shader_va = MapAndWrite(std::vector<float>(64, 0.0f), false);
+    // Remap with execute permission.
+    for (uint64_t off = 0; off < kPageSize; off += kPageSize) {
+      GRT_RETURN_IF_ERROR(builder_.MapPage(shader_va + off,
+                                           pa_of_[shader_va + off],
+                                           PteFlags{true, false, true}));
+    }
+    WriteVa(shader_va, blob.data(), blob.size());
+    d.layout_version = sku_.mem_layout_version;
+    d.shader_va = shader_va;
+    d.shader_len = static_cast<uint32_t>(blob.size());
+
+    uint64_t desc_va = MapAndWrite(std::vector<float>(32, 0.0f), false);
+    Bytes raw = d.Serialize();
+    WriteVa(desc_va, raw.data(), raw.size());
+
+    GpuTlb tlb;
+    ExecResult r = executor_.ExecuteChain(desc_va, builder_.root_pa(), &tlb);
+    GRT_RETURN_IF_ERROR(r.status);
+    return ReadVa(out_va, out_n);
+  }
+
+  GpuSku sku_;
+  PhysicalMemory mem_;
+  PageAllocator alloc_;
+  PageTableBuilder builder_;
+  ShaderCoreExecutor executor_;
+  Rng rng_;
+  uint64_t next_va_ = 0x10000000;
+  std::map<uint64_t, uint64_t> pa_of_;
+};
+
+class GemmSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GemmSweep, GpuMatchesNaiveCpuGemm) {
+  CrossValidator v(GetParam());
+  uint32_t m = 1 + v.rng_.NextBelow(24);
+  uint32_t k = 1 + v.rng_.NextBelow(24);
+  uint32_t n = 1 + v.rng_.NextBelow(24);
+  std::vector<float> a = v.RandomTensor(static_cast<size_t>(m) * k);
+  std::vector<float> b = v.RandomTensor(static_cast<size_t>(k) * n);
+
+  JobDescriptor d;
+  d.op = GpuOp::kGemm;
+  d.input_va[0] = v.MapAndWrite(a, false);
+  d.aux_va = v.MapAndWrite(b, false);
+  uint64_t out_va =
+      v.MapAndWrite(std::vector<float>(static_cast<size_t>(m) * n, 0.0f),
+                    true);
+  d.output_va = out_va;
+  d.params = {m, k, n, 0, 0, 0, 0, 0};
+  auto gpu = v.RunGpu(d, out_va, static_cast<size_t>(m) * n);
+  ASSERT_TRUE(gpu.ok()) << gpu.status().ToString();
+
+  // Naive CPU GEMM with an independent loop order.
+  std::vector<float> cpu(static_cast<size_t>(m) * n, 0.0f);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (uint32_t kk = 0; kk < k; ++kk) {
+        acc += a[static_cast<size_t>(i) * k + kk] *
+               b[static_cast<size_t>(kk) * n + j];
+      }
+      cpu[static_cast<size_t>(i) * n + j] = acc;
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(*gpu, cpu), 1e-4f) << "m=" << m << " k=" << k
+                                          << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, GemmSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class ConvSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConvSweep, GpuMatchesNaiveCpuConv) {
+  CrossValidator v(GetParam());
+  uint32_t cin = 1 + v.rng_.NextBelow(4);
+  uint32_t cout = 1 + v.rng_.NextBelow(4);
+  uint32_t hw = 4 + v.rng_.NextBelow(8);
+  uint32_t kk = 1 + 2 * v.rng_.NextBelow(2);  // 1 or 3
+  uint32_t stride = 1 + v.rng_.NextBelow(2);
+  uint32_t pad = kk / 2;
+  uint32_t oh = (hw + 2 * pad - kk) / stride + 1;
+  uint32_t ow = oh;
+
+  std::vector<float> in = v.RandomTensor(static_cast<size_t>(cin) * hw * hw);
+  std::vector<float> w =
+      v.RandomTensor(static_cast<size_t>(cout) * cin * kk * kk);
+
+  JobDescriptor d;
+  d.op = GpuOp::kConv2d;
+  d.input_va[0] = v.MapAndWrite(in, false);
+  d.aux_va = v.MapAndWrite(w, false);
+  uint64_t out_va = v.MapAndWrite(
+      std::vector<float>(static_cast<size_t>(cout) * oh * ow, 0.0f), true);
+  d.output_va = out_va;
+  d.params = {cin, hw, hw, cout, kk, kk, stride, pad};
+  auto gpu = v.RunGpu(d, out_va, static_cast<size_t>(cout) * oh * ow);
+  ASSERT_TRUE(gpu.ok()) << gpu.status().ToString();
+
+  std::vector<float> cpu(static_cast<size_t>(cout) * oh * ow, 0.0f);
+  for (uint32_t co = 0; co < cout; ++co) {
+    for (uint32_t oi = 0; oi < oh; ++oi) {
+      for (uint32_t oj = 0; oj < ow; ++oj) {
+        float acc = 0.0f;
+        for (uint32_t ci = 0; ci < cin; ++ci) {
+          for (uint32_t ki = 0; ki < kk; ++ki) {
+            for (uint32_t kj = 0; kj < kk; ++kj) {
+              int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+              int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+              if (ii < 0 || ii >= hw || jj < 0 || jj >= hw) {
+                continue;
+              }
+              acc += in[(static_cast<size_t>(ci) * hw + ii) * hw + jj] *
+                     w[((static_cast<size_t>(co) * cin + ci) * kk + ki) * kk +
+                       kj];
+            }
+          }
+        }
+        cpu[(static_cast<size_t>(co) * oh + oi) * ow + oj] = acc;
+      }
+    }
+  }
+  EXPECT_LT(MaxAbsDiff(*gpu, cpu), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, ConvSweep,
+                         ::testing::Values(10, 20, 30, 40, 50, 60));
+
+}  // namespace
+}  // namespace grt

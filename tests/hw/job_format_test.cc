@@ -1,0 +1,107 @@
+// Job descriptor and shader blob format tests (the hardware contract).
+#include <gtest/gtest.h>
+
+#include "src/hw/job_format.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+namespace {
+
+JobDescriptor SampleDesc() {
+  JobDescriptor d;
+  d.layout_version = 2;
+  d.op = GpuOp::kGemm;
+  d.flags = kJobFlagReluFused;
+  d.next_job_va = 0x10002000;
+  d.shader_va = 0x10008000;
+  d.shader_len = 512;
+  d.input_va[0] = 0x10010000;
+  d.input_va[1] = 0x10020000;
+  d.aux_va = 0x10030000;
+  d.output_va = 0x10040000;
+  d.params = {8, 16, 4, 0, 0, 0, 0, 0};
+  return d;
+}
+
+TEST(JobFormat, DescriptorRoundTrip) {
+  JobDescriptor d = SampleDesc();
+  Bytes raw = d.Serialize();
+  EXPECT_EQ(raw.size(), kJobDescSize);
+  auto parsed = JobDescriptor::Deserialize(raw);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->op, d.op);
+  EXPECT_EQ(parsed->flags, d.flags);
+  EXPECT_EQ(parsed->next_job_va, d.next_job_va);
+  EXPECT_EQ(parsed->shader_va, d.shader_va);
+  EXPECT_EQ(parsed->shader_len, d.shader_len);
+  EXPECT_EQ(parsed->input_va[0], d.input_va[0]);
+  EXPECT_EQ(parsed->input_va[1], d.input_va[1]);
+  EXPECT_EQ(parsed->aux_va, d.aux_va);
+  EXPECT_EQ(parsed->output_va, d.output_va);
+  EXPECT_EQ(parsed->params, d.params);
+}
+
+TEST(JobFormat, BadMagicRejected) {
+  Bytes raw = SampleDesc().Serialize();
+  raw[0] ^= 0xFF;
+  auto parsed = JobDescriptor::Deserialize(raw);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDeviceFault);
+}
+
+TEST(JobFormat, BadOpRejected) {
+  Bytes raw = SampleDesc().Serialize();
+  raw[5] = 0xEE;  // op byte
+  EXPECT_FALSE(JobDescriptor::Deserialize(raw).ok());
+}
+
+TEST(JobFormat, TruncatedRejected) {
+  Bytes raw = SampleDesc().Serialize();
+  raw.resize(kJobDescSize - 1);
+  EXPECT_FALSE(JobDescriptor::Deserialize(raw).ok());
+}
+
+TEST(JobFormat, ShaderBlobRoundTrip) {
+  ShaderBlobHeader h;
+  h.layout_version = 1;
+  h.op = GpuOp::kConv2d;
+  h.core_count = 8;
+  h.tile_m = 32;
+  h.tile_n = 16;
+  h.code_len = 640;
+  Bytes blob = BuildShaderBlob(h);
+  auto parsed = ParseShaderBlob(blob);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->op, h.op);
+  EXPECT_EQ(parsed->core_count, 8u);
+  EXPECT_EQ(parsed->tile_m, 32u);
+  EXPECT_EQ(parsed->code_len, 640u);
+}
+
+TEST(JobFormat, ShaderBodyDependsOnHeader) {
+  // Different tiling => different "compiled" bytes (the early-binding
+  // property: per-SKU JIT output differs).
+  ShaderBlobHeader a, b;
+  a.op = b.op = GpuOp::kGemm;
+  a.code_len = b.code_len = 256;
+  a.core_count = 8;
+  b.core_count = 4;
+  EXPECT_NE(BuildShaderBlob(a), BuildShaderBlob(b));
+}
+
+TEST(JobFormat, ShaderLengthMismatchRejected) {
+  ShaderBlobHeader h;
+  h.code_len = 128;
+  Bytes blob = BuildShaderBlob(h);
+  blob.push_back(0);  // trailing garbage
+  EXPECT_FALSE(ParseShaderBlob(blob).ok());
+}
+
+TEST(JobFormat, AllOpsHaveNames) {
+  for (int op = 0; op <= static_cast<int>(GpuOp::kFill); ++op) {
+    EXPECT_STRNE(GpuOpName(static_cast<GpuOp>(op)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,180 @@
+// MMU tests: PTE formats, walker, permissions, TLB staleness, builder.
+#include <gtest/gtest.h>
+
+#include "src/hw/mmu.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kBase = 0x80000000ull;
+constexpr uint64_t kSize = 8 << 20;
+
+class MmuFormatTest : public ::testing::TestWithParam<PageTableFormat> {};
+
+TEST_P(MmuFormatTest, PteEncodeDecodeRoundTrip) {
+  for (bool read : {false, true}) {
+    for (bool write : {false, true}) {
+      for (bool exec : {false, true}) {
+        PteFlags flags{read, write, exec};
+        uint64_t pte = EncodePte(GetParam(), 0x80123000, flags);
+        auto decoded = DecodePte(GetParam(), pte);
+        ASSERT_TRUE(decoded.ok());
+        EXPECT_EQ(decoded->first, 0x80123000u);
+        EXPECT_EQ(decoded->second, flags);
+      }
+    }
+  }
+}
+
+TEST_P(MmuFormatTest, InvalidPteRejected) {
+  EXPECT_FALSE(DecodePte(GetParam(), 0).ok());
+}
+
+TEST_P(MmuFormatTest, WalkerTranslatesMappedPage) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(GetParam(), &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  uint64_t pa = alloc.AllocPage().value();
+  ASSERT_TRUE(
+      builder.MapPage(0x10000000, pa, PteFlags{true, true, false}).ok());
+
+  MmuWalker walker(GetParam(), &mem);
+  GpuTlb tlb;
+  MmuFault fault;
+  auto t = walker.Translate(builder.root_pa(), 0x10000123, &tlb, &fault);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->pa, pa + 0x123);
+  EXPECT_TRUE(t->flags.read);
+  EXPECT_TRUE(t->flags.write);
+  EXPECT_FALSE(t->flags.execute);
+  EXPECT_EQ(tlb.size(), 1u);
+}
+
+TEST_P(MmuFormatTest, UnmappedVaFaults) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(GetParam(), &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  MmuWalker walker(GetParam(), &mem);
+  MmuFault fault;
+  EXPECT_FALSE(
+      walker.Translate(builder.root_pa(), 0x20000000, nullptr, &fault).ok());
+  EXPECT_EQ(fault.status, kFaultTranslation);
+  EXPECT_EQ(fault.address, 0x20000000u);
+}
+
+TEST_P(MmuFormatTest, VaBeyondAddressSpaceFaults) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(GetParam(), &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  MmuWalker walker(GetParam(), &mem);
+  MmuFault fault;
+  EXPECT_FALSE(walker
+                   .Translate(builder.root_pa(), 1ull << kGpuVaBits, nullptr,
+                              &fault)
+                   .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, MmuFormatTest,
+                         ::testing::Values(PageTableFormat::kFormatA,
+                                           PageTableFormat::kFormatB));
+
+TEST(Mmu, CrossFormatLeafIsInvalid) {
+  // A format-A leaf (valid bit only) lacks format B's access flag: reading
+  // it under format B must fault — the paper's cross-SKU page-table
+  // breakage (§2.4).
+  uint64_t pte_a =
+      EncodePte(PageTableFormat::kFormatA, 0x80001000, {true, true, false});
+  EXPECT_FALSE(DecodePte(PageTableFormat::kFormatB, pte_a).ok());
+}
+
+TEST(Mmu, UnmapRemovesTranslation) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(PageTableFormat::kFormatA, &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  uint64_t pa = alloc.AllocPage().value();
+  ASSERT_TRUE(builder.MapPage(0x10000000, pa, {true, false, false}).ok());
+  ASSERT_TRUE(builder.UnmapPage(0x10000000).ok());
+  MmuWalker walker(PageTableFormat::kFormatA, &mem);
+  MmuFault fault;
+  EXPECT_FALSE(
+      walker.Translate(builder.root_pa(), 0x10000000, nullptr, &fault).ok());
+  EXPECT_FALSE(builder.UnmapPage(0x30000000).ok());  // never mapped
+}
+
+TEST(Mmu, TlbServesStaleEntryUntilFlushed) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(PageTableFormat::kFormatA, &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  uint64_t pa1 = alloc.AllocPage().value();
+  uint64_t pa2 = alloc.AllocPage().value();
+  ASSERT_TRUE(builder.MapPage(0x10000000, pa1, {true, true, false}).ok());
+
+  MmuWalker walker(PageTableFormat::kFormatA, &mem);
+  GpuTlb tlb;
+  MmuFault fault;
+  EXPECT_EQ(walker.Translate(builder.root_pa(), 0x10000000, &tlb, &fault)
+                ->pa,
+            pa1);
+  // Remap without flushing: the TLB still answers with the old frame —
+  // exactly why the driver must issue AS UPDATE/FLUSH commands.
+  ASSERT_TRUE(builder.MapPage(0x10000000, pa2, {true, true, false}).ok());
+  EXPECT_EQ(walker.Translate(builder.root_pa(), 0x10000000, &tlb, &fault)
+                ->pa,
+            pa1);
+  tlb.Flush();
+  EXPECT_EQ(walker.Translate(builder.root_pa(), 0x10000000, &tlb, &fault)
+                ->pa,
+            pa2);
+}
+
+TEST(Mmu, MapRangeCoversAllPages) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(PageTableFormat::kFormatA, &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  uint64_t pa = alloc.AllocContiguous(4).value();
+  ASSERT_TRUE(builder.MapRange(0x10000000, pa, 4, {true, false, true}).ok());
+  MmuWalker walker(PageTableFormat::kFormatA, &mem);
+  MmuFault fault;
+  for (int i = 0; i < 4; ++i) {
+    auto t = walker.Translate(builder.root_pa(),
+                              0x10000000 + i * kPageSize, nullptr, &fault);
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ(t->pa, pa + i * kPageSize);
+    EXPECT_TRUE(t->flags.execute);
+  }
+}
+
+TEST(Mmu, BuilderTracksTablePagesAndReleases) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(PageTableFormat::kFormatA, &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  uint64_t before = alloc.free_pages();
+  uint64_t pa = alloc.AllocPage().value();
+  ASSERT_TRUE(builder.MapPage(0x10000000, pa, {true, false, false}).ok());
+  // Root + L1 + L2 = 3 table pages.
+  EXPECT_EQ(builder.table_pages().size(), 3u);
+  ASSERT_TRUE(builder.Release().ok());
+  // Release returns all 3 table pages (incl. the root allocated before the
+  // checkpoint); only the data page remains allocated.
+  EXPECT_EQ(alloc.free_pages(), before);
+}
+
+TEST(Mmu, UnalignedMapRejected) {
+  PhysicalMemory mem(kBase, kSize);
+  PageAllocator alloc(kBase, kSize);
+  PageTableBuilder builder(PageTableFormat::kFormatA, &mem, &alloc);
+  ASSERT_TRUE(builder.Init().ok());
+  EXPECT_FALSE(builder.MapPage(0x10000001, kBase, {true, false, false}).ok());
+  EXPECT_FALSE(builder.MapPage(0x10000000, kBase + 7, {true, false, false})
+                   .ok());
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,77 @@
+// Cloud-service isolation tests (§3.1/§3.2): one VM/session per client,
+// per-session keys, and "the cloud never caches and reuses recordings
+// across clients even if they have the same GPU SKU".
+#include <gtest/gtest.h>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+TEST(CloudIsolation, PerClientSessionsUseDistinctKeys) {
+  CloudService service;
+  NetworkDef net = BuildMnist();
+  ClientDevice alice(SkuId::kMaliG71Mp8, 3);
+  ClientDevice bob(SkuId::kMaliG71Mp8, 3);  // same SKU
+
+  SpeculationHistory ha, hb;
+  RecordSessionConfig ca, cb;
+  ca.session_nonce_seed = 1;
+  cb.session_nonce_seed = 2;
+  RecordSession sa(&service, &alice, ca, &ha);
+  RecordSession sb(&service, &bob, cb, &hb);
+  ASSERT_TRUE(sa.Connect().ok());
+  ASSERT_TRUE(sb.Connect().ok());
+  EXPECT_NE(sa.key()->key(), sb.key()->key());
+
+  auto rec_a = sa.RecordWorkload(net, 10);
+  auto rec_b = sb.RecordWorkload(net, 11);
+  ASSERT_TRUE(rec_a.ok() && rec_b.ok());
+  // Fresh per-client recordings: different bytes (nonce + signature).
+  EXPECT_NE(rec_a->signed_recording, rec_b->signed_recording);
+
+  // Alice cannot use Bob's recording: it fails her key's verification.
+  Replayer replayer(&alice.gpu(), &alice.tzasc(), &alice.mem(),
+                    &alice.timeline());
+  EXPECT_EQ(replayer.LoadSigned(rec_b->signed_recording, sa.key()->key())
+                .code(),
+            StatusCode::kIntegrityViolation);
+  // While her own verifies.
+  EXPECT_TRUE(
+      replayer.LoadSigned(rec_a->signed_recording, sa.key()->key()).ok());
+}
+
+TEST(CloudIsolation, SessionRequiresConnectFirst) {
+  CloudService service;
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  SpeculationHistory history;
+  RecordSession session(&service, &device, RecordSessionConfig{}, &history);
+  auto rec = session.RecordWorkload(BuildMnist(), 1);
+  EXPECT_EQ(rec.status().code(), StatusCode::kFailedPrecondition);
+  auto layered = session.RecordWorkloadLayered(BuildMnist(), 1);
+  EXPECT_EQ(layered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CloudIsolation, HandshakeCostsTwoRoundTrips) {
+  CloudService service;
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  SpeculationHistory history;
+  RecordSession session(&service, &device, RecordSessionConfig{}, &history);
+  ASSERT_TRUE(session.Connect().ok());
+  EXPECT_EQ(session.channel().stats().blocking_rtts, 2u);
+}
+
+TEST(CloudIsolation, VmImagesPerFamilyHaveDistinctMeasurements) {
+  CloudService service;
+  VmImage bifrost = service.SelectImage(SkuId::kMaliG71Mp8).value();
+  VmImage gen2 = service.SelectImage(SkuId::kMaliG76Mp10).value();
+  EXPECT_NE(bifrost.measurement, gen2.measurement);
+  // Clients of the same family attest the same image.
+  EXPECT_EQ(service.SelectImage(SkuId::kMaliG71Mp2).value().name,
+            bifrost.name);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,67 @@
+// Energy-model integration checks: Fig. 9's claims hold structurally —
+// record energy tracks recording delay and radio airtime; replay energy is
+// orders of magnitude smaller; OursMDS always beats Naive.
+#include <gtest/gtest.h>
+
+#include "src/harness/energy.h"
+#include "src/harness/experiment.h"
+
+namespace grt {
+namespace {
+
+TEST(EnergyModel, MdsBeatsNaiveOnEveryAxis) {
+  NetworkDef net = BuildMnist();
+  PowerModel power;
+  double joules[2];
+  int i = 0;
+  for (const char* variant : {"Naive", "OursMDS"}) {
+    ClientDevice device(SkuId::kMaliG71Mp8, 157);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, net, variant, WifiConditions(),
+                              &history, i == 1 ? 1 : 0);
+    ASSERT_TRUE(m.ok());
+    EnergyReport e =
+        RecordEnergy(power, m->client_delay, m->client_airtime, m->gpu_busy);
+    joules[i++] = e.total_j();
+  }
+  // Paper: 84-99% reduction. Require at least 60% here.
+  EXPECT_LT(joules[1], joules[0] * 0.4);
+}
+
+TEST(EnergyModel, ReplayEnergyOrdersOfMagnitudeBelowRecording) {
+  NetworkDef net = BuildMnist();
+  PowerModel power;
+  ClientDevice device(SkuId::kMaliG71Mp8, 163);
+  SpeculationHistory history;
+  auto m = RunRecordVariant(&device, net, "OursMDS", WifiConditions(),
+                            &history, 1);
+  ASSERT_TRUE(m.ok());
+  EnergyReport record =
+      RecordEnergy(power, m->client_delay, m->client_airtime, m->gpu_busy);
+
+  auto r = MeasureNativeVsReplay(SkuId::kMaliG71Mp8, net, 3, 4);
+  ASSERT_TRUE(r.ok());
+  EnergyReport replay =
+      ReplayEnergy(power, r->replay_delay, r->replay_gpu_busy);
+  EXPECT_LT(replay.total_j() * 100.0, record.total_j());
+}
+
+TEST(EnergyModel, CellularCostsMoreThanWifi) {
+  NetworkDef net = BuildMnist();
+  PowerModel power;
+  double joules[2];
+  int i = 0;
+  for (NetworkConditions cond : {WifiConditions(), CellularConditions()}) {
+    ClientDevice device(SkuId::kMaliG71Mp8, 167);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, net, "OursMDS", cond, &history, 1);
+    ASSERT_TRUE(m.ok());
+    joules[i++] = RecordEnergy(power, m->client_delay, m->client_airtime,
+                               m->gpu_busy)
+                      .total_j();
+  }
+  EXPECT_GT(joules[1], joules[0]);  // longer session -> more energy
+}
+
+}  // namespace
+}  // namespace grt

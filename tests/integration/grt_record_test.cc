@@ -1,0 +1,216 @@
+// End-to-end GR-T tests: cloud dry run over a simulated wireless network
+// against the client GPU, signed recording download, TEE replay on real
+// inputs, and the relationships the paper's evaluation rests on.
+#include <gtest/gtest.h>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+struct RecordedRun {
+  Bytes wire;
+  Bytes key;
+  RecordOutcome outcome;
+  ShimStats shim_stats;
+  ChannelStats channel_stats;
+};
+
+Result<RecordedRun> RecordOverNetwork(ClientDevice* device,
+                                      const NetworkDef& net,
+                                      ShimConfig shim_config,
+                                      SpeculationHistory* history,
+                                      NetworkConditions conditions) {
+  CloudService service;
+  RecordSessionConfig config;
+  config.network = conditions;
+  config.shim = shim_config;
+  RecordSession session(&service, device, config, history);
+  GRT_RETURN_IF_ERROR(session.Connect());
+  GRT_ASSIGN_OR_RETURN(RecordOutcome outcome,
+                       session.RecordWorkload(net, /*nonce=*/7));
+  RecordedRun run;
+  run.wire = outcome.signed_recording;
+  run.key = session.key()->key();
+  run.outcome = std::move(outcome);
+  run.shim_stats = session.shim().stats();
+  run.channel_stats = session.channel().stats();
+  GRT_RETURN_IF_ERROR(session.shim().last_error());
+  return run;
+}
+
+Status ReplayAndCheck(ClientDevice* device, const NetworkDef& net,
+                      const RecordedRun& run, uint64_t input_seed) {
+  Replayer replayer(&device->gpu(), &device->tzasc(), &device->mem(),
+                    &device->timeline());
+  GRT_RETURN_IF_ERROR(replayer.LoadSigned(run.wire, run.key));
+
+  std::vector<float> input = GenerateInput(net, input_seed);
+  GRT_RETURN_IF_ERROR(replayer.StageTensor("input", input));
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(
+          replayer.StageTensor(t.name, GenerateParams(net.name, t, 7)));
+    }
+  }
+  GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+  (void)report;
+  GRT_ASSIGN_OR_RETURN(std::vector<float> out,
+                       replayer.ReadTensor(net.output_tensor));
+  GRT_ASSIGN_OR_RETURN(std::vector<float> ref, RunReference(net, input, 7));
+  if (MaxAbsDiff(out, ref) > 1e-4f) {
+    return Internal("replayed output diverges from CPU reference");
+  }
+  return OkStatus();
+}
+
+class GrtRecordTest : public ::testing::Test {
+ protected:
+  NetworkDef net_ = BuildMnist();
+};
+
+TEST_F(GrtRecordTest, NaiveVariantRecordsAndReplays) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory history;
+  auto run = RecordOverNetwork(&device, net_, ShimConfig::Naive(), &history,
+                               WifiConditions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(ReplayAndCheck(&device, net_, *run, 99).ok());
+}
+
+TEST_F(GrtRecordTest, OursMDSVariantRecordsAndReplays) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory history;
+  auto run = RecordOverNetwork(&device, net_, ShimConfig::OursMDS(), &history,
+                               WifiConditions());
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  Status replay = ReplayAndCheck(&device, net_, *run, 1234);
+  EXPECT_TRUE(replay.ok()) << replay.ToString();
+}
+
+TEST_F(GrtRecordTest, DeferralReducesBlockingRtts) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory h1, h2;
+  auto m = RecordOverNetwork(&device, net_, ShimConfig::OursM(), &h1,
+                             WifiConditions());
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto md = RecordOverNetwork(&device, net_, ShimConfig::OursMD(), &h2,
+                              WifiConditions());
+  ASSERT_TRUE(md.ok()) << md.status().ToString();
+  // Table 1: deferral cuts blocking round trips substantially (~73%).
+  EXPECT_LT(md->channel_stats.blocking_rtts,
+            m->channel_stats.blocking_rtts / 2);
+  // Each commit encloses multiple accesses on average.
+  EXPECT_GT(static_cast<double>(md->shim_stats.accesses_committed) /
+                static_cast<double>(md->shim_stats.commits),
+            2.0);
+}
+
+TEST_F(GrtRecordTest, SpeculationReducesBlockingRttsFurther) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  // Warm shared history, as the paper does across benchmarks (§7.3).
+  SpeculationHistory history;
+  auto warm = RecordOverNetwork(&device, net_, ShimConfig::OursMDS(),
+                                &history, WifiConditions());
+  ASSERT_TRUE(warm.ok());
+  auto mds = RecordOverNetwork(&device, net_, ShimConfig::OursMDS(), &history,
+                               WifiConditions());
+  ASSERT_TRUE(mds.ok());
+  SpeculationHistory h2;
+  auto md = RecordOverNetwork(&device, net_, ShimConfig::OursMD(), &h2,
+                              WifiConditions());
+  ASSERT_TRUE(md.ok());
+  EXPECT_LT(mds->channel_stats.blocking_rtts,
+            md->channel_stats.blocking_rtts / 3);
+  // Most commits satisfy the speculation criteria once history is warm
+  // (§7.3: 95% of commits).
+  // (Our driver issues proportionally more nondeterministic commits per
+  // job than the paper's — 3/job vs ~1 — so the asymptotic rate is ~0.8
+  // here vs the paper's 0.95; see EXPERIMENTS.md.)
+  double spec_rate = static_cast<double>(mds->shim_stats.spec_commits +
+                                         mds->shim_stats.writeonly_commits) /
+                     static_cast<double>(mds->shim_stats.commits);
+  EXPECT_GT(spec_rate, 0.70);
+  EXPECT_EQ(mds->shim_stats.mispredictions, 0u);
+}
+
+TEST_F(GrtRecordTest, MetaOnlySyncCutsTraffic) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory h1, h2;
+  auto naive = RecordOverNetwork(&device, net_, ShimConfig::Naive(), &h1,
+                                 WifiConditions());
+  ASSERT_TRUE(naive.ok());
+  auto m = RecordOverNetwork(&device, net_, ShimConfig::OursM(), &h2,
+                             WifiConditions());
+  ASSERT_TRUE(m.ok());
+  // Table 1 MemSync column: 72%-99% traffic reduction.
+  EXPECT_LT(m->channel_stats.total_bytes(),
+            naive->channel_stats.total_bytes() / 3);
+}
+
+TEST_F(GrtRecordTest, RecordingDelayOrderingMatchesFig7) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory h_naive, h_m, h_md, h_mds;
+  auto naive = RecordOverNetwork(&device, net_, ShimConfig::Naive(), &h_naive,
+                                 WifiConditions());
+  auto m = RecordOverNetwork(&device, net_, ShimConfig::OursM(), &h_m,
+                             WifiConditions());
+  auto md = RecordOverNetwork(&device, net_, ShimConfig::OursMD(), &h_md,
+                              WifiConditions());
+  // Warm the speculation history first (cross-run retention).
+  auto mds_warm = RecordOverNetwork(&device, net_, ShimConfig::OursMDS(),
+                                    &h_mds, WifiConditions());
+  auto mds = RecordOverNetwork(&device, net_, ShimConfig::OursMDS(), &h_mds,
+                               WifiConditions());
+  ASSERT_TRUE(naive.ok() && m.ok() && md.ok() && mds_warm.ok() && mds.ok());
+  EXPECT_LT(m->outcome.client_delay, naive->outcome.client_delay);
+  EXPECT_LT(md->outcome.client_delay, m->outcome.client_delay);
+  EXPECT_LT(mds->outcome.client_delay, md->outcome.client_delay);
+  // Order-of-magnitude improvement end to end (paper: up to 95%).
+  EXPECT_LT(ToSeconds(mds->outcome.client_delay),
+            0.3 * ToSeconds(naive->outcome.client_delay));
+}
+
+TEST_F(GrtRecordTest, InjectedMispredictionIsDetectedAndRecovered) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory history;
+  CloudService service;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  // Warm history so speculation actually fires.
+  {
+    RecordSession warm(&service, &device, config, &history);
+    ASSERT_TRUE(warm.Connect().ok());
+    ASSERT_TRUE(warm.RecordWorkload(net_, 1).ok());
+  }
+  RecordSession session(&service, &device, config, &history);
+  ASSERT_TRUE(session.Connect().ok());
+  session.shim().InjectMispredictionOnce();
+  auto outcome = session.RecordWorkload(net_, 2);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_EQ(session.shim().stats().mispredictions, 1u);
+  EXPECT_GT(session.shim().stats().rollback_time, 0);
+  // The injected corruption never matched a genuine wrong prediction, so
+  // the run completes cleanly after rollback.
+  EXPECT_TRUE(session.shim().last_error().ok())
+      << session.shim().last_error().ToString();
+}
+
+TEST_F(GrtRecordTest, CrossSkuReplayIsRejected) {
+  ClientDevice mp8(SkuId::kMaliG71Mp8, 3);
+  SpeculationHistory history;
+  auto run = RecordOverNetwork(&mp8, net_, ShimConfig::OursMDS(), &history,
+                               WifiConditions());
+  ASSERT_TRUE(run.ok());
+
+  ClientDevice mp4(SkuId::kMaliG71Mp4, 3);
+  Replayer replayer(&mp4.gpu(), &mp4.tzasc(), &mp4.mem(), &mp4.timeline());
+  Status s = replayer.LoadSigned(run->wire, run->key);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace grt

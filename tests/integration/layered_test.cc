@@ -1,0 +1,146 @@
+// Per-layer recording granularity tests (Fig. 2): segments replay in layer
+// order with state flowing between them, and the sequence validates.
+#include <gtest/gtest.h>
+
+#include "src/cloud/session.h"
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+#include "src/record/layered.h"
+
+namespace grt {
+namespace {
+
+struct LayeredRun {
+  std::vector<Bytes> wires;
+  Bytes key;
+};
+
+Result<LayeredRun> RecordLayered(ClientDevice* device, const NetworkDef& net) {
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, device, config, &history);
+  GRT_RETURN_IF_ERROR(session.Connect());
+  GRT_ASSIGN_OR_RETURN(std::vector<Bytes> wires,
+                       session.RecordWorkloadLayered(net, /*nonce=*/5));
+  GRT_RETURN_IF_ERROR(session.shim().last_error());
+  return LayeredRun{std::move(wires), session.key()->key()};
+}
+
+class LayeredTest : public ::testing::Test {
+ protected:
+  NetworkDef net_ = BuildMnist();
+};
+
+TEST_F(LayeredTest, OneRecordingPerLayerPlusInit) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 101);
+  auto run = RecordLayered(&device, net_);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Segment 0 (driver init + setup) + one per layer.
+  EXPECT_EQ(run->wires.size(),
+            static_cast<size_t>(net_.layer_count()) + 1);
+}
+
+TEST_F(LayeredTest, SegmentsReplayInOrderToReference) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 101);
+  auto run = RecordLayered(&device, net_);
+  ASSERT_TRUE(run.ok());
+
+  LayeredReplayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                           &device.timeline());
+  ASSERT_TRUE(replayer.LoadSigned(run->wires, run->key).ok());
+  for (const TensorDef& t : net_.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      ASSERT_TRUE(
+          replayer.StageTensor(t.name, GenerateParams(net_.name, t, 7)).ok());
+    }
+  }
+  std::vector<float> input = GenerateInput(net_, 31);
+  ASSERT_TRUE(replayer.StageTensor("input", input).ok());
+
+  auto report = replayer.ReplayAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  auto out = replayer.ReadTensor(net_.output_tensor);
+  auto ref = RunReference(net_, input, 7);
+  ASSERT_TRUE(out.ok() && ref.ok());
+  EXPECT_LT(MaxAbsDiff(*out, *ref), 1e-4f);
+}
+
+TEST_F(LayeredTest, SuffixReplayRecomputesTail) {
+  // Composability: after a full replay, re-running the classifier suffix
+  // (the final layers) on the persisted hardware/memory state reproduces
+  // the same output — no full-network replay needed.
+  ClientDevice device(SkuId::kMaliG71Mp8, 103);
+  auto run = RecordLayered(&device, net_);
+  ASSERT_TRUE(run.ok());
+
+  LayeredReplayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                           &device.timeline());
+  ASSERT_TRUE(replayer.LoadSigned(run->wires, run->key).ok());
+  for (const TensorDef& t : net_.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      ASSERT_TRUE(
+          replayer.StageTensor(t.name, GenerateParams(net_.name, t, 7)).ok());
+    }
+  }
+  std::vector<float> input = GenerateInput(net_, 32);
+  ASSERT_TRUE(replayer.StageTensor("input", input).ok());
+  // Keep the hardware/memory state alive for the follow-up partial replay.
+  ASSERT_TRUE(replayer.ReplayAll(0, /*scrub_after_last=*/false).ok());
+  auto full = replayer.ReadTensor(net_.output_tensor);
+  ASSERT_TRUE(full.ok());
+
+  // Re-run only the last two segments (softmax + final fc tail).
+  auto suffix =
+      replayer.ReplayAll(/*first_segment=*/replayer.segment_count() - 2);
+  ASSERT_TRUE(suffix.ok()) << suffix.status().ToString();
+  auto again = replayer.ReadTensor(net_.output_tensor);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*full, *again);  // bit-exact
+}
+
+TEST_F(LayeredTest, ShuffledSegmentsRejected) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 107);
+  auto run = RecordLayered(&device, net_);
+  ASSERT_TRUE(run.ok());
+  std::vector<Bytes> shuffled = run->wires;
+  std::swap(shuffled[1], shuffled[2]);
+  LayeredReplayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                           &device.timeline());
+  Status s = replayer.LoadSigned(shuffled, run->key);
+  EXPECT_EQ(s.code(), StatusCode::kIntegrityViolation);
+}
+
+TEST_F(LayeredTest, MixedRunSegmentsRejected) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 109);
+  auto run_a = RecordLayered(&device, net_);
+  ASSERT_TRUE(run_a.ok());
+  // A second record run has a different nonce; splicing its segments into
+  // the first run's sequence must fail.
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, &device, config, &history);
+  ASSERT_TRUE(session.Connect().ok());
+  auto run_b = session.RecordWorkloadLayered(net_, /*nonce=*/6);
+  ASSERT_TRUE(run_b.ok());
+
+  std::vector<Recording> mixed;
+  for (size_t i = 0; i < run_a->wires.size(); ++i) {
+    const Bytes& wire = i == 2 ? run_b.value()[i] : run_a->wires[i];
+    const Bytes& key = i == 2 ? session.key()->key() : run_a->key;
+    auto rec = Recording::ParseSigned(wire, key);
+    ASSERT_TRUE(rec.ok());
+    mixed.push_back(std::move(rec.value()));
+  }
+  LayeredReplayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                           &device.timeline());
+  EXPECT_EQ(replayer.Load(std::move(mixed)).code(),
+            StatusCode::kIntegrityViolation);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,197 @@
+// Replay-correctness property tests across workloads, variants, inputs,
+// and SKUs: the core guarantees of §2.3 (completeness, determinism,
+// input independence) checked end to end.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+struct Recorded {
+  Bytes wire;
+  Bytes key;
+};
+
+Result<Recorded> Record(ClientDevice* device, const NetworkDef& net,
+                        const std::string& variant) {
+  SpeculationHistory history;
+  GRT_ASSIGN_OR_RETURN(
+      RecordMeasurement m,
+      RunRecordVariant(device, net, variant, WifiConditions(), &history,
+                       variant == "OursMDS" ? 1 : 0));
+  return Recorded{std::move(m.signed_recording), std::move(m.session_key)};
+}
+
+Result<std::vector<float>> ReplayOutput(ClientDevice* device,
+                                        const NetworkDef& net,
+                                        const Recorded& rec,
+                                        uint64_t param_seed,
+                                        uint64_t input_seed) {
+  Replayer replayer(&device->gpu(), &device->tzasc(), &device->mem(),
+                    &device->timeline());
+  GRT_RETURN_IF_ERROR(replayer.LoadSigned(rec.wire, rec.key));
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(replayer.StageTensor(
+          t.name, GenerateParams(net.name, t, param_seed)));
+    }
+  }
+  GRT_RETURN_IF_ERROR(
+      replayer.StageTensor("input", GenerateInput(net, input_seed)));
+  GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+  (void)report;
+  return replayer.ReadTensor(net.output_tensor);
+}
+
+// --- Every workload records over the network and replays correctly. -------
+
+class PerNetworkReplay : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerNetworkReplay, GrtRecordingReplaysToReference) {
+  NetworkDef net = BuildAllNetworks()[GetParam()];
+  ClientDevice device(SkuId::kMaliG71Mp8, 61);
+  auto rec = Record(&device, net, "OursMDS");
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto out = ReplayOutput(&device, net, *rec, 7, 1234);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto ref = RunReference(net, GenerateInput(net, 1234), 7);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_LT(MaxAbsDiff(*out, *ref), 1e-4f) << net.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNets, PerNetworkReplay, ::testing::Range(0, 6));
+
+// --- All four variants produce recordings that replay identically. --------
+
+TEST(ReplayProperties, AllVariantsReplayEquivalently) {
+  NetworkDef net = BuildMnist();
+  std::vector<float> input = GenerateInput(net, 5);
+  std::vector<float> reference = RunReference(net, input, 3).value();
+  for (const std::string& variant : AllVariantNames()) {
+    ClientDevice device(SkuId::kMaliG71Mp8, 67);
+    auto rec = Record(&device, net, variant);
+    ASSERT_TRUE(rec.ok()) << variant << ": " << rec.status().ToString();
+    auto out = ReplayOutput(&device, net, *rec, 3, 5);
+    ASSERT_TRUE(out.ok()) << variant << ": " << out.status().ToString();
+    EXPECT_LT(MaxAbsDiff(*out, reference), 1e-4f) << variant;
+  }
+}
+
+// --- Input independence: one recording serves many inputs (§2.3). ---------
+
+TEST(ReplayProperties, OneRecordingManyInputs) {
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 71);
+  auto rec = Record(&device, net, "OursMDS");
+  ASSERT_TRUE(rec.ok());
+
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  ASSERT_TRUE(replayer.LoadSigned(rec->wire, rec->key).ok());
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      ASSERT_TRUE(
+          replayer.StageTensor(t.name, GenerateParams(net.name, t, 9)).ok());
+    }
+  }
+  for (uint64_t input_seed : {1u, 2u, 3u, 4u, 5u}) {
+    std::vector<float> input = GenerateInput(net, input_seed);
+    ASSERT_TRUE(replayer.StageTensor("input", input).ok());
+    ASSERT_TRUE(replayer.Replay().ok());
+    auto out = replayer.ReadTensor(net.output_tensor);
+    auto ref = RunReference(net, input, 9);
+    ASSERT_TRUE(out.ok() && ref.ok());
+    EXPECT_LT(MaxAbsDiff(*out, *ref), 1e-4f) << "input seed " << input_seed;
+  }
+}
+
+// --- Replay determinism: same input twice => bit-identical output. --------
+
+TEST(ReplayProperties, ReplayIsDeterministic) {
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 73);
+  auto rec = Record(&device, net, "OursMDS");
+  ASSERT_TRUE(rec.ok());
+  auto out1 = ReplayOutput(&device, net, *rec, 11, 22);
+  auto out2 = ReplayOutput(&device, net, *rec, 11, 22);
+  ASSERT_TRUE(out1.ok() && out2.ok());
+  EXPECT_EQ(*out1, *out2);  // bit-exact
+}
+
+// --- Model privacy: new parameters at replay, never sent to the cloud. ----
+
+TEST(ReplayProperties, FreshParametersChangeOutput) {
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 79);
+  auto rec = Record(&device, net, "OursMDS");
+  ASSERT_TRUE(rec.ok());
+  auto model_a = ReplayOutput(&device, net, *rec, 100, 1);
+  auto model_b = ReplayOutput(&device, net, *rec, 200, 1);
+  ASSERT_TRUE(model_a.ok() && model_b.ok());
+  EXPECT_GT(MaxAbsDiff(*model_a, *model_b), 0.0f);
+  // And each matches its own reference.
+  EXPECT_LT(MaxAbsDiff(*model_a,
+                       RunReference(net, GenerateInput(net, 1), 100).value()),
+            1e-4f);
+  EXPECT_LT(MaxAbsDiff(*model_b,
+                       RunReference(net, GenerateInput(net, 1), 200).value()),
+            1e-4f);
+}
+
+// --- The replayer refuses misuse. ------------------------------------------
+
+TEST(ReplayProperties, ReplayerValidatesStaging) {
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 83);
+  auto rec = Record(&device, net, "OursMDS");
+  ASSERT_TRUE(rec.ok());
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  // Staging before load fails.
+  EXPECT_EQ(replayer.StageTensor("input", {1.0f}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(replayer.LoadSigned(rec->wire, rec->key).ok());
+  // Unknown tensor.
+  EXPECT_EQ(replayer.StageTensor("nonsense", {1.0f}).code(),
+            StatusCode::kNotFound);
+  // Wrong size.
+  EXPECT_EQ(replayer.StageTensor("input", {1.0f, 2.0f}).code(),
+            StatusCode::kInvalidArgument);
+  // Output tensors are not injectable.
+  EXPECT_EQ(replayer
+                .StageTensor(net.output_tensor, std::vector<float>(10, 0.f))
+                .code(),
+            StatusCode::kPermissionDenied);
+}
+
+// --- GPU is locked away from the normal world during recording. -----------
+
+TEST(ReplayProperties, NormalWorldLockedOutDuringRecording) {
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 89);
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, &device, config, &history);
+  ASSERT_TRUE(session.Connect().ok());
+
+  uint64_t violations_before = device.tzasc().violations();
+  session.gpushim().BeginSession();
+  // A normal-world app pokes the GPU mid-recording: denied and counted.
+  EXPECT_FALSE(device.tzasc()
+                   .ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId)
+                   .ok());
+  EXPECT_GT(device.tzasc().violations(), violations_before);
+  session.gpushim().EndSession();
+  // After the session the normal world gets its GPU back.
+  EXPECT_TRUE(device.tzasc()
+                  .ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId)
+                  .ok());
+}
+
+}  // namespace
+}  // namespace grt

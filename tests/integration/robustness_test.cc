@@ -1,0 +1,128 @@
+// Robustness and model-consistency tests: normal-world contention during
+// recording, parser fuzzing, and the delay model's internal consistency.
+#include <gtest/gtest.h>
+
+#include "src/cloud/session.h"
+#include "src/common/rng.h"
+#include "src/harness/experiment.h"
+#include "src/shim/wire.h"
+
+namespace grt {
+namespace {
+
+// §3.3: "the TEE has to exclusively lock the GPU for a record run, it
+// blocks the normal-world apps from accessing the GPU". The blocked app
+// must fail cleanly, not corrupt the recording.
+TEST(Robustness, NormalWorldAppFailsCleanlyDuringRecording) {
+  ClientDevice device(SkuId::kMaliG71Mp8, 127);
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.shim = ShimConfig::OursMDS();
+  RecordSession session(&service, &device, config, &history);
+  ASSERT_TRUE(session.Connect().ok());
+  session.gpushim().BeginSession();  // the TEE takes the GPU
+
+  // A normal-world app now tries to bring up its own stack.
+  NativeStack app(&device, World::kNormal);
+  Status s = app.BringUp();
+  EXPECT_FALSE(s.ok());  // the driver can't even probe (reads-as-zero)
+  EXPECT_FALSE(app.bus().last_error().ok());
+
+  session.gpushim().EndSession();
+  // After the session the normal world recovers fully.
+  NativeStack app2(&device, World::kNormal);
+  EXPECT_TRUE(app2.BringUp().ok());
+}
+
+// Recording and wire parsers must reject random garbage without crashing.
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Bytes garbage(rng.NextBelow(512));
+    for (auto& b : garbage) {
+      b = static_cast<uint8_t>(rng.NextU32());
+    }
+    (void)Recording::ParseUnsigned(garbage);
+    (void)Recording::ParseSigned(garbage, Bytes(32, 1));
+    (void)InteractionLog::Deserialize(garbage);
+    (void)CommitBatchMsg::Deserialize(garbage);
+    (void)CommitReplyMsg::Deserialize(garbage);
+    (void)PollRequestMsg::Deserialize(garbage);
+    (void)PollReplyMsg::Deserialize(garbage);
+    (void)IrqEventMsg::Deserialize(garbage);
+    (void)JobDescriptor::Deserialize(garbage);
+    (void)ParseShaderBlob(garbage);
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+// Truncation sweep: every prefix of a valid recording must be rejected
+// (no partial acceptance).
+TEST(Robustness, EveryTruncationOfARecordingRejected) {
+  Recording rec;
+  rec.header.workload = "x";
+  LogEntry e;
+  e.op = LogOp::kRegWrite;
+  e.reg = 4;
+  e.value = 5;
+  rec.log.Add(e);
+  Bytes key(32, 9);
+  Bytes wire = rec.SerializeSigned(key);
+  for (size_t len = 0; len < wire.size(); len += 7) {
+    Bytes prefix(wire.begin(), wire.begin() + len);
+    EXPECT_FALSE(Recording::ParseSigned(prefix, key).ok()) << len;
+  }
+}
+
+// The delay model is internally consistent: the measured recording delay
+// is explained by blocking round trips plus serialized traffic (within a
+// factor that covers compute, stalls, and one-way pipelining).
+TEST(Robustness, RecordingDelayExplainedByModel) {
+  NetworkDef net = BuildMnist();
+  for (const std::string& variant : {std::string("Naive"),
+                                     std::string("OursMD")}) {
+    ClientDevice device(SkuId::kMaliG71Mp8, 131);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, net, variant, WifiConditions(),
+                              &history);
+    ASSERT_TRUE(m.ok());
+    double rtt_s = ToSeconds(WifiConditions().rtt);
+    double lower = m->blocking_rtts * rtt_s;
+    double traffic_s =
+        static_cast<double>(m->total_bytes) * 8.0 / WifiConditions().bandwidth_bps;
+    double measured = ToSeconds(m->client_delay);
+    EXPECT_GE(measured, lower * 0.9) << variant;
+    EXPECT_LE(measured, (lower + traffic_s) * 2.0 + 1.0) << variant;
+  }
+}
+
+// Determinism across identical sessions: same seeds => bit-identical
+// recordings and statistics.
+TEST(Robustness, IdenticalSessionsProduceIdenticalRecordings) {
+  NetworkDef net = BuildMnist();
+  Bytes first;
+  uint64_t first_rtts = 0;
+  for (int run = 0; run < 2; ++run) {
+    ClientDevice device(SkuId::kMaliG71Mp8, 137);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, net, "OursMDS", WifiConditions(),
+                              &history, 1);
+    ASSERT_TRUE(m.ok());
+    if (run == 0) {
+      first = m->signed_recording;
+      first_rtts = m->blocking_rtts;
+    } else {
+      EXPECT_EQ(m->signed_recording, first);
+      EXPECT_EQ(m->blocking_rtts, first_rtts);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,145 @@
+// Network definition tests: structural invariants for all six workloads,
+// deterministic parameter/input generation, and CPU reference sanity.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/ml/network.h"
+#include "src/ml/reference.h"
+
+namespace grt {
+namespace {
+
+class NetworkStructure : public ::testing::TestWithParam<int> {
+ protected:
+  NetworkDef net_ = BuildAllNetworks()[GetParam()];
+};
+
+TEST_P(NetworkStructure, TensorsUniqueAndReferenced) {
+  std::set<std::string> names;
+  for (const TensorDef& t : net_.tensors) {
+    EXPECT_GT(t.n_floats, 0u) << t.name;
+    EXPECT_TRUE(names.insert(t.name).second) << "duplicate " << t.name;
+  }
+  for (const OpDef& op : net_.ops) {
+    for (const std::string* ref : {&op.in0, &op.in1, &op.aux, &op.out}) {
+      if (!ref->empty()) {
+        EXPECT_TRUE(names.count(*ref)) << "dangling tensor '" << *ref << "'";
+      }
+    }
+    EXPECT_FALSE(op.out.empty());
+  }
+  EXPECT_TRUE(names.count(net_.input_tensor));
+  EXPECT_TRUE(names.count(net_.output_tensor));
+}
+
+TEST_P(NetworkStructure, HasExactlyOneInputAndOutput) {
+  int inputs = 0, outputs = 0;
+  for (const TensorDef& t : net_.tensors) {
+    inputs += t.kind == TensorKind::kInput;
+    outputs += t.kind == TensorKind::kOutput;
+  }
+  EXPECT_EQ(inputs, 1);
+  EXPECT_EQ(outputs, 1);
+}
+
+TEST_P(NetworkStructure, OutputWrittenBySomeOp) {
+  bool written = false;
+  for (const OpDef& op : net_.ops) {
+    written |= op.out == net_.output_tensor;
+  }
+  EXPECT_TRUE(written);
+}
+
+TEST_P(NetworkStructure, EndsWithSoftmaxOverClasses) {
+  ASSERT_FALSE(net_.ops.empty());
+  EXPECT_EQ(net_.ops.back().op, GpuOp::kSoftmax);
+  auto out = net_.FindTensor(net_.output_tensor);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->n_floats, 10u);
+}
+
+TEST_P(NetworkStructure, ReferenceProducesValidDistribution) {
+  std::vector<float> input = GenerateInput(net_, 1);
+  auto out = RunReference(net_, input, 1);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 10u);
+  float sum = 0;
+  for (float p : *out) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-4f);
+}
+
+TEST_P(NetworkStructure, ReferenceIsInputSensitive) {
+  auto a = RunReference(net_, GenerateInput(net_, 1), 1);
+  auto b = RunReference(net_, GenerateInput(net_, 2), 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(MaxAbsDiff(*a, *b), 0.0f);
+}
+
+TEST_P(NetworkStructure, ReferenceIsParamSensitive) {
+  std::vector<float> input = GenerateInput(net_, 1);
+  auto a = RunReference(net_, input, 1);
+  auto b = RunReference(net_, input, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_GT(MaxAbsDiff(*a, *b), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNets, NetworkStructure,
+                         ::testing::Range(0, 6));
+
+TEST(Networks, JobCountOrderingMatchesPaperShape) {
+  // Paper Table 1: MNIST(23) < AlexNet(60) < VGG16(96) < SqueezeNet(98)
+  // < MobileNet(104) < ResNet12(111). Our scaled networks preserve the
+  // ordering.
+  size_t mnist = BuildMnist().job_count();
+  size_t alex = BuildAlexNet().job_count();
+  size_t vgg = BuildVgg16().job_count();
+  size_t squeeze = BuildSqueezeNet().job_count();
+  size_t mobile = BuildMobileNet().job_count();
+  size_t res = BuildResNet12().job_count();
+  EXPECT_LT(mnist, alex);
+  EXPECT_LT(alex, vgg);
+  EXPECT_LT(vgg, squeeze);
+  EXPECT_LT(squeeze, mobile + 10);  // cluster, paper order
+  EXPECT_GT(res + mobile + squeeze, 3 * vgg / 2);  // the dense cluster
+}
+
+TEST(Networks, Vgg16HasLargestParameterFootprint) {
+  uint64_t vgg = BuildVgg16().FloatsOfKind(TensorKind::kParam);
+  for (const NetworkDef& net : BuildAllNetworks()) {
+    if (net.name != "vgg16") {
+      EXPECT_GT(vgg, net.FloatsOfKind(TensorKind::kParam)) << net.name;
+    }
+  }
+}
+
+TEST(Networks, ParamGenerationDeterministicPerTensor) {
+  NetworkDef net = BuildMnist();
+  const TensorDef& t = net.tensors[2];
+  EXPECT_EQ(GenerateParams(net.name, t, 7), GenerateParams(net.name, t, 7));
+  EXPECT_NE(GenerateParams(net.name, t, 7), GenerateParams(net.name, t, 8));
+  // Different tensors get different content under the same seed.
+  auto a = GenerateParams(net.name, net.tensors[2], 7);
+  auto b = GenerateParams(net.name, net.tensors[3], 7);
+  if (a.size() == b.size()) {
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST(Networks, InputGenerationBounded) {
+  NetworkDef net = BuildMnist();
+  std::vector<float> input = GenerateInput(net, 3);
+  auto tensor = net.FindTensor(net.input_tensor);
+  EXPECT_EQ(input.size(), tensor->n_floats);
+  for (float v : input) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace grt

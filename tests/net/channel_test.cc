@@ -1,0 +1,99 @@
+// Virtual-time network channel tests: latency math, blocking semantics,
+// asynchronous sends, and statistics.
+#include <gtest/gtest.h>
+
+#include "src/net/channel.h"
+
+namespace grt {
+namespace {
+
+TEST(Channel, ConditionsMatchPaper) {
+  NetworkConditions wifi = WifiConditions();
+  EXPECT_EQ(wifi.rtt, 20 * kMillisecond);
+  EXPECT_DOUBLE_EQ(wifi.bandwidth_bps, 80e6);
+  NetworkConditions cell = CellularConditions();
+  EXPECT_EQ(cell.rtt, 50 * kMillisecond);
+  EXPECT_DOUBLE_EQ(cell.bandwidth_bps, 40e6);
+}
+
+TEST(Channel, OneWayLatencyIncludesSerialization) {
+  NetworkConditions wifi = WifiConditions();
+  // 1 MB at 80 Mbps = 0.1 s serialization + 10 ms propagation.
+  Duration d = wifi.OneWayLatency(1000000);
+  EXPECT_NEAR(ToSeconds(d), 0.11, 0.001);
+}
+
+TEST(Channel, SendOneWayAdvancesOnlyReceiver) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  cloud.Advance(kSecond);
+  TimePoint arrival = ch.SendOneWay(kCloudEnd, 100);
+  EXPECT_GT(arrival, cloud.now());
+  EXPECT_EQ(client.now(), arrival);
+  EXPECT_EQ(cloud.now(), kSecond);  // sender unaffected
+  EXPECT_EQ(ch.stats().messages[kCloudEnd], 1u);
+  EXPECT_EQ(ch.stats().blocking_rtts, 0u);
+}
+
+TEST(Channel, ReceiverNeverMovesBackwards) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  client.Advance(10 * kSecond);  // client far ahead
+  ch.SendOneWay(kCloudEnd, 100);
+  EXPECT_EQ(client.now(), 10 * kSecond);
+}
+
+TEST(Channel, BlockingRoundTripAdvancesSenderPastRtt) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  TimePoint t0 = cloud.now();
+  ch.BlockingRoundTrip(kCloudEnd, 64, 64, /*remote_compute=*/kMillisecond);
+  EXPECT_GE(cloud.now() - t0, 20 * kMillisecond + kMillisecond);
+  EXPECT_EQ(ch.stats().blocking_rtts, 1u);
+}
+
+TEST(Channel, SendNoAdvanceLeavesBothClocks) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  TimePoint arrival = ch.SendNoAdvance(kClientEnd, 64);
+  EXPECT_GT(arrival, client.now());
+  EXPECT_EQ(cloud.now(), 0);
+  EXPECT_EQ(client.now(), 0);
+  EXPECT_EQ(ch.stats().messages[kClientEnd], 1u);
+}
+
+TEST(Channel, AirtimeAccumulatesOnBothEnds) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  ch.SendOneWay(kCloudEnd, 1000000);
+  EXPECT_GT(ch.stats().airtime[kCloudEnd], 0);
+  EXPECT_GT(ch.stats().airtime[kClientEnd], 0);
+}
+
+TEST(Channel, WireOverheadCharged) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  ch.SendOneWay(kCloudEnd, 0);  // empty payload still costs the envelope
+  EXPECT_EQ(ch.stats().bytes[kCloudEnd], kWireOverheadBytes);
+}
+
+TEST(Channel, CellularSlowerThanWifi) {
+  Timeline c1("a"), c2("b"), c3("c"), c4("d");
+  NetChannel wifi(WifiConditions(), &c1, &c2);
+  NetChannel cell(CellularConditions(), &c3, &c4);
+  wifi.BlockingRoundTrip(kCloudEnd, 128, 128);
+  cell.BlockingRoundTrip(kCloudEnd, 128, 128);
+  EXPECT_GT(c3.now(), c1.now());
+}
+
+TEST(Channel, StatsReset) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  ch.BlockingRoundTrip(kCloudEnd, 10, 10);
+  ch.ResetStats();
+  EXPECT_EQ(ch.stats().blocking_rtts, 0u);
+  EXPECT_EQ(ch.stats().total_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,122 @@
+// Interaction-log diff tests (§3.4 remote debugging), including the
+// end-to-end malfunction-localization scenario.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/record/diff.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+LogEntry Read(uint32_t reg, uint32_t value) {
+  LogEntry e;
+  e.op = LogOp::kRegRead;
+  e.reg = reg;
+  e.value = value;
+  return e;
+}
+
+LogEntry Write(uint32_t reg, uint32_t value) {
+  LogEntry e;
+  e.op = LogOp::kRegWrite;
+  e.reg = reg;
+  e.value = value;
+  return e;
+}
+
+TEST(LogDiff, IdenticalLogsMatch) {
+  InteractionLog a;
+  a.Add(Write(kRegGpuIrqMask, 1));
+  a.Add(Read(kRegGpuId, 42));
+  LogDiff diff = CompareInteractionLogs(a, a);
+  EXPECT_TRUE(diff.identical);
+  EXPECT_EQ(diff.entries_compared, 2u);
+  EXPECT_EQ(diff.value_mismatches, 0u);
+}
+
+TEST(LogDiff, ValueDeviationLocalized) {
+  InteractionLog expected, observed;
+  expected.Add(Write(kRegGpuIrqMask, 1));
+  observed.Add(Write(kRegGpuIrqMask, 1));
+  expected.Add(Read(kRegShaderReadyLo, 0xFF));
+  observed.Add(Read(kRegShaderReadyLo, 0x0F));  // half the cores missing
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, 1u);
+  EXPECT_EQ(diff.value_mismatches, 1u);
+  EXPECT_EQ(diff.structure_mismatches, 0u);
+  EXPECT_NE(diff.description.find("SHADER_READY_LO"), std::string::npos);
+}
+
+TEST(LogDiff, NondeterministicValuesIgnoredByDefault) {
+  InteractionLog expected, observed;
+  expected.Add(Read(kRegLatestFlush, 100));
+  observed.Add(Read(kRegLatestFlush, 999));
+  EXPECT_TRUE(CompareInteractionLogs(expected, observed).identical);
+  LogDiffOptions strict;
+  strict.ignore_nondeterministic_values = false;
+  EXPECT_FALSE(CompareInteractionLogs(expected, observed, strict).identical);
+}
+
+TEST(LogDiff, StructuralDeviationDetected) {
+  InteractionLog expected, observed;
+  expected.Add(Read(kRegGpuId, 1));
+  observed.Add(Write(kRegGpuId, 1));  // kind differs
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.structure_mismatches, 1u);
+}
+
+TEST(LogDiff, LengthMismatchDetected) {
+  InteractionLog expected, observed;
+  expected.Add(Read(kRegGpuId, 1));
+  expected.Add(Read(kRegGpuId, 1));
+  observed.Add(Read(kRegGpuId, 1));
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_NE(diff.description.find("lengths"), std::string::npos);
+}
+
+TEST(LogDiff, RemoteDebuggingLocalizesInjectedFault) {
+  // End to end: record, then replay on a device whose JS0_STATUS register
+  // is corrupted — the diff pinpoints the register (§3.4).
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 113);
+  SpeculationHistory history;
+  auto m = RunRecordVariant(&device, net, "OursMDS", WifiConditions(),
+                            &history, 1);
+  ASSERT_TRUE(m.ok());
+  auto recording =
+      Recording::ParseSigned(m->signed_recording, m->session_key);
+  ASSERT_TRUE(recording.ok());
+
+  auto observe = [&]() -> Result<InteractionLog> {
+    ReplayConfig config;
+    config.verify_reads = false;
+    config.collect_observed = true;
+    Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                      &device.timeline(), config);
+    GRT_RETURN_IF_ERROR(replayer.Load(*recording));
+    GRT_ASSIGN_OR_RETURN(ReplayReport r, replayer.Replay());
+    (void)r;
+    return replayer.observed_log();
+  };
+
+  auto healthy = observe();
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_TRUE(CompareInteractionLogs(recording->log, *healthy).identical);
+
+  device.gpu().InjectRegisterFault(kJobSlotBase + kJsStatus, 0x2);
+  auto faulty = observe();
+  device.gpu().ClearRegisterFault();
+  ASSERT_TRUE(faulty.ok());
+  LogDiff diff = CompareInteractionLogs(recording->log, *faulty);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_NE(diff.description.find("JS0_STATUS"), std::string::npos);
+  EXPECT_GT(diff.value_mismatches, 0u);
+  EXPECT_EQ(diff.structure_mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace grt

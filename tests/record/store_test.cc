@@ -1,0 +1,127 @@
+// RecordingStore tests: install/verify/load, rollback protection, sealing,
+// and the end-to-end record -> store -> seal/unseal -> replay flow.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+#include "src/record/store.h"
+
+namespace grt {
+namespace {
+
+Bytes MakeSigned(const std::string& workload, uint64_t nonce,
+                 const Bytes& key, SkuId sku = SkuId::kMaliG71Mp8) {
+  Recording rec;
+  rec.header.workload = workload;
+  rec.header.sku = sku;
+  rec.header.record_nonce = nonce;
+  return rec.SerializeSigned(key);
+}
+
+TEST(RecordingStore, InstallAndLoad) {
+  Bytes key(32, 5);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("mnist", 1, key)).ok());
+  EXPECT_TRUE(store.Contains("mnist", SkuId::kMaliG71Mp8));
+  EXPECT_FALSE(store.Contains("mnist", SkuId::kMaliG71Mp4));  // per-SKU
+  EXPECT_FALSE(store.Contains("vgg16", SkuId::kMaliG71Mp8));
+  auto rec = store.Load("mnist", SkuId::kMaliG71Mp8);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->header.record_nonce, 1u);
+}
+
+TEST(RecordingStore, RejectsForgedRecordings) {
+  Bytes key(32, 5);
+  RecordingStore store(key);
+  EXPECT_FALSE(store.Install(MakeSigned("mnist", 1, Bytes(32, 6))).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(RecordingStore, RollbackProtection) {
+  Bytes key(32, 5);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("mnist", 5, key)).ok());
+  // Older or same nonce: rejected.
+  EXPECT_FALSE(store.Install(MakeSigned("mnist", 4, key)).ok());
+  EXPECT_FALSE(store.Install(MakeSigned("mnist", 5, key)).ok());
+  // Newer: accepted.
+  EXPECT_TRUE(store.Install(MakeSigned("mnist", 6, key)).ok());
+  EXPECT_EQ(store.Load("mnist", SkuId::kMaliG71Mp8)->header.record_nonce,
+            6u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(RecordingStore, RemoveAndMissingEntries) {
+  Bytes key(32, 5);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("a", 1, key)).ok());
+  EXPECT_TRUE(store.Remove("a", SkuId::kMaliG71Mp8).ok());
+  EXPECT_FALSE(store.Remove("a", SkuId::kMaliG71Mp8).ok());
+  EXPECT_EQ(store.Load("a", SkuId::kMaliG71Mp8).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(RecordingStore, SealUnsealRoundTrip) {
+  Bytes key(32, 7);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("a", 1, key)).ok());
+  ASSERT_TRUE(store.Install(MakeSigned("b", 2, key)).ok());
+  Bytes sealed = store.Seal();
+  auto restored = RecordingStore::Unseal(sealed, key);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 2u);
+  EXPECT_TRUE(restored->Contains("a", SkuId::kMaliG71Mp8));
+  EXPECT_TRUE(restored->Contains("b", SkuId::kMaliG71Mp8));
+}
+
+TEST(RecordingStore, TamperedSealRejected) {
+  Bytes key(32, 7);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("a", 1, key)).ok());
+  Bytes sealed = store.Seal();
+  sealed[sealed.size() / 2] ^= 1;
+  EXPECT_FALSE(RecordingStore::Unseal(sealed, key).ok());
+  // Wrong key also fails.
+  EXPECT_FALSE(RecordingStore::Unseal(store.Seal(), Bytes(32, 8)).ok());
+}
+
+TEST(RecordingStore, EndToEndRecordStoreReplay) {
+  // Record once; install; seal; "reboot"; unseal; replay — the paper's
+  // future-executions-without-the-cloud path.
+  NetworkDef net = BuildMnist();
+  ClientDevice device(SkuId::kMaliG71Mp8, 173);
+  SpeculationHistory history;
+  auto m = RunRecordVariant(&device, net, "OursMDS", WifiConditions(),
+                            &history, 1);
+  ASSERT_TRUE(m.ok());
+
+  RecordingStore store(m->session_key);
+  ASSERT_TRUE(store.Install(m->signed_recording).ok());
+  Bytes flash = store.Seal();
+
+  auto after_reboot = RecordingStore::Unseal(flash, m->session_key);
+  ASSERT_TRUE(after_reboot.ok());
+  auto rec = after_reboot->Load(net.name, device.sku().id);
+  ASSERT_TRUE(rec.ok());
+
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  ASSERT_TRUE(replayer.Load(std::move(rec.value())).ok());
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      ASSERT_TRUE(
+          replayer.StageTensor(t.name, GenerateParams(net.name, t, 7)).ok());
+    }
+  }
+  std::vector<float> input = GenerateInput(net, 21);
+  ASSERT_TRUE(replayer.StageTensor("input", input).ok());
+  ASSERT_TRUE(replayer.Replay().ok());
+  auto out = replayer.ReadTensor(net.output_tensor);
+  auto ref = RunReference(net, input, 7);
+  ASSERT_TRUE(out.ok() && ref.ok());
+  EXPECT_LT(MaxAbsDiff(*out, *ref), 1e-4f);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,110 @@
+// Userspace runtime tests: buffers, the SKU-parameterized JIT, shader
+// caching, and the enqueue path.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/runtime/runtime.h"
+
+namespace grt {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : device_(SkuId::kMaliG71Mp8), stack_(&device_) {
+    EXPECT_TRUE(stack_.BringUp().ok());
+  }
+
+  ClientDevice device_;
+  NativeStack stack_;
+};
+
+TEST_F(RuntimeTest, BufferUploadDownloadRoundTrip) {
+  GpuRuntime& rt = stack_.runtime();
+  GpuBuffer b = rt.AllocBuffer(100, RegionUsage::kDataInput).value();
+  std::vector<float> data(100);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i) * 0.5f;
+  }
+  ASSERT_TRUE(rt.Upload(b, data).ok());
+  EXPECT_EQ(rt.Download(b).value(), data);
+  EXPECT_EQ(rt.stats().bytes_uploaded, 400u);
+}
+
+TEST_F(RuntimeTest, OversizedUploadRejected) {
+  GpuRuntime& rt = stack_.runtime();
+  GpuBuffer b = rt.AllocBuffer(4, RegionUsage::kDataInput).value();
+  EXPECT_FALSE(rt.Upload(b, std::vector<float>(5)).ok());
+}
+
+TEST_F(RuntimeTest, RunJobBeforeFinalizeFails) {
+  GpuRuntime& rt = stack_.runtime();
+  GpuBuffer b = rt.AllocBuffer(4, RegionUsage::kDataOutput).value();
+  JobDescriptor d;
+  d.op = GpuOp::kFill;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  d.output_va = b.va;
+  EXPECT_EQ(rt.RunJob(d).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RuntimeTest, ShaderCachePerOp) {
+  GpuRuntime& rt = stack_.runtime();
+  GpuBuffer b = rt.AllocBuffer(4, RegionUsage::kDataOutput).value();
+  ASSERT_TRUE(rt.Finalize().ok());
+  JobDescriptor d;
+  d.op = GpuOp::kFill;
+  d.params = {4, 0, 0, 0, 0, 0, 0, 0};
+  d.output_va = b.va;
+  ASSERT_TRUE(rt.RunJob(d).ok());
+  ASSERT_TRUE(rt.RunJob(d).ok());
+  EXPECT_EQ(rt.stats().shaders_compiled, 1u);  // cached after first use
+  d.op = GpuOp::kCopy;
+  d.input_va[0] = b.va;
+  ASSERT_TRUE(rt.RunJob(d).ok());
+  EXPECT_EQ(rt.stats().shaders_compiled, 2u);
+  EXPECT_EQ(rt.stats().jobs_enqueued, 3u);
+}
+
+TEST(RuntimeJit, TilingScalesWithCoreCount) {
+  GpuSku mp2 = FindSku(SkuId::kMaliG71Mp2).value();
+  GpuSku mp8 = FindSku(SkuId::kMaliG71Mp8).value();
+  ShaderBlobHeader h2 = JitShaderHeader(GpuOp::kGemm, mp2);
+  ShaderBlobHeader h8 = JitShaderHeader(GpuOp::kGemm, mp8);
+  EXPECT_EQ(h2.core_count, 2u);
+  EXPECT_EQ(h8.core_count, 8u);
+  EXPECT_LT(h2.tile_m, h8.tile_m);
+  EXPECT_LT(h2.code_len, h8.code_len);
+  // The same op on the same SKU is deterministic.
+  ShaderBlobHeader again = JitShaderHeader(GpuOp::kGemm, mp8);
+  EXPECT_EQ(BuildShaderBlob(h8), BuildShaderBlob(again));
+}
+
+TEST(RuntimeJit, SkuExecutionTimesDiffer) {
+  // The same workload takes longer on fewer cores (per-SKU cost model).
+  Duration durations[2];
+  int i = 0;
+  for (SkuId id : {SkuId::kMaliG71Mp2, SkuId::kMaliG71Mp8}) {
+    ClientDevice device(id);
+    NativeStack stack(&device);
+    ASSERT_TRUE(stack.BringUp().ok());
+    GpuRuntime& rt = stack.runtime();
+    GpuBuffer a = rt.AllocBuffer(64 * 64, RegionUsage::kDataInput).value();
+    GpuBuffer b = rt.AllocBuffer(64 * 64, RegionUsage::kDataInput).value();
+    GpuBuffer c = rt.AllocBuffer(64 * 64, RegionUsage::kDataOutput).value();
+    ASSERT_TRUE(rt.Finalize().ok());
+    ASSERT_TRUE(rt.Upload(a, std::vector<float>(64 * 64, 1.0f)).ok());
+    ASSERT_TRUE(rt.Upload(b, std::vector<float>(64 * 64, 2.0f)).ok());
+    JobDescriptor d;
+    d.op = GpuOp::kGemm;
+    d.input_va[0] = a.va;
+    d.aux_va = b.va;
+    d.output_va = c.va;
+    d.params = {64, 64, 64, 0, 0, 0, 0, 0};
+    Duration busy0 = device.gpu().busy_time();
+    ASSERT_TRUE(rt.RunJob(d).ok());
+    durations[i++] = device.gpu().busy_time() - busy0;
+  }
+  EXPECT_GT(durations[0], durations[1]);  // MP2 slower than MP8
+}
+
+}  // namespace
+}  // namespace grt

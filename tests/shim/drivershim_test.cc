@@ -1,0 +1,215 @@
+// DriverShim unit tests: deferral/commit semantics driven directly through
+// the GpuBus interface (no driver on top), so each §4 mechanism is
+// observable in isolation.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/shim/drivershim.h"
+
+namespace grt {
+namespace {
+
+class DriverShimTest : public ::testing::Test {
+ protected:
+  explicit DriverShimTest(ShimConfig config = ShimConfig::OursMD())
+      : device_(SkuId::kMaliG71Mp8, 91),
+        cloud_tl_("cloud"),
+        cloud_mem_(kCarveoutBase, kCarveoutSize),
+        gpushim_(&device_.gpu(), &device_.tzasc(), &device_.mem(),
+                 &device_.timeline(), config.meta_only_sync,
+                 config.compress_sync),
+        channel_(WifiConditions(), &cloud_tl_, &device_.timeline()),
+        shim_(config, &channel_, &gpushim_, &cloud_mem_, &history_) {
+    gpushim_.BeginSession();
+  }
+
+  ~DriverShimTest() override { gpushim_.EndSession(); }
+
+  uint32_t GpuReg(uint32_t reg) {
+    return device_.gpu().ReadRegister(reg).value();
+  }
+
+  ClientDevice device_;
+  Timeline cloud_tl_;
+  PhysicalMemory cloud_mem_;
+  SpeculationHistory history_;
+  GpuShim gpushim_;
+  NetChannel channel_;
+  DriverShim shim_;
+};
+
+TEST_F(DriverShimTest, DeferralBatchesUntilForce) {
+  shim_.EnterHotFunction("fn");
+  RegValue a = shim_.ReadReg(kRegGpuId, "t:a");
+  RegValue b = shim_.ReadReg(kRegShaderPresentLo, "t:b");
+  shim_.WriteReg(kRegGpuIrqMask, RegValue(0xFF), "t:c");
+  EXPECT_EQ(shim_.stats().commits, 0u);  // still queued
+  // Forcing either read resolves the whole batch in one commit.
+  EXPECT_EQ(a.Get(), device_.sku().gpu_id_reg);
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(shim_.stats().accesses_committed, 3u);
+  EXPECT_EQ(b.Get(), device_.sku().shader_present);  // already resolved
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0xFFu);  // the write reached the GPU
+  shim_.LeaveHotFunction();
+}
+
+TEST_F(DriverShimTest, SymbolicWriteEvaluatedOnClient) {
+  // Listing 1(a): WRITE(SHADER_CONFIG, S1 | 0x10) ships as an expression
+  // and is evaluated against the client's own read result.
+  shim_.EnterHotFunction("fn");
+  RegValue cfg = shim_.ReadReg(kRegShaderConfig, "t:cfg");
+  shim_.WriteReg(kRegShaderConfig, cfg | 0x10u, "t:cfg_w");
+  shim_.LeaveHotFunction();  // commit point
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(GpuReg(kRegShaderConfig), 0x10u);  // 0 | 0x10 computed remotely
+  EXPECT_TRUE(shim_.last_error().ok());
+}
+
+TEST_F(DriverShimTest, LockReleaseIsACommitPoint) {
+  shim_.EnterHotFunction("fn");
+  shim_.WriteReg(kRegGpuIrqMask, RegValue(0x1), "t:w");
+  EXPECT_EQ(shim_.stats().commits, 0u);
+  shim_.KernelApi(KernelEvent::kLockRelease);
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0x1u);
+  shim_.LeaveHotFunction();
+}
+
+TEST_F(DriverShimTest, ExplicitDelayIsACommitPoint) {
+  shim_.EnterHotFunction("fn");
+  shim_.WriteReg(kRegGpuIrqMask, RegValue(0x2), "t:w");
+  shim_.Delay(2 * kMicrosecond);
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0x2u);
+  // The delay is also in the interaction log for replay.
+  EXPECT_EQ(shim_.log().CountOf(LogOp::kDelay), 1u);
+  shim_.LeaveHotFunction();
+}
+
+TEST_F(DriverShimTest, PerContextQueuesAreIndependent) {
+  shim_.EnterHotFunction("fn");
+  shim_.WriteReg(kRegGpuIrqMask, RegValue(0x3), "t:task");
+  shim_.SetContext(DriverContext::kIrq);
+  RegValue v = shim_.ReadReg(kRegGpuId, "t:irq");
+  // Forcing the IRQ-context read commits ONLY the IRQ queue.
+  (void)v.Get();
+  EXPECT_EQ(shim_.stats().commits, 1u);
+  EXPECT_EQ(shim_.stats().accesses_committed, 1u);
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0u);  // task write still pending
+  shim_.SetContext(DriverContext::kTask);
+  shim_.KernelApi(KernelEvent::kSchedule);
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0x3u);
+  shim_.LeaveHotFunction();
+}
+
+TEST_F(DriverShimTest, SyncCommitsAreBlockingRoundTrips) {
+  shim_.EnterHotFunction("fn");
+  TimePoint t0 = cloud_tl_.now();
+  RegValue v = shim_.ReadReg(kRegGpuId, "t:r");
+  (void)v.Get();
+  // No speculation history: the commit blocked for a full round trip.
+  EXPECT_GE(cloud_tl_.now() - t0, WifiConditions().rtt);
+  EXPECT_EQ(channel_.stats().blocking_rtts, 1u);
+  shim_.LeaveHotFunction();
+}
+
+class DriverShimSpecTest : public DriverShimTest {
+ protected:
+  DriverShimSpecTest() : DriverShimTest(ShimConfig::OursMDS()) {}
+
+  void WarmSite(const char* site, int times) {
+    for (int i = 0; i < times; ++i) {
+      shim_.EnterHotFunction("fn");
+      RegValue v = shim_.ReadReg(kRegGpuId, site);
+      (void)v.Get();
+      shim_.LeaveHotFunction();
+    }
+  }
+};
+
+TEST_F(DriverShimSpecTest, WarmHistoryMakesCommitsAsynchronous) {
+  WarmSite("t:stable", 3);
+  uint64_t sync_before = shim_.stats().sync_commits;
+  TimePoint t0 = cloud_tl_.now();
+  shim_.EnterHotFunction("fn");
+  RegValue v = shim_.ReadReg(kRegGpuId, "t:stable");
+  EXPECT_EQ(v.Get(), device_.sku().gpu_id_reg);  // predicted instantly
+  shim_.LeaveHotFunction();
+  EXPECT_EQ(shim_.stats().sync_commits, sync_before);  // no new blocking
+  EXPECT_GE(shim_.stats().spec_commits, 1u);
+  EXPECT_LT(cloud_tl_.now() - t0, WifiConditions().rtt / 2);
+  // Validation succeeds at quiesce.
+  EXPECT_TRUE(shim_.Quiesce().ok());
+  EXPECT_EQ(shim_.stats().mispredictions, 0u);
+}
+
+TEST_F(DriverShimSpecTest, NondeterministicRegistersNeverSpeculate) {
+  for (int i = 0; i < 5; ++i) {
+    shim_.EnterHotFunction("fn");
+    RegValue v = shim_.ReadReg(kRegLatestFlush, "t:flush");
+    (void)v.Get();
+    shim_.LeaveHotFunction();
+  }
+  EXPECT_EQ(shim_.stats().spec_commits, 0u);
+  EXPECT_EQ(shim_.stats().sync_commits, shim_.stats().commits);
+}
+
+TEST_F(DriverShimSpecTest, PrintkDrainsOutstandingSpeculation) {
+  WarmSite("t:stable", 3);
+  shim_.EnterHotFunction("fn");
+  RegValue v = shim_.ReadReg(kRegGpuId, "t:stable");
+  (void)v.Get();  // speculative
+  shim_.LeaveHotFunction();
+  ASSERT_GE(shim_.stats().spec_commits, 1u);
+  uint64_t drains_before = shim_.stats().drains;
+  shim_.KernelApi(KernelEvent::kPrintk);  // externalization: must validate
+  EXPECT_GT(shim_.stats().drains, drains_before);
+  EXPECT_TRUE(shim_.last_error().ok());
+}
+
+TEST_F(DriverShimSpecTest, WriteOnlyCommitsShipAsynchronously) {
+  TimePoint t0 = cloud_tl_.now();
+  shim_.EnterHotFunction("fn");
+  shim_.WriteReg(kRegGpuIrqMask, RegValue(0x7), "t:w");
+  shim_.LeaveHotFunction();
+  EXPECT_EQ(shim_.stats().writeonly_commits, 1u);
+  EXPECT_EQ(channel_.stats().blocking_rtts, 0u);
+  EXPECT_LT(cloud_tl_.now() - t0, kMillisecond);  // never waited
+  EXPECT_EQ(GpuReg(kRegGpuIrqMask), 0x7u);        // yet it arrived
+}
+
+TEST_F(DriverShimSpecTest, TaintedBatchStallsForValidation) {
+  WarmSite("t:stable", 3);
+  shim_.EnterHotFunction("fn");
+  RegValue v = shim_.ReadReg(kRegGpuId, "t:stable");
+  (void)v.Get();  // speculative value consumed by a "branch" -> taint
+  // The next commit carries state derived from speculation; it must wait
+  // for the outstanding validation instead of shipping speculative state.
+  uint64_t drains_before = shim_.stats().drains;
+  shim_.WriteReg(kRegGpuIrqMask, v | 0u, "t:dep");
+  shim_.KernelApi(KernelEvent::kSchedule);
+  EXPECT_GT(shim_.stats().drains, drains_before);
+  shim_.LeaveHotFunction();
+  EXPECT_TRUE(shim_.last_error().ok());
+}
+
+TEST_F(DriverShimSpecTest, OffloadedPollIsOneRoundTripWhenCold) {
+  shim_.EnterHotFunction("fn");
+  // Kick a cache flush, then poll its completion.
+  shim_.WriteReg(kRegGpuCommand, RegValue(kGpuCommandCleanInvCaches),
+                 "t:flush");
+  PollResult r = shim_.Poll(kRegGpuIrqRawstat, kGpuIrqCleanCachesCompleted,
+                            kGpuIrqCleanCachesCompleted, 64,
+                            3 * kMicrosecond, "t:poll");
+  shim_.LeaveHotFunction();
+  EXPECT_FALSE(r.timed_out);
+  EXPECT_EQ(shim_.stats().polls_offloaded, 1u);
+  // Cold history: the offload itself was the single blocking round trip
+  // (plus the flush write's commit).
+  EXPECT_LE(channel_.stats().blocking_rtts, 2u);
+  EXPECT_EQ(shim_.log().CountOf(LogOp::kPollWait), 1u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,135 @@
+// GpuShim (client TEE module) unit tests: batch execution, ordering,
+// corrupt-message rejection, polling, IRQ events, and session lifecycle.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/shim/gpushim.h"
+
+namespace grt {
+namespace {
+
+class GpuShimTest : public ::testing::Test {
+ protected:
+  GpuShimTest()
+      : device_(SkuId::kMaliG71Mp8),
+        shim_(&device_.gpu(), &device_.tzasc(), &device_.mem(),
+              &device_.timeline(), /*meta_only_sync=*/true,
+              /*compress_sync=*/true, &device_.soc()) {
+    shim_.BeginSession();
+  }
+  ~GpuShimTest() override { shim_.EndSession(); }
+
+  Bytes MakeBatch(uint64_t seq,
+                  std::vector<std::pair<bool, uint32_t>> items) {
+    CommitBatchMsg msg;
+    msg.seq = seq;
+    for (auto [is_write, reg] : items) {
+      BatchItem item;
+      item.is_write = is_write;
+      item.reg = reg;
+      if (is_write) {
+        item.expr = {{BatchItem::Token::Kind::kConst, 0xFF}};
+      }
+      msg.items.push_back(std::move(item));
+    }
+    return msg.Serialize();
+  }
+
+  ClientDevice device_;
+  GpuShim shim_;
+};
+
+TEST_F(GpuShimTest, ExecutesBatchInOrder) {
+  // write mask=0xFF then read it back in the same batch.
+  auto reply_bytes = shim_.ExecuteCommit(
+      MakeBatch(0, {{true, kRegGpuIrqMask}, {false, kRegGpuIrqMask}}));
+  ASSERT_TRUE(reply_bytes.ok());
+  auto reply = CommitReplyMsg::Deserialize(reply_bytes.value());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->read_values.size(), 1u);
+  EXPECT_EQ(reply->read_values[0], 0xFFu);  // sees the earlier write
+  EXPECT_EQ(shim_.batches_executed(), 1u);
+}
+
+TEST_F(GpuShimTest, RejectsOutOfOrderSequence) {
+  ASSERT_TRUE(shim_.ExecuteCommit(MakeBatch(0, {{false, kRegGpuId}})).ok());
+  auto skipped = shim_.ExecuteCommit(MakeBatch(5, {{false, kRegGpuId}}));
+  EXPECT_EQ(skipped.status().code(), StatusCode::kIntegrityViolation);
+  auto replayed = shim_.ExecuteCommit(MakeBatch(0, {{false, kRegGpuId}}));
+  EXPECT_FALSE(replayed.ok());
+}
+
+TEST_F(GpuShimTest, RejectsCorruptBatch) {
+  Bytes garbage = {1, 2, 3};
+  EXPECT_FALSE(shim_.ExecuteCommit(garbage).ok());
+}
+
+TEST_F(GpuShimTest, TrueValuesRetainedPerSequence) {
+  ASSERT_TRUE(
+      shim_.ExecuteCommit(MakeBatch(0, {{false, kRegGpuId}})).ok());
+  const auto* truth = shim_.TrueValuesFor(0);
+  ASSERT_NE(truth, nullptr);
+  EXPECT_EQ((*truth)[0], device_.sku().gpu_id_reg);
+  EXPECT_EQ(shim_.TrueValuesFor(77), nullptr);
+}
+
+TEST_F(GpuShimTest, CorruptionAffectsReplyNotDevice) {
+  shim_.CorruptNextReply();
+  auto reply_bytes =
+      shim_.ExecuteCommit(MakeBatch(0, {{false, kRegGpuId}}));
+  ASSERT_TRUE(reply_bytes.ok());
+  auto reply = CommitReplyMsg::Deserialize(reply_bytes.value());
+  EXPECT_NE(reply->read_values[0], device_.sku().gpu_id_reg);
+  // The true values (what the device really said) are intact.
+  EXPECT_EQ((*shim_.TrueValuesFor(0))[0], device_.sku().gpu_id_reg);
+}
+
+TEST_F(GpuShimTest, OffloadedPollRunsLocally) {
+  // Kick a soft reset via a commit, then offload the completion poll.
+  ASSERT_TRUE(shim_
+                  .ExecuteCommit(MakeBatch(
+                      0, {{true, kRegGpuCommand}}))  // writes 0xFF? no:
+                  .ok());
+  // (The const expr writes 0xFF which is an unknown GPU command; use the
+  // real reset value via a proper batch.)
+  CommitBatchMsg msg;
+  msg.seq = 1;
+  BatchItem reset;
+  reset.is_write = true;
+  reset.reg = kRegGpuCommand;
+  reset.expr = {{BatchItem::Token::Kind::kConst, kGpuCommandSoftReset}};
+  msg.items.push_back(reset);
+  ASSERT_TRUE(shim_.ExecuteCommit(msg.Serialize()).ok());
+
+  PollRequestMsg poll;
+  poll.seq = 2;
+  poll.reg = kRegGpuIrqRawstat;
+  poll.mask = kGpuIrqResetCompleted;
+  poll.expected = kGpuIrqResetCompleted;
+  poll.max_iters = 256;
+  poll.iter_delay_ns = 3 * kMicrosecond;
+  auto reply_bytes = shim_.ExecutePoll(poll.Serialize());
+  ASSERT_TRUE(reply_bytes.ok());
+  auto reply = PollReplyMsg::Deserialize(reply_bytes.value());
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->timed_out);
+  EXPECT_GT(reply->iterations, 1);  // the loop really iterated locally
+}
+
+TEST_F(GpuShimTest, SessionLifecycleManagesWorldAndRail) {
+  // (BeginSession ran in the fixture.)
+  EXPECT_EQ(device_.tzasc().gpu_owner(), World::kSecure);
+  EXPECT_TRUE(device_.soc().gpu_rail_on());
+  shim_.EndSession();
+  EXPECT_EQ(device_.tzasc().gpu_owner(), World::kNormal);
+  shim_.BeginSession();  // fixture teardown ends it again
+  EXPECT_EQ(device_.tzasc().gpu_owner(), World::kSecure);
+}
+
+TEST_F(GpuShimTest, AwaitIrqTimesOutWhenIdle) {
+  auto event = shim_.AwaitIrq(kMillisecond);
+  EXPECT_EQ(event.status().code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace grt

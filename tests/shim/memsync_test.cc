@@ -1,0 +1,151 @@
+// Memory synchronization engine tests (§5): manifest coalescing,
+// metastate selection, delta baselines across both directions, naive raw
+// mode, and corrupt-message rejection.
+#include <gtest/gtest.h>
+
+#include "src/shim/memsync.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kBase = 0x80000000ull;
+constexpr uint64_t kSize = 1 << 20;
+
+TEST(Manifest, CoalescesRunsByClass) {
+  std::vector<uint64_t> all = {kBase, kBase + 4096, kBase + 8192,
+                               kBase + 16384};
+  std::vector<uint64_t> meta = {kBase + 4096, kBase + 8192};
+  std::vector<PageRun> runs = BuildManifest(all, meta);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].start_pa, kBase);
+  EXPECT_EQ(runs[0].n_pages, 1u);
+  EXPECT_FALSE(runs[0].meta);
+  EXPECT_EQ(runs[1].start_pa, kBase + 4096);
+  EXPECT_EQ(runs[1].n_pages, 2u);
+  EXPECT_TRUE(runs[1].meta);
+  EXPECT_EQ(runs[2].start_pa, kBase + 16384);
+  EXPECT_FALSE(runs[2].meta);
+}
+
+TEST(Manifest, EmptyInputs) {
+  EXPECT_TRUE(BuildManifest({}, {}).empty());
+}
+
+class MemSyncPair : public ::testing::Test {
+ protected:
+  MemSyncPair()
+      : cloud_mem_(kBase, kSize), client_mem_(kBase, kSize) {}
+
+  void FillCloudPage(uint64_t pa, uint8_t value) {
+    Bytes page(kPageSize, value);
+    ASSERT_TRUE(cloud_mem_.LoadPage(pa, page).ok());
+  }
+
+  PhysicalMemory cloud_mem_;
+  PhysicalMemory client_mem_;
+};
+
+TEST_F(MemSyncPair, MetaOnlyShipsOnlyMetaPages) {
+  MemSyncEngine cloud(&cloud_mem_, true, true);
+  MemSyncEngine client(&client_mem_, true, true);
+  FillCloudPage(kBase, 0x11);          // data page
+  FillCloudPage(kBase + 4096, 0x22);   // meta page
+  std::vector<PageRun> manifest = BuildManifest({kBase, kBase + 4096},
+                                                {kBase + 4096});
+  Bytes msg = cloud.BuildSync(manifest).value();
+  ASSERT_TRUE(client.ApplySync(msg).ok());
+  // Meta page arrived, data page did not.
+  EXPECT_EQ(client_mem_.ReadU32(kBase + 4096).value(), 0x22222222u);
+  EXPECT_EQ(client_mem_.ReadU32(kBase).value(), 0u);
+  EXPECT_EQ(cloud.stats().pages_shipped, 1u);
+  // Client learned the manifest.
+  EXPECT_EQ(client.learned_manifest().size(), manifest.size());
+}
+
+TEST_F(MemSyncPair, UnchangedPagesSkipped) {
+  MemSyncEngine cloud(&cloud_mem_, true, true);
+  MemSyncEngine client(&client_mem_, true, true);
+  FillCloudPage(kBase, 0x33);
+  std::vector<PageRun> manifest = {{kBase, 1, true}};
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+  uint64_t wire_after_first = cloud.stats().wire_bytes;
+  // Second sync with no changes ships nothing.
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+  EXPECT_EQ(cloud.stats().pages_shipped, 1u);
+  EXPECT_LT(cloud.stats().wire_bytes - wire_after_first, 64u);
+}
+
+TEST_F(MemSyncPair, DeltaUpdatesPropagate) {
+  MemSyncEngine cloud(&cloud_mem_, true, true);
+  MemSyncEngine client(&client_mem_, true, true);
+  std::vector<PageRun> manifest = {{kBase, 1, true}};
+  FillCloudPage(kBase, 0x44);
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+  // Mutate two bytes; the delta should be tiny.
+  ASSERT_TRUE(cloud_mem_.WriteU32(kBase + 100, 0xDEADBEEF).ok());
+  uint64_t before = cloud.stats().wire_bytes;
+  Bytes msg = cloud.BuildSync(manifest).value();
+  EXPECT_LT(cloud.stats().wire_bytes - before, 256u);
+  ASSERT_TRUE(client.ApplySync(msg).ok());
+  EXPECT_EQ(client_mem_.ReadU32(kBase + 100).value(), 0xDEADBEEFu);
+  EXPECT_EQ(client_mem_.DumpPage(kBase).value(),
+            cloud_mem_.DumpPage(kBase).value());
+}
+
+TEST_F(MemSyncPair, BidirectionalBaselinesStayConsistent) {
+  // The regression behind the single-engine-per-party design: after a
+  // cloud->client sync, an (unchanged) client->cloud echo must be a no-op,
+  // not a corruption.
+  MemSyncEngine cloud(&cloud_mem_, true, true);
+  MemSyncEngine client(&client_mem_, true, true);
+  std::vector<PageRun> manifest = {{kBase, 2, true}};
+  FillCloudPage(kBase, 0x55);
+  FillCloudPage(kBase + 4096, 0x66);
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+
+  // Client dumps back (nothing changed on its side).
+  Bytes echo = client.BuildSync(client.learned_manifest()).value();
+  ASSERT_TRUE(cloud.ApplySync(echo).ok());
+  // Cloud content intact (the old two-engine design zeroed it here).
+  EXPECT_EQ(cloud_mem_.ReadU32(kBase).value(), 0x55555555u);
+  EXPECT_EQ(cloud_mem_.ReadU32(kBase + 4096).value(), 0x66666666u);
+  EXPECT_EQ(client.stats().pages_shipped, 0u);  // echo was empty
+}
+
+TEST_F(MemSyncPair, NaiveModeShipsEverythingRaw) {
+  MemSyncEngine cloud(&cloud_mem_, false, false);
+  MemSyncEngine client(&client_mem_, false, false);
+  FillCloudPage(kBase, 0x77);
+  std::vector<PageRun> manifest = BuildManifest({kBase, kBase + 4096}, {});
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+  EXPECT_EQ(cloud.stats().pages_shipped, 2u);  // data pages included
+  EXPECT_GE(cloud.stats().wire_bytes, 2 * kPageSize);
+  EXPECT_EQ(client_mem_.ReadU32(kBase).value(), 0x77777777u);
+  // And again, with no dedup (naive re-ships).
+  ASSERT_TRUE(client.ApplySync(cloud.BuildSync(manifest).value()).ok());
+  EXPECT_EQ(cloud.stats().pages_shipped, 4u);
+}
+
+TEST_F(MemSyncPair, CorruptMessageRejected) {
+  MemSyncEngine cloud(&cloud_mem_, true, true);
+  MemSyncEngine client(&client_mem_, true, true);
+  FillCloudPage(kBase, 0x42);
+  Bytes msg = cloud.BuildSync({{kBase, 1, true}}).value();
+  msg.resize(msg.size() / 2);
+  EXPECT_FALSE(client.ApplySync(msg).ok());
+}
+
+TEST_F(MemSyncPair, CompressionBeatsRawOnSparsePages) {
+  MemSyncEngine compressed(&cloud_mem_, true, true);
+  MemSyncEngine raw(&cloud_mem_, true, false);
+  // Page with a handful of nonzero words (typical page-table page).
+  ASSERT_TRUE(cloud_mem_.WriteU64(kBase, 0x8000100000000003ull).ok());
+  ASSERT_TRUE(cloud_mem_.WriteU64(kBase + 8, 0x8000200000000003ull).ok());
+  std::vector<PageRun> manifest = {{kBase, 1, true}};
+  (void)compressed.BuildSync(manifest);
+  (void)raw.BuildSync(manifest);
+  EXPECT_LT(compressed.stats().wire_bytes, raw.stats().wire_bytes / 10);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,110 @@
+// Speculation history tests (§4.2's confidence-k prediction) and cloud
+// service tests (VM image selection).
+#include <gtest/gtest.h>
+
+#include "src/cloud/service.h"
+#include "src/shim/drivershim.h"
+
+namespace grt {
+namespace {
+
+TEST(SpeculationHistory, RequiresKIdenticalEntries) {
+  SpeculationHistory h;
+  const uint64_t shape = 42;
+  EXPECT_EQ(h.Predict(shape, 3), nullptr);
+  h.Record(shape, {1, 2});
+  h.Record(shape, {1, 2});
+  EXPECT_EQ(h.Predict(shape, 3), nullptr);  // only two entries
+  h.Record(shape, {1, 2});
+  const auto* p = h.Predict(shape, 3);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(SpeculationHistory, UnstableValuesRefusePrediction) {
+  SpeculationHistory h;
+  const uint64_t shape = 7;
+  h.Record(shape, {1});
+  h.Record(shape, {2});
+  h.Record(shape, {1});
+  EXPECT_EQ(h.Predict(shape, 3), nullptr);  // last 3: 1,2,1
+  h.Record(shape, {1});
+  EXPECT_EQ(h.Predict(shape, 3), nullptr);  // last 3: 2,1,1
+  // It recovers once the tail stabilizes.
+  h.Record(shape, {1});
+  ASSERT_NE(h.Predict(shape, 3), nullptr);  // last 3: 1,1,1
+}
+
+TEST(SpeculationHistory, LowerKIsMoreEager) {
+  SpeculationHistory h;
+  const uint64_t shape = 9;
+  h.Record(shape, {5});
+  EXPECT_NE(h.Predict(shape, 1), nullptr);
+  EXPECT_EQ(h.Predict(shape, 2), nullptr);
+}
+
+TEST(SpeculationHistory, ShapesIndependent) {
+  SpeculationHistory h;
+  for (int i = 0; i < 3; ++i) {
+    h.Record(1, {10});
+  }
+  EXPECT_NE(h.Predict(1, 3), nullptr);
+  EXPECT_EQ(h.Predict(2, 3), nullptr);
+  EXPECT_EQ(h.sites(), 1u);
+  h.Clear();
+  EXPECT_EQ(h.Predict(1, 3), nullptr);
+}
+
+TEST(SpeculationHistory, BoundedDepth) {
+  SpeculationHistory h;
+  const uint64_t shape = 3;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(shape, {static_cast<uint32_t>(i)});
+  }
+  // Old entries evicted; the last k are all different -> no prediction.
+  EXPECT_EQ(h.Predict(shape, 3), nullptr);
+  for (int i = 0; i < 3; ++i) {
+    h.Record(shape, {7});
+  }
+  EXPECT_NE(h.Predict(shape, 3), nullptr);
+}
+
+TEST(ShimConfig, VariantsNest) {
+  ShimConfig naive = ShimConfig::Naive();
+  EXPECT_FALSE(naive.defer);
+  EXPECT_FALSE(naive.meta_only_sync);
+  ShimConfig m = ShimConfig::OursM();
+  EXPECT_TRUE(m.meta_only_sync);
+  EXPECT_FALSE(m.defer);
+  ShimConfig md = ShimConfig::OursMD();
+  EXPECT_TRUE(md.defer);
+  EXPECT_FALSE(md.speculate);
+  ShimConfig mds = ShimConfig::OursMDS();
+  EXPECT_TRUE(mds.speculate);
+  EXPECT_TRUE(mds.offload_polls);
+  EXPECT_EQ(mds.confidence_k, 3);
+}
+
+TEST(CloudService, SelectsImagePerSku) {
+  CloudService service;
+  EXPECT_GE(service.images().size(), 2u);
+  auto bifrost = service.SelectImage(SkuId::kMaliG71Mp8);
+  ASSERT_TRUE(bifrost.ok());
+  EXPECT_EQ(bifrost->driver_family, "arm,mali-bifrost");
+  auto gen2 = service.SelectImage(SkuId::kMaliG52Mp2);
+  ASSERT_TRUE(gen2.ok());
+  EXPECT_EQ(gen2->driver_family, "arm,mali-bifrost-gen2");
+  EXPECT_NE(bifrost->measurement, gen2->measurement);
+}
+
+TEST(CloudService, DeviceTreeMatchesClientSku) {
+  CloudService service;
+  for (const GpuSku& sku : AllSkus()) {
+    auto dt = service.DeviceTreeFor(sku.id);
+    ASSERT_TRUE(dt.ok()) << sku.name;
+    EXPECT_EQ(SkuFromDeviceTree(dt.value()).value(), sku.id);
+  }
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,117 @@
+// SKU registry and devicetree tests (§2.4 diversity, §6 devicetrees).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sku/devicetree.h"
+#include "src/hw/regs.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+namespace {
+
+TEST(Sku, RegistryNonEmptyAndUnique) {
+  const auto& skus = AllSkus();
+  EXPECT_GE(skus.size(), 6u);
+  std::set<uint32_t> ids, gpu_ids;
+  for (const GpuSku& s : skus) {
+    EXPECT_TRUE(ids.insert(static_cast<uint32_t>(s.id)).second)
+        << "duplicate SKU id";
+    EXPECT_TRUE(gpu_ids.insert(s.gpu_id_reg).second)
+        << "duplicate GPU_ID register value";
+  }
+}
+
+TEST(Sku, InvariantsHold) {
+  for (const GpuSku& s : AllSkus()) {
+    EXPECT_GT(s.core_count(), 0) << s.name;
+    EXPECT_EQ(__builtin_popcount(s.shader_present), s.core_count());
+    EXPECT_GT(s.clock_mhz, 0u);
+    EXPECT_GT(s.macs_per_core_clk, 0u);
+    EXPECT_GE(s.js_count, 1u);
+    EXPECT_LE(s.js_count, static_cast<uint32_t>(kMaxJobSlots));
+    EXPECT_LE(s.as_count, static_cast<uint32_t>(kMaxAddressSpaces));
+  }
+}
+
+TEST(Sku, LookupById) {
+  auto s = FindSku(SkuId::kMaliG71Mp8);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->core_count(), 8);
+  EXPECT_EQ(s->name, "Mali-G71 MP8");
+}
+
+TEST(Sku, LookupByGpuIdReg) {
+  GpuSku mp8 = FindSku(SkuId::kMaliG71Mp8).value();
+  auto found = FindSkuByGpuIdReg(mp8.gpu_id_reg);
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->id, SkuId::kMaliG71Mp8);
+  EXPECT_FALSE(FindSkuByGpuIdReg(0xDEADBEEF).ok());
+}
+
+TEST(Sku, FamilySharesPageTableFormatDifferences) {
+  // G71 family uses format A; G76/G52 use format B — replay across the
+  // boundary must be impossible (different PTE layouts).
+  EXPECT_EQ(FindSku(SkuId::kMaliG71Mp8)->pt_format, PageTableFormat::kFormatA);
+  EXPECT_EQ(FindSku(SkuId::kMaliG76Mp10)->pt_format,
+            PageTableFormat::kFormatB);
+}
+
+class DeviceTreePerSku : public ::testing::TestWithParam<SkuId> {};
+
+TEST_P(DeviceTreePerSku, BuildAndRecoverSku) {
+  GpuSku sku = FindSku(GetParam()).value();
+  DeviceTree dt = BuildGpuDeviceTree(sku);
+  auto recovered = SkuFromDeviceTree(dt);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered.value(), sku.id);
+
+  const DtNode* gpu = dt.FindCompatible(GpuCompatibleString(sku));
+  ASSERT_NE(gpu, nullptr);
+  auto cores = gpu->GetU32s("arm,shader-core-count");
+  ASSERT_TRUE(cores.ok());
+  EXPECT_EQ(cores.value()[0], static_cast<uint32_t>(sku.core_count()));
+  auto reg = gpu->GetU32s("reg");
+  ASSERT_TRUE(reg.ok());
+  EXPECT_EQ(reg.value()[0], static_cast<uint32_t>(kGpuMmioBase));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSkus, DeviceTreePerSku,
+    ::testing::Values(SkuId::kMaliG71Mp2, SkuId::kMaliG71Mp4,
+                      SkuId::kMaliG71Mp8, SkuId::kMaliG72Mp12,
+                      SkuId::kMaliG76Mp10, SkuId::kMaliG52Mp2));
+
+TEST(DeviceTree, EmptyTreeHasNoGpu) {
+  DeviceTree dt;
+  EXPECT_FALSE(SkuFromDeviceTree(dt).ok());
+  EXPECT_EQ(dt.FindCompatible("arm,mali-bifrost"), nullptr);
+}
+
+TEST(DeviceTree, PropertiesTyped) {
+  DtNode node("n");
+  node.SetString("compatible", "x,y");
+  node.SetU32s("reg", {1, 2});
+  EXPECT_TRUE(node.GetString("compatible").ok());
+  EXPECT_FALSE(node.GetU32s("compatible").ok());
+  EXPECT_FALSE(node.GetString("reg").ok());
+  EXPECT_EQ(node.GetU32s("reg").value().size(), 2u);
+  EXPECT_FALSE(node.GetString("missing").ok());
+}
+
+TEST(DeviceTree, WrongGpuIdInTreeRejected) {
+  GpuSku sku = FindSku(SkuId::kMaliG71Mp8).value();
+  DeviceTree dt = BuildGpuDeviceTree(sku);
+  // Corrupt the gpu-id: no SKU should match.
+  auto* soc = dt.root()->AddChild("soc2");
+  (void)soc;
+  // Rebuild with bogus id.
+  DeviceTree bogus;
+  DtNode* gpu = bogus.root()->AddChild("gpu");
+  gpu->SetString("compatible", GpuCompatibleString(sku));
+  gpu->SetU32s("arm,gpu-id", {0x12345678});
+  EXPECT_FALSE(SkuFromDeviceTree(bogus).ok());
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,72 @@
+// SoC resource protection tests (§6): GPU power/clock are controlled by
+// whoever owns the GPU; a malicious normal world cannot yank power during
+// a TEE session, and a powered-off rail makes the register file a bus
+// error.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/shim/gpushim.h"
+
+namespace grt {
+namespace {
+
+TEST(SocResources, RailTogglePermissions) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  SocResources& soc = device.soc();
+  EXPECT_TRUE(soc.gpu_rail_on());  // firmware default
+
+  // Normal world owns the GPU at boot: it may manage power.
+  EXPECT_TRUE(soc.SetGpuRail(World::kNormal, false).ok());
+  EXPECT_FALSE(soc.gpu_rail_on());
+  EXPECT_TRUE(soc.SetGpuRail(World::kNormal, true).ok());
+
+  // TEE takes the GPU: the normal world loses rail control.
+  device.tzasc().AssignGpu(World::kSecure);
+  Status denied = soc.SetGpuRail(World::kNormal, false);
+  EXPECT_EQ(denied.code(), StatusCode::kPermissionDenied);
+  EXPECT_TRUE(soc.gpu_rail_on());  // unchanged
+  EXPECT_GE(soc.denied_toggles(), 1u);
+  EXPECT_TRUE(soc.SetGpuRail(World::kSecure, true).ok());
+  device.tzasc().AssignGpu(World::kNormal);
+}
+
+TEST(SocResources, RailOffMakesMmioABusError) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  ASSERT_TRUE(device.soc().SetGpuRail(World::kNormal, false).ok());
+  auto read = device.tzasc().ReadGpuRegister(World::kNormal, &device.gpu(),
+                                             kRegGpuId);
+  EXPECT_EQ(read.status().code(), StatusCode::kDeviceFault);
+  ASSERT_TRUE(device.soc().SetGpuRail(World::kNormal, true).ok());
+  EXPECT_TRUE(device.tzasc()
+                  .ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId)
+                  .ok());
+}
+
+TEST(SocResources, TeeSessionBootstrapsPower) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  // The OS powered the GPU down before the TEE session starts.
+  ASSERT_TRUE(device.soc().SetGpuRail(World::kNormal, false).ok());
+
+  GpuShim shim(&device.gpu(), &device.tzasc(), &device.mem(),
+               &device.timeline(), true, true, &device.soc());
+  shim.BeginSession();
+  // The TEE brought the rail up itself (§6) — no normal-world RPC.
+  EXPECT_TRUE(device.soc().gpu_rail_on());
+  // And the normal world cannot take it back down mid-session.
+  EXPECT_FALSE(device.soc().SetGpuRail(World::kNormal, false).ok());
+  shim.EndSession();
+}
+
+TEST(SocResources, ClockControlFollowsSameRules) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  EXPECT_TRUE(device.soc().SetGpuClock(World::kNormal, 600).ok());
+  EXPECT_EQ(device.soc().gpu_clock_mhz(), 600u);
+  device.tzasc().AssignGpu(World::kSecure);
+  EXPECT_FALSE(device.soc().SetGpuClock(World::kNormal, 100).ok());
+  EXPECT_TRUE(device.soc().SetGpuClock(World::kSecure, 900).ok());
+  EXPECT_EQ(device.soc().gpu_clock_mhz(), 900u);
+  device.tzasc().AssignGpu(World::kNormal);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,134 @@
+// TrustZone model tests: TZASC world gating, secure monitor routing, and
+// the attestation/session crypto (§6, §7.1).
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/tee/session.h"
+#include "src/tee/tzasc.h"
+
+namespace grt {
+namespace {
+
+TEST(Tzasc, NormalWorldLockedOutWhileSecured) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  Tzasc& tzasc = device.tzasc();
+
+  // Initially the normal world owns the GPU.
+  EXPECT_TRUE(
+      tzasc.ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId).ok());
+
+  tzasc.AssignGpu(World::kSecure);
+  auto denied =
+      tzasc.ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId);
+  EXPECT_FALSE(denied.ok());
+  EXPECT_EQ(denied.status().code(), StatusCode::kPermissionDenied);
+  EXPECT_FALSE(tzasc
+                   .WriteGpuRegister(World::kNormal, &device.gpu(),
+                                     kRegGpuCommand, kGpuCommandSoftReset)
+                   .ok());
+  EXPECT_GE(tzasc.violations(), 2u);
+
+  // Secure world always passes.
+  EXPECT_TRUE(
+      tzasc.ReadGpuRegister(World::kSecure, &device.gpu(), kRegGpuId).ok());
+
+  tzasc.AssignGpu(World::kNormal);
+  EXPECT_TRUE(
+      tzasc.ReadGpuRegister(World::kNormal, &device.gpu(), kRegGpuId).ok());
+}
+
+TEST(Tzasc, CarveoutMemoryGated) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  device.tzasc().AssignGpu(World::kSecure);
+  EXPECT_FALSE(device.mem()
+                   .WriteU32(kCarveoutBase, 1, MemAccessOrigin::kCpuNormalWorld)
+                   .ok());
+  EXPECT_TRUE(device.mem()
+                  .WriteU32(kCarveoutBase, 1, MemAccessOrigin::kCpuSecureWorld)
+                  .ok());
+  EXPECT_TRUE(
+      device.mem().WriteU32(kCarveoutBase, 2, MemAccessOrigin::kGpu).ok());
+  device.tzasc().AssignGpu(World::kNormal);
+  EXPECT_TRUE(device.mem()
+                  .WriteU32(kCarveoutBase, 3, MemAccessOrigin::kCpuNormalWorld)
+                  .ok());
+}
+
+TEST(SecureMonitor, RoutesIrqsToOwner) {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  SecureMonitor monitor(&device.tzasc());
+  EXPECT_TRUE(monitor.DeliverTo(World::kNormal));
+  EXPECT_FALSE(monitor.DeliverTo(World::kSecure));
+  device.tzasc().AssignGpu(World::kSecure);
+  EXPECT_TRUE(monitor.DeliverTo(World::kSecure));
+  EXPECT_FALSE(monitor.DeliverTo(World::kNormal));
+}
+
+class SessionCrypto : public ::testing::Test {
+ protected:
+  Bytes root_ = Bytes(20, 0x11);
+  VmMeasurement measurement_ = Sha256::Hash("vm-image-1", 10);
+  Bytes nonce_ = Bytes(32, 0x22);
+};
+
+TEST_F(SessionCrypto, QuoteVerifies) {
+  Attestor attestor(root_, measurement_);
+  AttestationVerifier verifier(root_, measurement_);
+  EXPECT_TRUE(verifier.Verify(attestor.Quote(nonce_), nonce_).ok());
+}
+
+TEST_F(SessionCrypto, WrongMeasurementRejected) {
+  Attestor attestor(root_, Sha256::Hash("evil-image", 10));
+  AttestationVerifier verifier(root_, measurement_);
+  Status s = verifier.Verify(attestor.Quote(nonce_), nonce_);
+  EXPECT_EQ(s.code(), StatusCode::kIntegrityViolation);
+}
+
+TEST_F(SessionCrypto, NonceReplayRejected) {
+  Attestor attestor(root_, measurement_);
+  AttestationVerifier verifier(root_, measurement_);
+  AttestationQuote quote = attestor.Quote(nonce_);
+  Bytes other_nonce(32, 0x33);
+  EXPECT_FALSE(verifier.Verify(quote, other_nonce).ok());
+}
+
+TEST_F(SessionCrypto, ForgedSignatureRejected) {
+  Attestor attestor(root_, measurement_);
+  AttestationVerifier verifier(root_, measurement_);
+  AttestationQuote quote = attestor.Quote(nonce_);
+  quote.signature[5] ^= 0x01;
+  EXPECT_FALSE(verifier.Verify(quote, nonce_).ok());
+}
+
+TEST_F(SessionCrypto, WrongRootKeyRejected) {
+  Attestor attestor(Bytes(20, 0x99), measurement_);
+  AttestationVerifier verifier(root_, measurement_);
+  EXPECT_FALSE(verifier.Verify(attestor.Quote(nonce_), nonce_).ok());
+}
+
+TEST_F(SessionCrypto, QuoteSerializationRoundTrips) {
+  Attestor attestor(root_, measurement_);
+  AttestationQuote quote = attestor.Quote(nonce_);
+  auto parsed = AttestationQuote::Deserialize(quote.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->measurement, quote.measurement);
+  EXPECT_EQ(parsed->nonce, quote.nonce);
+  EXPECT_EQ(parsed->signature, quote.signature);
+}
+
+TEST_F(SessionCrypto, SessionKeysAgreeAndMac) {
+  Bytes cloud_nonce(32, 0x44);
+  SessionKey a = SessionKey::Derive(root_, nonce_, cloud_nonce);
+  SessionKey b = SessionKey::Derive(root_, nonce_, cloud_nonce);
+  Bytes msg = {'h', 'i'};
+  EXPECT_TRUE(b.VerifyMac(msg, a.Mac(msg)).ok());
+  // Tampered message rejected.
+  Bytes bad = {'h', 'o'};
+  EXPECT_FALSE(b.VerifyMac(bad, a.Mac(msg)).ok());
+  // Different nonces => different keys.
+  SessionKey c = SessionKey::Derive(root_, nonce_, Bytes(32, 0x55));
+  EXPECT_NE(c.key(), a.key());
+}
+
+}  // namespace
+}  // namespace grt
