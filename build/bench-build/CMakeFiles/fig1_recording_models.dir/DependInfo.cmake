@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig1_recording_models.cc" "bench-build/CMakeFiles/fig1_recording_models.dir/fig1_recording_models.cc.o" "gcc" "bench-build/CMakeFiles/fig1_recording_models.dir/fig1_recording_models.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/grt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/grt_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/shim/CMakeFiles/grt_shim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/grt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/grt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/record/CMakeFiles/grt_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/grt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/grt_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/grt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/grt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sku/CMakeFiles/grt_sku.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/grt_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/grt_rig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_recording_models"
+  "../bench/fig1_recording_models.pdb"
+  "CMakeFiles/fig1_recording_models.dir/fig1_recording_models.cc.o"
+  "CMakeFiles/fig1_recording_models.dir/fig1_recording_models.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_recording_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

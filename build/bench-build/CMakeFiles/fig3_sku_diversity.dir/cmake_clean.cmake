@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_sku_diversity"
+  "../bench/fig3_sku_diversity.pdb"
+  "CMakeFiles/fig3_sku_diversity.dir/fig3_sku_diversity.cc.o"
+  "CMakeFiles/fig3_sku_diversity.dir/fig3_sku_diversity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sku_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

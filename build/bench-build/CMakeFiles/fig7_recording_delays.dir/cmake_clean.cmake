@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_recording_delays"
+  "../bench/fig7_recording_delays.pdb"
+  "CMakeFiles/fig7_recording_delays.dir/fig7_recording_delays.cc.o"
+  "CMakeFiles/fig7_recording_delays.dir/fig7_recording_delays.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_recording_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_recording_delays.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/misprediction_cost"
+  "../bench/misprediction_cost.pdb"
+  "CMakeFiles/misprediction_cost.dir/misprediction_cost.cc.o"
+  "CMakeFiles/misprediction_cost.dir/misprediction_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misprediction_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/polling_offload"
+  "../bench/polling_offload.pdb"
+  "CMakeFiles/polling_offload.dir/polling_offload.cc.o"
+  "CMakeFiles/polling_offload.dir/polling_offload.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polling_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/security_overhead"
+  "../bench/security_overhead.pdb"
+  "CMakeFiles/security_overhead.dir/security_overhead.cc.o"
+  "CMakeFiles/security_overhead.dir/security_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/security_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_rtts_memsync"
+  "../bench/table1_rtts_memsync.pdb"
+  "CMakeFiles/table1_rtts_memsync.dir/table1_rtts_memsync.cc.o"
+  "CMakeFiles/table1_rtts_memsync.dir/table1_rtts_memsync.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_rtts_memsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_replay_delays"
+  "../bench/table2_replay_delays.pdb"
+  "CMakeFiles/table2_replay_delays.dir/table2_replay_delays.cc.o"
+  "CMakeFiles/table2_replay_delays.dir/table2_replay_delays.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_replay_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

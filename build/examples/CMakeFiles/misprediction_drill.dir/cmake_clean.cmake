@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/misprediction_drill.dir/misprediction_drill.cpp.o"
+  "CMakeFiles/misprediction_drill.dir/misprediction_drill.cpp.o.d"
+  "misprediction_drill"
+  "misprediction_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/misprediction_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recording_inspector.dir/recording_inspector.cpp.o"
+  "CMakeFiles/recording_inspector.dir/recording_inspector.cpp.o.d"
+  "recording_inspector"
+  "recording_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recording_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

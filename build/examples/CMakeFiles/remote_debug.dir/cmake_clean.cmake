@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_debug.dir/remote_debug.cpp.o"
+  "CMakeFiles/remote_debug.dir/remote_debug.cpp.o.d"
+  "remote_debug"
+  "remote_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sku_portability.dir/sku_portability.cpp.o"
+  "CMakeFiles/sku_portability.dir/sku_portability.cpp.o.d"
+  "sku_portability"
+  "sku_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sku_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

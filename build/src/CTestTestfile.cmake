@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("compress")
+subdirs("sku")
+subdirs("mem")
+subdirs("hw")
+subdirs("tee")
+subdirs("net")
+subdirs("driver")
+subdirs("runtime")
+subdirs("ml")
+subdirs("record")
+subdirs("shim")
+subdirs("cloud")
+subdirs("harness")

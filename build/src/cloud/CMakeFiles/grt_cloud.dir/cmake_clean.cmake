@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_cloud.dir/service.cc.o"
+  "CMakeFiles/grt_cloud.dir/service.cc.o.d"
+  "CMakeFiles/grt_cloud.dir/session.cc.o"
+  "CMakeFiles/grt_cloud.dir/session.cc.o.d"
+  "libgrt_cloud.a"
+  "libgrt_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

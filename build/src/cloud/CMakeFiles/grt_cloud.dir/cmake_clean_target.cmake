@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgrt_cloud.a"
+)

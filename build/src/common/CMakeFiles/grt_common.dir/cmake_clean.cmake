@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_common.dir/clock.cc.o"
+  "CMakeFiles/grt_common.dir/clock.cc.o.d"
+  "CMakeFiles/grt_common.dir/hash.cc.o"
+  "CMakeFiles/grt_common.dir/hash.cc.o.d"
+  "CMakeFiles/grt_common.dir/log.cc.o"
+  "CMakeFiles/grt_common.dir/log.cc.o.d"
+  "CMakeFiles/grt_common.dir/sha256.cc.o"
+  "CMakeFiles/grt_common.dir/sha256.cc.o.d"
+  "CMakeFiles/grt_common.dir/status.cc.o"
+  "CMakeFiles/grt_common.dir/status.cc.o.d"
+  "libgrt_common.a"
+  "libgrt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

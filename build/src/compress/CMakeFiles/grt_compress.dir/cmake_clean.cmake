@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_compress.dir/delta.cc.o"
+  "CMakeFiles/grt_compress.dir/delta.cc.o.d"
+  "CMakeFiles/grt_compress.dir/range_coder.cc.o"
+  "CMakeFiles/grt_compress.dir/range_coder.cc.o.d"
+  "libgrt_compress.a"
+  "libgrt_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

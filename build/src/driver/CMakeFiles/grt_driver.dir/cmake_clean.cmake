@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_driver.dir/direct_bus.cc.o"
+  "CMakeFiles/grt_driver.dir/direct_bus.cc.o.d"
+  "CMakeFiles/grt_driver.dir/kbase.cc.o"
+  "CMakeFiles/grt_driver.dir/kbase.cc.o.d"
+  "CMakeFiles/grt_driver.dir/kernel.cc.o"
+  "CMakeFiles/grt_driver.dir/kernel.cc.o.d"
+  "CMakeFiles/grt_driver.dir/regvalue.cc.o"
+  "CMakeFiles/grt_driver.dir/regvalue.cc.o.d"
+  "libgrt_driver.a"
+  "libgrt_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

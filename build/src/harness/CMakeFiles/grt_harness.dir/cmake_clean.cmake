@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_harness.dir/energy.cc.o"
+  "CMakeFiles/grt_harness.dir/energy.cc.o.d"
+  "CMakeFiles/grt_harness.dir/experiment.cc.o"
+  "CMakeFiles/grt_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/grt_harness.dir/table.cc.o"
+  "CMakeFiles/grt_harness.dir/table.cc.o.d"
+  "libgrt_harness.a"
+  "libgrt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_rig.dir/rig.cc.o"
+  "CMakeFiles/grt_rig.dir/rig.cc.o.d"
+  "libgrt_rig.a"
+  "libgrt_rig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_rig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

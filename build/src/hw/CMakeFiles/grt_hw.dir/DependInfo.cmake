@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/executor.cc" "src/hw/CMakeFiles/grt_hw.dir/executor.cc.o" "gcc" "src/hw/CMakeFiles/grt_hw.dir/executor.cc.o.d"
+  "/root/repo/src/hw/gpu.cc" "src/hw/CMakeFiles/grt_hw.dir/gpu.cc.o" "gcc" "src/hw/CMakeFiles/grt_hw.dir/gpu.cc.o.d"
+  "/root/repo/src/hw/job_format.cc" "src/hw/CMakeFiles/grt_hw.dir/job_format.cc.o" "gcc" "src/hw/CMakeFiles/grt_hw.dir/job_format.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/hw/CMakeFiles/grt_hw.dir/mmu.cc.o" "gcc" "src/hw/CMakeFiles/grt_hw.dir/mmu.cc.o.d"
+  "/root/repo/src/hw/regs.cc" "src/hw/CMakeFiles/grt_hw.dir/regs.cc.o" "gcc" "src/hw/CMakeFiles/grt_hw.dir/regs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/grt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sku/CMakeFiles/grt_sku.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

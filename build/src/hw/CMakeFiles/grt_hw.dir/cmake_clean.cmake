@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_hw.dir/executor.cc.o"
+  "CMakeFiles/grt_hw.dir/executor.cc.o.d"
+  "CMakeFiles/grt_hw.dir/gpu.cc.o"
+  "CMakeFiles/grt_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/grt_hw.dir/job_format.cc.o"
+  "CMakeFiles/grt_hw.dir/job_format.cc.o.d"
+  "CMakeFiles/grt_hw.dir/mmu.cc.o"
+  "CMakeFiles/grt_hw.dir/mmu.cc.o.d"
+  "CMakeFiles/grt_hw.dir/regs.cc.o"
+  "CMakeFiles/grt_hw.dir/regs.cc.o.d"
+  "libgrt_hw.a"
+  "libgrt_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/grt_mem.dir/phys_mem.cc.o.d"
+  "libgrt_mem.a"
+  "libgrt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

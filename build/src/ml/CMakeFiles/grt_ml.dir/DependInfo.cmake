@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/network.cc" "src/ml/CMakeFiles/grt_ml.dir/network.cc.o" "gcc" "src/ml/CMakeFiles/grt_ml.dir/network.cc.o.d"
+  "/root/repo/src/ml/reference.cc" "src/ml/CMakeFiles/grt_ml.dir/reference.cc.o" "gcc" "src/ml/CMakeFiles/grt_ml.dir/reference.cc.o.d"
+  "/root/repo/src/ml/runner.cc" "src/ml/CMakeFiles/grt_ml.dir/runner.cc.o" "gcc" "src/ml/CMakeFiles/grt_ml.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/grt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/grt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/grt_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sku/CMakeFiles/grt_sku.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/grt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_ml.dir/network.cc.o"
+  "CMakeFiles/grt_ml.dir/network.cc.o.d"
+  "CMakeFiles/grt_ml.dir/reference.cc.o"
+  "CMakeFiles/grt_ml.dir/reference.cc.o.d"
+  "CMakeFiles/grt_ml.dir/runner.cc.o"
+  "CMakeFiles/grt_ml.dir/runner.cc.o.d"
+  "libgrt_ml.a"
+  "libgrt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_net.dir/channel.cc.o"
+  "CMakeFiles/grt_net.dir/channel.cc.o.d"
+  "libgrt_net.a"
+  "libgrt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/diff.cc" "src/record/CMakeFiles/grt_record.dir/diff.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/diff.cc.o.d"
+  "/root/repo/src/record/layered.cc" "src/record/CMakeFiles/grt_record.dir/layered.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/layered.cc.o.d"
+  "/root/repo/src/record/log.cc" "src/record/CMakeFiles/grt_record.dir/log.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/log.cc.o.d"
+  "/root/repo/src/record/recorder.cc" "src/record/CMakeFiles/grt_record.dir/recorder.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/recorder.cc.o.d"
+  "/root/repo/src/record/recording.cc" "src/record/CMakeFiles/grt_record.dir/recording.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/recording.cc.o.d"
+  "/root/repo/src/record/replayer.cc" "src/record/CMakeFiles/grt_record.dir/replayer.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/replayer.cc.o.d"
+  "/root/repo/src/record/store.cc" "src/record/CMakeFiles/grt_record.dir/store.cc.o" "gcc" "src/record/CMakeFiles/grt_record.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/grt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/grt_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/grt_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/grt_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/sku/CMakeFiles/grt_sku.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/grt_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_record.dir/diff.cc.o"
+  "CMakeFiles/grt_record.dir/diff.cc.o.d"
+  "CMakeFiles/grt_record.dir/layered.cc.o"
+  "CMakeFiles/grt_record.dir/layered.cc.o.d"
+  "CMakeFiles/grt_record.dir/log.cc.o"
+  "CMakeFiles/grt_record.dir/log.cc.o.d"
+  "CMakeFiles/grt_record.dir/recorder.cc.o"
+  "CMakeFiles/grt_record.dir/recorder.cc.o.d"
+  "CMakeFiles/grt_record.dir/recording.cc.o"
+  "CMakeFiles/grt_record.dir/recording.cc.o.d"
+  "CMakeFiles/grt_record.dir/replayer.cc.o"
+  "CMakeFiles/grt_record.dir/replayer.cc.o.d"
+  "CMakeFiles/grt_record.dir/store.cc.o"
+  "CMakeFiles/grt_record.dir/store.cc.o.d"
+  "libgrt_record.a"
+  "libgrt_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_runtime.dir/runtime.cc.o"
+  "CMakeFiles/grt_runtime.dir/runtime.cc.o.d"
+  "libgrt_runtime.a"
+  "libgrt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

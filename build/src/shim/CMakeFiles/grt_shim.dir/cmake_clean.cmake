@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_shim.dir/drivershim.cc.o"
+  "CMakeFiles/grt_shim.dir/drivershim.cc.o.d"
+  "CMakeFiles/grt_shim.dir/gpushim.cc.o"
+  "CMakeFiles/grt_shim.dir/gpushim.cc.o.d"
+  "CMakeFiles/grt_shim.dir/memsync.cc.o"
+  "CMakeFiles/grt_shim.dir/memsync.cc.o.d"
+  "CMakeFiles/grt_shim.dir/wire.cc.o"
+  "CMakeFiles/grt_shim.dir/wire.cc.o.d"
+  "libgrt_shim.a"
+  "libgrt_shim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_shim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_sku.dir/devicetree.cc.o"
+  "CMakeFiles/grt_sku.dir/devicetree.cc.o.d"
+  "CMakeFiles/grt_sku.dir/sku.cc.o"
+  "CMakeFiles/grt_sku.dir/sku.cc.o.d"
+  "libgrt_sku.a"
+  "libgrt_sku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_sku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

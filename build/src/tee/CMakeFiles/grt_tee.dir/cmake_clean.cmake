@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_tee.dir/session.cc.o"
+  "CMakeFiles/grt_tee.dir/session.cc.o.d"
+  "CMakeFiles/grt_tee.dir/soc.cc.o"
+  "CMakeFiles/grt_tee.dir/soc.cc.o.d"
+  "CMakeFiles/grt_tee.dir/tzasc.cc.o"
+  "CMakeFiles/grt_tee.dir/tzasc.cc.o.d"
+  "libgrt_tee.a"
+  "libgrt_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

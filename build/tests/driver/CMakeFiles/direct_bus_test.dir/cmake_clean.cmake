@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_bus_test.dir/direct_bus_test.cc.o"
+  "CMakeFiles/direct_bus_test.dir/direct_bus_test.cc.o.d"
+  "direct_bus_test"
+  "direct_bus_test.pdb"
+  "direct_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kbase_test.dir/kbase_test.cc.o"
+  "CMakeFiles/kbase_test.dir/kbase_test.cc.o.d"
+  "kbase_test"
+  "kbase_test.pdb"
+  "kbase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kbase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

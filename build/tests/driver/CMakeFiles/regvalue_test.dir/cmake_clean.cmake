@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regvalue_test.dir/regvalue_test.cc.o"
+  "CMakeFiles/regvalue_test.dir/regvalue_test.cc.o.d"
+  "regvalue_test"
+  "regvalue_test.pdb"
+  "regvalue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regvalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/driver
+# Build directory: /root/repo/build/tests/driver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/driver/regvalue_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/kbase_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/direct_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/watchdog_test[1]_include.cmake")
+include("/root/repo/build/tests/driver/kernel_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_vs_reference_test.dir/executor_vs_reference_test.cc.o"
+  "CMakeFiles/executor_vs_reference_test.dir/executor_vs_reference_test.cc.o.d"
+  "executor_vs_reference_test"
+  "executor_vs_reference_test.pdb"
+  "executor_vs_reference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_vs_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_format_test.dir/job_format_test.cc.o"
+  "CMakeFiles/job_format_test.dir/job_format_test.cc.o.d"
+  "job_format_test"
+  "job_format_test.pdb"
+  "job_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

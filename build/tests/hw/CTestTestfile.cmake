@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/hw
+# Build directory: /root/repo/build/tests/hw
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/hw/mmu_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/job_format_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/hw/executor_vs_reference_test[1]_include.cmake")

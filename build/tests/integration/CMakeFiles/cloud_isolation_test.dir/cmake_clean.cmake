@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_isolation_test.dir/cloud_isolation_test.cc.o"
+  "CMakeFiles/cloud_isolation_test.dir/cloud_isolation_test.cc.o.d"
+  "cloud_isolation_test"
+  "cloud_isolation_test.pdb"
+  "cloud_isolation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_isolation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grt_record_test.dir/grt_record_test.cc.o"
+  "CMakeFiles/grt_record_test.dir/grt_record_test.cc.o.d"
+  "grt_record_test"
+  "grt_record_test.pdb"
+  "grt_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grt_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

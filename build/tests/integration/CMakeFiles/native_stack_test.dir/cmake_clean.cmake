@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_stack_test.dir/native_stack_test.cc.o"
+  "CMakeFiles/native_stack_test.dir/native_stack_test.cc.o.d"
+  "native_stack_test"
+  "native_stack_test.pdb"
+  "native_stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_properties_test.dir/replay_properties_test.cc.o"
+  "CMakeFiles/replay_properties_test.dir/replay_properties_test.cc.o.d"
+  "replay_properties_test"
+  "replay_properties_test.pdb"
+  "replay_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/integration
+# Build directory: /root/repo/build/tests/integration
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration/native_stack_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/grt_record_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/replay_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/layered_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/cloud_isolation_test[1]_include.cmake")
+include("/root/repo/build/tests/integration/energy_model_test[1]_include.cmake")

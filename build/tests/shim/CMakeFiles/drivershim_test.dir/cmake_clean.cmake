@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drivershim_test.dir/drivershim_test.cc.o"
+  "CMakeFiles/drivershim_test.dir/drivershim_test.cc.o.d"
+  "drivershim_test"
+  "drivershim_test.pdb"
+  "drivershim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drivershim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

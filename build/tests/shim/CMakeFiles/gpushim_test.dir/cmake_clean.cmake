@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpushim_test.dir/gpushim_test.cc.o"
+  "CMakeFiles/gpushim_test.dir/gpushim_test.cc.o.d"
+  "gpushim_test"
+  "gpushim_test.pdb"
+  "gpushim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpushim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

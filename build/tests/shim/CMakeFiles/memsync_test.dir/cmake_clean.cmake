@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memsync_test.dir/memsync_test.cc.o"
+  "CMakeFiles/memsync_test.dir/memsync_test.cc.o.d"
+  "memsync_test"
+  "memsync_test.pdb"
+  "memsync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

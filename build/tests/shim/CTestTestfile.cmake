@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shim
+# Build directory: /root/repo/build/tests/shim
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shim/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/shim/memsync_test[1]_include.cmake")
+include("/root/repo/build/tests/shim/speculation_test[1]_include.cmake")
+include("/root/repo/build/tests/shim/drivershim_test[1]_include.cmake")
+include("/root/repo/build/tests/shim/gpushim_test[1]_include.cmake")
+include("/root/repo/build/tests/shim/validation_test[1]_include.cmake")
