@@ -4,10 +4,17 @@
 // histogram, the per-register access profile (the paper's "hot function"
 // observation: a handful of registers dominate), and the memory-image
 // composition (metastate vs program data, §5).
+//
+// Flags:
+//   --lint  additionally run the static verifier and print its findings
+//           (exit code 1 if the recording has errors)
+//   --dump  additionally print every log entry
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
+#include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/harness/table.h"
 #include "src/hw/regs.h"
@@ -15,7 +22,58 @@
 
 using namespace grt;
 
-int main() {
+namespace {
+
+void DumpLog(const InteractionLog& log) {
+  std::printf("\n--- log dump ---\n");
+  const auto& entries = log.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LogEntry& e = entries[i];
+    switch (e.op) {
+      case LogOp::kRegWrite:
+        std::printf("  %5zu  write  %-20s = 0x%08X\n", i,
+                    RegisterName(e.reg), e.value);
+        break;
+      case LogOp::kRegRead:
+        std::printf("  %5zu  read   %-20s : 0x%08X%s\n", i,
+                    RegisterName(e.reg), e.value,
+                    e.speculative ? "  [speculative!]" : "");
+        break;
+      case LogOp::kPollWait:
+        std::printf("  %5zu  poll   %-20s mask 0x%08X == 0x%08X "
+                    "(final 0x%08X)\n",
+                    i, RegisterName(e.reg), e.mask, e.expected, e.value);
+        break;
+      case LogOp::kDelay:
+        std::printf("  %5zu  delay  %lld ns\n", i,
+                    static_cast<long long>(e.delay));
+        break;
+      case LogOp::kIrqWait:
+        std::printf("  %5zu  irq    lines 0x%02X\n", i, e.irq_lines);
+        break;
+      case LogOp::kMemPage:
+        std::printf("  %5zu  page   pa 0x%010llx %s (%zu B)\n", i,
+                    static_cast<unsigned long long>(e.pa),
+                    e.metastate ? "meta" : "data", e.data.size());
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool lint = false, dump = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--dump") == 0) {
+      dump = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--lint] [--dump]\n", argv[0]);
+      return 2;
+    }
+  }
   ClientDevice device(SkuId::kMaliG71Mp8);
   NetworkDef net = BuildMnist();
   CloudService service;
@@ -94,5 +152,17 @@ int main() {
   std::printf("  metastate pages: %zu   program-data pages: %zu   "
               "%.1f KB total\n",
               meta_pages, data_pages, image_bytes / 1024.0);
+
+  if (dump) {
+    DumpLog(rec->log);
+  }
+  if (lint) {
+    RecordingVerifier verifier;
+    AnalysisReport report = verifier.Analyze(*rec);
+    std::printf("\n--- static verifier ---\n%s\n", report.ToString().c_str());
+    if (!report.ok()) {
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (profile: .clang-tidy) over the library sources.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir] [paths...]
+#   build-dir  a configured CMake build tree (default: build); the script
+#              enables CMAKE_EXPORT_COMPILE_COMMANDS there if needed
+#   paths      files or directories to lint (default: src)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+shift || true
+PATHS=("${@:-src}")
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+mapfile -t FILES < <(find "${PATHS[@]}" -name '*.cc' | sort)
+echo "linting ${#FILES[@]} files against $(pwd)/.clang-tidy"
+clang-tidy -p "${BUILD_DIR}" --quiet "${FILES[@]}"

@@ -1,0 +1,71 @@
+#include "src/analysis/findings.h"
+
+#include <cstdio>
+
+namespace grt {
+
+const char* FindingSeverityName(FindingSeverity severity) {
+  switch (severity) {
+    case FindingSeverity::kWarning: return "warning";
+    case FindingSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Finding::ToString() const {
+  char where[32];
+  if (log_index == kWholeRecording) {
+    std::snprintf(where, sizeof(where), "recording");
+  } else {
+    std::snprintf(where, sizeof(where), "entry %td", log_index);
+  }
+  return std::string(FindingSeverityName(severity)) + " [" + pass + "] " +
+         where + ": " + message;
+}
+
+size_t AnalysisReport::error_count() const {
+  size_t n = 0;
+  for (const Finding& f : findings_) {
+    n += (f.severity == FindingSeverity::kError);
+  }
+  return n;
+}
+
+size_t AnalysisReport::warning_count() const {
+  return findings_.size() - error_count();
+}
+
+const Finding* AnalysisReport::first_error() const {
+  for (const Finding& f : findings_) {
+    if (f.severity == FindingSeverity::kError) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Finding> AnalysisReport::ByPass(const std::string& pass) const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (f.pass == pass) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToString() const {
+  std::string out;
+  for (const Finding& f : findings_) {
+    out += f.ToString();
+    out += '\n';
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "%zu entries, %zu passes: %zu error(s), %zu warning(s)",
+                entries_analyzed, passes_run, error_count(), warning_count());
+  out += tail;
+  return out;
+}
+
+}  // namespace grt

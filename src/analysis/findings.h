@@ -1,0 +1,67 @@
+// Findings produced by the static recording verifier.
+//
+// Every pass reports through this shared vocabulary: a finding names the
+// pass that produced it, carries a severity, points at the offending log
+// entry (or the recording as a whole), and explains the problem in plain
+// language. The replayer and the sealed store refuse recordings whose
+// report contains errors; warnings are advisory (surfaced by grt_lint and
+// the inspector but not blocking).
+#ifndef GRT_SRC_ANALYSIS_FINDINGS_H_
+#define GRT_SRC_ANALYSIS_FINDINGS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace grt {
+
+enum class FindingSeverity {
+  kWarning,  // suspicious but replayable
+  kError,    // recording must not be admitted
+};
+
+const char* FindingSeverityName(FindingSeverity severity);
+
+// Log index value for findings about the recording as a whole (header,
+// bindings, cross-entry properties with no single anchor).
+constexpr ptrdiff_t kWholeRecording = -1;
+
+struct Finding {
+  std::string pass;            // producing pass name, e.g. "register-protocol"
+  FindingSeverity severity = FindingSeverity::kError;
+  ptrdiff_t log_index = kWholeRecording;
+  std::string message;         // human-readable explanation
+
+  // "error [register-protocol] entry 12: ..." (or "recording:" for -1).
+  std::string ToString() const;
+};
+
+class AnalysisReport {
+ public:
+  void Add(Finding finding) { findings_.push_back(std::move(finding)); }
+
+  const std::vector<Finding>& findings() const { return findings_; }
+  size_t error_count() const;
+  size_t warning_count() const;
+  bool ok() const { return error_count() == 0; }
+
+  // First error finding, or nullptr if the report is clean.
+  const Finding* first_error() const;
+
+  // All findings produced by `pass`.
+  std::vector<Finding> ByPass(const std::string& pass) const;
+
+  // Multi-line human-readable summary (one line per finding).
+  std::string ToString() const;
+
+  // Bookkeeping filled by the verifier.
+  size_t entries_analyzed = 0;
+  size_t passes_run = 0;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_FINDINGS_H_

@@ -1,0 +1,61 @@
+// Analysis pass interface: one composable static check over a recording.
+//
+// Passes inspect the interaction log *without executing it* — no GPU model,
+// no memory writes, no timeline. They are the admission gate between a
+// signed recording and the TEE replayer (§3, §7: the recording is the
+// entire trusted interface, so its content — not just its signature —
+// must be validated).
+#ifndef GRT_SRC_ANALYSIS_PASS_H_
+#define GRT_SRC_ANALYSIS_PASS_H_
+
+#include "src/analysis/findings.h"
+#include "src/record/recording.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+struct AnalysisInput {
+  const Recording* recording = nullptr;
+  // Resolved from the header's claimed SKU; nullptr when the SKU is not in
+  // the registry (the sku-compat pass reports that as its own error).
+  const GpuSku* sku = nullptr;
+  // True for segment_index > 0 of a layered recording: the log continues
+  // from hardware state established by earlier segments, so stateful
+  // ordering checks must assume a configured, powered device rather than
+  // reporting "X before Y" for state set up before this segment began.
+  bool continuation = false;
+};
+
+class AnalysisPass {
+ public:
+  virtual ~AnalysisPass() = default;
+
+  // Stable pass name used in findings and CLI filters ("grammar",
+  // "register-protocol", ...).
+  virtual const char* name() const = 0;
+
+  virtual void Run(const AnalysisInput& in, AnalysisReport* report) const = 0;
+
+ protected:
+  void Report(AnalysisReport* report, FindingSeverity severity,
+              ptrdiff_t log_index, std::string message) const {
+    Finding f;
+    f.pass = name();
+    f.severity = severity;
+    f.log_index = log_index;
+    f.message = std::move(message);
+    report->Add(std::move(f));
+  }
+  void Error(AnalysisReport* report, ptrdiff_t log_index,
+             std::string message) const {
+    Report(report, FindingSeverity::kError, log_index, std::move(message));
+  }
+  void Warn(AnalysisReport* report, ptrdiff_t log_index,
+            std::string message) const {
+    Report(report, FindingSeverity::kWarning, log_index, std::move(message));
+  }
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_PASS_H_

@@ -330,8 +330,8 @@ uint32_t MaliGpu::ReadGpuControl(uint32_t offset) {
     case kRegTilerFeatures: return 0x00000809;
     case kRegMemFeatures: return 0x00000001;
     case kRegMmuFeatures: return sku_.mmu_features;
-    case kRegAsPresent: return (1u << sku_.as_count) - 1;
-    case kRegJsPresent: return (1u << sku_.js_count) - 1;
+    case kRegAsPresent: return AsPresentMask(sku_);
+    case kRegJsPresent: return JsPresentMask(sku_);
     case kRegGpuIrqRawstat: return gpu_irq_rawstat_;
     case kRegGpuIrqMask: return gpu_irq_mask_;
     case kRegGpuIrqStatus: return gpu_irq_rawstat_ & gpu_irq_mask_;

@@ -73,6 +73,14 @@ uint64_t EncodeTablePte(PageTableFormat format, uint64_t table_pa) {
   return (table_pa & kPaMask) | kTableBit | 1ull;
 }
 
+Result<uint64_t> DecodeTablePte(PageTableFormat format, uint64_t pte) {
+  (void)format;
+  if ((pte & kTableBit) == 0 || (pte & 1) == 0) {
+    return NotFound("invalid table PTE");
+  }
+  return pte & kPaMask;
+}
+
 Result<Translation> MmuWalker::Translate(uint64_t root_pa, uint64_t va,
                                          GpuTlb* tlb, MmuFault* fault) const {
   uint64_t va_page = PageAlignDown(va);

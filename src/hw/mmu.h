@@ -43,6 +43,9 @@ Result<std::pair<uint64_t, PteFlags>> DecodePte(PageTableFormat format,
                                                 uint64_t pte);
 // Table-pointer entries at non-leaf levels (valid bit + next-table PA).
 uint64_t EncodeTablePte(PageTableFormat format, uint64_t table_pa);
+// Next-level table PA from a table-pointer entry; kNotFound if the entry
+// is not a valid table descriptor.
+Result<uint64_t> DecodeTablePte(PageTableFormat format, uint64_t pte);
 
 // MMU fault codes (AS_FAULTSTATUS low byte).
 constexpr uint32_t kFaultTranslation = 0xC4;

@@ -156,4 +156,41 @@ bool IsNondeterministicRegister(uint32_t offset) {
   }
 }
 
+bool IsReadIdempotentRegister(uint32_t offset) {
+  switch (offset) {
+    case kRegGpuCommand:
+    case kRegGpuIrqClear:
+    case kRegJobIrqClear:
+    case kRegMmuIrqClear:
+    case kRegPwrKey:
+    case kRegPwrOverride0:
+    case kRegPwrOverride1:
+    case kRegShaderPwrOnLo:
+    case kRegShaderPwrOnHi:
+    case kRegTilerPwrOnLo:
+    case kRegTilerPwrOnHi:
+    case kRegL2PwrOnLo:
+    case kRegL2PwrOnHi:
+    case kRegShaderPwrOffLo:
+    case kRegShaderPwrOffHi:
+    case kRegTilerPwrOffLo:
+    case kRegTilerPwrOffHi:
+    case kRegL2PwrOffLo:
+    case kRegL2PwrOffHi:
+      return false;
+    default:
+      break;
+  }
+  if (offset >= kJobSlotBase &&
+      offset < kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    uint32_t rel = (offset - kJobSlotBase) % kJobSlotStride;
+    return rel != kJsCommand && rel != kJsCommandNext;
+  }
+  if (offset >= kAsBase && offset < kAsBase + kMaxAddressSpaces * kAsStride) {
+    uint32_t rel = (offset - kAsBase) % kAsStride;
+    return rel != kAsCommand;
+  }
+  return true;
+}
+
 }  // namespace grt

@@ -202,6 +202,13 @@ const char* RegisterName(uint32_t offset);
 // engine refuses to predict these (§7.3: LATEST_FLUSH_ID example).
 bool IsNondeterministicRegister(uint32_t offset);
 
+// True if reading the register has no side effect on device state, so a
+// replayer may poll it an unbounded number of times (§4.3 polling offload
+// requires read-idempotent targets). Command and write-to-clear registers
+// (GPU/JOB/MMU IRQ_CLEAR, *_COMMAND, PWRON/PWROFF, PWR_KEY/OVERRIDE) are
+// not; status/ready/rawstat registers are.
+bool IsReadIdempotentRegister(uint32_t offset);
+
 }  // namespace grt
 
 #endif  // GRT_SRC_HW_REGS_H_

@@ -1,14 +1,32 @@
 #include "src/record/log.h"
 
+#include <cstdio>
+
 namespace grt {
+
+const char* LogOpName(LogOp op) {
+  switch (op) {
+    case LogOp::kRegWrite: return "reg-write";
+    case LogOp::kRegRead: return "reg-read";
+    case LogOp::kPollWait: return "poll-wait";
+    case LogOp::kDelay: return "delay";
+    case LogOp::kIrqWait: return "irq-wait";
+    case LogOp::kMemPage: return "mem-page";
+  }
+  return "?";
+}
 
 void LogEntry::Serialize(ByteWriter* w) const {
   w->PutU8(static_cast<uint8_t>(op));
   switch (op) {
     case LogOp::kRegWrite:
+      w->PutU32(reg);
+      w->PutU32(value);
+      break;
     case LogOp::kRegRead:
       w->PutU32(reg);
       w->PutU32(value);
+      w->PutBool(speculative);
       break;
     case LogOp::kPollWait:
       w->PutU32(reg);
@@ -38,10 +56,15 @@ Result<LogEntry> LogEntry::Deserialize(ByteReader* r) {
   }
   e.op = static_cast<LogOp>(op_raw);
   switch (e.op) {
-    case LogOp::kRegWrite:
+    case LogOp::kRegWrite: {
+      GRT_ASSIGN_OR_RETURN(e.reg, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.value, r->ReadU32());
+      break;
+    }
     case LogOp::kRegRead: {
       GRT_ASSIGN_OR_RETURN(e.reg, r->ReadU32());
       GRT_ASSIGN_OR_RETURN(e.value, r->ReadU32());
+      GRT_ASSIGN_OR_RETURN(e.speculative, r->ReadBool());
       break;
     }
     case LogOp::kPollWait: {
@@ -69,14 +92,39 @@ Result<LogEntry> LogEntry::Deserialize(ByteReader* r) {
   return e;
 }
 
+namespace {
+
+// Shared precondition check for the two read-entry mutators.
+Status CheckReadEntry(const std::vector<LogEntry>& entries, size_t index,
+                      const char* who) {
+  char msg[128];
+  if (index >= entries.size()) {
+    std::snprintf(msg, sizeof(msg),
+                  "%s: index %zu out of range (log has %zu entries)", who,
+                  index, entries.size());
+    return OutOfRange(msg);
+  }
+  if (entries[index].op != LogOp::kRegRead) {
+    std::snprintf(msg, sizeof(msg),
+                  "%s: entry %zu is a %s, not a register read", who, index,
+                  LogOpName(entries[index].op));
+    return InvalidArgument(msg);
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 Status InteractionLog::PatchReadValue(size_t index, uint32_t value) {
-  if (index >= entries_.size()) {
-    return OutOfRange("PatchReadValue: bad index");
-  }
-  if (entries_[index].op != LogOp::kRegRead) {
-    return InvalidArgument("PatchReadValue: not a read entry");
-  }
+  GRT_RETURN_IF_ERROR(CheckReadEntry(entries_, index, "PatchReadValue"));
   entries_[index].value = value;
+  entries_[index].speculative = false;
+  return OkStatus();
+}
+
+Status InteractionLog::ConfirmReadValue(size_t index) {
+  GRT_RETURN_IF_ERROR(CheckReadEntry(entries_, index, "ConfirmReadValue"));
+  entries_[index].speculative = false;
   return OkStatus();
 }
 

@@ -27,6 +27,9 @@ enum class LogOp : uint8_t {
   kMemPage = 6,   // page image: pa + content (possibly meta-only flagged)
 };
 
+// Human-readable op name ("reg-write", "poll-wait", ...).
+const char* LogOpName(LogOp op);
+
 struct LogEntry {
   LogOp op = LogOp::kRegWrite;
   uint32_t reg = 0;
@@ -37,6 +40,12 @@ struct LogEntry {
   Duration delay = 0;     // kDelay
   uint64_t pa = 0;        // kMemPage
   bool metastate = false; // kMemPage: page holds GPU metastate
+  // kRegRead: value is a speculation-engine prediction that has not (yet)
+  // been validated against the device (§4.2). Cleared when the real reply
+  // matches (ConfirmReadValue) or the entry is patched with the truth
+  // (PatchReadValue). A finished recording must have no speculative reads;
+  // the static verifier rejects any residue.
+  bool speculative = false;
   Bytes data;             // kMemPage content
 
   void Serialize(ByteWriter* w) const;
@@ -54,8 +63,14 @@ class InteractionLog {
   size_t CountOf(LogOp op) const;
 
   // Replaces the expected value of a kRegRead entry (misprediction
-  // recovery patches predicted values with the device's true values).
+  // recovery patches predicted values with the device's true values) and
+  // clears its speculative mark. Rejects out-of-range indices and entries
+  // that are not register reads with a descriptive status.
   Status PatchReadValue(size_t index, uint32_t value);
+
+  // Clears the speculative mark on a kRegRead entry whose predicted value
+  // the device confirmed verbatim (§4.2 validation).
+  Status ConfirmReadValue(size_t index);
 
   Bytes Serialize() const;
   static Result<InteractionLog> Deserialize(const Bytes& raw);

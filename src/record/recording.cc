@@ -45,7 +45,7 @@ Result<Recording> Recording::ParseUnsigned(const Bytes& body) {
     return IntegrityViolation("bad recording magic");
   }
   GRT_ASSIGN_OR_RETURN(rec.header.version, r.ReadU32());
-  if (rec.header.version != 1) {
+  if (rec.header.version != kRecordingVersion) {
     return IntegrityViolation("unsupported recording version");
   }
   GRT_ASSIGN_OR_RETURN(rec.header.workload, r.ReadString());

@@ -34,9 +34,14 @@ struct TensorBinding {
   bool writable_at_replay = false;  // inputs/parameters: yes; outputs: no
 };
 
+// Container format revision. v2 added the per-read speculative mark to the
+// kRegRead wire encoding; v1 recordings are refused (they predate the
+// static verifier and cannot prove speculation-residue freedom).
+constexpr uint32_t kRecordingVersion = 2;
+
 struct RecordingHeader {
   uint32_t magic = 0x47525452;  // "GRTR"
-  uint32_t version = 1;
+  uint32_t version = kRecordingVersion;
   std::string workload;
   SkuId sku = SkuId::kMaliG71Mp8;
   uint64_t record_nonce = 0;  // freshness / identification

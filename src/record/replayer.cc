@@ -3,6 +3,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "src/analysis/verifier.h"
 #include "src/common/log.h"
 #include "src/hw/regs.h"
 
@@ -34,6 +35,12 @@ Status Replayer::Load(Recording recording) {
   if (recording.header.sku != gpu_->sku().id) {
     return FailedPrecondition(
         "recording was produced for a different GPU SKU");
+  }
+  // Static admission gate: a valid signature proves provenance, not
+  // well-formedness. Run the analysis passes before the log can reach
+  // the device.
+  if (config_.static_verify) {
+    GRT_RETURN_IF_ERROR(VerifyRecording(recording));
   }
   recording_ = std::move(recording);
   loaded_ = true;

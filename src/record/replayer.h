@@ -49,6 +49,11 @@ struct ReplayConfig {
   // observed log against the recording localizes firmware malfunction
   // (§3.4 remote debugging). Adds memory/time overhead.
   bool collect_observed = false;
+  // Run the static verifier (src/analysis) at Load and refuse recordings
+  // with errors. On by default: a signed-but-malformed recording must never
+  // reach the GPU. Misprediction recovery turns this off — it replays a
+  // mid-session log that legitimately still carries speculative reads.
+  bool static_verify = true;
 };
 
 struct ReplayReport {

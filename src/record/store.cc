@@ -1,5 +1,6 @@
 #include "src/record/store.h"
 
+#include "src/analysis/verifier.h"
 #include "src/common/sha256.h"
 
 namespace grt {
@@ -11,6 +12,9 @@ std::string RecordingStore::KeyOf(const std::string& workload, SkuId sku) {
 Status RecordingStore::Install(const Bytes& signed_recording) {
   GRT_ASSIGN_OR_RETURN(Recording rec,
                        Recording::ParseSigned(signed_recording, key_));
+  // Admission gate: never persist a recording the replayer would have to
+  // refuse — the sealed store must hold only statically-valid recordings.
+  GRT_RETURN_IF_ERROR(VerifyRecording(rec));
   std::string k = KeyOf(rec.header.workload, rec.header.sku);
   auto it = entries_.find(k);
   if (it != entries_.end()) {

@@ -355,6 +355,7 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
   }
 
   auto append_log = [&](const std::vector<uint32_t>& read_values,
+                        bool speculative,
                         std::vector<std::pair<size_t, size_t>>*
                             read_log_indices) -> Status {
     size_t read_idx = 0;
@@ -373,6 +374,10 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
         e.op = LogOp::kRegRead;
         e.reg = a.reg;
         e.value = read_values[slot];
+        // Predicted values are marked until the device validates them;
+        // Validate()/Recover() clear or patch these entries through
+        // read_log_indices (§4.2).
+        e.speculative = speculative;
         if (read_log_indices != nullptr) {
           read_log_indices->emplace_back(slot, log_.size());
         }
@@ -414,7 +419,8 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
     o.read_nodes = read_nodes;
     o.predicted = std::move(predicted);
     o.replied = std::move(reply.read_values);
-    GRT_RETURN_IF_ERROR(append_log(o.predicted, &o.log_indices));
+    GRT_RETURN_IF_ERROR(append_log(o.predicted, /*speculative=*/true,
+                                   &o.log_indices));
     outstanding_.push_back(std::move(o));
     ++stats_.spec_commits;
     stats_.spec_by_category[category] += 1;
@@ -432,7 +438,7 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
     (void)reply_bytes;  // empty reply suppressed on the wire
     ++stats_.writeonly_commits;
     stats_.spec_by_category[category] += 1;  // asynchronous; Fig. 8 bucket
-    return append_log({}, nullptr);
+    return append_log({}, /*speculative=*/false, nullptr);
   }
 
   // --- Synchronous commit: one blocking round trip. ---
@@ -455,7 +461,7 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
   if (!read_nodes.empty()) {
     history_->Record(shape, reply.read_values);
   }
-  return append_log(reply.read_values, nullptr);
+  return append_log(reply.read_values, /*speculative=*/false, nullptr);
 }
 
 Status DriverShim::DrainOutstanding() {
@@ -483,6 +489,10 @@ Status DriverShim::Validate(Outstanding& o) {
   if (o.replied == o.predicted) {
     for (auto& node : o.read_nodes) {
       node->speculative = false;  // confirmed by the device
+    }
+    for (const auto& [slot, log_index] : o.log_indices) {
+      (void)slot;
+      GRT_RETURN_IF_ERROR(log_.ConfirmReadValue(log_index));
     }
     history_->Record(o.shape, o.replied);
     return OkStatus();

@@ -159,8 +159,10 @@ Result<Duration> GpuShim::RecoverByReplay(const InteractionLog& log,
   rec.log = log;
 
   ReplayConfig config;
-  config.verify_reads = false;  // the log tail may hold predicted values
-  config.scrub_after = false;   // the session resumes from this state
+  config.verify_reads = false;   // the log tail may hold predicted values
+  config.scrub_after = false;    // the session resumes from this state
+  config.static_verify = false;  // mid-session log: speculative residue and
+                                 // in-flight protocol state are expected
   Replayer replayer(gpu_, tzasc_, mem_, timeline_, config);
   GRT_RETURN_IF_ERROR(replayer.Load(std::move(rec)));
   auto report = replayer.Replay();

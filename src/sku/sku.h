@@ -71,6 +71,17 @@ struct GpuSku {
   int core_count() const { return __builtin_popcount(shader_present); }
 };
 
+// Discovery-register bitmasks derived from the SKU's unit counts: AS_PRESENT
+// and JS_PRESENT read as a dense low bitmask, one bit per address space /
+// job slot. Shared by the GPU model and the sku-compat analysis pass so the
+// two can never disagree.
+inline uint32_t AsPresentMask(const GpuSku& sku) {
+  return (1u << sku.as_count) - 1;
+}
+inline uint32_t JsPresentMask(const GpuSku& sku) {
+  return (1u << sku.js_count) - 1;
+}
+
 // Quirk bits.
 constexpr uint32_t kQuirkMmuSnoopDisparity = 1u << 0;
 constexpr uint32_t kQuirkSlowCacheFlush = 1u << 1;

@@ -22,6 +22,7 @@ LogEntry RandomEntry(Rng* rng) {
       e.op = LogOp::kRegRead;
       e.reg = rng->NextU32() & 0x3FFC;
       e.value = rng->NextU32();
+      e.speculative = rng->NextBool();
       break;
     case 2:
       e.op = LogOp::kPollWait;
@@ -56,7 +57,8 @@ bool EntriesEqual(const LogEntry& a, const LogEntry& b) {
   return a.op == b.op && a.reg == b.reg && a.value == b.value &&
          a.mask == b.mask && a.expected == b.expected &&
          a.irq_lines == b.irq_lines && a.delay == b.delay && a.pa == b.pa &&
-         a.metastate == b.metastate && a.data == b.data;
+         a.metastate == b.metastate && a.speculative == b.speculative &&
+         a.data == b.data;
 }
 
 class LogProperty : public ::testing::TestWithParam<uint64_t> {};
@@ -98,14 +100,79 @@ TEST(Log, PatchReadValue) {
   LogEntry r;
   r.op = LogOp::kRegRead;
   r.value = 1;
+  r.speculative = true;
   log.Add(r);
   LogEntry w;
   w.op = LogOp::kRegWrite;
   log.Add(w);
   EXPECT_TRUE(log.PatchReadValue(0, 42).ok());
   EXPECT_EQ(log.entries()[0].value, 42u);
+  EXPECT_FALSE(log.entries()[0].speculative);  // patching validates the read
   EXPECT_FALSE(log.PatchReadValue(1, 5).ok());  // not a read
   EXPECT_FALSE(log.PatchReadValue(9, 5).ok());  // out of range
+}
+
+// Regression: non-read entries must be rejected with a descriptive status
+// (code and message identify the entry and its actual kind), not silently
+// patched or met with a generic error.
+TEST(Log, PatchReadValueRejectsNonReadsDescriptively) {
+  InteractionLog log;
+  LogEntry w;
+  w.op = LogOp::kRegWrite;
+  log.Add(w);
+  LogEntry d;
+  d.op = LogOp::kDelay;
+  d.delay = 5;
+  log.Add(d);
+
+  Status not_read = log.PatchReadValue(0, 7);
+  EXPECT_EQ(not_read.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(not_read.message().find("entry 0"), std::string::npos)
+      << not_read.message();
+  EXPECT_NE(not_read.message().find("reg-write"), std::string::npos)
+      << not_read.message();
+
+  Status not_read2 = log.PatchReadValue(1, 7);
+  EXPECT_EQ(not_read2.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(not_read2.message().find("delay"), std::string::npos)
+      << not_read2.message();
+
+  Status oob = log.PatchReadValue(5, 7);
+  EXPECT_EQ(oob.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(oob.message().find("index 5"), std::string::npos) << oob.message();
+  // The log is untouched on every failure path.
+  EXPECT_EQ(log.entries()[0].value, 0u);
+}
+
+TEST(Log, ConfirmReadValueClearsSpeculativeMark) {
+  InteractionLog log;
+  LogEntry r;
+  r.op = LogOp::kRegRead;
+  r.value = 9;
+  r.speculative = true;
+  log.Add(r);
+  LogEntry w;
+  w.op = LogOp::kRegWrite;
+  log.Add(w);
+
+  EXPECT_TRUE(log.ConfirmReadValue(0).ok());
+  EXPECT_FALSE(log.entries()[0].speculative);
+  EXPECT_EQ(log.entries()[0].value, 9u);  // value untouched, only the mark
+  EXPECT_EQ(log.ConfirmReadValue(1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(log.ConfirmReadValue(2).code(), StatusCode::kOutOfRange);
+}
+
+TEST(Log, SpeculativeMarkRoundTrips) {
+  InteractionLog log;
+  LogEntry r;
+  r.op = LogOp::kRegRead;
+  r.reg = kRegGpuId;
+  r.value = 3;
+  r.speculative = true;
+  log.Add(r);
+  auto parsed = InteractionLog::Deserialize(log.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->entries()[0].speculative);
 }
 
 TEST(Log, CorruptTagRejected) {
