@@ -1,0 +1,108 @@
+// Fault overhead: what channel faults cost in recording time.
+//
+// Sweeps drop/corruption rates (plus a hard-disconnect schedule) over the
+// WiFi and cellular profiles and reports the end-to-end client recording
+// delay against the fault-free baseline, together with the retransmission
+// work the reliable link performed. Every row also re-checks the tentpole
+// invariant: the recording body is byte-identical to the baseline — faults
+// may only cost time, never change what gets recorded.
+#include <cstdio>
+#include <string>
+
+#include "src/harness/chaos.h"
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+
+namespace grt {
+namespace {
+
+struct SweepPoint {
+  std::string label;
+  FaultPlan plan;
+};
+
+std::vector<SweepPoint> BuildSweep() {
+  std::vector<SweepPoint> points;
+  points.push_back({"fault-free", FaultPlan::None()});
+  for (double rate : {0.02, 0.05, 0.10}) {
+    FaultPlan p;
+    p.seed = 1;
+    p.drop_prob = rate;
+    char label[32];
+    std::snprintf(label, sizeof(label), "drop %.0f%%", rate * 100);
+    points.push_back({label, p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 2;
+    p.corrupt_prob = 0.05;
+    points.push_back({"corrupt 5%", p});
+  }
+  {
+    FaultPlan p;
+    p.seed = 3;
+    p.drop_prob = 0.05;
+    p.corrupt_prob = 0.03;
+    p.duplicate_prob = 0.03;
+    p.spike_prob = 0.03;
+    p.spike_latency = 60 * kMillisecond;
+    p.disconnect_at_tx = {40};
+    points.push_back({"mixed+disconnect", p});
+  }
+  return points;
+}
+
+int Run() {
+  const NetworkDef net = BuildMnist();
+  constexpr uint64_t kNondetSeed = 11;
+  constexpr uint64_t kNonce = 1;
+
+  TextTable table({"conditions", "schedule", "client delay", "overhead",
+                   "retransmits", "mac rejects", "reconnects",
+                   "body identical"});
+
+  for (auto [cond_name, conditions] :
+       {std::pair{"wifi", WifiConditions()},
+        std::pair{"cellular", CellularConditions()}}) {
+    double baseline_ms = 0;
+    Sha256Digest baseline_digest{};
+    for (const SweepPoint& point : BuildSweep()) {
+      auto run = RunChaosSession(net, SkuId::kMaliG71Mp8, conditions,
+                                 point.plan, kNondetSeed, kNonce);
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", cond_name,
+                     point.label.c_str(), run.status().ToString().c_str());
+        return 1;
+      }
+      double ms = ToMilliseconds(run->outcome.client_delay);
+      if (!point.plan.enabled()) {
+        baseline_ms = ms;
+        baseline_digest = run->body_digest;
+      }
+      char delay[32], overhead[32];
+      std::snprintf(delay, sizeof(delay), "%.2f ms", ms);
+      std::snprintf(overhead, sizeof(overhead), "%+.1f%%",
+                    (ms / baseline_ms - 1.0) * 100.0);
+      table.AddRow({cond_name, point.label, delay, overhead,
+                    std::to_string(run->link_stats.retransmits),
+                    std::to_string(run->link_stats.mac_rejects),
+                    std::to_string(run->session_stats.reconnects),
+                    run->body_digest == baseline_digest ? "yes" : "NO"});
+      if (run->body_digest != baseline_digest) {
+        std::fprintf(stderr, "INVARIANT VIOLATION: %s/%s changed the body\n",
+                     cond_name, point.label.c_str());
+        return 1;
+      }
+    }
+  }
+
+  std::printf("Fault overhead (MNIST record session; delays vs the\n"
+              "fault-free baseline on the same network conditions)\n\n");
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace grt
+
+int main() { return grt::Run(); }

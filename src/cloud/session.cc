@@ -31,6 +31,11 @@ RecordSession::RecordSession(const CloudService* service, ClientDevice* device,
                                           &cloud_alloc_);
   runtime_ = std::make_unique<GpuRuntime>(driver_.get());
   shim_->AttachDriver(driver_.get());
+
+  // Fault-tolerant transport: all recording traffic rides the shim's
+  // ReliableLink; the session owns resume (re-attest + re-key + replay).
+  shim_->link().InstallFaultPlan(config_.fault_plan);
+  shim_->link().set_resume_handler([this] { return Reattach(); });
 }
 
 Status RecordSession::Connect() {
@@ -66,7 +71,68 @@ Status RecordSession::Connect() {
                               confirm.size() + mac.size());
   GRT_RETURN_IF_ERROR(key_->VerifyMac(confirm, mac));
 
+  // The session key doubles as the link-frame authentication key; epoch 1
+  // marks the first link incarnation (bumped on every reconnect re-key).
+  ++stats_.rekeys;
+  shim_->link().SetKey(key_->key(), 1);
+
   connected_ = true;
+  return OkStatus();
+}
+
+Status RecordSession::Reattach() {
+  if (!connected_ || !key_.has_value()) {
+    return FailedPrecondition("link resume before Connect");
+  }
+  TimePoint client_start = device_->timeline().now();
+  ++stats_.reconnects;
+
+  // Settle all in-flight speculation first: the resume replay rewinds the
+  // client GPU to the interaction-log prefix, so both sides must agree on
+  // what that prefix is before anything else happens.
+  GRT_RETURN_IF_ERROR(shim_->PrepareForResume());
+
+  // Re-attest and re-key with fresh (deterministically derived) nonces —
+  // the same two round trips as Connect(). The handshake rides the raw
+  // channel: fault injection targets recording traffic, and the faulty
+  // channel only comes back up once this handler succeeds.
+  GRT_ASSIGN_OR_RETURN(VmImage image,
+                       service_->SelectImage(device_->sku().id));
+  Rng rng(config_.session_nonce_seed ^ 0xA77E57 ^
+          (0x9E3779B97F4A7C15ull * stats_.reconnects));
+  Bytes client_nonce(32), cloud_nonce(32);
+  for (auto& b : client_nonce) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  for (auto& b : cloud_nonce) {
+    b = static_cast<uint8_t>(rng.NextU32());
+  }
+  Attestor attestor(service_->attestation_root_key(), image.measurement);
+  AttestationVerifier verifier(service_->attestation_root_key(),
+                               image.measurement);
+  channel_->BlockingRoundTrip(kClientEnd, 32 + 16,
+                              attestor.Quote(client_nonce).Serialize().size());
+  AttestationQuote quote = attestor.Quote(client_nonce);
+  GRT_RETURN_IF_ERROR(verifier.Verify(quote, client_nonce));
+  key_ = SessionKey::Derive(service_->attestation_root_key(), client_nonce,
+                            cloud_nonce);
+  Bytes confirm = {'o', 'k'};
+  Sha256Digest mac = key_->Mac(confirm);
+  channel_->BlockingRoundTrip(kClientEnd, confirm.size() + mac.size(),
+                              confirm.size() + mac.size());
+  GRT_RETURN_IF_ERROR(key_->VerifyMac(confirm, mac));
+  ++stats_.rekeys;
+  shim_->link().SetKey(key_->key(), shim_->link().epoch() + 1);
+
+  // Client half of resume: hard reset, then replay the log prefix locally
+  // to fast-forward the GPU — the same mechanism misprediction recovery
+  // uses (§4.2).
+  GRT_ASSIGN_OR_RETURN(Duration replay_time,
+                       gpushim_->RecoverByReplay(shim_->log(),
+                                                 device_->sku().id));
+  (void)replay_time;
+  ++stats_.recovery_replays;
+  stats_.reconnect_time += device_->timeline().now() - client_start;
   return OkStatus();
 }
 
@@ -111,10 +177,22 @@ Result<std::vector<Bytes>> RecordSession::RecordWorkloadLayered(
       shim_->FinishLayeredRecording(net.name, device_->sku().id, bindings,
                                     nonce));
   std::vector<Bytes> wires;
+  uint64_t rekeys_before = stats_.rekeys;
   for (const Recording& segment : segments) {
     Bytes wire = segment.SerializeSigned(key_->key());
-    channel_->SendOneWay(kCloudEnd, wire.size());
+    GRT_ASSIGN_OR_RETURN(
+        ReliableLink::Reply dl,
+        shim_->link().Call(FrameType::kControl, wire,
+                           ReliableLink::Mode::kOneWay));
+    (void)dl;
     wires.push_back(std::move(wire));
+  }
+  if (stats_.rekeys != rekeys_before) {
+    // Disconnect(s) during the downloads re-keyed the session: re-sign
+    // every segment under the final key (bodies unchanged).
+    for (size_t i = 0; i < segments.size(); ++i) {
+      wires[i] = segments[i].SerializeSigned(key_->key());
+    }
   }
   gpushim_->EndSession();
   return wires;
@@ -169,7 +247,17 @@ Result<RecordOutcome> RecordSession::RecordWorkload(const NetworkDef& net,
 
   // The client downloads the signed recording (cloud -> client transfer).
   TimePoint before_download = device_->timeline().now();
-  channel_->SendOneWay(kCloudEnd, signed_rec.size());
+  uint64_t rekeys_before = stats_.rekeys;
+  GRT_ASSIGN_OR_RETURN(ReliableLink::Reply dl,
+                       shim_->link().Call(FrameType::kControl, signed_rec,
+                                          ReliableLink::Mode::kOneWay));
+  (void)dl;
+  if (stats_.rekeys != rekeys_before) {
+    // A disconnect mid-download re-keyed the session; the download resumes
+    // under the new key, so the recording is re-signed with it. The body
+    // bytes are unchanged — only the signature differs.
+    signed_rec = rec.SerializeSigned(key_->key());
+  }
   gpushim_->EndSession();
 
   RecordOutcome outcome;

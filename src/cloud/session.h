@@ -16,6 +16,7 @@
 #include "src/harness/rig.h"
 #include "src/ml/runner.h"
 #include "src/net/channel.h"
+#include "src/net/fault.h"
 #include "src/shim/drivershim.h"
 #include "src/shim/gpushim.h"
 #include "src/tee/session.h"
@@ -26,6 +27,17 @@ struct RecordSessionConfig {
   NetworkConditions network = WifiConditions();
   ShimConfig shim = ShimConfig::OursMDS();
   uint64_t session_nonce_seed = 1;
+  // Channel-fault schedule for chaos testing; FaultPlan::None() (the
+  // default) keeps the session on the legacy fast path.
+  FaultPlan fault_plan = FaultPlan::None();
+};
+
+// Session-level fault-recovery counters (on top of LinkStats/ChannelStats).
+struct SessionStats {
+  uint64_t reconnects = 0;        // hard disconnects recovered
+  uint64_t rekeys = 0;            // session keys derived (1 + reconnects)
+  uint64_t recovery_replays = 0;  // client log-prefix replays on resume
+  Duration reconnect_time = 0;    // client time spent in resume, total
 };
 
 struct RecordOutcome {
@@ -66,8 +78,13 @@ class RecordSession {
   const SessionKey* key() const {
     return key_.has_value() ? &key_.value() : nullptr;
   }
+  const SessionStats& session_stats() const { return stats_; }
 
  private:
+  // Link resume handler: drains in-flight speculation, re-attests with
+  // fresh nonces, re-keys under a bumped frame epoch, and fast-forwards
+  // the client GPU by replaying the interaction-log prefix (§4.2).
+  Status Reattach();
   const CloudService* service_;
   ClientDevice* device_;
   RecordSessionConfig config_;
@@ -83,6 +100,7 @@ class RecordSession {
   std::unique_ptr<GpuRuntime> runtime_;
   std::optional<SessionKey> key_;
   bool connected_ = false;
+  SessionStats stats_;
 };
 
 }  // namespace grt

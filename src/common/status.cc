@@ -30,6 +30,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "TIMEOUT";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kPollExhausted:
+      return "POLL_EXHAUSTED";
+    case StatusCode::kIrqExpired:
+      return "IRQ_EXPIRED";
   }
   return "UNKNOWN";
 }

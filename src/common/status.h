@@ -29,6 +29,10 @@ enum class StatusCode {
   kDeviceFault,          // simulated GPU fault (bad job, MMU fault)
   kTimeout,              // polling loop or IRQ wait exhausted
   kResourceExhausted,
+  // Replay-specific exhaustion conditions, distinguishable from generic
+  // timeouts so tests and retry policies can branch on them precisely:
+  kPollExhausted,        // ReplayConfig::poll_max_iters spent, predicate unmet
+  kIrqExpired,           // ReplayConfig::irq_timeout elapsed with no interrupt
 };
 
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -93,6 +97,12 @@ inline Status Timeout(std::string msg) {
 }
 inline Status ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status PollExhausted(std::string msg) {
+  return Status(StatusCode::kPollExhausted, std::move(msg));
+}
+inline Status IrqExpired(std::string msg) {
+  return Status(StatusCode::kIrqExpired, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK status. A minimal expected<> stand-in

@@ -1,0 +1,79 @@
+#include "src/harness/chaos.h"
+
+#include <utility>
+
+#include "src/analysis/verifier.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+
+Result<ChaosRun> RunChaosSession(const NetworkDef& net, SkuId sku,
+                                 NetworkConditions conditions,
+                                 const FaultPlan& plan, uint64_t nondet_seed,
+                                 uint64_t nonce) {
+  // Fresh everything: baseline and chaos runs must start from identical
+  // state, so nothing (device, history, timelines) is shared across calls.
+  ClientDevice device(sku, nondet_seed);
+  SpeculationHistory history;
+  CloudService service;
+  RecordSessionConfig config;
+  config.network = conditions;
+  config.shim = ShimConfig::OursMDS();
+  config.fault_plan = plan;
+  RecordSession session(&service, &device, config, &history);
+  GRT_RETURN_IF_ERROR(session.Connect());
+  GRT_ASSIGN_OR_RETURN(RecordOutcome outcome,
+                       session.RecordWorkload(net, nonce));
+  GRT_RETURN_IF_ERROR(session.shim().last_error());
+
+  ChaosRun run;
+  run.plan = plan;
+  run.key = session.key()->key();
+  // The download is signed under the session's final key (re-signed if a
+  // disconnect re-keyed mid-download); the body is what must be invariant.
+  GRT_ASSIGN_OR_RETURN(
+      Recording rec,
+      Recording::ParseSigned(outcome.signed_recording, run.key));
+  GRT_RETURN_IF_ERROR(VerifyRecording(rec));
+  run.recording_body = rec.SerializeBody();
+  run.body_digest = Sha256::Hash(run.recording_body);
+  run.signed_wire = outcome.signed_recording;
+  run.outcome = std::move(outcome);
+  run.shim_stats = session.shim().stats();
+  run.channel_stats = session.channel().stats();
+  run.link_stats = session.shim().link().stats();
+  if (session.shim().link().faulty() != nullptr) {
+    run.fault_stats = session.shim().link().faulty()->stats();
+  }
+  run.session_stats = session.session_stats();
+  return run;
+}
+
+Status ReplayChaosRunToReference(const NetworkDef& net, SkuId sku,
+                                 const ChaosRun& run, uint64_t input_seed) {
+  ClientDevice device(sku, /*nondet_seed=*/input_seed ^ 0x5EED);
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  GRT_RETURN_IF_ERROR(replayer.LoadSigned(run.signed_wire, run.key));
+
+  std::vector<float> input = GenerateInput(net, input_seed);
+  GRT_RETURN_IF_ERROR(replayer.StageTensor("input", input));
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(
+          replayer.StageTensor(t.name, GenerateParams(net.name, t, 7)));
+    }
+  }
+  GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+  (void)report;
+  GRT_ASSIGN_OR_RETURN(std::vector<float> out,
+                       replayer.ReadTensor(net.output_tensor));
+  GRT_ASSIGN_OR_RETURN(std::vector<float> ref, RunReference(net, input, 7));
+  if (MaxAbsDiff(out, ref) > 1e-4f) {
+    return Internal("chaos-run replay diverges from CPU reference");
+  }
+  return OkStatus();
+}
+
+}  // namespace grt

@@ -1,0 +1,53 @@
+// Chaos harness: full record sessions under seeded channel-fault schedules.
+//
+// One RunChaosSession call = one complete GR-T record session (fresh device,
+// fresh cloud VM, cold speculation history) with a FaultPlan installed on
+// the transport. The suite built on top proves the tentpole invariant: no
+// combination of drops, corruptions, duplicates, latency spikes, and hard
+// disconnects may change a single byte of the produced recording relative
+// to the fault-free baseline — faults may only cost time.
+#ifndef GRT_SRC_HARNESS_CHAOS_H_
+#define GRT_SRC_HARNESS_CHAOS_H_
+
+#include <string>
+
+#include "src/cloud/session.h"
+#include "src/common/sha256.h"
+#include "src/net/fault.h"
+
+namespace grt {
+
+// Everything observable about one chaos (or baseline) record session.
+struct ChaosRun {
+  FaultPlan plan;
+  RecordOutcome outcome;
+  // Signature-independent recording bytes: disconnects re-key the session,
+  // which changes the HMAC trailer but must never change the body.
+  Bytes recording_body;
+  Sha256Digest body_digest{};
+  Bytes signed_wire;  // as downloaded (signed under the final key)
+  Bytes key;          // final session key (verifies signed_wire)
+  ShimStats shim_stats;
+  ChannelStats channel_stats;
+  LinkStats link_stats;
+  FaultStats fault_stats;  // all-zero when the plan is disabled
+  SessionStats session_stats;
+};
+
+// Records `net` on a fresh ClientDevice(sku, nondet_seed) over `conditions`
+// with `plan` installed on the link. Fails if the shim finished with a
+// latched error, the signed recording does not parse under the final key,
+// or the static verifier rejects the recording.
+Result<ChaosRun> RunChaosSession(const NetworkDef& net, SkuId sku,
+                                 NetworkConditions conditions,
+                                 const FaultPlan& plan, uint64_t nondet_seed,
+                                 uint64_t nonce);
+
+// Replays `run` on a fresh device with real inputs and checks the output
+// against the CPU reference (the end-to-end correctness gate).
+Status ReplayChaosRunToReference(const NetworkDef& net, SkuId sku,
+                                 const ChaosRun& run, uint64_t input_seed);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_CHAOS_H_

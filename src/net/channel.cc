@@ -15,12 +15,15 @@ NetworkConditions LoopbackConditions() {
   return NetworkConditions{"loopback", 2 * kMicrosecond, 1e12};
 }
 
-TimePoint NetChannel::SendOneWay(int from, uint64_t bytes) {
+TimePoint NetChannel::Transmit(int from, TimePoint send_time, uint64_t bytes,
+                               Duration extra_latency,
+                               bool advance_receiver) {
   bytes += kWireOverheadBytes;
   int to = 1 - from;
-  TimePoint arrival =
-      timelines_[from]->now() + cond_.OneWayLatency(bytes);
-  timelines_[to]->AdvanceTo(arrival);
+  TimePoint arrival = send_time + cond_.OneWayLatency(bytes) + extra_latency;
+  if (advance_receiver) {
+    timelines_[to]->AdvanceTo(arrival);
+  }
   stats_.messages[from] += 1;
   stats_.bytes[from] += bytes;
   // Radio is on for the serialization time on both ends; we charge the
@@ -30,15 +33,14 @@ TimePoint NetChannel::SendOneWay(int from, uint64_t bytes) {
   return arrival;
 }
 
+TimePoint NetChannel::SendOneWay(int from, uint64_t bytes) {
+  return Transmit(from, timelines_[from]->now(), bytes, /*extra_latency=*/0,
+                  /*advance_receiver=*/true);
+}
+
 TimePoint NetChannel::SendNoAdvance(int from, uint64_t bytes) {
-  bytes += kWireOverheadBytes;
-  int to = 1 - from;
-  TimePoint arrival = timelines_[from]->now() + cond_.OneWayLatency(bytes);
-  stats_.messages[from] += 1;
-  stats_.bytes[from] += bytes;
-  stats_.airtime[from] += Airtime(bytes);
-  stats_.airtime[to] += Airtime(bytes);
-  return arrival;
+  return Transmit(from, timelines_[from]->now(), bytes, /*extra_latency=*/0,
+                  /*advance_receiver=*/false);
 }
 
 TimePoint NetChannel::BlockingRoundTrip(int from, uint64_t request_bytes,

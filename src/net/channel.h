@@ -48,6 +48,11 @@ struct ChannelStats {
   uint64_t bytes[2] = {0, 0};       // payload bytes sent by endpoint i
   uint64_t blocking_rtts = 0;       // round trips that stalled the sender
   Duration airtime[2] = {0, 0};     // radio-on time attributed to endpoint i
+  // Reliability counters (populated when a fault plan is active: the
+  // transport layer reports its recovery work here so chaos tests can
+  // assert the machinery actually ran).
+  uint64_t retransmits = 0;         // frames re-sent after a timeout
+  uint64_t dup_drops = 0;           // duplicate frames absorbed by dedup
 
   uint64_t total_bytes() const { return bytes[0] + bytes[1]; }
 };
@@ -78,6 +83,20 @@ class NetChannel {
   // async validation reply must not stall the cloud (§4.2). The caller
   // advances to the returned instant only if/when it must wait.
   TimePoint SendNoAdvance(int from, uint64_t bytes);
+
+  // General form used by the reliable transport: accounts a message
+  // launched at `send_time` — which may be later than the sender's clock,
+  // e.g. a retransmit timer firing while the sender is not blocked — with
+  // `extra_latency` added on top of the channel model (latency spikes),
+  // optionally advancing the receiver to the arrival. Returns the arrival
+  // instant. SendOneWay/SendNoAdvance are the send_time = sender-now
+  // special cases.
+  TimePoint Transmit(int from, TimePoint send_time, uint64_t bytes,
+                     Duration extra_latency, bool advance_receiver);
+
+  // Reliability accounting hooks for the transport layer.
+  void NoteRetransmit() { ++stats_.retransmits; }
+  void NoteDupDrop() { ++stats_.dup_drops; }
 
   // Marks a round trip as blocking for the Table 1 statistic when the
   // caller orchestrates the trip manually (e.g. executing remote state

@@ -1,0 +1,84 @@
+#include "src/net/fault.h"
+
+namespace grt {
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed) {
+  Rng r(seed ^ 0xC4A05F17ull);
+  FaultPlan plan;
+  plan.seed = seed;
+  // Floors keep every class hot enough that a full record session (a few
+  // hundred transmissions) injects each with overwhelming probability.
+  plan.drop_prob = 0.03 + 0.09 * r.NextFloat();
+  plan.corrupt_prob = 0.02 + 0.05 * r.NextFloat();
+  plan.duplicate_prob = 0.02 + 0.05 * r.NextFloat();
+  plan.spike_prob = 0.02 + 0.06 * r.NextFloat();
+  plan.spike_latency = (30 + static_cast<Duration>(r.NextBelow(120))) *
+                       kMillisecond;
+  // 0-2 hard disconnects, early enough that every session reaches them.
+  uint64_t disconnects = r.NextBelow(3);
+  uint64_t at = 0;
+  for (uint64_t i = 0; i < disconnects; ++i) {
+    at += 15 + r.NextBelow(60);
+    plan.disconnect_at_tx.push_back(at);
+  }
+  return plan;
+}
+
+TxOutcome FaultyChannel::NextTx() {
+  TxOutcome out;
+  if (down_) {
+    out.fate = TxFate::kLinkDown;
+    return out;
+  }
+  if (next_disconnect_ < plan_.disconnect_at_tx.size() &&
+      stats_.transmissions >= plan_.disconnect_at_tx[next_disconnect_]) {
+    ++next_disconnect_;
+    ++stats_.disconnects;
+    down_ = true;
+    out.fate = TxFate::kLinkDown;
+    return out;
+  }
+  ++stats_.transmissions;
+  // One uniform draw per class keeps the schedule independent of how the
+  // fates are consumed (drop and spike can't shadow each other).
+  bool drop = rng_.NextBool(plan_.drop_prob);
+  bool corrupt = rng_.NextBool(plan_.corrupt_prob);
+  bool duplicate = rng_.NextBool(plan_.duplicate_prob);
+  bool spike = rng_.NextBool(plan_.spike_prob);
+  if (spike) {
+    ++stats_.spikes;
+    out.extra_latency = plan_.spike_latency;
+  }
+  if (drop) {
+    ++stats_.drops;
+    out.fate = TxFate::kDropped;
+    return out;
+  }
+  if (corrupt) {
+    ++stats_.corruptions;
+    out.fate = TxFate::kCorrupted;
+    return out;
+  }
+  if (duplicate) {
+    ++stats_.duplicates;
+    out.duplicate = true;
+  }
+  return out;
+}
+
+Bytes FaultyChannel::CorruptCopy(const Bytes& frame) {
+  Bytes out = frame;
+  if (out.empty()) {
+    out.push_back(0x5A);
+    return out;
+  }
+  // 1-4 flipped bytes at seeded positions; never a no-op (XOR is nonzero).
+  uint64_t flips = 1 + rng_.NextBelow(4);
+  for (uint64_t i = 0; i < flips; ++i) {
+    out[rng_.NextBelow(out.size())] ^= static_cast<uint8_t>(
+        1 + rng_.NextBelow(255));
+  }
+  return out;
+}
+
+}  // namespace grt

@@ -1,0 +1,112 @@
+// Seeded link-fault injection for chaos testing (§4.2 recovery, §7.2).
+//
+// NetChannel models a perfect pipe; real wireless links are not. A
+// FaultyChannel wraps a NetChannel with a deterministic, Rng-driven
+// schedule of the classic wireless failure modes: message drops, payload
+// corruption, duplication, latency spikes, and hard disconnects at chosen
+// transmission indices. The shim transport (src/shim/transport) asks the
+// wrapper for the fate of every physical frame it puts on the air and
+// implements recovery — retransmission, dedup, session resumption — above
+// it. The chaos suite (tests/integration/chaos_test.cc) then proves that
+// no fault schedule can change the bytes of the produced recording.
+#ifndef GRT_SRC_NET_FAULT_H_
+#define GRT_SRC_NET_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/net/channel.h"
+
+namespace grt {
+
+// A deterministic fault schedule. Per-transmission fates are drawn from
+// `seed`; `disconnect_at_tx` lists cumulative physical-transmission indices
+// at which the link hard-drops (forcing re-attestation + resumption).
+struct FaultPlan {
+  uint64_t seed = 0;
+  double drop_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double spike_prob = 0.0;
+  Duration spike_latency = 0;
+  std::vector<uint64_t> disconnect_at_tx;
+
+  bool enabled() const {
+    return drop_prob > 0.0 || corrupt_prob > 0.0 || duplicate_prob > 0.0 ||
+           spike_prob > 0.0 || !disconnect_at_tx.empty();
+  }
+
+  static FaultPlan None() { return FaultPlan{}; }
+
+  // Derives a chaos schedule from one seed: every fault class gets a
+  // nonzero rate (so ~hundreds of transmissions see every class with
+  // overwhelming probability) and 0-2 disconnects land mid-session.
+  static FaultPlan FromSeed(uint64_t seed);
+};
+
+// Observable injection counts, for asserting that a chaos run actually
+// exercised the recovery machinery.
+struct FaultStats {
+  uint64_t transmissions = 0;
+  uint64_t drops = 0;
+  uint64_t corruptions = 0;
+  uint64_t duplicates = 0;
+  uint64_t spikes = 0;
+  uint64_t disconnects = 0;
+
+  uint64_t injected() const {
+    return drops + corruptions + duplicates + spikes + disconnects;
+  }
+};
+
+enum class TxFate : uint8_t {
+  kDelivered,  // frame reaches the receiver (possibly late / duplicated)
+  kDropped,    // frame lost in flight
+  kCorrupted,  // frame arrives with flipped bits (MAC must reject it)
+  kLinkDown,   // hard disconnect: nothing flows until Reconnect()
+};
+
+struct TxOutcome {
+  TxFate fate = TxFate::kDelivered;
+  bool duplicate = false;       // a second copy also arrives
+  Duration extra_latency = 0;   // latency spike on top of the channel model
+};
+
+class FaultyChannel {
+ public:
+  FaultyChannel(NetChannel* base, FaultPlan plan)
+      : base_(base), plan_(std::move(plan)), rng_(plan_.seed ^ 0xFA017C4A) {}
+
+  NetChannel* base() { return base_; }
+  const FaultPlan& plan() const { return plan_; }
+  const FaultStats& stats() const { return stats_; }
+  bool link_down() const { return down_; }
+
+  // Draws the fate of the next physical transmission. Once a disconnect
+  // index is reached, returns kLinkDown (without consuming a transmission)
+  // until Reconnect() is called.
+  TxOutcome NextTx();
+
+  // Re-establishes the link after a kLinkDown (called by the transport
+  // once the session has re-attested and re-keyed).
+  void Reconnect() { down_ = false; }
+
+  // Deterministically flips a few bits of a frame copy (what the receiver
+  // sees for a kCorrupted transmission).
+  Bytes CorruptCopy(const Bytes& frame);
+
+ private:
+  NetChannel* base_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultStats stats_;
+  size_t next_disconnect_ = 0;
+  bool down_ = false;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_NET_FAULT_H_

@@ -112,9 +112,10 @@ Status Replayer::WaitIrqLines(uint8_t lines) {
     }
     TimePoint next = gpu_->NextEventTime();
     if (next == kNoEvent || next > deadline) {
-      return Timeout("replay IRQ wait timed out (want=" +
-                     std::to_string(lines) + " have=" + std::to_string(have) +
-                     " no_event=" + std::to_string(next == kNoEvent) + ")");
+      return IrqExpired("replay IRQ wait timed out (want=" +
+                        std::to_string(lines) + " have=" +
+                        std::to_string(have) + " no_event=" +
+                        std::to_string(next == kNoEvent) + ")");
     }
     timeline_->AdvanceTo(next);
   }
@@ -218,8 +219,8 @@ Result<ReplayReport> Replayer::Replay() {
           }
         }
         if (!satisfied) {
-          return Timeout("replay poll never satisfied at entry " +
-                         std::to_string(report.entries_replayed));
+          return PollExhausted("replay poll never satisfied at entry " +
+                               std::to_string(report.entries_replayed));
         }
         if (config_.collect_observed) {
           observed_.Add(e);

@@ -93,6 +93,7 @@ DriverShim::DriverShim(const ShimConfig& config, NetChannel* channel,
     : config_(config),
       channel_(channel),
       client_(client),
+      link_(channel, client),
       cloud_mem_(cloud_mem),
       cloud_tl_(channel->timeline(kCloudEnd)),
       history_(history),
@@ -274,8 +275,13 @@ Status DriverShim::MaybeSyncBeforeJobStart(
     std::vector<PageRun> manifest =
         BuildManifest(driver_->AllGpuPages(), driver_->MetastatePages());
     GRT_ASSIGN_OR_RETURN(Bytes sync, sync_.BuildSync(manifest));
-    channel_->SendOneWay(kCloudEnd, sync.size());
-    GRT_RETURN_IF_ERROR(client_->ApplyCloudSync(sync));
+    // One-way over the reliable link: BuildSync advanced the shared
+    // baseline, so the sync must be applied exactly once (retransmits and
+    // duplicates are absorbed by the client's dedup).
+    GRT_ASSIGN_OR_RETURN(
+        ReliableLink::Reply ack,
+        link_.Call(FrameType::kCloudSync, sync, ReliableLink::Mode::kOneWay));
+    (void)ack;
   }
   // The GPU is about to become busy: seal the CPU out of the shared
   // memory until its interrupt arrives (§5 continuous validation).
@@ -373,7 +379,13 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
         }
         e.op = LogOp::kRegRead;
         e.reg = a.reg;
-        e.value = read_values[slot];
+        // Nondeterministic registers (timestamps, cycle counters) are
+        // canonicalized to zero in the recording: their live values depend
+        // on *when* the read executed, and retransmission delays must not
+        // be able to change the recording's bytes (the chaos suite's
+        // identical-recording invariant). Replay never verifies these
+        // registers, so the value carries no information anyway.
+        e.value = IsNondeterministicRegister(a.reg) ? 0 : read_values[slot];
         // Predicted values are marked until the device validates them;
         // Validate()/Recover() clear or patch these entries through
         // read_log_indices (§4.2).
@@ -404,15 +416,14 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
       inject_mispredict_ = false;
       client_->CorruptNextReply();
     }
-    channel_->SendOneWay(kCloudEnd, wire.size());
-    GRT_ASSIGN_OR_RETURN(Bytes reply_bytes, client_->ExecuteCommit(wire));
+    GRT_ASSIGN_OR_RETURN(
+        ReliableLink::Reply lr,
+        link_.Call(FrameType::kCommit, wire, ReliableLink::Mode::kAsync));
     GRT_ASSIGN_OR_RETURN(CommitReplyMsg reply,
-                         CommitReplyMsg::Deserialize(reply_bytes));
-    TimePoint resp_arrival =
-        channel_->SendNoAdvance(kClientEnd, reply_bytes.size());
+                         CommitReplyMsg::Deserialize(lr.payload));
 
     Outstanding o;
-    o.response_arrival = resp_arrival;
+    o.response_arrival = lr.response_arrival;
     o.seq = msg.seq;
     o.shape = shape;
     o.category = category;
@@ -432,22 +443,23 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
   GRT_RETURN_IF_ERROR(DrainOutstanding());
 
   if (read_nodes.empty() && config_.speculate) {
-    // Write-only commits need no response; ship asynchronously.
-    channel_->SendOneWay(kCloudEnd, wire.size());
-    GRT_ASSIGN_OR_RETURN(Bytes reply_bytes, client_->ExecuteCommit(wire));
-    (void)reply_bytes;  // empty reply suppressed on the wire
+    // Write-only commits need no response; ship asynchronously (the empty
+    // reply is suppressed on the wire).
+    GRT_ASSIGN_OR_RETURN(
+        ReliableLink::Reply ack,
+        link_.Call(FrameType::kCommit, wire, ReliableLink::Mode::kOneWay));
+    (void)ack;
     ++stats_.writeonly_commits;
     stats_.spec_by_category[category] += 1;  // asynchronous; Fig. 8 bucket
     return append_log({}, /*speculative=*/false, nullptr);
   }
 
   // --- Synchronous commit: one blocking round trip. ---
-  channel_->SendOneWay(kCloudEnd, wire.size());
-  GRT_ASSIGN_OR_RETURN(Bytes reply_bytes, client_->ExecuteCommit(wire));
+  GRT_ASSIGN_OR_RETURN(
+      ReliableLink::Reply lr,
+      link_.Call(FrameType::kCommit, wire, ReliableLink::Mode::kBlocking));
   GRT_ASSIGN_OR_RETURN(CommitReplyMsg reply,
-                       CommitReplyMsg::Deserialize(reply_bytes));
-  channel_->SendOneWay(kClientEnd, reply_bytes.size());
-  channel_->NoteBlocking();
+                       CommitReplyMsg::Deserialize(lr.payload));
   ++stats_.sync_commits;
 
   if (reply.read_values.size() != read_nodes.size()) {
@@ -616,14 +628,15 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
                           : nullptr;
     bool speculate_poll = pred != nullptr && !pred->empty() && (*pred)[0] == 1;
 
-    channel_->SendOneWay(kCloudEnd, wire.size());
-    auto reply_bytes = client_->ExecutePoll(wire);
-    if (!reply_bytes.ok()) {
-      SetError(reply_bytes.status());
+    auto lr = link_.Call(FrameType::kPoll, wire,
+                         speculate_poll ? ReliableLink::Mode::kAsync
+                                        : ReliableLink::Mode::kBlocking);
+    if (!lr.ok()) {
+      SetError(lr.status());
       result.timed_out = true;
       return result;
     }
-    auto reply = PollReplyMsg::Deserialize(reply_bytes.value());
+    auto reply = PollReplyMsg::Deserialize(lr.value().payload);
     if (!reply.ok()) {
       SetError(reply.status());
       result.timed_out = true;
@@ -634,10 +647,8 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
       // Predict the *predicate*, not the iteration count (§4.3); continue
       // without waiting for the client's answer.
       ++stats_.polls_speculated;
-      TimePoint resp_arrival =
-          channel_->SendNoAdvance(kClientEnd, reply_bytes.value().size());
       Outstanding o;
-      o.response_arrival = resp_arrival;
+      o.response_arrival = lr.value().response_arrival;
       o.seq = req.seq;
       o.shape = shape;
       o.category = "Polling";
@@ -657,8 +668,6 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
           it != last_poll_final_.end() ? it->second : expected;
       result.iterations = 1;
     } else {
-      channel_->SendOneWay(kClientEnd, reply_bytes.value().size());
-      channel_->NoteBlocking();
       ++stats_.poll_rtts;
       ++stats_.commits;
       ++stats_.sync_commits;
@@ -695,7 +704,8 @@ Result<IrqStatus> DriverShim::WaitForIrq(Duration timeout) {
     return event.status();
   }
   Bytes wire = event.value().Serialize();
-  channel_->SendOneWay(kClientEnd, wire.size());  // advances the cloud
+  // Client->cloud push (advances the cloud to the event's arrival).
+  GRT_RETURN_IF_ERROR(link_.PushToCloud(FrameType::kIrqEvent, wire).status());
   // The GPU signaled completion: the shared memory is CPU-visible again.
   gpu_busy_sealed_ = false;
   // §5 sync point #2: apply the client's post-job dump.

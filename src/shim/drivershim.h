@@ -31,6 +31,7 @@
 #include "src/record/recording.h"
 #include "src/shim/gpushim.h"
 #include "src/shim/memsync.h"
+#include "src/shim/transport.h"
 
 namespace grt {
 
@@ -138,6 +139,15 @@ class DriverShim : public GpuBus {
   const MemSyncStats& sync_stats() const { return sync_.stats(); }
   const Status& last_error() const { return last_error_; }
 
+  // The fault-tolerant transport all recording traffic rides on; the
+  // session installs the key, fault plan, and resume handler here.
+  ReliableLink& link() { return link_; }
+
+  // Called by the session's resume handler before re-keying: settles all
+  // in-flight speculation so both sides agree on the log prefix the §4.2
+  // resume replay rewinds to.
+  Status PrepareForResume() { return DrainOutstanding(); }
+
   // §7.3 fault injection: corrupt the next speculative commit's reply so
   // validation fails and recovery runs.
   void InjectMispredictionOnce() { inject_mispredict_ = true; }
@@ -198,6 +208,7 @@ class DriverShim : public GpuBus {
   ShimConfig config_;
   NetChannel* channel_;
   GpuShim* client_;
+  ReliableLink link_;
   PhysicalMemory* cloud_mem_;
   Timeline* cloud_tl_;
   SpeculationHistory* history_;

@@ -118,6 +118,83 @@ Result<Bytes> GpuShim::ExecutePoll(const Bytes& request_bytes) {
   return reply.Serialize();
 }
 
+void GpuShim::SetLinkKey(Bytes key, uint32_t epoch) {
+  link_key_ = std::move(key);
+  link_epoch_ = epoch;
+}
+
+Result<Bytes> GpuShim::HandleFrame(const Bytes& sealed_frame) {
+  auto frame = LinkFrame::Open(sealed_frame, link_key_);
+  if (!frame.ok()) {
+    ++link_mac_rejects_;
+    return frame.status();
+  }
+  if (frame->epoch != link_epoch_) {
+    // A frame from a previous link incarnation (pre-disconnect): the old
+    // key is dead, so treat it like a forgery.
+    ++link_mac_rejects_;
+    return IntegrityViolation("link frame from stale epoch");
+  }
+  LinkFrame reply;
+  reply.type = frame->type;
+  reply.epoch = link_epoch_;
+  reply.seq = frame->seq;
+  if (frame->seq < next_link_seq_) {
+    // Retransmission of an already-executed frame (our ack was lost):
+    // absorb the duplicate and re-send the cached reply, re-sealed under
+    // the current key in case the session re-keyed in between.
+    auto it = link_replies_.find(frame->seq);
+    if (it == link_replies_.end()) {
+      return IntegrityViolation("duplicate link frame outside reply window");
+    }
+    ++link_dup_drops_;
+    reply.payload = it->second;
+    return reply.Seal(link_key_);
+  }
+  if (frame->seq != next_link_seq_) {
+    return IntegrityViolation("link frame sequence gap");
+  }
+  switch (frame->type) {
+    case FrameType::kCommit: {
+      GRT_ASSIGN_OR_RETURN(reply.payload, ExecuteCommit(frame->payload));
+      break;
+    }
+    case FrameType::kPoll: {
+      GRT_ASSIGN_OR_RETURN(reply.payload, ExecutePoll(frame->payload));
+      break;
+    }
+    case FrameType::kCloudSync: {
+      GRT_RETURN_IF_ERROR(ApplyCloudSync(frame->payload));
+      break;  // empty ack
+    }
+    case FrameType::kControl: {
+      break;  // payload has no client-side effect; ack it
+    }
+    case FrameType::kIrqEvent: {
+      return InvalidArgument("kIrqEvent frames flow client->cloud");
+    }
+  }
+  ++next_link_seq_;
+  link_replies_[frame->seq] = reply.payload;
+  if (link_replies_.size() > 64) {
+    link_replies_.erase(link_replies_.count(frame->seq - 64) != 0
+                            ? link_replies_.find(frame->seq - 64)
+                            : link_replies_.begin());
+  }
+  return reply.Seal(link_key_);
+}
+
+void GpuShim::ForgetLinkFrameForResume(uint64_t link_seq) {
+  if (link_seq >= next_link_seq_) {
+    return;  // the in-flight frame never executed; nothing to rewind
+  }
+  next_link_seq_ = link_seq;
+  link_replies_.erase(link_seq);
+  // Each executed commit/poll consumed exactly one message-level sequence
+  // number; the re-execution re-presents the same one.
+  --expected_seq_;
+}
+
 Status GpuShim::ApplyCloudSync(const Bytes& msg) {
   // CPU copy cost proportional to payload.
   timeline_->Advance(static_cast<Duration>(msg.size() / 8));

@@ -46,6 +46,30 @@ class GpuShim {
   // Applies a cloud->client memory synchronization message.
   Status ApplyCloudSync(const Bytes& msg);
 
+  // ---- Authenticated link endpoint (fault-tolerant transport) ----
+  // Installs the session key + epoch for link frames (called at Connect
+  // and again after every disconnect re-key).
+  void SetLinkKey(Bytes key, uint32_t epoch);
+  // Executes one sealed LinkFrame with exactly-once semantics: the MAC is
+  // verified before anything else, stale-epoch frames are rejected, and a
+  // retransmitted (already-executed) sequence number returns the cached
+  // reply instead of re-executing — commits and syncs mutate GPU / memory
+  // baseline state, so duplicates must never reach them. Returns the
+  // sealed reply frame.
+  Result<Bytes> HandleFrame(const Bytes& sealed_frame);
+
+  // Session-resume protocol rollback: the resume replay rewinds the GPU to
+  // the interaction-log prefix, which excludes the in-flight frame — so if
+  // that frame already executed (its reply was lost), its effects were
+  // rolled back and the retransmission must re-execute instead of hitting
+  // the dedup cache. Only called for GPU-mutating frames (commits/polls);
+  // sync/control frames keep their dedup entry because their effects are
+  // reconstructed by the replay itself.
+  void ForgetLinkFrameForResume(uint64_t link_seq);
+
+  uint64_t link_mac_rejects() const { return link_mac_rejects_; }
+  uint64_t link_dup_drops() const { return link_dup_drops_; }
+
   // Blocks (in virtual time) until the GPU raises an interrupt, then
   // builds the IrqEventMsg carrying the client->cloud memory dump.
   Result<IrqEventMsg> AwaitIrq(Duration timeout);
@@ -94,6 +118,14 @@ class GpuShim {
 
   uint64_t expected_seq_ = 0;
   uint64_t batches_executed_ = 0;
+  // Link endpoint state: key/epoch for frame authentication, next expected
+  // link sequence number, and a bounded cache of reply payloads for dedup.
+  Bytes link_key_;
+  uint32_t link_epoch_ = 0;
+  uint64_t next_link_seq_ = 0;
+  uint64_t link_mac_rejects_ = 0;
+  uint64_t link_dup_drops_ = 0;
+  std::unordered_map<uint64_t, Bytes> link_replies_;
   bool sanctioned_ = false;
   int session_policy_id_ = 0;
   uint64_t spurious_gpu_traps_ = 0;

@@ -1,0 +1,353 @@
+#include "src/shim/transport.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/shim/gpushim.h"
+
+namespace grt {
+namespace {
+
+// Retransmission policy: the timer starts at ~2x the channel RTT (ack
+// expected after one round trip plus remote compute), doubles per expiry,
+// and is capped so a burst of drops cannot stall virtual time absurdly.
+constexpr int kMaxAttempts = 12;
+constexpr Duration kMinTimeout = 1 * kMillisecond;
+// Ack frame payload for client->cloud pushes (seq + epoch + MAC ride in
+// the frame envelope; the payload itself is empty).
+constexpr uint64_t kAckBytes = 16;
+
+}  // namespace
+
+void ReliableLink::SetKey(const Bytes& key, uint32_t epoch) {
+  key_ = key;
+  epoch_ = epoch;
+  client_->SetLinkKey(key, epoch);
+}
+
+void ReliableLink::InstallFaultPlan(const FaultPlan& plan) {
+  if (plan.enabled()) {
+    faulty_ = std::make_unique<FaultyChannel>(channel_, plan);
+  }
+}
+
+Duration ReliableLink::BaseTimeout() const {
+  return std::max<Duration>(2 * channel_->conditions().rtt, kMinTimeout);
+}
+
+Result<Bytes> ReliableLink::DispatchDirect(FrameType type,
+                                           const Bytes& payload) {
+  switch (type) {
+    case FrameType::kCommit:
+      return client_->ExecuteCommit(payload);
+    case FrameType::kPoll:
+      return client_->ExecutePoll(payload);
+    case FrameType::kCloudSync:
+      GRT_RETURN_IF_ERROR(client_->ApplyCloudSync(payload));
+      return Bytes{};
+    case FrameType::kControl:
+      return Bytes{};
+    case FrameType::kIrqEvent:
+      break;
+  }
+  return InvalidArgument("kIrqEvent frames flow client->cloud");
+}
+
+Result<ReliableLink::Reply> ReliableLink::Call(FrameType type,
+                                               const Bytes& payload,
+                                               Mode mode) {
+  ++stats_.calls;
+  if (faulty_ != nullptr) {
+    return CallFaulty(type, payload, mode);
+  }
+  // Fast path: byte-for-byte the legacy accounting (no frame envelope, no
+  // acks), so fault-free sessions are unaffected by the transport layer.
+  switch (mode) {
+    case Mode::kOneWay: {
+      TimePoint arrival = channel_->SendOneWay(kCloudEnd, payload.size());
+      GRT_ASSIGN_OR_RETURN(Bytes reply, DispatchDirect(type, payload));
+      (void)reply;  // suppressed on the wire
+      return Reply{{}, arrival};
+    }
+    case Mode::kAsync: {
+      channel_->SendOneWay(kCloudEnd, payload.size());
+      GRT_ASSIGN_OR_RETURN(Bytes reply, DispatchDirect(type, payload));
+      TimePoint arrival = channel_->SendNoAdvance(kClientEnd, reply.size());
+      return Reply{std::move(reply), arrival};
+    }
+    case Mode::kBlocking: {
+      channel_->SendOneWay(kCloudEnd, payload.size());
+      GRT_ASSIGN_OR_RETURN(Bytes reply, DispatchDirect(type, payload));
+      TimePoint arrival = channel_->SendOneWay(kClientEnd, reply.size());
+      channel_->NoteBlocking();
+      return Reply{std::move(reply), arrival};
+    }
+  }
+  return Internal("bad link mode");
+}
+
+Status ReliableLink::ResumeSession() {
+  if (!resume_handler_) {
+    return Internal("link down with no session resume handler installed");
+  }
+  if (resuming_) {
+    return Internal("link dropped while a resume was already in progress");
+  }
+  resuming_ = true;
+  ++stats_.reconnects;
+  Status s = resume_handler_();
+  resuming_ = false;
+  GRT_RETURN_IF_ERROR(s);
+  faulty_->Reconnect();
+  return OkStatus();
+}
+
+Result<TxOutcome> ReliableLink::NextTxResumed() {
+  for (;;) {
+    if (faulty_->link_down()) {
+      GRT_RETURN_IF_ERROR(ResumeSession());
+    }
+    TxOutcome tx = faulty_->NextTx();
+    if (tx.fate != TxFate::kLinkDown) {
+      return tx;
+    }
+  }
+}
+
+Result<ReliableLink::Reply> ReliableLink::CallFaulty(FrameType type,
+                                                     const Bytes& payload,
+                                                     Mode mode) {
+  Timeline* cloud_tl = channel_->timeline(kCloudEnd);
+  Timeline* client_tl = channel_->timeline(kClientEnd);
+  uint64_t seq = next_seq_to_client_++;
+  // kBlocking stalls the cloud, so its clock IS the timer; asynchronous
+  // modes keep a virtual launch time that accrues timer expiries without
+  // advancing the cloud (the retransmit engine runs in the background).
+  TimePoint virt_send = cloud_tl->now();
+  Duration timeout = BaseTimeout();
+  auto wait_for_timer = [&] {
+    ++stats_.timeouts;
+    if (mode == Mode::kBlocking) {
+      cloud_tl->Advance(timeout);
+    } else {
+      virt_send += timeout;
+    }
+    timeout *= 2;
+  };
+
+  // Resuming after a disconnect rewinds the device to the log prefix, so
+  // an in-flight GPU-mutating frame that already executed must execute
+  // again after the replay (its effects were rolled back); sync/control
+  // frames keep their dedup entry (the replayed log carries their effect).
+  bool mutates_gpu =
+      type == FrameType::kCommit || type == FrameType::kPoll;
+  auto ensure_link_up = [&]() -> Status {
+    while (faulty_->link_down()) {
+      GRT_RETURN_IF_ERROR(ResumeSession());
+      if (mutates_gpu) {
+        client_->ForgetLinkFrameForResume(seq);
+      }
+    }
+    return OkStatus();
+  };
+
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retransmits;
+      channel_->NoteRetransmit();
+    }
+    TxOutcome tx;
+    for (;;) {
+      GRT_RETURN_IF_ERROR(ensure_link_up());
+      tx = faulty_->NextTx();
+      if (tx.fate != TxFate::kLinkDown) {
+        break;
+      }
+    }
+    // Frames are (re-)sealed per attempt: a resume may have re-keyed the
+    // session, and the retransmission must carry the live epoch.
+    LinkFrame frame{type, epoch_, seq, payload};
+    Bytes wire = frame.Seal(key_);
+    TimePoint at = mode == Mode::kBlocking ? cloud_tl->now() : virt_send;
+
+    if (tx.fate == TxFate::kDropped) {
+      channel_->Transmit(kCloudEnd, at, wire.size(), tx.extra_latency,
+                         /*advance_receiver=*/false);
+      wait_for_timer();
+      continue;
+    }
+    if (tx.fate == TxFate::kCorrupted) {
+      channel_->Transmit(kCloudEnd, at, wire.size(), tx.extra_latency,
+                         /*advance_receiver=*/true);
+      auto rejected = client_->HandleFrame(faulty_->CorruptCopy(wire));
+      if (rejected.ok()) {
+        return IntegrityViolation("corrupted frame passed authentication");
+      }
+      ++stats_.mac_rejects;
+      wait_for_timer();
+      continue;
+    }
+
+    // Delivered: the handler executes exactly once (HandleFrame dedups
+    // retransmissions of a seq that already ran).
+    channel_->Transmit(kCloudEnd, at, wire.size(), tx.extra_latency,
+                       /*advance_receiver=*/true);
+    GRT_ASSIGN_OR_RETURN(Bytes reply_wire, client_->HandleFrame(wire));
+    if (tx.duplicate) {
+      channel_->Transmit(kCloudEnd, at, wire.size(), /*extra_latency=*/0,
+                         /*advance_receiver=*/false);
+      auto dup = client_->HandleFrame(wire);  // absorbed by dedup
+      if (dup.ok()) {
+        ++stats_.dup_drops;
+        channel_->NoteDupDrop();
+      }
+    }
+
+    // Reply leg. A link-down here is handled at the top of the next
+    // attempt: the resume rewinds the client (for GPU-mutating frames) and
+    // the request is retransmitted under the new epoch.
+    TxOutcome rt = faulty_->NextTx();
+    if (rt.fate == TxFate::kLinkDown) {
+      continue;
+    }
+    if (rt.fate == TxFate::kDropped) {
+      channel_->Transmit(kClientEnd, client_tl->now(), reply_wire.size(),
+                         rt.extra_latency, /*advance_receiver=*/false);
+      wait_for_timer();
+      continue;
+    }
+    if (rt.fate == TxFate::kCorrupted) {
+      channel_->Transmit(kClientEnd, client_tl->now(), reply_wire.size(),
+                         rt.extra_latency,
+                         /*advance_receiver=*/mode == Mode::kBlocking);
+      ++stats_.mac_rejects;  // cloud rejects the mangled reply
+      wait_for_timer();
+      continue;
+    }
+    TimePoint resp_arrival = channel_->Transmit(
+        kClientEnd, client_tl->now(), reply_wire.size(), rt.extra_latency,
+        /*advance_receiver=*/mode == Mode::kBlocking);
+    if (rt.duplicate) {
+      channel_->Transmit(kClientEnd, client_tl->now(), reply_wire.size(),
+                         /*extra_latency=*/0, /*advance_receiver=*/false);
+      ++stats_.dup_drops;  // cloud absorbs the duplicate reply copy
+      channel_->NoteDupDrop();
+    }
+    GRT_ASSIGN_OR_RETURN(LinkFrame reply, LinkFrame::Open(reply_wire, key_));
+    if (reply.seq != seq || reply.epoch != epoch_) {
+      return IntegrityViolation("link reply does not match the request");
+    }
+    if (mode == Mode::kBlocking) {
+      channel_->NoteBlocking();
+    }
+    return Reply{std::move(reply.payload), resp_arrival};
+  }
+  return Timeout("link retransmit budget exhausted (" +
+                 std::to_string(kMaxAttempts) + " attempts)");
+}
+
+Result<TimePoint> ReliableLink::PushToCloud(FrameType type,
+                                            const Bytes& payload) {
+  ++stats_.pushes;
+  if (faulty_ == nullptr) {
+    return channel_->SendOneWay(kClientEnd, payload.size());
+  }
+  return PushFaulty(type, payload);
+}
+
+Result<TimePoint> ReliableLink::PushFaulty(FrameType type,
+                                           const Bytes& payload) {
+  Timeline* cloud_tl = channel_->timeline(kCloudEnd);
+  Timeline* client_tl = channel_->timeline(kClientEnd);
+  uint64_t seq = next_seq_to_cloud_++;
+  Duration timeout = BaseTimeout();
+  auto wait_for_timer = [&] {
+    ++stats_.timeouts;
+    client_tl->Advance(timeout);  // the client owns this retransmit timer
+    timeout *= 2;
+  };
+  TimePoint first_arrival = 0;
+  bool delivered_once = false;
+
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.retransmits;
+      channel_->NoteRetransmit();
+    }
+    GRT_ASSIGN_OR_RETURN(TxOutcome tx, NextTxResumed());
+    LinkFrame frame{type, epoch_, seq, payload};
+    Bytes wire = frame.Seal(key_);
+
+    if (tx.fate == TxFate::kDropped) {
+      channel_->Transmit(kClientEnd, client_tl->now(), wire.size(),
+                         tx.extra_latency, /*advance_receiver=*/false);
+      wait_for_timer();
+      continue;
+    }
+    if (tx.fate == TxFate::kCorrupted) {
+      channel_->Transmit(kClientEnd, client_tl->now(), wire.size(),
+                         tx.extra_latency, /*advance_receiver=*/true);
+      ++stats_.mac_rejects;  // cloud rejects the mangled event
+      wait_for_timer();
+      continue;
+    }
+
+    TimePoint arrival =
+        channel_->Transmit(kClientEnd, client_tl->now(), wire.size(),
+                           tx.extra_latency, /*advance_receiver=*/true);
+    GRT_ASSIGN_OR_RETURN(LinkFrame seen, LinkFrame::Open(wire, key_));
+    if (seen.seq != seq) {
+      return IntegrityViolation("push frame sequence corrupted");
+    }
+    if (delivered_once) {
+      // The cloud already consumed this event; the re-delivery (our ack
+      // was lost) is absorbed by its dedup window.
+      ++stats_.dup_drops;
+      channel_->NoteDupDrop();
+    } else {
+      delivered_once = true;
+      first_arrival = arrival;
+    }
+    if (tx.duplicate) {
+      channel_->Transmit(kClientEnd, client_tl->now(), wire.size(),
+                         /*extra_latency=*/0, /*advance_receiver=*/false);
+      ++stats_.dup_drops;
+      channel_->NoteDupDrop();
+    }
+
+    // Ack leg (cloud -> client). Lost acks trigger a client retransmit;
+    // the event itself is never re-applied.
+    TxOutcome at = faulty_->NextTx();
+    if (at.fate == TxFate::kLinkDown) {
+      GRT_RETURN_IF_ERROR(ResumeSession());
+      wait_for_timer();
+      continue;
+    }
+    if (at.fate == TxFate::kDropped) {
+      channel_->Transmit(kCloudEnd, cloud_tl->now(), kAckBytes,
+                         at.extra_latency, /*advance_receiver=*/false);
+      wait_for_timer();
+      continue;
+    }
+    if (at.fate == TxFate::kCorrupted) {
+      channel_->Transmit(kCloudEnd, cloud_tl->now(), kAckBytes,
+                         at.extra_latency, /*advance_receiver=*/true);
+      ++stats_.mac_rejects;  // client rejects the mangled ack
+      wait_for_timer();
+      continue;
+    }
+    channel_->Transmit(kCloudEnd, cloud_tl->now(), kAckBytes,
+                       at.extra_latency, /*advance_receiver=*/true);
+    if (at.duplicate) {
+      channel_->Transmit(kCloudEnd, cloud_tl->now(), kAckBytes,
+                         /*extra_latency=*/0, /*advance_receiver=*/false);
+      ++stats_.dup_drops;
+      channel_->NoteDupDrop();
+    }
+    return first_arrival;
+  }
+  return Timeout("push retransmit budget exhausted (" +
+                 std::to_string(kMaxAttempts) + " attempts)");
+}
+
+}  // namespace grt

@@ -1,0 +1,117 @@
+// ReliableLink: fault-tolerant, authenticated transport for recording
+// traffic between DriverShim (cloud) and GpuShim (client TEE).
+//
+// The simulation moves message *bytes* by direct function calls and uses
+// NetChannel purely for timing/stats accounting. ReliableLink is the seam
+// between the two: every logical exchange goes through Call()/PushToCloud(),
+// which on the fast path (no fault plan) reproduces the legacy NetChannel
+// accounting bit-for-bit, and under an installed FaultPlan wraps each
+// message in a MAC'd LinkFrame and runs a retransmission protocol over the
+// FaultyChannel:
+//   * drops/corruptions -> timeout + exponential-backoff retransmit,
+//   * duplicates -> absorbed by the receiver's sequence-number dedup
+//     (GpuShim::HandleFrame replays the cached reply; state-mutating
+//     handlers execute exactly once),
+//   * hard disconnects -> the session-installed resume handler re-attests,
+//     re-keys (bumping the frame epoch), and fast-forwards both sides by
+//     the §4.2 log-prefix replay before the frame is retransmitted.
+// The invariant the chaos suite proves: none of this can change the bytes
+// of the interaction log.
+#ifndef GRT_SRC_SHIM_TRANSPORT_H_
+#define GRT_SRC_SHIM_TRANSPORT_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/bytes.h"
+#include "src/common/status.h"
+#include "src/net/channel.h"
+#include "src/net/fault.h"
+#include "src/shim/wire.h"
+
+namespace grt {
+
+class GpuShim;
+
+// Observable transport-layer behavior for tests and benches.
+struct LinkStats {
+  uint64_t calls = 0;        // logical cloud->client exchanges
+  uint64_t pushes = 0;       // logical client->cloud pushes
+  uint64_t retransmits = 0;  // frame re-sends after a timer expiry
+  uint64_t timeouts = 0;     // retransmit timer expirations
+  uint64_t mac_rejects = 0;  // frames rejected by HMAC verification
+  uint64_t dup_drops = 0;    // duplicate frames absorbed
+  uint64_t reconnects = 0;   // link-down -> resume handler invocations
+};
+
+class ReliableLink {
+ public:
+  ReliableLink(NetChannel* channel, GpuShim* client)
+      : channel_(channel), client_(client) {}
+
+  // Session keying: installs the frame-authentication key on both ends and
+  // sets the epoch carried by subsequent frames. Called at Connect() and
+  // after every disconnect re-key.
+  void SetKey(const Bytes& key, uint32_t epoch);
+  uint32_t epoch() const { return epoch_; }
+
+  // Activates fault injection for all subsequent traffic. Without a plan
+  // (or with a disabled one) the link stays on the legacy fast path.
+  void InstallFaultPlan(const FaultPlan& plan);
+
+  // Invoked when the link drops: must re-attest, re-key (calling SetKey
+  // with a bumped epoch), and resynchronize both sides. The link
+  // retransmits the in-flight frame under the new epoch afterwards.
+  void set_resume_handler(std::function<Status()> handler) {
+    resume_handler_ = std::move(handler);
+  }
+
+  // How a logical exchange interacts with the cloud's virtual clock; the
+  // three modes mirror the legacy accounting exactly (see drivershim.cc).
+  enum class Mode {
+    kBlocking,  // sender stalls for the reply (sync commits, sync polls)
+    kAsync,     // reply arrival computed, sender not advanced (speculation)
+    kOneWay,    // no reply accounting at all (write-only commits, syncs,
+                // recording download); under faults an ack still flows
+  };
+
+  struct Reply {
+    Bytes payload;                   // empty for kOneWay
+    TimePoint response_arrival = 0;  // kOneWay: the request arrival
+  };
+
+  // One logical cloud->client exchange (request + handler + reply).
+  Result<Reply> Call(FrameType type, const Bytes& payload, Mode mode);
+
+  // One logical client->cloud push (IRQ events). Returns the arrival time
+  // of the first successful delivery at the cloud.
+  Result<TimePoint> PushToCloud(FrameType type, const Bytes& payload);
+
+  const LinkStats& stats() const { return stats_; }
+  // Null unless a fault plan is installed.
+  FaultyChannel* faulty() { return faulty_.get(); }
+
+ private:
+  Result<Bytes> DispatchDirect(FrameType type, const Bytes& payload);
+  Result<Reply> CallFaulty(FrameType type, const Bytes& payload, Mode mode);
+  Result<TimePoint> PushFaulty(FrameType type, const Bytes& payload);
+  Status ResumeSession();
+  // Draws a fate, resuming the session first whenever the link is down.
+  Result<TxOutcome> NextTxResumed();
+  Duration BaseTimeout() const;
+
+  NetChannel* channel_;
+  GpuShim* client_;
+  std::unique_ptr<FaultyChannel> faulty_;
+  std::function<Status()> resume_handler_;
+  Bytes key_;
+  uint32_t epoch_ = 0;
+  uint64_t next_seq_to_client_ = 0;
+  uint64_t next_seq_to_cloud_ = 0;
+  bool resuming_ = false;
+  LinkStats stats_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SHIM_TRANSPORT_H_

@@ -1,5 +1,7 @@
 #include "src/shim/wire.h"
 
+#include "src/common/sha256.h"
+
 namespace grt {
 namespace {
 
@@ -240,6 +242,47 @@ Result<IrqEventMsg> IrqEventMsg::Deserialize(const Bytes& raw) {
   GRT_ASSIGN_OR_RETURN(msg.lines, r.ReadU8());
   GRT_ASSIGN_OR_RETURN(msg.mem_dump, r.ReadBytes());
   return msg;
+}
+
+Bytes LinkFrame::Seal(const Bytes& key) const {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU32(epoch);
+  w.PutU64(seq);
+  w.PutBytes(payload);
+  Bytes body = w.Take();
+  Sha256Digest mac = HmacSha256(key, body);
+  ByteWriter sealed;
+  sealed.PutBytes(body);
+  sealed.PutRaw(mac.data(), mac.size());
+  return sealed.Take();
+}
+
+Result<LinkFrame> LinkFrame::Open(const Bytes& raw, const Bytes& key) {
+  ByteReader r(raw);
+  auto body = r.ReadBytes();
+  if (!body.ok()) {
+    return IntegrityViolation("link frame truncated");
+  }
+  Sha256Digest mac;
+  if (!r.ReadRaw(mac.data(), mac.size()).ok()) {
+    return IntegrityViolation("link frame missing MAC");
+  }
+  if (HmacSha256(key, body.value()) != mac) {
+    return IntegrityViolation("link frame authentication failed");
+  }
+  ByteReader br(body.value());
+  LinkFrame f;
+  GRT_ASSIGN_OR_RETURN(uint8_t type, br.ReadU8());
+  if (type < static_cast<uint8_t>(FrameType::kCommit) ||
+      type > static_cast<uint8_t>(FrameType::kControl)) {
+    return IntegrityViolation("bad link frame type");
+  }
+  f.type = static_cast<FrameType>(type);
+  GRT_ASSIGN_OR_RETURN(f.epoch, br.ReadU32());
+  GRT_ASSIGN_OR_RETURN(f.seq, br.ReadU64());
+  GRT_ASSIGN_OR_RETURN(f.payload, br.ReadBytes());
+  return f;
 }
 
 }  // namespace grt

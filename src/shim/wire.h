@@ -88,6 +88,35 @@ struct IrqEventMsg {
   static Result<IrqEventMsg> Deserialize(const Bytes& raw);
 };
 
+// -------------------------------------------------------------- link frames
+// Transport envelope carried by every recording-traffic message once the
+// session is keyed: a link-level sequence number (for exactly-once
+// execution under retransmission), the session epoch (bumped on every
+// re-key after a disconnect, so frames from a dead incarnation can never
+// be replayed into the new one), and an HMAC-SHA256 trailer under the
+// session key. Receivers verify the MAC before trusting any field;
+// corrupted frames are rejected and recovered by retransmission.
+enum class FrameType : uint8_t {
+  kCommit = 1,     // CommitBatchMsg -> CommitReplyMsg
+  kPoll = 2,       // PollRequestMsg -> PollReplyMsg
+  kCloudSync = 3,  // cloud->client memory sync -> empty ack
+  kIrqEvent = 4,   // client->cloud IrqEventMsg push
+  kControl = 5,    // payload with no client-side effect (e.g. download)
+};
+
+struct LinkFrame {
+  FrameType type = FrameType::kControl;
+  uint32_t epoch = 0;
+  uint64_t seq = 0;
+  Bytes payload;
+
+  // body(type, epoch, seq, payload) || HMAC(key, body).
+  Bytes Seal(const Bytes& key) const;
+  // Verifies the trailer before parsing; kIntegrityViolation on any
+  // mismatch or truncation.
+  static Result<LinkFrame> Open(const Bytes& raw, const Bytes& key);
+};
+
 }  // namespace grt
 
 #endif  // GRT_SRC_SHIM_WIRE_H_

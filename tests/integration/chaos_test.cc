@@ -1,0 +1,175 @@
+// Chaos suite (tentpole): full record sessions under seeded channel-fault
+// schedules. The invariant under test: drops, corruptions, duplicates,
+// latency spikes, and hard disconnects may cost time, but may never change
+// a byte of the recording — every chaos run must produce a recording body
+// identical to the fault-free baseline, verifier-clean, and replayable to
+// reference-correct outputs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/harness/chaos.h"
+#include "src/ml/network.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kNondetSeed = 3;
+constexpr uint64_t kNonce = 7;
+constexpr int kSchedules = 12;
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  ChaosRun Baseline(NetworkConditions conditions) {
+    auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, conditions,
+                               FaultPlan::None(), kNondetSeed, kNonce);
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    return *run;
+  }
+
+  // Runs one seeded schedule and checks every per-run invariant against
+  // the fault-free baseline.
+  ChaosRun CheckSchedule(uint64_t seed, NetworkConditions conditions,
+                         const ChaosRun& baseline) {
+    FaultPlan plan = FaultPlan::FromSeed(seed);
+    auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, conditions, plan,
+                               kNondetSeed, kNonce);
+    EXPECT_TRUE(run.ok()) << "schedule " << seed << ": "
+                          << run.status().ToString();
+    if (!run.ok()) {
+      return ChaosRun{};
+    }
+
+    // The whole point: byte-identical recording despite the faults.
+    EXPECT_EQ(run->body_digest, baseline.body_digest)
+        << "schedule " << seed << " changed the recording bytes";
+    EXPECT_EQ(run->recording_body, baseline.recording_body);
+
+    // The schedule must actually have exercised the machinery.
+    EXPECT_GT(run->fault_stats.injected(), 0u)
+        << "schedule " << seed << " injected nothing";
+
+    // Stats plumbing: every injected fault class shows up in the layer
+    // that absorbs it.
+    if (run->fault_stats.drops + run->fault_stats.corruptions > 0) {
+      EXPECT_GT(run->link_stats.retransmits, 0u);
+      EXPECT_GT(run->channel_stats.retransmits, 0u);
+    }
+    if (run->fault_stats.corruptions > 0) {
+      EXPECT_GT(run->link_stats.mac_rejects, 0u);
+    }
+    EXPECT_EQ(run->session_stats.reconnects, run->fault_stats.disconnects);
+    EXPECT_EQ(run->link_stats.reconnects, run->fault_stats.disconnects);
+    EXPECT_EQ(run->session_stats.recovery_replays,
+              run->fault_stats.disconnects);
+    EXPECT_EQ(run->session_stats.rekeys, 1 + run->fault_stats.disconnects);
+    // Faults only ever cost time.
+    EXPECT_GE(run->outcome.client_delay, baseline.outcome.client_delay);
+    // Recovery never surfaces as a driver-visible error or misprediction.
+    EXPECT_EQ(run->shim_stats.mispredictions, 0u);
+    return *run;
+  }
+
+  NetworkDef net_ = BuildMnist();
+};
+
+TEST_F(ChaosTest, TwelveSeededSchedulesOverWifiAreByteIdentical) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    CheckSchedule(seed, WifiConditions(), baseline);
+  }
+}
+
+TEST_F(ChaosTest, TwelveSeededSchedulesOverCellularAreByteIdentical) {
+  ChaosRun baseline = Baseline(CellularConditions());
+  for (uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    CheckSchedule(seed, CellularConditions(), baseline);
+  }
+}
+
+TEST_F(ChaosTest, ChaosRecordingsReplayToReferenceOutputs) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  ChaosRun faulted = CheckSchedule(5, WifiConditions(), baseline);
+  ASSERT_FALSE(faulted.signed_wire.empty());
+  Status replay =
+      ReplayChaosRunToReference(net_, SkuId::kMaliG71Mp8, faulted, 1234);
+  EXPECT_TRUE(replay.ok()) << replay.ToString();
+}
+
+TEST_F(ChaosTest, RepeatingAScheduleInProcessIsFullyDeterministic) {
+  FaultPlan plan = FaultPlan::FromSeed(9);
+  auto a = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                           kNondetSeed, kNonce);
+  auto b = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                           kNondetSeed, kNonce);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->body_digest, b->body_digest);
+  EXPECT_EQ(a->outcome.client_delay, b->outcome.client_delay);
+  EXPECT_EQ(a->link_stats.retransmits, b->link_stats.retransmits);
+  EXPECT_EQ(a->link_stats.dup_drops, b->link_stats.dup_drops);
+  EXPECT_EQ(a->fault_stats.transmissions, b->fault_stats.transmissions);
+  EXPECT_EQ(a->session_stats.reconnects, b->session_stats.reconnects);
+}
+
+TEST_F(ChaosTest, HardDisconnectResumesViaReplayAndRekeys) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.disconnect_at_tx = {25};
+  auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                             kNondetSeed, kNonce);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->fault_stats.disconnects, 1u);
+  EXPECT_EQ(run->session_stats.reconnects, 1u);
+  EXPECT_EQ(run->session_stats.rekeys, 2u);
+  EXPECT_EQ(run->session_stats.recovery_replays, 1u);
+  EXPECT_GT(run->session_stats.reconnect_time, 0);
+  EXPECT_EQ(run->body_digest, baseline.body_digest);
+}
+
+TEST_F(ChaosTest, CorruptionOnlyPlanIsAbsorbedByMacAndRetransmit) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.corrupt_prob = 0.25;
+  auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                             kNondetSeed, kNonce);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->fault_stats.corruptions, 0u);
+  EXPECT_GT(run->link_stats.mac_rejects, 0u);
+  EXPECT_GT(run->link_stats.retransmits, 0u);
+  EXPECT_EQ(run->body_digest, baseline.body_digest);
+}
+
+TEST_F(ChaosTest, DuplicateFramesAreExecutedExactlyOnce) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  FaultPlan plan;
+  plan.seed = 101;
+  plan.duplicate_prob = 0.30;
+  auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                             kNondetSeed, kNonce);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->fault_stats.duplicates, 0u);
+  EXPECT_GT(run->link_stats.dup_drops, 0u);
+  EXPECT_GT(run->channel_stats.dup_drops, 0u);
+  // Exactly-once at every state-mutating layer: a double-executed commit
+  // would desync the GPU and show up as a body mismatch (or shim error).
+  EXPECT_EQ(run->body_digest, baseline.body_digest);
+}
+
+TEST_F(ChaosTest, LatencySpikesOnlyCostTime) {
+  ChaosRun baseline = Baseline(WifiConditions());
+  FaultPlan plan;
+  plan.seed = 55;
+  plan.spike_prob = 0.20;
+  plan.spike_latency = 80 * kMillisecond;
+  auto run = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(), plan,
+                             kNondetSeed, kNonce);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_GT(run->fault_stats.spikes, 0u);
+  EXPECT_GT(run->outcome.client_delay, baseline.outcome.client_delay);
+  EXPECT_EQ(run->body_digest, baseline.body_digest);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,161 @@
+// FaultyChannel / FaultPlan unit tests: deterministic fate schedules,
+// disconnect indexing, corruption copies, and the Transmit extension +
+// retransmission counters on the base channel.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/net/channel.h"
+#include "src/net/fault.h"
+
+namespace grt {
+namespace {
+
+TEST(FaultPlan, NoneIsDisabled) {
+  EXPECT_FALSE(FaultPlan::None().enabled());
+  FaultPlan p;
+  p.drop_prob = 0.1;
+  EXPECT_TRUE(p.enabled());
+  FaultPlan d;
+  d.disconnect_at_tx = {10};
+  EXPECT_TRUE(d.enabled());
+}
+
+TEST(FaultPlan, FromSeedGivesEveryClassANonzeroRate) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlan p = FaultPlan::FromSeed(seed);
+    EXPECT_TRUE(p.enabled());
+    EXPECT_GT(p.drop_prob, 0.0);
+    EXPECT_LT(p.drop_prob, 0.2);
+    EXPECT_GT(p.corrupt_prob, 0.0);
+    EXPECT_GT(p.duplicate_prob, 0.0);
+    EXPECT_GT(p.spike_prob, 0.0);
+    EXPECT_GT(p.spike_latency, 0);
+    EXPECT_LE(p.disconnect_at_tx.size(), 2u);
+  }
+}
+
+TEST(FaultPlan, FromSeedIsDeterministic) {
+  FaultPlan a = FaultPlan::FromSeed(7);
+  FaultPlan b = FaultPlan::FromSeed(7);
+  EXPECT_EQ(a.drop_prob, b.drop_prob);
+  EXPECT_EQ(a.corrupt_prob, b.corrupt_prob);
+  EXPECT_EQ(a.spike_latency, b.spike_latency);
+  EXPECT_EQ(a.disconnect_at_tx, b.disconnect_at_tx);
+}
+
+TEST(FaultyChannel, FateSequenceIsDeterministic) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel base(WifiConditions(), &cloud, &client);
+  FaultPlan plan = FaultPlan::FromSeed(5);
+  FaultyChannel a(&base, plan), b(&base, plan);
+  for (int i = 0; i < 500; ++i) {
+    TxOutcome oa = a.NextTx();
+    TxOutcome ob = b.NextTx();
+    EXPECT_EQ(oa.fate, ob.fate) << "tx " << i;
+    EXPECT_EQ(oa.duplicate, ob.duplicate) << "tx " << i;
+    EXPECT_EQ(oa.extra_latency, ob.extra_latency) << "tx " << i;
+    if (a.link_down()) {
+      a.Reconnect();
+      b.Reconnect();
+    }
+  }
+  EXPECT_EQ(a.stats().transmissions, b.stats().transmissions);
+  EXPECT_EQ(a.stats().drops, b.stats().drops);
+  EXPECT_GT(a.stats().injected(), 0u);
+}
+
+TEST(FaultyChannel, DisconnectFiresAtTheChosenIndexAndLatches) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel base(WifiConditions(), &cloud, &client);
+  FaultPlan plan;
+  plan.seed = 1;
+  plan.disconnect_at_tx = {3};
+  FaultyChannel ch(&base, plan);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(ch.NextTx().fate, TxFate::kLinkDown);
+  }
+  // Transmission index 3 reached: the link goes down and STAYS down
+  // (without consuming transmissions) until Reconnect.
+  EXPECT_EQ(ch.NextTx().fate, TxFate::kLinkDown);
+  EXPECT_TRUE(ch.link_down());
+  EXPECT_EQ(ch.NextTx().fate, TxFate::kLinkDown);
+  EXPECT_EQ(ch.stats().transmissions, 3u);
+  EXPECT_EQ(ch.stats().disconnects, 1u);
+  ch.Reconnect();
+  EXPECT_FALSE(ch.link_down());
+  EXPECT_NE(ch.NextTx().fate, TxFate::kLinkDown);
+  EXPECT_EQ(ch.stats().disconnects, 1u);  // counted once
+}
+
+TEST(FaultyChannel, ProbabilitiesRoughlyMatchOverManyDraws) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel base(WifiConditions(), &cloud, &client);
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_prob = 0.2;
+  plan.corrupt_prob = 0.1;
+  plan.duplicate_prob = 0.1;
+  FaultyChannel ch(&base, plan);
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    ch.NextTx();
+  }
+  // Counters reflect the winning fate (drop shadows corrupt shadows
+  // duplicate): expected rates are p_drop, (1-p_drop)*p_corrupt, and
+  // (1-p_drop)*(1-p_corrupt)*p_dup.
+  EXPECT_NEAR(static_cast<double>(ch.stats().drops) / kDraws, 0.2, 0.02);
+  EXPECT_NEAR(static_cast<double>(ch.stats().corruptions) / kDraws, 0.08,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(ch.stats().duplicates) / kDraws, 0.072,
+              0.02);
+}
+
+TEST(FaultyChannel, CorruptCopyDiffersAndPreservesLength) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel base(WifiConditions(), &cloud, &client);
+  FaultyChannel ch(&base, FaultPlan::FromSeed(3));
+  Bytes frame(128);
+  for (size_t i = 0; i < frame.size(); ++i) {
+    frame[i] = static_cast<uint8_t>(i);
+  }
+  Bytes corrupted = ch.CorruptCopy(frame);
+  EXPECT_EQ(corrupted.size(), frame.size());
+  EXPECT_NE(corrupted, frame);
+  // Empty frames still come back observably corrupted.
+  EXPECT_FALSE(ch.CorruptCopy(Bytes{}).empty());
+}
+
+TEST(Channel, TransmitSupportsLateLaunchAndExtraLatency) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  // A retransmission launched at t=1s (sender clock still at 0) with a
+  // 50 ms spike arrives after propagation + spike, and only the receiver
+  // advances.
+  TimePoint arrival = ch.Transmit(kCloudEnd, kSecond, 100,
+                                  50 * kMillisecond, /*advance_receiver=*/true);
+  EXPECT_GE(arrival, kSecond + 50 * kMillisecond);
+  EXPECT_EQ(client.now(), arrival);
+  EXPECT_EQ(cloud.now(), 0);
+  EXPECT_EQ(ch.stats().messages[kCloudEnd], 1u);
+
+  // advance_receiver=false only accounts the traffic.
+  TimePoint ghost = ch.Transmit(kCloudEnd, kSecond, 100, 0, false);
+  EXPECT_LT(ghost, arrival);
+  EXPECT_EQ(client.now(), arrival);
+}
+
+TEST(Channel, RetransmitAndDupDropCountersAccumulate) {
+  Timeline cloud("cloud"), client("client");
+  NetChannel ch(WifiConditions(), &cloud, &client);
+  EXPECT_EQ(ch.stats().retransmits, 0u);
+  EXPECT_EQ(ch.stats().dup_drops, 0u);
+  ch.NoteRetransmit();
+  ch.NoteRetransmit();
+  ch.NoteDupDrop();
+  EXPECT_EQ(ch.stats().retransmits, 2u);
+  EXPECT_EQ(ch.stats().dup_drops, 1u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -1,0 +1,91 @@
+// Satellite: replay resource-exhaustion conditions are typed, testable
+// errors. ReplayConfig::poll_max_iters running out surfaces as
+// kPollExhausted and ReplayConfig::irq_timeout elapsing as kIrqExpired —
+// distinguishable from each other, from generic kTimeout, and from replay
+// divergence, so callers can branch (retry with a larger budget vs reject
+// the recording) without string matching.
+#include <gtest/gtest.h>
+
+#include "src/harness/rig.h"
+#include "src/hw/regs.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+Recording MinimalRecording(const std::string& workload) {
+  Recording rec;
+  rec.header.workload = workload;
+  rec.header.sku = SkuId::kMaliG71Mp8;
+  rec.header.record_nonce = 1;
+  LogEntry reset;
+  reset.op = LogOp::kRegWrite;
+  reset.reg = kRegGpuCommand;
+  reset.value = kGpuCommandSoftReset;
+  rec.log.Add(std::move(reset));
+  return rec;
+}
+
+class ReplayerErrorsTest : public ::testing::Test {
+ protected:
+  ClientDevice device_{SkuId::kMaliG71Mp8};
+};
+
+TEST_F(ReplayerErrorsTest, PollBudgetExhaustionIsTyped) {
+  // The recorded poll saw CLEAN_CACHES_COMPLETED; at replay nobody issued
+  // a flush, so the predicate can never be satisfied and the iteration
+  // budget must run out.
+  Recording rec = MinimalRecording("poll-exhaust");
+  LogEntry poll;
+  poll.op = LogOp::kPollWait;
+  poll.reg = kRegGpuIrqRawstat;
+  poll.mask = kGpuIrqCleanCachesCompleted;
+  poll.expected = kGpuIrqCleanCachesCompleted;
+  poll.value = kGpuIrqCleanCachesCompleted;  // satisfies predicate on paper
+  rec.log.Add(std::move(poll));
+
+  ReplayConfig config;
+  config.poll_max_iters = 25;
+  Replayer replayer(&device_.gpu(), &device_.tzasc(), &device_.mem(),
+                    &device_.timeline(), config);
+  ASSERT_TRUE(replayer.Load(std::move(rec)).ok());
+  auto report = replayer.Replay();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kPollExhausted)
+      << report.status().ToString();
+  EXPECT_NE(report.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(ReplayerErrorsTest, IrqTimeoutExpiryIsTyped) {
+  // The recording waits on the job interrupt, but no job was ever
+  // submitted: the (virtual) irq_timeout elapses with no device event.
+  Recording rec = MinimalRecording("irq-expire");
+  LogEntry irq;
+  irq.op = LogOp::kIrqWait;
+  irq.irq_lines = 1;  // job irq
+  rec.log.Add(std::move(irq));
+
+  ReplayConfig config;
+  config.irq_timeout = 5 * kMillisecond;
+  Replayer replayer(&device_.gpu(), &device_.tzasc(), &device_.mem(),
+                    &device_.timeline(), config);
+  ASSERT_TRUE(replayer.Load(std::move(rec)).ok());
+  auto report = replayer.Replay();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kIrqExpired)
+      << report.status().ToString();
+  EXPECT_NE(report.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(ReplayerErrorsTest, TheTwoExhaustionCodesAreDistinct) {
+  EXPECT_NE(StatusCode::kPollExhausted, StatusCode::kIrqExpired);
+  EXPECT_EQ(StatusCodeName(StatusCode::kPollExhausted), "POLL_EXHAUSTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIrqExpired), "IRQ_EXPIRED");
+  EXPECT_EQ(PollExhausted("x").code(), StatusCode::kPollExhausted);
+  EXPECT_EQ(IrqExpired("x").code(), StatusCode::kIrqExpired);
+  EXPECT_FALSE(PollExhausted("x").ok());
+  EXPECT_FALSE(IrqExpired("x").ok());
+}
+
+}  // namespace
+}  // namespace grt

@@ -86,6 +86,66 @@ TEST(RecordingStore, TamperedSealRejected) {
   EXPECT_FALSE(RecordingStore::Unseal(store.Seal(), Bytes(32, 8)).ok());
 }
 
+TEST(RecordingStore, EveryCorruptedSealByteIsRejected) {
+  // Exhaustive tamper sweep: flipping any single byte of the sealed image
+  // (framing, bodies, or MAC trailer) must make Unseal fail cleanly — no
+  // partial store, no crash, an integrity error every time.
+  Bytes key(32, 9);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("mnist", 3, key)).ok());
+  ASSERT_TRUE(store.Install(MakeSigned("vgg", 4, key)).ok());
+  Bytes sealed = store.Seal();
+  for (size_t pos = 0; pos < sealed.size(); ++pos) {
+    for (uint8_t flip : {0x01, 0x80}) {
+      Bytes tampered = sealed;
+      tampered[pos] ^= flip;
+      auto restored = RecordingStore::Unseal(tampered, key);
+      ASSERT_FALSE(restored.ok())
+          << "flip 0x" << std::hex << int(flip) << " at byte " << std::dec
+          << pos << " survived Unseal";
+    }
+  }
+  // The untampered image still restores.
+  EXPECT_TRUE(RecordingStore::Unseal(sealed, key).ok());
+}
+
+TEST(RecordingStore, TruncatedSealIsRejected) {
+  Bytes key(32, 9);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("mnist", 3, key)).ok());
+  Bytes sealed = store.Seal();
+  for (size_t keep : {size_t{0}, size_t{1}, sealed.size() / 2,
+                      sealed.size() - 1}) {
+    Bytes truncated(sealed.begin(),
+                    sealed.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_FALSE(RecordingStore::Unseal(truncated, key).ok())
+        << "truncation to " << keep << " bytes survived Unseal";
+  }
+}
+
+TEST(RecordingStore, StaleNonceInstallNeverReplacesNewer) {
+  // Rollback protection must hold under repeated attack: after any number
+  // of stale-install attempts the newest recording is still what loads.
+  Bytes key(32, 9);
+  RecordingStore store(key);
+  ASSERT_TRUE(store.Install(MakeSigned("mnist", 10, key)).ok());
+  for (uint64_t stale = 0; stale <= 10; ++stale) {
+    Status s = store.Install(MakeSigned("mnist", stale, key));
+    EXPECT_FALSE(s.ok()) << "stale nonce " << stale << " accepted";
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(store.size(), 1u);
+  auto rec = store.Load("mnist", SkuId::kMaliG71Mp8);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->header.record_nonce, 10u);
+  // And the protection survives a seal/unseal cycle.
+  auto restored = RecordingStore::Unseal(store.Seal(), key);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored->Install(MakeSigned("mnist", 9, key)).ok());
+  EXPECT_EQ(restored->Load("mnist", SkuId::kMaliG71Mp8)->header.record_nonce,
+            10u);
+}
+
 TEST(RecordingStore, EndToEndRecordStoreReplay) {
   // Record once; install; seal; "reboot"; unseal; replay — the paper's
   // future-executions-without-the-cloud path.

@@ -131,5 +131,121 @@ TEST_F(GpuShimTest, AwaitIrqTimesOutWhenIdle) {
   EXPECT_EQ(event.status().code(), StatusCode::kTimeout);
 }
 
+// ---------------------------------------------------- link frame endpoint
+
+class GpuShimLinkTest : public GpuShimTest {
+ protected:
+  GpuShimLinkTest() { shim_.SetLinkKey(key_, /*epoch=*/1); }
+
+  Bytes SealCommit(uint64_t link_seq, uint64_t msg_seq) {
+    LinkFrame frame;
+    frame.type = FrameType::kCommit;
+    frame.epoch = 1;
+    frame.seq = link_seq;
+    frame.payload = MakeBatch(msg_seq, {{false, kRegGpuId}});
+    return frame.Seal(key_);
+  }
+
+  Bytes key_ = Bytes(32, 0x33);
+};
+
+TEST_F(GpuShimLinkTest, HandleFrameExecutesAndRepliesSealed) {
+  auto sealed_reply = shim_.HandleFrame(SealCommit(0, 0));
+  ASSERT_TRUE(sealed_reply.ok());
+  auto reply_frame = LinkFrame::Open(sealed_reply.value(), key_);
+  ASSERT_TRUE(reply_frame.ok());
+  EXPECT_EQ(reply_frame->type, FrameType::kCommit);
+  EXPECT_EQ(reply_frame->epoch, 1u);
+  EXPECT_EQ(reply_frame->seq, 0u);
+  auto reply = CommitReplyMsg::Deserialize(reply_frame->payload);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->read_values.size(), 1u);
+  EXPECT_EQ(reply->read_values[0], device_.sku().gpu_id_reg);
+  EXPECT_EQ(shim_.batches_executed(), 1u);
+}
+
+TEST_F(GpuShimLinkTest, DuplicateFrameReturnsCachedReplyWithoutReExecuting) {
+  Bytes sealed = SealCommit(0, 0);
+  auto first = shim_.HandleFrame(sealed);
+  ASSERT_TRUE(first.ok());
+  // The retransmitted copy is absorbed: same reply bytes, no second
+  // execution, and the dup-drop counter ticks.
+  auto again = shim_.HandleFrame(sealed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.value(), first.value());
+  EXPECT_EQ(shim_.batches_executed(), 1u);
+  EXPECT_EQ(shim_.link_dup_drops(), 1u);
+}
+
+TEST_F(GpuShimLinkTest, ForgedAndCorruptedFramesAreRejected) {
+  LinkFrame frame;
+  frame.type = FrameType::kCommit;
+  frame.epoch = 1;
+  frame.seq = 0;
+  frame.payload = MakeBatch(0, {{false, kRegGpuId}});
+  // Wrong key: forgery.
+  auto forged = shim_.HandleFrame(frame.Seal(Bytes(32, 0x34)));
+  EXPECT_EQ(forged.status().code(), StatusCode::kIntegrityViolation);
+  // Right key, flipped bit: transit corruption.
+  Bytes sealed = frame.Seal(key_);
+  sealed[sealed.size() / 2] ^= 0x10;
+  auto corrupted = shim_.HandleFrame(sealed);
+  EXPECT_EQ(corrupted.status().code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(shim_.link_mac_rejects(), 2u);
+  EXPECT_EQ(shim_.batches_executed(), 0u);  // nothing executed
+}
+
+TEST_F(GpuShimLinkTest, StaleEpochFramesAreRejectedEvenWithAValidMac) {
+  LinkFrame frame;
+  frame.type = FrameType::kCommit;
+  frame.epoch = 0;  // pre-re-key incarnation
+  frame.seq = 0;
+  frame.payload = MakeBatch(0, {{false, kRegGpuId}});
+  auto result = shim_.HandleFrame(frame.Seal(key_));
+  EXPECT_EQ(result.status().code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(shim_.link_mac_rejects(), 1u);
+  EXPECT_EQ(shim_.batches_executed(), 0u);
+}
+
+TEST_F(GpuShimLinkTest, SequenceGapsAreRejected) {
+  auto skipped = shim_.HandleFrame(SealCommit(/*link_seq=*/5, /*msg_seq=*/0));
+  EXPECT_EQ(skipped.status().code(), StatusCode::kIntegrityViolation);
+  EXPECT_EQ(shim_.batches_executed(), 0u);
+  // A duplicate below the window with no cached reply is also refused.
+  ASSERT_TRUE(shim_.HandleFrame(SealCommit(0, 0)).ok());
+  EXPECT_FALSE(shim_.HandleFrame(SealCommit(2, 1)).ok());
+}
+
+TEST_F(GpuShimLinkTest, ForgetLinkFrameForResumeAllowsExactlyOnceReExecution) {
+  Bytes sealed = SealCommit(0, 0);
+  ASSERT_TRUE(shim_.HandleFrame(sealed).ok());
+  EXPECT_EQ(shim_.batches_executed(), 1u);
+  // Resume rewinds the frame (its GPU effect was rolled back by replay);
+  // presenting the same frame again must execute it once more rather than
+  // serving the stale cached reply.
+  shim_.ForgetLinkFrameForResume(0);
+  auto again = shim_.HandleFrame(sealed);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(shim_.batches_executed(), 2u);
+  EXPECT_EQ(shim_.link_dup_drops(), 0u);
+  // Forgetting a never-executed frame is a no-op.
+  shim_.ForgetLinkFrameForResume(99);
+  EXPECT_TRUE(shim_.HandleFrame(SealCommit(1, 1)).ok());
+}
+
+TEST_F(GpuShimLinkTest, ControlFramesAckWithoutClientSideEffect) {
+  LinkFrame frame;
+  frame.type = FrameType::kControl;
+  frame.epoch = 1;
+  frame.seq = 0;
+  frame.payload = Bytes(1024, 0x77);  // e.g. an output download
+  auto sealed_reply = shim_.HandleFrame(frame.Seal(key_));
+  ASSERT_TRUE(sealed_reply.ok());
+  auto reply = LinkFrame::Open(sealed_reply.value(), key_);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply->payload.empty());  // bare ack
+  EXPECT_EQ(shim_.batches_executed(), 0u);
+}
+
 }  // namespace
 }  // namespace grt

@@ -172,5 +172,79 @@ TEST(Wire, CorruptBatchRejected) {
   EXPECT_FALSE(CommitBatchMsg::Deserialize(raw).ok());
 }
 
+TEST(Wire, LinkFrameSealOpenRoundTrip) {
+  Bytes key(32, 0x5A);
+  LinkFrame frame;
+  frame.type = FrameType::kCommit;
+  frame.epoch = 3;
+  frame.seq = 41;
+  frame.payload = {9, 8, 7, 6, 5};
+  auto opened = LinkFrame::Open(frame.Seal(key), key);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened->type, FrameType::kCommit);
+  EXPECT_EQ(opened->epoch, 3u);
+  EXPECT_EQ(opened->seq, 41u);
+  EXPECT_EQ(opened->payload, frame.payload);
+}
+
+TEST(Wire, LinkFrameRejectsWrongKey) {
+  Bytes key(32, 0x5A), wrong(32, 0x5B);
+  LinkFrame frame;
+  frame.payload = {1, 2, 3};
+  Bytes sealed = frame.Seal(key);
+  auto opened = LinkFrame::Open(sealed, wrong);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIntegrityViolation);
+}
+
+TEST(Wire, LinkFrameRejectsEverySingleByteTamper) {
+  Bytes key(32, 0x5A);
+  LinkFrame frame;
+  frame.type = FrameType::kPoll;
+  frame.epoch = 1;
+  frame.seq = 7;
+  frame.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  Bytes sealed = frame.Seal(key);
+  for (size_t pos = 0; pos < sealed.size(); ++pos) {
+    Bytes tampered = sealed;
+    tampered[pos] ^= 0x01;
+    EXPECT_FALSE(LinkFrame::Open(tampered, key).ok())
+        << "tamper at byte " << pos << " survived";
+  }
+}
+
+TEST(Wire, LinkFrameRejectsTruncation) {
+  Bytes key(32, 0x5A);
+  LinkFrame frame;
+  frame.payload = Bytes(100, 0x11);
+  Bytes sealed = frame.Seal(key);
+  for (size_t keep : {size_t{0}, size_t{1}, sealed.size() / 2,
+                      sealed.size() - 1}) {
+    Bytes cut(sealed.begin(), sealed.begin() + static_cast<ptrdiff_t>(keep));
+    EXPECT_FALSE(LinkFrame::Open(cut, key).ok())
+        << "truncation to " << keep << " bytes survived";
+  }
+}
+
+TEST(Wire, LinkFrameSealCoversEveryHeaderField) {
+  // Two frames differing in any one header field seal to different wires
+  // (the MAC binds type, epoch, and seq — not just the payload).
+  Bytes key(32, 0x5A);
+  LinkFrame base;
+  base.type = FrameType::kCommit;
+  base.epoch = 2;
+  base.seq = 9;
+  base.payload = {1, 2, 3};
+  LinkFrame other_type = base;
+  other_type.type = FrameType::kPoll;
+  LinkFrame other_epoch = base;
+  other_epoch.epoch = 3;
+  LinkFrame other_seq = base;
+  other_seq.seq = 10;
+  EXPECT_NE(base.Seal(key), other_type.Seal(key));
+  EXPECT_NE(base.Seal(key), other_epoch.Seal(key));
+  EXPECT_NE(base.Seal(key), other_seq.Seal(key));
+}
+
 }  // namespace
 }  // namespace grt
