@@ -6,14 +6,24 @@
 // composition (metastate vs program data, §5).
 //
 // Flags:
-//   --lint  additionally run the static verifier and print its findings
-//           (exit code 1 if the recording has errors)
-//   --dump  additionally print every log entry
+//   --lint          additionally run the static verifier and print its
+//                   findings (exit code 1 if the recording has errors)
+//   --dump          additionally print every log entry
+//   --dataflow      lift the recording to the dataflow IR (src/analysis/
+//                   dataflow) and print node/def-use statistics plus the
+//                   first stretch of the IR itself
+//   --diff <other>  parse <other> as a serialized (unsigned) recording body
+//                   — typically a grt_opt output — and summarize op-count
+//                   deltas against the freshly recorded original
+//   --save <file>   write this recording's unsigned body to <file> (the
+//                   input format grt_lint and grt_opt consume)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 
+#include "src/analysis/dataflow/ir.h"
 #include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/harness/table.h"
@@ -60,17 +70,96 @@ void DumpLog(const InteractionLog& log) {
   }
 }
 
+// Per-op-kind counts, for the --diff summary.
+std::map<LogOp, size_t> CountByOp(const InteractionLog& log) {
+  std::map<LogOp, size_t> counts;
+  for (const LogEntry& e : log.entries()) {
+    ++counts[e.op];
+  }
+  return counts;
+}
+
+int DiffAgainst(const Recording& original, const char* other_path) {
+  std::ifstream in(other_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", other_path);
+    return 2;
+  }
+  Bytes raw((std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+  auto other = Recording::ParseUnsigned(raw);
+  if (!other.ok()) {
+    std::fprintf(stderr, "%s: %s\n", other_path,
+                 other.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("\n--- op-count diff vs %s ---\n", other_path);
+  const char* kind_names[] = {"?",     "reg write", "reg read", "poll wait",
+                              "delay", "irq wait",  "mem page"};
+  auto before = CountByOp(original.log);
+  auto after = CountByOp(other->log);
+  TextTable table({"op", "original", other_path, "delta"});
+  for (int op = 1; op <= 6; ++op) {
+    size_t a = before[static_cast<LogOp>(op)];
+    size_t b = after[static_cast<LogOp>(op)];
+    if (a == 0 && b == 0) {
+      continue;
+    }
+    char delta[32];
+    std::snprintf(delta, sizeof(delta), "%+lld",
+                  static_cast<long long>(b) - static_cast<long long>(a));
+    table.AddRow({kind_names[op], std::to_string(a), std::to_string(b),
+                  delta});
+  }
+  char total_delta[32];
+  std::snprintf(total_delta, sizeof(total_delta), "%+lld",
+                static_cast<long long>(other->log.size()) -
+                    static_cast<long long>(original.log.size()));
+  table.AddRow({"total", std::to_string(original.log.size()),
+                std::to_string(other->log.size()), total_delta});
+  table.Print();
+
+  const OptimizationProvenance& p = other->header.provenance;
+  if (p.optimized) {
+    std::map<std::string, size_t> by_pass;
+    for (const OptRecord& r : p.records) {
+      ++by_pass[r.pass];
+    }
+    std::printf("\n%s claims optimization: %zu justification record(s) "
+                "over %u original entries\n",
+                other_path, p.records.size(), p.original_entries);
+    for (const auto& [pass, n] : by_pass) {
+      std::printf("  %-22s %5zu\n", pass.c_str(), n);
+    }
+  } else {
+    std::printf("\n%s carries no optimization provenance\n", other_path);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool lint = false, dump = false;
+  bool lint = false, dump = false, dataflow = false;
+  const char* diff_path = nullptr;
+  const char* save_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
     } else if (std::strcmp(argv[i], "--dump") == 0) {
       dump = true;
+    } else if (std::strcmp(argv[i], "--dataflow") == 0) {
+      dataflow = true;
+    } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
+      diff_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--lint] [--dump]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--lint] [--dump] [--dataflow] "
+                   "[--diff <other>] [--save <file>]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -155,6 +244,29 @@ int main(int argc, char** argv) {
 
   if (dump) {
     DumpLog(rec->log);
+  }
+  if (dataflow) {
+    DataflowIr ir = LiftRecording(*rec);
+    std::printf("\n--- dataflow IR ---\n%s\n",
+                ComputeIrStats(ir).ToString().c_str());
+    std::printf("%s", DumpIr(ir, 60).c_str());
+  }
+  if (save_path != nullptr) {
+    Bytes body = rec->SerializeBody();
+    std::ofstream out(save_path, std::ios::binary);
+    if (!out || !out.write(reinterpret_cast<const char*>(body.data()),
+                           static_cast<std::streamsize>(body.size()))) {
+      std::fprintf(stderr, "cannot write %s\n", save_path);
+      return 2;
+    }
+    std::printf("\nsaved unsigned body to %s (%zu B)\n", save_path,
+                body.size());
+  }
+  if (diff_path != nullptr) {
+    int rc = DiffAgainst(*rec, diff_path);
+    if (rc != 0) {
+      return rc;
+    }
   }
   if (lint) {
     RecordingVerifier verifier;

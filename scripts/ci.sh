@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Two-pass CI gate:
+# Three-pass CI gate:
 #   1. normal build + full ctest (includes the chaos suite, run twice so
 #      the deterministic-recording acceptance covers two consecutive runs)
 #   2. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest
+#   3. clang-tidy over the library sources (profile: .clang-tidy); any
+#      warning fails the gate. Skips cleanly where clang-tidy is absent.
 #
 # Usage: scripts/ci.sh [jobs]
 #   jobs  parallel build/test jobs (default: nproc)
@@ -27,13 +29,24 @@ run_pass() {
   ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
 }
 
-run_pass "pass 1/2 (normal)" build-ci
+run_pass "pass 1/3 (normal)" build-ci
 # The chaos suite asserts per-schedule determinism in-process; running the
 # whole suite a second time also proves determinism across runs.
-echo "=== pass 1/2: ctest (second run, determinism check) ==="
+echo "=== pass 1/3: ctest (second run, determinism check) ==="
 ctest --test-dir build-ci -j "${JOBS}" --output-on-failure
 
-run_pass "pass 2/2 (asan+ubsan)" build-ci-san \
+run_pass "pass 2/3 (asan+ubsan)" build-ci-san \
   -DGRT_SANITIZE=address,undefined
+
+# clang-tidy emits warnings on stdout but exits 0 for warnings-only runs;
+# treat any diagnostic line as a gate failure so new warnings can't land.
+echo "=== pass 3/3: clang-tidy lint gate ==="
+TIDY_LOG="$(mktemp)"
+trap 'rm -f "${TIDY_LOG}"' EXIT
+scripts/run_clang_tidy.sh build-ci src 2>&1 | tee "${TIDY_LOG}"
+if grep -E 'warning:|error:' "${TIDY_LOG}" >/dev/null; then
+  echo "=== pass 3/3: clang-tidy reported diagnostics — failing ===" >&2
+  exit 1
+fi
 
 echo "=== CI: all passes green ==="

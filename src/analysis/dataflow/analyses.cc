@@ -1,0 +1,246 @@
+#include "src/analysis/dataflow/analyses.h"
+
+#include <algorithm>
+
+namespace grt {
+namespace {
+
+// -1 if not a power-control register; otherwise a small id unique per
+// (domain, word) so same-domain interference checks are cheap.
+int PowerDomainWordOf(uint32_t reg) {
+  uint32_t ready = 0;
+  uint32_t trans = 0;
+  if (!PowerStatusRegistersFor(reg, &ready, &trans)) {
+    return -1;
+  }
+  return static_cast<int>(ready);  // READY offset identifies (domain, word)
+}
+
+bool IsResetWrite(const LogEntry& e) {
+  return e.op == LogOp::kRegWrite && e.reg == kRegGpuCommand &&
+         (e.value == kGpuCommandSoftReset || e.value == kGpuCommandHardReset);
+}
+
+// Latest index in `sorted` strictly below `before`, if any.
+std::optional<size_t> LastBelow(const std::vector<uint32_t>& sorted,
+                                size_t before) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), before);
+  if (it == sorted.begin()) {
+    return std::nullopt;
+  }
+  return *std::prev(it);
+}
+
+std::optional<size_t> FirstAbove(const std::vector<uint32_t>& sorted,
+                                 size_t after) {
+  auto it = std::upper_bound(sorted.begin(), sorted.end(), after);
+  if (it == sorted.end()) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+}  // namespace
+
+bool Dominates(const DataflowIr& ir, size_t a, size_t b) {
+  (void)ir;
+  return a < b;
+}
+
+bool CommitDominates(const DataflowIr& ir, size_t a, size_t b) {
+  if (a >= b) {
+    return false;
+  }
+  const IrNode& na = ir.nodes[a];
+  const IrNode& nb = ir.nodes[b];
+  if (na.batch == 0 || nb.batch == 0) {
+    // Barriers/observations are themselves commit points.
+    return true;
+  }
+  return na.batch < nb.batch;
+}
+
+bool HasClobberBetween(const DataflowIr& ir, uint32_t reg, size_t after,
+                       size_t before) {
+  for (size_t i = after + 1; i < before && i < ir.size(); ++i) {
+    const LogEntry& e = ir.entry(i);
+    if (e.op != LogOp::kRegWrite) {
+      continue;
+    }
+    if (MayClobberRegister(e.reg, e.value, reg)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<size_t> PrevObservationOf(const DataflowIr& ir, uint32_t reg,
+                                        size_t before) {
+  auto it = ir.observations_of.find(reg);
+  if (it == ir.observations_of.end()) {
+    return std::nullopt;
+  }
+  return LastBelow(it->second, before);
+}
+
+std::optional<size_t> PrevWriteOf(const DataflowIr& ir, uint32_t reg,
+                                  size_t before) {
+  auto it = ir.writes_of.find(reg);
+  if (it == ir.writes_of.end()) {
+    return std::nullopt;
+  }
+  return LastBelow(it->second, before);
+}
+
+std::optional<size_t> NextWriteOf(const DataflowIr& ir, uint32_t reg,
+                                  size_t after) {
+  auto it = ir.writes_of.find(reg);
+  if (it == ir.writes_of.end()) {
+    return std::nullopt;
+  }
+  return FirstAbove(it->second, after);
+}
+
+bool ObservationEstablishes(const DataflowIr& ir, size_t obs, uint32_t mask,
+                            uint32_t expected) {
+  const LogEntry& e = ir.entry(obs);
+  if (e.op == LogOp::kRegRead) {
+    return !e.speculative && (e.value & mask) == (expected & mask);
+  }
+  if (e.op == LogOp::kPollWait) {
+    // A poll only proves the bits it masked, at the moment it succeeded.
+    return (e.mask & mask) == mask && (e.expected & mask) == (expected & mask);
+  }
+  return false;
+}
+
+bool ConfigWriteIsLive(const DataflowIr& ir, size_t write_index) {
+  const LogEntry& w = ir.entry(write_index);
+  if (ClassifyRegister(w.reg) != RegClass::kCpuConfig) {
+    return true;  // only pure latches have a liveness notion
+  }
+  auto next_write = NextWriteOf(ir, w.reg, write_index);
+  if (!next_write.has_value()) {
+    return true;  // persists past the log: next segment / teardown may use it
+  }
+
+  // Families: which register would a consumer touch?
+  const bool in_slot = w.reg >= kJobSlotBase &&
+                       w.reg < kJobSlotBase + kMaxJobSlots * kJobSlotStride;
+  const bool in_as =
+      w.reg >= kAsBase && w.reg < kAsBase + kMaxAddressSpaces * kAsStride;
+  uint32_t consumer_reg_a = 0;
+  uint32_t consumer_reg_b = 0;
+  uint32_t status_reg = 0;
+  bool any_trigger_consumes = false;
+  if (in_slot) {
+    const uint32_t slot_base =
+        w.reg - (w.reg - kJobSlotBase) % kJobSlotStride;
+    consumer_reg_a = slot_base + kJsCommand;
+    consumer_reg_b = slot_base + kJsCommandNext;
+  } else if (in_as) {
+    const uint32_t as_base = w.reg - (w.reg - kAsBase) % kAsStride;
+    consumer_reg_a = as_base + kAsCommand;
+  } else if (w.reg == kRegGpuIrqMask) {
+    status_reg = kRegGpuIrqStatus;
+  } else if (w.reg == kRegJobIrqMask) {
+    status_reg = kRegJobIrqStatus;
+  } else if (w.reg == kRegMmuIrqMask) {
+    status_reg = kRegMmuIrqStatus;
+  } else {
+    // SHADER/TILER/L2_MMU_CONFIG, PWR_KEY, PWR_OVERRIDE*: behavior knobs —
+    // any trigger in the window may observe them.
+    any_trigger_consumes = true;
+  }
+
+  for (size_t i = write_index + 1; i <= *next_write; ++i) {
+    const LogEntry& e = ir.entry(i);
+    switch (e.op) {
+      case LogOp::kRegRead:
+      case LogOp::kPollWait:
+        if (e.reg == w.reg) {
+          return true;  // direct readback
+        }
+        if (status_reg != 0 && e.reg == status_reg) {
+          return true;  // STATUS = RAWSTAT & MASK
+        }
+        break;
+      case LogOp::kIrqWait:
+        if (status_reg != 0) {
+          return true;  // line assertion is gated by the mask latch
+        }
+        break;
+      case LogOp::kRegWrite:
+        if (i == *next_write) {
+          break;  // the overwrite itself is not a consumer
+        }
+        if (e.reg == consumer_reg_a || e.reg == consumer_reg_b) {
+          return true;
+        }
+        if (any_trigger_consumes &&
+            ClassifyRegister(e.reg) == RegClass::kTrigger) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+std::optional<size_t> DominatingPowerEvidence(const DataflowIr& ir,
+                                              uint32_t power_reg,
+                                              size_t before,
+                                              uint32_t* ready_bits) {
+  uint32_t ready_reg = 0;
+  uint32_t trans_reg = 0;
+  if (!PowerStatusRegistersFor(power_reg, &ready_reg, &trans_reg)) {
+    return std::nullopt;
+  }
+  const int domain_word = PowerDomainWordOf(power_reg);
+  auto it = ir.observations_of.find(ready_reg);
+  if (it == ir.observations_of.end()) {
+    return std::nullopt;
+  }
+  // Walk candidate READY reads latest-first; the first one with a clean
+  // window (no same-domain power write, no reset) wins.
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    const size_t cand = *rit;
+    if (cand >= before) {
+      continue;
+    }
+    const LogEntry& e = ir.entry(cand);
+    if (e.op != LogOp::kRegRead || e.speculative) {
+      continue;
+    }
+    bool clean = true;
+    for (size_t i = cand + 1; i < before; ++i) {
+      const LogEntry& s = ir.entry(i);
+      if (s.op != LogOp::kRegWrite) {
+        continue;
+      }
+      if (IsResetWrite(s) || PowerDomainWordOf(s.reg) == domain_word) {
+        clean = false;
+        break;
+      }
+    }
+    if (!clean) {
+      return std::nullopt;  // closest evidence is stale; anything older too
+    }
+    *ready_bits = e.value;
+    return cand;
+  }
+  return std::nullopt;
+}
+
+bool PageOverlapsWritableBinding(const DataflowIr& ir, size_t page_index) {
+  const IrNode& n = ir.nodes[page_index];
+  if (n.kind != IrKind::kMemSync || n.binding.empty()) {
+    return false;
+  }
+  auto it = ir.rec->bindings.find(n.binding);
+  return it != ir.rec->bindings.end() && it->second.writable_at_replay;
+}
+
+}  // namespace grt

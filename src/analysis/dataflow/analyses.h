@@ -1,0 +1,74 @@
+// Analyses over the dataflow IR: reaching definitions, register liveness,
+// memsync-range interference, and commit-dominance. A recording is
+// straight-line code, so dominance is precedence and every query is a
+// window scan; conservatism lives in the clobber model (src/hw/regs.h).
+// Every function here answers in the direction that can only inhibit an
+// optimization, never enable an unsound one.
+#ifndef GRT_SRC_ANALYSIS_DATAFLOW_ANALYSES_H_
+#define GRT_SRC_ANALYSIS_DATAFLOW_ANALYSES_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "src/analysis/dataflow/ir.h"
+
+namespace grt {
+
+// Commit-dominance: in straight-line code, node a dominates node b iff it
+// precedes it; a commit-dominates b additionally iff a's batch has been
+// flushed to the device before b's is formed (a in a strictly earlier
+// batch, or a is a barrier/observation preceding b).
+bool Dominates(const DataflowIr& ir, size_t a, size_t b);
+bool CommitDominates(const DataflowIr& ir, size_t a, size_t b);
+
+// True if any stimulus strictly between `after` and `before` may clobber
+// `reg` per the clobber model.
+bool HasClobberBetween(const DataflowIr& ir, uint32_t reg, size_t after,
+                       size_t before);
+
+// Latest observation (read or poll) of `reg` strictly before `before`.
+std::optional<size_t> PrevObservationOf(const DataflowIr& ir, uint32_t reg,
+                                        size_t before);
+// Latest write to `reg` strictly before `before`.
+std::optional<size_t> PrevWriteOf(const DataflowIr& ir, uint32_t reg,
+                                  size_t before);
+// Earliest write to `reg` strictly after `after`, if any.
+std::optional<size_t> NextWriteOf(const DataflowIr& ir, uint32_t reg,
+                                  size_t after);
+
+// Does the observation at `obs` establish (value & mask) == expected?
+// A non-speculative read establishes its full validated value; a poll
+// establishes only the bits it masked.
+bool ObservationEstablishes(const DataflowIr& ir, size_t obs, uint32_t mask,
+                            uint32_t expected);
+
+// Register liveness for a pure-latch (kCpuConfig) write: may the latched
+// value still be consumed by the device or a later observation before the
+// next write to the same register? Consumers are derived per latch family
+// (job-descriptor *_NEXT latches are consumed by that slot's commands, AS
+// latches by that AS's commands, IRQ masks by irq-waits and STATUS
+// observations, behavior-config latches by any trigger). A write with no
+// later same-register write in the log is always live (the value persists
+// into the next segment / teardown).
+bool ConfigWriteIsLive(const DataflowIr& ir, size_t write_index);
+
+// Power-state evidence: the latest non-speculative validated read of the
+// READY register matching power-control register `power_reg` (same domain
+// and word) before `before`, with no same-domain power write or reset in
+// between — i.e. the read's value still describes the powered cores at
+// `before`. Returns the evidence index and the ready bits it proves.
+std::optional<size_t> DominatingPowerEvidence(const DataflowIr& ir,
+                                              uint32_t power_reg,
+                                              size_t before,
+                                              uint32_t* ready_bits);
+
+// Memsync-range interference: true if the page entry at `page_index`
+// overlaps a tensor binding that is writable at replay (inputs/params may
+// be superseded by injected data, so their recorded images must be left
+// untouched by any transformation that cannot prove the replayer ignores
+// the entry anyway).
+bool PageOverlapsWritableBinding(const DataflowIr& ir, size_t page_index);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_DATAFLOW_ANALYSES_H_

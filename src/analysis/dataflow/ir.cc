@@ -1,0 +1,261 @@
+#include "src/analysis/dataflow/ir.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <unordered_map>
+
+namespace grt {
+namespace {
+
+// Must mirror the replayer's IsJobStartLike: the optimizer's page-pruning
+// argument is "the replayer skips this entry", so the two definitions may
+// never drift apart (tests/analysis/opt_equivalence_test pins them).
+bool IsJobStartLikeEntry(const LogEntry& e) {
+  if (e.op != LogOp::kRegWrite || e.value != kJsCommandStart) {
+    return false;
+  }
+  if (e.reg < kJobSlotBase ||
+      e.reg >= kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    return false;
+  }
+  return (e.reg - kJobSlotBase) % kJobSlotStride == kJsCommandNext;
+}
+
+bool IsResetEntry(const LogEntry& e) {
+  return e.op == LogOp::kRegWrite && e.reg == kRegGpuCommand &&
+         (e.value == kGpuCommandSoftReset || e.value == kGpuCommandHardReset);
+}
+
+}  // namespace
+
+const char* IrKindName(IrKind k) {
+  switch (k) {
+    case IrKind::kRegWrite: return "write";
+    case IrKind::kRegRead: return "read";
+    case IrKind::kPoll: return "poll";
+    case IrKind::kIrqWait: return "irq-wait";
+    case IrKind::kCommitBarrier: return "commit-barrier";
+    case IrKind::kMemSync: return "memsync";
+  }
+  return "?";
+}
+
+DataflowIr LiftRecording(const Recording& rec) {
+  DataflowIr ir;
+  ir.rec = &rec;
+  const auto& entries = rec.log.entries();
+  ir.nodes.resize(entries.size());
+
+  // Page -> binding name, for memsync interference edges.
+  std::unordered_map<uint64_t, const std::string*> page_binding;
+  for (const auto& [name, b] : rec.bindings) {
+    for (uint64_t pa : b.pages) {
+      page_binding[pa] = &name;
+    }
+  }
+
+  uint32_t batch = 0;
+  bool in_batch = false;
+  bool seen_job_start = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LogEntry& e = entries[i];
+    IrNode& n = ir.nodes[i];
+    n.index = static_cast<uint32_t>(i);
+    switch (e.op) {
+      case LogOp::kRegWrite:
+        n.kind = IrKind::kRegWrite;
+        break;
+      case LogOp::kRegRead:
+        n.kind = IrKind::kRegRead;
+        break;
+      case LogOp::kPollWait:
+        n.kind = IrKind::kPoll;
+        break;
+      case LogOp::kIrqWait:
+        n.kind = IrKind::kIrqWait;
+        break;
+      case LogOp::kDelay:
+        n.kind = IrKind::kCommitBarrier;
+        break;
+      case LogOp::kMemPage:
+        n.kind = IrKind::kMemSync;
+        break;
+    }
+
+    // Commit batches: stimuli and page syncs can ride one deferred batch;
+    // reads, polls, irq-waits, and delays force a commit first.
+    if (n.kind == IrKind::kRegWrite || n.kind == IrKind::kMemSync) {
+      if (!in_batch) {
+        ++batch;
+        in_batch = true;
+      }
+      n.batch = batch;
+    } else {
+      in_batch = false;
+      n.batch = 0;
+    }
+
+    switch (n.kind) {
+      case IrKind::kRegWrite:
+        n.reg_class = ClassifyRegister(e.reg);
+        ir.stimuli.push_back(n.index);
+        ir.writes_of[e.reg].push_back(n.index);
+        if (IsJobStartLikeEntry(e)) {
+          ir.job_starts.push_back(n.index);
+          seen_job_start = true;
+        }
+        if (IsResetEntry(e)) {
+          ir.resets.push_back(n.index);
+        }
+        break;
+      case IrKind::kRegRead:
+      case IrKind::kPoll:
+        n.reg_class = ClassifyRegister(e.reg);
+        ir.observations_of[e.reg].push_back(n.index);
+        break;
+      case IrKind::kMemSync:
+        n.before_first_start = !seen_job_start;
+        if (auto it = page_binding.find(e.pa); it != page_binding.end()) {
+          n.binding = *it->second;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  ir.n_batches = batch;
+
+  // Def-use edges: for each observation, the stimuli since the previous
+  // observation of the same register that may define its value.
+  for (const auto& [reg, obs_list] : ir.observations_of) {
+    size_t window_start = 0;
+    for (uint32_t obs : obs_list) {
+      for (size_t j = window_start; j < obs; ++j) {
+        const LogEntry& s = entries[j];
+        if (s.op != LogOp::kRegWrite) {
+          continue;
+        }
+        if (MayClobberRegister(s.reg, s.value, reg)) {
+          ir.nodes[obs].defs.push_back(static_cast<uint32_t>(j));
+          ir.nodes[j].uses.push_back(obs);
+          ++ir.n_def_use_edges;
+        }
+      }
+      window_start = obs + 1;
+    }
+  }
+  return ir;
+}
+
+IrStats ComputeIrStats(const DataflowIr& ir) {
+  IrStats s;
+  s.nodes = ir.nodes.size();
+  std::set<uint32_t> regs;
+  for (const IrNode& n : ir.nodes) {
+    switch (n.kind) {
+      case IrKind::kRegWrite: ++s.writes; break;
+      case IrKind::kRegRead: ++s.reads; break;
+      case IrKind::kPoll: ++s.polls; break;
+      case IrKind::kIrqWait: ++s.irq_waits; break;
+      case IrKind::kCommitBarrier: ++s.barriers; break;
+      case IrKind::kMemSync: ++s.memsyncs; break;
+    }
+    if (n.kind == IrKind::kRegWrite || n.kind == IrKind::kRegRead ||
+        n.kind == IrKind::kPoll) {
+      regs.insert(ir.entry(n.index).reg);
+    }
+  }
+  s.batches = ir.n_batches;
+  s.def_use_edges = ir.n_def_use_edges;
+  s.registers_touched = regs.size();
+  s.job_starts = ir.job_starts.size();
+  return s;
+}
+
+std::string IrStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "nodes=%zu (writes=%zu reads=%zu polls=%zu irq-waits=%zu "
+                "barriers=%zu memsyncs=%zu)\n"
+                "commit batches=%zu  def-use edges=%zu  "
+                "registers touched=%zu  job starts=%zu",
+                nodes, writes, reads, polls, irq_waits, barriers, memsyncs,
+                batches, def_use_edges, registers_touched, job_starts);
+  return buf;
+}
+
+std::string DumpIr(const DataflowIr& ir, size_t max_nodes) {
+  std::string out;
+  char buf[256];
+  const size_t n = ir.nodes.size() < max_nodes ? ir.nodes.size() : max_nodes;
+  for (size_t i = 0; i < n; ++i) {
+    const IrNode& node = ir.nodes[i];
+    const LogEntry& e = ir.entry(i);
+    std::snprintf(buf, sizeof(buf), "[%5zu] %-14s", i, IrKindName(node.kind));
+    out += buf;
+    switch (node.kind) {
+      case IrKind::kRegWrite:
+        std::snprintf(buf, sizeof(buf), " %-20s = 0x%08X  batch=%u",
+                      RegisterName(e.reg), e.value, node.batch);
+        out += buf;
+        if (!node.uses.empty()) {
+          out += "  uses={";
+          for (size_t u = 0; u < node.uses.size(); ++u) {
+            std::snprintf(buf, sizeof(buf), "%s%u", u ? "," : "",
+                          node.uses[u]);
+            out += buf;
+          }
+          out += "}";
+        }
+        break;
+      case IrKind::kRegRead:
+      case IrKind::kPoll:
+        if (node.kind == IrKind::kPoll) {
+          std::snprintf(buf, sizeof(buf),
+                        " %-20s mask=0x%08X expect=0x%08X", RegisterName(e.reg),
+                        e.mask, e.expected);
+        } else {
+          std::snprintf(buf, sizeof(buf), " %-20s : 0x%08X",
+                        RegisterName(e.reg), e.value);
+        }
+        out += buf;
+        if (!node.defs.empty()) {
+          out += "  defs={";
+          for (size_t d = 0; d < node.defs.size(); ++d) {
+            std::snprintf(buf, sizeof(buf), "%s%u", d ? "," : "",
+                          node.defs[d]);
+            out += buf;
+          }
+          out += "}";
+        }
+        break;
+      case IrKind::kIrqWait:
+        std::snprintf(buf, sizeof(buf), " lines=0x%02X", e.irq_lines);
+        out += buf;
+        break;
+      case IrKind::kCommitBarrier:
+        std::snprintf(buf, sizeof(buf), " %" PRId64 " ns",
+                      static_cast<int64_t>(e.delay));
+        out += buf;
+        break;
+      case IrKind::kMemSync:
+        std::snprintf(buf, sizeof(buf), " pa=0x%010" PRIX64 " %s%s%s%s",
+                      e.pa, e.metastate ? "meta" : "data",
+                      node.before_first_start ? "" : " post-start",
+                      node.binding.empty() ? "" : " binding=",
+                      node.binding.c_str());
+        out += buf;
+        break;
+    }
+    out += "\n";
+  }
+  if (ir.nodes.size() > n) {
+    std::snprintf(buf, sizeof(buf), "... (%zu more nodes)\n",
+                  ir.nodes.size() - n);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace grt

@@ -1,0 +1,108 @@
+// Dataflow IR over a recording's interaction log.
+//
+// The lifter turns the flat format-v3 log into typed nodes with def-use
+// edges over register space and synced page ranges, so that compiler-style
+// analyses (reaching definitions, liveness, commit-dominance) and the
+// offline optimizer (src/analysis/opt) can reason about a recording the
+// way a compiler reasons about straight-line code. A recording has no
+// control flow — replay executes it verbatim — so dominance degenerates to
+// precedence and every analysis is a linear sweep; what makes the problem
+// interesting is the asynchronous device on the other side, captured by
+// the conservative clobber model in src/hw/regs.h.
+#ifndef GRT_SRC_ANALYSIS_DATAFLOW_IR_H_
+#define GRT_SRC_ANALYSIS_DATAFLOW_IR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/hw/regs.h"
+#include "src/record/recording.h"
+
+namespace grt {
+
+enum class IrKind : uint8_t {
+  kRegWrite,       // CPU stimulus
+  kRegRead,        // validated GPU response
+  kPoll,           // bounded busy-wait on a read-idempotent register
+  kIrqWait,        // interrupt-line wait
+  kCommitBarrier,  // explicit pacing delay: a §4.1 deferral boundary
+  kMemSync,        // synced page image
+};
+
+const char* IrKindName(IrKind k);
+
+// One IR node per log entry (indices are 1:1 with the lifted log).
+struct IrNode {
+  IrKind kind = IrKind::kRegWrite;
+  uint32_t index = 0;  // position in the lifted log
+  // Commit batch id: maximal runs of stimuli/memsyncs between barriers
+  // (polls, irq-waits, delays, and validated reads all force the shim to
+  // commit its deferred batch). Two nodes with the same batch id can be
+  // sent to the device as one round trip.
+  uint32_t batch = 0;
+  RegClass reg_class = RegClass::kUnknown;  // register ops only
+  // Def-use edges over register space. For observations (reads/polls):
+  // the stimuli since the previous observation of the same register that
+  // may define the observed value, per the clobber model. For stimuli:
+  // the inverse (observations this write may feed).
+  std::vector<uint32_t> defs;
+  std::vector<uint32_t> uses;
+  // kMemSync: the tensor binding overlapping this page, if any, and
+  // whether the page precedes the segment's first job start (pages after
+  // it are only applied at replay when flagged metastate).
+  std::string binding;
+  bool before_first_start = true;
+};
+
+struct DataflowIr {
+  const Recording* rec = nullptr;
+  std::vector<IrNode> nodes;
+  std::vector<uint32_t> stimuli;  // indices of kRegWrite nodes, ascending
+  // Register -> node indices, ascending. Observations = reads + polls.
+  std::map<uint32_t, std::vector<uint32_t>> observations_of;
+  std::map<uint32_t, std::vector<uint32_t>> writes_of;
+  std::vector<uint32_t> job_starts;  // job-start-like write indices
+  std::vector<uint32_t> resets;      // GPU_COMMAND soft/hard reset indices
+  uint32_t n_batches = 0;
+  size_t n_def_use_edges = 0;
+
+  const LogEntry& entry(size_t i) const { return rec->log.entries()[i]; }
+  size_t size() const { return nodes.size(); }
+  bool has_job_start() const { return !job_starts.empty(); }
+  // Index of the first job-start-like write (replayer: pages after it are
+  // skipped unless metastate), or size() if none.
+  size_t first_job_start() const {
+    return job_starts.empty() ? nodes.size() : job_starts.front();
+  }
+};
+
+// Lifts a recording. Never fails: unknown ops/offsets become conservative
+// nodes (class kUnknown clobbers and is clobbered by everything).
+DataflowIr LiftRecording(const Recording& rec);
+
+struct IrStats {
+  size_t nodes = 0;
+  size_t writes = 0;
+  size_t reads = 0;
+  size_t polls = 0;
+  size_t irq_waits = 0;
+  size_t barriers = 0;
+  size_t memsyncs = 0;
+  size_t batches = 0;
+  size_t def_use_edges = 0;
+  size_t registers_touched = 0;
+  size_t job_starts = 0;
+  std::string ToString() const;
+};
+
+IrStats ComputeIrStats(const DataflowIr& ir);
+
+// Human-readable dump (for recording_inspector --dataflow). Prints at most
+// `max_nodes` nodes, then an ellipsis.
+std::string DumpIr(const DataflowIr& ir, size_t max_nodes);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_DATAFLOW_IR_H_

@@ -1,0 +1,43 @@
+// Commit-batch coalescing: two adjacent pacing delays are two §4.1
+// deferral boundaries with no work between them — the IR proves them
+// independent of any device response, so they fold into one barrier with
+// the summed duration. (Batch merges that fall out of other passes'
+// eliminations are measured and recorded by the pipeline driver, which
+// compares the commit-batch structure before and after the pipeline.)
+#include "src/analysis/opt/passes.h"
+
+namespace grt {
+
+PassEdit CoalescePass(const DataflowIr& ir, const std::vector<uint32_t>& orig) {
+  PassEdit edit;
+  const auto& entries = ir.rec->log.entries();
+
+  size_t i = 0;
+  while (i < entries.size()) {
+    if (entries[i].op != LogOp::kDelay) {
+      ++i;
+      continue;
+    }
+    size_t run_end = i + 1;
+    Duration total = entries[i].delay;
+    while (run_end < entries.size() && entries[run_end].op == LogOp::kDelay) {
+      total += entries[run_end].delay;
+      ++run_end;
+    }
+    if (run_end > i + 1) {
+      LogEntry merged = entries[i];
+      merged.delay = total;
+      edit.rewrites.push_back({static_cast<uint32_t>(i), merged});
+      for (size_t j = i + 1; j < run_end; ++j) {
+        edit.deletions.push_back(static_cast<uint32_t>(j));
+        edit.trace.push_back(OptRecord{
+            "commit-coalesce", OptAction::kMerge, OptReason::kDelayMerged,
+            orig[j], orig[i], static_cast<uint64_t>(entries[j].delay)});
+      }
+    }
+    i = run_end;
+  }
+  return edit;
+}
+
+}  // namespace grt

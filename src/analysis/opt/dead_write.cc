@@ -1,0 +1,322 @@
+// Dead register-write elimination. Three rules, in increasing order of
+// sophistication; every deletion names its witness in the trace.
+#include <map>
+#include <optional>
+
+#include "src/analysis/opt/passes.h"
+
+namespace grt {
+namespace {
+
+constexpr char kPass[] = "dead-write-elim";
+constexpr uint32_t kPwrBits =
+    kGpuIrqPowerChangedSingle | kGpuIrqPowerChangedAll;
+
+// The matching PWRON_LO register for a PWROFF_LO register, if any.
+std::optional<uint32_t> PwrOnForPwrOff(uint32_t reg) {
+  switch (reg) {
+    case kRegShaderPwrOffLo: return kRegShaderPwrOnLo;
+    case kRegTilerPwrOffLo: return kRegTilerPwrOnLo;
+    case kRegL2PwrOffLo: return kRegL2PwrOnLo;
+    default: return std::nullopt;
+  }
+}
+
+struct PairCandidate {
+  size_t off = 0;
+  size_t on = 0;
+};
+
+}  // namespace
+
+PassEdit DeadWritePass(const DataflowIr& ir,
+                       const std::vector<uint32_t>& orig) {
+  PassEdit edit;
+  const auto& entries = ir.rec->log.entries();
+  const size_t n = entries.size();
+  std::vector<char> deleted(n, 0);
+
+  auto del = [&](size_t i, OptReason reason, uint32_t aux_orig,
+                 uint64_t detail) {
+    deleted[i] = 1;
+    edit.deletions.push_back(static_cast<uint32_t>(i));
+    edit.trace.push_back(OptRecord{kPass, OptAction::kDelete, reason, orig[i],
+                                   aux_orig, detail});
+  };
+
+  // Clobber scan that ignores entries already proven no-ops this sweep.
+  auto has_clobber = [&](uint32_t reg, size_t after, size_t before) {
+    for (size_t k = after + 1; k < before; ++k) {
+      if (deleted[k]) {
+        continue;
+      }
+      const LogEntry& s = entries[k];
+      if (s.op == LogOp::kRegWrite &&
+          MayClobberRegister(s.reg, s.value, reg)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Evidence cache: a validated PRESENT_* == 0 read (constants are never
+  // clobbered, so any position in the log serves).
+  auto present_zero_evidence =
+      [&](uint32_t present_reg) -> std::optional<size_t> {
+    auto it = ir.observations_of.find(present_reg);
+    if (it == ir.observations_of.end()) {
+      return std::nullopt;
+    }
+    for (uint32_t idx : it->second) {
+      const LogEntry& e = entries[idx];
+      if (e.op == LogOp::kRegRead && !e.speculative && e.value == 0) {
+        return idx;
+      }
+    }
+    return std::nullopt;
+  };
+
+  // --- Rules 1 & 2: pure-latch writes (same-value rewrite / dead store),
+  // and power-Hi no-ops.
+  std::map<uint32_t, size_t> last_kept;  // reg -> surviving write index
+  for (size_t i = 0; i < n; ++i) {
+    const LogEntry& e = entries[i];
+    if (e.op != LogOp::kRegWrite) {
+      continue;
+    }
+    if (ClassifyRegister(e.reg) == RegClass::kCpuConfig) {
+      auto it = last_kept.find(e.reg);
+      if (it != last_kept.end() && entries[it->second].value == e.value &&
+          !has_clobber(e.reg, it->second, i)) {
+        del(i, OptReason::kDeadConfigRewrite, orig[it->second], e.value);
+        continue;
+      }
+      if (!ConfigWriteIsLive(ir, i)) {
+        del(i, OptReason::kDeadConfigRewrite, 0, e.value);
+        continue;
+      }
+      last_kept[e.reg] = i;
+      continue;
+    }
+    if (IsPowerControlHiRegister(e.reg)) {
+      uint32_t present_reg = 0;
+      if (PowerPresentRegisterFor(e.reg, &present_reg)) {
+        if (auto ev = present_zero_evidence(present_reg)) {
+          del(i, OptReason::kNoOpPowerWord, orig[*ev], e.value);
+        }
+      }
+    }
+  }
+
+  // --- Rule 3: cancelling PWROFF;PWRON pairs.
+  std::vector<PairCandidate> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    if (deleted[i]) {
+      continue;
+    }
+    const LogEntry& e = entries[i];
+    if (e.op != LogOp::kRegWrite) {
+      continue;
+    }
+    auto on_reg = PwrOnForPwrOff(e.reg);
+    if (!on_reg.has_value()) {
+      continue;
+    }
+    uint32_t ready_reg = 0;
+    uint32_t trans_reg = 0;
+    (void)PowerStatusRegistersFor(e.reg, &ready_reg, &trans_reg);
+
+    // The cores being cycled must be provably on going in: then OFF;ON
+    // nets out to no state change (the transient PowerChanged IRQ bits
+    // are handled by the rewrite sweep below).
+    uint32_t ready_bits = 0;
+    auto evidence = DominatingPowerEvidence(ir, e.reg, i, &ready_bits);
+    if (!evidence.has_value() || (e.value & ready_bits) != e.value) {
+      continue;
+    }
+
+    // Find the matching ON with nothing in between that could observe or
+    // perturb the power surface. Latch writes, pacing delays, page syncs,
+    // and observations of unrelated registers are harmless; anything else
+    // disqualifies the pair.
+    size_t on_index = 0;
+    bool found = false;
+    for (size_t j = i + 1; j < n && j < i + 24; ++j) {
+      if (deleted[j]) {
+        continue;  // proven no-ops (the pair's _HI words)
+      }
+      const LogEntry& s = entries[j];
+      bool stop = false;
+      switch (s.op) {
+        case LogOp::kRegWrite:
+          if (s.reg == *on_reg && s.value == e.value) {
+            on_index = j;
+            found = true;
+            stop = true;
+          } else if (ClassifyRegister(s.reg) != RegClass::kCpuConfig) {
+            stop = true;  // another trigger: give up
+          }
+          break;
+        case LogOp::kRegRead:
+        case LogOp::kPollWait:
+          if (s.reg == ready_reg || s.reg == trans_reg ||
+              s.reg == (ready_reg | 0x4) || s.reg == (trans_reg | 0x4) ||
+              s.reg == kRegGpuIrqRawstat || s.reg == kRegGpuIrqStatus) {
+            stop = true;  // observes the surface the pair perturbs
+          }
+          break;
+        case LogOp::kIrqWait:
+          stop = true;
+          break;
+        default:
+          break;  // kDelay / kMemPage: harmless
+      }
+      if (stop) {
+        break;
+      }
+    }
+    if (found) {
+      pairs.push_back({i, on_index});
+    }
+  }
+
+  // Feasibility of the induced IRQ rewrite. The PowerChanged bits must be
+  // invisible to interrupt lines and un-polled, and the initial RAWSTAT
+  // state must be known (segment 0 replays begin with a scrub reset).
+  bool feasible = !pairs.empty() && ir.rec->header.segment_index == 0;
+  if (feasible) {
+    if (auto it = ir.writes_of.find(kRegGpuIrqMask);
+        it != ir.writes_of.end()) {
+      for (uint32_t w : it->second) {
+        if ((entries[w].value & kPwrBits) != 0) {
+          feasible = false;
+        }
+      }
+    }
+    if (ir.observations_of.count(kRegGpuIrqStatus) > 0) {
+      feasible = false;
+    }
+    if (auto it = ir.observations_of.find(kRegGpuIrqRawstat);
+        it != ir.observations_of.end()) {
+      for (uint32_t o : it->second) {
+        const LogEntry& e = entries[o];
+        if (e.op == LogOp::kPollWait && (e.mask & kPwrBits) != 0) {
+          feasible = false;
+        }
+        if (e.op == LogOp::kRegRead && e.speculative) {
+          feasible = false;
+        }
+      }
+    }
+  }
+
+  if (!feasible) {
+    return edit;
+  }
+
+  // Per-bit reaching definitions over the PowerChanged bits, with the
+  // pair members removed: rewrite read expectations whose only defs were
+  // removed, and delete IRQ clears left clearing provably-zero bits.
+  std::vector<char> pair_member(n, 0);
+  for (const PairCandidate& p : pairs) {
+    pair_member[p.off] = 1;
+    pair_member[p.on] = 1;
+  }
+  struct BitState {
+    int surviving = 0;
+    int removed = 0;
+  };
+  std::map<uint32_t, BitState> bits;
+  bits[kGpuIrqPowerChangedSingle] = {};
+  bits[kGpuIrqPowerChangedAll] = {};
+
+  bool abort = false;
+  std::vector<std::pair<size_t, uint32_t>> read_rewrites;
+  std::vector<size_t> dead_clears;
+  for (size_t j = 0; j < n && !abort; ++j) {
+    if (deleted[j]) {
+      continue;  // proven no-ops contribute no defs
+    }
+    const LogEntry& s = entries[j];
+    if (s.op == LogOp::kRegWrite) {
+      const uint32_t raised = GpuIrqBitsRaisedBy(s.reg, s.value);
+      if (pair_member[j]) {
+        for (auto& [bit, st] : bits) {
+          if ((raised & bit) != 0) {
+            ++st.removed;
+          }
+        }
+        continue;
+      }
+      if (s.reg == kRegGpuIrqClear) {
+        const uint32_t v = s.value;
+        bool deletable = v != 0 && (v & ~kPwrBits) == 0;
+        for (auto& [bit, st] : bits) {
+          if ((v & bit) != 0 && st.surviving > 0) {
+            deletable = false;
+          }
+        }
+        if (deletable) {
+          dead_clears.push_back(j);
+        }
+        for (auto& [bit, st] : bits) {
+          if ((v & bit) != 0) {
+            st = {};
+          }
+        }
+        continue;
+      }
+      for (auto& [bit, st] : bits) {
+        if ((raised & bit) != 0) {
+          ++st.surviving;
+        }
+      }
+      continue;
+    }
+    if (s.op == LogOp::kRegRead && s.reg == kRegGpuIrqRawstat) {
+      uint32_t nv = s.value;
+      for (auto& [bit, st] : bits) {
+        if ((s.value & bit) == 0) {
+          continue;
+        }
+        if (st.surviving > 0) {
+          continue;  // a surviving def explains the bit
+        }
+        if (st.removed > 0) {
+          nv &= ~bit;  // only removed defs explained it: now provably 0
+        } else {
+          abort = true;  // recorded bit with no def at all: model mismatch
+        }
+      }
+      if (nv != s.value) {
+        read_rewrites.emplace_back(j, nv);
+      }
+    }
+  }
+  if (abort) {
+    return edit;
+  }
+
+  for (const PairCandidate& p : pairs) {
+    del(p.off, OptReason::kCancellingPowerPair, orig[p.on],
+        entries[p.off].value);
+    del(p.on, OptReason::kCancellingPowerPair, orig[p.off],
+        entries[p.on].value);
+  }
+  for (size_t j : dead_clears) {
+    del(j, OptReason::kDeadIrqClear, 0, entries[j].value);
+  }
+  for (const auto& [j, nv] : read_rewrites) {
+    LogEntry ne = entries[j];
+    const uint64_t detail =
+        (static_cast<uint64_t>(ne.value) << 32) | nv;
+    ne.value = nv;
+    edit.rewrites.push_back({static_cast<uint32_t>(j), ne});
+    edit.trace.push_back(OptRecord{kPass, OptAction::kRewrite,
+                                   OptReason::kIrqBitsRewritten, orig[j], 0,
+                                   detail});
+  }
+  return edit;
+}
+
+}  // namespace grt

@@ -1,0 +1,39 @@
+// Memsync delta pruning. The replayer applies the initial memory image,
+// then — once the first job-start write has executed — reapplies only
+// metastate pages at busy/idle transitions (§5): program-data pages after
+// that point are never read again by the replay path. The lifter tags
+// every page node with its position relative to the first job start, so
+// the pruning argument is a per-node lookup. Metastate pages and pages
+// preceding the first start are never touched; pages overlapping writable
+// tensor bindings cannot occur after the first start (the recorder
+// snapshots them only in the initial image), but the interference analysis
+// double-checks anyway.
+#include "src/analysis/opt/passes.h"
+
+namespace grt {
+
+PassEdit MemsyncPrunePass(const DataflowIr& ir,
+                          const std::vector<uint32_t>& orig) {
+  PassEdit edit;
+  for (size_t i = 0; i < ir.size(); ++i) {
+    const IrNode& node = ir.nodes[i];
+    if (node.kind != IrKind::kMemSync || node.before_first_start) {
+      continue;
+    }
+    const LogEntry& e = ir.entry(i);
+    if (e.metastate) {
+      continue;  // §5 metastate must keep flowing between transitions
+    }
+    if (PageOverlapsWritableBinding(ir, i)) {
+      continue;  // interference with injectable tensor data: leave it
+    }
+    edit.deletions.push_back(static_cast<uint32_t>(i));
+    edit.trace.push_back(OptRecord{
+        "memsync-prune", OptAction::kDelete, OptReason::kReplayDeadPage,
+        orig[i], orig[ir.first_job_start()],
+        static_cast<uint64_t>(e.data.size())});
+  }
+  return edit;
+}
+
+}  // namespace grt

@@ -1,0 +1,185 @@
+#include "src/analysis/opt/optimizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <utility>
+
+#include "src/analysis/opt/passes.h"
+
+namespace grt {
+namespace {
+
+// Applies a pass edit to the working entry list, keeping the
+// original-index mapping aligned, and folds the deletions into `stats`.
+void ApplyEdit(std::vector<LogEntry>* entries, std::vector<uint32_t>* orig,
+               PassEdit edit, OptStats* stats) {
+  for (const PassEdit::Rewrite& rw : edit.rewrites) {
+    (*entries)[rw.index] = rw.entry;
+  }
+  std::sort(edit.deletions.begin(), edit.deletions.end());
+  edit.deletions.erase(
+      std::unique(edit.deletions.begin(), edit.deletions.end()),
+      edit.deletions.end());
+  for (auto it = edit.deletions.rbegin(); it != edit.deletions.rend(); ++it) {
+    switch ((*entries)[*it].op) {
+      case LogOp::kRegWrite: ++stats->writes_eliminated; break;
+      case LogOp::kRegRead: ++stats->reads_eliminated; break;
+      case LogOp::kPollWait: ++stats->polls_eliminated; break;
+      case LogOp::kMemPage: ++stats->pages_eliminated; break;
+      case LogOp::kDelay: ++stats->delays_merged; break;
+      default: break;
+    }
+    entries->erase(entries->begin() + *it);
+    orig->erase(orig->begin() + *it);
+  }
+}
+
+Recording WithLog(const Recording& rec, std::vector<LogEntry> entries) {
+  Recording out;
+  out.header = rec.header;
+  out.bindings = rec.bindings;
+  out.log = InteractionLog::FromEntries(std::move(entries));
+  return out;
+}
+
+}  // namespace
+
+Result<Recording> OptimizeRecording(const Recording& rec,
+                                    const OptimizeOptions& options,
+                                    OptStats* stats) {
+  if (rec.header.provenance.optimized) {
+    return InvalidArgument(
+        "recording already carries optimization provenance; re-optimizing "
+        "would corrupt the original-index trace");
+  }
+  OptStats local;
+  OptStats& st = stats != nullptr ? *stats : local;
+  st = OptStats{};
+  st.original_entries = rec.log.size();
+
+  std::vector<LogEntry> entries = rec.log.entries();
+  std::vector<uint32_t> orig(entries.size());
+  std::iota(orig.begin(), orig.end(), 0u);
+
+  // Commit-batch ids of the original recording, by original index — used
+  // after the pipeline to measure and record elimination-induced batch
+  // merges.
+  const DataflowIr original_ir = LiftRecording(rec);
+  std::vector<uint32_t> orig_batch(original_ir.size(), 0);
+  for (size_t i = 0; i < original_ir.size(); ++i) {
+    orig_batch[i] = original_ir.nodes[i].batch;
+  }
+
+  std::vector<OptRecord> records;
+  using PassFn = PassEdit (*)(const DataflowIr&, const std::vector<uint32_t>&);
+  struct PipelineStage {
+    bool enabled;
+    PassFn fn;
+  };
+  const PipelineStage stages[] = {
+      {options.memsync_prune, &MemsyncPrunePass},
+      {options.dead_write, &DeadWritePass},
+      {options.redundant_read, &RedundantReadPass},
+      {options.coalesce, &CoalescePass},
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (const PipelineStage& stage : stages) {
+      if (!stage.enabled) {
+        continue;
+      }
+      const Recording work = WithLog(rec, entries);
+      const DataflowIr ir = LiftRecording(work);
+      PassEdit edit = stage.fn(ir, orig);
+      if (edit.empty()) {
+        continue;
+      }
+      changed = true;
+      for (const OptRecord& r : edit.trace) {
+        if (r.reason == OptReason::kReplayDeadPage) {
+          st.synced_bytes_pruned += r.detail;
+        }
+        if (r.reason == OptReason::kIrqBitsRewritten) {
+          ++st.rewrites;
+        }
+        records.push_back(r);
+      }
+      ApplyEdit(&entries, &orig, std::move(edit), &st);
+    }
+    ++st.iterations;
+    if (!changed) {
+      break;
+    }
+  }
+
+  // Elimination-induced commit coalescing: where two stimuli now sit in
+  // one batch but came from different batches of the original recording,
+  // the boundary between them has provably dissolved.
+  Recording out = WithLog(rec, std::move(entries));
+  const DataflowIr final_ir = LiftRecording(out);
+  for (size_t i = 1; i < final_ir.size(); ++i) {
+    const IrNode& prev = final_ir.nodes[i - 1];
+    const IrNode& cur = final_ir.nodes[i];
+    if (prev.batch == 0 || cur.batch != prev.batch) {
+      continue;
+    }
+    if (orig_batch[orig[i - 1]] != orig_batch[orig[i]]) {
+      ++st.batches_merged;
+      records.push_back(OptRecord{
+          "commit-coalesce", OptAction::kMerge, OptReason::kBatchCoalesced,
+          orig[i], orig[i - 1],
+          orig_batch[orig[i]] - orig_batch[orig[i - 1]]});
+    }
+  }
+
+  st.final_entries = out.log.size();
+  if (records.empty()) {
+    return out;  // nothing provable: provenance stays unoptimized
+  }
+  out.header.provenance.optimized = true;
+  out.header.provenance.original_entries =
+      static_cast<uint32_t>(rec.log.size());
+  out.header.provenance.records = std::move(records);
+  return out;
+}
+
+std::string OptStats::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "entries %zu -> %zu (-%.1f%%) in %zu iteration(s)\n"
+      "  writes eliminated   %zu\n"
+      "  reads eliminated    %zu\n"
+      "  polls eliminated    %zu\n"
+      "  pages pruned        %zu (%zu bytes)\n"
+      "  delays merged       %zu\n"
+      "  expectations rewritten %zu\n"
+      "  commit batches merged  %zu",
+      original_entries, final_entries, 100.0 * reduction(), iterations,
+      writes_eliminated, reads_eliminated, polls_eliminated, pages_eliminated,
+      synced_bytes_pruned, delays_merged, rewrites, batches_merged);
+  return buf;
+}
+
+std::string ProvenanceToJson(const OptimizationProvenance& p) {
+  std::string out = "[\n";
+  char buf[256];
+  for (size_t i = 0; i < p.records.size(); ++i) {
+    const OptRecord& r = p.records[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  {\"pass\": \"%s\", \"action\": \"%s\", \"reason\": "
+                  "\"%s\", \"index\": %u, \"witness\": %u, \"detail\": "
+                  "%llu}%s\n",
+                  r.pass.c_str(), OptActionName(r.action),
+                  OptReasonName(r.reason), r.index, r.aux_index,
+                  static_cast<unsigned long long>(r.detail),
+                  i + 1 < p.records.size() ? "," : "");
+    out += buf;
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace grt

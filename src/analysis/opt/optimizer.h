@@ -1,0 +1,68 @@
+// Offline recording optimizer: lifts a verified recording to the dataflow
+// IR, runs the pass pipeline to a fixpoint, and lowers the result back to
+// a format-v3 recording whose header carries the full justification trace
+// (OptimizationProvenance). The output must re-pass every verifier pass —
+// including `optimizer-provenance` — and the equivalence harness
+// (src/harness/equivalence.h) replays it against the unoptimized original.
+#ifndef GRT_SRC_ANALYSIS_OPT_OPTIMIZER_H_
+#define GRT_SRC_ANALYSIS_OPT_OPTIMIZER_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/record/recording.h"
+
+namespace grt {
+
+struct OptimizeOptions {
+  bool dead_write = true;
+  bool redundant_read = true;
+  bool coalesce = true;
+  bool memsync_prune = true;
+  // Pipeline iterations: passes enable each other (removing a power pair
+  // exposes dominated power polls; removing reads makes delays adjacent),
+  // so the driver re-lifts and re-runs until quiescent or this cap.
+  int max_iterations = 8;
+};
+
+struct OptStats {
+  size_t original_entries = 0;
+  size_t final_entries = 0;
+  size_t writes_eliminated = 0;
+  size_t reads_eliminated = 0;
+  size_t polls_eliminated = 0;
+  size_t pages_eliminated = 0;
+  size_t delays_merged = 0;
+  size_t rewrites = 0;
+  size_t batches_merged = 0;
+  size_t synced_bytes_pruned = 0;
+  size_t iterations = 0;
+
+  size_t ops_eliminated() const {
+    return original_entries - final_entries;
+  }
+  double reduction() const {
+    return original_entries == 0
+               ? 0.0
+               : static_cast<double>(ops_eliminated()) /
+                     static_cast<double>(original_entries);
+  }
+  std::string ToString() const;
+};
+
+// Optimizes `rec`. The input must not already carry optimization
+// provenance (re-optimizing would corrupt the original-index trace).
+// When no pass finds anything, the result is the input unchanged with
+// provenance still marked unoptimized. Never touches the input's
+// signature: callers re-sign the result body themselves.
+Result<Recording> OptimizeRecording(const Recording& rec,
+                                    const OptimizeOptions& options,
+                                    OptStats* stats);
+
+// Machine-readable justification trace (one JSON object per line inside a
+// top-level array), for `grt_opt --json-trace` and external auditors.
+std::string ProvenanceToJson(const OptimizationProvenance& p);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_OPT_OPTIMIZER_H_

@@ -1,0 +1,74 @@
+// Optimizer passes over the dataflow IR.
+//
+// Each pass is a pure function: it inspects a lifted recording and returns
+// the edits it can justify, each paired with a machine-readable OptRecord
+// naming the rule, the witness, and the affected ORIGINAL log index. The
+// pipeline driver (optimizer.cc) applies edits, re-lifts, and iterates to
+// a fixpoint. A pass that cannot prove a transformation safe under the
+// conservative clobber model (src/hw/regs.h) must leave the entry alone —
+// the worst outcome of conservatism is a longer replay, never a wrong one.
+#ifndef GRT_SRC_ANALYSIS_OPT_PASSES_H_
+#define GRT_SRC_ANALYSIS_OPT_PASSES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analysis/dataflow/analyses.h"
+#include "src/analysis/dataflow/ir.h"
+
+namespace grt {
+
+// Edits a pass wants applied, expressed in CURRENT log indices; the trace
+// records inside carry ORIGINAL indices (via the orig mapping) so the
+// justification stays auditable against the unoptimized recording.
+struct PassEdit {
+  std::vector<uint32_t> deletions;
+  struct Rewrite {
+    uint32_t index = 0;
+    LogEntry entry;
+  };
+  std::vector<Rewrite> rewrites;
+  std::vector<OptRecord> trace;
+
+  bool empty() const {
+    return deletions.empty() && rewrites.empty() && trace.empty();
+  }
+};
+
+// Pass 1 — dead register-write elimination.
+//  * pure-latch (kCpuConfig) writes whose unclobbered reaching definition
+//    already latched the same value, or that are overwritten before any
+//    consumer (liveness);
+//  * *_PWRON/PWROFF_HI words proven no-ops by the recording's own
+//    validated *_PRESENT_HI == 0 discovery read;
+//  * cancelling PWROFF;PWRON pairs over provably-on cores with no observer
+//    of the power surface in between — including the induced rewrite of
+//    downstream GPU_IRQ_RAWSTAT expectations (per-bit reaching
+//    definitions over the PowerChanged bits) and the deletion of IRQ
+//    clears left clearing provably-zero bits.
+PassEdit DeadWritePass(const DataflowIr& ir, const std::vector<uint32_t>& orig);
+
+// Pass 2 — redundant-read caching.
+//  * reads of nondeterministic, read-idempotent registers (the replayer
+//    never verifies them, and dropping them cannot perturb the device);
+//  * reads/polls dominated by an identical observation of the same
+//    register with no clobbering stimulus in between.
+PassEdit RedundantReadPass(const DataflowIr& ir,
+                           const std::vector<uint32_t>& orig);
+
+// Pass 3 — commit-batch coalescing: folds adjacent pacing delays (two
+// back-to-back §4.1 deferral boundaries prove the same barrier) into one
+// with the summed duration. Batch merges that fall out of other passes'
+// eliminations are recorded by the pipeline driver.
+PassEdit CoalescePass(const DataflowIr& ir, const std::vector<uint32_t>& orig);
+
+// Pass 4 — memsync delta pruning: non-metastate page images after the
+// segment's first job-start write. The replayer provably skips these (it
+// reapplies only metastate pages once the first image is done), so their
+// payload is dead weight in the recording.
+PassEdit MemsyncPrunePass(const DataflowIr& ir,
+                          const std::vector<uint32_t>& orig);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_ANALYSIS_OPT_PASSES_H_

@@ -1,0 +1,65 @@
+// Redundant-read caching: observations whose outcome is already pinned by
+// an earlier, unclobbered observation (or that the replayer never checks
+// at all) are dropped. Reads have no device side effect — the poll-
+// idempotence discipline the verifier enforces is exactly what makes this
+// sound — so removing one cannot perturb replay state; the dominating
+// witness still performs the validation.
+#include "src/analysis/opt/passes.h"
+
+namespace grt {
+namespace {
+
+constexpr char kPass[] = "redundant-read-elim";
+
+}  // namespace
+
+PassEdit RedundantReadPass(const DataflowIr& ir,
+                           const std::vector<uint32_t>& orig) {
+  PassEdit edit;
+  const auto& entries = ir.rec->log.entries();
+
+  auto del = [&](size_t i, OptReason reason, uint32_t aux_orig,
+                 uint64_t detail) {
+    edit.deletions.push_back(static_cast<uint32_t>(i));
+    edit.trace.push_back(OptRecord{kPass, OptAction::kDelete, reason, orig[i],
+                                   aux_orig, detail});
+  };
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LogEntry& e = entries[i];
+    if (e.op == LogOp::kRegRead) {
+      if (e.speculative || !IsReadIdempotentRegister(e.reg)) {
+        continue;
+      }
+      // The replayer never verifies nondeterministic registers, so the
+      // read is pure overhead at replay time.
+      if (IsNondeterministicRegister(e.reg)) {
+        del(i, OptReason::kNondetRead, 0, e.value);
+        continue;
+      }
+      auto j = PrevObservationOf(ir, e.reg, i);
+      if (j.has_value() && ObservationEstablishes(ir, *j, ~0u, e.value) &&
+          !HasClobberBetween(ir, e.reg, *j, i)) {
+        del(i, OptReason::kDominatedObservation, orig[*j], e.value);
+      }
+      continue;
+    }
+    if (e.op == LogOp::kPollWait) {
+      if (!IsReadIdempotentRegister(e.reg)) {
+        continue;
+      }
+      // A dominated poll is satisfied on its first iteration at replay:
+      // the witness proved the masked bits and nothing since may have
+      // changed them.
+      auto j = PrevObservationOf(ir, e.reg, i);
+      if (j.has_value() &&
+          ObservationEstablishes(ir, *j, e.mask, e.expected) &&
+          !HasClobberBetween(ir, e.reg, *j, i)) {
+        del(i, OptReason::kDominatedObservation, orig[*j], e.expected);
+      }
+    }
+  }
+  return edit;
+}
+
+}  // namespace grt

@@ -1,4 +1,4 @@
-// The six static-analysis passes over a recording (the admission gate).
+// The seven static-analysis passes over a recording (the admission gate).
 //
 // Pass               Checks                                        Paper
 // -----------------  --------------------------------------------  ------
@@ -17,6 +17,9 @@
 //                    command buffer the chain head points into
 // sku-compat         register image and core tiling match the      §2.4
 //                    claimed SKU from the registry
+// optimizer-provenance headers claiming optimization carry a       §4
+//                    well-formed justification trace, and traces
+//                    only appear on headers that claim it
 #ifndef GRT_SRC_ANALYSIS_PASSES_H_
 #define GRT_SRC_ANALYSIS_PASSES_H_
 
@@ -57,6 +60,12 @@ class MetastateCoveragePass : public AnalysisPass {
 class SkuCompatPass : public AnalysisPass {
  public:
   const char* name() const override { return "sku-compat"; }
+  void Run(const AnalysisInput& in, AnalysisReport* report) const override;
+};
+
+class OptimizerProvenancePass : public AnalysisPass {
+ public:
+  const char* name() const override { return "optimizer-provenance"; }
   void Run(const AnalysisInput& in, AnalysisReport* report) const override;
 };
 

@@ -14,6 +14,7 @@ RecordingVerifier::RecordingVerifier() {
   passes_.push_back(std::make_unique<PollIdempotencePass>());
   passes_.push_back(std::make_unique<MetastateCoveragePass>());
   passes_.push_back(std::make_unique<SkuCompatPass>());
+  passes_.push_back(std::make_unique<OptimizerProvenancePass>());
 }
 
 void RecordingVerifier::AddPass(std::unique_ptr<AnalysisPass> pass) {

@@ -1,0 +1,82 @@
+#include "src/harness/equivalence.h"
+
+#include <cstring>
+#include <vector>
+
+#include "src/analysis/verifier.h"
+#include "src/harness/rig.h"
+#include "src/ml/reference.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+namespace {
+
+struct ReplayRun {
+  std::vector<float> output;
+  Duration delay = 0;
+};
+
+// One replay on a fresh, identically-seeded device. The Replayer's own
+// Load path re-runs the static verifier, so an optimized recording that
+// fails any pass — including optimizer-provenance — dies here too.
+Result<ReplayRun> ReplayOnce(const NetworkDef& net, SkuId sku,
+                             const Recording& rec, uint64_t nondet_seed,
+                             uint64_t input_seed) {
+  ClientDevice device(sku, nondet_seed);
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline());
+  GRT_RETURN_IF_ERROR(replayer.Load(rec));
+  GRT_RETURN_IF_ERROR(
+      replayer.StageTensor(net.input_tensor, GenerateInput(net, input_seed)));
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(
+          replayer.StageTensor(t.name, GenerateParams(net.name, t, 7)));
+    }
+  }
+  GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+  ReplayRun run;
+  run.delay = report.delay;
+  GRT_ASSIGN_OR_RETURN(run.output, replayer.ReadTensor(net.output_tensor));
+  return run;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+}  // namespace
+
+Result<EquivalenceReport> CheckOptimizedEquivalence(
+    const NetworkDef& net, SkuId sku, const Recording& rec,
+    uint64_t nondet_seed, uint64_t input_seed,
+    const OptimizeOptions& options) {
+  EquivalenceReport report;
+  GRT_ASSIGN_OR_RETURN(Recording optimized,
+                       OptimizeRecording(rec, options, &report.stats));
+  report.entries_before = rec.log.size();
+  report.entries_after = optimized.log.size();
+
+  // Admission gate first: an optimized recording that the verifier would
+  // reject must never reach a replayer, so it fails the harness outright.
+  GRT_RETURN_IF_ERROR(VerifyRecording(optimized));
+
+  GRT_ASSIGN_OR_RETURN(ReplayRun before, ReplayOnce(net, sku, rec,
+                                                    nondet_seed, input_seed));
+  GRT_ASSIGN_OR_RETURN(
+      ReplayRun after,
+      ReplayOnce(net, sku, optimized, nondet_seed, input_seed));
+  report.replay_delay_before = before.delay;
+  report.replay_delay_after = after.delay;
+  report.outputs_bit_identical = BitIdentical(before.output, after.output);
+
+  GRT_ASSIGN_OR_RETURN(std::vector<float> ref,
+                       RunReference(net, GenerateInput(net, input_seed), 7));
+  report.matches_reference = MaxAbsDiff(before.output, ref) <= 1e-4f &&
+                             MaxAbsDiff(after.output, ref) <= 1e-4f;
+  return report;
+}
+
+}  // namespace grt

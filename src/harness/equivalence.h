@@ -1,0 +1,55 @@
+// Equivalence harness: the end-to-end safety gate for the recording
+// optimizer (src/analysis/opt). A pass pipeline proven correct on paper
+// still has to demonstrate it on every workload: this harness optimizes a
+// recording, re-runs the full static verifier on the result, replays the
+// optimized and unoptimized recordings on identically-seeded fresh
+// devices, and demands (a) bitwise-identical outputs between the two
+// replays and (b) agreement with the CPU reference within the usual
+// tolerance. Any pass bug — an elimination that drops a load-bearing
+// stimulus, a rewrite that changes an expectation the replayer checks —
+// surfaces here as a replay error or an output mismatch.
+#ifndef GRT_SRC_HARNESS_EQUIVALENCE_H_
+#define GRT_SRC_HARNESS_EQUIVALENCE_H_
+
+#include "src/analysis/opt/optimizer.h"
+#include "src/common/clock.h"
+#include "src/common/status.h"
+#include "src/ml/network.h"
+#include "src/record/recording.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+struct EquivalenceReport {
+  OptStats stats;  // what the optimizer did
+  size_t entries_before = 0;
+  size_t entries_after = 0;
+  // End-to-end replay time on the modeled timeline (Table 2 metric); the
+  // optimizer's win shows up as delay_after < delay_before.
+  Duration replay_delay_before = 0;
+  Duration replay_delay_after = 0;
+  // Outputs of the optimized replay are bitwise equal to the unoptimized
+  // replay's — not approximately: the optimizer may only remove work the
+  // replayer provably never depends on.
+  bool outputs_bit_identical = false;
+  // Both replays match the CPU reference within 1e-4.
+  bool matches_reference = false;
+
+  bool ok() const { return outputs_bit_identical && matches_reference; }
+};
+
+// Optimizes `rec` and proves the result equivalent by replay. `rec` must
+// be an unoptimized, verifier-clean recording of `net` on `sku`. Both
+// replays run on fresh devices seeded with `nondet_seed`; inputs are
+// GenerateInput(net, input_seed) and params the canonical seed-7 set.
+// Fails (error status) if the optimizer errors, the optimized recording
+// is rejected by the static verifier, or either replay fails; output
+// mismatches are reported via the flags, not as errors.
+Result<EquivalenceReport> CheckOptimizedEquivalence(
+    const NetworkDef& net, SkuId sku, const Recording& rec,
+    uint64_t nondet_seed, uint64_t input_seed,
+    const OptimizeOptions& options = OptimizeOptions{});
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_EQUIVALENCE_H_

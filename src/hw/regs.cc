@@ -156,6 +156,396 @@ bool IsNondeterministicRegister(uint32_t offset) {
   }
 }
 
+namespace {
+
+bool InJobSlotBlock(uint32_t offset) {
+  return offset >= kJobSlotBase &&
+         offset < kJobSlotBase + kMaxJobSlots * kJobSlotStride;
+}
+
+bool InAsBlock(uint32_t offset) {
+  return offset >= kAsBase &&
+         offset < kAsBase + kMaxAddressSpaces * kAsStride;
+}
+
+bool IsGpuIrqSurface(uint32_t offset) {
+  return offset == kRegGpuIrqRawstat || offset == kRegGpuIrqStatus;
+}
+
+bool IsResetCommand(uint32_t value) {
+  return value == kGpuCommandSoftReset || value == kGpuCommandHardReset;
+}
+
+bool IsFlushCommand(uint32_t value) {
+  return value == kGpuCommandCleanCaches || value == kGpuCommandCleanInvCaches;
+}
+
+}  // namespace
+
+RegClass ClassifyRegister(uint32_t offset) {
+  switch (offset) {
+    case kRegGpuId:
+    case kRegL2Features:
+    case kRegCoreFeatures:
+    case kRegTilerFeatures:
+    case kRegMemFeatures:
+    case kRegMmuFeatures:
+    case kRegAsPresent:
+    case kRegJsPresent:
+    case kRegThreadMaxThreads:
+    case kRegThreadMaxWorkgroup:
+    case kRegThreadMaxBarrier:
+    case kRegThreadFeatures:
+    case kRegTextureFeatures0:
+    case kRegTextureFeatures1:
+    case kRegTextureFeatures2:
+    case kRegShaderPresentLo:
+    case kRegShaderPresentHi:
+    case kRegTilerPresentLo:
+    case kRegTilerPresentHi:
+    case kRegL2PresentLo:
+    case kRegL2PresentHi:
+      return RegClass::kConstant;
+    case kRegLatestFlush:
+    case kRegCycleCountLo:
+    case kRegCycleCountHi:
+    case kRegTimestampLo:
+    case kRegTimestampHi:
+      return RegClass::kNondet;
+    case kRegGpuIrqMask:
+    case kRegJobIrqMask:
+    case kRegMmuIrqMask:
+    case kRegPwrKey:
+    case kRegPwrOverride0:
+    case kRegPwrOverride1:
+    case kRegShaderConfig:
+    case kRegTilerConfig:
+    case kRegL2MmuConfig:
+      return RegClass::kCpuConfig;
+    case kRegGpuCommand:
+    case kRegGpuIrqClear:
+    case kRegJobIrqClear:
+    case kRegMmuIrqClear:
+      return RegClass::kTrigger;
+    case kRegGpuIrqRawstat:
+    case kRegGpuIrqStatus:
+    case kRegGpuStatus:
+    case kRegGpuFaultStatus:
+    case kRegGpuFaultAddressLo:
+    case kRegGpuFaultAddressHi:
+    case kRegShaderReadyLo:
+    case kRegShaderReadyHi:
+    case kRegTilerReadyLo:
+    case kRegTilerReadyHi:
+    case kRegL2ReadyLo:
+    case kRegL2ReadyHi:
+    case kRegShaderPwrTransLo:
+    case kRegShaderPwrTransHi:
+    case kRegTilerPwrTransLo:
+    case kRegTilerPwrTransHi:
+    case kRegL2PwrTransLo:
+    case kRegL2PwrTransHi:
+    case kRegJobIrqRawstat:
+    case kRegJobIrqStatus:
+    case kRegMmuIrqRawstat:
+    case kRegMmuIrqStatus:
+      return RegClass::kDeviceStatus;
+    default:
+      break;
+  }
+  if (IsPowerControlRegister(offset)) {
+    return RegClass::kTrigger;
+  }
+  if (InJobSlotBlock(offset)) {
+    switch ((offset - kJobSlotBase) % kJobSlotStride) {
+      case kJsHeadNextLo:
+      case kJsHeadNextHi:
+      case kJsAffinityNextLo:
+      case kJsAffinityNextHi:
+      case kJsConfigNext:
+        return RegClass::kCpuConfig;
+      case kJsCommand:
+      case kJsCommandNext:
+        return RegClass::kTrigger;
+      case kJsHeadLo:
+      case kJsHeadHi:
+      case kJsTailLo:
+      case kJsTailHi:
+      case kJsAffinityLo:
+      case kJsAffinityHi:
+      case kJsConfig:
+      case kJsStatus:
+        // Active copies are device-written at job start.
+        return RegClass::kDeviceStatus;
+      default:
+        return RegClass::kUnknown;
+    }
+  }
+  if (InAsBlock(offset)) {
+    switch ((offset - kAsBase) % kAsStride) {
+      case kAsTranstabLo:
+      case kAsTranstabHi:
+      case kAsMemattrLo:
+      case kAsMemattrHi:
+      case kAsLockaddrLo:
+      case kAsLockaddrHi:
+        return RegClass::kCpuConfig;
+      case kAsCommand:
+        return RegClass::kTrigger;
+      case kAsFaultStatus:
+      case kAsFaultAddressLo:
+      case kAsFaultAddressHi:
+      case kAsStatus:
+        return RegClass::kDeviceStatus;
+      default:
+        return RegClass::kUnknown;
+    }
+  }
+  if (offset >= kRegJsFeatures0 && offset < kRegJsFeatures0 + 16 * 4) {
+    return RegClass::kConstant;
+  }
+  return RegClass::kUnknown;
+}
+
+bool IsPowerControlRegister(uint32_t offset) {
+  switch (offset) {
+    case kRegShaderPwrOnLo:
+    case kRegShaderPwrOnHi:
+    case kRegTilerPwrOnLo:
+    case kRegTilerPwrOnHi:
+    case kRegL2PwrOnLo:
+    case kRegL2PwrOnHi:
+    case kRegShaderPwrOffLo:
+    case kRegShaderPwrOffHi:
+    case kRegTilerPwrOffLo:
+    case kRegTilerPwrOffHi:
+    case kRegL2PwrOffLo:
+    case kRegL2PwrOffHi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsPowerControlHiRegister(uint32_t offset) {
+  return IsPowerControlRegister(offset) && (offset & 0x4) != 0;
+}
+
+bool PowerPresentRegisterFor(uint32_t offset, uint32_t* present_reg) {
+  if (!IsPowerControlRegister(offset)) {
+    return false;
+  }
+  const uint32_t word = offset & 0x4;  // 0 = Lo, 4 = Hi
+  switch (offset & ~0x4u) {
+    case kRegShaderPwrOnLo:
+    case kRegShaderPwrOffLo:
+      *present_reg = kRegShaderPresentLo + word;
+      return true;
+    case kRegTilerPwrOnLo:
+    case kRegTilerPwrOffLo:
+      *present_reg = kRegTilerPresentLo + word;
+      return true;
+    case kRegL2PwrOnLo:
+    case kRegL2PwrOffLo:
+      *present_reg = kRegL2PresentLo + word;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool PowerStatusRegistersFor(uint32_t offset, uint32_t* ready_reg,
+                             uint32_t* pwrtrans_reg) {
+  if (!IsPowerControlRegister(offset)) {
+    return false;
+  }
+  const uint32_t word = offset & 0x4;
+  switch (offset & ~0x4u) {
+    case kRegShaderPwrOnLo:
+    case kRegShaderPwrOffLo:
+      *ready_reg = kRegShaderReadyLo + word;
+      *pwrtrans_reg = kRegShaderPwrTransLo + word;
+      return true;
+    case kRegTilerPwrOnLo:
+    case kRegTilerPwrOffLo:
+      *ready_reg = kRegTilerReadyLo + word;
+      *pwrtrans_reg = kRegTilerPwrTransLo + word;
+      return true;
+    case kRegL2PwrOnLo:
+    case kRegL2PwrOffLo:
+      *ready_reg = kRegL2ReadyLo + word;
+      *pwrtrans_reg = kRegL2PwrTransLo + word;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool WriteHasSideEffects(uint32_t reg, uint32_t value) {
+  (void)value;
+  switch (ClassifyRegister(reg)) {
+    case RegClass::kCpuConfig:
+      return false;
+    case RegClass::kTrigger:
+      return true;
+    default:
+      // Writes to constants/status/unknown offsets do not occur in healthy
+      // recordings; assume the worst.
+      return true;
+  }
+}
+
+bool MayClobberRegister(uint32_t stimulus_reg, uint32_t stimulus_value,
+                        uint32_t observed_reg) {
+  // Constants survive everything, including reset.
+  if (ClassifyRegister(observed_reg) == RegClass::kConstant) {
+    return false;
+  }
+  // Resets rewrite every non-constant register.
+  if (stimulus_reg == kRegGpuCommand && IsResetCommand(stimulus_value)) {
+    return true;
+  }
+  switch (ClassifyRegister(stimulus_reg)) {
+    case RegClass::kCpuConfig:
+      // A pure latch write changes only the latch itself — plus the
+      // derived IRQ status word when the latch is an IRQ mask
+      // (STATUS = RAWSTAT & MASK).
+      if (stimulus_reg == kRegGpuIrqMask) {
+        return observed_reg == stimulus_reg ||
+               observed_reg == kRegGpuIrqStatus;
+      }
+      if (stimulus_reg == kRegJobIrqMask) {
+        return observed_reg == stimulus_reg ||
+               observed_reg == kRegJobIrqStatus;
+      }
+      if (stimulus_reg == kRegMmuIrqMask) {
+        return observed_reg == stimulus_reg ||
+               observed_reg == kRegMmuIrqStatus;
+      }
+      return observed_reg == stimulus_reg;
+    case RegClass::kTrigger:
+      break;  // per-trigger table below
+    default:
+      // Stimulus writes to status/constant/unknown offsets: assume the
+      // worst.
+      return true;
+  }
+
+  if (stimulus_reg == kRegGpuCommand) {
+    // Non-reset commands: cache flushes complete by raising the
+    // clean-caches IRQ bit and bumping the flush counter.
+    if (IsFlushCommand(stimulus_value)) {
+      return IsGpuIrqSurface(observed_reg) || observed_reg == kRegGpuStatus ||
+             observed_reg == kRegLatestFlush;
+    }
+    if (stimulus_value == kGpuCommandNop) {
+      return false;
+    }
+    return true;  // unknown command value
+  }
+  if (stimulus_reg == kRegGpuIrqClear) {
+    return IsGpuIrqSurface(observed_reg);
+  }
+  if (stimulus_reg == kRegJobIrqClear) {
+    // Acknowledging a done slot also transitions its JSn_STATUS back to
+    // idle (gpu.cc HandleJobIrqClear).
+    if (observed_reg == kRegJobIrqRawstat ||
+        observed_reg == kRegJobIrqStatus) {
+      return true;
+    }
+    return InJobSlotBlock(observed_reg) &&
+           (observed_reg - kJobSlotBase) % kJobSlotStride == kJsStatus;
+  }
+  if (stimulus_reg == kRegMmuIrqClear) {
+    return observed_reg == kRegMmuIrqRawstat ||
+           observed_reg == kRegMmuIrqStatus;
+  }
+  if (IsPowerControlRegister(stimulus_reg)) {
+    // Power transitions move READY/PWRTRANS of their own domain+word and
+    // raise PowerChanged IRQ bits (even a same-state request raises them).
+    uint32_t ready = 0;
+    uint32_t pwrtrans = 0;
+    (void)PowerStatusRegistersFor(stimulus_reg, &ready, &pwrtrans);
+    return IsGpuIrqSurface(observed_reg) || observed_reg == ready ||
+           observed_reg == pwrtrans;
+  }
+  if (InJobSlotBlock(stimulus_reg)) {
+    // JSn_COMMAND[_NEXT]: a job start rewrites the slot's active block and
+    // may complete (or fault) asynchronously — job IRQ surface, GPU fault
+    // surface (+ fault IRQ bit), and the MMU/AS fault surface (a bad chain
+    // can raise translation faults). Other slots and the power-state
+    // surface are untouched.
+    const uint32_t slot_base =
+        stimulus_reg - (stimulus_reg - kJobSlotBase) % kJobSlotStride;
+    if (InJobSlotBlock(observed_reg)) {
+      const uint32_t obs_base =
+          observed_reg - (observed_reg - kJobSlotBase) % kJobSlotStride;
+      return obs_base == slot_base;
+    }
+    switch (observed_reg) {
+      case kRegJobIrqRawstat:
+      case kRegJobIrqStatus:
+      case kRegGpuIrqRawstat:
+      case kRegGpuIrqStatus:
+      case kRegGpuStatus:
+      case kRegGpuFaultStatus:
+      case kRegGpuFaultAddressLo:
+      case kRegGpuFaultAddressHi:
+      case kRegMmuIrqRawstat:
+      case kRegMmuIrqStatus:
+        return true;
+      default:
+        return InAsBlock(observed_reg);
+    }
+  }
+  if (InAsBlock(stimulus_reg)) {
+    // AS_COMMAND: completes by clearing the AS active bit; faults surface
+    // on the MMU IRQ block and the AS fault registers.
+    const uint32_t as_base =
+        stimulus_reg - (stimulus_reg - kAsBase) % kAsStride;
+    if (InAsBlock(observed_reg)) {
+      const uint32_t obs_base =
+          observed_reg - (observed_reg - kAsBase) % kAsStride;
+      return obs_base == as_base;
+    }
+    return observed_reg == kRegMmuIrqRawstat ||
+           observed_reg == kRegMmuIrqStatus;
+  }
+  return true;  // unrecognized trigger: assume the worst
+}
+
+uint32_t GpuIrqBitsRaisedBy(uint32_t reg, uint32_t value) {
+  if (reg == kRegGpuCommand) {
+    if (IsResetCommand(value)) {
+      // Reset completion, plus bring-up re-powers cores afterwards.
+      return kGpuIrqResetCompleted | kGpuIrqPowerChangedSingle |
+             kGpuIrqPowerChangedAll;
+    }
+    if (IsFlushCommand(value)) {
+      return kGpuIrqCleanCachesCompleted;
+    }
+    if (value == kGpuCommandNop) {
+      return 0;
+    }
+    return ~0u;  // unknown command: may raise anything
+  }
+  if (IsPowerControlRegister(reg)) {
+    // gpu.cc raises PowerChangedAll even for a same-state request. The Hi
+    // words are included conservatively — extra defs only inhibit
+    // optimizations, never enable unsound ones.
+    return kGpuIrqPowerChangedSingle | kGpuIrqPowerChangedAll;
+  }
+  if (InJobSlotBlock(reg) || InAsBlock(reg)) {
+    const uint32_t rel_js = (reg - kJobSlotBase) % kJobSlotStride;
+    const uint32_t rel_as = (reg - kAsBase) % kAsStride;
+    const bool command = (InJobSlotBlock(reg) && (rel_js == kJsCommand ||
+                                                  rel_js == kJsCommandNext)) ||
+                         (InAsBlock(reg) && rel_as == kAsCommand);
+    return command ? kGpuIrqFault : 0;
+  }
+  return 0;
+}
+
 bool IsReadIdempotentRegister(uint32_t offset) {
   switch (offset) {
     case kRegGpuCommand:

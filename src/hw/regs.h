@@ -209,6 +209,81 @@ bool IsNondeterministicRegister(uint32_t offset);
 // not; status/ready/rawstat registers are.
 bool IsReadIdempotentRegister(uint32_t offset);
 
+// ------------------------------------------------------- Dataflow semantics
+// Conservative register semantics for offline analysis of recordings
+// (src/analysis/dataflow). Every classification is derived from the device
+// model (src/hw/gpu.cc) and errs toward "the device may change this":
+// a wrong answer here may only cost an optimization, never correctness.
+
+enum class RegClass : uint8_t {
+  // Identity / feature / present registers: fixed for the lifetime of the
+  // part; not even reset changes them.
+  kConstant,
+  // Plain CPU-owned latches (IRQ masks, *_NEXT job descriptors, AS
+  // TRANSTAB/MEMATTR/LOCKADDR, SHADER/TILER/L2_MMU_CONFIG, PWR_KEY,
+  // PWR_OVERRIDE*): the device only ever reads them; writing latches the
+  // value with no other effect, and only a reset clobbers them.
+  kCpuConfig,
+  // Write-triggers: GPU/JS/AS commands, IRQ clears, PWRON/PWROFF. Writing
+  // starts an operation or acknowledges an event.
+  kTrigger,
+  // Device-volatile status the GPU updates asynchronously (RAWSTAT/STATUS,
+  // READY/PWRTRANS, JSn_STATUS/HEAD/TAIL, AS status/fault registers).
+  kDeviceStatus,
+  // Values nondeterministic across runs (LATEST_FLUSH, counters); the
+  // replayer never verifies reads of these.
+  kNondet,
+  // Unmapped offset: assume the worst (volatile, side-effecting).
+  kUnknown,
+};
+
+RegClass ClassifyRegister(uint32_t offset);
+
+// True for the PWRON/PWROFF trigger pairs (all domains, Lo and Hi words).
+bool IsPowerControlRegister(uint32_t offset);
+// True for the _HI word of a PWRON/PWROFF pair. On every supported SKU the
+// discovery reads of *_PRESENT_HI return 0 (no cores above bit 31), which
+// makes these writes architectural no-ops — but an optimizer must only rely
+// on this after checking the recording's own validated PRESENT_HI read.
+bool IsPowerControlHiRegister(uint32_t offset);
+// For a power-control register, the matching *_PRESENT_* register of the
+// same domain and word (SHADER_PWRON_HI -> SHADER_PRESENT_HI). Returns
+// false if `offset` is not a power-control register.
+bool PowerPresentRegisterFor(uint32_t offset, uint32_t* present_reg);
+// For a power-control register, the matching *_READY_* / *_PWRTRANS_*
+// registers of the same domain and word. Returns false if `offset` is not
+// a power-control register.
+bool PowerStatusRegistersFor(uint32_t offset, uint32_t* ready_reg,
+                             uint32_t* pwrtrans_reg);
+
+// True if a CPU write of `value` to `reg` may change device state beyond
+// latching `value` into the register itself. Triggers qualify; pure
+// latches (kCpuConfig) do not — so a kCpuConfig write whose reaching
+// definition already latched the same value is a provable no-op.
+bool WriteHasSideEffects(uint32_t reg, uint32_t value);
+
+// Clobber model: may a CPU write of `value` to `stimulus_reg` (including
+// the asynchronous completion of the operation it starts) change the value
+// subsequently read from `observed_reg`? The model is conservative per
+// gpu.cc semantics; notable entries:
+//   * resets (GPU_COMMAND soft/hard) clobber everything but constants;
+//   * JOB_IRQ_CLEAR clobbers JSn_STATUS too (acknowledging a done slot
+//     transitions its status back to idle);
+//   * JSn_COMMAND[_NEXT] job starts clobber the job block, the MMU/AS
+//     fault surface, and the GPU fault/IRQ surface — but not the
+//     power-state surface (READY/PWRTRANS);
+//   * power writes clobber READY/PWRTRANS of their own domain and word
+//     plus the GPU IRQ surface (PowerChanged bits).
+bool MayClobberRegister(uint32_t stimulus_reg, uint32_t stimulus_value,
+                        uint32_t observed_reg);
+
+// GPU_IRQ_RAWSTAT bits that a CPU write of `value` to `reg` may raise
+// (directly or through the completion event of the operation it starts).
+// Used for per-bit reaching definitions over the IRQ surface. Faults
+// (kGpuIrqFault) are attributed to job/AS activity; resets conservatively
+// include the power-changed bits because bring-up re-powers cores.
+uint32_t GpuIrqBitsRaisedBy(uint32_t reg, uint32_t value);
+
 }  // namespace grt
 
 #endif  // GRT_SRC_HW_REGS_H_

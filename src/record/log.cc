@@ -136,6 +136,12 @@ size_t InteractionLog::CountOf(LogOp op) const {
   return n;
 }
 
+InteractionLog InteractionLog::FromEntries(std::vector<LogEntry> entries) {
+  InteractionLog log;
+  log.entries_ = std::move(entries);
+  return log;
+}
+
 Bytes InteractionLog::Serialize() const {
   ByteWriter w;
   w.PutU32(static_cast<uint32_t>(entries_.size()));

@@ -1,0 +1,336 @@
+// Dataflow IR tests: lifter (node kinds, commit batches, def-use edges,
+// job-start/reset landmarks, memsync tagging) and the analyses the
+// optimizer's safety arguments are built from. Every analysis is tested in
+// both directions: it must answer "yes" on the constructions the passes
+// exploit and "no" the moment a clobber, a consumer, or stale evidence
+// enters the window.
+#include <gtest/gtest.h>
+
+#include "src/analysis/dataflow/analyses.h"
+#include "src/analysis/dataflow/ir.h"
+#include "src/hw/mmu.h"
+#include "src/hw/regs.h"
+#include "src/record/recording.h"
+
+namespace grt {
+namespace {
+
+// ------------------------------------------------------------ log builders
+
+LogEntry Write(uint32_t reg, uint32_t value) {
+  LogEntry e;
+  e.op = LogOp::kRegWrite;
+  e.reg = reg;
+  e.value = value;
+  return e;
+}
+
+LogEntry Read(uint32_t reg, uint32_t value, bool speculative = false) {
+  LogEntry e;
+  e.op = LogOp::kRegRead;
+  e.reg = reg;
+  e.value = value;
+  e.speculative = speculative;
+  return e;
+}
+
+LogEntry Poll(uint32_t reg, uint32_t mask, uint32_t expected,
+              uint32_t final_value) {
+  LogEntry e;
+  e.op = LogOp::kPollWait;
+  e.reg = reg;
+  e.mask = mask;
+  e.expected = expected;
+  e.value = final_value;
+  return e;
+}
+
+LogEntry Delay(Duration d) {
+  LogEntry e;
+  e.op = LogOp::kDelay;
+  e.delay = d;
+  return e;
+}
+
+LogEntry IrqWait(uint8_t lines) {
+  LogEntry e;
+  e.op = LogOp::kIrqWait;
+  e.irq_lines = lines;
+  return e;
+}
+
+LogEntry Page(uint64_t pa, bool metastate, Bytes data = Bytes(kPageSize, 0)) {
+  LogEntry e;
+  e.op = LogOp::kMemPage;
+  e.pa = pa;
+  e.metastate = metastate;
+  e.data = std::move(data);
+  return e;
+}
+
+Recording MakeRecording(std::vector<LogEntry> entries) {
+  Recording rec;
+  rec.header.workload = "test";
+  for (auto& e : entries) {
+    rec.log.Add(std::move(e));
+  }
+  return rec;
+}
+
+constexpr uint32_t kJs0CommandNext = kJobSlotBase + kJsCommandNext;
+
+// ------------------------------------------------------------------ lifter
+
+TEST(Lifter, KindsAndLandmarks) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuCommand, kGpuCommandSoftReset),  // 0: reset
+      Read(kRegGpuId, 42),                          // 1
+      Poll(kRegGpuIrqRawstat, kGpuIrqResetCompleted, kGpuIrqResetCompleted,
+           kGpuIrqResetCompleted),                  // 2
+      IrqWait(0x1),                                 // 3
+      Delay(1000),                                  // 4
+      Write(kJs0CommandNext, kJsCommandStart),      // 5: job start
+      Page(0x1000, false),                          // 6
+  });
+  DataflowIr ir = LiftRecording(rec);
+  ASSERT_EQ(ir.size(), 7u);
+  EXPECT_EQ(ir.nodes[0].kind, IrKind::kRegWrite);
+  EXPECT_EQ(ir.nodes[1].kind, IrKind::kRegRead);
+  EXPECT_EQ(ir.nodes[2].kind, IrKind::kPoll);
+  EXPECT_EQ(ir.nodes[3].kind, IrKind::kIrqWait);
+  EXPECT_EQ(ir.nodes[4].kind, IrKind::kCommitBarrier);
+  EXPECT_EQ(ir.nodes[5].kind, IrKind::kRegWrite);
+  EXPECT_EQ(ir.nodes[6].kind, IrKind::kMemSync);
+
+  ASSERT_EQ(ir.resets.size(), 1u);
+  EXPECT_EQ(ir.resets[0], 0u);
+  ASSERT_EQ(ir.job_starts.size(), 1u);
+  EXPECT_EQ(ir.job_starts[0], 5u);
+  EXPECT_EQ(ir.first_job_start(), 5u);
+  EXPECT_TRUE(ir.has_job_start());
+
+  EXPECT_EQ(ir.stimuli, (std::vector<uint32_t>{0, 5}));
+  EXPECT_EQ(ir.writes_of.at(kRegGpuCommand), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(ir.observations_of.at(kRegGpuId), (std::vector<uint32_t>{1}));
+}
+
+TEST(Lifter, JobStartRequiresExactShape) {
+  // Same value to kJsCommand (not _NEXT), or a non-start value to
+  // _NEXT, must not count: the replayer's page gate keys on the exact
+  // job-start shape.
+  Recording rec = MakeRecording({
+      Write(kJobSlotBase + kJsCommand, kJsCommandStart),
+      Write(kJs0CommandNext, kJsCommandNop),
+      Read(kJs0CommandNext, kJsCommandStart),
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_FALSE(ir.has_job_start());
+  EXPECT_EQ(ir.first_job_start(), ir.size());
+}
+
+TEST(Lifter, CommitBatches) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 1),   // 0: batch 1
+      Write(kRegJobIrqMask, 1),   // 1: batch 1
+      Page(0x1000, true),         // 2: batch 1 (pages ride the batch)
+      Read(kRegGpuId, 42),        // 3: barrier (batch 0)
+      Write(kRegMmuIrqMask, 1),   // 4: batch 2
+      Delay(100),                 // 5: barrier
+      Write(kRegGpuIrqMask, 3),   // 6: batch 3
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_EQ(ir.n_batches, 3u);
+  EXPECT_EQ(ir.nodes[0].batch, 1u);
+  EXPECT_EQ(ir.nodes[1].batch, 1u);
+  EXPECT_EQ(ir.nodes[2].batch, 1u);
+  EXPECT_EQ(ir.nodes[3].batch, 0u);
+  EXPECT_EQ(ir.nodes[4].batch, 2u);
+  EXPECT_EQ(ir.nodes[5].batch, 0u);
+  EXPECT_EQ(ir.nodes[6].batch, 3u);
+}
+
+TEST(Lifter, DefUseEdges) {
+  Recording rec = MakeRecording({
+      Write(kRegShaderPwrOnLo, 0xF),           // 0: defines READY_LO
+      Write(kRegGpuIrqMask, 0x1),              // 1: unrelated latch
+      Read(kRegShaderReadyLo, 0xF),            // 2: uses 0
+      Read(kRegShaderReadyLo, 0xF),            // 3: no def in its window
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_EQ(ir.nodes[2].defs, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(ir.nodes[0].uses, (std::vector<uint32_t>{2}));
+  // The second read's window starts after the first: no defs inside.
+  EXPECT_TRUE(ir.nodes[3].defs.empty());
+  EXPECT_EQ(ir.n_def_use_edges, 1u);
+}
+
+TEST(Lifter, MemsyncTaggingAndStats) {
+  Recording rec = MakeRecording({
+      Page(0x1000, false),                      // 0: before first start
+      Write(kJs0CommandNext, kJsCommandStart),  // 1
+      Page(0x2000, false),                      // 2: after
+      Page(0x3000, true),                       // 3: after, metastate
+  });
+  TensorBinding input;
+  input.va = 0x10000;
+  input.pages = {0x2000};
+  input.writable_at_replay = true;
+  rec.bindings["input"] = input;
+
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_TRUE(ir.nodes[0].before_first_start);
+  EXPECT_FALSE(ir.nodes[2].before_first_start);
+  EXPECT_FALSE(ir.nodes[3].before_first_start);
+  EXPECT_EQ(ir.nodes[2].binding, "input");
+  EXPECT_TRUE(ir.nodes[3].binding.empty());
+  EXPECT_TRUE(PageOverlapsWritableBinding(ir, 2));
+  EXPECT_FALSE(PageOverlapsWritableBinding(ir, 3));
+
+  IrStats stats = ComputeIrStats(ir);
+  EXPECT_EQ(stats.nodes, 4u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.memsyncs, 3u);
+  EXPECT_EQ(stats.job_starts, 1u);
+  EXPECT_EQ(stats.registers_touched, 1u);
+  EXPECT_NE(stats.ToString().find("memsyncs=3"), std::string::npos);
+
+  std::string dump = DumpIr(ir, 2);
+  EXPECT_NE(dump.find("memsync"), std::string::npos);
+  EXPECT_NE(dump.find("more nodes"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- analyses
+
+TEST(Analyses, DominanceIsPrecedence) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 1),  // 0: batch 1
+      Write(kRegJobIrqMask, 1),  // 1: batch 1
+      Read(kRegGpuId, 42),       // 2: barrier
+      Write(kRegMmuIrqMask, 1),  // 3: batch 2
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_TRUE(Dominates(ir, 0, 3));
+  EXPECT_FALSE(Dominates(ir, 3, 0));
+  // Same batch: neither is committed before the other forms.
+  EXPECT_FALSE(CommitDominates(ir, 0, 1));
+  // Different batches, and barrier boundaries, commit-dominate.
+  EXPECT_TRUE(CommitDominates(ir, 0, 3));
+  EXPECT_TRUE(CommitDominates(ir, 2, 3));
+  EXPECT_FALSE(CommitDominates(ir, 3, 3));
+}
+
+TEST(Analyses, ClobberWindows) {
+  Recording rec = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),                 // 0
+      Write(kRegGpuIrqMask, 0x1),                   // 1: harmless latch
+      Read(kRegShaderReadyLo, 0xF),                 // 2
+      Write(kRegShaderPwrOffLo, 0xF),               // 3: clobbers READY
+      Read(kRegShaderReadyLo, 0x0),                 // 4
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_FALSE(HasClobberBetween(ir, kRegShaderReadyLo, 0, 2));
+  EXPECT_TRUE(HasClobberBetween(ir, kRegShaderReadyLo, 2, 4));
+  EXPECT_EQ(PrevObservationOf(ir, kRegShaderReadyLo, 4), 2u);
+  EXPECT_EQ(PrevObservationOf(ir, kRegShaderReadyLo, 0), std::nullopt);
+  EXPECT_EQ(PrevWriteOf(ir, kRegShaderPwrOffLo, 4), 3u);
+  EXPECT_EQ(NextWriteOf(ir, kRegGpuIrqMask, 0), 1u);
+  EXPECT_EQ(NextWriteOf(ir, kRegGpuIrqMask, 1), std::nullopt);
+}
+
+TEST(Analyses, ObservationEstablishes) {
+  Recording rec = MakeRecording({
+      Read(kRegGpuIrqRawstat, 0x500),                          // 0
+      Read(kRegGpuIrqRawstat, 0x500, /*speculative=*/true),    // 1
+      Poll(kRegGpuIrqRawstat, 0x400, 0x400, 0x500),            // 2
+  });
+  DataflowIr ir = LiftRecording(rec);
+  // A validated read pins every bit of its value.
+  EXPECT_TRUE(ObservationEstablishes(ir, 0, ~0u, 0x500));
+  EXPECT_TRUE(ObservationEstablishes(ir, 0, 0x400, 0x400));
+  EXPECT_FALSE(ObservationEstablishes(ir, 0, ~0u, 0x400));
+  // A speculative read pins nothing.
+  EXPECT_FALSE(ObservationEstablishes(ir, 1, 0x400, 0x400));
+  // A poll pins only the bits it masked.
+  EXPECT_TRUE(ObservationEstablishes(ir, 2, 0x400, 0x400));
+  EXPECT_FALSE(ObservationEstablishes(ir, 2, 0x500, 0x500));
+}
+
+TEST(Analyses, ConfigLiveness) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 0x1),   // 0: dead — overwritten, no consumer
+      Write(kRegGpuIrqMask, 0x3),   // 1: live — IRQ wait consumes it
+      IrqWait(0x1),                 // 2
+      Write(kRegGpuIrqMask, 0x7),   // 3: live — STATUS read consumes it
+      Read(kRegGpuIrqStatus, 0x0),  // 4
+      Write(kRegGpuIrqMask, 0xF),   // 5: live — last write persists
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_FALSE(ConfigWriteIsLive(ir, 0));
+  EXPECT_TRUE(ConfigWriteIsLive(ir, 1));
+  EXPECT_TRUE(ConfigWriteIsLive(ir, 3));
+  EXPECT_TRUE(ConfigWriteIsLive(ir, 5));
+}
+
+TEST(Analyses, SlotLatchLiveness) {
+  const uint32_t head_next = kJobSlotBase + kJsHeadNextLo;
+  Recording rec = MakeRecording({
+      Write(head_next, 0x1000),                 // 0: live — slot 0 starts
+      Write(kJs0CommandNext, kJsCommandStart),  // 1: the consumer
+      Write(head_next, 0x2000),                 // 2: dead — overwritten
+      Write(head_next, 0x3000),                 // 3: live (last)
+  });
+  DataflowIr ir = LiftRecording(rec);
+  EXPECT_TRUE(ConfigWriteIsLive(ir, 0));
+  EXPECT_FALSE(ConfigWriteIsLive(ir, 2));
+  EXPECT_TRUE(ConfigWriteIsLive(ir, 3));
+}
+
+TEST(Analyses, PowerEvidence) {
+  Recording rec = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),    // 0: evidence
+      Write(kRegGpuIrqMask, 0x1),      // 1: harmless
+      Write(kRegShaderPwrOffLo, 0xF),  // 2: query point
+  });
+  DataflowIr ir = LiftRecording(rec);
+  uint32_t bits = 0;
+  auto ev = DominatingPowerEvidence(ir, kRegShaderPwrOffLo, 2, &bits);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(*ev, 0u);
+  EXPECT_EQ(bits, 0xFu);
+}
+
+TEST(Analyses, PowerEvidenceInvalidatedByInterference) {
+  // A same-domain power write between the READY read and the query makes
+  // the evidence stale — and anything older is necessarily staler.
+  Recording rec = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),    // 0
+      Write(kRegShaderPwrOnLo, 0xF0),  // 1: same domain/word
+      Write(kRegShaderPwrOffLo, 0xF),  // 2: query point
+  });
+  DataflowIr ir = LiftRecording(rec);
+  uint32_t bits = 0;
+  EXPECT_FALSE(
+      DominatingPowerEvidence(ir, kRegShaderPwrOffLo, 2, &bits).has_value());
+
+  // A reset likewise invalidates.
+  Recording rec2 = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),
+      Write(kRegGpuCommand, kGpuCommandSoftReset),
+      Write(kRegShaderPwrOffLo, 0xF),
+  });
+  DataflowIr ir2 = LiftRecording(rec2);
+  EXPECT_FALSE(
+      DominatingPowerEvidence(ir2, kRegShaderPwrOffLo, 2, &bits).has_value());
+
+  // A speculative READY read is not evidence.
+  Recording rec3 = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF, /*speculative=*/true),
+      Write(kRegShaderPwrOffLo, 0xF),
+  });
+  DataflowIr ir3 = LiftRecording(rec3);
+  EXPECT_FALSE(
+      DominatingPowerEvidence(ir3, kRegShaderPwrOffLo, 1, &bits).has_value());
+}
+
+}  // namespace
+}  // namespace grt

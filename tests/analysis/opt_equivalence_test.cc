@@ -1,0 +1,171 @@
+// Optimizer equivalence suite — the end-to-end acceptance gate. Every
+// example network's recording, plus a corpus of chaos-recorded ones, goes
+// through the full pipeline: optimize, re-verify with every static pass,
+// replay optimized and unoptimized on identically-seeded devices, demand
+// bitwise-identical outputs and CPU-reference agreement. Also pins the
+// lifter's job-start definition against the replayer's (the memsync-prune
+// safety argument is "the replayer skips this entry" — the two notions of
+// job start may never drift apart).
+#include <gtest/gtest.h>
+
+#include "src/analysis/dataflow/ir.h"
+#include "src/analysis/verifier.h"
+#include "src/harness/chaos.h"
+#include "src/harness/equivalence.h"
+#include "src/harness/experiment.h"
+#include "src/hw/regs.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kNondetSeed = 11;
+constexpr uint64_t kInputSeed = 42;
+
+Result<Recording> RecordOnce(const NetworkDef& net) {
+  ClientDevice device(kSku, kNondetSeed);
+  SpeculationHistory history;
+  GRT_ASSIGN_OR_RETURN(RecordMeasurement m,
+                       RunRecordVariant(&device, net, "OursMDS",
+                                        WifiConditions(), &history, 0));
+  return Recording::ParseSigned(m.signed_recording, m.session_key);
+}
+
+void ExpectEquivalent(const NetworkDef& net, const Recording& rec) {
+  auto eq = CheckOptimizedEquivalence(net, kSku, rec, kNondetSeed, kInputSeed);
+  ASSERT_TRUE(eq.ok()) << net.name << ": " << eq.status().ToString();
+  EXPECT_TRUE(eq->outputs_bit_identical) << net.name;
+  EXPECT_TRUE(eq->matches_reference) << net.name;
+  EXPECT_LE(eq->entries_after, eq->entries_before) << net.name;
+  // The optimizer only removes work: replay on the modeled timeline can
+  // never get slower.
+  EXPECT_LE(eq->replay_delay_after, eq->replay_delay_before) << net.name;
+}
+
+// One test per example network (the full suite): every recording the
+// system can produce must survive optimization unchanged in meaning.
+
+TEST(OptEquivalence, Mnist) {
+  auto rec = RecordOnce(BuildMnist());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto eq = CheckOptimizedEquivalence(BuildMnist(), kSku, *rec, kNondetSeed,
+                                      kInputSeed);
+  ASSERT_TRUE(eq.ok()) << eq.status().ToString();
+  EXPECT_TRUE(eq->outputs_bit_identical);
+  EXPECT_TRUE(eq->matches_reference);
+  // Acceptance bar: ≥10% replay-op reduction on at least one workload —
+  // MNIST's power-cycle-heavy recording clears it with margin.
+  EXPECT_GE(eq->stats.reduction(), 0.10)
+      << eq->stats.ToString();
+  EXPECT_GT(eq->stats.batches_merged, 0u);
+}
+
+TEST(OptEquivalence, AlexNet) {
+  auto rec = RecordOnce(BuildAlexNet());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectEquivalent(BuildAlexNet(), *rec);
+}
+
+TEST(OptEquivalence, MobileNet) {
+  auto rec = RecordOnce(BuildMobileNet());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectEquivalent(BuildMobileNet(), *rec);
+}
+
+TEST(OptEquivalence, SqueezeNet) {
+  auto rec = RecordOnce(BuildSqueezeNet());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectEquivalent(BuildSqueezeNet(), *rec);
+}
+
+TEST(OptEquivalence, ResNet12) {
+  auto rec = RecordOnce(BuildResNet12());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectEquivalent(BuildResNet12(), *rec);
+}
+
+TEST(OptEquivalence, Vgg16) {
+  auto rec = RecordOnce(BuildVgg16());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ExpectEquivalent(BuildVgg16(), *rec);
+}
+
+// Chaos corpus: recordings produced under seeded channel faults (drops,
+// corruption, duplicates, latency spikes, disconnect-and-resume) are
+// byte-identical to fault-free ones by the PR-2 invariant — but they are
+// the adversarial input class for provenance handling, so the optimizer
+// must prove itself on them directly.
+TEST(OptEquivalence, ChaosCorpus) {
+  const NetworkDef net = BuildMnist();
+  int corpus = 0;
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto run = RunChaosSession(net, kSku, WifiConditions(),
+                               FaultPlan::FromSeed(seed), kNondetSeed,
+                               /*nonce=*/100 + seed);
+    ASSERT_TRUE(run.ok()) << "wifi seed " << seed << ": "
+                          << run.status().ToString();
+    auto rec = Recording::ParseUnsigned(run->recording_body);
+    ASSERT_TRUE(rec.ok());
+    ExpectEquivalent(net, *rec);
+    ++corpus;
+  }
+  for (uint64_t seed : {6u, 7u, 8u, 9u}) {
+    auto run = RunChaosSession(net, kSku, CellularConditions(),
+                               FaultPlan::FromSeed(seed), kNondetSeed,
+                               /*nonce=*/200 + seed);
+    ASSERT_TRUE(run.ok()) << "cellular seed " << seed << ": "
+                          << run.status().ToString();
+    auto rec = Recording::ParseUnsigned(run->recording_body);
+    ASSERT_TRUE(rec.ok());
+    ExpectEquivalent(net, *rec);
+    ++corpus;
+  }
+  EXPECT_GE(corpus, 8);  // acceptance: ≥ 8 chaos-corpus recordings
+}
+
+// The lifter's job-start predicate must mirror the replayer's page gate
+// exactly: every job_starts entry has the replayer's job-start shape, and
+// no other write in the log has it.
+TEST(OptEquivalence, JobStartDefinitionPinned) {
+  auto rec = RecordOnce(BuildMnist());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  DataflowIr ir = LiftRecording(*rec);
+  ASSERT_FALSE(ir.job_starts.empty());
+
+  auto replayer_job_start = [](const LogEntry& e) {
+    return e.op == LogOp::kRegWrite && e.value == kJsCommandStart &&
+           e.reg >= kJobSlotBase &&
+           e.reg < kJobSlotBase + kMaxJobSlots * kJobSlotStride &&
+           (e.reg - kJobSlotBase) % kJobSlotStride == kJsCommandNext;
+  };
+  std::vector<uint32_t> expected;
+  const auto& entries = rec->log.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (replayer_job_start(entries[i])) {
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  EXPECT_EQ(ir.job_starts, expected);
+}
+
+// A recording that went through the optimizer must be accepted by the
+// sealed-store / replayer admission path end to end (all seven passes,
+// including optimizer-provenance).
+TEST(OptEquivalence, OptimizedRecordingIsVerifierClean) {
+  auto rec = RecordOnce(BuildMnist());
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  OptStats stats;
+  auto optimized = OptimizeRecording(*rec, OptimizeOptions{}, &stats);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  ASSERT_TRUE(optimized->header.provenance.optimized);
+  EXPECT_TRUE(VerifyRecording(*optimized).ok());
+
+  // Tampering with the trace (claiming optimization with no records) must
+  // be caught by the optimizer-provenance pass.
+  Recording tampered = *optimized;
+  tampered.header.provenance.records.clear();
+  EXPECT_FALSE(VerifyRecording(tampered).ok());
+}
+
+}  // namespace
+}  // namespace grt

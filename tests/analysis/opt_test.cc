@@ -1,0 +1,474 @@
+// Optimizer pass tests: each pass against hand-built logs where the edit
+// is provably safe — and the adversarial twins where one condition is
+// perturbed and the pass must refuse. The pipeline driver is tested for
+// provenance hygiene (trace completeness, original-index reporting,
+// refusing re-optimization).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/analysis/opt/optimizer.h"
+#include "src/analysis/opt/passes.h"
+#include "src/hw/mmu.h"
+#include "src/hw/regs.h"
+#include "src/record/recording.h"
+
+namespace grt {
+namespace {
+
+// ------------------------------------------------------------ log builders
+
+LogEntry Write(uint32_t reg, uint32_t value) {
+  LogEntry e;
+  e.op = LogOp::kRegWrite;
+  e.reg = reg;
+  e.value = value;
+  return e;
+}
+
+LogEntry Read(uint32_t reg, uint32_t value, bool speculative = false) {
+  LogEntry e;
+  e.op = LogOp::kRegRead;
+  e.reg = reg;
+  e.value = value;
+  e.speculative = speculative;
+  return e;
+}
+
+LogEntry Poll(uint32_t reg, uint32_t mask, uint32_t expected,
+              uint32_t final_value) {
+  LogEntry e;
+  e.op = LogOp::kPollWait;
+  e.reg = reg;
+  e.mask = mask;
+  e.expected = expected;
+  e.value = final_value;
+  return e;
+}
+
+LogEntry Delay(Duration d) {
+  LogEntry e;
+  e.op = LogOp::kDelay;
+  e.delay = d;
+  return e;
+}
+
+LogEntry IrqWait(uint8_t lines) {
+  LogEntry e;
+  e.op = LogOp::kIrqWait;
+  e.irq_lines = lines;
+  return e;
+}
+
+LogEntry Page(uint64_t pa, bool metastate, Bytes data = Bytes(kPageSize, 0)) {
+  LogEntry e;
+  e.op = LogOp::kMemPage;
+  e.pa = pa;
+  e.metastate = metastate;
+  e.data = std::move(data);
+  return e;
+}
+
+Recording MakeRecording(std::vector<LogEntry> entries) {
+  Recording rec;
+  rec.header.workload = "test";
+  for (auto& e : entries) {
+    rec.log.Add(std::move(e));
+  }
+  return rec;
+}
+
+// Runs one pass over a freshly lifted recording with an identity original-
+// index mapping (as the pipeline driver does on iteration one).
+PassEdit RunOn(const Recording& rec,
+               PassEdit (*pass)(const DataflowIr&,
+                                const std::vector<uint32_t>&)) {
+  DataflowIr ir = LiftRecording(rec);
+  std::vector<uint32_t> orig(rec.log.size());
+  std::iota(orig.begin(), orig.end(), 0);
+  return pass(ir, orig);
+}
+
+bool Deletes(const PassEdit& edit, uint32_t index) {
+  return std::find(edit.deletions.begin(), edit.deletions.end(), index) !=
+         edit.deletions.end();
+}
+
+constexpr uint32_t kJs0CommandNext = kJobSlotBase + kJsCommandNext;
+
+// --------------------------------------------------------- dead-write-elim
+
+TEST(DeadWrite, DuplicateConfigWriteEliminated) {
+  Recording rec = MakeRecording({
+      Write(kRegShaderConfig, 0x5),  // 0: kept (a trigger consumes it)
+      Write(kRegGpuCommand, kGpuCommandCleanCaches),  // 1: consumer
+      Write(kRegShaderConfig, 0x5),  // 2: same value, unclobbered: dead
+      Write(kRegGpuCommand, kGpuCommandCleanCaches),  // 3: keeps 0 live
+  });
+  PassEdit edit = RunOn(rec, DeadWritePass);
+  ASSERT_EQ(edit.deletions.size(), 1u);
+  EXPECT_TRUE(Deletes(edit, 2));
+  ASSERT_EQ(edit.trace.size(), 1u);
+  EXPECT_EQ(edit.trace[0].reason, OptReason::kDeadConfigRewrite);
+  EXPECT_EQ(edit.trace[0].index, 2u);
+  EXPECT_EQ(edit.trace[0].aux_index, 0u);  // witness: the surviving write
+}
+
+TEST(DeadWrite, ResetClobbersDuplicateChain) {
+  // Same value twice, but a reset in between wipes the latch: both must
+  // survive (the second re-establishes the value).
+  Recording rec = MakeRecording({
+      Write(kRegShaderConfig, 0x5),
+      Write(kRegGpuCommand, kGpuCommandSoftReset),
+      Write(kRegShaderConfig, 0x5),
+      Write(kRegGpuCommand, kGpuCommandCleanCaches),  // consumer for both
+  });
+  PassEdit edit = RunOn(rec, DeadWritePass);
+  EXPECT_FALSE(Deletes(edit, 2));
+}
+
+TEST(DeadWrite, OverwrittenLatchWithNoConsumerIsDead) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 0x1),  // 0: dead — overwritten unconsumed
+      Write(kRegGpuIrqMask, 0x3),  // 1: live (last write persists)
+  });
+  PassEdit edit = RunOn(rec, DeadWritePass);
+  ASSERT_EQ(edit.deletions.size(), 1u);
+  EXPECT_TRUE(Deletes(edit, 0));
+}
+
+TEST(DeadWrite, PowerHiNoOpNeedsPresentEvidence) {
+  // With a validated PRESENT_HI == 0 read, the _HI power words are
+  // architectural no-ops; without it, they must stay.
+  Recording with_evidence = MakeRecording({
+      Read(kRegShaderPresentHi, 0),
+      Write(kRegShaderPwrOnHi, 0),
+  });
+  PassEdit edit = RunOn(with_evidence, DeadWritePass);
+  ASSERT_EQ(edit.deletions.size(), 1u);
+  EXPECT_TRUE(Deletes(edit, 1));
+  EXPECT_EQ(edit.trace[0].reason, OptReason::kNoOpPowerWord);
+  EXPECT_EQ(edit.trace[0].aux_index, 0u);
+
+  Recording without = MakeRecording({
+      Write(kRegShaderPwrOnHi, 0),
+  });
+  EXPECT_TRUE(RunOn(without, DeadWritePass).empty());
+
+  Recording speculative = MakeRecording({
+      Read(kRegShaderPresentHi, 0, /*speculative=*/true),
+      Write(kRegShaderPwrOnHi, 0),
+  });
+  EXPECT_TRUE(RunOn(speculative, DeadWritePass).empty());
+}
+
+TEST(DeadWrite, CancellingPowerPairWithIrqRewrite) {
+  Recording rec = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),     // 0: cores provably on
+      Write(kRegShaderPwrOffLo, 0xF),   // 1: pair OFF
+      Write(kRegShaderPwrOnLo, 0xF),    // 2: pair ON
+      Read(kRegGpuIrqRawstat, 0x400),   // 3: PowerChangedAll — only the
+                                        //    pair could have raised it
+      Write(kRegGpuIrqClear, 0x400),    // 4: now clears provable zeros
+  });
+  PassEdit edit = RunOn(rec, DeadWritePass);
+  EXPECT_TRUE(Deletes(edit, 1));
+  EXPECT_TRUE(Deletes(edit, 2));
+  EXPECT_TRUE(Deletes(edit, 4));  // dead IRQ clear
+  ASSERT_EQ(edit.rewrites.size(), 1u);
+  EXPECT_EQ(edit.rewrites[0].index, 3u);
+  EXPECT_EQ(edit.rewrites[0].entry.value, 0u);  // bit 10 now provably 0
+
+  bool saw_pair = false, saw_clear = false, saw_rewrite = false;
+  for (const OptRecord& r : edit.trace) {
+    saw_pair |= r.reason == OptReason::kCancellingPowerPair;
+    saw_clear |= r.reason == OptReason::kDeadIrqClear;
+    saw_rewrite |= r.reason == OptReason::kIrqBitsRewritten;
+  }
+  EXPECT_TRUE(saw_pair);
+  EXPECT_TRUE(saw_clear);
+  EXPECT_TRUE(saw_rewrite);
+}
+
+TEST(DeadWrite, PairRefusedWithoutEvidenceOrWithObserver) {
+  // No READY evidence: the cores might be off, and OFF;ON would then
+  // change state. Refuse.
+  Recording no_evidence = MakeRecording({
+      Write(kRegShaderPwrOffLo, 0xF),
+      Write(kRegShaderPwrOnLo, 0xF),
+  });
+  EXPECT_TRUE(RunOn(no_evidence, DeadWritePass).empty());
+
+  // Evidence covers fewer cores than the pair cycles. Refuse.
+  Recording partial = MakeRecording({
+      Read(kRegShaderReadyLo, 0x3),
+      Write(kRegShaderPwrOffLo, 0xF),
+      Write(kRegShaderPwrOnLo, 0xF),
+  });
+  EXPECT_TRUE(RunOn(partial, DeadWritePass).empty());
+
+  // A READY observation between OFF and ON would see the cores down.
+  Recording observed = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),
+      Write(kRegShaderPwrOffLo, 0xF),
+      Read(kRegShaderReadyLo, 0x0),
+      Write(kRegShaderPwrOnLo, 0xF),
+  });
+  EXPECT_TRUE(RunOn(observed, DeadWritePass).empty());
+
+  // A poll on RAWSTAT masking the PowerChanged bits depends on the pair's
+  // transient IRQs: the global precheck must veto everything.
+  Recording polled = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),
+      Write(kRegShaderPwrOffLo, 0xF),
+      Write(kRegShaderPwrOnLo, 0xF),
+      Poll(kRegGpuIrqRawstat, 0x400, 0x400, 0x400),
+  });
+  EXPECT_TRUE(RunOn(polled, DeadWritePass).empty());
+
+  // An unmasked PowerChanged interrupt would fire at the deleted pair's
+  // old position: any GPU_IRQ_MASK admitting the bits vetoes.
+  Recording masked = MakeRecording({
+      Write(kRegGpuIrqMask, 0x600),
+      Read(kRegShaderReadyLo, 0xF),
+      Write(kRegShaderPwrOffLo, 0xF),
+      Write(kRegShaderPwrOnLo, 0xF),
+  });
+  EXPECT_TRUE(RunOn(masked, DeadWritePass).empty());
+}
+
+TEST(DeadWrite, RawstatBitWithNoDefAborts) {
+  // Recorded RAWSTAT shows bit 9 but nothing in the log raises it — the
+  // model missed a def source; the pass must abort the pair rather than
+  // rewrite on a broken premise.
+  Recording rec = MakeRecording({
+      Read(kRegShaderReadyLo, 0xF),
+      Write(kRegShaderPwrOffLo, 0xF),
+      Write(kRegShaderPwrOnLo, 0xF),
+      Write(kRegGpuIrqClear, 0x600),   // kills the pair's own defs
+      Read(kRegGpuIrqRawstat, 0x200),  // bit 9 set, no surviving def
+  });
+  PassEdit edit = RunOn(rec, DeadWritePass);
+  EXPECT_FALSE(Deletes(edit, 1));
+  EXPECT_FALSE(Deletes(edit, 2));
+  EXPECT_TRUE(edit.rewrites.empty());
+}
+
+// ----------------------------------------------------- redundant-read-elim
+
+TEST(RedundantRead, NondetReadsDropped) {
+  Recording rec = MakeRecording({
+      Read(kRegLatestFlush, 7),
+      Read(kRegTimestampLo, 12345),
+      Read(kRegLatestFlush, 9, /*speculative=*/true),  // kept: marked
+  });
+  PassEdit edit = RunOn(rec, RedundantReadPass);
+  EXPECT_TRUE(Deletes(edit, 0));
+  EXPECT_TRUE(Deletes(edit, 1));
+  EXPECT_FALSE(Deletes(edit, 2));
+  EXPECT_EQ(edit.trace[0].reason, OptReason::kNondetRead);
+}
+
+TEST(RedundantRead, DominatedReadAndPoll) {
+  Recording rec = MakeRecording({
+      Read(kRegGpuStatus, 0x0),                  // 0: witness
+      Write(kRegGpuIrqMask, 0x1),                // 1: harmless latch
+      Read(kRegGpuStatus, 0x0),                  // 2: dominated
+      Poll(kRegGpuStatus, 0x1, 0x0, 0x0),        // 3: dominated (bit 0 = 0)
+  });
+  PassEdit edit = RunOn(rec, RedundantReadPass);
+  EXPECT_FALSE(Deletes(edit, 0));
+  EXPECT_TRUE(Deletes(edit, 2));
+  EXPECT_TRUE(Deletes(edit, 3));
+  ASSERT_EQ(edit.trace.size(), 2u);
+  for (const OptRecord& r : edit.trace) {
+    EXPECT_EQ(r.reason, OptReason::kDominatedObservation);
+  }
+  // Each deleted observation cites its nearest dominating witness (by
+  // original index): the read cites entry 0, the poll cites entry 2 —
+  // domination is transitive, so a chain of citations is still sound.
+  EXPECT_EQ(edit.trace[0].aux_index, 0u);
+  EXPECT_EQ(edit.trace[1].aux_index, 2u);
+}
+
+TEST(RedundantRead, CloberOrValueChangeBlocksDomination) {
+  // A flush command clobbers GPU_STATUS: the second read revalidates.
+  Recording clobbered = MakeRecording({
+      Read(kRegGpuStatus, 0x0),
+      Write(kRegGpuCommand, kGpuCommandCleanCaches),
+      Read(kRegGpuStatus, 0x0),
+  });
+  EXPECT_TRUE(RunOn(clobbered, RedundantReadPass).empty());
+
+  // Different observed value: the witness proves the wrong thing.
+  Recording changed = MakeRecording({
+      Read(kRegGpuFaultStatus, 0x0),
+      Read(kRegGpuFaultStatus, 0x1),
+  });
+  EXPECT_TRUE(RunOn(changed, RedundantReadPass).empty());
+
+  // A poll witness only pins its masked bits: a full-width read is not
+  // dominated by it.
+  Recording poll_witness = MakeRecording({
+      Poll(kRegGpuStatus, 0x1, 0x0, 0x0),
+      Read(kRegGpuStatus, 0x0),
+  });
+  EXPECT_TRUE(RunOn(poll_witness, RedundantReadPass).empty());
+}
+
+// ---------------------------------------------------------- commit-coalesce
+
+TEST(Coalesce, AdjacentDelaysFold) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 1),
+      Delay(100),
+      Delay(250),
+      Delay(50),
+      Read(kRegGpuId, 42),
+      Delay(10),  // lone delay: untouched
+  });
+  PassEdit edit = RunOn(rec, CoalescePass);
+  ASSERT_EQ(edit.rewrites.size(), 1u);
+  EXPECT_EQ(edit.rewrites[0].index, 1u);
+  EXPECT_EQ(edit.rewrites[0].entry.delay, 400);
+  EXPECT_TRUE(Deletes(edit, 2));
+  EXPECT_TRUE(Deletes(edit, 3));
+  EXPECT_FALSE(Deletes(edit, 5));
+  for (const OptRecord& r : edit.trace) {
+    EXPECT_EQ(r.action, OptAction::kMerge);
+    EXPECT_EQ(r.reason, OptReason::kDelayMerged);
+    EXPECT_EQ(r.aux_index, 1u);  // merged into the run head
+  }
+}
+
+// ------------------------------------------------------------ memsync-prune
+
+TEST(MemsyncPrune, OnlyPostStartDataPagesDie) {
+  Recording rec = MakeRecording({
+      Page(0x1000, false),                      // 0: initial image — kept
+      Write(kJs0CommandNext, kJsCommandStart),  // 1
+      Page(0x2000, false),                      // 2: replay-dead
+      Page(0x3000, true),                       // 3: metastate — kept
+  });
+  PassEdit edit = RunOn(rec, MemsyncPrunePass);
+  ASSERT_EQ(edit.deletions.size(), 1u);
+  EXPECT_TRUE(Deletes(edit, 2));
+  EXPECT_EQ(edit.trace[0].reason, OptReason::kReplayDeadPage);
+  EXPECT_EQ(edit.trace[0].aux_index, 1u);  // cites the job start
+  EXPECT_EQ(edit.trace[0].detail, kPageSize);
+}
+
+TEST(MemsyncPrune, WritableBindingPagesSpared) {
+  Recording rec = MakeRecording({
+      Write(kJs0CommandNext, kJsCommandStart),
+      Page(0x2000, false),
+  });
+  TensorBinding input;
+  input.pages = {0x2000};
+  input.writable_at_replay = true;
+  rec.bindings["input"] = input;
+  EXPECT_TRUE(RunOn(rec, MemsyncPrunePass).empty());
+
+  // A read-only binding (outputs) does not interfere.
+  rec.bindings["input"].writable_at_replay = false;
+  PassEdit edit = RunOn(rec, MemsyncPrunePass);
+  EXPECT_TRUE(Deletes(edit, 1));
+}
+
+TEST(MemsyncPrune, NoJobStartMeansNothingDies) {
+  Recording rec = MakeRecording({
+      Page(0x1000, false),
+      Page(0x2000, false),
+  });
+  EXPECT_TRUE(RunOn(rec, MemsyncPrunePass).empty());
+}
+
+// --------------------------------------------------------- pipeline driver
+
+TEST(Optimizer, QuiescentInputStaysUnoptimized) {
+  Recording rec = MakeRecording({
+      Write(kRegGpuIrqMask, 0x1),
+      IrqWait(0x1),
+  });
+  OptStats stats;
+  auto out = OptimizeRecording(rec, OptimizeOptions{}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_FALSE(out->header.provenance.optimized);
+  EXPECT_TRUE(out->header.provenance.records.empty());
+  EXPECT_EQ(out->header.provenance.original_entries, 0u);
+  EXPECT_EQ(stats.ops_eliminated(), 0u);
+  EXPECT_EQ(out->log.size(), rec.log.size());
+}
+
+TEST(Optimizer, RefusesReOptimization) {
+  Recording rec = MakeRecording({Write(kRegGpuIrqMask, 0x1)});
+  rec.header.provenance.optimized = true;
+  rec.header.provenance.original_entries = 2;
+  rec.header.provenance.records.push_back(
+      OptRecord{"dead-write-elim", OptAction::kDelete,
+                OptReason::kDeadConfigRewrite, 1, 0, 0});
+  OptStats stats;
+  auto out = OptimizeRecording(rec, OptimizeOptions{}, &stats);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(Optimizer, ProvenanceCarriesOriginalIndices) {
+  Recording rec = MakeRecording({
+      Read(kRegLatestFlush, 1),    // 0: nondet — eliminated
+      Read(kRegLatestFlush, 2),    // 1: nondet — eliminated
+      Delay(100),                  // 2
+      Delay(200),                  // 3: merges into 2
+      Write(kRegGpuIrqMask, 0x1),  // 4: survives (last write)
+  });
+  OptStats stats;
+  auto out = OptimizeRecording(rec, OptimizeOptions{}, &stats);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  const OptimizationProvenance& p = out->header.provenance;
+  EXPECT_TRUE(p.optimized);
+  EXPECT_EQ(p.original_entries, 5u);
+  EXPECT_GE(p.records.size(), 3u);
+  for (const OptRecord& r : p.records) {
+    EXPECT_LT(r.index, p.original_entries);
+    EXPECT_LT(r.aux_index, p.original_entries);
+    EXPECT_FALSE(r.pass.empty());
+  }
+  EXPECT_EQ(stats.reads_eliminated, 2u);
+  EXPECT_EQ(stats.delays_merged, 1u);
+  EXPECT_EQ(out->log.size(), 2u);  // merged delay + surviving mask write
+  EXPECT_EQ(stats.final_entries, 2u);
+
+  // The trace round-trips through the v3 wire format.
+  auto reparsed = Recording::ParseUnsigned(out->SerializeBody());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed->header.provenance.optimized);
+  EXPECT_EQ(reparsed->header.provenance.records.size(), p.records.size());
+  EXPECT_EQ(reparsed->header.provenance.records.back().pass,
+            p.records.back().pass);
+
+  // And renders as a JSON trace naming every pass.
+  std::string json = ProvenanceToJson(p);
+  EXPECT_NE(json.find("redundant-read-elim"), std::string::npos);
+  EXPECT_NE(json.find("commit-coalesce"), std::string::npos);
+}
+
+TEST(Optimizer, DisabledPassesDoNothing) {
+  Recording rec = MakeRecording({
+      Read(kRegLatestFlush, 1),
+      Delay(100),
+      Delay(200),
+  });
+  OptimizeOptions options;
+  options.redundant_read = false;
+  options.coalesce = false;
+  options.dead_write = false;
+  options.memsync_prune = false;
+  OptStats stats;
+  auto out = OptimizeRecording(rec, options, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->header.provenance.optimized);
+  EXPECT_EQ(out->log.size(), 3u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -78,6 +78,106 @@ TEST(LogDiff, LengthMismatchDetected) {
   EXPECT_NE(diff.description.find("lengths"), std::string::npos);
 }
 
+TEST(LogDiff, PageIdentityIsStructuralContentIsValue) {
+  LogEntry page;
+  page.op = LogOp::kMemPage;
+  page.pa = 0x1000;
+  page.metastate = false;
+  page.data.assign(64, 0xAB);
+
+  // Same identity, different bytes: a value mismatch, suppressible.
+  InteractionLog expected, observed;
+  expected.Add(page);
+  LogEntry altered = page;
+  altered.data[3] ^= 0xFF;
+  observed.Add(altered);
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.value_mismatches, 1u);
+  EXPECT_EQ(diff.structure_mismatches, 0u);
+  EXPECT_NE(diff.description.find("content"), std::string::npos);
+
+  LogDiffOptions loose;
+  loose.ignore_page_contents = true;
+  EXPECT_TRUE(CompareInteractionLogs(expected, observed, loose).identical);
+
+  // Different physical address: structural, and never suppressible.
+  LogEntry moved = page;
+  moved.pa = 0x2000;
+  InteractionLog relocated;
+  relocated.Add(moved);
+  diff = CompareInteractionLogs(expected, relocated, loose);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.structure_mismatches, 1u);
+  EXPECT_NE(diff.description.find("identity"), std::string::npos);
+}
+
+TEST(LogDiff, PollShapeIsStructural) {
+  LogEntry poll;
+  poll.op = LogOp::kPollWait;
+  poll.reg = kRegGpuIrqRawstat;
+  poll.mask = 0x100;
+  poll.expected = 0x100;
+  InteractionLog expected, observed;
+  expected.Add(poll);
+  poll.mask = 0x300;  // widened mask — a different wait condition entirely
+  observed.Add(poll);
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.structure_mismatches, 1u);
+  EXPECT_NE(diff.description.find("IRQ_RAWSTAT"), std::string::npos);
+}
+
+TEST(LogDiff, DelayAndIrqDeviationsAreValueMismatches) {
+  LogEntry delay;
+  delay.op = LogOp::kDelay;
+  delay.delay = 100;
+  LogEntry irq;
+  irq.op = LogOp::kIrqWait;
+  irq.irq_lines = 0x1;
+  InteractionLog expected, observed;
+  expected.Add(delay);
+  expected.Add(irq);
+  delay.delay = 400;  // e.g. a coalesced-delay run folded into one entry
+  irq.irq_lines = 0x2;
+  observed.Add(delay);
+  observed.Add(irq);
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, 0u);
+  EXPECT_EQ(diff.value_mismatches, 2u);
+  EXPECT_EQ(diff.structure_mismatches, 0u);
+}
+
+TEST(LogDiff, CountsEveryMismatchNotJustTheFirst) {
+  InteractionLog expected, observed;
+  for (uint32_t v = 0; v < 4; ++v) {
+    expected.Add(Write(kRegGpuIrqMask, v));
+    observed.Add(Write(kRegGpuIrqMask, v + 10));
+  }
+  LogDiff diff = CompareInteractionLogs(expected, observed);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_EQ(diff.first_divergence, 0u);
+  EXPECT_EQ(diff.value_mismatches, 4u);
+  EXPECT_EQ(diff.entries_compared, 4u);
+}
+
+TEST(LogDiff, OptimizedLogDivergesStructurallyFromOriginal) {
+  // An optimized recording is a different interaction sequence: the diff
+  // tool reports it as structural drift rather than silently matching —
+  // remote debugging must compare like with like.
+  InteractionLog original, optimized;
+  original.Add(Write(kRegShaderConfig, 7));
+  original.Add(Write(kRegShaderConfig, 7));  // duplicate the optimizer drops
+  original.Add(Read(kRegGpuId, 42));
+  optimized.Add(Write(kRegShaderConfig, 7));
+  optimized.Add(Read(kRegGpuId, 42));
+  LogDiff diff = CompareInteractionLogs(original, optimized);
+  EXPECT_FALSE(diff.identical);
+  EXPECT_GE(diff.structure_mismatches + diff.value_mismatches, 1u);
+  EXPECT_EQ(diff.first_divergence, 1u);
+}
+
 TEST(LogDiff, RemoteDebuggingLocalizesInjectedFault) {
   // End to end: record, then replay on a device whose JS0_STATUS register
   // is corrupted — the diff pinpoints the register (§3.4).

@@ -1,0 +1,174 @@
+// grt_opt: offline recording optimizer front-end (src/analysis/opt).
+//
+// Usage:
+//   grt_opt <recording-body-file> [-o <out>] [--json-trace]
+//       optimize a serialized (unsigned) recording body: lift to the
+//       dataflow IR, run the pass pipeline to a fixpoint, re-run the full
+//       static verifier on the result, print the optimization stats, and
+//       (with -o) write the optimized body back out. --json-trace prints
+//       the machine-readable justification trace.
+//   grt_opt --demo
+//       record a workload in-process, optimize the recording, and prove
+//       equivalence end to end: the optimized recording must re-pass all
+//       verifier passes and replay to outputs bitwise identical to the
+//       unoptimized replay (and both must match the CPU reference).
+//
+// Exit codes mirror grt_lint: 0 ok, 1 the optimizer or a safety gate
+// found a problem, 2 usage/environment error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/opt/optimizer.h"
+#include "src/analysis/verifier.h"
+#include "src/cloud/session.h"
+#include "src/harness/equivalence.h"
+#include "src/ml/network.h"
+#include "src/record/recording.h"
+
+using namespace grt;
+
+namespace {
+
+int OptimizeFile(const char* path, const char* out_path, bool json_trace) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "grt_opt: cannot open %s\n", path);
+    return 2;
+  }
+  Bytes raw((std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+  auto rec = Recording::ParseUnsigned(raw);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "grt_opt: %s: %s\n", path,
+                 rec.status().ToString().c_str());
+    return 2;
+  }
+
+  // Refuse input the verifier would refuse: optimizing a recording that is
+  // not admissible in the first place proves nothing about the output.
+  static const RecordingVerifier verifier;
+  AnalysisReport pre = verifier.Analyze(*rec);
+  if (!pre.ok()) {
+    std::fprintf(stderr, "grt_opt: %s: input rejected by verifier\n%s\n",
+                 path, pre.ToString().c_str());
+    return 1;
+  }
+
+  OptStats stats;
+  auto optimized = OptimizeRecording(*rec, OptimizeOptions{}, &stats);
+  if (!optimized.ok()) {
+    std::fprintf(stderr, "grt_opt: %s: %s\n", path,
+                 optimized.status().ToString().c_str());
+    return 1;
+  }
+
+  AnalysisReport post = verifier.Analyze(*optimized);
+  std::printf("%s: %s\n", path, post.ok() ? "OK" : "REJECTED");
+  std::printf("%s\n", stats.ToString().c_str());
+  if (!post.ok()) {
+    // An output the verifier rejects is an optimizer bug, never a file to
+    // ship. Print the findings and fail loudly.
+    std::printf("%s\n", post.ToString().c_str());
+    return 1;
+  }
+  if (json_trace) {
+    std::printf("%s\n",
+                ProvenanceToJson(optimized->header.provenance).c_str());
+  }
+  if (out_path != nullptr) {
+    Bytes body = optimized->SerializeBody();
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out || !out.write(reinterpret_cast<const char*>(body.data()),
+                           static_cast<std::streamsize>(body.size()))) {
+      std::fprintf(stderr, "grt_opt: cannot write %s\n", out_path);
+      return 2;
+    }
+    std::printf("wrote %s (%zu B)\n", out_path, body.size());
+  }
+  return 0;
+}
+
+int Demo() {
+  ClientDevice device(SkuId::kMaliG71Mp8);
+  NetworkDef net = BuildMnist();
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  RecordSession session(&service, &device, config, &history);
+  if (!session.Connect().ok()) {
+    std::fprintf(stderr, "grt_opt: demo record session failed\n");
+    return 2;
+  }
+  auto outcome = session.RecordWorkload(net, 7);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "grt_opt: demo recording failed: %s\n",
+                 outcome.status().ToString().c_str());
+    return 2;
+  }
+  auto rec = Recording::ParseSigned(outcome->signed_recording,
+                                    session.key()->key());
+  if (!rec.ok()) {
+    return 2;
+  }
+
+  auto eq = CheckOptimizedEquivalence(net, SkuId::kMaliG71Mp8, *rec,
+                                      /*nondet_seed=*/11, /*input_seed=*/42);
+  if (!eq.ok()) {
+    std::fprintf(stderr, "grt_opt: equivalence harness failed: %s\n",
+                 eq.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workload: %s\n%s\n", net.name.c_str(),
+              eq->stats.ToString().c_str());
+  std::printf("replay delay: %.3f ms -> %.3f ms\n",
+              ToMilliseconds(eq->replay_delay_before),
+              ToMilliseconds(eq->replay_delay_after));
+  std::printf("outputs bitwise identical: %s\n",
+              eq->outputs_bit_identical ? "yes" : "NO");
+  std::printf("matches CPU reference:     %s\n",
+              eq->matches_reference ? "yes" : "NO");
+  if (!eq->ok()) {
+    std::fprintf(stderr, "grt_opt: demo equivalence FAILED\n");
+    return 1;
+  }
+  std::printf("\noptimized recording proven replay-equivalent; demo passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <recording-body-file> [-o <out>] [--json-trace]"
+                 " | --demo\n",
+                 argv[0]);
+    return 2;
+  }
+  if (std::strcmp(argv[1], "--demo") == 0) {
+    return Demo();
+  }
+  const char* in_path = nullptr;
+  const char* out_path = nullptr;
+  bool json_trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json-trace") == 0) {
+      json_trace = true;
+    } else if (in_path == nullptr) {
+      in_path = argv[i];
+    } else {
+      std::fprintf(stderr, "grt_opt: unexpected argument %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (in_path == nullptr) {
+    std::fprintf(stderr, "grt_opt: no input file\n");
+    return 2;
+  }
+  return OptimizeFile(in_path, out_path, json_trace);
+}
