@@ -1,0 +1,527 @@
+// Replay serving benchmark: the perf trajectory for the compiled replay
+// fast path (src/record/plan) and the multi-session serving engine
+// (src/serve).
+//
+// Three sections, all written to BENCH_replay_serving.json so future PRs
+// can diff against this baseline:
+//
+//   1. Engine comparison — per example network, interpreter vs compiled
+//      plan, cold and warm, on the modeled timeline (the Table-2 replay
+//      delay metric). The byte gate lives here: a warm plan replay must
+//      apply strictly fewer memory bytes than the interpreter. (The
+//      modeled end-to-end delay is GPU-execution-bound, so the delta
+//      shows up in bytes and in host CPU time, not in the Table-2 delay.)
+//   2. Serving — a ReplayService with 1/2/4 workers, each a full
+//      simulated device with its own virtual timeline. Two results: the
+//      cold-vs-warm service-time speedup (a cold request pays recording
+//      parse + static verification + plan compilation + the full memory
+//      image; a warm one pays only dirty pages — the >= 1.5x gate), and
+//      fleet throughput in modeled time (W devices genuinely run in
+//      parallel in the modeled world; the simulator host serializes
+//      them), so the scaling numbers are deterministic.
+//   3. Dirty-page-ratio sweep — externally dirty a growing fraction of
+//      the plan's image pages between warm replays and chart how the
+//      warm-path cost degrades toward the cold cost.
+//
+// `--smoke` runs section 1 on MNIST only and exits nonzero if a gate
+// fails — scripts/ci.sh uses it as the perf regression gate.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/ml/reference.h"
+#include "src/record/plan.h"
+#include "src/serve/service.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kNondetSeed = 11;
+constexpr uint64_t kInputSeed = 42;
+constexpr uint64_t kParamSeed = 7;
+constexpr double kWarmSpeedupGate = 1.5;
+
+struct RecordedNet {
+  NetworkDef net;
+  Recording recording;
+  Bytes signed_recording;
+  Bytes session_key;
+};
+
+Result<RecordedNet> RecordOnce(const NetworkDef& net) {
+  ClientDevice device(kSku, kNondetSeed);
+  SpeculationHistory history;
+  GRT_ASSIGN_OR_RETURN(RecordMeasurement m,
+                       RunRecordVariant(&device, net, "OursMDS",
+                                        WifiConditions(), &history, 0));
+  GRT_ASSIGN_OR_RETURN(Recording rec,
+                       Recording::ParseSigned(m.signed_recording,
+                                              m.session_key));
+  return RecordedNet{net, std::move(rec), std::move(m.signed_recording),
+                     std::move(m.session_key)};
+}
+
+struct EngineRow {
+  std::string workload;
+  Duration interp_cold = 0, interp_warm = 0;
+  Duration plan_cold = 0, plan_warm = 0;
+  uint64_t interp_warm_bytes = 0, plan_warm_bytes = 0;
+  uint64_t plan_pages_skipped = 0;
+  bool outputs_identical = false;
+  bool matches_reference = false;
+
+  double warm_speedup() const {
+    return plan_warm == 0 ? 0.0 : static_cast<double>(interp_warm) /
+                                      static_cast<double>(plan_warm);
+  }
+  bool gates_ok() const {
+    return outputs_identical && matches_reference &&
+           plan_warm_bytes < interp_warm_bytes;
+  }
+};
+
+struct EngineRun {
+  std::vector<float> cold_output, warm_output;
+  ReplayReport cold, warm;
+};
+
+Result<EngineRun> ReplayColdWarm(const RecordedNet& r, bool use_plan) {
+  ClientDevice device(kSku, kNondetSeed);
+  ReplayConfig config;
+  config.use_plan = use_plan;
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline(), config);
+  GRT_RETURN_IF_ERROR(replayer.Load(r.recording));
+  std::vector<float> input = GenerateInput(r.net, kInputSeed);
+  GRT_RETURN_IF_ERROR(replayer.StageTensor(r.net.input_tensor, input));
+  for (const TensorDef& t : r.net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(replayer.StageTensor(
+          t.name, GenerateParams(r.net.name, t, kParamSeed)));
+    }
+  }
+  EngineRun run;
+  GRT_ASSIGN_OR_RETURN(run.cold, replayer.Replay());
+  GRT_ASSIGN_OR_RETURN(run.cold_output,
+                       replayer.ReadTensor(r.net.output_tensor));
+  GRT_RETURN_IF_ERROR(replayer.StageTensor(r.net.input_tensor, input));
+  GRT_ASSIGN_OR_RETURN(run.warm, replayer.Replay());
+  GRT_ASSIGN_OR_RETURN(run.warm_output,
+                       replayer.ReadTensor(r.net.output_tensor));
+  return run;
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+Result<EngineRow> CompareEngines(const RecordedNet& r) {
+  GRT_ASSIGN_OR_RETURN(EngineRun interp, ReplayColdWarm(r, false));
+  GRT_ASSIGN_OR_RETURN(EngineRun plan, ReplayColdWarm(r, true));
+  EngineRow row;
+  row.workload = r.net.name;
+  row.interp_cold = interp.cold.delay;
+  row.interp_warm = interp.warm.delay;
+  row.plan_cold = plan.cold.delay;
+  row.plan_warm = plan.warm.delay;
+  row.interp_warm_bytes = interp.warm.mem_bytes_applied;
+  row.plan_warm_bytes = plan.warm.mem_bytes_applied;
+  row.plan_pages_skipped = plan.warm.pages_skipped_clean;
+  row.outputs_identical =
+      BitIdentical(interp.cold_output, interp.warm_output) &&
+      BitIdentical(interp.cold_output, plan.cold_output) &&
+      BitIdentical(interp.cold_output, plan.warm_output);
+  GRT_ASSIGN_OR_RETURN(std::vector<float> ref,
+                       RunReference(r.net, GenerateInput(r.net, kInputSeed),
+                                    kParamSeed));
+  row.matches_reference = MaxAbsDiff(plan.warm_output, ref) <= 1e-4f;
+  return row;
+}
+
+struct ScalingRow {
+  int workers = 0;
+  size_t requests = 0;
+  double avg_replay_ms = 0;
+  double p95_replay_ms = 0;
+  double throughput_rps = 0;  // modeled: workers / avg replay delay
+  double efficiency = 1.0;    // vs. linear scaling of the 1-worker rate
+  double warm_fraction = 0;
+  double wall_seconds = 0;  // host-side, informational only
+  // Host CPU cost of a request by temperature. compile: plan-cache miss
+  // (blob hash + parse + static verify + plan compile + everything
+  // below). cold: plan cached but first landing on this worker (engine
+  // load + full image application). warm: steady state (dirty pages
+  // only). The compile/warm ratio is the serving engine's reason to
+  // exist — and the bench's >= 1.5x gate.
+  double compile_service_ms = 0;
+  double cold_service_ms = 0;
+  double warm_service_ms = 0;
+
+  double warm_speedup() const {
+    return warm_service_ms == 0 ? 0.0 : compile_service_ms / warm_service_ms;
+  }
+};
+
+Result<ScalingRow> RunScaling(const RecordingStore& store,
+                              const RecordedNet& r, int workers,
+                              size_t requests_per_worker) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = workers;
+  ReplayService service(&store, config);
+  // No Preload: the first request pays the full compile-cold path, which
+  // is exactly the cost the warm-speedup gate compares against.
+  GRT_RETURN_IF_ERROR(service.Start());
+
+  size_t total = requests_per_worker * static_cast<size_t>(workers);
+  auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::future<ReplayResponse>> futures;
+  futures.reserve(total);
+  for (size_t i = 0; i < total; ++i) {
+    ReplayRequest request;
+    request.workload = r.net.name;
+    request.tensors[r.net.input_tensor] = GenerateInput(r.net, kInputSeed + i);
+    for (const TensorDef& t : r.net.tensors) {
+      if (t.kind == TensorKind::kParam) {
+        request.tensors[t.name] = GenerateParams(r.net.name, t, kParamSeed);
+      }
+    }
+    request.output_tensor = r.net.output_tensor;
+    futures.push_back(service.SubmitAsync(std::move(request)));
+  }
+
+  std::vector<Duration> delays;
+  std::vector<int64_t> compile_ns, cold_ns, warm_ns;
+  for (auto& f : futures) {
+    ReplayResponse response = f.get();
+    GRT_RETURN_IF_ERROR(response.status);
+    delays.push_back(response.report.delay);
+    if (!response.plan_cache_hit) {
+      compile_ns.push_back(response.service_ns);
+    } else if (!response.report.warm) {
+      cold_ns.push_back(response.service_ns);
+    } else {
+      warm_ns.push_back(response.service_ns);
+    }
+  }
+  service.Stop();
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+
+  std::sort(delays.begin(), delays.end());
+  Duration sum = 0;
+  for (Duration d : delays) sum += d;
+  double avg_s = ToSeconds(sum) / static_cast<double>(delays.size());
+
+  ScalingRow row;
+  row.workers = workers;
+  row.requests = total;
+  row.avg_replay_ms = avg_s * 1e3;
+  row.p95_replay_ms = ToMilliseconds(delays[delays.size() * 95 / 100]);
+  // Each worker is one simulated device; a fleet of W devices sustains
+  // W / avg_delay requests per modeled second. avg includes each worker's
+  // one cold replay, so the per-request cost (and hence efficiency) is
+  // honestly diluted as the fleet grows.
+  row.throughput_rps = static_cast<double>(workers) / avg_s;
+  row.warm_fraction =
+      static_cast<double>(warm_ns.size()) / static_cast<double>(delays.size());
+  row.wall_seconds = wall;
+  auto mean_ms = [](const std::vector<int64_t>& v) {
+    if (v.empty()) return 0.0;
+    int64_t sum = 0;
+    for (int64_t ns : v) sum += ns;
+    return static_cast<double>(sum) / static_cast<double>(v.size()) / 1e6;
+  };
+  row.compile_service_ms = mean_ms(compile_ns);
+  row.cold_service_ms = mean_ms(cold_ns);
+  if (!warm_ns.empty()) {
+    std::sort(warm_ns.begin(), warm_ns.end());
+    row.warm_service_ms =
+        static_cast<double>(warm_ns[warm_ns.size() / 2]) / 1e6;
+  }
+  return row;
+}
+
+struct SweepRow {
+  double target_ratio = 0;
+  uint32_t pages_dirtied = 0;
+  uint64_t pages_applied = 0;
+  uint64_t pages_skipped = 0;
+  uint64_t mem_bytes_applied = 0;
+  double replay_ms = 0;
+};
+
+// Touches the first `n` initial-image pages (rewriting each page's first
+// byte with its current value: contents unchanged, dirty-tracking fires).
+Status DirtyPages(ClientDevice* device, const ReplayPlan& plan, uint32_t n) {
+  uint32_t done = 0;
+  for (const PlanRegion& region : plan.regions) {
+    for (uint32_t i = 0; i < region.n_pages && done < n; ++i, ++done) {
+      uint8_t b = 0;
+      GRT_RETURN_IF_ERROR(device->mem().Read(region.page_pa(i), &b, 1));
+      GRT_RETURN_IF_ERROR(device->mem().Write(region.page_pa(i), &b, 1));
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<SweepRow>> RunDirtySweep(const RecordedNet& r) {
+  ClientDevice device(kSku, kNondetSeed);
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline(), ReplayConfig{});
+  GRT_RETURN_IF_ERROR(replayer.Load(r.recording));
+  std::vector<float> input = GenerateInput(r.net, kInputSeed);
+  GRT_RETURN_IF_ERROR(replayer.StageTensor(r.net.input_tensor, input));
+  for (const TensorDef& t : r.net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      GRT_RETURN_IF_ERROR(replayer.StageTensor(
+          t.name, GenerateParams(r.net.name, t, kParamSeed)));
+    }
+  }
+  GRT_RETURN_IF_ERROR(replayer.Replay().status());  // cold; arms tracking
+  const ReplayPlan& plan = *replayer.plan();
+
+  std::vector<SweepRow> rows;
+  for (double ratio : {0.0, 0.05, 0.25, 0.5, 1.0}) {
+    uint32_t n = static_cast<uint32_t>(ratio * plan.image_pages + 0.5);
+    GRT_RETURN_IF_ERROR(DirtyPages(&device, plan, n));
+    GRT_RETURN_IF_ERROR(replayer.StageTensor(r.net.input_tensor, input));
+    GRT_ASSIGN_OR_RETURN(ReplayReport report, replayer.Replay());
+    SweepRow row;
+    row.target_ratio = ratio;
+    row.pages_dirtied = n;
+    row.pages_applied = report.pages_applied;
+    row.pages_skipped = report.pages_skipped_clean;
+    row.mem_bytes_applied = report.mem_bytes_applied;
+    row.replay_ms = ToMilliseconds(report.delay);
+    rows.push_back(row);
+  }
+  // The sweep must not have moved the answer.
+  GRT_ASSIGN_OR_RETURN(std::vector<float> out,
+                       replayer.ReadTensor(r.net.output_tensor));
+  GRT_ASSIGN_OR_RETURN(std::vector<float> ref,
+                       RunReference(r.net, input, kParamSeed));
+  if (MaxAbsDiff(out, ref) > 1e-4f) {
+    return Internal("dirty sweep perturbed the replay output");
+  }
+  return rows;
+}
+
+void WriteJson(const std::string& path, bool smoke,
+               const std::vector<EngineRow>& engines,
+               const std::vector<ScalingRow>& scaling,
+               const std::vector<SweepRow>& sweep, bool gates_ok) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"replay_serving\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"warm_speedup_gate\": %.2f,\n", kWarmSpeedupGate);
+  std::fprintf(f, "  \"gates_ok\": %s,\n", gates_ok ? "true" : "false");
+  std::fprintf(f, "  \"engine_comparison\": [\n");
+  for (size_t i = 0; i < engines.size(); ++i) {
+    const EngineRow& e = engines[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"interp_cold_ms\": %.4f, "
+        "\"interp_warm_ms\": %.4f, \"plan_cold_ms\": %.4f, "
+        "\"plan_warm_ms\": %.4f, \"warm_speedup\": %.3f, "
+        "\"interp_warm_bytes\": %llu, \"plan_warm_bytes\": %llu, "
+        "\"plan_pages_skipped\": %llu, \"outputs_identical\": %s, "
+        "\"matches_reference\": %s}%s\n",
+        e.workload.c_str(), ToMilliseconds(e.interp_cold),
+        ToMilliseconds(e.interp_warm), ToMilliseconds(e.plan_cold),
+        ToMilliseconds(e.plan_warm), e.warm_speedup(),
+        static_cast<unsigned long long>(e.interp_warm_bytes),
+        static_cast<unsigned long long>(e.plan_warm_bytes),
+        static_cast<unsigned long long>(e.plan_pages_skipped),
+        e.outputs_identical ? "true" : "false",
+        e.matches_reference ? "true" : "false",
+        i + 1 < engines.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"serving_scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const ScalingRow& s = scaling[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %d, \"requests\": %zu, \"avg_replay_ms\": %.4f, "
+        "\"p95_replay_ms\": %.4f, \"throughput_rps\": %.2f, "
+        "\"scaling_efficiency\": %.3f, \"warm_fraction\": %.3f, "
+        "\"compile_service_ms\": %.4f, \"cold_service_ms\": %.4f, "
+        "\"warm_service_ms\": %.4f, \"warm_speedup\": %.2f, "
+        "\"wall_seconds\": %.3f}%s\n",
+        s.workers, s.requests, s.avg_replay_ms, s.p95_replay_ms,
+        s.throughput_rps, s.efficiency, s.warm_fraction,
+        s.compile_service_ms, s.cold_service_ms, s.warm_service_ms,
+        s.warm_speedup(), s.wall_seconds,
+        i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"dirty_page_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& s = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"target_ratio\": %.2f, \"pages_dirtied\": %u, "
+        "\"pages_applied\": %llu, \"pages_skipped\": %llu, "
+        "\"mem_bytes_applied\": %llu, \"replay_ms\": %.4f}%s\n",
+        s.target_ratio, s.pages_dirtied,
+        static_cast<unsigned long long>(s.pages_applied),
+        static_cast<unsigned long long>(s.pages_skipped),
+        static_cast<unsigned long long>(s.mem_bytes_applied), s.replay_ms,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  std::vector<NetworkDef> nets =
+      smoke ? std::vector<NetworkDef>{BuildMnist()} : BuildAllNetworks();
+
+  // Section 1: interpreter vs plan, per network.
+  TextTable engine_table({"workload", "interp warm", "plan warm", "speedup",
+                          "interp bytes", "plan bytes", "skipped", "gates"});
+  std::vector<EngineRow> engines;
+  bool gates_ok = true;
+  RecordedNet mnist{};  // kept for sections 2 and 3
+  for (const NetworkDef& net : nets) {
+    auto recorded = RecordOnce(net);
+    if (!recorded.ok()) {
+      std::fprintf(stderr, "%s: record failed: %s\n", net.name.c_str(),
+                   recorded.status().ToString().c_str());
+      return 1;
+    }
+    auto row = CompareEngines(*recorded);
+    if (!row.ok()) {
+      std::fprintf(stderr, "%s: engine comparison failed: %s\n",
+                   net.name.c_str(), row.status().ToString().c_str());
+      return 1;
+    }
+    engine_table.AddRow(
+        {row->workload, FormatMs(ToMilliseconds(row->interp_warm)),
+         FormatMs(ToMilliseconds(row->plan_warm)),
+         std::to_string(row->warm_speedup()).substr(0, 5) + "x",
+         FormatMb(static_cast<double>(row->interp_warm_bytes)),
+         FormatMb(static_cast<double>(row->plan_warm_bytes)),
+         FormatCount(row->plan_pages_skipped),
+         row->gates_ok() ? "ok" : "FAIL"});
+    if (!row->gates_ok()) {
+      std::fprintf(stderr,
+                   "GATE FAILURE on %s: warm plan bytes %llu must be < "
+                   "interpreter bytes %llu, identical=%d, reference=%d\n",
+                   row->workload.c_str(),
+                   static_cast<unsigned long long>(row->plan_warm_bytes),
+                   static_cast<unsigned long long>(row->interp_warm_bytes),
+                   row->outputs_identical, row->matches_reference);
+      gates_ok = false;
+    }
+    engines.push_back(*row);
+    if (net.name == "mnist") mnist = std::move(*recorded);
+  }
+  std::printf("Warm replay: interpreter vs compiled plan "
+              "(modeled timeline, Table 2 metric)\n\n");
+  engine_table.Print();
+
+  // Sections 2 and 3 ride on the MNIST recording.
+  std::vector<ScalingRow> scaling;
+  std::vector<SweepRow> sweep;
+  if (!smoke && !mnist.net.name.empty()) {
+    RecordingStore store(mnist.session_key);
+    Status installed = store.Install(mnist.signed_recording);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "store install failed: %s\n",
+                   installed.ToString().c_str());
+      return 1;
+    }
+    TextTable scale_table({"workers", "requests", "avg replay", "p95",
+                           "throughput", "efficiency", "compile serve",
+                           "cold serve", "warm serve", "speedup"});
+    for (int workers : {1, 2, 4}) {
+      auto row = RunScaling(store, mnist, workers, 16);
+      if (!row.ok()) {
+        std::fprintf(stderr, "scaling (%d workers) failed: %s\n", workers,
+                     row.status().ToString().c_str());
+        return 1;
+      }
+      if (!scaling.empty()) {
+        row->efficiency = row->throughput_rps /
+                          (scaling.front().throughput_rps * row->workers);
+      }
+      scale_table.AddRow(
+          {std::to_string(row->workers), std::to_string(row->requests),
+           FormatMs(row->avg_replay_ms), FormatMs(row->p95_replay_ms),
+           std::to_string(row->throughput_rps).substr(0, 6) + " rps",
+           FormatPercent(row->efficiency),
+           FormatMs(row->compile_service_ms), FormatMs(row->cold_service_ms),
+           FormatMs(row->warm_service_ms),
+           std::to_string(row->warm_speedup()).substr(0, 5) + "x"});
+      if (row->warm_speedup() < kWarmSpeedupGate) {
+        std::fprintf(stderr,
+                     "GATE FAILURE at %d workers: compile-cold/warm "
+                     "service speedup %.2fx (need >= %.1fx)\n",
+                     workers, row->warm_speedup(), kWarmSpeedupGate);
+        gates_ok = false;
+      }
+      scaling.push_back(*row);
+    }
+    std::printf("\nServing vs fleet size (throughput in modeled time — each\n"
+                "worker is one simulated device on its own timeline; service\n"
+                "times are host wall-clock, cold = plan compile + full "
+                "image)\n\n");
+    scale_table.Print();
+
+    auto sweep_rows = RunDirtySweep(mnist);
+    if (!sweep_rows.ok()) {
+      std::fprintf(stderr, "dirty sweep failed: %s\n",
+                   sweep_rows.status().ToString().c_str());
+      return 1;
+    }
+    sweep = *sweep_rows;
+    TextTable sweep_table({"dirtied", "pages applied", "pages skipped",
+                           "bytes", "replay"});
+    for (const SweepRow& s : sweep) {
+      sweep_table.AddRow({FormatPercent(s.target_ratio),
+                          FormatCount(s.pages_applied),
+                          FormatCount(s.pages_skipped),
+                          FormatMb(static_cast<double>(s.mem_bytes_applied)),
+                          FormatMs(s.replay_ms)});
+    }
+    std::printf("\nWarm replay cost vs externally-dirtied page fraction "
+                "(mnist)\n\n");
+    sweep_table.Print();
+  }
+
+  WriteJson(out_path, smoke, engines, scaling, sweep, gates_ok);
+  return gates_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace grt
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_replay_serving.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return grt::Run(smoke, out);
+}

@@ -15,6 +15,11 @@
 //   --diff <other>  parse <other> as a serialized (unsigned) recording body
 //                   — typically a grt_opt output — and summarize op-count
 //                   deltas against the freshly recorded original
+//   --plan          compile the recording into a ReplayPlan (src/record/
+//                   plan) and print what the lowering produced: op counts,
+//                   the coalesced initial-image region table, mid-replay
+//                   metastate reapplications, the tensor patch table, and
+//                   the pages folded or dropped at compile time
 //   --save <file>   write this recording's unsigned body to <file> (the
 //                   input format grt_lint and grt_opt consume)
 #include <algorithm>
@@ -29,6 +34,7 @@
 #include "src/harness/table.h"
 #include "src/hw/regs.h"
 #include "src/ml/network.h"
+#include "src/record/plan.h"
 
 using namespace grt;
 
@@ -138,10 +144,67 @@ int DiffAgainst(const Recording& original, const char* other_path) {
   return 0;
 }
 
+void InspectPlan(const Recording& rec) {
+  ReplayPlan plan = CompileReplayPlan(rec);
+  std::printf("\n--- compiled replay plan ---\n");
+  std::printf("lowered %zu log entries -> %zu ops + %u initial-image pages "
+              "(%.1f KB)\n",
+              plan.source_entries, plan.ops.size(), plan.image_pages,
+              plan.image_bytes / 1024.0);
+  std::printf("  folded at compile: %u duplicate page snapshot(s), "
+              "%u post-job-start data page(s)\n",
+              plan.duplicate_pages, plan.dropped_pages);
+
+  const struct { LogOp op; const char* name; } kKinds[] = {
+      {LogOp::kRegWrite, "reg write"}, {LogOp::kRegRead, "reg read"},
+      {LogOp::kPollWait, "poll wait"}, {LogOp::kDelay, "delay"},
+      {LogOp::kIrqWait, "irq wait"},   {LogOp::kMemPage, "mid image"},
+  };
+  std::printf("\n  op array:\n");
+  for (const auto& k : kKinds) {
+    size_t n = plan.CountOps(k.op);
+    if (n > 0) {
+      std::printf("    %-10s %6zu\n", k.name, n);
+    }
+  }
+
+  std::printf("\n  initial image, coalesced into %zu contiguous region(s):\n",
+              plan.regions.size());
+  TextTable regions({"base pa", "pages", "KB", "metastate"});
+  for (const PlanRegion& region : plan.regions) {
+    char base[24];
+    std::snprintf(base, sizeof(base), "0x%010llx",
+                  static_cast<unsigned long long>(region.base_pa));
+    size_t meta = 0;
+    for (bool m : region.metastate) {
+      if (m) ++meta;
+    }
+    regions.AddRow({base, std::to_string(region.n_pages),
+                    std::to_string(region.image.size() / 1024),
+                    std::to_string(meta)});
+  }
+  regions.Print();
+  if (!plan.mid_images.empty()) {
+    std::printf("\n  %zu mid-replay metastate reapplication(s) kept as "
+                "ordered ops\n",
+                plan.mid_images.size());
+  }
+
+  std::printf("\n  tensor patch table:\n");
+  for (const auto& [name, patch] : plan.patches) {
+    std::printf("    %-14s %8llu floats in %3zu chunk(s), %s%s\n",
+                name.c_str(),
+                static_cast<unsigned long long>(patch.n_floats),
+                patch.chunks.size(),
+                patch.writable ? "injectable" : "read-only",
+                patch.complete ? "" : "  [INCOMPLETE PAGE LIST]");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool lint = false, dump = false, dataflow = false;
+  bool lint = false, dump = false, dataflow = false, show_plan = false;
   const char* diff_path = nullptr;
   const char* save_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -151,13 +214,15 @@ int main(int argc, char** argv) {
       dump = true;
     } else if (std::strcmp(argv[i], "--dataflow") == 0) {
       dataflow = true;
+    } else if (std::strcmp(argv[i], "--plan") == 0) {
+      show_plan = true;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diff_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
       save_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--lint] [--dump] [--dataflow] "
+                   "usage: %s [--lint] [--dump] [--dataflow] [--plan] "
                    "[--diff <other>] [--save <file>]\n",
                    argv[0]);
       return 2;
@@ -250,6 +315,9 @@ int main(int argc, char** argv) {
     std::printf("\n--- dataflow IR ---\n%s\n",
                 ComputeIrStats(ir).ToString().c_str());
     std::printf("%s", DumpIr(ir, 60).c_str());
+  }
+  if (show_plan) {
+    InspectPlan(*rec);
   }
   if (save_path != nullptr) {
     Bytes body = rec->SerializeBody();

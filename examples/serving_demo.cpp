@@ -1,0 +1,98 @@
+// serving_demo: the deployment view of GR-T — a replay model server.
+//
+// A fleet operator records a workload once, installs the signed artifact
+// in a RecordingStore, and stands up a ReplayService in front of it. The
+// service verifies and compiles the recording once (into a ReplayPlan),
+// then serves concurrent inference requests across worker devices; after
+// each worker's first request, replays run the dirty-page warm path and
+// re-apply only the memory a previous replay clobbered.
+//
+// Demonstrates: Preload, sync and async submission, deadlines, and the
+// service's cache/warm-path statistics.
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/ml/reference.h"
+#include "src/serve/service.h"
+
+using namespace grt;
+
+int main() {
+  constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+  NetworkDef net = BuildMnist();
+
+  // One-time: record the workload and install the signed artifact.
+  ClientDevice recorder(kSku);
+  SpeculationHistory history;
+  auto recorded = RunRecordVariant(&recorder, net, "OursMDS",
+                                   WifiConditions(), &history, 0);
+  if (!recorded.ok()) {
+    std::printf("recording failed: %s\n",
+                recorded.status().ToString().c_str());
+    return 1;
+  }
+  RecordingStore store(recorded->session_key);
+  if (!store.Install(recorded->signed_recording).ok()) {
+    return 1;
+  }
+
+  // Stand up the service: two simulated devices, plans compiled ahead of
+  // traffic.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  ReplayService service(&store, config);
+  if (!service.Preload(net.name).ok() || !service.Start().ok()) {
+    return 1;
+  }
+
+  // Concurrent clients: async submits with a deadline, new input each
+  // request, model parameters staged with the request (they stay resident
+  // on the worker afterwards).
+  std::vector<std::future<ReplayResponse>> in_flight;
+  for (uint64_t i = 0; i < 12; ++i) {
+    ReplayRequest request;
+    request.workload = net.name;
+    request.tensors[net.input_tensor] = GenerateInput(net, 100 + i);
+    for (const TensorDef& t : net.tensors) {
+      if (t.kind == TensorKind::kParam) {
+        request.tensors[t.name] = GenerateParams(net.name, t, 7);
+      }
+    }
+    request.output_tensor = net.output_tensor;
+    request.deadline_ms = 5000;
+    in_flight.push_back(service.SubmitAsync(std::move(request)));
+  }
+
+  int ok = 0;
+  for (size_t i = 0; i < in_flight.size(); ++i) {
+    ReplayResponse response = in_flight[i].get();
+    if (!response.status.ok()) {
+      std::printf("request %zu failed: %s\n", i,
+                  response.status.ToString().c_str());
+      continue;
+    }
+    auto ref = RunReference(net, GenerateInput(net, 100 + i), 7);
+    bool correct = ref.ok() && MaxAbsDiff(response.output, *ref) <= 1e-4f;
+    std::printf("request %2zu: worker %d, %s replay, %s in %s, %s\n", i,
+                response.worker, response.report.warm ? "warm" : "cold",
+                FormatDuration(response.report.delay).c_str(),
+                response.plan_cache_hit ? "cached plan" : "fresh compile",
+                correct ? "output matches reference" : "OUTPUT MISMATCH");
+    if (correct) ++ok;
+  }
+
+  ServeStats stats = service.Stats();
+  std::printf("\nserved %zu/%zu OK | plan hits/misses %zu/%zu | "
+              "%zu warm replays, dirty-page ratio %.0f%%\n",
+              static_cast<size_t>(ok), in_flight.size(), stats.plan_hits,
+              stats.plan_misses, stats.warm_replays,
+              100.0 * stats.dirty_page_ratio());
+  std::printf("replay delay p50 %s, p95 %s\n",
+              FormatDuration(stats.replay_delay_p50).c_str(),
+              FormatDuration(stats.replay_delay_p95).c_str());
+  service.Stop();
+  return ok == static_cast<int>(in_flight.size()) ? 0 : 1;
+}

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Three-pass CI gate:
+# Five-pass CI gate:
 #   1. normal build + full ctest (includes the chaos suite, run twice so
 #      the deterministic-recording acceptance covers two consecutive runs)
-#   2. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest
-#   3. clang-tidy over the library sources (profile: .clang-tidy); any
+#   2. replay perf smoke gate: bench/replay_serving --smoke fails if a
+#      warm plan-based replay ever applies at least as many memory bytes
+#      as the interpreter, or diverges from it bitwise
+#   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest
+#   4. TSan build (-DGRT_SANITIZE=thread) + the serving concurrency suite
+#      (src/serve is the repo's multi-threaded subsystem); any reported
+#      race fails the gate even when the assertions all pass
+#   5. clang-tidy over the library sources (profile: .clang-tidy); any
 #      warning fails the gate. Skips cleanly where clang-tidy is absent.
 #
 # Usage: scripts/ci.sh [jobs]
@@ -29,23 +35,43 @@ run_pass() {
   ctest --test-dir "${build_dir}" -j "${JOBS}" --output-on-failure
 }
 
-run_pass "pass 1/3 (normal)" build-ci
+run_pass "pass 1/5 (normal)" build-ci
 # The chaos suite asserts per-schedule determinism in-process; running the
 # whole suite a second time also proves determinism across runs.
-echo "=== pass 1/3: ctest (second run, determinism check) ==="
+echo "=== pass 1/5: ctest (second run, determinism check) ==="
 ctest --test-dir build-ci -j "${JOBS}" --output-on-failure
 
-run_pass "pass 2/3 (asan+ubsan)" build-ci-san \
+echo "=== pass 2/5: replay perf smoke gate ==="
+cmake --build build-ci -j "${JOBS}" --target replay_serving
+SMOKE_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_JSON}"' EXIT
+build-ci/bench/replay_serving --smoke --out "${SMOKE_JSON}"
+
+run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
   -DGRT_SANITIZE=address,undefined
+
+# TSan: build only the serving suite (the rest of the repo is
+# single-threaded and already covered by passes 1 and 3). TSan does not
+# fail the process exit code for races by default here, so grep the log.
+echo "=== pass 4/5: tsan serving concurrency gate ==="
+cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
+cmake --build build-ci-tsan -j "${JOBS}" --target service_test
+TSAN_LOG="$(mktemp)"
+trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}"' EXIT
+build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
+if grep -E 'WARNING: ThreadSanitizer' "${TSAN_LOG}" >/dev/null; then
+  echo "=== pass 4/5: ThreadSanitizer reported races — failing ===" >&2
+  exit 1
+fi
 
 # clang-tidy emits warnings on stdout but exits 0 for warnings-only runs;
 # treat any diagnostic line as a gate failure so new warnings can't land.
-echo "=== pass 3/3: clang-tidy lint gate ==="
+echo "=== pass 5/5: clang-tidy lint gate ==="
 TIDY_LOG="$(mktemp)"
-trap 'rm -f "${TIDY_LOG}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
 scripts/run_clang_tidy.sh build-ci src 2>&1 | tee "${TIDY_LOG}"
 if grep -E 'warning:|error:' "${TIDY_LOG}" >/dev/null; then
-  echo "=== pass 3/3: clang-tidy reported diagnostics — failing ===" >&2
+  echo "=== pass 5/5: clang-tidy reported diagnostics — failing ===" >&2
   exit 1
 fi
 

@@ -28,6 +28,9 @@ Status PhysicalMemory::Write(uint64_t pa, const void* in, uint64_t len,
                              MemAccessOrigin origin) {
   GRT_RETURN_IF_ERROR(CheckAccess(pa, len, /*write=*/true, origin));
   std::memcpy(data_.data() + (pa - base_), in, len);
+  for (const auto& [id, observer] : observers_) {
+    observer(pa, len);
+  }
   return OkStatus();
 }
 

@@ -43,6 +43,10 @@ class PhysicalMemory {
   // Policy returns true to permit the access.
   using AccessPolicy = std::function<bool(uint64_t pa, uint64_t len, bool write,
                                           MemAccessOrigin origin)>;
+  // Observer invoked after every successful write (any origin: CPU either
+  // world, GPU DMA). The replayer's dirty-page tracker interposes here to
+  // learn which recorded-image pages a replay clobbered.
+  using WriteObserver = std::function<void(uint64_t pa, uint64_t len)>;
 
   PhysicalMemory(uint64_t base_pa, uint64_t size)
       : base_(base_pa), data_(size, 0) {}
@@ -69,6 +73,19 @@ class PhysicalMemory {
         std::remove_if(policies_.begin(), policies_.end(),
                        [id](const auto& p) { return p.first == id; }),
         policies_.end());
+  }
+
+  // Installs a write observer; returns a handle for RemoveWriteObserver.
+  // Observers see permitted writes only (denied accesses never mutate).
+  int AddWriteObserver(WriteObserver observer) {
+    observers_.emplace_back(next_observer_id_, std::move(observer));
+    return next_observer_id_++;
+  }
+  void RemoveWriteObserver(int id) {
+    observers_.erase(
+        std::remove_if(observers_.begin(), observers_.end(),
+                       [id](const auto& o) { return o.first == id; }),
+        observers_.end());
   }
 
   Status Read(uint64_t pa, void* out, uint64_t len,
@@ -103,6 +120,8 @@ class PhysicalMemory {
   Bytes data_;
   std::vector<std::pair<int, AccessPolicy>> policies_;
   int next_policy_id_ = 1;
+  std::vector<std::pair<int, WriteObserver>> observers_;
+  int next_observer_id_ = 1;
 };
 
 // Simple page allocator over a carveout; returns physical page addresses.

@@ -33,17 +33,29 @@ Status LayeredReplayer::Load(std::vector<Recording> segments) {
           "recording was produced for a different GPU SKU");
     }
   }
-  segments_ = std::move(segments);
+  // One persistent replayer per segment: static verification and plan
+  // compilation run here, once, not on every ReplayAll call. Scrub flags
+  // are call-dependent and set per ReplayAll via SetScrub.
+  std::vector<std::unique_ptr<Replayer>> replayers;
+  for (Recording& segment : segments) {
+    auto replayer =
+        std::make_unique<Replayer>(gpu_, tzasc_, mem_, timeline_);
+    GRT_RETURN_IF_ERROR(replayer->Load(std::move(segment)));
+    replayers.push_back(std::move(replayer));
+  }
+  replayers_ = std::move(replayers);
+  staged_.clear();
   return OkStatus();
 }
 
 Status LayeredReplayer::StageTensor(const std::string& name,
                                     const std::vector<float>& data) {
-  if (segments_.empty()) {
+  if (replayers_.empty()) {
     return FailedPrecondition("StageTensor before Load");
   }
-  auto it = segments_[0].bindings.find(name);
-  if (it == segments_[0].bindings.end()) {
+  const auto& bindings = replayers_[0]->recording().bindings;
+  auto it = bindings.find(name);
+  if (it == bindings.end()) {
     return NotFound("no tensor binding '" + name + "'");
   }
   if (!it->second.writable_at_replay) {
@@ -58,20 +70,19 @@ Status LayeredReplayer::StageTensor(const std::string& name,
 
 Result<ReplayReport> LayeredReplayer::ReplayAll(size_t first_segment,
                                                 bool scrub_after_last) {
-  if (segments_.empty()) {
+  if (replayers_.empty()) {
     return FailedPrecondition("ReplayAll before Load");
   }
-  if (first_segment >= segments_.size()) {
+  if (first_segment >= replayers_.size()) {
     return OutOfRange("first_segment beyond the last segment");
   }
   ReplayReport total;
   TimePoint start = timeline_->now();
-  for (size_t i = first_segment; i < segments_.size(); ++i) {
-    ReplayConfig config;
-    config.scrub_before = i == first_segment && first_segment == 0;
-    config.scrub_after = scrub_after_last && i + 1 == segments_.size();
-    Replayer replayer(gpu_, tzasc_, mem_, timeline_, config);
-    GRT_RETURN_IF_ERROR(replayer.Load(segments_[i]));
+  for (size_t i = first_segment; i < replayers_.size(); ++i) {
+    Replayer& replayer = *replayers_[i];
+    replayer.SetScrub(/*before=*/i == first_segment && first_segment == 0,
+                      /*after=*/scrub_after_last &&
+                          i + 1 == replayers_.size());
     if (i == first_segment) {
       for (const auto& [name, data] : staged_) {
         GRT_RETURN_IF_ERROR(replayer.StageTensor(name, data));
@@ -81,6 +92,10 @@ Result<ReplayReport> LayeredReplayer::ReplayAll(size_t first_segment,
     total.entries_replayed += report.entries_replayed;
     total.pages_applied += report.pages_applied;
     total.reads_verified += report.reads_verified;
+    total.mem_bytes_applied += report.mem_bytes_applied;
+    total.pages_skipped_clean += report.pages_skipped_clean;
+    total.plan_used = report.plan_used;
+    total.warm = report.warm;
   }
   total.delay = timeline_->now() - start;
   return total;
@@ -88,12 +103,10 @@ Result<ReplayReport> LayeredReplayer::ReplayAll(size_t first_segment,
 
 Result<std::vector<float>> LayeredReplayer::ReadTensor(
     const std::string& name) const {
-  if (segments_.empty()) {
+  if (replayers_.empty()) {
     return FailedPrecondition("ReadTensor before Load");
   }
-  Replayer probe(gpu_, tzasc_, mem_, timeline_);
-  GRT_RETURN_IF_ERROR(probe.Load(segments_[0]));
-  return probe.ReadTensor(name);
+  return replayers_[0]->ReadTensor(name);
 }
 
 }  // namespace grt

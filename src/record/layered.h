@@ -7,9 +7,15 @@
 // activations flow from one layer's recording into the next — which is
 // exactly what makes the granularity composable: an app may re-run a
 // suffix of layers, or splice recordings that share a boundary.
+//
+// Each segment gets one persistent Replayer, created at Load: signature
+// parsing, SKU checks, static verification, and plan compilation happen
+// once per segment, not once per ReplayAll call — repeated replays (the
+// deployed steady state) pay only the replay itself.
 #ifndef GRT_SRC_RECORD_LAYERED_H_
 #define GRT_SRC_RECORD_LAYERED_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,7 +34,7 @@ class LayeredReplayer {
   Status LoadSigned(const std::vector<Bytes>& wires, const Bytes& key);
   Status Load(std::vector<Recording> segments);
 
-  // Staged tensors are injected at the start of segment 0.
+  // Staged tensors are injected at the start of the first replayed segment.
   Status StageTensor(const std::string& name, const std::vector<float>& data);
 
   // Replays all segments in layer order. `first_segment` allows replaying
@@ -40,14 +46,17 @@ class LayeredReplayer {
 
   Result<std::vector<float>> ReadTensor(const std::string& name) const;
 
-  size_t segment_count() const { return segments_.size(); }
+  size_t segment_count() const { return replayers_.size(); }
 
  private:
   MaliGpu* gpu_;
   Tzasc* tzasc_;
   PhysicalMemory* mem_;
   Timeline* timeline_;
-  std::vector<Recording> segments_;
+  // One loaded (verified-once) replayer per segment, reused across
+  // ReplayAll calls so repeated replays skip re-verification and benefit
+  // from dirty-page tracking.
+  std::vector<std::unique_ptr<Replayer>> replayers_;
   std::map<std::string, std::vector<float>> staged_;
 };
 

@@ -1,0 +1,141 @@
+#include "src/record/plan.h"
+
+#include <cstring>
+#include <utility>
+
+#include "src/hw/regs.h"
+#include "src/mem/phys_mem.h"
+
+namespace grt {
+
+bool IsReplayJobStart(const LogEntry& e) {
+  if (e.op != LogOp::kRegWrite || e.value != kJsCommandStart) {
+    return false;
+  }
+  if (e.reg < kJobSlotBase ||
+      e.reg >= kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
+    return false;
+  }
+  return (e.reg - kJobSlotBase) % kJobSlotStride == kJsCommandNext;
+}
+
+size_t ReplayPlan::CountOps(LogOp kind) const {
+  size_t n = 0;
+  for (const PlanOp& op : ops) {
+    n += op.kind == kind ? 1 : 0;
+  }
+  return n;
+}
+
+ReplayPlan CompileReplayPlan(const Recording& recording) {
+  ReplayPlan plan;
+  const auto& entries = recording.log.entries();
+  plan.source_entries = entries.size();
+
+  // Pass 1: lower the log. Pre-job-start full-page snapshots accumulate
+  // into `image` (last write wins — the interpreter applies them in order,
+  // so only the final content matters); everything else becomes an op in
+  // source order.
+  std::map<uint64_t, std::pair<Bytes, bool>> image;  // pa -> (data, meta)
+  bool first_image_done = false;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const LogEntry& e = entries[i];
+    PlanOp op;
+    op.kind = e.op;
+    op.log_index = static_cast<uint32_t>(i);
+    switch (e.op) {
+      case LogOp::kMemPage: {
+        bool full_page =
+            e.data.size() == kPageSize && (e.pa & kPageMask) == 0;
+        if (!first_image_done && full_page) {
+          auto [it, inserted] =
+              image.insert_or_assign(e.pa, std::make_pair(e.data, e.metastate));
+          (void)it;
+          if (!inserted) {
+            ++plan.duplicate_pages;
+          }
+          continue;  // absorbed into the initial image, not an op
+        }
+        if (first_image_done && !e.metastate) {
+          // The interpreter skips these on every call; drop them once.
+          ++plan.dropped_pages;
+          continue;
+        }
+        // Mid-replay metastate reapplication (or an odd-shaped snapshot a
+        // hand-built log may carry): keep it ordered against the stimuli.
+        op.image = static_cast<uint32_t>(plan.mid_images.size());
+        plan.mid_images.push_back(PlanImage{e.pa, e.data});
+        break;
+      }
+      case LogOp::kRegWrite:
+        op.reg = e.reg;
+        op.value = e.value;
+        if (!first_image_done && IsReplayJobStart(e)) {
+          first_image_done = true;
+        }
+        break;
+      case LogOp::kRegRead:
+        op.reg = e.reg;
+        op.value = e.value;
+        op.verify = !IsNondeterministicRegister(e.reg);
+        break;
+      case LogOp::kPollWait:
+        op.reg = e.reg;
+        op.mask = e.mask;
+        op.expected = e.expected;
+        break;
+      case LogOp::kDelay:
+        op.delay = e.delay;
+        break;
+      case LogOp::kIrqWait:
+        op.irq_lines = e.irq_lines;
+        break;
+    }
+    plan.ops.push_back(op);
+  }
+
+  // Pass 2: coalesce the initial image into contiguous page runs. The map
+  // iterates in ascending pa, so a run breaks exactly where a page gap
+  // opens.
+  for (auto& [pa, page] : image) {
+    auto& [data, meta] = page;
+    if (plan.regions.empty() ||
+        plan.regions.back().base_pa +
+                static_cast<uint64_t>(plan.regions.back().n_pages) *
+                    kPageSize !=
+            pa) {
+      plan.regions.push_back(PlanRegion{pa, 0, Bytes(), {}});
+    }
+    PlanRegion& region = plan.regions.back();
+    region.image.insert(region.image.end(), data.begin(), data.end());
+    region.metastate.push_back(meta);
+    ++region.n_pages;
+    ++plan.image_pages;
+    plan.image_bytes += kPageSize;
+  }
+
+  // Pass 3: patch table. Chunks mirror the interpreter's page walk in
+  // InjectStaged/ReadTensor: tensor bytes map onto the binding's page list
+  // in order, one chunk per page.
+  for (const auto& [name, binding] : recording.bindings) {
+    TensorPatch patch;
+    patch.n_floats = binding.n_floats;
+    patch.writable = binding.writable_at_replay;
+    uint64_t bytes = binding.n_floats * sizeof(float);
+    uint64_t done = 0;
+    size_t page_idx = 0;
+    while (done < bytes && page_idx < binding.pages.size()) {
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(bytes - done, kPageSize));
+      patch.chunks.push_back(PatchChunk{binding.pages[page_idx], done, chunk});
+      done += chunk;
+      ++page_idx;
+    }
+    patch.complete = done == bytes;
+    plan.patches.emplace(name, std::move(patch));
+  }
+
+  return plan;
+}
+
+}  // namespace grt

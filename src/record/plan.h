@@ -1,0 +1,131 @@
+// Compiled replay plans: the TEE's fast path for recurring inference.
+//
+// The interpreter in Replayer walks the interaction log entry-by-entry on
+// every Replay() call and re-applies every recorded memory page each time.
+// That is fine for a one-shot demonstration, but the paper's deployed
+// artifact replays "repeatedly on new input" (§3.2) — the per-inference
+// cost is what a client pays. A ReplayPlan lowers a loaded (signature- and
+// verifier-checked) recording once into a flat, cache-friendly form:
+//
+//   * a dense op array with register ops pre-decoded (the per-read
+//     verify decision — deterministic register under verify_reads — is
+//     resolved at compile time, not per replay);
+//   * the initial memory image pre-coalesced into per-region contiguous
+//     page runs (one memcpy per run instead of one Write per log entry),
+//     deduplicated last-write-wins across repeated snapshots of the same
+//     page;
+//   * mid-replay metastate reapplications kept as ops (they are
+//     semantically ordered against the register stimuli); non-metastate
+//     pages after the first job start — which the interpreter skips on
+//     every single call — are dropped at compile time;
+//   * a patch table of pre-resolved (physical address, tensor offset)
+//     chunks for every tensor binding, so injection and readout are
+//     straight copy loops with no page arithmetic.
+//
+// Compilation is purely mechanical: every op in the plan corresponds to a
+// log entry the interpreter would have executed, in the same order. The
+// equivalence suite (tests/integration/plan_equivalence_test.cc) holds the
+// two paths to bitwise-identical outputs on every example network and the
+// chaos corpus.
+#ifndef GRT_SRC_RECORD_PLAN_H_
+#define GRT_SRC_RECORD_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/clock.h"
+#include "src/mem/phys_mem.h"
+#include "src/record/recording.h"
+
+namespace grt {
+
+// The replayer's job-start predicate (a JS*_COMMAND_NEXT = START write):
+// the boundary after which non-metastate page snapshots reflect dry-run
+// compute and are never applied. Shared by the interpreter and the plan
+// compiler so the two notions can never drift apart.
+bool IsReplayJobStart(const LogEntry& e);
+
+// One pre-decoded replay step. Same kinds as LogOp; kMemPage ops index
+// into ReplayPlan::mid_images (mid-replay metastate reapplications only —
+// the initial image lives in ReplayPlan::regions).
+struct PlanOp {
+  LogOp kind = LogOp::kRegWrite;
+  // kRegRead: compile-time resolution of "would the interpreter verify
+  // this read" (deterministic register; nondet registers are never
+  // checked). The replayer additionally honours ReplayConfig::verify_reads.
+  bool verify = false;
+  uint32_t reg = 0;
+  uint32_t value = 0;
+  uint32_t mask = 0;       // kPollWait
+  uint32_t expected = 0;   // kPollWait
+  uint8_t irq_lines = 0;   // kIrqWait
+  Duration delay = 0;      // kDelay
+  uint32_t image = 0;      // kMemPage: index into ReplayPlan::mid_images
+  uint32_t log_index = 0;  // position in the source log (diagnostics)
+};
+
+// A run of physically-contiguous initial-image pages, coalesced from the
+// recording's pre-job-start kMemPage entries (last write wins per page).
+struct PlanRegion {
+  uint64_t base_pa = 0;
+  uint32_t n_pages = 0;
+  Bytes image;  // n_pages * kPageSize bytes
+  std::vector<bool> metastate;  // per page
+
+  uint64_t page_pa(uint32_t i) const { return base_pa + i * kPageSize; }
+};
+
+// A metastate page the recording reapplies after the first job start;
+// ordered against register stimuli via its PlanOp.
+struct PlanImage {
+  uint64_t pa = 0;
+  Bytes data;
+};
+
+// Pre-resolved copy chunk: staged-tensor bytes [src_offset, src_offset+len)
+// land at physical address pa. Chunks never straddle a page boundary.
+struct PatchChunk {
+  uint64_t pa = 0;
+  uint64_t src_offset = 0;
+  uint32_t len = 0;
+};
+
+// Per-tensor injection/readout patch table entry.
+struct TensorPatch {
+  uint64_t n_floats = 0;
+  bool writable = false;  // injectable at replay
+  // False when the binding's page list is too short to back all n_floats
+  // (injection must fail exactly like the interpreter's page walk would).
+  bool complete = true;
+  std::vector<PatchChunk> chunks;
+};
+
+struct ReplayPlan {
+  std::vector<PlanOp> ops;
+  std::vector<PlanRegion> regions;
+  std::vector<PlanImage> mid_images;
+  std::map<std::string, TensorPatch> patches;
+
+  // Compile-time accounting (inspector / perf gates).
+  uint64_t image_bytes = 0;      // total initial-image bytes
+  uint32_t image_pages = 0;      // total initial-image pages
+  uint32_t duplicate_pages = 0;  // pre-job-start re-snapshots folded away
+  uint32_t dropped_pages = 0;    // post-job-start non-metastate entries
+                                 // (the interpreter skips these per call;
+                                 // the plan drops them once)
+  size_t source_entries = 0;     // log length the plan was compiled from
+
+  size_t CountOps(LogOp kind) const;
+};
+
+// Lowers a recording into a plan. Purely mechanical (no verification —
+// run the static verifier before trusting the recording; Replayer::Load
+// does). Never fails: any well-formed log lowers.
+ReplayPlan CompileReplayPlan(const Recording& recording);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_RECORD_PLAN_H_

@@ -1,28 +1,18 @@
 #include "src/record/replayer.h"
 
 #include <cstring>
-#include <unordered_set>
 
 #include "src/analysis/verifier.h"
 #include "src/common/log.h"
 #include "src/hw/regs.h"
 
 namespace grt {
-namespace {
 
-// True for a JS*_COMMAND_NEXT = START write (a job-chain kickoff).
-bool IsJobStartLike(const LogEntry& e) {
-  if (e.op != LogOp::kRegWrite || e.value != kJsCommandStart) {
-    return false;
+Replayer::~Replayer() {
+  if (write_observer_id_ != 0) {
+    mem_->RemoveWriteObserver(write_observer_id_);
   }
-  if (e.reg < kJobSlotBase ||
-      e.reg >= kJobSlotBase + kMaxJobSlots * kJobSlotStride) {
-    return false;
-  }
-  return (e.reg - kJobSlotBase) % kJobSlotStride == kJsCommandNext;
 }
-
-}  // namespace
 
 Status Replayer::LoadSigned(const Bytes& raw, const Bytes& signing_key) {
   GRT_ASSIGN_OR_RETURN(Recording rec, Recording::ParseSigned(raw, signing_key));
@@ -30,21 +20,52 @@ Status Replayer::LoadSigned(const Bytes& raw, const Bytes& signing_key) {
 }
 
 Status Replayer::Load(Recording recording) {
+  return LoadShared(std::make_shared<const Recording>(std::move(recording)));
+}
+
+Status Replayer::LoadShared(std::shared_ptr<const Recording> recording,
+                            std::shared_ptr<const ReplayPlan> plan) {
+  if (recording == nullptr) {
+    return InvalidArgument("LoadShared with a null recording");
+  }
   // SKU check: recordings are SKU-specific; even subtle differences break
   // replay (§2.4), so refuse early and explicitly.
-  if (recording.header.sku != gpu_->sku().id) {
+  if (recording->header.sku != gpu_->sku().id) {
     return FailedPrecondition(
         "recording was produced for a different GPU SKU");
   }
   // Static admission gate: a valid signature proves provenance, not
   // well-formedness. Run the analysis passes before the log can reach
-  // the device.
+  // the device. This happens exactly once per Load — every subsequent
+  // Replay() trusts the cached verdict.
   if (config_.static_verify) {
-    GRT_RETURN_IF_ERROR(VerifyRecording(recording));
+    GRT_RETURN_IF_ERROR(VerifyRecording(*recording));
   }
+  ResetReplayState();
   recording_ = std::move(recording);
+  if (plan != nullptr) {
+    plan_ = std::move(plan);
+  } else if (config_.use_plan) {
+    plan_ = std::make_shared<const ReplayPlan>(CompileReplayPlan(*recording_));
+  } else {
+    plan_.reset();
+  }
   loaded_ = true;
   return OkStatus();
+}
+
+void Replayer::ResetReplayState() {
+  if (write_observer_id_ != 0) {
+    mem_->RemoveWriteObserver(write_observer_id_);
+    write_observer_id_ = 0;
+  }
+  observer_active_ = false;
+  have_image_state_ = false;
+  dirty_pages_.clear();
+  staged_.clear();
+  injected_pages_.clear();
+  injected_pages_valid_ = false;
+  observed_.Clear();
 }
 
 Status Replayer::StageTensor(const std::string& name,
@@ -52,8 +73,8 @@ Status Replayer::StageTensor(const std::string& name,
   if (!loaded_) {
     return FailedPrecondition("StageTensor before Load");
   }
-  auto it = recording_.bindings.find(name);
-  if (it == recording_.bindings.end()) {
+  auto it = recording_->bindings.find(name);
+  if (it == recording_->bindings.end()) {
     return NotFound("no tensor binding '" + name + "'");
   }
   if (!it->second.writable_at_replay) {
@@ -62,13 +83,35 @@ Status Replayer::StageTensor(const std::string& name,
   if (data.size() != it->second.n_floats) {
     return InvalidArgument("tensor '" + name + "' size mismatch");
   }
-  staged_[name] = data;
+  // Overwrite in place: re-staging (the per-inference input refresh) reuses
+  // the existing buffer instead of re-inserting into the map. Only a
+  // first-time staging changes the injected-page set.
+  auto [slot, inserted] = staged_.try_emplace(name);
+  if (inserted) {
+    injected_pages_valid_ = false;
+  }
+  slot->second.assign(data.begin(), data.end());
   return OkStatus();
+}
+
+const std::unordered_set<uint64_t>& Replayer::InjectedPages() {
+  // Pages owned by injected tensors are skipped when applying recorded
+  // images: the recorded (dry-run) content would clobber real data.
+  if (!injected_pages_valid_) {
+    injected_pages_.clear();
+    for (const auto& [name, data] : staged_) {
+      for (uint64_t pa : recording_->bindings.at(name).pages) {
+        injected_pages_.insert(pa);
+      }
+    }
+    injected_pages_valid_ = true;
+  }
+  return injected_pages_;
 }
 
 Status Replayer::InjectStaged() {
   for (const auto& [name, data] : staged_) {
-    const TensorBinding& b = recording_.bindings.at(name);
+    const TensorBinding& b = recording_->bindings.at(name);
     uint64_t bytes = data.size() * sizeof(float);
     const auto* src = reinterpret_cast<const uint8_t*>(data.data());
     uint64_t done = 0;
@@ -87,10 +130,31 @@ Status Replayer::InjectStaged() {
   return OkStatus();
 }
 
+Status Replayer::InjectStagedPlanned(ReplayReport* report) {
+  (void)report;
+  for (const auto& [name, data] : staged_) {
+    auto it = plan_->patches.find(name);
+    if (it == plan_->patches.end()) {
+      return Internal("no patch-table entry for tensor '" + name + "'");
+    }
+    const TensorPatch& patch = it->second;
+    if (!patch.complete) {
+      return Internal("binding page list too short");
+    }
+    const auto* src = reinterpret_cast<const uint8_t*>(data.data());
+    for (const PatchChunk& c : patch.chunks) {
+      GRT_RETURN_IF_ERROR(mem_->Write(c.pa, src + c.src_offset, c.len,
+                                      MemAccessOrigin::kCpuSecureWorld));
+    }
+  }
+  return OkStatus();
+}
+
 Status Replayer::ApplyMemEntry(const LogEntry& e, ReplayReport* report) {
   GRT_RETURN_IF_ERROR(mem_->Write(e.pa, e.data.data(), e.data.size(),
                                   MemAccessOrigin::kCpuSecureWorld));
   ++report->pages_applied;
+  report->mem_bytes_applied += e.data.size();
   // CPU copy cost for the page.
   timeline_->Advance(static_cast<Duration>(e.data.size() / 8));  // ~8 B/ns
   return OkStatus();
@@ -125,6 +189,15 @@ Result<ReplayReport> Replayer::Replay() {
   if (!loaded_) {
     return FailedPrecondition("Replay before Load");
   }
+  // The plan cannot reproduce an observed log (skipped entries are dropped
+  // at compile time), so §3.4 log collection runs the interpreter.
+  if (plan_ != nullptr && !config_.collect_observed) {
+    return ReplayPlanned();
+  }
+  return ReplayInterpreted();
+}
+
+Result<ReplayReport> Replayer::ReplayInterpreted() {
   ReplayReport report;
   observed_.Clear();
   TimePoint start = timeline_->now();
@@ -135,20 +208,13 @@ Result<ReplayReport> Replayer::Replay() {
     gpu_->HardReset();
   }
 
-  // Pages owned by injected tensors are skipped when applying recorded
-  // images: the recorded (dry-run) content would clobber real data.
-  std::unordered_set<uint64_t> injected_pages;
-  for (const auto& [name, data] : staged_) {
-    for (uint64_t pa : recording_.bindings.at(name).pages) {
-      injected_pages.insert(pa);
-    }
-  }
+  const std::unordered_set<uint64_t>& injected_pages = InjectedPages();
 
   bool first_image_done = false;
   GRT_RETURN_IF_ERROR(InjectStaged());
 
   constexpr Duration kMmioCost = 200 * kNanosecond;
-  for (const LogEntry& e : recording_.log.entries()) {
+  for (const LogEntry& e : recording_->log.entries()) {
     ++report.entries_replayed;
     switch (e.op) {
       case LogOp::kMemPage: {
@@ -174,7 +240,7 @@ Result<ReplayReport> Replayer::Replay() {
         if (config_.collect_observed) {
           observed_.Add(e);
         }
-        if (!first_image_done && IsJobStartLike(e)) {
+        if (!first_image_done && IsReplayJobStart(e)) {
           first_image_done = true;
         }
         break;
@@ -259,9 +325,177 @@ Result<ReplayReport> Replayer::Replay() {
   return report;
 }
 
+Status Replayer::ApplyPlanImages(bool warm, ReplayReport* report) {
+  const std::unordered_set<uint64_t>& injected = InjectedPages();
+  // Re-establishing image content is not a clobber: suspend the observer
+  // so an applied page comes out clean for the NEXT replay unless someone
+  // actually writes it afterwards.
+  observer_active_ = false;
+  for (const PlanRegion& region : plan_->regions) {
+    uint32_t run_start = 0;
+    bool in_run = false;
+    for (uint32_t i = 0; i <= region.n_pages; ++i) {
+      bool apply = false;
+      if (i < region.n_pages) {
+        uint64_t pa = region.page_pa(i);
+        if (injected.count(pa) > 0) {
+          apply = false;  // superseded by injected tensor data
+        } else if (warm && dirty_pages_.count(pa) == 0) {
+          apply = false;  // provably still holds the image content
+          ++report->pages_skipped_clean;
+        } else {
+          apply = true;
+        }
+      }
+      if (apply && !in_run) {
+        run_start = i;
+        in_run = true;
+      } else if (!apply && in_run) {
+        uint64_t len = static_cast<uint64_t>(i - run_start) * kPageSize;
+        GRT_RETURN_IF_ERROR(
+            mem_->Write(region.page_pa(run_start),
+                        region.image.data() +
+                            static_cast<size_t>(run_start) * kPageSize,
+                        len, MemAccessOrigin::kCpuSecureWorld));
+        report->pages_applied += i - run_start;
+        report->mem_bytes_applied += len;
+        timeline_->Advance(static_cast<Duration>(len / 8));  // ~8 B/ns
+        in_run = false;
+      }
+    }
+  }
+  return OkStatus();
+}
+
+Result<ReplayReport> Replayer::ReplayPlanned() {
+  ReplayReport report;
+  report.plan_used = true;
+  observed_.Clear();
+  TimePoint start = timeline_->now();
+
+  tzasc_->AssignGpu(World::kSecure);
+  if (config_.scrub_before) {
+    gpu_->HardReset();
+  }
+
+  // Arm the clobber observer once per loaded plan. It stays registered
+  // between replays: external writes to image pages (another replayer
+  // sharing this device, a debugging poke) must invalidate them too.
+  if (config_.dirty_tracking && write_observer_id_ == 0) {
+    write_observer_id_ =
+        mem_->AddWriteObserver([this](uint64_t pa, uint64_t len) {
+          if (!observer_active_) {
+            return;
+          }
+          for (uint64_t p = PageAlignDown(pa); p < pa + len; p += kPageSize) {
+            dirty_pages_.insert(p);
+          }
+        });
+  }
+  bool warm = config_.dirty_tracking && have_image_state_;
+  report.warm = warm;
+
+  GRT_RETURN_IF_ERROR(ApplyPlanImages(warm, &report));
+  // Image state is established; from here every write dirties its page.
+  dirty_pages_.clear();
+  observer_active_ = config_.dirty_tracking;
+  have_image_state_ = config_.dirty_tracking;
+
+  GRT_RETURN_IF_ERROR(InjectStagedPlanned(&report));
+
+  constexpr Duration kMmioCost = 200 * kNanosecond;
+  const std::unordered_set<uint64_t>& injected = InjectedPages();
+  for (const PlanOp& op : plan_->ops) {
+    ++report.entries_replayed;
+    switch (op.kind) {
+      case LogOp::kMemPage: {
+        const PlanImage& im = plan_->mid_images[op.image];
+        if (injected.count(im.pa) > 0) {
+          break;  // superseded by injected tensor data
+        }
+        GRT_RETURN_IF_ERROR(mem_->Write(im.pa, im.data.data(), im.data.size(),
+                                        MemAccessOrigin::kCpuSecureWorld));
+        ++report.pages_applied;
+        report.mem_bytes_applied += im.data.size();
+        timeline_->Advance(static_cast<Duration>(im.data.size() / 8));
+        break;
+      }
+      case LogOp::kRegWrite: {
+        timeline_->Advance(kMmioCost);
+        GRT_RETURN_IF_ERROR(
+            tzasc_->WriteGpuRegister(World::kSecure, gpu_, op.reg, op.value));
+        break;
+      }
+      case LogOp::kRegRead: {
+        timeline_->Advance(kMmioCost);
+        GRT_ASSIGN_OR_RETURN(
+            uint32_t v, tzasc_->ReadGpuRegister(World::kSecure, gpu_, op.reg));
+        if (config_.verify_reads && op.verify) {
+          if (v != op.value) {
+            return IntegrityViolation(
+                std::string("replay divergence at register ") +
+                RegisterName(op.reg) + ", log entry " +
+                std::to_string(op.log_index) + ": got " + std::to_string(v) +
+                " want " + std::to_string(op.value));
+          }
+          ++report.reads_verified;
+        }
+        break;
+      }
+      case LogOp::kPollWait: {
+        bool satisfied = false;
+        for (int i = 0; i < config_.poll_max_iters; ++i) {
+          timeline_->Advance(kMmioCost);
+          GRT_ASSIGN_OR_RETURN(uint32_t v, tzasc_->ReadGpuRegister(
+                                               World::kSecure, gpu_, op.reg));
+          if ((v & op.mask) == op.expected) {
+            satisfied = true;
+            break;
+          }
+          TimePoint next = gpu_->NextEventTime();
+          if (next != kNoEvent) {
+            timeline_->AdvanceTo(next);
+          } else {
+            timeline_->Advance(config_.poll_iter_delay);
+          }
+        }
+        if (!satisfied) {
+          return PollExhausted("replay poll never satisfied at log entry " +
+                               std::to_string(op.log_index));
+        }
+        break;
+      }
+      case LogOp::kDelay: {
+        timeline_->Advance(op.delay);
+        break;
+      }
+      case LogOp::kIrqWait: {
+        Status irq_status = WaitIrqLines(op.irq_lines);
+        if (!irq_status.ok()) {
+          return Status(irq_status.code(),
+                        irq_status.message() + " at log entry " +
+                            std::to_string(op.log_index));
+        }
+        break;
+      }
+    }
+  }
+
+  if (config_.scrub_after) {
+    gpu_->HardReset();
+    tzasc_->AssignGpu(World::kNormal);
+  }
+
+  report.delay = timeline_->now() - start;
+  return report;
+}
+
 Result<std::vector<float>> Replayer::ReadTensor(const std::string& name) const {
-  auto it = recording_.bindings.find(name);
-  if (it == recording_.bindings.end()) {
+  if (!loaded_) {
+    return FailedPrecondition("ReadTensor before Load");
+  }
+  auto it = recording_->bindings.find(name);
+  if (it == recording_->bindings.end()) {
     return NotFound("no tensor binding '" + name + "'");
   }
   const TensorBinding& b = it->second;

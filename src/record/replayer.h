@@ -16,17 +16,35 @@
 //      deterministic registers, re-waiting polls and interrupts;
 //   6. read outputs from the recorded output addresses; reset the GPU and
 //      release it.
+//
+// Two execution engines share these semantics:
+//   * the interpreter walks the log entry-by-entry (reference engine, and
+//     the only one that can produce an observed log for §3.4 diffing);
+//   * the compiled plan (src/record/plan.h) executes a flat op array with
+//     the initial memory image pre-coalesced, plus dirty-page tracking:
+//     replay N+1 re-applies only the pages replay N clobbered (tracked by
+//     PhysicalMemory write interposition) and the staged-tensor pages —
+//     back-to-back inferences stop paying the full memsync cost.
+//
+// Dirty-page soundness: a page is skipped only if no write — CPU either
+// world, GPU DMA, this replayer's own mid-replay reapplications — touched
+// it since its image was applied. An untouched page still holds exactly
+// the image content, so skipping the copy cannot change any replay-visible
+// state (see DESIGN.md §6d).
 #ifndef GRT_SRC_RECORD_REPLAYER_H_
 #define GRT_SRC_RECORD_REPLAYER_H_
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/hw/gpu.h"
+#include "src/record/plan.h"
 #include "src/record/recording.h"
 #include "src/tee/tzasc.h"
 
@@ -47,13 +65,22 @@ struct ReplayConfig {
   Duration irq_timeout = 60 * kSecond;  // virtual
   // Collect the interactions actually observed on this device; diffing the
   // observed log against the recording localizes firmware malfunction
-  // (§3.4 remote debugging). Adds memory/time overhead.
+  // (§3.4 remote debugging). Adds memory/time overhead. Forces the
+  // interpreter: a plan drops skipped entries at compile time, so it
+  // cannot produce a faithful observed log.
   bool collect_observed = false;
   // Run the static verifier (src/analysis) at Load and refuse recordings
   // with errors. On by default: a signed-but-malformed recording must never
   // reach the GPU. Misprediction recovery turns this off — it replays a
   // mid-session log that legitimately still carries speculative reads.
+  // Verification happens ONCE per Load; Replay() never re-verifies.
   bool static_verify = true;
+  // Compile the recording into a ReplayPlan at Load and execute the plan
+  // at Replay (fast path). Off: interpret the log (reference engine).
+  bool use_plan = true;
+  // Plan path only: skip re-applying initial-image pages that no write
+  // clobbered since the previous replay applied them.
+  bool dirty_tracking = true;
 };
 
 struct ReplayReport {
@@ -61,6 +88,16 @@ struct ReplayReport {
   size_t entries_replayed = 0;
   size_t pages_applied = 0;
   size_t reads_verified = 0;
+  // Memory-application accounting (perf gates: a warm plan replay must
+  // apply strictly fewer bytes than the interpreter).
+  uint64_t mem_bytes_applied = 0;
+  // Plan path: initial-image pages skipped because they were provably
+  // clean (no write since their last application).
+  size_t pages_skipped_clean = 0;
+  bool plan_used = false;
+  // True when dirty-page tracking was in effect (second and later plan
+  // replays on the same loaded recording).
+  bool warm = false;
 };
 
 class Replayer {
@@ -69,14 +106,25 @@ class Replayer {
            Timeline* timeline, ReplayConfig config = ReplayConfig{})
       : gpu_(gpu), tzasc_(tzasc), mem_(mem), timeline_(timeline),
         config_(config) {}
+  ~Replayer();
+
+  Replayer(const Replayer&) = delete;
+  Replayer& operator=(const Replayer&) = delete;
 
   // Verifies signature + SKU and loads the recording.
   Status LoadSigned(const Bytes& raw, const Bytes& signing_key);
   // Loads a parsed recording (trusted path for tests).
   Status Load(Recording recording);
+  // Loads a shared recording, optionally with a pre-compiled plan (the
+  // serving engine compiles once and shares the plan across workers; pass
+  // nullptr to compile here). The recording/plan must outlive all use —
+  // shared_ptr ownership guarantees it even across plan-cache eviction.
+  Status LoadShared(std::shared_ptr<const Recording> recording,
+                    std::shared_ptr<const ReplayPlan> plan = nullptr);
 
   // Stages tensor data to inject (model parameters, new input). Data is
   // written at replay start through the recorded physical pages.
+  // Re-staging an already-staged tensor overwrites it in place.
   Status StageTensor(const std::string& name, const std::vector<float>& data);
 
   // Runs the replay. May be called repeatedly (each call resets the GPU,
@@ -91,22 +139,53 @@ class Replayer {
   // populated with config.collect_observed).
   const InteractionLog& observed_log() const { return observed_; }
 
-  const Recording& recording() const { return recording_; }
+  const Recording& recording() const { return *recording_; }
+  // Null unless config.use_plan and a recording is loaded.
+  const ReplayPlan* plan() const { return plan_.get(); }
+
+  // Adjusts the scrub behaviour between replays (layered replay reuses one
+  // loaded replayer per segment across ReplayAll calls whose boundary
+  // scrubbing differs per call).
+  void SetScrub(bool before, bool after) {
+    config_.scrub_before = before;
+    config_.scrub_after = after;
+  }
 
  private:
   Status ApplyMemEntry(const LogEntry& e, ReplayReport* report);
   Status InjectStaged();
+  Status InjectStagedPlanned(ReplayReport* report);
   Status WaitIrqLines(uint8_t lines);
+  Result<ReplayReport> ReplayInterpreted();
+  Result<ReplayReport> ReplayPlanned();
+  Status ApplyPlanImages(bool warm, ReplayReport* report);
+  const std::unordered_set<uint64_t>& InjectedPages();
+  void ResetReplayState();
 
   MaliGpu* gpu_;
   Tzasc* tzasc_;
   PhysicalMemory* mem_;
   Timeline* timeline_;
   ReplayConfig config_;
-  Recording recording_;
+  std::shared_ptr<const Recording> recording_;
+  std::shared_ptr<const ReplayPlan> plan_;
   InteractionLog observed_;
   bool loaded_ = false;
   std::map<std::string, std::vector<float>> staged_;
+  // Pages owned by currently-staged tensors; rebuilt lazily when staging
+  // changes instead of on every Replay().
+  std::unordered_set<uint64_t> injected_pages_;
+  bool injected_pages_valid_ = false;
+  // ---- dirty-page tracking (plan path) ----
+  // Observer registered with mem_ while a plan is loaded; it records pages
+  // clobbered after the initial image was applied (GPU DMA during replay,
+  // mid-replay metastate reapplications, and any external write between
+  // replays all count). Suspended while the replayer itself re-applies the
+  // image — those writes re-establish image content, they don't dirty it.
+  int write_observer_id_ = 0;
+  bool observer_active_ = false;
+  bool have_image_state_ = false;
+  std::unordered_set<uint64_t> dirty_pages_;
 };
 
 }  // namespace grt

@@ -15,6 +15,7 @@ Status RecordingStore::Install(const Bytes& signed_recording) {
   // Admission gate: never persist a recording the replayer would have to
   // refuse — the sealed store must hold only statically-valid recordings.
   GRT_RETURN_IF_ERROR(VerifyRecording(rec));
+  std::lock_guard<std::mutex> lock(*mu_);
   std::string k = KeyOf(rec.header.workload, rec.header.sku);
   auto it = entries_.find(k);
   if (it != entries_.end()) {
@@ -28,31 +29,68 @@ Status RecordingStore::Install(const Bytes& signed_recording) {
     }
   }
   entries_[k] = signed_recording;
+  ++version_;
   return OkStatus();
 }
 
 Result<Recording> RecordingStore::Load(const std::string& workload,
                                        SkuId sku) const {
-  auto it = entries_.find(KeyOf(workload, sku));
+  std::lock_guard<std::mutex> lock(*mu_);
+  GRT_ASSIGN_OR_RETURN(std::shared_ptr<const Recording> rec,
+                       LoadSharedLocked(workload, sku, nullptr));
+  return *rec;
+}
+
+Result<std::shared_ptr<const Recording>> RecordingStore::LoadShared(
+    const std::string& workload, SkuId sku, Sha256Digest* out_digest) const {
+  std::lock_guard<std::mutex> lock(*mu_);
+  return LoadSharedLocked(workload, sku, out_digest);
+}
+
+Result<std::shared_ptr<const Recording>> RecordingStore::LoadSharedLocked(
+    const std::string& workload, SkuId sku, Sha256Digest* out_digest) const {
+  std::string k = KeyOf(workload, sku);
+  auto it = entries_.find(k);
   if (it == entries_.end()) {
     return NotFound("no recording for '" + workload + "' on this SKU");
   }
-  // Re-verify on every load: stored bytes are outside the TCB at rest.
-  return Recording::ParseSigned(it->second, key_);
+  // Stored bytes are outside the TCB at rest, so a load must never trust
+  // them blindly — but re-running the HMAC and a full parse on EVERY load
+  // is per-replay waste. Instead, prove the bytes unchanged since the last
+  // verified parse (SHA-256 comparison) and reuse that verdict; any byte
+  // flip misses the cache and takes the full ParseSigned path, which
+  // rejects tampering exactly as before.
+  Sha256Digest digest = Sha256::Hash(it->second);
+  if (out_digest != nullptr) {
+    *out_digest = digest;
+  }
+  auto cached = parse_cache_.find(k);
+  if (cached != parse_cache_.end() && cached->second.digest == digest) {
+    return cached->second.parsed;
+  }
+  GRT_ASSIGN_OR_RETURN(Recording rec, Recording::ParseSigned(it->second, key_));
+  auto parsed = std::make_shared<const Recording>(std::move(rec));
+  parse_cache_[k] = ParseCacheEntry{digest, parsed};
+  return parsed;
 }
 
 bool RecordingStore::Contains(const std::string& workload, SkuId sku) const {
-  return Load(workload, sku).ok();
+  std::lock_guard<std::mutex> lock(*mu_);
+  return LoadSharedLocked(workload, sku, nullptr).ok();
 }
 
 Status RecordingStore::Remove(const std::string& workload, SkuId sku) {
+  std::lock_guard<std::mutex> lock(*mu_);
   if (entries_.erase(KeyOf(workload, sku)) == 0) {
     return NotFound("no such recording");
   }
+  parse_cache_.erase(KeyOf(workload, sku));
+  ++version_;
   return OkStatus();
 }
 
 Bytes RecordingStore::Seal() const {
+  std::lock_guard<std::mutex> lock(*mu_);
   ByteWriter w;
   w.PutString("grt-store-v1");
   w.PutU32(static_cast<uint32_t>(entries_.size()));

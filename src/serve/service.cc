@@ -1,0 +1,378 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/analysis/verifier.h"
+
+namespace grt {
+
+namespace {
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+}  // namespace
+
+ReplayService::ReplayService(const RecordingStore* store, ServeConfig config)
+    : store_(store), config_(config) {
+  if (config_.workers < 1) {
+    config_.workers = 1;
+  }
+  if (config_.max_plans < 1) {
+    config_.max_plans = 1;
+  }
+  // A serving worker never collects observed logs (that is the §3.4
+  // debugging path, and it forces the interpreter).
+  config_.replay.collect_observed = false;
+  for (int i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->device = std::make_unique<ClientDevice>(
+        config_.sku, config_.nondet_seed + static_cast<uint64_t>(i));
+    workers_.push_back(std::move(worker));
+  }
+}
+
+ReplayService::~ReplayService() { Stop(); }
+
+Status ReplayService::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (started_) {
+    return FailedPrecondition("ReplayService already started");
+  }
+  if (stop_) {
+    return FailedPrecondition("ReplayService was stopped");
+  }
+  started_ = true;
+  for (int i = 0; i < config_.workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  return OkStatus();
+}
+
+void ReplayService::Stop() {
+  std::deque<QueueItem> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      return;
+    }
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    orphaned.swap(queue_);
+  }
+  for (QueueItem& item : orphaned) {
+    ReplayResponse response;
+    response.workload = item.request.workload;
+    response.status = FailedPrecondition("ReplayService stopped");
+    item.promise.set_value(std::move(response));
+  }
+}
+
+std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
+  std::promise<ReplayResponse> promise;
+  std::future<ReplayResponse> future = promise.get_future();
+  SteadyPoint now = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) {
+      ReplayResponse response;
+      response.workload = request.workload;
+      response.status = FailedPrecondition("ReplayService stopped");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (queue_.size() >= config_.max_queue) {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.submitted;
+      ++stats_.rejected;
+      ReplayResponse response;
+      response.workload = request.workload;
+      response.status =
+          ResourceExhausted("admission queue full (" +
+                            std::to_string(config_.max_queue) + " pending)");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    QueueItem item;
+    item.has_deadline = request.deadline_ms >= 0;
+    if (item.has_deadline) {
+      item.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+    }
+    item.request = std::move(request);
+    item.promise = std::move(promise);
+    item.enqueued = now;
+    queue_.push_back(std::move(item));
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.submitted;
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ReplayResponse ReplayService::Submit(ReplayRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!started_ || stop_) {
+      ReplayResponse response;
+      response.workload = request.workload;
+      response.status = FailedPrecondition(
+          "synchronous Submit on a service with no running workers");
+      return response;
+    }
+  }
+  return SubmitAsync(std::move(request)).get();
+}
+
+Result<Sha256Digest> ReplayService::Preload(const std::string& workload) {
+  GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(workload));
+  return resolved.digest;
+}
+
+Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
+    const std::string& workload) {
+  // Warm fast path: if the store has not mutated since this workload's
+  // digest was resolved, the stored bytes are provably the ones we hashed
+  // then (Install/Remove are the only mutators and each bumps version()).
+  // Serving then touches no recording bytes at all — no SHA-256 over the
+  // blob, no parse-cache probe; that re-hash would otherwise dominate the
+  // warm path (it is ~5x the cost of the warm replay itself for MNIST).
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto bound = bindings_.find(workload);
+    if (bound != bindings_.end() &&
+        bound->second.store_version == store_->version()) {
+      auto it = plans_.find(bound->second.digest);
+      if (it != plans_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        {
+          std::lock_guard<std::mutex> slock(stats_mu_);
+          ++stats_.plan_hits;
+        }
+        ResolvedPlan resolved;
+        resolved.digest = bound->second.digest;
+        resolved.recording = it->second.recording;
+        resolved.plan = it->second.plan;
+        resolved.generation = it->second.generation;
+        resolved.cache_hit = true;
+        return resolved;
+      }
+    }
+  }
+
+  // Cold path: one SHA-256 over the stored blob re-proves byte integrity
+  // (the store's digest-checked parse cache skips the re-parse).
+  uint64_t store_version = store_->version();
+  Sha256Digest digest{};
+  GRT_ASSIGN_OR_RETURN(std::shared_ptr<const Recording> recording,
+                       store_->LoadShared(workload, config_.sku, &digest));
+
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  bindings_[workload] = WorkloadBinding{store_version, digest};
+  auto it = plans_.find(digest);
+  if (it != plans_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.plan_hits;
+    }
+    ResolvedPlan resolved;
+    resolved.digest = digest;
+    resolved.recording = it->second.recording;
+    resolved.plan = it->second.plan;
+    resolved.generation = it->second.generation;
+    resolved.cache_hit = true;
+    return resolved;
+  }
+
+  // Admission: verify once per cached plan. Workers then load with
+  // static_verify off — re-running seven analysis passes per worker (or
+  // worse, per request) is exactly the per-replay waste this engine
+  // exists to remove.
+  if (config_.replay.static_verify) {
+    GRT_RETURN_IF_ERROR(VerifyRecording(*recording));
+  }
+  auto plan = std::make_shared<const ReplayPlan>(CompileReplayPlan(*recording));
+
+  while (plans_.size() >= config_.max_plans) {
+    Sha256Digest victim = lru_.back();
+    lru_.pop_back();
+    plans_.erase(victim);
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.plan_evictions;
+  }
+  PlanEntry entry;
+  entry.recording = recording;
+  entry.plan = plan;
+  entry.generation = next_generation_++;
+  lru_.push_front(digest);
+  entry.lru_pos = lru_.begin();
+  plans_.emplace(digest, std::move(entry));
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.plan_misses;
+    stats_.plans_cached = plans_.size();
+  }
+
+  ResolvedPlan resolved;
+  resolved.digest = digest;
+  resolved.recording = std::move(recording);
+  resolved.plan = std::move(plan);
+  resolved.generation = next_generation_ - 1;
+  resolved.cache_hit = false;
+  return resolved;
+}
+
+void ReplayService::WorkerLoop(int index) {
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) {
+        // Remaining queued items are failed by Stop() after the join —
+        // a stopping service does not run stale work.
+        return;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ServeOne(index, std::move(item));
+  }
+}
+
+void ReplayService::ServeOne(int index, QueueItem item) {
+  SteadyPoint dequeued = std::chrono::steady_clock::now();
+  ReplayResponse response;
+  response.workload = item.request.workload;
+  response.worker = index;
+  response.queue_wait_ns = ElapsedNs(item.enqueued, dequeued);
+
+  if (item.has_deadline && dequeued > item.deadline) {
+    response.status = Timeout(
+        "deadline expired after " +
+        std::to_string(item.request.deadline_ms) + " ms in the queue");
+    {
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      ++stats_.expired;
+    }
+    item.promise.set_value(std::move(response));
+    return;
+  }
+
+  response.status = RunRequest(index, item.request, &response);
+  response.service_ns =
+      ElapsedNs(dequeued, std::chrono::steady_clock::now());
+  RecordOutcome(response);
+  item.promise.set_value(std::move(response));
+}
+
+Status ReplayService::RunRequest(int index, const ReplayRequest& request,
+                                 ReplayResponse* response) {
+  GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
+  response->plan_cache_hit = resolved.cache_hit;
+
+  Worker& worker = *workers_[index];
+  WorkerEngine& engine = worker.engines[resolved.digest];
+  if (engine.replayer == nullptr || engine.generation != resolved.generation) {
+    // First touch of this plan on this worker (or the cached plan was
+    // evicted and recompiled since): build a resident replayer. Admission
+    // already verified the recording; workers must not pay it again.
+    ReplayConfig rconfig = config_.replay;
+    rconfig.static_verify = false;
+    auto replayer = std::make_unique<Replayer>(
+        &worker.device->gpu(), &worker.device->tzasc(), &worker.device->mem(),
+        &worker.device->timeline(), rconfig);
+    GRT_RETURN_IF_ERROR(replayer->LoadShared(
+        resolved.recording,
+        config_.replay.use_plan ? resolved.plan : nullptr));
+    engine.replayer = std::move(replayer);
+    engine.generation = resolved.generation;
+  }
+  engine.last_used = ++worker.use_counter;
+
+  // Bound resident engines per worker at the cache capacity: an engine
+  // whose plan left the global cache is dead weight on the device.
+  while (worker.engines.size() > config_.max_plans) {
+    auto oldest = worker.engines.end();
+    for (auto it = worker.engines.begin(); it != worker.engines.end(); ++it) {
+      if (oldest == worker.engines.end() ||
+          it->second.last_used < oldest->second.last_used) {
+        oldest = it;
+      }
+    }
+    if (oldest->second.last_used == worker.use_counter) {
+      break;  // never evict the engine serving this request
+    }
+    worker.engines.erase(oldest);
+  }
+
+  for (const auto& [name, data] : request.tensors) {
+    GRT_RETURN_IF_ERROR(engine.replayer->StageTensor(name, data));
+  }
+  GRT_ASSIGN_OR_RETURN(response->report, engine.replayer->Replay());
+  if (!request.output_tensor.empty()) {
+    GRT_ASSIGN_OR_RETURN(response->output,
+                         engine.replayer->ReadTensor(request.output_tensor));
+  }
+  return OkStatus();
+}
+
+void ReplayService::RecordOutcome(const ReplayResponse& response) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (!response.status.ok()) {
+    ++stats_.failed;
+    return;
+  }
+  ++stats_.completed;
+  const ReplayReport& report = response.report;
+  stats_.pages_applied += report.pages_applied;
+  stats_.pages_skipped_clean += report.pages_skipped_clean;
+  stats_.mem_bytes_applied += report.mem_bytes_applied;
+  if (report.warm) {
+    ++stats_.warm_replays;
+    stats_.warm_pages_applied += report.pages_applied;
+    stats_.warm_pages_skipped += report.pages_skipped_clean;
+  }
+  replay_delays_.push_back(report.delay);
+}
+
+ServeStats ReplayService::Stats() const {
+  ServeStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out = stats_;
+    if (!replay_delays_.empty()) {
+      std::vector<Duration> sorted = replay_delays_;
+      std::sort(sorted.begin(), sorted.end());
+      out.replay_delay_p50 = sorted[sorted.size() / 2];
+      out.replay_delay_p95 = sorted[(sorted.size() * 95) / 100 >=
+                                            sorted.size()
+                                        ? sorted.size() - 1
+                                        : (sorted.size() * 95) / 100];
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    out.queue_depth = queue_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    out.plans_cached = plans_.size();
+  }
+  return out;
+}
+
+}  // namespace grt

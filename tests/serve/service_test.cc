@@ -1,0 +1,347 @@
+// ReplayService tests: correctness of served outputs, concurrency
+// (multiple workers, concurrent submitters, eviction racing in-flight
+// replays), admission control (queue bound, deadlines), and lifecycle.
+// This suite is the TSan target in CI (scripts/ci.sh) — the service is
+// the first genuinely multi-threaded subsystem in the repo.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/ml/reference.h"
+#include "src/serve/service.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kNondetSeed = 11;
+
+// Recording once per suite: every test serves the same signed MNIST
+// artifact (and a renamed twin for multi-plan scenarios).
+class ReplayServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    net_ = new NetworkDef(BuildMnist());
+    ClientDevice device(kSku, kNondetSeed);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, *net_, "OursMDS", WifiConditions(),
+                              &history, 0);
+    ASSERT_TRUE(m.ok()) << m.status().ToString();
+    key_ = new Bytes(m->session_key);
+    signed_ = new Bytes(m->signed_recording);
+
+    // A second distinct workload identity with identical content: parse,
+    // rename, re-sign. Digest differs, so it occupies its own plan slot.
+    auto rec = Recording::ParseSigned(*signed_, *key_);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    rec->header.workload = "mnist-b";
+    signed_b_ = new Bytes(rec->SerializeSigned(*key_));
+  }
+
+  static void TearDownTestSuite() {
+    delete net_;
+    delete key_;
+    delete signed_;
+    delete signed_b_;
+    net_ = nullptr;
+    key_ = nullptr;
+    signed_ = nullptr;
+    signed_b_ = nullptr;
+  }
+
+  void SetUp() override {
+    store_ = std::make_unique<RecordingStore>(*key_);
+    ASSERT_TRUE(store_->Install(*signed_).ok());
+    ASSERT_TRUE(store_->Install(*signed_b_).ok());
+  }
+
+  ReplayRequest MakeRequest(const std::string& workload,
+                            uint64_t input_seed) {
+    ReplayRequest request;
+    request.workload = workload;
+    request.tensors[net_->input_tensor] = GenerateInput(*net_, input_seed);
+    for (const TensorDef& t : net_->tensors) {
+      if (t.kind == TensorKind::kParam) {
+        request.tensors[t.name] = GenerateParams(net_->name, t, 7);
+      }
+    }
+    request.output_tensor = net_->output_tensor;
+    return request;
+  }
+
+  std::vector<float> Reference(uint64_t input_seed) {
+    auto ref = RunReference(*net_, GenerateInput(*net_, input_seed), 7);
+    EXPECT_TRUE(ref.ok());
+    return *ref;
+  }
+
+  static NetworkDef* net_;
+  static Bytes* key_;
+  static Bytes* signed_;
+  static Bytes* signed_b_;
+  std::unique_ptr<RecordingStore> store_;
+};
+
+NetworkDef* ReplayServiceTest::net_ = nullptr;
+Bytes* ReplayServiceTest::key_ = nullptr;
+Bytes* ReplayServiceTest::signed_ = nullptr;
+Bytes* ReplayServiceTest::signed_b_ = nullptr;
+
+TEST_F(ReplayServiceTest, ServesCorrectOutputAndWarmsUp) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  ReplayResponse first = service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_TRUE(first.report.plan_used);
+  EXPECT_FALSE(first.report.warm);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_LE(MaxAbsDiff(first.output, Reference(42)), 1e-4f);
+
+  // Same input again: warm path, bitwise-identical answer, most image
+  // pages skipped clean.
+  ReplayResponse second = service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  EXPECT_TRUE(second.report.warm);
+  EXPECT_TRUE(second.plan_cache_hit);
+  EXPECT_GT(second.report.pages_skipped_clean, 0u);
+  EXPECT_LT(second.report.mem_bytes_applied, first.report.mem_bytes_applied);
+  ASSERT_EQ(second.output.size(), first.output.size());
+  EXPECT_EQ(std::memcmp(second.output.data(), first.output.data(),
+                        first.output.size() * sizeof(float)),
+            0);
+
+  // New input on the warm plan still answers correctly.
+  ReplayResponse third = service.Submit(MakeRequest("mnist", 43));
+  ASSERT_TRUE(third.status.ok()) << third.status.ToString();
+  EXPECT_TRUE(third.report.warm);
+  EXPECT_LE(MaxAbsDiff(third.output, Reference(43)), 1e-4f);
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 2u);
+  EXPECT_EQ(stats.warm_replays, 2u);
+  EXPECT_GT(stats.replay_delay_p50, 0);
+  EXPECT_GE(stats.replay_delay_p95, stats.replay_delay_p50);
+  EXPECT_GE(stats.dirty_page_ratio(), 0.0);
+  EXPECT_LE(stats.dirty_page_ratio(), 1.0);
+}
+
+TEST_F(ReplayServiceTest, ConcurrentSubmittersOnMultipleWorkers) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::vector<float> want42 = Reference(42);
+  std::vector<float> want43 = Reference(43);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        uint64_t seed = (c + i) % 2 == 0 ? 42 : 43;
+        ReplayResponse response = service.Submit(MakeRequest("mnist", seed));
+        const std::vector<float>& want = seed == 42 ? want42 : want43;
+        if (!response.status.ok() ||
+            MaxAbsDiff(response.output, want) > 1e-4f) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, static_cast<size_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST_F(ReplayServiceTest, EvictionDuringConcurrentRepliesIsSafe) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  config.max_plans = 1;  // every alternation evicts the other plan
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::vector<std::future<ReplayResponse>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(service.SubmitAsync(
+        MakeRequest(i % 2 == 0 ? "mnist" : "mnist-b", 42)));
+  }
+  std::vector<float> want = Reference(42);
+  for (auto& f : futures) {
+    ReplayResponse response = f.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_LE(MaxAbsDiff(response.output, want), 1e-4f);
+  }
+  ServeStats stats = service.Stats();
+  EXPECT_GT(stats.plan_evictions, 0u);
+  EXPECT_LE(stats.plans_cached, 1u);
+  EXPECT_EQ(stats.completed, 10u);
+}
+
+TEST_F(ReplayServiceTest, DeadlineExpiresWhileQueued) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  ReplayService service(store_.get(), config);
+
+  // Enqueue before Start: the deadline clock runs while nothing serves.
+  ReplayRequest doomed = MakeRequest("mnist", 42);
+  doomed.deadline_ms = 0;
+  std::future<ReplayResponse> doomed_future =
+      service.SubmitAsync(std::move(doomed));
+  ReplayRequest patient = MakeRequest("mnist", 42);
+  patient.deadline_ms = 60'000;
+  std::future<ReplayResponse> patient_future =
+      service.SubmitAsync(std::move(patient));
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE(service.Start().ok());
+
+  ReplayResponse expired = doomed_future.get();
+  EXPECT_EQ(expired.status.code(), StatusCode::kTimeout)
+      << expired.status.ToString();
+  EXPECT_TRUE(expired.output.empty());
+
+  ReplayResponse served = patient_future.get();
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(ReplayServiceTest, QueueBoundRejectsExcess) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  config.max_queue = 1;
+  ReplayService service(store_.get(), config);
+
+  // Not started: the first submit occupies the whole queue.
+  auto queued = service.SubmitAsync(MakeRequest("mnist", 42));
+  auto rejected1 = service.SubmitAsync(MakeRequest("mnist", 42));
+  auto rejected2 = service.SubmitAsync(MakeRequest("mnist", 43));
+  EXPECT_EQ(rejected1.get().status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(rejected2.get().status.code(), StatusCode::kResourceExhausted);
+
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(queued.get().status.ok());
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.submitted, 3u);
+}
+
+TEST_F(ReplayServiceTest, StopFailsPendingAndRefusesNewWork) {
+  ServeConfig config;
+  config.sku = kSku;
+  ReplayService service(store_.get(), config);
+
+  auto pending = service.SubmitAsync(MakeRequest("mnist", 42));
+  service.Stop();  // never started: queued work must still resolve
+  EXPECT_EQ(pending.get().status.code(), StatusCode::kFailedPrecondition);
+
+  auto after = service.SubmitAsync(MakeRequest("mnist", 42));
+  EXPECT_EQ(after.get().status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(service.Start().ok());
+}
+
+TEST_F(ReplayServiceTest, SyncSubmitRequiresRunningWorkers) {
+  ServeConfig config;
+  config.sku = kSku;
+  ReplayService service(store_.get(), config);
+  ReplayResponse response = service.Submit(MakeRequest("mnist", 42));
+  EXPECT_EQ(response.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ReplayServiceTest, PreloadCompilesAheadOfTraffic) {
+  ServeConfig config;
+  config.sku = kSku;
+  ReplayService service(store_.get(), config);
+
+  auto digest = service.Preload("mnist");
+  ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+  EXPECT_TRUE(service.Preload("no-such-workload").status().code() ==
+              StatusCode::kNotFound);
+  // Preloading again is a cache hit, same digest.
+  auto again = service.Preload("mnist");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*digest, *again);
+
+  ASSERT_TRUE(service.Start().ok());
+  ReplayResponse response = service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.plan_cache_hit);
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.plan_misses, 1u);
+  EXPECT_EQ(stats.plan_hits, 2u);  // second Preload + the served request
+}
+
+TEST_F(ReplayServiceTest, UnknownWorkloadFailsTheRequestOnly) {
+  ServeConfig config;
+  config.sku = kSku;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  ReplayRequest bad;
+  bad.workload = "no-such-workload";
+  ReplayResponse response = service.Submit(std::move(bad));
+  EXPECT_EQ(response.status.code(), StatusCode::kNotFound);
+
+  // The service is still healthy.
+  ReplayResponse good = service.Submit(MakeRequest("mnist", 42));
+  EXPECT_TRUE(good.status.ok());
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(ReplayServiceTest, InterpreterModeServesIdenticalAnswers) {
+  // Baseline mode for benches: use_plan off serves through the
+  // interpreter; answers agree with the plan engine bit for bit.
+  ServeConfig plan_config;
+  plan_config.sku = kSku;
+  ReplayService plan_service(store_.get(), plan_config);
+  ASSERT_TRUE(plan_service.Start().ok());
+  ReplayResponse via_plan = plan_service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(via_plan.status.ok());
+
+  ServeConfig interp_config;
+  interp_config.sku = kSku;
+  interp_config.replay.use_plan = false;
+  ReplayService interp_service(store_.get(), interp_config);
+  ASSERT_TRUE(interp_service.Start().ok());
+  ReplayResponse via_interp = interp_service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(via_interp.status.ok());
+  EXPECT_FALSE(via_interp.report.plan_used);
+
+  ASSERT_EQ(via_plan.output.size(), via_interp.output.size());
+  EXPECT_EQ(std::memcmp(via_plan.output.data(), via_interp.output.data(),
+                        via_plan.output.size() * sizeof(float)),
+            0);
+  EXPECT_GE(via_interp.report.mem_bytes_applied,
+            via_plan.report.mem_bytes_applied);
+}
+
+}  // namespace
+}  // namespace grt
