@@ -25,6 +25,12 @@
 //
 // `--smoke` runs section 1 on MNIST only and exits nonzero if a gate
 // fails — scripts/ci.sh uses it as the perf regression gate.
+//
+// `--obs-gate` times the smoke workload with observability off and fully
+// on (metrics + tracing); the instrumented run must stay within 5% (plus
+// a small absolute slack for timer noise) — scripts/ci.sh runs it so the
+// tracing layer can never quietly tax the serving path.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +41,8 @@
 #include "src/harness/experiment.h"
 #include "src/harness/table.h"
 #include "src/ml/reference.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/record/plan.h"
 #include "src/serve/service.h"
 
@@ -164,6 +172,14 @@ struct ScalingRow {
   double compile_service_ms = 0;
   double cold_service_ms = 0;
   double warm_service_ms = 0;
+  // Pulled from ReplayService::SnapshotMetrics() — the service's own
+  // accounting, cross-checkable against the response-derived numbers
+  // above.
+  uint64_t plan_hits = 0;
+  uint64_t plan_misses = 0;
+  uint64_t warm_replays = 0;
+  double queue_wait_p95_ms = 0;
+  double service_p95_ms = 0;
 
   double warm_speedup() const {
     return warm_service_ms == 0 ? 0.0 : compile_service_ms / warm_service_ms;
@@ -212,6 +228,7 @@ Result<ScalingRow> RunScaling(const RecordingStore& store,
       warm_ns.push_back(response.service_ns);
     }
   }
+  obs::MetricsSnapshot metrics = service.SnapshotMetrics();
   service.Stop();
   double wall = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - wall_start)
@@ -237,9 +254,9 @@ Result<ScalingRow> RunScaling(const RecordingStore& store,
   row.wall_seconds = wall;
   auto mean_ms = [](const std::vector<int64_t>& v) {
     if (v.empty()) return 0.0;
-    int64_t sum = 0;
-    for (int64_t ns : v) sum += ns;
-    return static_cast<double>(sum) / static_cast<double>(v.size()) / 1e6;
+    int64_t acc = 0;
+    for (int64_t ns : v) acc += ns;
+    return static_cast<double>(acc) / static_cast<double>(v.size()) / 1e6;
   };
   row.compile_service_ms = mean_ms(compile_ns);
   row.cold_service_ms = mean_ms(cold_ns);
@@ -247,6 +264,30 @@ Result<ScalingRow> RunScaling(const RecordingStore& store,
     std::sort(warm_ns.begin(), warm_ns.end());
     row.warm_service_ms =
         static_cast<double>(warm_ns[warm_ns.size() / 2]) / 1e6;
+  }
+  row.plan_hits = metrics.counter("serve.plan_hits");
+  row.plan_misses = metrics.counter("serve.plan_misses");
+  row.warm_replays = metrics.counter("serve.warm_replays");
+  if (const obs::HistogramSnapshot* h =
+          metrics.histogram("serve.queue_wait_ns")) {
+    row.queue_wait_p95_ms = static_cast<double>(h->Percentile(95)) / 1e6;
+  }
+  if (const obs::HistogramSnapshot* h =
+          metrics.histogram("serve.service_ns")) {
+    row.service_p95_ms = static_cast<double>(h->Percentile(95)) / 1e6;
+  }
+  // The service's accounting and the response stream must agree.
+  if (row.warm_replays != warm_ns.size()) {
+    return Internal("SnapshotMetrics warm_replays " +
+                    std::to_string(row.warm_replays) +
+                    " != observed warm responses " +
+                    std::to_string(warm_ns.size()));
+  }
+  if (row.plan_misses != compile_ns.size()) {
+    return Internal("SnapshotMetrics plan_misses " +
+                    std::to_string(row.plan_misses) +
+                    " != observed cache-miss responses " +
+                    std::to_string(compile_ns.size()));
   }
   return row;
 }
@@ -360,11 +401,16 @@ void WriteJson(const std::string& path, bool smoke,
         "\"scaling_efficiency\": %.3f, \"warm_fraction\": %.3f, "
         "\"compile_service_ms\": %.4f, \"cold_service_ms\": %.4f, "
         "\"warm_service_ms\": %.4f, \"warm_speedup\": %.2f, "
-        "\"wall_seconds\": %.3f}%s\n",
+        "\"plan_hits\": %llu, \"plan_misses\": %llu, "
+        "\"warm_replays\": %llu, \"queue_wait_p95_ms\": %.4f, "
+        "\"service_p95_ms\": %.4f, \"wall_seconds\": %.3f}%s\n",
         s.workers, s.requests, s.avg_replay_ms, s.p95_replay_ms,
         s.throughput_rps, s.efficiency, s.warm_fraction,
         s.compile_service_ms, s.cold_service_ms, s.warm_service_ms,
-        s.warm_speedup(), s.wall_seconds,
+        s.warm_speedup(), static_cast<unsigned long long>(s.plan_hits),
+        static_cast<unsigned long long>(s.plan_misses),
+        static_cast<unsigned long long>(s.warm_replays),
+        s.queue_wait_p95_ms, s.service_p95_ms, s.wall_seconds,
         i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"dirty_page_sweep\": [\n");
@@ -384,6 +430,86 @@ void WriteJson(const std::string& path, bool smoke,
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path.c_str());
+}
+
+// Overhead gate: the smoke workload (engine comparison on MNIST) timed
+// with observability fully off, then fully on (metrics enabled + trace
+// collection armed). Min-of-N wall times; the instrumented run must stay
+// within `kObsOverheadGate` of the baseline plus a small absolute slack so
+// microsecond-scale noise can't fail the gate on a fast machine.
+constexpr double kObsOverheadGate = 1.05;  // <= 5% slower
+constexpr double kObsAbsoluteSlackSeconds = 0.050;
+constexpr int kObsGateReps = 5;
+
+int RunObsGate() {
+#if defined(GRT_OBS_COMPILED_OUT)
+  std::printf("observability compiled out (GRT_OBS=OFF); obs gate skipped\n");
+  return 0;
+#else
+  auto recorded = RecordOnce(BuildMnist());
+  if (!recorded.ok()) {
+    std::fprintf(stderr, "obs-gate: record failed: %s\n",
+                 recorded.status().ToString().c_str());
+    return 1;
+  }
+
+  auto best_of = [&](const char* label) -> double {
+    double best = -1.0;
+    for (int i = 0; i < kObsGateReps; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      auto row = CompareEngines(*recorded);
+      double elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (!row.ok()) {
+        std::fprintf(stderr, "obs-gate (%s): comparison failed: %s\n", label,
+                     row.status().ToString().c_str());
+        return -1.0;
+      }
+      if (best < 0.0 || elapsed < best) best = elapsed;
+    }
+    return best;
+  };
+
+  obs::SetEnabled(false);
+  (void)best_of("warmup");  // touch every code path once before timing
+  double baseline = best_of("disabled");
+  if (baseline < 0.0) return 1;
+
+  obs::SetEnabled(true);
+  obs::TraceCollector::Global().Start();
+  double instrumented = best_of("enabled");
+  obs::TraceCollector::Global().Stop();
+  size_t spans = obs::TraceCollector::Global().Snapshot().size();
+  obs::SetEnabled(false);
+  if (instrumented < 0.0) return 1;
+
+  double limit = baseline * kObsOverheadGate + kObsAbsoluteSlackSeconds;
+  std::printf("Observability overhead gate (min of %d runs, mnist engine "
+              "comparison)\n\n", kObsGateReps);
+  std::printf("  disabled:     %8.2f ms\n", baseline * 1e3);
+  std::printf("  instrumented: %8.2f ms  (%zu spans collected)\n",
+              instrumented * 1e3, spans);
+  std::printf("  limit:        %8.2f ms  (%.0f%% + %.0f ms slack)\n",
+              limit * 1e3, (kObsOverheadGate - 1.0) * 100,
+              kObsAbsoluteSlackSeconds * 1e3);
+  if (spans == 0) {
+    std::fprintf(stderr,
+                 "GATE FAILURE: instrumented run collected no spans — the "
+                 "gate is not measuring the instrumentation\n");
+    return 1;
+  }
+  if (instrumented > limit) {
+    std::fprintf(stderr,
+                 "GATE FAILURE: instrumentation overhead %.2f ms > limit "
+                 "%.2f ms\n",
+                 (instrumented - baseline) * 1e3,
+                 (limit - baseline) * 1e3);
+    return 1;
+  }
+  std::printf("\nobs gate ok\n");
+  return 0;
+#endif  // GRT_OBS_COMPILED_OUT
 }
 
 int Run(bool smoke, const std::string& out_path) {
@@ -447,7 +573,8 @@ int Run(bool smoke, const std::string& out_path) {
     }
     TextTable scale_table({"workers", "requests", "avg replay", "p95",
                            "throughput", "efficiency", "compile serve",
-                           "cold serve", "warm serve", "speedup"});
+                           "cold serve", "warm serve", "speedup",
+                           "queue p95"});
     for (int workers : {1, 2, 4}) {
       auto row = RunScaling(store, mnist, workers, 16);
       if (!row.ok()) {
@@ -466,7 +593,8 @@ int Run(bool smoke, const std::string& out_path) {
            FormatPercent(row->efficiency),
            FormatMs(row->compile_service_ms), FormatMs(row->cold_service_ms),
            FormatMs(row->warm_service_ms),
-           std::to_string(row->warm_speedup()).substr(0, 5) + "x"});
+           std::to_string(row->warm_speedup()).substr(0, 5) + "x",
+           FormatMs(row->queue_wait_p95_ms)});
       if (row->warm_speedup() < kWarmSpeedupGate) {
         std::fprintf(stderr,
                      "GATE FAILURE at %d workers: compile-cold/warm "
@@ -512,16 +640,21 @@ int Run(bool smoke, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool obs_gate = false;
   std::string out = "BENCH_replay_serving.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--obs-gate") == 0) {
+      obs_gate = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--smoke] [--obs-gate] [--out <path>]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (obs_gate) return grt::RunObsGate();
   return grt::Run(smoke, out);
 }

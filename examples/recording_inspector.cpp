@@ -22,6 +22,11 @@
 //                   the pages folded or dropped at compile time
 //   --save <file>   write this recording's unsigned body to <file> (the
 //                   input format grt_lint and grt_opt consume)
+//   --metrics       enable the observability layer for the whole run
+//                   (record + a cold and a warm replay) and print the
+//                   metrics registry: shim commit/speculation/poll
+//                   counters, net bytes and RTTs, recorder entries, and
+//                   replay page accounting
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -34,7 +39,9 @@
 #include "src/harness/table.h"
 #include "src/hw/regs.h"
 #include "src/ml/network.h"
+#include "src/obs/metrics.h"
 #include "src/record/plan.h"
+#include "src/record/replayer.h"
 
 using namespace grt;
 
@@ -205,6 +212,7 @@ void InspectPlan(const Recording& rec) {
 
 int main(int argc, char** argv) {
   bool lint = false, dump = false, dataflow = false, show_plan = false;
+  bool metrics = false;
   const char* diff_path = nullptr;
   const char* save_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -216,6 +224,8 @@ int main(int argc, char** argv) {
       dataflow = true;
     } else if (std::strcmp(argv[i], "--plan") == 0) {
       show_plan = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diff_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
@@ -223,10 +233,15 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--lint] [--dump] [--dataflow] [--plan] "
-                   "[--diff <other>] [--save <file>]\n",
+                   "[--metrics] [--diff <other>] [--save <file>]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (metrics) {
+    // On before the record session so the shim/net/recorder counters see
+    // the whole interaction, not just the replay.
+    obs::SetEnabled(true);
   }
   ClientDevice device(SkuId::kMaliG71Mp8);
   NetworkDef net = BuildMnist();
@@ -343,6 +358,31 @@ int main(int argc, char** argv) {
     if (!report.ok()) {
       return 1;
     }
+  }
+  if (metrics) {
+    // One cold and one warm replay on a fresh device populate the
+    // replay.* side of the registry (plan path, dirty-page tracking).
+    ClientDevice replay_device(SkuId::kMaliG71Mp8, /*nondet_seed=*/1);
+    ReplayConfig rconfig;
+    Replayer replayer(&replay_device.gpu(), &replay_device.tzasc(),
+                      &replay_device.mem(), &replay_device.timeline(),
+                      rconfig);
+    Status loaded = replayer.Load(*rec);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "metrics replay load failed: %s\n",
+                   loaded.ToString().c_str());
+      return 1;
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      auto report = replayer.Replay();
+      if (!report.ok()) {
+        std::fprintf(stderr, "metrics replay failed: %s\n",
+                     report.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::printf("\n--- observability metrics ---\n%s",
+                obs::MetricsRegistry::Global().Snapshot().ToString().c_str());
   }
   return 0;
 }

@@ -9,17 +9,39 @@
 //
 // Demonstrates: Preload, sync and async submission, deadlines, and the
 // service's cache/warm-path statistics.
+//
+// With --trace <path>, enables the observability layer, captures every
+// span (queue / request / stage_input / replay / readback plus the shim
+// and replayer internals), and writes a Chrome trace_event file loadable
+// in chrome://tracing, ui.perfetto.dev, or `grt_trace summarize <path>`.
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <vector>
 
 #include "src/harness/experiment.h"
 #include "src/ml/reference.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/service.h"
 
 using namespace grt;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: serving_demo [--trace <out.json>]\n");
+      return 2;
+    }
+  }
+  if (trace_path != nullptr) {
+    obs::SetEnabled(true);
+    obs::TraceCollector::Global().Start();
+  }
+
   constexpr SkuId kSku = SkuId::kMaliG71Mp8;
   NetworkDef net = BuildMnist();
 
@@ -90,9 +112,25 @@ int main() {
               static_cast<size_t>(ok), in_flight.size(), stats.plan_hits,
               stats.plan_misses, stats.warm_replays,
               100.0 * stats.dirty_page_ratio());
-  std::printf("replay delay p50 %s, p95 %s\n",
+  std::printf("replay delay p50 %s, p95 %s, p99 %s\n",
               FormatDuration(stats.replay_delay_p50).c_str(),
-              FormatDuration(stats.replay_delay_p95).c_str());
+              FormatDuration(stats.replay_delay_p95).c_str(),
+              FormatDuration(stats.replay_delay_p99).c_str());
   service.Stop();
+
+  if (trace_path != nullptr) {
+    obs::TraceCollector& collector = obs::TraceCollector::Global();
+    collector.Stop();
+    std::vector<obs::TraceEvent> events = collector.Snapshot();
+    Status written = obs::WriteChromeTraceFile(trace_path, events);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu spans to %s (open in chrome://tracing or run "
+                "`grt_trace summarize %s`)\n",
+                events.size(), trace_path, trace_path);
+  }
   return ok == static_cast<int>(in_flight.size()) ? 0 : 1;
 }

@@ -4,13 +4,17 @@
 #      the deterministic-recording acceptance covers two consecutive runs)
 #   2. replay perf smoke gate: bench/replay_serving --smoke fails if a
 #      warm plan-based replay ever applies at least as many memory bytes
-#      as the interpreter, or diverges from it bitwise
+#      as the interpreter, or diverges from it bitwise; --obs-gate fails
+#      if running with metrics + tracing enabled is more than 5% slower
+#      than running with them off
 #   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest
-#   4. TSan build (-DGRT_SANITIZE=thread) + the serving concurrency suite
-#      (src/serve is the repo's multi-threaded subsystem); any reported
+#   4. TSan build (-DGRT_SANITIZE=thread) + the concurrency suites: the
+#      serving engine (src/serve) and the observability layer (src/obs,
+#      which every hot layer now calls from worker threads); any reported
 #      race fails the gate even when the assertions all pass
-#   5. clang-tidy over the library sources (profile: .clang-tidy); any
-#      warning fails the gate. Skips cleanly where clang-tidy is absent.
+#   5. clang-tidy over the library sources and the trace tool (profile:
+#      .clang-tidy); any warning fails the gate. Skips cleanly where
+#      clang-tidy is absent.
 #
 # Usage: scripts/ci.sh [jobs]
 #   jobs  parallel build/test jobs (default: nproc)
@@ -46,19 +50,23 @@ cmake --build build-ci -j "${JOBS}" --target replay_serving
 SMOKE_JSON="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}"' EXIT
 build-ci/bench/replay_serving --smoke --out "${SMOKE_JSON}"
+echo "=== pass 2/5: observability overhead gate ==="
+build-ci/bench/replay_serving --obs-gate
 
 run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
   -DGRT_SANITIZE=address,undefined
 
-# TSan: build only the serving suite (the rest of the repo is
+# TSan: build only the multi-threaded suites (the rest of the repo is
 # single-threaded and already covered by passes 1 and 3). TSan does not
 # fail the process exit code for races by default here, so grep the log.
-echo "=== pass 4/5: tsan serving concurrency gate ==="
+echo "=== pass 4/5: tsan concurrency gate (serve + obs) ==="
 cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
-cmake --build build-ci-tsan -j "${JOBS}" --target service_test
+cmake --build build-ci-tsan -j "${JOBS}" --target service_test \
+  obs_concurrency_test
 TSAN_LOG="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}"' EXIT
 build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
+build-ci-tsan/tests/obs/obs_concurrency_test 2>&1 | tee -a "${TSAN_LOG}"
 if grep -E 'WARNING: ThreadSanitizer' "${TSAN_LOG}" >/dev/null; then
   echo "=== pass 4/5: ThreadSanitizer reported races — failing ===" >&2
   exit 1
@@ -69,7 +77,7 @@ fi
 echo "=== pass 5/5: clang-tidy lint gate ==="
 TIDY_LOG="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
-scripts/run_clang_tidy.sh build-ci src 2>&1 | tee "${TIDY_LOG}"
+scripts/run_clang_tidy.sh build-ci src tools/grt_trace.cc 2>&1 | tee "${TIDY_LOG}"
 if grep -E 'warning:|error:' "${TIDY_LOG}" >/dev/null; then
   echo "=== pass 5/5: clang-tidy reported diagnostics — failing ===" >&2
   exit 1

@@ -1,9 +1,12 @@
 #include "src/common/log.h"
 
+#include <atomic>
+
 namespace grt {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Relaxed is enough: the level is a filter, not a synchronization point.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,13 +26,21 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level && g_level != LogLevel::kOff), level_(level) {
+    : enabled_([&] {
+        // One load so the >= filter and the kOff check can't observe two
+        // different levels mid-SetLogLevel.
+        LogLevel min = g_level.load(std::memory_order_relaxed);
+        return level >= min && min != LogLevel::kOff;
+      }()),
+      level_(level) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {
@@ -43,7 +54,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    // One fwrite per message (text + newline together): stdio's FILE lock
+    // then guarantees concurrent messages never interleave mid-line.
+    std::string line = stream_.str();
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stderr);
   }
 }
 

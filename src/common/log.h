@@ -11,8 +11,11 @@ namespace grt {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Process-wide minimum level; not thread-safe by design (the simulation is
-// single-threaded and deterministic).
+// Process-wide minimum level. Thread-safe: ReplayService workers log
+// concurrently, so the level lives in a relaxed atomic and each message is
+// emitted with a single fprintf call (no interleaved fragments). A level
+// change racing an in-flight message may or may not affect it — both
+// outcomes are valid serializations.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 

@@ -1,5 +1,7 @@
 #include "src/net/channel.h"
 
+#include "src/obs/metrics.h"
+
 namespace grt {
 
 NetworkConditions WifiConditions() {
@@ -30,6 +32,15 @@ TimePoint NetChannel::Transmit(int from, TimePoint send_time, uint64_t bytes,
   // sender's airtime to the sender and the receive airtime to the receiver.
   stats_.airtime[from] += Airtime(bytes);
   stats_.airtime[to] += Airtime(bytes);
+  // Two call sites on purpose: each GRT_OBS_COUNT caches the instrument
+  // for the first name it sees, so one macro with a computed name would
+  // misattribute the other direction.
+  GRT_OBS_COUNT("net.messages", 1);
+  if (from == kCloudEnd) {
+    GRT_OBS_COUNT("net.cloud_to_client_bytes", bytes);
+  } else {
+    GRT_OBS_COUNT("net.client_to_cloud_bytes", bytes);
+  }
   return arrival;
 }
 
@@ -47,12 +58,18 @@ TimePoint NetChannel::BlockingRoundTrip(int from, uint64_t request_bytes,
                                         uint64_t response_bytes,
                                         Duration remote_compute) {
   int to = 1 - from;
+  TimePoint request_send = timelines_[from]->now();
+  (void)request_send;  // only read by GRT_OBS_HIST (may be compiled out)
   TimePoint request_arrival = SendOneWay(from, request_bytes);
   timelines_[to]->AdvanceTo(request_arrival);
   timelines_[to]->Advance(remote_compute);
   TimePoint response_arrival = SendOneWay(to, response_bytes);
   timelines_[from]->AdvanceTo(response_arrival);
   stats_.blocking_rtts += 1;
+  GRT_OBS_COUNT("net.blocking_rtts", 1);
+  // Virtual round-trip latency as seen by the blocked end (request wire +
+  // remote compute + response wire).
+  GRT_OBS_HIST("net.rtt_ns", response_arrival - request_send);
   return response_arrival;
 }
 

@@ -1,0 +1,47 @@
+// Minimal JSON value model + recursive-descent parser, just enough to read
+// back the Chrome trace_event files this repo writes (tools/grt_trace) and
+// the bench JSON artifacts. Not a general-purpose library: numbers are
+// doubles, objects preserve member order, no streaming.
+#ifndef GRT_SRC_OBS_JSON_H_
+#define GRT_SRC_OBS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace grt {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  // First member with this key, or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses a complete JSON document (trailing whitespace allowed, trailing
+// garbage is an error).
+Result<JsonValue> ParseJson(const std::string& text);
+
+// Escapes a string for embedding in JSON output (quotes, backslashes,
+// control characters).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace grt
+
+#endif  // GRT_SRC_OBS_JSON_H_

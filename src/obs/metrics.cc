@@ -1,0 +1,226 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace grt {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+void AtomicMin(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* a, uint64_t v) {
+  uint64_t cur = a->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<size_t>(value);  // unit-wide, exact
+  }
+  // Clamp into the top tracked power of two.
+  constexpr uint64_t kClamp = (uint64_t{1} << kMaxExponent) - 1;
+  value = std::min(value, kClamp);
+  int exponent = std::bit_width(value) - 1;  // 2^exponent <= value
+  // The top half of the sub-buckets covers [2^e, 2^(e+1)) linearly.
+  int shift = exponent - (kSubBucketBits - 1);
+  uint64_t sub = (value >> shift) - kSubBuckets / 2;  // in [0, S/2)
+  return kSubBuckets +
+         static_cast<size_t>(exponent - kSubBucketBits) * (kSubBuckets / 2) +
+         static_cast<size_t>(sub);
+}
+
+HistogramBucket Histogram::BucketBounds(size_t i) {
+  HistogramBucket b;
+  if (i < kSubBuckets) {
+    b.lower = i;
+    b.upper = i + 1;
+    return b;
+  }
+  size_t off = i - kSubBuckets;
+  int exponent = kSubBucketBits + static_cast<int>(off / (kSubBuckets / 2));
+  uint64_t sub = off % (kSubBuckets / 2);
+  int shift = exponent - (kSubBucketBits - 1);
+  b.lower = (kSubBuckets / 2 + sub) << shift;
+  b.upper = b.lower + (uint64_t{1} << shift);
+  return b;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) {
+      continue;
+    }
+    HistogramBucket b = BucketBounds(i);
+    b.count = n;
+    snap.buckets.push_back(b);
+    total += n;
+  }
+  // Derive count from the buckets actually copied so a snapshot racing a
+  // Record() stays internally consistent (rank never exceeds bucket mass).
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = mn == UINT64_MAX ? 0 : mn;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (const HistogramBucket& b : buckets) {
+    seen += b.count;
+    if (seen >= rank) {
+      uint64_t mid = b.lower + (b.upper - b.lower) / 2;
+      return std::clamp(mid, min, max);
+    }
+  }
+  return max;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters[name] = c->Value();
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges[name] = g->Value();
+  }
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->Reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->Reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->Reset();
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never freed
+  return *registry;
+}
+
+std::string MetricsSnapshot::ToString() const {
+  std::string out;
+  char line[160];
+  if (!counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, v] : counters) {
+      std::snprintf(line, sizeof(line), "  %-36s %12llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      out += line;
+    }
+  }
+  if (!gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, v] : gauges) {
+      std::snprintf(line, sizeof(line), "  %-36s %12lld\n", name.c_str(),
+                    static_cast<long long>(v));
+      out += line;
+    }
+  }
+  if (!histograms.empty()) {
+    out += "histograms (count / mean / p50 / p95 / p99 / max):\n";
+    for (const auto& [name, h] : histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-36s %8llu  %12.1f  %10llu  %10llu  %10llu  %10llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.Mean(),
+                    static_cast<unsigned long long>(h.Percentile(50)),
+                    static_cast<unsigned long long>(h.Percentile(95)),
+                    static_cast<unsigned long long>(h.Percentile(99)),
+                    static_cast<unsigned long long>(h.max));
+      out += line;
+    }
+  }
+  if (out.empty()) {
+    out = "(no metrics recorded)\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace grt

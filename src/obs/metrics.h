@@ -1,0 +1,219 @@
+// Observability metrics: counters, gauges, and bounded log-linear
+// histograms behind a process-wide registry.
+//
+// Design constraints (ISSUE 5 / DESIGN.md §6e):
+//   * Thread-safe by construction — every instrument is a bag of relaxed
+//     atomics; ReplayService workers, submitters, and Stats() readers all
+//     touch them concurrently (the TSan suite in tests/obs holds this).
+//   * Near-zero when off — the GRT_OBS_* instrumentation macros check one
+//     relaxed atomic bool before touching anything, and compile to nothing
+//     under -DGRT_OBS_COMPILED_OUT (CMake option GRT_OBS=OFF). Collection
+//     never touches virtual timelines or recording bytes, so determinism
+//     (the chaos suite's byte-identical invariant) is untouched either way.
+//   * Bounded memory — a histogram is a fixed array of buckets (values are
+//     clamped into the top bucket, never allocated per sample). This is
+//     what replaces the serving engine's unbounded replay-delay vector.
+//
+// The instruments themselves do NOT check the enable flag: owners that
+// always want accounting (ReplayService's internal stats) call them
+// directly; opt-in instrumentation goes through the macros below.
+#ifndef GRT_SRC_OBS_METRICS_H_
+#define GRT_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace grt {
+namespace obs {
+
+// Process-wide collection switch. Off by default: a service that wants
+// metrics opts in (benches, tools, and the serving demo do). Relaxed
+// loads/stores — flipping mid-run is allowed and only affects whether new
+// samples are taken.
+bool Enabled();
+void SetEnabled(bool on);
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// One materialized histogram bucket: samples counted in [lower, upper).
+struct HistogramBucket {
+  uint64_t lower = 0;
+  uint64_t upper = 0;
+  uint64_t count = 0;
+};
+
+// Point-in-time copy of a histogram; percentile extraction happens here so
+// a consistent set of buckets is walked.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // smallest recorded sample (exact, not bucketed)
+  uint64_t max = 0;  // largest recorded sample (exact, not bucketed)
+  std::vector<HistogramBucket> buckets;  // non-empty buckets, ascending
+
+  // Nearest-rank percentile, p in (0, 100]: the value at rank
+  // ceil(p/100 * count). Returns the matched bucket's midpoint clamped to
+  // [min, max]; exact for values < 32 (unit-wide buckets), within one
+  // sub-bucket (~3% relative) above. Returns 0 on an empty histogram.
+  uint64_t Percentile(double p) const;
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+// Bounded log-linear histogram (HDR-style): values below kSubBuckets get a
+// unit-wide bucket each (exact); above, each power of two is split into
+// kSubBuckets/2 linear sub-buckets, so the relative quantization error is
+// at most 1/kSubBuckets. Values at or above 2^kMaxExponent clamp into the
+// top bucket. Everything is a relaxed atomic — concurrent Record() and
+// Snapshot() are safe (a snapshot taken mid-record may miss in-flight
+// samples, never tears).
+class Histogram {
+ public:
+  static constexpr int kSubBucketBits = 5;                  // 32 sub-buckets
+  static constexpr uint64_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr int kMaxExponent = 40;  // ~1100 s in ns; clamp above
+  static constexpr size_t kBucketCount =
+      kSubBuckets +
+      static_cast<size_t>(kMaxExponent - kSubBucketBits) * (kSubBuckets / 2);
+
+  void Record(uint64_t value);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  HistogramSnapshot Snapshot() const;
+  // Convenience: Snapshot().Percentile(p).
+  uint64_t Percentile(double p) const { return Snapshot().Percentile(p); }
+  void Reset();
+
+  // Bucket index for a value (exposed for tests).
+  static size_t BucketIndex(uint64_t value);
+  // [lower, upper) bounds of bucket i.
+  static HistogramBucket BucketBounds(size_t i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Everything the registry held at one instant, keyed by instrument name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  int64_t gauge(const std::string& name) const {
+    auto it = gauges.find(name);
+    return it == gauges.end() ? 0 : it->second;
+  }
+  const HistogramSnapshot* histogram(const std::string& name) const {
+    auto it = histograms.find(name);
+    return it == histograms.end() ? nullptr : &it->second;
+  }
+  // Human-readable table (recording_inspector --metrics).
+  std::string ToString() const;
+};
+
+// Name -> instrument map. Instruments are created on first use and never
+// destroyed (callers cache the returned pointers in function-local
+// statics), so Reset() zeroes values instead of erasing entries.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every instrument (test isolation); pointers stay valid.
+  void Reset();
+
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace grt
+
+// Instrumentation macros: one relaxed bool load when disabled; the
+// registry lookup happens once per call site (function-local static) and
+// only on the first *enabled* pass. Under GRT_OBS_COMPILED_OUT they vanish
+// entirely.
+#if defined(GRT_OBS_COMPILED_OUT)
+
+#define GRT_OBS_COUNT(name, n) \
+  do {                         \
+  } while (0)
+#define GRT_OBS_GAUGE_SET(name, v) \
+  do {                             \
+  } while (0)
+#define GRT_OBS_HIST(name, v) \
+  do {                        \
+  } while (0)
+
+#else
+
+#define GRT_OBS_COUNT(name, n)                                      \
+  do {                                                              \
+    if (::grt::obs::Enabled()) {                                    \
+      static ::grt::obs::Counter* grt_obs_counter_ =                \
+          ::grt::obs::MetricsRegistry::Global().GetCounter(name);   \
+      grt_obs_counter_->Increment(static_cast<uint64_t>(n));        \
+    }                                                               \
+  } while (0)
+
+#define GRT_OBS_GAUGE_SET(name, v)                                  \
+  do {                                                              \
+    if (::grt::obs::Enabled()) {                                    \
+      static ::grt::obs::Gauge* grt_obs_gauge_ =                    \
+          ::grt::obs::MetricsRegistry::Global().GetGauge(name);     \
+      grt_obs_gauge_->Set(static_cast<int64_t>(v));                 \
+    }                                                               \
+  } while (0)
+
+#define GRT_OBS_HIST(name, v)                                       \
+  do {                                                              \
+    if (::grt::obs::Enabled()) {                                    \
+      static ::grt::obs::Histogram* grt_obs_hist_ =                 \
+          ::grt::obs::MetricsRegistry::Global().GetHistogram(name); \
+      grt_obs_hist_->Record(static_cast<uint64_t>(v));              \
+    }                                                               \
+  } while (0)
+
+#endif  // GRT_OBS_COMPILED_OUT
+
+#endif  // GRT_SRC_OBS_METRICS_H_

@@ -1,0 +1,237 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/obs/json.h"
+
+namespace grt {
+namespace obs {
+
+void TraceCollector::Start(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  events_.reserve(std::min(capacity, size_t{1} << 12));
+  capacity_ = capacity;
+  dropped_.store(0, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceCollector::Stop() {
+  active_.store(false, std::memory_order_release);
+}
+
+int64_t TraceCollector::NowNs() const {
+  std::chrono::steady_clock::time_point start;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    start = start_;
+  }
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void TraceCollector::Record(TraceEvent event) {
+  if (!active()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= capacity_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+uint32_t TraceCollector::CurrentThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // never freed
+  return *collector;
+}
+
+TraceSpan::TraceSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat) {
+  TraceCollector& c = TraceCollector::Global();
+  if (c.active()) {
+    start_ns_ = c.NowNs();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_ns_ < 0) {
+    return;
+  }
+  TraceCollector& c = TraceCollector::Global();
+  if (!c.active()) {
+    return;  // collection stopped while the span was open
+  }
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.ts_ns = start_ns_;
+  e.dur_ns = std::max<int64_t>(c.NowNs() - start_ns_, 0);
+  e.tid = TraceCollector::CurrentThreadId();
+  c.Record(std::move(e));
+}
+
+namespace {
+
+// Microseconds with three decimals: exact nanosecond round-trip without
+// relying on double formatting.
+void AppendMicros(std::string* out, int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n{\"name\":\"" + JsonEscape(e.name) + "\",\"cat\":\"" +
+           JsonEscape(e.cat) + "\",\"ph\":\"X\",\"ts\":";
+    AppendMicros(&out, e.ts_ns);
+    out += ",\"dur\":";
+    AppendMicros(&out, e.dur_ns);
+    out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid) + "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<TraceEvent>& events) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return Internal("cannot open trace file for writing: " + path);
+  }
+  f << ExportChromeTrace(events);
+  f.flush();
+  if (!f) {
+    return Internal("short write to trace file: " + path);
+  }
+  return OkStatus();
+}
+
+namespace {
+
+int64_t MicrosToNs(double us) { return std::llround(us * 1000.0); }
+
+}  // namespace
+
+Result<std::vector<TraceEvent>> ParseChromeTrace(const std::string& text) {
+  GRT_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(text));
+  const JsonValue* array = nullptr;
+  if (doc.is_array()) {
+    array = &doc;
+  } else if (doc.is_object()) {
+    array = doc.Find("traceEvents");
+    if (array == nullptr || !array->is_array()) {
+      return InvalidArgument("trace document has no traceEvents array");
+    }
+  } else {
+    return InvalidArgument("trace document is neither object nor array");
+  }
+  std::vector<TraceEvent> events;
+  events.reserve(array->items.size());
+  for (const JsonValue& item : array->items) {
+    if (!item.is_object()) {
+      return InvalidArgument("trace event is not an object");
+    }
+    const JsonValue* ph = item.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str != "X") {
+      continue;  // only complete events carry spans
+    }
+    TraceEvent e;
+    if (const JsonValue* v = item.Find("name"); v != nullptr && v->is_string()) {
+      e.name = v->str;
+    }
+    if (const JsonValue* v = item.Find("cat"); v != nullptr && v->is_string()) {
+      e.cat = v->str;
+    }
+    const JsonValue* ts = item.Find("ts");
+    const JsonValue* dur = item.Find("dur");
+    if (ts == nullptr || !ts->is_number() || dur == nullptr ||
+        !dur->is_number()) {
+      return InvalidArgument("complete event missing numeric ts/dur");
+    }
+    e.ts_ns = MicrosToNs(ts->number);
+    e.dur_ns = MicrosToNs(dur->number);
+    if (const JsonValue* v = item.Find("tid"); v != nullptr && v->is_number()) {
+      e.tid = static_cast<uint32_t>(v->number);
+    }
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+Status ValidateSpanNesting(const std::vector<TraceEvent>& events) {
+  // Per tid: sort by (ts asc, dur desc) so an enclosing span precedes the
+  // spans it contains, then run a containment stack.
+  std::vector<const TraceEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const TraceEvent& e : events) {
+    sorted.push_back(&e);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              if (a->tid != b->tid) {
+                return a->tid < b->tid;
+              }
+              if (a->ts_ns != b->ts_ns) {
+                return a->ts_ns < b->ts_ns;
+              }
+              return a->dur_ns > b->dur_ns;
+            });
+  std::vector<const TraceEvent*> stack;
+  uint32_t tid = 0;
+  for (const TraceEvent* e : sorted) {
+    if (stack.empty() || e->tid != tid) {
+      stack.clear();
+      tid = e->tid;
+    }
+    int64_t end = e->ts_ns + e->dur_ns;
+    while (!stack.empty() &&
+           e->ts_ns >= stack.back()->ts_ns + stack.back()->dur_ns) {
+      stack.pop_back();
+    }
+    if (!stack.empty()) {
+      const TraceEvent* top = stack.back();
+      if (end > top->ts_ns + top->dur_ns) {
+        return Internal("span '" + e->name + "' on tid " +
+                        std::to_string(e->tid) + " partially overlaps '" +
+                        top->name + "' (" + std::to_string(e->ts_ns) + "+" +
+                        std::to_string(e->dur_ns) + " vs " +
+                        std::to_string(top->ts_ns) + "+" +
+                        std::to_string(top->dur_ns) + ")");
+      }
+    }
+    stack.push_back(e);
+  }
+  return OkStatus();
+}
+
+}  // namespace obs
+}  // namespace grt

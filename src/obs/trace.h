@@ -1,0 +1,138 @@
+// Span-based tracing with thread-safe buffered collection and Chrome
+// trace_event JSON export.
+//
+// Model: a process-wide TraceCollector buffers completed spans (name,
+// category, wall-clock start, duration, logical thread id). GRT_TRACE_SPAN
+// opens an RAII span that records itself on scope exit — but only if a
+// collection was active when the scope opened, so an idle collector costs
+// one relaxed atomic load per call site. Timestamps are steady_clock wall
+// time, never virtual-timeline time: tracing observes the simulation, it
+// does not participate in it, which is what keeps recordings byte-identical
+// with tracing on (tests/integration/determinism_test.cc holds this).
+//
+// Export is the Chrome trace_event format ("complete" events, ph:"X"),
+// loadable in chrome://tracing or https://ui.perfetto.dev. ParseChromeTrace
+// reads the same format back; ValidateSpanNesting checks the invariant the
+// exporter promises (spans on one thread either nest or are disjoint).
+#ifndef GRT_SRC_OBS_TRACE_H_
+#define GRT_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace grt {
+namespace obs {
+
+// One completed span. Timestamps are nanoseconds since the collector's
+// Start() (non-negative); tid is a small sequential per-thread id assigned
+// on first use, stable for the life of the thread.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = 0;
+  uint32_t tid = 0;
+};
+
+// Thread-safe bounded buffer of completed spans. Start() arms collection
+// and resets the buffer; Stop() disarms it (already-open spans quietly
+// drop). The buffer is bounded: once full, further spans increment
+// dropped() instead of growing memory — same discipline as the metrics
+// histograms.
+class TraceCollector {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  // Clears the buffer and begins collecting.
+  void Start(size_t capacity = kDefaultCapacity);
+  void Stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Nanoseconds since Start() on the steady clock.
+  int64_t NowNs() const;
+
+  // Appends a completed span (no-op when inactive or full).
+  void Record(TraceEvent event);
+
+  // Copies out everything collected so far.
+  std::vector<TraceEvent> Snapshot() const;
+  // Spans discarded because the buffer was full.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Small sequential id for the calling thread (0, 1, 2, ... in first-use
+  // order), used as the trace "tid" so exported files are compact.
+  static uint32_t CurrentThreadId();
+
+  static TraceCollector& Global();
+
+ private:
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  size_t capacity_ = kDefaultCapacity;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// RAII span: captures the start time at construction if the global
+// collector is active, records a complete event at destruction. Cheap when
+// inactive (one relaxed load, no clock read).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  int64_t start_ns_ = -1;  // -1: collector was inactive, record nothing
+};
+
+// Serializes events as a Chrome trace_event JSON document:
+//   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":μs,"dur":μs,
+//                    "pid":1,"tid":n}, ...]}
+// ts/dur are microseconds with three decimals, so nanosecond precision
+// round-trips exactly through ParseChromeTrace.
+std::string ExportChromeTrace(const std::vector<TraceEvent>& events);
+
+// ExportChromeTrace straight to a file.
+Status WriteChromeTraceFile(const std::string& path,
+                            const std::vector<TraceEvent>& events);
+
+// Parses a Chrome trace_event document (either {"traceEvents":[...]} or a
+// bare array); keeps ph=="X" complete events, ignores other phases.
+Result<std::vector<TraceEvent>> ParseChromeTrace(const std::string& text);
+
+// Checks that for each tid, spans either nest properly or are disjoint
+// (no partial overlap). Returns the first violation found.
+Status ValidateSpanNesting(const std::vector<TraceEvent>& events);
+
+}  // namespace obs
+}  // namespace grt
+
+#if defined(GRT_OBS_COMPILED_OUT)
+
+#define GRT_TRACE_SPAN(name, cat) \
+  do {                            \
+  } while (0)
+
+#else
+
+#define GRT_TRACE_SPAN_CONCAT_(a, b) a##b
+#define GRT_TRACE_SPAN_NAME_(a, b) GRT_TRACE_SPAN_CONCAT_(a, b)
+#define GRT_TRACE_SPAN(name, cat)                            \
+  ::grt::obs::TraceSpan GRT_TRACE_SPAN_NAME_(grt_trace_span_, \
+                                             __LINE__)(name, cat)
+
+#endif  // GRT_OBS_COMPILED_OUT
+
+#endif  // GRT_SRC_OBS_TRACE_H_

@@ -5,6 +5,8 @@
 
 #include "src/hw/regs.h"
 #include "src/mem/phys_mem.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace grt {
 
@@ -28,6 +30,8 @@ size_t ReplayPlan::CountOps(LogOp kind) const {
 }
 
 ReplayPlan CompileReplayPlan(const Recording& recording) {
+  GRT_OBS_COUNT("plan.compiles", 1);
+  GRT_TRACE_SPAN("plan.compile", "plan");
   ReplayPlan plan;
   const auto& entries = recording.log.entries();
   plan.source_entries = entries.size();

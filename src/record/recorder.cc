@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/hw/regs.h"
+#include "src/obs/metrics.h"
 
 namespace grt {
 namespace {
@@ -20,6 +21,7 @@ bool IsJobStartWrite(uint32_t offset, uint32_t value) {
 }  // namespace
 
 void Recorder::OnRegRead(uint32_t offset, uint32_t value) {
+  GRT_OBS_COUNT("recorder.entries", 1);
   LogEntry e;
   e.op = LogOp::kRegRead;
   e.reg = offset;
@@ -33,6 +35,7 @@ void Recorder::OnRegWrite(uint32_t offset, uint32_t value) {
     // [the recorder] dumps its local memory allocated to GPU."
     SnapshotMemory();
   }
+  GRT_OBS_COUNT("recorder.entries", 1);
   LogEntry e;
   e.op = LogOp::kRegWrite;
   e.reg = offset;
@@ -67,6 +70,7 @@ void Recorder::OnIrqWait(const IrqStatus& status) {
 }
 
 void Recorder::SnapshotMemory() {
+  GRT_OBS_COUNT("recorder.snapshots", 1);
   std::vector<uint64_t> all = driver_->AllGpuPages();
   std::vector<uint64_t> meta = driver_->MetastatePages();
   std::unordered_set<uint64_t> meta_set(meta.begin(), meta.end());
@@ -82,6 +86,7 @@ void Recorder::SnapshotMemory() {
       continue;  // unchanged since last snapshot
     }
     page_crc_[pa] = crc;
+    GRT_OBS_COUNT("recorder.pages_logged", 1);
     LogEntry e;
     e.op = LogOp::kMemPage;
     e.pa = pa;

@@ -5,8 +5,31 @@
 #include "src/analysis/verifier.h"
 #include "src/common/log.h"
 #include "src/hw/regs.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace grt {
+
+namespace {
+
+// One call per completed replay, regardless of path; gated on
+// obs::Enabled() inside the macros, so the disabled path costs a handful
+// of relaxed loads.
+void CountReplayReport(const ReplayReport& report) {
+  GRT_OBS_COUNT("replay.ops_executed", report.entries_replayed);
+  GRT_OBS_COUNT("replay.pages_applied", report.pages_applied);
+  GRT_OBS_COUNT("replay.pages_skipped_clean", report.pages_skipped_clean);
+  GRT_OBS_COUNT("replay.mem_bytes_applied", report.mem_bytes_applied);
+  GRT_OBS_COUNT("replay.reads_verified", report.reads_verified);
+  if (report.warm) {
+    GRT_OBS_COUNT("replay.warm", 1);
+  } else {
+    GRT_OBS_COUNT("replay.cold", 1);
+  }
+  GRT_OBS_HIST("replay.delay_ns", report.delay);
+}
+
+}  // namespace
 
 Replayer::~Replayer() {
   if (write_observer_id_ != 0) {
@@ -198,6 +221,7 @@ Result<ReplayReport> Replayer::Replay() {
 }
 
 Result<ReplayReport> Replayer::ReplayInterpreted() {
+  GRT_TRACE_SPAN("replay.interp", "replay");
   ReplayReport report;
   observed_.Clear();
   TimePoint start = timeline_->now();
@@ -322,6 +346,7 @@ Result<ReplayReport> Replayer::ReplayInterpreted() {
   }
 
   report.delay = timeline_->now() - start;
+  CountReplayReport(report);
   return report;
 }
 
@@ -394,6 +419,7 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   }
   bool warm = config_.dirty_tracking && have_image_state_;
   report.warm = warm;
+  GRT_TRACE_SPAN(warm ? "replay.warm" : "replay.cold", "replay");
 
   GRT_RETURN_IF_ERROR(ApplyPlanImages(warm, &report));
   // Image state is established; from here every write dirties its page.
@@ -487,6 +513,7 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   }
 
   report.delay = timeline_->now() - start;
+  CountReplayReport(report);
   return report;
 }
 

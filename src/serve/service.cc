@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/analysis/verifier.h"
+#include "src/obs/trace.h"
 
 namespace grt {
 
@@ -83,6 +84,7 @@ std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
   std::promise<ReplayResponse> promise;
   std::future<ReplayResponse> future = promise.get_future();
   SteadyPoint now = std::chrono::steady_clock::now();
+  std::vector<QueueItem> expired;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_) {
@@ -92,16 +94,24 @@ std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
       promise.set_value(std::move(response));
       return future;
     }
+    // Sweep already-dead items before judging capacity: a request whose
+    // deadline passed while queued must not hold a slot against this
+    // admission (the pre-sweep behavior rejected live work while dead
+    // work sat in the queue until a worker reached it).
+    expired = SweepExpiredLocked(now);
     if (queue_.size() >= config_.max_queue) {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.submitted;
-      ++stats_.rejected;
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.submitted;
+        ++stats_.rejected;
+      }
       ReplayResponse response;
       response.workload = request.workload;
       response.status =
           ResourceExhausted("admission queue full (" +
                             std::to_string(config_.max_queue) + " pending)");
       promise.set_value(std::move(response));
+      FailExpired(std::move(expired), now);
       return future;
     }
     QueueItem item;
@@ -113,13 +123,51 @@ std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
     item.promise = std::move(promise);
     item.enqueued = now;
     queue_.push_back(std::move(item));
+    GRT_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
   }
+  FailExpired(std::move(expired), now);
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.submitted;
   }
   queue_cv_.notify_one();
   return future;
+}
+
+std::vector<ReplayService::QueueItem> ReplayService::SweepExpiredLocked(
+    SteadyPoint now) {
+  std::vector<QueueItem> expired;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->has_deadline && now > it->deadline) {
+      expired.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+void ReplayService::FailExpired(std::vector<QueueItem> expired,
+                                SteadyPoint now) {
+  if (expired.empty()) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.expired += expired.size();
+    stats_.expired_in_queue += expired.size();
+  }
+  GRT_OBS_COUNT("serve.expired_in_queue", expired.size());
+  for (QueueItem& item : expired) {
+    ReplayResponse response;
+    response.workload = item.request.workload;
+    response.queue_wait_ns = ElapsedNs(item.enqueued, now);
+    response.status = Timeout(
+        "deadline expired after " +
+        std::to_string(item.request.deadline_ms) + " ms in the queue");
+    item.promise.set_value(std::move(response));
+  }
 }
 
 ReplayResponse ReplayService::Submit(ReplayRequest request) {
@@ -238,6 +286,8 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
 void ReplayService::WorkerLoop(int index) {
   for (;;) {
     QueueItem item;
+    std::vector<QueueItem> expired;
+    SteadyPoint now;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -248,7 +298,13 @@ void ReplayService::WorkerLoop(int index) {
       }
       item = std::move(queue_.front());
       queue_.pop_front();
+      // Pop-side sweep: everything left in the queue that is already dead
+      // rejects now, not one `ServeOne` at a time.
+      now = std::chrono::steady_clock::now();
+      expired = SweepExpiredLocked(now);
+      GRT_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
     }
+    FailExpired(std::move(expired), now);
     ServeOne(index, std::move(item));
   }
 }
@@ -259,6 +315,8 @@ void ReplayService::ServeOne(int index, QueueItem item) {
   response.workload = item.request.workload;
   response.worker = index;
   response.queue_wait_ns = ElapsedNs(item.enqueued, dequeued);
+  queue_wait_hist_.Record(
+      static_cast<uint64_t>(std::max<int64_t>(response.queue_wait_ns, 0)));
 
   if (item.has_deadline && dequeued > item.deadline) {
     response.status = Timeout(
@@ -267,14 +325,46 @@ void ReplayService::ServeOne(int index, QueueItem item) {
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
       ++stats_.expired;
+      ++stats_.expired_at_dequeue;
     }
+    GRT_OBS_COUNT("serve.expired_at_dequeue", 1);
     item.promise.set_value(std::move(response));
     return;
   }
 
-  response.status = RunRequest(index, item.request, &response);
+#if !defined(GRT_OBS_COMPILED_OUT)
+  // Backfill the queue wait as its own trace span (ends where the request
+  // span starts), so a trace shows admission latency per request. Queue
+  // waits of different requests overlap arbitrarily (request B queues
+  // while A is served), so each gets its own lane — a dedicated tid well
+  // above any real thread id — keeping every per-tid timeline properly
+  // nested.
+  {
+    obs::TraceCollector& collector = obs::TraceCollector::Global();
+    if (collector.active()) {
+      constexpr uint32_t kQueueLaneBase = 1u << 20;
+      static std::atomic<uint32_t> queue_lane{0};
+      obs::TraceEvent queue_event;
+      queue_event.name = "queue";
+      queue_event.cat = "serve";
+      int64_t now_ns = collector.NowNs();
+      queue_event.dur_ns = std::max<int64_t>(response.queue_wait_ns, 0);
+      queue_event.ts_ns = std::max<int64_t>(now_ns - queue_event.dur_ns, 0);
+      queue_event.tid = kQueueLaneBase +
+                        queue_lane.fetch_add(1, std::memory_order_relaxed);
+      collector.Record(std::move(queue_event));
+    }
+  }
+#endif
+
+  {
+    GRT_TRACE_SPAN("request", "serve");
+    response.status = RunRequest(index, item.request, &response);
+  }
   response.service_ns =
       ElapsedNs(dequeued, std::chrono::steady_clock::now());
+  service_hist_.Record(
+      static_cast<uint64_t>(std::max<int64_t>(response.service_ns, 0)));
   RecordOutcome(response);
   item.promise.set_value(std::move(response));
 }
@@ -319,11 +409,18 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
     worker.engines.erase(oldest);
   }
 
-  for (const auto& [name, data] : request.tensors) {
-    GRT_RETURN_IF_ERROR(engine.replayer->StageTensor(name, data));
+  {
+    GRT_TRACE_SPAN("stage_input", "serve");
+    for (const auto& [name, data] : request.tensors) {
+      GRT_RETURN_IF_ERROR(engine.replayer->StageTensor(name, data));
+    }
   }
-  GRT_ASSIGN_OR_RETURN(response->report, engine.replayer->Replay());
+  {
+    GRT_TRACE_SPAN("replay", "serve");
+    GRT_ASSIGN_OR_RETURN(response->report, engine.replayer->Replay());
+  }
   if (!request.output_tensor.empty()) {
+    GRT_TRACE_SPAN("readback", "serve");
     GRT_ASSIGN_OR_RETURN(response->output,
                          engine.replayer->ReadTensor(request.output_tensor));
   }
@@ -346,7 +443,8 @@ void ReplayService::RecordOutcome(const ReplayResponse& response) {
     stats_.warm_pages_applied += report.pages_applied;
     stats_.warm_pages_skipped += report.pages_skipped_clean;
   }
-  replay_delays_.push_back(report.delay);
+  replay_delay_hist_.Record(
+      static_cast<uint64_t>(std::max<Duration>(report.delay, 0)));
 }
 
 ServeStats ReplayService::Stats() const {
@@ -354,15 +452,15 @@ ServeStats ReplayService::Stats() const {
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     out = stats_;
-    if (!replay_delays_.empty()) {
-      std::vector<Duration> sorted = replay_delays_;
-      std::sort(sorted.begin(), sorted.end());
-      out.replay_delay_p50 = sorted[sorted.size() / 2];
-      out.replay_delay_p95 = sorted[(sorted.size() * 95) / 100 >=
-                                            sorted.size()
-                                        ? sorted.size() - 1
-                                        : (sorted.size() * 95) / 100];
-    }
+  }
+  // Nearest-rank percentiles from the bounded histogram: exact for tiny
+  // samples (the old sorted-vector index math returned the wrong rank for
+  // p50 on even sizes and overran intent on p95), bounded memory always.
+  obs::HistogramSnapshot delays = replay_delay_hist_.Snapshot();
+  if (delays.count > 0) {
+    out.replay_delay_p50 = static_cast<Duration>(delays.Percentile(50));
+    out.replay_delay_p95 = static_cast<Duration>(delays.Percentile(95));
+    out.replay_delay_p99 = static_cast<Duration>(delays.Percentile(99));
   }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
@@ -373,6 +471,34 @@ ServeStats ReplayService::Stats() const {
     out.plans_cached = plans_.size();
   }
   return out;
+}
+
+obs::MetricsSnapshot ReplayService::SnapshotMetrics() const {
+  // Start from whatever the global registry collected (shim.*, net.*,
+  // replay.* when obs is enabled), then overlay the service's own
+  // always-on accounting so serve.* is accurate even with obs disabled.
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  ServeStats s = Stats();
+  snap.counters["serve.submitted"] = s.submitted;
+  snap.counters["serve.completed"] = s.completed;
+  snap.counters["serve.failed"] = s.failed;
+  snap.counters["serve.rejected"] = s.rejected;
+  snap.counters["serve.expired"] = s.expired;
+  snap.counters["serve.expired_in_queue"] = s.expired_in_queue;
+  snap.counters["serve.expired_at_dequeue"] = s.expired_at_dequeue;
+  snap.counters["serve.plan_hits"] = s.plan_hits;
+  snap.counters["serve.plan_misses"] = s.plan_misses;
+  snap.counters["serve.plan_evictions"] = s.plan_evictions;
+  snap.counters["serve.warm_replays"] = s.warm_replays;
+  snap.counters["serve.pages_applied"] = s.pages_applied;
+  snap.counters["serve.pages_skipped_clean"] = s.pages_skipped_clean;
+  snap.counters["serve.mem_bytes_applied"] = s.mem_bytes_applied;
+  snap.gauges["serve.queue_depth"] = static_cast<int64_t>(s.queue_depth);
+  snap.gauges["serve.plans_cached"] = static_cast<int64_t>(s.plans_cached);
+  snap.histograms["serve.queue_wait_ns"] = queue_wait_hist_.Snapshot();
+  snap.histograms["serve.service_ns"] = service_hist_.Snapshot();
+  snap.histograms["serve.replay_delay_ns"] = replay_delay_hist_.Snapshot();
+  return snap;
 }
 
 }  // namespace grt

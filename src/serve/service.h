@@ -48,6 +48,7 @@
 #include "src/common/sha256.h"
 #include "src/common/status.h"
 #include "src/harness/rig.h"
+#include "src/obs/metrics.h"
 #include "src/record/plan.h"
 #include "src/record/replayer.h"
 #include "src/record/store.h"
@@ -100,7 +101,11 @@ struct ServeStats {
   size_t completed = 0;  // fulfilled with an OK replay
   size_t failed = 0;     // stage/replay/readout errors
   size_t rejected = 0;   // admission queue full
-  size_t expired = 0;    // deadline passed while queued
+  size_t expired = 0;    // total deadline misses (= in_queue + at_dequeue)
+  // Where the deadline miss was noticed: swept out of the queue by an
+  // admission/pop sweep, vs. discovered by the worker that popped it.
+  size_t expired_in_queue = 0;
+  size_t expired_at_dequeue = 0;
   size_t queue_depth = 0;
   size_t plans_cached = 0;
   size_t plan_hits = 0;
@@ -115,9 +120,13 @@ struct ServeStats {
   // Warm-path page accounting only (dirty-page ratio denominator).
   uint64_t warm_pages_applied = 0;
   uint64_t warm_pages_skipped = 0;
-  // Virtual-timeline replay delay percentiles over completed replays.
+  // Virtual-timeline replay delay percentiles over completed replays,
+  // extracted from a bounded log-linear histogram (≤ ~3% quantization
+  // above 32 ns; exact below). Memory is O(1) regardless of traffic —
+  // this replaced an unbounded per-sample vector.
   Duration replay_delay_p50 = 0;
   Duration replay_delay_p95 = 0;
+  Duration replay_delay_p99 = 0;
 
   // Fraction of image pages a warm replay had to re-apply because the
   // previous run dirtied them (staged-tensor pages excluded by the
@@ -164,6 +173,13 @@ class ReplayService {
   Result<Sha256Digest> Preload(const std::string& workload);
 
   ServeStats Stats() const;
+
+  // Everything observable about the service as one generic snapshot:
+  // `serve.*` counters/gauges/histograms derived from the service's own
+  // always-on accounting, merged over whatever the global obs registry
+  // collected (shim.*, net.*, replay.* — populated when
+  // obs::SetEnabled(true)). Consumed by bench/replay_serving.
+  obs::MetricsSnapshot SnapshotMetrics() const;
 
   int workers() const { return config_.workers; }
 
@@ -225,6 +241,10 @@ class ReplayService {
   Status RunRequest(int index, const ReplayRequest& request,
                     ReplayResponse* response);
   void RecordOutcome(const ReplayResponse& response);
+  // Removes every queued item whose deadline has passed; the caller
+  // fulfills the returned items via FailExpired() outside queue_mu_.
+  std::vector<QueueItem> SweepExpiredLocked(SteadyPoint now);
+  void FailExpired(std::vector<QueueItem> expired, SteadyPoint now);
 
   const RecordingStore* store_;
   ServeConfig config_;
@@ -243,7 +263,12 @@ class ReplayService {
 
   mutable std::mutex stats_mu_;
   ServeStats stats_;
-  std::vector<Duration> replay_delays_;
+  // Always-on latency accounting (the instruments are internally
+  // thread-safe; stats_mu_ is not needed to record into them). Bounded:
+  // O(1) memory under sustained traffic.
+  obs::Histogram queue_wait_hist_;    // wall-clock ns, submission -> dequeue
+  obs::Histogram service_hist_;       // wall-clock ns, stage+replay+readback
+  obs::Histogram replay_delay_hist_;  // virtual-timeline ns (Table-2 metric)
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

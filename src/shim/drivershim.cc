@@ -5,6 +5,7 @@
 #include "src/common/hash.h"
 #include "src/common/log.h"
 #include "src/hw/regs.h"
+#include "src/obs/metrics.h"
 
 namespace grt {
 namespace {
@@ -140,6 +141,7 @@ RegValue DriverShim::ReadReg(uint32_t offset, const char* site) {
       SetError(s);
     }
   }
+  GRT_OBS_GAUGE_SET("shim.defer_queue_depth", queue().size());
   return RegValue(node, this);
 }
 
@@ -153,6 +155,7 @@ void DriverShim::WriteReg(uint32_t offset, const RegValue& value,
       SetError(s);
     }
   }
+  GRT_OBS_GAUGE_SET("shim.defer_queue_depth", queue().size());
 }
 
 uint32_t DriverShim::Force(const SymNodePtr& node) {
@@ -351,6 +354,9 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
   stats_.accesses_committed += batch.size();
   stats_.reads_committed += read_nodes.size();
   stats_.commits_by_category[category] += 1;
+  GRT_OBS_COUNT("shim.commits", 1);
+  GRT_OBS_COUNT("shim.commit_wire_bytes", wire.size());
+  GRT_OBS_HIST("shim.commit_batch_size", batch.size());
 
   const std::vector<uint32_t>* prediction =
       config_.speculate && all_reads_deterministic && !read_nodes.empty()
@@ -435,6 +441,8 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
     outstanding_.push_back(std::move(o));
     ++stats_.spec_commits;
     stats_.spec_by_category[category] += 1;
+    GRT_OBS_COUNT("shim.spec_commits", 1);
+    GRT_OBS_COUNT("shim.spec_predicts", read_nodes.size());
     return OkStatus();
   }
 
@@ -451,6 +459,7 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
     (void)ack;
     ++stats_.writeonly_commits;
     stats_.spec_by_category[category] += 1;  // asynchronous; Fig. 8 bucket
+    GRT_OBS_COUNT("shim.writeonly_commits", 1);
     return append_log({}, /*speculative=*/false, nullptr);
   }
 
@@ -461,6 +470,7 @@ Status DriverShim::CommitBatch(std::vector<QueuedAccess> batch) {
   GRT_ASSIGN_OR_RETURN(CommitReplyMsg reply,
                        CommitReplyMsg::Deserialize(lr.payload));
   ++stats_.sync_commits;
+  GRT_OBS_COUNT("shim.sync_commits", 1);
 
   if (reply.read_values.size() != read_nodes.size()) {
     return IntegrityViolation("commit reply arity mismatch");
@@ -493,9 +503,11 @@ Status DriverShim::Validate(Outstanding& o) {
     bool actual_ok = !o.replied.empty() && o.replied[0] != 0;
     if (actual_ok == o.poll_pred_ok_predicted) {
       history_->Record(o.shape, {1u});
+      GRT_OBS_COUNT("shim.spec_validated", 1);
       return OkStatus();
     }
     ++stats_.mispredictions;
+    GRT_OBS_COUNT("shim.spec_mispredicts", 1);
     return Recover(o);
   }
   if (o.replied == o.predicted) {
@@ -507,9 +519,11 @@ Status DriverShim::Validate(Outstanding& o) {
       GRT_RETURN_IF_ERROR(log_.ConfirmReadValue(log_index));
     }
     history_->Record(o.shape, o.replied);
+    GRT_OBS_COUNT("shim.spec_validated", 1);
     return OkStatus();
   }
   ++stats_.mispredictions;
+  GRT_OBS_COUNT("shim.spec_mispredicts", 1);
   return Recover(o);
 }
 
@@ -564,6 +578,8 @@ Status DriverShim::Recover(Outstanding& o) {
     }
   }
   stats_.rollback_time += cloud_tl_->now() - start;
+  GRT_OBS_COUNT("shim.spec_recoveries", 1);
+  GRT_OBS_HIST("shim.rollback_ns", cloud_tl_->now() - start);
   return OkStatus();
 }
 
@@ -571,6 +587,7 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
                             int max_iters, Duration iter_delay,
                             const char* site) {
   ++stats_.poll_instances;
+  GRT_OBS_COUNT("shim.polls", 1);
 
   PollResult result;
   if (!config_.offload_polls) {
@@ -596,6 +613,7 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
         return result;
       }
       ++stats_.poll_rtts;
+      GRT_OBS_COUNT("shim.poll_rtts", 1);
       result.final_value = v.value();
       ++result.iterations;
       if ((result.final_value & mask) == expected) {
@@ -612,6 +630,7 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
       SetError(s);
     }
     ++stats_.polls_offloaded;
+    GRT_OBS_COUNT("shim.polls_offloaded", 1);
     PollRequestMsg req;
     req.seq = next_seq_++;
     req.reg = offset;
@@ -647,6 +666,7 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
       // Predict the *predicate*, not the iteration count (§4.3); continue
       // without waiting for the client's answer.
       ++stats_.polls_speculated;
+      GRT_OBS_COUNT("shim.polls_speculated", 1);
       Outstanding o;
       o.response_arrival = lr.value().response_arrival;
       o.seq = req.seq;
@@ -669,6 +689,7 @@ PollResult DriverShim::Poll(uint32_t offset, uint32_t mask, uint32_t expected,
       result.iterations = 1;
     } else {
       ++stats_.poll_rtts;
+      GRT_OBS_COUNT("shim.poll_rtts", 1);
       ++stats_.commits;
       ++stats_.sync_commits;
       stats_.commits_by_category["Polling"] += 1;

@@ -6,6 +6,8 @@
 
 #include "src/harness/chaos.h"
 #include "src/ml/network.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace grt {
 namespace {
@@ -43,6 +45,36 @@ TEST_F(DeterminismTest, CellularRecordingsAreByteStable) {
 
 TEST_F(DeterminismTest, LoopbackRecordingsAreByteStable) {
   ExpectIdenticalRuns(LoopbackConditions());
+}
+
+TEST_F(DeterminismTest, InstrumentationDoesNotPerturbRecordingBytes) {
+  // The observability layer (ISSUE 5) reads wall-clock time and bumps
+  // atomics — it must never touch the virtual timelines or the recorded
+  // log. A run with metrics + tracing fully enabled is byte-identical to
+  // a run with them off.
+  auto off = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(),
+                             FaultPlan::None(), kNondetSeed, kNonce);
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+
+  obs::SetEnabled(true);
+  obs::TraceCollector::Global().Start();
+  auto on = RunChaosSession(net_, SkuId::kMaliG71Mp8, WifiConditions(),
+                            FaultPlan::None(), kNondetSeed, kNonce);
+  obs::TraceCollector::Global().Stop();
+  obs::SetEnabled(false);
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+  EXPECT_EQ(off->body_digest, on->body_digest);
+  EXPECT_EQ(off->signed_wire, on->signed_wire);
+  EXPECT_EQ(off->outcome.client_delay, on->outcome.client_delay);
+
+  // And the instrumented run did actually instrument: the registry saw
+  // shim/net traffic while it was enabled.
+#if !defined(GRT_OBS_COMPILED_OUT)
+  obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+  EXPECT_GT(snap.counter("shim.commits"), 0u);
+  EXPECT_GT(snap.counter("net.messages"), 0u);
+#endif
 }
 
 TEST_F(DeterminismTest, DistinctNondeterminismSeedsStillAgree) {

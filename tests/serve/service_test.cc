@@ -231,6 +231,151 @@ TEST_F(ReplayServiceTest, DeadlineExpiresWhileQueued) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+TEST_F(ReplayServiceTest, ExpiredAtDequeueIsCountedSeparately) {
+  // A lone doomed request sits at the queue head with nothing to trigger
+  // an admission sweep, so the worker that pops it is the first to notice
+  // the miss: expired_at_dequeue, not expired_in_queue.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  ReplayService service(store_.get(), config);
+
+  ReplayRequest doomed = MakeRequest("mnist", 42);
+  doomed.deadline_ms = 0;
+  std::future<ReplayResponse> future = service.SubmitAsync(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(future.get().status.code(), StatusCode::kTimeout);
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.expired_at_dequeue, 1u);
+  EXPECT_EQ(stats.expired_in_queue, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(ReplayServiceTest, ExpiredRequestIsSweptAtAdmission) {
+  // Before the sweep existed, a deadline was only checked when a worker
+  // finally dequeued the request — an expired entry occupied queue
+  // capacity the whole time and its client waited for a worker to notice.
+  // Now the next submission sweeps it out, before the service even starts.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  ReplayService service(store_.get(), config);
+
+  ReplayRequest doomed = MakeRequest("mnist", 42);
+  doomed.deadline_ms = 0;
+  std::future<ReplayResponse> doomed_future =
+      service.SubmitAsync(std::move(doomed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  ReplayRequest patient = MakeRequest("mnist", 42);
+  patient.deadline_ms = 60'000;
+  std::future<ReplayResponse> patient_future =
+      service.SubmitAsync(std::move(patient));
+
+  // The admission sweep already failed the doomed request — its future is
+  // ready with no worker ever having run.
+  EXPECT_EQ(doomed_future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(doomed_future.get().status.code(), StatusCode::kTimeout);
+  {
+    ServeStats stats = service.Stats();
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.expired_in_queue, 1u);
+    EXPECT_EQ(stats.expired_at_dequeue, 0u);
+    EXPECT_EQ(stats.queue_depth, 1u);  // only the patient request remains
+  }
+
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_TRUE(patient_future.get().status.ok());
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.expired, 1u);
+}
+
+TEST_F(ReplayServiceTest, StatsPercentilesComeFromBoundedHistogram) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  constexpr int kRequests = 20;
+  for (int i = 0; i < kRequests; ++i) {
+    ReplayResponse response = service.Submit(MakeRequest("mnist", 42 + i));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, static_cast<size_t>(kRequests));
+  // Ordered, positive, and within the observed delay range (nearest-rank
+  // on a log-linear histogram clamps to [min, max]).
+  EXPECT_GT(stats.replay_delay_p50, 0);
+  EXPECT_GE(stats.replay_delay_p95, stats.replay_delay_p50);
+  EXPECT_GE(stats.replay_delay_p99, stats.replay_delay_p95);
+
+  // The histogram view in SnapshotMetrics agrees with Stats().
+  obs::MetricsSnapshot snap = service.SnapshotMetrics();
+  const obs::HistogramSnapshot* delays = snap.histogram("serve.replay_delay_ns");
+  ASSERT_NE(delays, nullptr);
+  EXPECT_EQ(delays->count, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(static_cast<Duration>(delays->Percentile(50)),
+            stats.replay_delay_p50);
+  EXPECT_EQ(static_cast<Duration>(delays->Percentile(99)),
+            stats.replay_delay_p99);
+}
+
+TEST_F(ReplayServiceTest, SnapshotMetricsMatchesGroundTruth) {
+  // SnapshotMetrics works with the obs gate off: the serve.* overlay comes
+  // from the service's own always-on accounting.
+  obs::SetEnabled(false);
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  for (int i = 0; i < 6; ++i) {
+    ReplayResponse response = service.Submit(
+        MakeRequest(i % 2 == 0 ? "mnist" : "mnist-b", 42));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+  ReplayRequest bad;
+  bad.workload = "no-such-workload";
+  EXPECT_FALSE(service.Submit(std::move(bad)).status.ok());
+
+  ServeStats stats = service.Stats();
+  obs::MetricsSnapshot snap = service.SnapshotMetrics();
+  EXPECT_EQ(snap.counter("serve.submitted"), stats.submitted);
+  EXPECT_EQ(snap.counter("serve.completed"), stats.completed);
+  EXPECT_EQ(snap.counter("serve.failed"), stats.failed);
+  EXPECT_EQ(snap.counter("serve.rejected"), stats.rejected);
+  EXPECT_EQ(snap.counter("serve.expired"), stats.expired);
+  EXPECT_EQ(snap.counter("serve.plan_hits"), stats.plan_hits);
+  EXPECT_EQ(snap.counter("serve.plan_misses"), stats.plan_misses);
+  EXPECT_EQ(snap.counter("serve.warm_replays"), stats.warm_replays);
+  EXPECT_EQ(snap.counter("serve.pages_applied"), stats.pages_applied);
+  EXPECT_EQ(snap.counter("serve.mem_bytes_applied"), stats.mem_bytes_applied);
+  EXPECT_EQ(snap.gauge("serve.queue_depth"), 0);
+  EXPECT_EQ(snap.gauge("serve.plans_cached"),
+            static_cast<int64_t>(stats.plans_cached));
+  EXPECT_EQ(stats.completed, 6u);
+  EXPECT_EQ(stats.failed, 1u);
+
+  // Both histograms see every dequeued request — the 6 completions and
+  // the failed lookup (it still waited in the queue and consumed service
+  // time).
+  const obs::HistogramSnapshot* waits = snap.histogram("serve.queue_wait_ns");
+  ASSERT_NE(waits, nullptr);
+  EXPECT_EQ(waits->count, 7u);
+  const obs::HistogramSnapshot* svc = snap.histogram("serve.service_ns");
+  ASSERT_NE(svc, nullptr);
+  EXPECT_EQ(svc->count, 7u);
+  EXPECT_GT(svc->max, 0u);
+}
+
 TEST_F(ReplayServiceTest, QueueBoundRejectsExcess) {
   ServeConfig config;
   config.sku = kSku;

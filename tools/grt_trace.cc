@@ -1,0 +1,119 @@
+// grt_trace: operator-facing front end for the Chrome trace_event files
+// the observability layer writes (src/obs/trace.h).
+//
+// Usage:
+//   grt_trace summarize <trace.json>   per-span-name latency table
+//   grt_trace dump <trace.json>        one line per span, time-ordered
+//   grt_trace validate <trace.json>    parse + nesting check; exit 1 on
+//                                      malformed JSON or overlapping spans
+//
+// Capture a trace with `serving_demo --trace /tmp/serve.json`, then open
+// the same file in chrome://tracing or ui.perfetto.dev — this tool is the
+// terminal-side view of that artifact.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+using namespace grt;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: grt_trace <summarize|dump|validate> <trace.json>\n");
+  return 2;
+}
+
+Result<std::vector<obs::TraceEvent>> LoadTrace(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Internal(std::string("cannot open ") + path);
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return obs::ParseChromeTrace(text);
+}
+
+int Summarize(const std::vector<obs::TraceEvent>& events) {
+  // Durations per span name go through the same bounded histogram the
+  // metrics layer uses, so the percentiles shown here match what a
+  // MetricsSnapshot would report for the same samples.
+  std::map<std::string, obs::Histogram> by_name;
+  std::map<std::string, uint64_t> total_ns;
+  for (const obs::TraceEvent& e : events) {
+    std::string key = e.cat.empty() ? e.name : e.cat + "/" + e.name;
+    by_name[key].Record(static_cast<uint64_t>(std::max<int64_t>(e.dur_ns, 0)));
+    total_ns[key] += static_cast<uint64_t>(std::max<int64_t>(e.dur_ns, 0));
+  }
+  std::printf("%-28s %8s %12s %12s %12s %14s\n", "span", "count", "p50_ns",
+              "p95_ns", "max_ns", "total_ns");
+  for (const auto& [name, hist] : by_name) {
+    obs::HistogramSnapshot snap = hist.Snapshot();
+    std::printf("%-28s %8llu %12llu %12llu %12llu %14llu\n", name.c_str(),
+                static_cast<unsigned long long>(snap.count),
+                static_cast<unsigned long long>(snap.Percentile(50)),
+                static_cast<unsigned long long>(snap.Percentile(95)),
+                static_cast<unsigned long long>(snap.max),
+                static_cast<unsigned long long>(total_ns[name]));
+  }
+  std::printf("%zu spans total\n", events.size());
+  return 0;
+}
+
+int Dump(std::vector<obs::TraceEvent> events) {
+  std::sort(events.begin(), events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) {
+                return a.ts_ns < b.ts_ns;
+              }
+              return a.dur_ns > b.dur_ns;
+            });
+  for (const obs::TraceEvent& e : events) {
+    std::printf("tid=%-3u ts=%-14lld dur=%-12lld %s/%s\n", e.tid,
+                static_cast<long long>(e.ts_ns),
+                static_cast<long long>(e.dur_ns), e.cat.c_str(),
+                e.name.c_str());
+  }
+  return 0;
+}
+
+int Validate(const std::vector<obs::TraceEvent>& events) {
+  Status nesting = obs::ValidateSpanNesting(events);
+  if (!nesting.ok()) {
+    std::fprintf(stderr, "grt_trace: %s\n", nesting.ToString().c_str());
+    return 1;
+  }
+  std::printf("OK: %zu spans, nesting valid\n", events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    return Usage();
+  }
+  auto events = LoadTrace(argv[2]);
+  if (!events.ok()) {
+    std::fprintf(stderr, "grt_trace: %s: %s\n", argv[2],
+                 events.status().ToString().c_str());
+    return 1;
+  }
+  if (std::strcmp(argv[1], "summarize") == 0) {
+    return Summarize(*events);
+  }
+  if (std::strcmp(argv[1], "dump") == 0) {
+    return Dump(std::move(*events));
+  }
+  if (std::strcmp(argv[1], "validate") == 0) {
+    return Validate(*events);
+  }
+  return Usage();
+}
