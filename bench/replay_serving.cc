@@ -22,6 +22,13 @@
 //   3. Dirty-page-ratio sweep — externally dirty a growing fraction of
 //      the plan's image pages between warm replays and chart how the
 //      warm-path cost degrades toward the cold cost.
+//   4. Shared device pool — MNIST plus a resource-partitioned twin
+//      (disjoint carveout half, job slot, address space) whose static
+//      footprints earn a `disjoint` verdict, served first on private
+//      devices (devices == workers) and then co-resident on a single
+//      pooled device. The bitwise gate lives here: every pooled answer
+//      must equal the private-device answer byte for byte, and the pool
+//      must actually report co-resident placements.
 //
 // `--smoke` runs section 1 on MNIST only and exits nonzero if a gate
 // fails — scripts/ci.sh uses it as the perf regression gate.
@@ -35,10 +42,14 @@
 #include <cstdio>
 #include <cstring>
 #include <future>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "src/analysis/footprint/footprint.h"
+#include "src/cloud/session.h"
 #include "src/harness/experiment.h"
+#include "src/harness/rig.h"
 #include "src/harness/table.h"
 #include "src/ml/reference.h"
 #include "src/obs/metrics.h"
@@ -292,6 +303,100 @@ Result<ScalingRow> RunScaling(const RecordingStore& store,
   return row;
 }
 
+// ------------------------------------------------- shared device pool
+
+// Records `net` under an explicit resource partition (carveout offset +
+// job slot + address space) so its footprint is disjoint from a
+// default-partition recording's.
+Result<RecordedNet> RecordPartitioned(NetworkDef net, uint64_t alloc_offset,
+                                      int job_slot, int as_index,
+                                      uint64_t nonce) {
+  ClientDevice device(kSku, kNondetSeed);
+  CloudService service;
+  SpeculationHistory history;
+  RecordSessionConfig config;
+  config.alloc_offset = alloc_offset;
+  config.driver.job_slot = job_slot;
+  config.driver.as_index = as_index;
+  RecordSession session(&service, &device, config, &history);
+  GRT_RETURN_IF_ERROR(session.Connect());
+  GRT_ASSIGN_OR_RETURN(RecordOutcome outcome,
+                       session.RecordWorkload(net, nonce));
+  GRT_ASSIGN_OR_RETURN(Recording rec,
+                       Recording::ParseSigned(outcome.signed_recording,
+                                              session.key()->key()));
+  return RecordedNet{std::move(net), std::move(rec),
+                     std::move(outcome.signed_recording),
+                     session.key()->key()};
+}
+
+struct PoolRow {
+  int devices = 0;
+  int workers = 0;
+  size_t requests = 0;
+  uint64_t coresident_placements = 0;
+  uint64_t conflict_evictions = 0;
+  double warm_fraction = 0;
+  double avg_replay_ms = 0;
+  bool bitwise_identical = false;  // vs the private-device outputs
+};
+
+// Serves `requests_per_plan` requests of each plan on a service with the
+// given worker/device split and returns per-(workload, seed) outputs.
+Result<PoolRow> RunPool(const RecordingStore& store,
+                        const std::vector<const RecordedNet*>& plans,
+                        int workers, int devices, size_t requests_per_plan,
+                        std::map<std::string, std::vector<float>>* outputs) {
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = workers;
+  config.devices = devices;
+  ReplayService service(&store, config);
+  GRT_RETURN_IF_ERROR(service.Start());
+
+  PoolRow row;
+  row.devices = devices;
+  row.workers = workers;
+  row.bitwise_identical = true;
+  std::vector<Duration> delays;
+  size_t warm = 0;
+  for (size_t i = 0; i < requests_per_plan; ++i) {
+    for (const RecordedNet* plan : plans) {
+      ReplayRequest request;
+      request.workload = plan->net.name;
+      request.tensors[plan->net.input_tensor] =
+          GenerateInput(plan->net, kInputSeed + i);
+      for (const TensorDef& t : plan->net.tensors) {
+        if (t.kind == TensorKind::kParam) {
+          request.tensors[t.name] =
+              GenerateParams(plan->net.name, t, kParamSeed);
+        }
+      }
+      request.output_tensor = plan->net.output_tensor;
+      ReplayResponse response = service.Submit(std::move(request));
+      GRT_RETURN_IF_ERROR(response.status);
+      ++row.requests;
+      delays.push_back(response.report.delay);
+      if (response.report.warm) ++warm;
+      std::string key = plan->net.name + "#" + std::to_string(i);
+      auto [it, inserted] = outputs->emplace(key, response.output);
+      if (!inserted && !BitIdentical(it->second, response.output)) {
+        row.bitwise_identical = false;
+      }
+    }
+  }
+  ServeStats stats = service.Stats();
+  row.coresident_placements = stats.coresident_placements;
+  row.conflict_evictions = stats.conflict_evictions;
+  row.warm_fraction =
+      static_cast<double>(warm) / static_cast<double>(delays.size());
+  Duration sum = 0;
+  for (Duration d : delays) sum += d;
+  row.avg_replay_ms =
+      ToMilliseconds(sum) / static_cast<double>(delays.size());
+  return row;
+}
+
 struct SweepRow {
   double target_ratio = 0;
   uint32_t pages_dirtied = 0;
@@ -360,7 +465,8 @@ Result<std::vector<SweepRow>> RunDirtySweep(const RecordedNet& r) {
 void WriteJson(const std::string& path, bool smoke,
                const std::vector<EngineRow>& engines,
                const std::vector<ScalingRow>& scaling,
-               const std::vector<SweepRow>& sweep, bool gates_ok) {
+               const std::vector<SweepRow>& sweep,
+               const std::vector<PoolRow>& pool, bool gates_ok) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -426,6 +532,22 @@ void WriteJson(const std::string& path, bool smoke,
         static_cast<unsigned long long>(s.pages_skipped),
         static_cast<unsigned long long>(s.mem_bytes_applied), s.replay_ms,
         i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"shared_pool\": [\n");
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const PoolRow& p = pool[i];
+    std::fprintf(
+        f,
+        "    {\"devices\": %d, \"workers\": %d, \"requests\": %zu, "
+        "\"coresident_placements\": %llu, \"conflict_evictions\": %llu, "
+        "\"warm_fraction\": %.3f, \"avg_replay_ms\": %.4f, "
+        "\"bitwise_identical\": %s}%s\n",
+        p.devices, p.workers, p.requests,
+        static_cast<unsigned long long>(p.coresident_placements),
+        static_cast<unsigned long long>(p.conflict_evictions),
+        p.warm_fraction, p.avg_replay_ms,
+        p.bitwise_identical ? "true" : "false",
+        i + 1 < pool.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -560,9 +682,10 @@ int Run(bool smoke, const std::string& out_path) {
               "(modeled timeline, Table 2 metric)\n\n");
   engine_table.Print();
 
-  // Sections 2 and 3 ride on the MNIST recording.
+  // Sections 2-4 ride on the MNIST recording.
   std::vector<ScalingRow> scaling;
   std::vector<SweepRow> sweep;
+  std::vector<PoolRow> pool;
   if (!smoke && !mnist.net.name.empty()) {
     RecordingStore store(mnist.session_key);
     Status installed = store.Install(mnist.signed_recording);
@@ -629,9 +752,74 @@ int Run(bool smoke, const std::string& out_path) {
     std::printf("\nWarm replay cost vs externally-dirtied page fraction "
                 "(mnist)\n\n");
     sweep_table.Print();
+
+    // Section 4: shared device pool. A partitioned MNIST twin whose
+    // static footprint is provably disjoint from the default recording's,
+    // served privately and then co-resident.
+    NetworkDef twin_net = BuildMnist();
+    twin_net.name = "mnist-pool";
+    auto twin = RecordPartitioned(twin_net, kCarveoutSize / 2,
+                                  /*job_slot=*/1, /*as_index=*/1, 9);
+    if (!twin.ok()) {
+      std::fprintf(stderr, "partitioned record failed: %s\n",
+                   twin.status().ToString().c_str());
+      return 1;
+    }
+    Interference verdict = CheckInterference(
+        mnist.recording.header.footprint, twin->recording.header.footprint);
+    if (verdict != Interference::kDisjoint) {
+      std::fprintf(stderr,
+                   "GATE FAILURE: partitioned twin verdict is %s, expected "
+                   "disjoint\n",
+                   InterferenceName(verdict));
+      gates_ok = false;
+    }
+    // One store holds both: re-sign the twin's body under mnist's key.
+    Status twin_installed =
+        store.Install(twin->recording.SerializeSigned(mnist.session_key));
+    if (!twin_installed.ok()) {
+      std::fprintf(stderr, "twin install failed: %s\n",
+                   twin_installed.ToString().c_str());
+      return 1;
+    }
+    std::vector<const RecordedNet*> plans = {&mnist, &*twin};
+    std::map<std::string, std::vector<float>> outputs;
+    TextTable pool_table({"devices", "workers", "requests", "coresident",
+                          "warm", "avg replay", "bitwise"});
+    for (auto [workers, devices] : {std::pair<int, int>{2, 2}, {2, 1}}) {
+      auto row = RunPool(store, plans, workers, devices, 8, &outputs);
+      if (!row.ok()) {
+        std::fprintf(stderr, "pool (%d devices) failed: %s\n", devices,
+                     row.status().ToString().c_str());
+        return 1;
+      }
+      pool_table.AddRow(
+          {std::to_string(row->devices), std::to_string(row->workers),
+           std::to_string(row->requests),
+           std::to_string(row->coresident_placements),
+           FormatPercent(row->warm_fraction), FormatMs(row->avg_replay_ms),
+           row->bitwise_identical ? "ok" : "FAIL"});
+      if (!row->bitwise_identical) {
+        std::fprintf(stderr,
+                     "GATE FAILURE: pooled outputs (%d devices) diverged "
+                     "from private-device outputs\n",
+                     devices);
+        gates_ok = false;
+      }
+      if (devices < workers && row->coresident_placements == 0) {
+        std::fprintf(stderr,
+                     "GATE FAILURE: pooled run reported no co-resident "
+                     "placements\n");
+        gates_ok = false;
+      }
+      pool.push_back(*row);
+    }
+    std::printf("\nShared device pool: disjoint-footprint plans, private "
+                "devices vs one pooled device (bitwise gate)\n\n");
+    pool_table.Print();
   }
 
-  WriteJson(out_path, smoke, engines, scaling, sweep, gates_ok);
+  WriteJson(out_path, smoke, engines, scaling, sweep, pool, gates_ok);
   return gates_ok ? 0 : 1;
 }
 

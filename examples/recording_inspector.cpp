@@ -27,6 +27,12 @@
 //                   metrics registry: shim commit/speculation/poll
 //                   counters, net bytes and RTTs, recorder entries, and
 //                   replay page accounting
+//   --footprint     print the recording's static resource footprint (the
+//                   v4 header block the device pool uses for co-residency
+//                   decisions): classified register ranges, written page
+//                   set, IRQ lines, and slot/AS latch masks
+//   --json          with --footprint, emit the footprint as JSON instead
+//                   of the human-readable table
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +40,7 @@
 #include <map>
 
 #include "src/analysis/dataflow/ir.h"
+#include "src/analysis/footprint/footprint.h"
 #include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/harness/table.h"
@@ -212,7 +219,7 @@ void InspectPlan(const Recording& rec) {
 
 int main(int argc, char** argv) {
   bool lint = false, dump = false, dataflow = false, show_plan = false;
-  bool metrics = false;
+  bool metrics = false, footprint = false, json = false;
   const char* diff_path = nullptr;
   const char* save_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -226,6 +233,10 @@ int main(int argc, char** argv) {
       show_plan = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       metrics = true;
+    } else if (std::strcmp(argv[i], "--footprint") == 0) {
+      footprint = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
       diff_path = argv[++i];
     } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
@@ -233,7 +244,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--lint] [--dump] [--dataflow] [--plan] "
-                   "[--metrics] [--diff <other>] [--save <file>]\n",
+                   "[--metrics] [--footprint [--json]] [--diff <other>] "
+                   "[--save <file>]\n",
                    argv[0]);
       return 2;
     }
@@ -322,6 +334,14 @@ int main(int argc, char** argv) {
               "%.1f KB total\n",
               meta_pages, data_pages, image_bytes / 1024.0);
 
+  if (footprint) {
+    if (json) {
+      std::printf("\n%s\n", FootprintToJson(rec->header.footprint).c_str());
+    } else {
+      std::printf("\n--- static resource footprint ---\n%s\n",
+                  FootprintToString(rec->header.footprint).c_str());
+    }
+  }
   if (dump) {
     DumpLog(rec->log);
   }

@@ -7,12 +7,18 @@
 #      as the interpreter, or diverges from it bitwise; --obs-gate fails
 #      if running with metrics + tracing enabled is more than 5% slower
 #      than running with them off
-#   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest
+#   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest,
+#      which includes the footprint soundness sweep
+#      (footprint_soundness_test: static footprint ⊇ observed writes on
+#      every example network and chaos schedule) — the sweep's raw
+#      physical-write observers are exactly the code ASan should watch
 #   4. TSan build (-DGRT_SANITIZE=thread) + the concurrency suites: the
-#      serving engine (src/serve) and the observability layer (src/obs,
-#      which every hot layer now calls from worker threads); any reported
-#      race fails the gate even when the assertions all pass
-#   5. clang-tidy over the library sources and the trace tool (profile:
+#      serving engine (src/serve, including the shared device pool), the
+#      observability layer (src/obs, which every hot layer now calls from
+#      worker threads); any reported race fails the gate even when the
+#      assertions all pass
+#   5. clang-tidy over the library sources (src/, including the footprint
+#      analysis in src/analysis/footprint) and the trace tool (profile:
 #      .clang-tidy); any warning fails the gate. Skips cleanly where
 #      clang-tidy is absent.
 #
@@ -61,11 +67,12 @@ run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
 # fail the process exit code for races by default here, so grep the log.
 echo "=== pass 4/5: tsan concurrency gate (serve + obs) ==="
 cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
-cmake --build build-ci-tsan -j "${JOBS}" --target service_test \
+cmake --build build-ci-tsan -j "${JOBS}" --target service_test pool_test \
   obs_concurrency_test
 TSAN_LOG="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}"' EXIT
 build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
+build-ci-tsan/tests/serve/pool_test 2>&1 | tee -a "${TSAN_LOG}"
 build-ci-tsan/tests/obs/obs_concurrency_test 2>&1 | tee -a "${TSAN_LOG}"
 if grep -E 'WARNING: ThreadSanitizer' "${TSAN_LOG}" >/dev/null; then
   echo "=== pass 4/5: ThreadSanitizer reported races — failing ===" >&2

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/analysis/opt/passes.h"
 
 namespace grt {
@@ -135,6 +136,10 @@ Result<Recording> OptimizeRecording(const Recording& rec,
   }
 
   st.final_entries = out.log.size();
+  // The log changed (or may have): the header's static footprint summarizes
+  // the log, so carrying the input's stamp forward would be stale. Re-stamp
+  // on every path out.
+  StampFootprint(&out);
   if (records.empty()) {
     return out;  // nothing provable: provenance stays unoptimized
   }

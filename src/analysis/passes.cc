@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/hw/mmu.h"
 #include "src/hw/regs.h"
 #include "src/mem/phys_mem.h"
@@ -668,6 +669,36 @@ void OptimizerProvenancePass::Run(const AnalysisInput& in,
                 "original log held %u entries",
                 i, r.aux_index, p.original_entries));
     }
+  }
+}
+
+// ---------------------------------------------------- footprint-soundness
+
+void FootprintSoundnessPass::Run(const AnalysisInput& in,
+                                 AnalysisReport* report) const {
+  const ResourceFootprint& declared = in.recording->header.footprint;
+  if (!declared.computed) {
+    // Not an integrity failure — the producer predates footprint stamping
+    // — but the device pool will refuse to co-locate this recording with
+    // anything (an absent footprint proves no disjointness).
+    Warn(report, kWholeRecording,
+         "recording carries no computed resource footprint; co-residency "
+         "analysis will treat it as conflicting with every plan");
+    return;
+  }
+  Status shape = ValidateFootprint(declared);
+  if (!shape.ok()) {
+    Error(report, kWholeRecording, shape.message());
+    return;
+  }
+  // Re-derive the footprint and demand the declared one over-approximates
+  // it. A footprint that under-declares would let the device pool co-locate
+  // plans that actually interfere, so under-approximation is tampering.
+  ResourceFootprint required = ComputeFootprint(*in.recording, in.sku);
+  std::string why;
+  if (!FootprintCovers(declared, required, &why)) {
+    Error(report, kWholeRecording,
+          "declared footprint fails to over-approximate the log: " + why);
   }
 }
 

@@ -1,4 +1,4 @@
-// The seven static-analysis passes over a recording (the admission gate).
+// The eight static-analysis passes over a recording (the admission gate).
 //
 // Pass               Checks                                        Paper
 // -----------------  --------------------------------------------  ------
@@ -20,6 +20,10 @@
 // optimizer-provenance headers claiming optimization carry a       §4
 //                    well-formed justification trace, and traces
 //                    only appear on headers that claim it
+// footprint-soundness the header's declared resource footprint     §7
+//                    (v4) is well-formed and over-approximates a
+//                    recomputation from the log — the evidence the
+//                    serving device pool trusts for co-residency
 #ifndef GRT_SRC_ANALYSIS_PASSES_H_
 #define GRT_SRC_ANALYSIS_PASSES_H_
 
@@ -66,6 +70,12 @@ class SkuCompatPass : public AnalysisPass {
 class OptimizerProvenancePass : public AnalysisPass {
  public:
   const char* name() const override { return "optimizer-provenance"; }
+  void Run(const AnalysisInput& in, AnalysisReport* report) const override;
+};
+
+class FootprintSoundnessPass : public AnalysisPass {
+ public:
+  const char* name() const override { return "footprint-soundness"; }
   void Run(const AnalysisInput& in, AnalysisReport* report) const override;
 };
 

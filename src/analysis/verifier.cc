@@ -15,6 +15,7 @@ RecordingVerifier::RecordingVerifier() {
   passes_.push_back(std::make_unique<MetastateCoveragePass>());
   passes_.push_back(std::make_unique<SkuCompatPass>());
   passes_.push_back(std::make_unique<OptimizerProvenancePass>());
+  passes_.push_back(std::make_unique<FootprintSoundnessPass>());
 }
 
 void RecordingVerifier::AddPass(std::unique_ptr<AnalysisPass> pass) {

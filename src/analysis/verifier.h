@@ -19,7 +19,7 @@ namespace grt {
 
 class RecordingVerifier {
  public:
-  // A verifier with all six standard passes registered.
+  // A verifier with all eight standard passes registered.
   RecordingVerifier();
 
   // Registers an additional pass (runs after the standard ones).

@@ -5,6 +5,18 @@
 
 namespace grt {
 
+namespace {
+
+// Page-aligns the configured allocator partition offset and refuses to
+// push the base past the carveout (a full-sized offset would leave the
+// allocator no pages at all — fall back to no partitioning).
+uint64_t PartitionOffset(const RecordSessionConfig& config) {
+  uint64_t offset = PageAlignDown(config.alloc_offset);
+  return offset < kCarveoutSize ? offset : 0;
+}
+
+}  // namespace
+
 RecordSession::RecordSession(const CloudService* service, ClientDevice* device,
                              RecordSessionConfig config,
                              SpeculationHistory* history)
@@ -13,7 +25,8 @@ RecordSession::RecordSession(const CloudService* service, ClientDevice* device,
       config_(config),
       cloud_tl_("cloud"),
       cloud_mem_(kCarveoutBase, kCarveoutSize),
-      cloud_alloc_(kCarveoutBase, kCarveoutSize) {
+      cloud_alloc_(kCarveoutBase + PartitionOffset(config),
+                   kCarveoutSize - PartitionOffset(config)) {
   // The cloud VM joins the client's present: its virtual clock starts at
   // the client's current time.
   cloud_tl_.AdvanceTo(device->timeline().now());
@@ -28,7 +41,7 @@ RecordSession::RecordSession(const CloudService* service, ClientDevice* device,
                                        gpushim_.get(), &cloud_mem_, history);
   kernel_ = std::make_unique<KernelServices>(shim_.get());
   driver_ = std::make_unique<KbaseDriver>(kernel_.get(), &cloud_mem_,
-                                          &cloud_alloc_);
+                                          &cloud_alloc_, config_.driver);
   runtime_ = std::make_unique<GpuRuntime>(driver_.get());
   shim_->AttachDriver(driver_.get());
 

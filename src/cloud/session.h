@@ -30,6 +30,15 @@ struct RecordSessionConfig {
   // Channel-fault schedule for chaos testing; FaultPlan::None() (the
   // default) keeps the session on the legacy fast path.
   FaultPlan fault_plan = FaultPlan::None();
+  // Resource partitioning for recordings meant to co-reside on a pooled
+  // serving device (src/serve): `alloc_offset` shifts the session's
+  // carveout allocator base so two recordings draw from disjoint page
+  // ranges (page-aligned, clamped below the carveout size), and `driver`
+  // selects the job slot / address space the kbase driver uses. Recordings
+  // produced under disjoint partitions earn a `disjoint` interference
+  // verdict from src/analysis/footprint.
+  uint64_t alloc_offset = 0;
+  DriverPolicy driver;
 };
 
 // Session-level fault-recovery counters (on top of LinkStats/ChannelStats).

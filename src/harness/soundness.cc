@@ -1,0 +1,135 @@
+#include "src/harness/soundness.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/analysis/footprint/footprint.h"
+#include "src/harness/rig.h"
+#include "src/mem/phys_mem.h"
+#include "src/record/replayer.h"
+
+namespace grt {
+
+Result<FootprintSoundnessReport> CheckFootprintSoundness(
+    const NetworkDef& net, SkuId sku, const Recording& rec,
+    uint64_t nondet_seed, uint64_t input_seed) {
+  if (!rec.header.footprint.computed) {
+    return InvalidArgument(
+        "recording carries no computed footprint to check");
+  }
+  const ResourceFootprint& fp = rec.header.footprint;
+
+  ClientDevice device(sku, nondet_seed);
+
+  // Raw physical write observer, installed before the replayer ever
+  // touches the device: it sees permitted writes of every origin — the
+  // replayer's CPU image application, tensor staging, and the GPU's DMA
+  // through the recorded page tables.
+  std::set<uint64_t> dirty_pages;
+  int observer = device.mem().AddWriteObserver(
+      [&dirty_pages](uint64_t pa, uint64_t len) {
+        for (uint64_t page = PageAlignDown(pa); page < pa + len;
+             page += kPageSize) {
+          dirty_pages.insert(page);
+        }
+      });
+
+  ReplayConfig config;
+  config.collect_observed = true;  // forces the interpreter, fills the
+                                   // observed interaction log
+  config.use_plan = false;
+  Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
+                    &device.timeline(), config);
+  Status load = replayer.Load(rec);
+  if (!load.ok()) {
+    device.mem().RemoveWriteObserver(observer);
+    return load;
+  }
+
+  auto stage_all = [&]() -> Status {
+    std::vector<float> input = GenerateInput(net, input_seed);
+    GRT_RETURN_IF_ERROR(replayer.StageTensor(net.input_tensor, input));
+    for (const TensorDef& t : net.tensors) {
+      if (t.kind == TensorKind::kParam) {
+        GRT_RETURN_IF_ERROR(
+            replayer.StageTensor(t.name, GenerateParams(net.name, t, 7)));
+      }
+    }
+    return OkStatus();
+  };
+
+  FootprintSoundnessReport report;
+  std::set<uint32_t> touched_regs_read;
+  std::set<uint32_t> touched_regs_written;
+  uint8_t waited_lines = 0;
+
+  // Cold replay, then a warm replay with a re-staged input — the deployed
+  // steady state, and the path whose dirty-page bookkeeping the
+  // co-residency argument leans on.
+  for (int run = 0; run < 2; ++run) {
+    Status staged = stage_all();
+    if (!staged.ok()) {
+      device.mem().RemoveWriteObserver(observer);
+      return staged;
+    }
+    auto replayed = replayer.Replay();
+    if (!replayed.ok()) {
+      device.mem().RemoveWriteObserver(observer);
+      return replayed.status();
+    }
+    ++report.replays;
+    for (const LogEntry& e : replayer.observed_log().entries()) {
+      switch (e.op) {
+        case LogOp::kRegWrite:
+          touched_regs_written.insert(e.reg);
+          break;
+        case LogOp::kRegRead:
+        case LogOp::kPollWait:
+          touched_regs_read.insert(e.reg);
+          break;
+        case LogOp::kIrqWait:
+          waited_lines |= e.irq_lines;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  device.mem().RemoveWriteObserver(observer);
+
+  // static ⊇ dynamic, pages: every physical page anything wrote must be
+  // in the footprint's write set.
+  report.pages_observed = dirty_pages.size();
+  for (uint64_t page : dirty_pages) {
+    if ((fp.PageAccess(page) & kFpWrite) == 0) {
+      report.uncovered_pages.push_back(page);
+    }
+  }
+
+  // static ⊇ dynamic, registers: observed writes need write-or-clobber
+  // coverage, observed reads any coverage at all.
+  std::set<uint32_t> touched_all(touched_regs_read);
+  touched_all.insert(touched_regs_written.begin(),
+                     touched_regs_written.end());
+  report.regs_observed = touched_all.size();
+  for (uint32_t reg : touched_regs_written) {
+    if ((fp.RegAccess(reg) & (kFpWrite | kFpClobber)) == 0) {
+      report.uncovered_regs.push_back(reg);
+    }
+  }
+  for (uint32_t reg : touched_regs_read) {
+    if (fp.RegAccess(reg) == 0) {
+      report.uncovered_regs.push_back(reg);
+    }
+  }
+  std::sort(report.uncovered_regs.begin(), report.uncovered_regs.end());
+  report.uncovered_regs.erase(
+      std::unique(report.uncovered_regs.begin(), report.uncovered_regs.end()),
+      report.uncovered_regs.end());
+
+  report.uncovered_irq_lines =
+      static_cast<uint8_t>(waited_lines & ~fp.irq_lines);
+  return report;
+}
+
+}  // namespace grt

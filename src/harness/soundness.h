@@ -1,0 +1,51 @@
+// Footprint soundness harness: the dynamic cross-check for the static
+// footprint analysis (src/analysis/footprint). The static claim is
+// "static ⊇ dynamic": every physical page any replay of the recording
+// writes — CPU image application, staged tensors, GPU DMA through the
+// recorded page tables — lies inside the footprint's write page set, and
+// every register the replay touches lies inside its register set. This
+// harness replays the recording on a fresh device with a raw per-page
+// write observer installed on physical memory (which sees permitted
+// writes of every origin, GPU DMA included) and the observed interaction
+// log collected, then asserts the inclusion. A failure here means the
+// device pool could co-locate plans that actually interfere.
+#ifndef GRT_SRC_HARNESS_SOUNDNESS_H_
+#define GRT_SRC_HARNESS_SOUNDNESS_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ml/network.h"
+#include "src/record/recording.h"
+#include "src/sku/sku.h"
+
+namespace grt {
+
+struct FootprintSoundnessReport {
+  size_t replays = 0;         // cold + warm
+  size_t pages_observed = 0;  // distinct pages dynamically written
+  size_t regs_observed = 0;   // distinct registers dynamically touched
+  // Dynamic events the static footprint failed to cover (empty = sound).
+  std::vector<uint64_t> uncovered_pages;
+  std::vector<uint32_t> uncovered_regs;
+  uint8_t uncovered_irq_lines = 0;
+
+  bool ok() const {
+    return uncovered_pages.empty() && uncovered_regs.empty() &&
+           uncovered_irq_lines == 0;
+  }
+};
+
+// Replays `rec` (cold, then warm with a re-staged input) on a fresh
+// device seeded with `nondet_seed`, observing every physical write and
+// the full interaction stream, and checks the recording's declared
+// footprint covers all of it. `rec` must carry a computed footprint.
+// Inputs are GenerateInput(net, input_seed); params the canonical seed-7
+// set. Coverage failures are reported via the report, not as errors.
+Result<FootprintSoundnessReport> CheckFootprintSoundness(
+    const NetworkDef& net, SkuId sku, const Recording& rec,
+    uint64_t nondet_seed, uint64_t input_seed);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_HARNESS_SOUNDNESS_H_

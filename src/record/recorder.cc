@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/common/hash.h"
 #include "src/hw/regs.h"
 #include "src/obs/metrics.h"
@@ -105,6 +106,7 @@ Result<Recording> Recorder::Finish(
   rec.header.record_nonce = nonce;
   rec.bindings = bindings;
   rec.log = std::move(log_);
+  StampFootprint(&rec);
   return rec;
 }
 

@@ -49,6 +49,22 @@ Bytes Recording::SerializeBody() const {
     w.PutU64(rec.detail);
   }
 
+  w.PutBool(header.footprint.computed);
+  auto put_ranges = [&w](const std::vector<FootprintRange>& ranges) {
+    w.PutU32(static_cast<uint32_t>(ranges.size()));
+    for (const FootprintRange& range : ranges) {
+      w.PutU64(range.lo);
+      w.PutU64(range.hi);
+      w.PutU8(range.access);
+    }
+  };
+  put_ranges(header.footprint.regs);
+  put_ranges(header.footprint.pages);
+  w.PutU8(header.footprint.irq_lines);
+  w.PutU8(header.footprint.irq_external);
+  w.PutU32(header.footprint.slot_write_mask);
+  w.PutU32(header.footprint.as_write_mask);
+
   w.PutU32(static_cast<uint32_t>(bindings.size()));
   for (const auto& [name, b] : bindings) {
     w.PutString(name);
@@ -107,6 +123,26 @@ Result<Recording> Recording::ParseUnsigned(const Bytes& body) {
     GRT_ASSIGN_OR_RETURN(orec.detail, r.ReadU64());
     rec.header.provenance.records.push_back(std::move(orec));
   }
+
+  GRT_ASSIGN_OR_RETURN(rec.header.footprint.computed, r.ReadBool());
+  auto read_ranges =
+      [&r](std::vector<FootprintRange>* ranges) -> Status {
+    GRT_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+    for (uint32_t i = 0; i < count; ++i) {
+      FootprintRange range;
+      GRT_ASSIGN_OR_RETURN(range.lo, r.ReadU64());
+      GRT_ASSIGN_OR_RETURN(range.hi, r.ReadU64());
+      GRT_ASSIGN_OR_RETURN(range.access, r.ReadU8());
+      ranges->push_back(range);
+    }
+    return OkStatus();
+  };
+  GRT_RETURN_IF_ERROR(read_ranges(&rec.header.footprint.regs));
+  GRT_RETURN_IF_ERROR(read_ranges(&rec.header.footprint.pages));
+  GRT_ASSIGN_OR_RETURN(rec.header.footprint.irq_lines, r.ReadU8());
+  GRT_ASSIGN_OR_RETURN(rec.header.footprint.irq_external, r.ReadU8());
+  GRT_ASSIGN_OR_RETURN(rec.header.footprint.slot_write_mask, r.ReadU32());
+  GRT_ASSIGN_OR_RETURN(rec.header.footprint.as_write_mask, r.ReadU32());
 
   GRT_ASSIGN_OR_RETURN(uint32_t n_bindings, r.ReadU32());
   for (uint32_t i = 0; i < n_bindings; ++i) {

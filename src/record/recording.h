@@ -36,10 +36,62 @@ struct TensorBinding {
 
 // Container format revision. v2 added the per-read speculative mark to the
 // kRegRead wire encoding; v3 added the optimization-provenance block to
-// the header. Older versions are refused (v1 predates the static verifier
-// and cannot prove speculation-residue freedom; v2 cannot prove whether a
-// shrunk log is an optimizer product or tampering).
-constexpr uint32_t kRecordingVersion = 3;
+// the header; v4 added the static resource footprint. Older versions are
+// refused (v1 predates the static verifier and cannot prove
+// speculation-residue freedom; v2 cannot prove whether a shrunk log is an
+// optimizer product or tampering; v3 carries no footprint, so the serving
+// device pool could not prove two plans non-interfering).
+constexpr uint32_t kRecordingVersion = 4;
+
+// ------------------------------------------------------ resource footprint
+// Conservative static summary of everything a replay of this recording can
+// touch (v4). Computed by src/analysis/footprint from the interaction log
+// and the recorded memory images; the `footprint-soundness` verifier pass
+// refuses recordings whose declared footprint fails to over-approximate a
+// recomputation, and the serving device pool uses pairwise interference
+// verdicts over footprints to decide which plans may share a device.
+
+// Access-class bits carried per FootprintRange.
+constexpr uint8_t kFpRead = 1;      // observed (read / polled)
+constexpr uint8_t kFpWrite = 2;     // written directly
+constexpr uint8_t kFpClobber = 4;   // possibly perturbed by a write to a
+                                    // different register (clobber window)
+constexpr uint8_t kFpExternal = 8;  // observed before any in-log stimulus
+                                    // established it (crosses the plan
+                                    // boundary; empty for real recordings)
+
+// Half-open interval [lo, hi) of byte addresses — MMIO offsets for the
+// register set, physical addresses for the page set — with the union of
+// access bits over the interval. Ranges are sorted and non-overlapping.
+struct FootprintRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  uint8_t access = 0;
+};
+
+struct ResourceFootprint {
+  bool computed = false;  // false: recording predates stamping (warn-only)
+  std::vector<FootprintRange> regs;   // MMIO offsets within the GPU window
+  std::vector<FootprintRange> pages;  // physical pages (page-aligned)
+  uint8_t irq_lines = 0;     // IRQ lines waited on (bit0 job/1 gpu/2 mmu)
+  uint8_t irq_external = 0;  // lines waited on before in-log establishment
+  uint32_t slot_write_mask = 0;  // job-slot latch groups written
+  uint32_t as_write_mask = 0;    // address-space latch groups written
+
+  // Union of access bits over ranges covering `addr` (0 if uncovered).
+  uint8_t AccessAt(const std::vector<FootprintRange>& ranges,
+                   uint64_t addr) const {
+    uint8_t bits = 0;
+    for (const FootprintRange& range : ranges) {
+      if (addr >= range.lo && addr < range.hi) {
+        bits |= range.access;
+      }
+    }
+    return bits;
+  }
+  uint8_t RegAccess(uint64_t reg) const { return AccessAt(regs, reg); }
+  uint8_t PageAccess(uint64_t pa) const { return AccessAt(pages, pa); }
+};
 
 // ------------------------------------------------ optimization provenance
 // What the offline optimizer (src/analysis/opt) did to a recording. Every
@@ -114,6 +166,9 @@ struct RecordingHeader {
   // Offline optimizer provenance (v3). Recorders emit an empty block;
   // `grt_opt` fills it in.
   OptimizationProvenance provenance;
+  // Static resource footprint (v4), stamped at recording finish and
+  // re-stamped by the optimizer (the log it summarizes changed).
+  ResourceFootprint footprint;
 };
 
 class Recording {

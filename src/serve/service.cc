@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/analysis/verifier.h"
 #include "src/obs/trace.h"
 
@@ -29,12 +30,18 @@ ReplayService::ReplayService(const RecordingStore* store, ServeConfig config)
   // A serving worker never collects observed logs (that is the §3.4
   // debugging path, and it forces the interpreter).
   config_.replay.collect_observed = false;
-  for (int i = 0; i < config_.workers; ++i) {
-    auto worker = std::make_unique<Worker>();
-    worker->device = std::make_unique<ClientDevice>(
-        config_.sku, config_.nondet_seed + static_cast<uint64_t>(i));
-    workers_.push_back(std::move(worker));
+  // devices == 0: the classic one-device-per-worker layout. Fewer devices
+  // than workers oversubscribes the pool behind the footprint verdicts.
+  if (config_.devices < 1) {
+    config_.devices = config_.workers;
   }
+  for (int i = 0; i < config_.devices; ++i) {
+    auto device = std::make_unique<PooledDevice>();
+    device->device = std::make_unique<ClientDevice>(
+        config_.sku, config_.nondet_seed + static_cast<uint64_t>(i));
+    pool_.push_back(std::move(device));
+  }
+  residents_.resize(pool_.size());
 }
 
 ReplayService::~ReplayService() { Stop(); }
@@ -213,6 +220,8 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
         resolved.digest = bound->second.digest;
         resolved.recording = it->second.recording;
         resolved.plan = it->second.plan;
+        resolved.footprint = std::shared_ptr<const ResourceFootprint>(
+            resolved.recording, &resolved.recording->header.footprint);
         resolved.generation = it->second.generation;
         resolved.cache_hit = true;
         return resolved;
@@ -240,6 +249,8 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
     resolved.digest = digest;
     resolved.recording = it->second.recording;
     resolved.plan = it->second.plan;
+    resolved.footprint = std::shared_ptr<const ResourceFootprint>(
+        resolved.recording, &resolved.recording->header.footprint);
     resolved.generation = it->second.generation;
     resolved.cache_hit = true;
     return resolved;
@@ -278,6 +289,8 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
   resolved.digest = digest;
   resolved.recording = std::move(recording);
   resolved.plan = std::move(plan);
+  resolved.footprint = std::shared_ptr<const ResourceFootprint>(
+      resolved.recording, &resolved.recording->header.footprint);
   resolved.generation = next_generation_ - 1;
   resolved.cache_hit = false;
   return resolved;
@@ -369,44 +382,170 @@ void ReplayService::ServeOne(int index, QueueItem item) {
   item.promise.set_value(std::move(response));
 }
 
+ReplayService::Placement ReplayService::PlaceRequest(
+    int worker_index, const Sha256Digest& digest,
+    const std::shared_ptr<const ResourceFootprint>& fp, uint64_t generation) {
+  size_t conflict_evictions = 0;
+  size_t spillovers = 0;
+  Placement placement;
+  Interference worst_verdict = Interference::kDisjoint;
+  {
+    std::lock_guard<std::mutex> lock(pool_mu_);
+    const int devices = static_cast<int>(pool_.size());
+    const int affinity = worker_index % devices;
+
+    auto verdict = [&](const ResidentInfo& info) {
+      if (fp == nullptr || info.footprint == nullptr) {
+        return Interference::kConflicting;
+      }
+      return CheckInterference(*fp, *info.footprint);
+    };
+    // Worst interference verdict of this plan against a device's admitted
+    // residents (itself excluded). kDisjoint on an empty device.
+    auto worst = [&](int d) {
+      Interference w = Interference::kDisjoint;
+      for (const auto& [resident, info] : residents_[d]) {
+        if (resident == digest) {
+          continue;
+        }
+        w = std::max(w, verdict(info));
+      }
+      return w;
+    };
+
+    // Affinity first: a worker's requests stay on "its" device whenever
+    // the verdicts allow, which keeps devices == workers byte-identical
+    // to the pre-pool one-device-per-worker layout. Then a device already
+    // hosting this plan (warm engine), then any device the plan can join
+    // without a conflict, and only as a last resort evict conflicting
+    // residents from the affinity device (the reset-fence path: their
+    // next replay runs cold).
+    int chosen = -1;
+    if (residents_[affinity].count(digest) != 0 ||
+        worst(affinity) != Interference::kConflicting) {
+      chosen = affinity;
+    }
+    for (int d = 0; d < devices && chosen < 0; ++d) {
+      if (residents_[d].count(digest) != 0) {
+        chosen = d;
+        ++spillovers;
+      }
+    }
+    for (int d = 0; d < devices && chosen < 0; ++d) {
+      if (worst(d) != Interference::kConflicting) {
+        chosen = d;
+        ++spillovers;
+      }
+    }
+    if (chosen < 0) {
+      chosen = affinity;
+      for (auto it = residents_[chosen].begin();
+           it != residents_[chosen].end();) {
+        if (it->first != digest &&
+            verdict(it->second) == Interference::kConflicting) {
+          ++conflict_evictions;
+          it = residents_[chosen].erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    worst_verdict = worst(chosen);
+    placement.device = chosen;
+    for (const auto& [resident, info] : residents_[chosen]) {
+      if (resident != digest) {
+        placement.coresident = true;
+        break;
+      }
+    }
+    residents_[chosen][digest] = ResidentInfo{fp, generation};
+  }
+  {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.conflict_evictions += conflict_evictions;
+    stats_.pool_spillovers += spillovers;
+    if (placement.coresident) {
+      ++stats_.coresident_placements;
+      if (worst_verdict == Interference::kSerializable) {
+        ++stats_.serializable_placements;
+      }
+    }
+  }
+  return placement;
+}
+
 Status ReplayService::RunRequest(int index, const ReplayRequest& request,
                                  ReplayResponse* response) {
   GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
   response->plan_cache_hit = resolved.cache_hit;
 
-  Worker& worker = *workers_[index];
-  WorkerEngine& engine = worker.engines[resolved.digest];
+  Placement placement = PlaceRequest(index, resolved.digest,
+                                     resolved.footprint, resolved.generation);
+  response->device = placement.device;
+  response->coresident = placement.coresident;
+  PooledDevice& dev = *pool_[placement.device];
+  // Whole replays on one device are serialized; workers sharing a device
+  // queue here.
+  std::lock_guard<std::mutex> dlock(dev.mu);
+
+  // Sync resident engines to the pool's shadow: an engine whose plan was
+  // evicted from the shadow (conflict) must not survive with stale
+  // dirty-page state — dropping it forces the reset-fenced cold reload.
+  {
+    std::lock_guard<std::mutex> plock(pool_mu_);
+    const auto& shadow = residents_[placement.device];
+    for (auto it = dev.engines.begin(); it != dev.engines.end();) {
+      if (shadow.count(it->first) == 0) {
+        it = dev.engines.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  DeviceEngine& engine = dev.engines[resolved.digest];
   if (engine.replayer == nullptr || engine.generation != resolved.generation) {
-    // First touch of this plan on this worker (or the cached plan was
+    // First touch of this plan on this device (or the cached plan was
     // evicted and recompiled since): build a resident replayer. Admission
     // already verified the recording; workers must not pay it again.
     ReplayConfig rconfig = config_.replay;
     rconfig.static_verify = false;
     auto replayer = std::make_unique<Replayer>(
-        &worker.device->gpu(), &worker.device->tzasc(), &worker.device->mem(),
-        &worker.device->timeline(), rconfig);
+        &dev.device->gpu(), &dev.device->tzasc(), &dev.device->mem(),
+        &dev.device->timeline(), rconfig);
     GRT_RETURN_IF_ERROR(replayer->LoadShared(
         resolved.recording,
         config_.replay.use_plan ? resolved.plan : nullptr));
     engine.replayer = std::move(replayer);
     engine.generation = resolved.generation;
   }
-  engine.last_used = ++worker.use_counter;
+  engine.last_used = ++dev.use_counter;
 
-  // Bound resident engines per worker at the cache capacity: an engine
+  // Bound resident engines per device at the cache capacity: an engine
   // whose plan left the global cache is dead weight on the device.
-  while (worker.engines.size() > config_.max_plans) {
-    auto oldest = worker.engines.end();
-    for (auto it = worker.engines.begin(); it != worker.engines.end(); ++it) {
-      if (oldest == worker.engines.end() ||
+  std::vector<Sha256Digest> trimmed;
+  while (dev.engines.size() > config_.max_plans) {
+    auto oldest = dev.engines.end();
+    for (auto it = dev.engines.begin(); it != dev.engines.end(); ++it) {
+      if (oldest == dev.engines.end() ||
           it->second.last_used < oldest->second.last_used) {
         oldest = it;
       }
     }
-    if (oldest->second.last_used == worker.use_counter) {
+    if (oldest->second.last_used == dev.use_counter) {
       break;  // never evict the engine serving this request
     }
-    worker.engines.erase(oldest);
+    trimmed.push_back(oldest->first);
+    dev.engines.erase(oldest);
+  }
+  if (!trimmed.empty()) {
+    // Trimmed engines leave the shadow too, or their slots would block
+    // future placements forever.
+    std::lock_guard<std::mutex> plock(pool_mu_);
+    for (const Sha256Digest& digest : trimmed) {
+      residents_[placement.device].erase(digest);
+    }
   }
 
   {
@@ -470,6 +609,7 @@ ServeStats ReplayService::Stats() const {
     std::lock_guard<std::mutex> lock(cache_mu_);
     out.plans_cached = plans_.size();
   }
+  out.pool_devices = pool_.size();
   return out;
 }
 
@@ -490,11 +630,16 @@ obs::MetricsSnapshot ReplayService::SnapshotMetrics() const {
   snap.counters["serve.plan_misses"] = s.plan_misses;
   snap.counters["serve.plan_evictions"] = s.plan_evictions;
   snap.counters["serve.warm_replays"] = s.warm_replays;
+  snap.counters["serve.coresident_placements"] = s.coresident_placements;
+  snap.counters["serve.serializable_placements"] = s.serializable_placements;
+  snap.counters["serve.conflict_evictions"] = s.conflict_evictions;
+  snap.counters["serve.pool_spillovers"] = s.pool_spillovers;
   snap.counters["serve.pages_applied"] = s.pages_applied;
   snap.counters["serve.pages_skipped_clean"] = s.pages_skipped_clean;
   snap.counters["serve.mem_bytes_applied"] = s.mem_bytes_applied;
   snap.gauges["serve.queue_depth"] = static_cast<int64_t>(s.queue_depth);
   snap.gauges["serve.plans_cached"] = static_cast<int64_t>(s.plans_cached);
+  snap.gauges["serve.pool_devices"] = static_cast<int64_t>(s.pool_devices);
   snap.histograms["serve.queue_wait_ns"] = queue_wait_hist_.Snapshot();
   snap.histograms["serve.service_ns"] = service_hist_.Snapshot();
   snap.histograms["serve.replay_delay_ns"] = replay_delay_hist_.Snapshot();

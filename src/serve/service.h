@@ -15,12 +15,20 @@
 //   * an admission queue (bounded at `max_queue`) with per-request
 //     wall-clock deadlines: a request that waits past its deadline fails
 //     with a timeout instead of wasting a GPU on a stale answer.
-//   * worker threads, one per simulated GPU (each worker owns a full
-//     ClientDevice from harness/rig — its own carveout memory, GPU model,
-//     TZASC, and virtual timeline, like one physical device in a fleet).
-//     Each worker keeps its per-plan Replayer loaded between requests, so
-//     consecutive requests for the same plan on the same worker hit the
-//     dirty-page warm path and skip most of the memory-image cost.
+//   * a device pool: `devices` simulated GPUs (each a full ClientDevice
+//     from harness/rig — its own carveout memory, GPU model, TZASC, and
+//     virtual timeline, like one physical device in a fleet), shared by
+//     `workers` worker threads. Plans keep resident per-device Replayers
+//     between requests, so consecutive requests for the same plan on the
+//     same device hit the dirty-page warm path. Which plans may share a
+//     device is gated by the static footprint analysis
+//     (src/analysis/footprint): proven-disjoint plans co-reside freely,
+//     serializable pairs co-reside behind the per-replay reset fence, and
+//     conflicting pairs are kept on separate devices or reset-fenced by
+//     evicting the conflicting resident engine (its next replay runs
+//     cold, reapplying the full image). With `devices == workers` (the
+//     default) and one workload per worker this degenerates to the
+//     classic one-device-per-worker layout.
 //
 // Threading model: OS threads are real (the bench's throughput scaling is
 // measured wall-clock); each worker's *replay time* is still charged to
@@ -57,10 +65,14 @@ namespace grt {
 
 struct ServeConfig {
   SkuId sku = SkuId::kMaliG71Mp8;
-  int workers = 1;        // simulated GPUs serving concurrently
-  size_t max_plans = 8;   // plan-cache LRU capacity
+  int workers = 1;        // worker threads serving concurrently
+  // Simulated GPUs in the device pool. 0 (default): one per worker — the
+  // pre-pool layout. Fewer devices than workers oversubscribes: the
+  // footprint interference verdicts decide which plans may share.
+  int devices = 0;
+  size_t max_plans = 8;   // plan-cache LRU capacity (and engines/device)
   size_t max_queue = 256; // admission bound; excess submits are rejected
-  // Per-worker device nondeterminism seed base (worker i uses seed+i).
+  // Per-device nondeterminism seed base (device i uses seed+i).
   uint64_t nondet_seed = 1;
   // Engine knobs for every worker replayer. `static_verify` applies at
   // plan admission (once per cached plan, not per worker or per request);
@@ -92,6 +104,8 @@ struct ReplayResponse {
   int64_t queue_wait_ns = 0;  // wall-clock submission -> dequeue
   int64_t service_ns = 0;     // wall-clock stage + replay + readout
   int worker = -1;
+  int device = -1;         // pool device the replay ran on
+  bool coresident = false; // device hosted another plan's engine too
   bool plan_cache_hit = false;
 };
 
@@ -111,6 +125,17 @@ struct ServeStats {
   size_t plan_hits = 0;
   size_t plan_misses = 0;
   size_t plan_evictions = 0;
+  // Device-pool accounting. A placement is "coresident" when the chosen
+  // device already hosted a different plan's engine; "serializable" when
+  // the worst interference verdict on that device needed the reset fence;
+  // a "conflict eviction" removed a conflicting resident engine (its next
+  // replay runs cold); a "spillover" steered a request off its affinity
+  // device to avoid evicting a conflicting resident.
+  size_t pool_devices = 0;
+  size_t coresident_placements = 0;
+  size_t serializable_placements = 0;
+  size_t conflict_evictions = 0;
+  size_t pool_spillovers = 0;
   size_t warm_replays = 0;  // replays that ran the dirty-page warm path
   // Memory-application accounting across all replays (the perf gate's
   // numerator: warm replays should push bytes/replay far below cold).
@@ -182,6 +207,7 @@ class ReplayService {
   obs::MetricsSnapshot SnapshotMetrics() const;
 
   int workers() const { return config_.workers; }
+  int devices() const { return static_cast<int>(pool_.size()); }
 
  private:
   using SteadyPoint = std::chrono::steady_clock::time_point;
@@ -196,7 +222,7 @@ class ReplayService {
 
   // One compiled, verified plan published to all workers. `generation`
   // distinguishes a recompiled plan from the evicted one it replaced, so
-  // workers drop stale per-worker replayers.
+  // workers drop stale per-device replayers.
   struct PlanEntry {
     std::shared_ptr<const Recording> recording;
     std::shared_ptr<const ReplayPlan> plan;
@@ -216,27 +242,58 @@ class ReplayService {
     Sha256Digest digest{};
     std::shared_ptr<const Recording> recording;
     std::shared_ptr<const ReplayPlan> plan;
+    // Aliases the recording's verified header footprint (admission ran
+    // the footprint-soundness pass over it); the pool's interference
+    // evidence. An uncomputed footprint proves nothing and conflicts with
+    // everything.
+    std::shared_ptr<const ResourceFootprint> footprint;
     uint64_t generation = 0;
     bool cache_hit = false;
   };
 
-  // A worker's resident engine for one plan: the Replayer holds the
+  // A device's resident engine for one plan: the Replayer holds the
   // loaded recording/plan and the device-side dirty-page state that makes
   // the next replay warm.
-  struct WorkerEngine {
+  struct DeviceEngine {
     uint64_t generation = 0;
     uint64_t last_used = 0;
     std::unique_ptr<Replayer> replayer;
   };
 
-  struct Worker {
+  // One simulated GPU of the pool. `mu` serializes everything that
+  // touches the device — engine builds, staging, replays — so workers
+  // sharing a device interleave whole replays, never partial ones (the
+  // granularity at which the reset fence and footprint proofs apply).
+  struct PooledDevice {
     std::unique_ptr<ClientDevice> device;
-    std::map<Sha256Digest, WorkerEngine> engines;
-    uint64_t use_counter = 0;
+    std::mutex mu;
+    std::map<Sha256Digest, DeviceEngine> engines;  // guarded by mu
+    uint64_t use_counter = 0;                      // guarded by mu
+  };
+
+  // Shadow of a device's admitted plans, guarded by pool_mu_ (placement
+  // decisions must not wait behind a long replay holding the device
+  // mutex). Invariant: no two plans in one device's shadow are
+  // kConflicting. Engines are synced to the shadow under the device
+  // mutex before use.
+  struct ResidentInfo {
+    std::shared_ptr<const ResourceFootprint> footprint;
+    uint64_t generation = 0;
+  };
+
+  struct Placement {
+    int device = 0;
+    bool coresident = false;
   };
 
   void WorkerLoop(int index);
   Result<ResolvedPlan> Resolve(const std::string& workload);
+  // Picks (under pool_mu_) the device this request runs on, evicting
+  // conflicting shadow entries when unavoidable, and records the plan in
+  // the chosen device's shadow.
+  Placement PlaceRequest(int worker_index, const Sha256Digest& digest,
+                         const std::shared_ptr<const ResourceFootprint>& fp,
+                         uint64_t generation);
   void ServeOne(int index, QueueItem item);
   Status RunRequest(int index, const ReplayRequest& request,
                     ReplayResponse* response);
@@ -270,7 +327,10 @@ class ReplayService {
   obs::Histogram service_hist_;       // wall-clock ns, stage+replay+readback
   obs::Histogram replay_delay_hist_;  // virtual-timeline ns (Table-2 metric)
 
-  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable std::mutex pool_mu_;
+  std::vector<std::map<Sha256Digest, ResidentInfo>> residents_;
+
+  std::vector<std::unique_ptr<PooledDevice>> pool_;
   std::vector<std::thread> threads_;
 };
 

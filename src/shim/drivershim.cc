@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/common/hash.h"
 #include "src/common/log.h"
 #include "src/hw/regs.h"
@@ -791,6 +792,7 @@ Result<std::vector<Recording>> DriverShim::FinishLayeredRecording(
       rec.log.Add(log_.entries()[e]);
     }
     start = boundaries[i];
+    StampFootprint(&rec);
     segments.push_back(std::move(rec));
   }
   return segments;
@@ -807,6 +809,7 @@ Result<Recording> DriverShim::FinishRecording(
   rec.header.record_nonce = nonce;
   rec.bindings = bindings;
   rec.log = log_;
+  StampFootprint(&rec);
   return rec;
 }
 

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/analysis/passes.h"
 #include "src/analysis/verifier.h"
 #include "src/harness/experiment.h"
@@ -572,7 +573,7 @@ TEST(Verifier, ReportBookkeeping) {
   RecordingVerifier verifier;
   auto report = verifier.Analyze(rec);
   EXPECT_EQ(report.entries_analyzed, 1u);
-  EXPECT_EQ(report.passes_run, 7u);
+  EXPECT_EQ(report.passes_run, 8u);
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
@@ -705,6 +706,10 @@ TEST_F(CorpusTest, NonIdempotentPollTargetCaughtByPollPass) {
       e->reg = kRegShaderPwrOnLo;
     }
   });
+  // Re-stamp the footprint over the mutated log: this test isolates the
+  // poll pass, and a stale footprint would (correctly) also trip
+  // footprint-soundness.
+  StampFootprint(&bad);
   auto report = verifier_.Analyze(bad);
   EXPECT_TRUE(ErrorsOnlyFrom(report, "poll-idempotence")) << report.ToString();
   EXPECT_TRUE(

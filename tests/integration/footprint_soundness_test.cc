@@ -1,0 +1,105 @@
+// Dynamic soundness sweep for the static footprint analysis: for every
+// example network and for recordings produced under every chaos fault
+// schedule, replay with a raw physical-write observer installed and check
+// static ⊇ observed — every page anything wrote, every register touched,
+// every IRQ line waited on lies inside the recording's declared
+// footprint. This is the evidence the serving device pool's co-residency
+// decisions rest on; an uncovered write here would mean two "disjoint"
+// plans could actually perturb each other.
+#include <gtest/gtest.h>
+
+#include "src/harness/chaos.h"
+#include "src/harness/experiment.h"
+#include "src/harness/soundness.h"
+#include "src/ml/network.h"
+#include "src/record/recording.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kNondetSeed = 11;
+constexpr uint64_t kInputSeed = 42;
+
+std::string ReportFailure(const FootprintSoundnessReport& report) {
+  std::string out;
+  char buf[64];
+  for (uint64_t page : report.uncovered_pages) {
+    std::snprintf(buf, sizeof(buf), "uncovered page 0x%llx\n",
+                  static_cast<unsigned long long>(page));
+    out += buf;
+  }
+  for (uint32_t reg : report.uncovered_regs) {
+    std::snprintf(buf, sizeof(buf), "uncovered reg 0x%x\n", reg);
+    out += buf;
+  }
+  if (report.uncovered_irq_lines != 0) {
+    std::snprintf(buf, sizeof(buf), "uncovered irq lines 0x%x\n",
+                  report.uncovered_irq_lines);
+    out += buf;
+  }
+  return out;
+}
+
+void CheckNetwork(const NetworkDef& net) {
+  SCOPED_TRACE(net.name);
+  ClientDevice device(kSku, kNondetSeed);
+  SpeculationHistory history;
+  auto m = RunRecordVariant(&device, net, "OursMDS", WifiConditions(),
+                            &history, 0);
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  auto rec = Recording::ParseSigned(m->signed_recording, m->session_key);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_TRUE(rec->header.footprint.computed);
+
+  auto report =
+      CheckFootprintSoundness(net, kSku, *rec, kNondetSeed + 1, kInputSeed);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->replays, 2u);
+  EXPECT_GT(report->pages_observed, 0u);
+  EXPECT_GT(report->regs_observed, 0u);
+  EXPECT_TRUE(report->ok()) << ReportFailure(*report);
+}
+
+TEST(FootprintSoundnessSweep, Mnist) { CheckNetwork(BuildMnist()); }
+TEST(FootprintSoundnessSweep, AlexNet) { CheckNetwork(BuildAlexNet()); }
+TEST(FootprintSoundnessSweep, MobileNet) { CheckNetwork(BuildMobileNet()); }
+TEST(FootprintSoundnessSweep, SqueezeNet) { CheckNetwork(BuildSqueezeNet()); }
+TEST(FootprintSoundnessSweep, ResNet12) { CheckNetwork(BuildResNet12()); }
+TEST(FootprintSoundnessSweep, Vgg16) { CheckNetwork(BuildVgg16()); }
+
+// Recordings produced under channel faults must be byte-identical to the
+// baseline (the chaos suite proves that); here we additionally prove their
+// stamped footprints stay sound — fault recovery must not leak any
+// unaccounted device interaction into the artifact.
+void CheckChaosSchedule(uint64_t seed, NetworkConditions conditions,
+                        uint64_t nonce) {
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  NetworkDef net = BuildMnist();
+  FaultPlan plan = FaultPlan::FromSeed(seed);
+  auto run = RunChaosSession(net, kSku, conditions, plan, kNondetSeed, nonce);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  auto rec = Recording::ParseUnsigned(run->recording_body);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  ASSERT_TRUE(rec->header.footprint.computed);
+
+  auto report =
+      CheckFootprintSoundness(net, kSku, *rec, kNondetSeed + 1, kInputSeed);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << ReportFailure(*report);
+}
+
+TEST(FootprintSoundnessSweep, ChaosWifiSchedules) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    CheckChaosSchedule(seed, WifiConditions(), 100 + seed);
+  }
+}
+
+TEST(FootprintSoundnessSweep, ChaosCellularSchedules) {
+  for (uint64_t seed = 6; seed <= 9; ++seed) {
+    CheckChaosSchedule(seed, CellularConditions(), 200 + seed);
+  }
+}
+
+}  // namespace
+}  // namespace grt

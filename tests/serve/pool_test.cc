@@ -1,0 +1,266 @@
+// Device-pool tests: the serving-side consumer of the static footprint
+// analysis. Two recordings produced under disjoint resource partitions
+// (carveout offset, job slot, address space) earn a `disjoint` verdict
+// and must co-reside on one pooled device with bitwise-identical outputs
+// vs private-device serving; conflicting plans on a shared device must be
+// reset-fenced via eviction and still answer correctly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/analysis/footprint/footprint.h"
+#include "src/cloud/session.h"
+#include "src/harness/rig.h"
+#include "src/ml/reference.h"
+#include "src/serve/service.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kNondetSeed = 11;
+
+// One recording per partition, both signed under partition A's session
+// key so a single store can hold them.
+class DevicePoolTest : public ::testing::Test {
+ protected:
+  static Recording Record(const NetworkDef& net,
+                          const RecordSessionConfig& config, uint64_t nonce,
+                          Bytes* signed_out, Bytes* key_out) {
+    ClientDevice device(kSku, kNondetSeed);
+    CloudService service;
+    SpeculationHistory history;
+    RecordSession session(&service, &device, config, &history);
+    EXPECT_TRUE(session.Connect().ok());
+    auto outcome = session.RecordWorkload(net, nonce);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    auto rec = Recording::ParseSigned(outcome->signed_recording,
+                                      session.key()->key());
+    EXPECT_TRUE(rec.ok()) << rec.status().ToString();
+    *signed_out = outcome->signed_recording;
+    *key_out = session.key()->key();
+    return *rec;
+  }
+
+  static void SetUpTestSuite() {
+    net_a_ = new NetworkDef(BuildMnist());
+    net_b_ = new NetworkDef(BuildMnist());
+    net_b_->name = "mnist-p1";
+
+    // Partition A: defaults — carveout base, job slot 0, AS 0.
+    RecordSessionConfig config_a;
+    Bytes signed_a;
+    key_ = new Bytes();
+    Recording rec_a = Record(*net_a_, config_a, 7, &signed_a, key_);
+
+    // Partition B: second half of the carveout, job slot 1, AS 1. The
+    // recordings then touch provably disjoint pages and latch groups.
+    RecordSessionConfig config_b;
+    config_b.alloc_offset = kCarveoutSize / 2;
+    config_b.driver.job_slot = 1;
+    config_b.driver.as_index = 1;
+    Bytes signed_b;
+    Bytes key_b;
+    Recording rec_b = Record(*net_b_, config_b, 8, &signed_b, &key_b);
+
+    rec_a_ = new Recording(std::move(rec_a));
+    rec_b_ = new Recording(std::move(rec_b));
+    signed_a_ = new Bytes(std::move(signed_a));
+    // Re-sign partition B's body under partition A's key.
+    signed_b_ = new Bytes(rec_b_->SerializeSigned(*key_));
+
+    // A conflicting twin of A: same partition, different workload name.
+    Recording twin = *rec_a_;
+    twin.header.workload = "mnist-twin";
+    signed_twin_ = new Bytes(twin.SerializeSigned(*key_));
+  }
+
+  static void TearDownTestSuite() {
+    delete net_a_;
+    delete net_b_;
+    delete rec_a_;
+    delete rec_b_;
+    delete key_;
+    delete signed_a_;
+    delete signed_b_;
+    delete signed_twin_;
+    net_a_ = net_b_ = nullptr;
+    rec_a_ = rec_b_ = nullptr;
+    key_ = signed_a_ = signed_b_ = signed_twin_ = nullptr;
+  }
+
+  void SetUp() override {
+    store_ = std::make_unique<RecordingStore>(*key_);
+    ASSERT_TRUE(store_->Install(*signed_a_).ok());
+    ASSERT_TRUE(store_->Install(*signed_b_).ok());
+  }
+
+  static ReplayRequest MakeRequest(const NetworkDef& net, uint64_t seed) {
+    ReplayRequest request;
+    request.workload = net.name;
+    request.tensors[net.input_tensor] = GenerateInput(net, seed);
+    for (const TensorDef& t : net.tensors) {
+      if (t.kind == TensorKind::kParam) {
+        request.tensors[t.name] = GenerateParams(net.name, t, 7);
+      }
+    }
+    request.output_tensor = net.output_tensor;
+    return request;
+  }
+
+  static NetworkDef* net_a_;
+  static NetworkDef* net_b_;
+  static Recording* rec_a_;
+  static Recording* rec_b_;
+  static Bytes* key_;
+  static Bytes* signed_a_;
+  static Bytes* signed_b_;
+  static Bytes* signed_twin_;
+  std::unique_ptr<RecordingStore> store_;
+};
+
+NetworkDef* DevicePoolTest::net_a_ = nullptr;
+NetworkDef* DevicePoolTest::net_b_ = nullptr;
+Recording* DevicePoolTest::rec_a_ = nullptr;
+Recording* DevicePoolTest::rec_b_ = nullptr;
+Bytes* DevicePoolTest::key_ = nullptr;
+Bytes* DevicePoolTest::signed_a_ = nullptr;
+Bytes* DevicePoolTest::signed_b_ = nullptr;
+Bytes* DevicePoolTest::signed_twin_ = nullptr;
+
+TEST_F(DevicePoolTest, PartitionedRecordingsAreProvablyDisjoint) {
+  ASSERT_TRUE(rec_a_->header.footprint.computed);
+  ASSERT_TRUE(rec_b_->header.footprint.computed);
+  // Disjoint carveout halves, slots, and address spaces.
+  EXPECT_EQ(CheckInterference(rec_a_->header.footprint,
+                              rec_b_->header.footprint),
+            Interference::kDisjoint);
+  // The same plan against itself conflicts (it rewrites its own pages).
+  EXPECT_EQ(CheckInterference(rec_a_->header.footprint,
+                              rec_a_->header.footprint),
+            Interference::kConflicting);
+}
+
+TEST_F(DevicePoolTest, DisjointPlansCoResideWithBitwiseIdenticalOutputs) {
+  // Reference run: private device per worker (the pre-pool layout).
+  std::map<std::string, std::vector<float>> private_outputs;
+  {
+    ServeConfig config;
+    config.sku = kSku;
+    config.workers = 2;
+    config.devices = 2;
+    ReplayService service(store_.get(), config);
+    ASSERT_TRUE(service.Start().ok());
+    for (const NetworkDef* net : {net_a_, net_b_}) {
+      ReplayResponse r = service.Submit(MakeRequest(*net, 42));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      private_outputs[net->name] = r.output;
+    }
+  }
+
+  // Pooled run: both plans share one device.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  config.devices = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+  EXPECT_EQ(service.devices(), 1);
+
+  // Interleave cold and warm replays of both plans on the shared device.
+  for (int round = 0; round < 3; ++round) {
+    for (const NetworkDef* net : {net_a_, net_b_}) {
+      ReplayResponse r = service.Submit(MakeRequest(*net, 42));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_EQ(r.device, 0);
+      const std::vector<float>& want = private_outputs[net->name];
+      ASSERT_EQ(r.output.size(), want.size());
+      EXPECT_EQ(std::memcmp(r.output.data(), want.data(),
+                            want.size() * sizeof(float)),
+                0)
+          << net->name << " diverged under co-residency, round " << round;
+    }
+  }
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.pool_devices, 1u);
+  EXPECT_GE(stats.coresident_placements, 1u);
+  EXPECT_EQ(stats.conflict_evictions, 0u);  // proven disjoint: no fencing
+  EXPECT_EQ(stats.failed, 0u);
+
+  // Warm paths survived co-residency: later rounds hit the plan cache.
+  EXPECT_GT(stats.plan_hits, 0u);
+  EXPECT_GT(stats.warm_replays, 0u);
+}
+
+TEST_F(DevicePoolTest, ConflictingPlansOnOneDeviceAreEvictFenced) {
+  // mnist and mnist-twin write the same pages: kConflicting. On a
+  // one-device pool every switch must evict the other resident engine
+  // (cold reload), never co-reside them.
+  ASSERT_TRUE(store_->Install(*signed_twin_).ok());
+
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  config.devices = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto ref = RunReference(*net_a_, GenerateInput(*net_a_, 42), 7);
+  ASSERT_TRUE(ref.ok());
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& workload : {net_a_->name, std::string("mnist-twin")}) {
+      // The twin is a renamed copy of the mnist recording, so its
+      // requests carry mnist tensors under the twin's workload name.
+      ReplayRequest request = MakeRequest(*net_a_, 42);
+      request.workload = workload;
+      ReplayResponse r = service.Submit(std::move(request));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_FALSE(r.coresident);
+      EXPECT_LE(MaxAbsDiff(r.output, *ref), 1e-4f) << workload;
+    }
+  }
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.coresident_placements, 0u);
+  EXPECT_GT(stats.conflict_evictions, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DevicePoolTest, ConflictingPlansSpillToSeparateDevices) {
+  // With two devices available, the placer keeps conflicting plans apart
+  // instead of evict-thrashing one device.
+  ASSERT_TRUE(store_->Install(*signed_twin_).ok());
+
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;  // one worker, affinity device 0 for everything
+  config.devices = 2;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  std::map<std::string, int> device_of;
+  for (int round = 0; round < 2; ++round) {
+    for (const std::string& workload : {net_a_->name, std::string("mnist-twin")}) {
+      ReplayRequest request = MakeRequest(*net_a_, 42);
+      request.workload = workload;
+      ReplayResponse r = service.Submit(std::move(request));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      auto [it, inserted] = device_of.emplace(workload, r.device);
+      EXPECT_EQ(it->second, r.device)
+          << workload << " moved devices between rounds";
+    }
+  }
+  ASSERT_EQ(device_of.size(), 2u);
+  EXPECT_NE(device_of[net_a_->name], device_of["mnist-twin"]);
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.conflict_evictions, 0u);
+  EXPECT_GT(stats.pool_spillovers, 0u);
+}
+
+}  // namespace
+}  // namespace grt

@@ -3,6 +3,13 @@
 // Usage:
 //   grt_lint <recording-body-file>...   lint serialized (unsigned) recording
 //                                       bodies; exit 1 if any has errors
+//   grt_lint --footprint [--json] <recording-body-file>...
+//                                       dump each recording's static
+//                                       resource footprint (register
+//                                       ranges, page set, IRQ lines, slot
+//                                       latches) and the pairwise
+//                                       interference verdicts across the
+//                                       set; --json for machine readers
 //   grt_lint --demo                     record a workload in-process, lint
 //                                       the clean recording, then corrupt it
 //                                       and show the verifier catching it
@@ -16,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/footprint/footprint.h"
 #include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/hw/regs.h"
@@ -49,6 +57,74 @@ int LintFile(const char* path) {
     return 2;
   }
   return LintRecording(path, *rec);
+}
+
+// Loads every file, prints each recording's footprint, then the pairwise
+// interference verdicts across the whole set — the same verdicts the
+// serving device pool consults before co-locating plans.
+int FootprintMode(const std::vector<const char*>& paths, bool json) {
+  struct Loaded {
+    const char* path;
+    Recording rec;
+  };
+  std::vector<Loaded> loaded;
+  for (const char* path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "grt_lint: cannot open %s\n", path);
+      return 2;
+    }
+    Bytes raw((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+    auto rec = Recording::ParseUnsigned(raw);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "grt_lint: %s: %s\n", path,
+                   rec.status().ToString().c_str());
+      return 2;
+    }
+    loaded.push_back({path, std::move(*rec)});
+  }
+
+  if (json) {
+    std::printf("{\n  \"recordings\": [\n");
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      std::printf("    {\"path\": \"%s\", \"footprint\": %s}%s\n",
+                  loaded[i].path,
+                  FootprintToJson(loaded[i].rec.header.footprint).c_str(),
+                  i + 1 < loaded.size() ? "," : "");
+    }
+    std::printf("  ],\n  \"interference\": [\n");
+    bool first = true;
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      for (size_t j = i + 1; j < loaded.size(); ++j) {
+        Interference v = CheckInterference(loaded[i].rec.header.footprint,
+                                           loaded[j].rec.header.footprint);
+        std::printf("%s    {\"a\": \"%s\", \"b\": \"%s\", \"verdict\": \"%s\"}",
+                    first ? "" : ",\n", loaded[i].path, loaded[j].path,
+                    InterferenceName(v));
+        first = false;
+      }
+    }
+    std::printf("%s  ]\n}\n", first ? "" : "\n");
+    return 0;
+  }
+
+  for (const Loaded& l : loaded) {
+    std::printf("%s:\n%s\n", l.path,
+                FootprintToString(l.rec.header.footprint).c_str());
+  }
+  if (loaded.size() > 1) {
+    std::printf("pairwise interference:\n");
+    for (size_t i = 0; i < loaded.size(); ++i) {
+      for (size_t j = i + 1; j < loaded.size(); ++j) {
+        Interference v = CheckInterference(loaded[i].rec.header.footprint,
+                                           loaded[j].rec.header.footprint);
+        std::printf("  %s  x  %s  ->  %s\n", loaded[i].path, loaded[j].path,
+                    InterferenceName(v));
+      }
+    }
+  }
+  return 0;
 }
 
 int Demo() {
@@ -110,11 +186,31 @@ int Demo() {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <recording-body-file>... | --demo\n", argv[0]);
+                 "usage: %s <recording-body-file>... | --footprint [--json] "
+                 "<recording-body-file>... | --demo\n",
+                 argv[0]);
     return 2;
   }
   if (std::strcmp(argv[1], "--demo") == 0) {
     return Demo();
+  }
+  if (std::strcmp(argv[1], "--footprint") == 0) {
+    bool json = false;
+    std::vector<const char*> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        paths.push_back(argv[i]);
+      }
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s --footprint [--json] <recording-body-file>...\n",
+                   argv[0]);
+      return 2;
+    }
+    return FootprintMode(paths, json);
   }
   int rc = 0;
   for (int i = 1; i < argc; ++i) {
