@@ -229,10 +229,15 @@ ResourceFootprint ComputeFootprint(const Recording& rec, const GpuSku* sku) {
   AccessMap pages(kPageSize);
 
   // --- register / IRQ / latch sweep -------------------------------------
-  // Distinct write stimuli seen so far, for the establishment test and the
-  // clobber closure below.
+  // Write stimuli seen so far, for the establishment test and the clobber
+  // closure below — deduped to one representative per (register, clobber
+  // value-class), which is exact: MayClobberRegister is value-insensitive
+  // within a class (ClobberValueClass). Large logs write thousands of
+  // distinct values (job-chain pointers, TRANSTAB roots) to a handful of
+  // registers; keying the closure's MMIO sweep on the class keeps it
+  // O(distinct stimulus registers), not O(distinct recorded writes).
   std::vector<std::pair<uint32_t, uint32_t>> stimuli;
-  std::set<std::pair<uint32_t, uint32_t>> stimuli_seen;
+  std::set<std::pair<uint32_t, uint32_t>> stimuli_seen;  // (reg, class)
   std::set<uint32_t> established;
   auto is_established = [&](uint32_t reg) {
     if (established.count(reg) != 0) {
@@ -273,7 +278,8 @@ ResourceFootprint ComputeFootprint(const Recording& rec, const GpuSku* sku) {
     switch (e.op) {
       case LogOp::kRegWrite: {
         regs.Add(e.reg, kFpWrite);
-        if (stimuli_seen.insert({e.reg, e.value}).second) {
+        if (stimuli_seen.insert({e.reg, ClobberValueClass(e.reg, e.value)})
+                .second) {
           stimuli.emplace_back(e.reg, e.value);
         }
         int slot = 0;
@@ -322,7 +328,8 @@ ResourceFootprint ComputeFootprint(const Recording& rec, const GpuSku* sku) {
   }
 
   // Clobber closure: any register a recorded stimulus may perturb, across
-  // the whole MMIO window. Order-independent, so computed after the sweep.
+  // the whole MMIO window. Order-independent, so computed after the sweep;
+  // one window sweep per stimulus value-class (see the dedupe above).
   for (const auto& [sreg, svalue] : stimuli) {
     for (uint32_t cand = 0; cand < kGpuMmioSize; cand += 4) {
       if (MayClobberRegister(sreg, svalue, cand)) {
@@ -405,6 +412,19 @@ Interference CheckInterference(const ResourceFootprint& a,
     return Interference::kSerializable;
   }
   return Interference::kDisjoint;
+}
+
+Interference AdmissionInterference(const ResourceFootprint& a,
+                                   const ResourceFootprint& b,
+                                   bool reset_fenced) {
+  Interference v = CheckInterference(a, b);
+  if (v == Interference::kSerializable && !reset_fenced) {
+    // No reset fence between replays: the register state one plan
+    // observes across its boundary survives the other's writes, so
+    // serialized execution is no longer provably clean.
+    return Interference::kConflicting;
+  }
+  return v;
 }
 
 bool FootprintCovers(const ResourceFootprint& declared,

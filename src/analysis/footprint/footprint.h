@@ -71,6 +71,15 @@ void StampFootprint(Recording* rec);
 Interference CheckInterference(const ResourceFootprint& a,
                                const ResourceFootprint& b);
 
+// Admission-time verdict for a device pool. kSerializable's soundness
+// argument IS the per-replay reset fence (the replayer's scrub_before
+// hard reset restores boot state between runs); a deployment that
+// disables the fence must treat serializable pairs as conflicting.
+// `reset_fenced` says whether the pool replays with the fence on.
+Interference AdmissionInterference(const ResourceFootprint& a,
+                                   const ResourceFootprint& b,
+                                   bool reset_fenced);
+
 // True when `declared` over-approximates `required` (register ranges,
 // page ranges, IRQ lines, slot/AS masks). On failure *why names the first
 // uncovered resource.

@@ -514,6 +514,24 @@ bool MayClobberRegister(uint32_t stimulus_reg, uint32_t stimulus_value,
   return true;  // unrecognized trigger: assume the worst
 }
 
+uint32_t ClobberValueClass(uint32_t stimulus_reg, uint32_t stimulus_value) {
+  // Keep in lockstep with MayClobberRegister: GPU_COMMAND is the only
+  // stimulus whose clobber window depends on the written value.
+  if (stimulus_reg != kRegGpuCommand) {
+    return 0;
+  }
+  if (IsResetCommand(stimulus_value)) {
+    return 1;
+  }
+  if (IsFlushCommand(stimulus_value)) {
+    return 2;
+  }
+  if (stimulus_value == kGpuCommandNop) {
+    return 3;
+  }
+  return 4;
+}
+
 uint32_t GpuIrqBitsRaisedBy(uint32_t reg, uint32_t value) {
   if (reg == kRegGpuCommand) {
     if (IsResetCommand(value)) {

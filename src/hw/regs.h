@@ -277,6 +277,16 @@ bool WriteHasSideEffects(uint32_t reg, uint32_t value);
 bool MayClobberRegister(uint32_t stimulus_reg, uint32_t stimulus_value,
                         uint32_t observed_reg);
 
+// Value-equivalence classes of the clobber model: for a fixed
+// `stimulus_reg`, MayClobberRegister(stimulus_reg, v, ·) is the same
+// predicate of the observed register for every value `v` in one class.
+// Only GPU_COMMAND distinguishes values (reset / flush / nop / unknown);
+// every other register's clobber window is value-independent. Lets
+// analyses take the clobber closure once per (register, class) instead of
+// once per distinct recorded write value (tests/hw/clobber_test
+// cross-checks the partition against the model over the full MMIO window).
+uint32_t ClobberValueClass(uint32_t stimulus_reg, uint32_t stimulus_value);
+
 // GPU_IRQ_RAWSTAT bits that a CPU write of `value` to `reg` may raise
 // (directly or through the completion event of the operation it starts).
 // Used for per-bit reaching definitions over the IRQ surface. Faults

@@ -384,7 +384,8 @@ void ReplayService::ServeOne(int index, QueueItem item) {
 
 ReplayService::Placement ReplayService::PlaceRequest(
     int worker_index, const Sha256Digest& digest,
-    const std::shared_ptr<const ResourceFootprint>& fp, uint64_t generation) {
+    const std::shared_ptr<const ResourceFootprint>& fp, uint64_t generation,
+    int pinned) {
   size_t conflict_evictions = 0;
   size_t spillovers = 0;
   Placement placement;
@@ -398,7 +399,10 @@ ReplayService::Placement ReplayService::PlaceRequest(
       if (fp == nullptr || info.footprint == nullptr) {
         return Interference::kConflicting;
       }
-      return CheckInterference(*fp, *info.footprint);
+      // Serializable co-residency is sound only behind the per-replay
+      // reset fence; with scrub_before off it degrades to conflicting.
+      return AdmissionInterference(*fp, *info.footprint,
+                                   config_.replay.scrub_before);
     };
     // Worst interference verdict of this plan against a device's admitted
     // residents (itself excluded). kDisjoint on an empty device.
@@ -412,42 +416,53 @@ ReplayService::Placement ReplayService::PlaceRequest(
       }
       return w;
     };
-
-    // Affinity first: a worker's requests stay on "its" device whenever
-    // the verdicts allow, which keeps devices == workers byte-identical
-    // to the pre-pool one-device-per-worker layout. Then a device already
-    // hosting this plan (warm engine), then any device the plan can join
-    // without a conflict, and only as a last resort evict conflicting
-    // residents from the affinity device (the reset-fence path: their
-    // next replay runs cold).
-    int chosen = -1;
-    if (residents_[affinity].count(digest) != 0 ||
-        worst(affinity) != Interference::kConflicting) {
-      chosen = affinity;
-    }
-    for (int d = 0; d < devices && chosen < 0; ++d) {
-      if (residents_[d].count(digest) != 0) {
-        chosen = d;
-        ++spillovers;
-      }
-    }
-    for (int d = 0; d < devices && chosen < 0; ++d) {
-      if (worst(d) != Interference::kConflicting) {
-        chosen = d;
-        ++spillovers;
-      }
-    }
-    if (chosen < 0) {
-      chosen = affinity;
-      for (auto it = residents_[chosen].begin();
-           it != residents_[chosen].end();) {
+    // Evicts every conflicting resident from device d's shadow (the
+    // reset-fence path: their next replay runs cold).
+    auto evict_conflicts = [&](int d) {
+      for (auto it = residents_[d].begin(); it != residents_[d].end();) {
         if (it->first != digest &&
             verdict(it->second) == Interference::kConflicting) {
           ++conflict_evictions;
-          it = residents_[chosen].erase(it);
+          it = residents_[d].erase(it);
         } else {
           ++it;
         }
+      }
+    };
+
+    int chosen = -1;
+    if (pinned >= 0) {
+      // The caller holds this device's mutex and lost the optimistic
+      // placement race too often: force the placement here.
+      chosen = pinned;
+      evict_conflicts(chosen);
+    } else {
+      // Affinity first: a worker's requests stay on "its" device whenever
+      // the verdicts allow, which keeps devices == workers byte-identical
+      // to the pre-pool one-device-per-worker layout. Then a device
+      // already hosting this plan (warm engine), then any device the plan
+      // can join without a conflict, and only as a last resort evict
+      // conflicting residents from the affinity device (the reset-fence
+      // path: their next replay runs cold).
+      if (residents_[affinity].count(digest) != 0 ||
+          worst(affinity) != Interference::kConflicting) {
+        chosen = affinity;
+      }
+      for (int d = 0; d < devices && chosen < 0; ++d) {
+        if (residents_[d].count(digest) != 0) {
+          chosen = d;
+          ++spillovers;
+        }
+      }
+      for (int d = 0; d < devices && chosen < 0; ++d) {
+        if (worst(d) != Interference::kConflicting) {
+          chosen = d;
+          ++spillovers;
+        }
+      }
+      if (chosen < 0) {
+        chosen = affinity;
+        evict_conflicts(chosen);
       }
     }
 
@@ -460,6 +475,20 @@ ReplayService::Placement ReplayService::PlaceRequest(
       }
     }
     residents_[chosen][digest] = ResidentInfo{fp, generation};
+    if (pinned >= 0) {
+      // The engine sync RunRequest otherwise performs after re-acquiring
+      // pool_mu_ happens here, in the same critical section as the
+      // placement — with the device mutex already held, no concurrent
+      // eviction can invalidate this placement before the replay runs.
+      PooledDevice& dev = *pool_[chosen];
+      for (auto it = dev.engines.begin(); it != dev.engines.end();) {
+        if (residents_[chosen].count(it->first) == 0) {
+          it = dev.engines.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
   }
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
@@ -480,29 +509,65 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
   GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
   response->plan_cache_hit = resolved.cache_hit;
 
-  Placement placement = PlaceRequest(index, resolved.digest,
-                                     resolved.footprint, resolved.generation);
-  response->device = placement.device;
-  response->coresident = placement.coresident;
-  PooledDevice& dev = *pool_[placement.device];
-  // Whole replays on one device are serialized; workers sharing a device
-  // queue here.
-  std::lock_guard<std::mutex> dlock(dev.mu);
-
-  // Sync resident engines to the pool's shadow: an engine whose plan was
-  // evicted from the shadow (conflict) must not survive with stale
-  // dirty-page state — dropping it forces the reset-fenced cold reload.
-  {
+  // Placement and device acquisition cannot share one critical section (a
+  // placement must not wait behind a long replay holding the device
+  // mutex), so between PlaceRequest dropping pool_mu_ and this worker
+  // taking dev.mu, a concurrent conflicting placement may evict this
+  // digest from the device's shadow again. Running anyway would put this
+  // replay's writes behind a co-resident engine's dirty-page tracker —
+  // exactly the interference the verdicts rule out. So: re-validate
+  // residency under both locks, redo placement if evicted, and after a
+  // few lost races pin the placement (PlaceRequest then runs with the
+  // device mutex already held, making placement + engine sync atomic).
+  constexpr int kPlacementRetries = 3;
+  Placement placement;
+  std::unique_lock<std::mutex> dlock;
+  size_t retries = 0;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt >= kPlacementRetries) {
+      const int pin = index % static_cast<int>(pool_.size());
+      dlock = std::unique_lock<std::mutex>(pool_[pin]->mu);
+      placement = PlaceRequest(index, resolved.digest, resolved.footprint,
+                               resolved.generation, pin);
+      break;
+    }
+    placement = PlaceRequest(index, resolved.digest, resolved.footprint,
+                             resolved.generation);
+    PooledDevice& candidate = *pool_[placement.device];
+    // Whole replays on one device are serialized; workers sharing a
+    // device queue here.
+    dlock = std::unique_lock<std::mutex>(candidate.mu);
     std::lock_guard<std::mutex> plock(pool_mu_);
     const auto& shadow = residents_[placement.device];
-    for (auto it = dev.engines.begin(); it != dev.engines.end();) {
+    if (shadow.count(resolved.digest) == 0) {
+      // Lost the race: placed, then evicted by a conflicting placement
+      // before the device was ours. Never run a plan the shadow no
+      // longer admits.
+      ++retries;
+      dlock.unlock();
+      continue;
+    }
+    // Sync resident engines to the pool's shadow: an engine whose plan
+    // was evicted from the shadow (conflict) must not survive with stale
+    // dirty-page state — dropping it forces the reset-fenced cold reload.
+    for (auto it = candidate.engines.begin();
+         it != candidate.engines.end();) {
       if (shadow.count(it->first) == 0) {
-        it = dev.engines.erase(it);
+        it = candidate.engines.erase(it);
       } else {
         ++it;
       }
     }
+    break;
   }
+  if (retries > 0) {
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    stats_.placement_retries += retries;
+  }
+  response->device = placement.device;
+  response->coresident = placement.coresident;
+  // dlock keeps this device ours for the rest of the request.
+  PooledDevice& dev = *pool_[placement.device];
 
   DeviceEngine& engine = dev.engines[resolved.digest];
   if (engine.replayer == nullptr || engine.generation != resolved.generation) {
@@ -634,6 +699,7 @@ obs::MetricsSnapshot ReplayService::SnapshotMetrics() const {
   snap.counters["serve.serializable_placements"] = s.serializable_placements;
   snap.counters["serve.conflict_evictions"] = s.conflict_evictions;
   snap.counters["serve.pool_spillovers"] = s.pool_spillovers;
+  snap.counters["serve.placement_retries"] = s.placement_retries;
   snap.counters["serve.pages_applied"] = s.pages_applied;
   snap.counters["serve.pages_skipped_clean"] = s.pages_skipped_clean;
   snap.counters["serve.mem_bytes_applied"] = s.mem_bytes_applied;

@@ -78,7 +78,10 @@ struct ServeConfig {
   // plan admission (once per cached plan, not per worker or per request);
   // `use_plan=false` runs the interpreter on every request (baseline mode
   // for benches). `collect_observed` is ignored — a serving worker never
-  // collects observed logs.
+  // collects observed logs. Disabling `scrub_before` (the per-replay
+  // reset fence) demotes serializable co-residency to conflicting at
+  // placement: the fence is the kSerializable verdict's soundness
+  // argument (src/analysis/footprint).
   ReplayConfig replay;
 };
 
@@ -136,6 +139,10 @@ struct ServeStats {
   size_t serializable_placements = 0;
   size_t conflict_evictions = 0;
   size_t pool_spillovers = 0;
+  // A worker placed a plan, then found it evicted from the device shadow
+  // by a concurrent conflicting placement before the device was acquired,
+  // and redid placement instead of running unadmitted.
+  size_t placement_retries = 0;
   size_t warm_replays = 0;  // replays that ran the dirty-page warm path
   // Memory-application accounting across all replays (the perf gate's
   // numerator: warm replays should push bytes/replay far below cold).
@@ -275,7 +282,10 @@ class ReplayService {
   // decisions must not wait behind a long replay holding the device
   // mutex). Invariant: no two plans in one device's shadow are
   // kConflicting. Engines are synced to the shadow under the device
-  // mutex before use.
+  // mutex before use, and a worker replays a plan only after
+  // re-confirming it is still shadow-resident while holding both the
+  // device mutex and pool_mu_ (a placement can be evicted by a concurrent
+  // conflicting placement until then).
   struct ResidentInfo {
     std::shared_ptr<const ResourceFootprint> footprint;
     uint64_t generation = 0;
@@ -290,10 +300,16 @@ class ReplayService {
   Result<ResolvedPlan> Resolve(const std::string& workload);
   // Picks (under pool_mu_) the device this request runs on, evicting
   // conflicting shadow entries when unavoidable, and records the plan in
-  // the chosen device's shadow.
+  // the chosen device's shadow. The returned placement is provisional:
+  // until the worker holds the device mutex and re-checks residency, a
+  // concurrent conflicting placement may evict it again (see RunRequest).
+  // With `pinned >= 0` the caller already holds pool_[pinned]->mu; the
+  // placement is forced onto that device and the device's engine cache is
+  // synced to the shadow inside the same pool_mu_ hold, so it cannot be
+  // invalidated before the replay runs.
   Placement PlaceRequest(int worker_index, const Sha256Digest& digest,
                          const std::shared_ptr<const ResourceFootprint>& fp,
-                         uint64_t generation);
+                         uint64_t generation, int pinned = -1);
   void ServeOne(int index, QueueItem item);
   Status RunRequest(int index, const ReplayRequest& request,
                     ReplayResponse* response);

@@ -113,6 +113,28 @@ TEST(InterferenceLattice, ClobberVsExternalIsSerializable) {
   EXPECT_EQ(Verdict(a, b), Interference::kSerializable);
 }
 
+TEST(InterferenceLattice, AdmissionDemotesSerializableWithoutResetFence) {
+  // kSerializable is sound only behind the per-replay reset fence
+  // (scrub_before); a pool serving without the fence must treat the pair
+  // as conflicting at admission.
+  ResourceFootprint a = WithRegs({{0x100, 0x104, kFpWrite}});
+  ResourceFootprint b = WithRegs({{0x100, 0x104, kFpRead | kFpExternal}});
+  ASSERT_EQ(Verdict(a, b), Interference::kSerializable);
+  EXPECT_EQ(AdmissionInterference(a, b, /*reset_fenced=*/true),
+            Interference::kSerializable);
+  EXPECT_EQ(AdmissionInterference(a, b, /*reset_fenced=*/false),
+            Interference::kConflicting);
+  // The fence only matters for serializable pairs: disjoint stays
+  // disjoint and conflicting stays conflicting either way.
+  EXPECT_EQ(AdmissionInterference(Empty(), Empty(), /*reset_fenced=*/false),
+            Interference::kDisjoint);
+  ResourceFootprint w = WithPages({{0x80000000, 0x80001000, kFpWrite}});
+  EXPECT_EQ(AdmissionInterference(w, w, /*reset_fenced=*/true),
+            Interference::kConflicting);
+  EXPECT_EQ(AdmissionInterference(w, w, /*reset_fenced=*/false),
+            Interference::kConflicting);
+}
+
 TEST(InterferenceLattice, SharedSlotWriteMaskConflicts) {
   ResourceFootprint a = Empty();
   a.slot_write_mask = 0b01;

@@ -139,6 +139,54 @@ TEST(ClobberModel, IrqClears) {
   EXPECT_FALSE(MayClobberRegister(kRegMmuIrqClear, 0x1, kRegGpuIrqRawstat));
 }
 
+TEST(ClobberModel, ValueClassesPartitionTheModel) {
+  // ClobberValueClass's contract: for one stimulus register, any two
+  // values in the same class have identical clobber windows. The
+  // footprint analysis leans on this to sweep the MMIO window once per
+  // class instead of once per distinct recorded write, so verify the
+  // partition against the model exhaustively over the window for a
+  // stimulus set spanning every register family and command category.
+  const uint32_t stimulus_regs[] = {
+      kRegGpuCommand,           kRegGpuIrqClear,
+      kRegJobIrqClear,          kRegMmuIrqClear,
+      kRegGpuIrqMask,           kRegShaderConfig,
+      kRegShaderPwrOnLo,        kRegL2PwrOffHi,
+      kJobSlotBase + kJsCommand,
+      kJobSlotBase + kJsHeadNextLo,
+      kAsBase + kAsCommand,     kAsBase + kAsTranstabLo,
+      kRegGpuStatus /* status write: worst-case stimulus */};
+  const uint32_t values[] = {0,
+                             1,
+                             kGpuCommandSoftReset,
+                             kGpuCommandHardReset,
+                             kGpuCommandCleanCaches,
+                             kGpuCommandCleanInvCaches,
+                             kGpuCommandNop,
+                             0xDEADBEEFu};
+  for (uint32_t sreg : stimulus_regs) {
+    for (uint32_t v1 : values) {
+      for (uint32_t v2 : values) {
+        if (ClobberValueClass(sreg, v1) != ClobberValueClass(sreg, v2)) {
+          continue;
+        }
+        for (uint32_t target = 0; target < kGpuMmioSize; target += 4) {
+          ASSERT_EQ(MayClobberRegister(sreg, v1, target),
+                    MayClobberRegister(sreg, v2, target))
+              << "reg " << RegisterName(sreg) << " values " << v1 << "/"
+              << v2 << " diverge at target " << RegisterName(target);
+        }
+      }
+    }
+  }
+  // The command categories the model distinguishes get distinct classes.
+  EXPECT_NE(ClobberValueClass(kRegGpuCommand, kGpuCommandSoftReset),
+            ClobberValueClass(kRegGpuCommand, kGpuCommandCleanCaches));
+  EXPECT_NE(ClobberValueClass(kRegGpuCommand, kGpuCommandCleanCaches),
+            ClobberValueClass(kRegGpuCommand, kGpuCommandNop));
+  EXPECT_EQ(ClobberValueClass(kRegGpuCommand, kGpuCommandSoftReset),
+            ClobberValueClass(kRegGpuCommand, kGpuCommandHardReset));
+}
+
 TEST(IrqBitsRaised, PerStimulusAttribution) {
   EXPECT_EQ(GpuIrqBitsRaisedBy(kRegGpuCommand, kGpuCommandSoftReset),
             kGpuIrqResetCompleted | kGpuIrqPowerChangedSingle |

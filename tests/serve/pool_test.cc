@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <future>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/footprint/footprint.h"
@@ -228,6 +230,85 @@ TEST_F(DevicePoolTest, ConflictingPlansOnOneDeviceAreEvictFenced) {
   EXPECT_EQ(stats.coresident_placements, 0u);
   EXPECT_GT(stats.conflict_evictions, 0u);
   EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST_F(DevicePoolTest, ConcurrentConflictingPlacementsStayCorrect) {
+  // Two workers share ONE device while serving a conflicting mix (mnist
+  // and its same-partition twin) plus a disjoint plan. Placement and
+  // device acquisition are separate critical sections, so a worker can
+  // place a plan and then lose its shadow slot to a concurrent
+  // conflicting placement before it acquires the device; it must then
+  // redo placement, never replay a plan the shadow no longer admits.
+  // Every answer must still be correct. (CI pass 4 runs this suite under
+  // TSan, which also checks the locking of the retry path.)
+  ASSERT_TRUE(store_->Install(*signed_twin_).ok());
+
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  config.devices = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto ref_a = RunReference(*net_a_, GenerateInput(*net_a_, 42), 7);
+  ASSERT_TRUE(ref_a.ok());
+  auto ref_b = RunReference(*net_b_, GenerateInput(*net_b_, 42), 7);
+  ASSERT_TRUE(ref_b.ok());
+
+  std::vector<std::pair<std::string, std::future<ReplayResponse>>> pending;
+  const std::string twin = "mnist-twin";
+  for (int round = 0; round < 6; ++round) {
+    for (const std::string& workload : {net_a_->name, twin, net_b_->name}) {
+      ReplayRequest request =
+          MakeRequest(workload == net_b_->name ? *net_b_ : *net_a_, 42);
+      request.workload = workload;
+      pending.emplace_back(workload, service.SubmitAsync(std::move(request)));
+    }
+  }
+  for (auto& [workload, future] : pending) {
+    ReplayResponse r = future.get();
+    ASSERT_TRUE(r.status.ok()) << workload << ": " << r.status.ToString();
+    EXPECT_EQ(r.device, 0);
+    const std::vector<float>& want =
+        workload == net_b_->name ? *ref_b : *ref_a;
+    EXPECT_LE(MaxAbsDiff(r.output, want), 1e-4f) << workload;
+  }
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  // The conflicting pair ping-pongs the one device: evictions must have
+  // fenced every switch.
+  EXPECT_GT(stats.conflict_evictions, 0u);
+}
+
+TEST_F(DevicePoolTest, DisjointPlansPoolEvenWithoutResetFence) {
+  // Disabling scrub_before demotes serializable pairs to conflicting at
+  // admission but leaves proven-disjoint pairs poolable: their soundness
+  // argument (page/slot/AS disjointness plus in-plan register
+  // re-establishment) never leaned on the fence.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  config.devices = 1;
+  config.replay.scrub_before = false;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  for (int round = 0; round < 2; ++round) {
+    for (const NetworkDef* net : {net_a_, net_b_}) {
+      auto ref = RunReference(*net, GenerateInput(*net, 42), 7);
+      ASSERT_TRUE(ref.ok());
+      ReplayResponse r = service.Submit(MakeRequest(*net, 42));
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_EQ(r.device, 0);
+      EXPECT_LE(MaxAbsDiff(r.output, *ref), 1e-4f) << net->name;
+    }
+  }
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.coresident_placements, 1u);
+  EXPECT_EQ(stats.conflict_evictions, 0u);
 }
 
 TEST_F(DevicePoolTest, ConflictingPlansSpillToSeparateDevices) {
