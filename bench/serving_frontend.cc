@@ -1,0 +1,432 @@
+// Serving front-end benchmark: the TCP wire path under open-loop load.
+//
+// Two sections, written to BENCH_serving_frontend.json:
+//
+//   1. Wire fidelity — the same requests served through the in-process
+//      ReplayService::Submit path and through a ReplayClient over TCP
+//      must produce bitwise-identical outputs, and the response must echo
+//      the plan-cache digest Preload reported (the pin clients use). This
+//      is the correctness gate: the frame codec, the event loop, and the
+//      completion path may not perturb a single byte.
+//   2. Load — an open-loop generator offers traffic at fixed target RPS
+//      (arrivals scheduled from a clock, never gated on completions, so
+//      server slowdown cannot silently throttle the offered load) across
+//      several target rates. Latency is measured from the *scheduled*
+//      arrival to response receipt — queueing delay a closed-loop client
+//      would hide is charged to the server. Per-status counts (OK / BUSY /
+//      EXPIRED / error) show how admission control converts overload into
+//      protocol-level verdicts instead of collapse.
+//
+// `--smoke` runs both sections with a short schedule and exits nonzero if
+// a gate fails — scripts/ci.sh uses it as the serving-path regression
+// gate. Gates: bitwise fidelity, every offered request answered, and a
+// nonzero OK count at every rate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/rig.h"
+#include "src/ml/reference.h"
+#include "src/serve/client.h"
+#include "src/serve/frontend.h"
+#include "src/serve/service.h"
+
+namespace grt {
+namespace {
+
+constexpr SkuId kSku = SkuId::kMaliG71Mp8;
+constexpr uint64_t kInputSeed = 42;
+constexpr uint64_t kParamSeed = 7;
+
+struct RecordedNet {
+  NetworkDef net;
+  Bytes signed_recording;
+  Bytes session_key;
+};
+
+Result<RecordedNet> RecordOnce(const NetworkDef& net) {
+  ClientDevice device(kSku, 11);
+  SpeculationHistory history;
+  GRT_ASSIGN_OR_RETURN(RecordMeasurement m,
+                       RunRecordVariant(&device, net, "OursMDS",
+                                        WifiConditions(), &history, 0));
+  return RecordedNet{net, std::move(m.signed_recording),
+                     std::move(m.session_key)};
+}
+
+bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0);
+}
+
+// Full request: input + parameters (parameters stay resident on whichever
+// worker device serves it — the fidelity section stages them everywhere).
+WireRequest FullRequest(const NetworkDef& net, uint64_t seed) {
+  WireRequest request;
+  request.workload = net.name;
+  request.output_tensor = net.output_tensor;
+  request.deadline_ms = 30000;
+  request.tensors[net.input_tensor] = GenerateInput(net, seed);
+  for (const TensorDef& t : net.tensors) {
+    if (t.kind == TensorKind::kParam) {
+      request.tensors[t.name] = GenerateParams(net.name, t, kParamSeed);
+    }
+  }
+  return request;
+}
+
+// ------------------------------------------------------- wire fidelity
+
+struct FidelityRow {
+  size_t requests = 0;
+  bool bitwise_identical = false;
+  bool digest_echoed = false;
+  bool pinned_ok = false;
+};
+
+Result<FidelityRow> RunFidelity(ReplayService* service, uint16_t port,
+                                const NetworkDef& net,
+                                const Sha256Digest& digest) {
+  FidelityRow row;
+  row.bitwise_identical = true;
+  row.digest_echoed = true;
+  ReplayClient client;
+  GRT_RETURN_IF_ERROR(client.Connect("127.0.0.1", port, 60000));
+  for (uint64_t seed = kInputSeed; seed < kInputSeed + 5; ++seed) {
+    WireRequest wire = FullRequest(net, seed);
+    ReplayRequest local;
+    local.workload = wire.workload;
+    local.tensors = wire.tensors;
+    local.output_tensor = wire.output_tensor;
+    ReplayResponse in_process = service->Submit(std::move(local));
+    GRT_RETURN_IF_ERROR(in_process.status);
+    GRT_ASSIGN_OR_RETURN(WireResponse remote, client.Call(seed, wire));
+    if (!remote.ok()) {
+      return Internal("wire request failed: " + remote.message);
+    }
+    if (!BitIdentical(in_process.output, remote.output)) {
+      row.bitwise_identical = false;
+    }
+    if (remote.digest != digest) {
+      row.digest_echoed = false;
+    }
+    ++row.requests;
+  }
+  // Pinned request: the digest Preload reported must be servable, and a
+  // wrong pin must be refused with the typed verdict.
+  WireRequest pinned = FullRequest(net, kInputSeed);
+  pinned.digest = digest;
+  GRT_ASSIGN_OR_RETURN(WireResponse pinned_reply, client.Call(1000, pinned));
+  WireRequest mispinned = FullRequest(net, kInputSeed);
+  mispinned.digest = digest;
+  mispinned.digest[0] ^= 0xff;
+  GRT_ASSIGN_OR_RETURN(WireResponse mispin_reply, client.Call(1001, mispinned));
+  row.pinned_ok = pinned_reply.ok() &&
+                  mispin_reply.status == WireStatus::kUnknownDigest;
+  return row;
+}
+
+// ------------------------------------------------------ open-loop load
+
+struct LoadRow {
+  double target_rps = 0;
+  size_t offered = 0;   // arrivals on the schedule
+  size_t answered = 0;  // responses received (any status)
+  size_t ok = 0;
+  size_t busy = 0;
+  size_t expired = 0;
+  size_t error = 0;  // every other wire status
+  size_t transport_errors = 0;
+  double achieved_rps = 0;  // answered / wall time
+  // Latency from scheduled arrival to response receipt, OK replies only.
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;
+  double duration_s = 0;
+};
+
+struct Received {
+  uint64_t corr = 0;
+  WireStatus status = WireStatus::kOk;
+  std::chrono::steady_clock::time_point when;
+};
+
+Result<LoadRow> RunLoad(uint16_t port, const NetworkDef& net,
+                        double target_rps, double duration_s,
+                        size_t n_conns) {
+  const size_t total = static_cast<size_t>(target_rps * duration_s + 0.5);
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<int64_t>(1e9 / target_rps));
+
+  std::vector<ReplayClient> clients(n_conns);
+  for (ReplayClient& c : clients) {
+    GRT_RETURN_IF_ERROR(c.Connect("127.0.0.1", port, 30000));
+  }
+
+  // Load requests carry only the input tensor (parameters are already
+  // resident from the fidelity section), so the sender's per-request cost
+  // is a small encode + send and the schedule stays honest.
+  std::vector<WireRequest> variants;
+  for (uint64_t v = 0; v < 8; ++v) {
+    WireRequest request;
+    request.workload = net.name;
+    request.output_tensor = net.output_tensor;
+    request.deadline_ms = 2000;
+    request.tensors[net.input_tensor] = GenerateInput(net, kInputSeed + v);
+    variants.push_back(std::move(request));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<size_t> assigned(n_conns, 0);
+  for (size_t i = 0; i < total; ++i) {
+    ++assigned[i % n_conns];
+  }
+
+  // Receivers first: responses start flowing before the schedule ends.
+  std::vector<std::vector<Received>> received(n_conns);
+  std::vector<std::thread> receivers;
+  receivers.reserve(n_conns);
+  for (size_t c = 0; c < n_conns; ++c) {
+    receivers.emplace_back([&, c] {
+      received[c].reserve(assigned[c]);
+      while (received[c].size() < assigned[c]) {
+        auto got = clients[c].RecvAny();
+        if (!got.ok()) {
+          break;  // timeout / close: missing responses show in `answered`
+        }
+        Received r;
+        r.corr = got->first;
+        r.status = got->second.status;
+        r.when = std::chrono::steady_clock::now();
+        received[c].push_back(r);
+      }
+    });
+  }
+
+  size_t transport_errors = 0;
+  for (size_t i = 0; i < total; ++i) {
+    std::this_thread::sleep_until(start + interval * i);
+    Status sent = clients[i % n_conns].Send(
+        i, variants[i % variants.size()]);
+    if (!sent.ok()) {
+      ++transport_errors;
+    }
+  }
+  for (std::thread& t : receivers) {
+    t.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  LoadRow row;
+  row.target_rps = target_rps;
+  row.offered = total;
+  row.transport_errors = transport_errors;
+  row.duration_s = std::chrono::duration<double>(end - start).count();
+  std::vector<double> ok_latency_ms;
+  for (size_t c = 0; c < n_conns; ++c) {
+    for (const Received& r : received[c]) {
+      ++row.answered;
+      switch (r.status) {
+        case WireStatus::kOk: {
+          ++row.ok;
+          auto scheduled = start + interval * r.corr;
+          ok_latency_ms.push_back(
+              std::chrono::duration<double, std::milli>(r.when - scheduled)
+                  .count());
+          break;
+        }
+        case WireStatus::kBusy:
+          ++row.busy;
+          break;
+        case WireStatus::kExpired:
+          ++row.expired;
+          break;
+        default:
+          ++row.error;
+          break;
+      }
+    }
+  }
+  row.achieved_rps =
+      row.duration_s > 0 ? static_cast<double>(row.answered) / row.duration_s
+                         : 0;
+  if (!ok_latency_ms.empty()) {
+    std::sort(ok_latency_ms.begin(), ok_latency_ms.end());
+    auto pct = [&](double p) {
+      size_t idx = static_cast<size_t>(p * (ok_latency_ms.size() - 1) + 0.5);
+      return ok_latency_ms[idx];
+    };
+    row.p50_ms = pct(0.50);
+    row.p95_ms = pct(0.95);
+    row.p99_ms = pct(0.99);
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, bool smoke, const FidelityRow& fid,
+               const std::vector<LoadRow>& load, const FrontendStats& stats,
+               bool gates_ok) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"serving_frontend\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"gates_ok\": %s,\n", gates_ok ? "true" : "false");
+  std::fprintf(f,
+               "  \"wire_fidelity\": {\"requests\": %zu, "
+               "\"bitwise_identical\": %s, \"digest_echoed\": %s, "
+               "\"pinned_ok\": %s},\n",
+               fid.requests, fid.bitwise_identical ? "true" : "false",
+               fid.digest_echoed ? "true" : "false",
+               fid.pinned_ok ? "true" : "false");
+  std::fprintf(f, "  \"open_loop\": [\n");
+  for (size_t i = 0; i < load.size(); ++i) {
+    const LoadRow& r = load[i];
+    std::fprintf(
+        f,
+        "    {\"target_rps\": %.0f, \"offered\": %zu, \"answered\": %zu, "
+        "\"ok\": %zu, \"busy\": %zu, \"expired\": %zu, \"error\": %zu, "
+        "\"transport_errors\": %zu, \"achieved_rps\": %.1f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"duration_s\": %.2f}%s\n",
+        r.target_rps, r.offered, r.answered, r.ok, r.busy, r.expired,
+        r.error, r.transport_errors, r.achieved_rps, r.p50_ms, r.p95_ms,
+        r.p99_ms, r.duration_s, i + 1 < load.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"frontend\": {\"accepted\": %llu, \"frames_in\": %llu, "
+               "\"frames_out\": %llu, \"bytes_in\": %llu, "
+               "\"bytes_out\": %llu, \"requests_admitted\": %llu, "
+               "\"paused_reads\": %llu, \"decode_errors\": %llu, "
+               "\"responses_dropped\": %llu}\n",
+               static_cast<unsigned long long>(stats.accepted),
+               static_cast<unsigned long long>(stats.frames_in),
+               static_cast<unsigned long long>(stats.frames_out),
+               static_cast<unsigned long long>(stats.bytes_in),
+               static_cast<unsigned long long>(stats.bytes_out),
+               static_cast<unsigned long long>(stats.requests_admitted),
+               static_cast<unsigned long long>(stats.paused_reads),
+               static_cast<unsigned long long>(stats.decode_errors),
+               static_cast<unsigned long long>(stats.responses_dropped));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  NetworkDef net = BuildMnist();
+  auto recorded = RecordOnce(net);
+  if (!recorded.ok()) {
+    std::fprintf(stderr, "record failed: %s\n",
+                 recorded.status().ToString().c_str());
+    return 1;
+  }
+  RecordingStore store(recorded->session_key);
+  if (!store.Install(recorded->signed_recording).ok()) {
+    std::fprintf(stderr, "store install failed\n");
+    return 1;
+  }
+
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  ReplayService service(&store, config);
+  auto digest = service.Preload(net.name);
+  if (!digest.ok() || !service.Start().ok()) {
+    std::fprintf(stderr, "service start failed\n");
+    return 1;
+  }
+  ServingFrontend frontend(&service, FrontendConfig{});
+  if (!frontend.Start().ok()) {
+    std::fprintf(stderr, "frontend start failed\n");
+    return 1;
+  }
+  std::printf("serving %s on 127.0.0.1:%u\n", net.name.c_str(),
+              frontend.port());
+
+  bool gates_ok = true;
+  auto fidelity = RunFidelity(&service, frontend.port(), net, *digest);
+  if (!fidelity.ok()) {
+    std::fprintf(stderr, "fidelity section failed: %s\n",
+                 fidelity.status().ToString().c_str());
+    return 1;
+  }
+  if (!fidelity->bitwise_identical || !fidelity->digest_echoed ||
+      !fidelity->pinned_ok) {
+    std::fprintf(stderr,
+                 "GATE FAILURE: wire fidelity (bitwise=%d digest=%d "
+                 "pinned=%d)\n",
+                 fidelity->bitwise_identical, fidelity->digest_echoed,
+                 fidelity->pinned_ok);
+    gates_ok = false;
+  }
+  std::printf("wire fidelity: %zu requests, bitwise %s, digest echo %s, "
+              "pin %s\n",
+              fidelity->requests,
+              fidelity->bitwise_identical ? "ok" : "FAIL",
+              fidelity->digest_echoed ? "ok" : "FAIL",
+              fidelity->pinned_ok ? "ok" : "FAIL");
+
+  std::vector<double> rates =
+      smoke ? std::vector<double>{25, 100} : std::vector<double>{25, 100, 400};
+  double duration_s = smoke ? 1.0 : 2.5;
+  std::vector<LoadRow> load;
+  for (double rps : rates) {
+    auto row = RunLoad(frontend.port(), net, rps, duration_s, 4);
+    if (!row.ok()) {
+      std::fprintf(stderr, "load at %.0f rps failed: %s\n", rps,
+                   row.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%6.0f rps offered -> %zu/%zu answered (ok %zu, busy %zu, "
+                "expired %zu, error %zu)  p50 %.2f ms  p95 %.2f ms  "
+                "p99 %.2f ms\n",
+                row->target_rps, row->answered, row->offered, row->ok,
+                row->busy, row->expired, row->error, row->p50_ms,
+                row->p95_ms, row->p99_ms);
+    // Every offered request must get an answer (possibly BUSY/EXPIRED —
+    // but never silence), and the server must do real work at every rate.
+    if (row->answered != row->offered || row->ok == 0 ||
+        row->transport_errors != 0) {
+      std::fprintf(stderr,
+                   "GATE FAILURE at %.0f rps: answered %zu/%zu, ok %zu, "
+                   "transport errors %zu\n",
+                   row->target_rps, row->answered, row->offered, row->ok,
+                   row->transport_errors);
+      gates_ok = false;
+    }
+    load.push_back(*row);
+  }
+
+  FrontendStats stats = frontend.Stats();
+  frontend.Shutdown();
+  service.Stop();
+  WriteJson(out_path, smoke, *fidelity, load, stats, gates_ok);
+  return gates_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace grt
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_serving_frontend.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out <path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  return grt::Run(smoke, out);
+}

@@ -6,14 +6,17 @@
 #      warm plan-based replay ever applies at least as many memory bytes
 #      as the interpreter, or diverges from it bitwise; --obs-gate fails
 #      if running with metrics + tracing enabled is more than 5% slower
-#      than running with them off
+#      than running with them off; bench/serving_frontend --smoke fails
+#      if TCP-served outputs diverge bitwise from in-process replay or
+#      the open-loop load points drop/garble any response
 #   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest,
 #      which includes the footprint soundness sweep
 #      (footprint_soundness_test: static footprint ⊇ observed writes on
 #      every example network and chaos schedule) — the sweep's raw
 #      physical-write observers are exactly the code ASan should watch
 #   4. TSan build (-DGRT_SANITIZE=thread) + the concurrency suites: the
-#      serving engine (src/serve, including the shared device pool), the
+#      serving engine (src/serve, including the shared device pool and
+#      the epoll TCP front-end's multi-connection suite), the
 #      observability layer (src/obs, which every hot layer now calls from
 #      worker threads); any reported race fails the gate even when the
 #      assertions all pass
@@ -58,6 +61,11 @@ trap 'rm -f "${SMOKE_JSON}"' EXIT
 build-ci/bench/replay_serving --smoke --out "${SMOKE_JSON}"
 echo "=== pass 2/5: observability overhead gate ==="
 build-ci/bench/replay_serving --obs-gate
+echo "=== pass 2/5: serving front-end perf smoke gate ==="
+cmake --build build-ci -j "${JOBS}" --target serving_frontend
+FRONTEND_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}"' EXIT
+build-ci/bench/serving_frontend --smoke --out "${FRONTEND_JSON}"
 
 run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
   -DGRT_SANITIZE=address,undefined
@@ -68,11 +76,12 @@ run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
 echo "=== pass 4/5: tsan concurrency gate (serve + obs) ==="
 cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}" --target service_test pool_test \
-  obs_concurrency_test
+  frontend_test obs_concurrency_test
 TSAN_LOG="$(mktemp)"
-trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}"' EXIT
 build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
 build-ci-tsan/tests/serve/pool_test 2>&1 | tee -a "${TSAN_LOG}"
+build-ci-tsan/tests/serve/frontend_test 2>&1 | tee -a "${TSAN_LOG}"
 build-ci-tsan/tests/obs/obs_concurrency_test 2>&1 | tee -a "${TSAN_LOG}"
 if grep -E 'WARNING: ThreadSanitizer' "${TSAN_LOG}" >/dev/null; then
   echo "=== pass 4/5: ThreadSanitizer reported races — failing ===" >&2
@@ -83,7 +92,7 @@ fi
 # treat any diagnostic line as a gate failure so new warnings can't land.
 echo "=== pass 5/5: clang-tidy lint gate ==="
 TIDY_LOG="$(mktemp)"
-trap 'rm -f "${SMOKE_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
 scripts/run_clang_tidy.sh build-ci src tools/grt_trace.cc 2>&1 | tee "${TIDY_LOG}"
 if grep -E 'warning:|error:' "${TIDY_LOG}" >/dev/null; then
   echo "=== pass 5/5: clang-tidy reported diagnostics — failing ===" >&2

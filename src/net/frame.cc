@@ -1,0 +1,279 @@
+#include "src/net/frame.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace grt {
+
+std::string_view FrameFaultName(FrameFault fault) {
+  switch (fault) {
+    case FrameFault::kNone:
+      return "none";
+    case FrameFault::kBadMagic:
+      return "bad-magic";
+    case FrameFault::kBadVersion:
+      return "bad-version";
+    case FrameFault::kBadType:
+      return "bad-type";
+    case FrameFault::kBadFlags:
+      return "bad-flags";
+    case FrameFault::kOversizedFrame:
+      return "oversized-frame";
+    case FrameFault::kTruncatedStream:
+      return "truncated-stream";
+  }
+  return "unknown";
+}
+
+std::string_view WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kBadRequest:
+      return "BAD_REQUEST";
+    case WireStatus::kUnknownWorkload:
+      return "UNKNOWN_WORKLOAD";
+    case WireStatus::kUnknownDigest:
+      return "UNKNOWN_DIGEST";
+    case WireStatus::kBusy:
+      return "BUSY";
+    case WireStatus::kExpired:
+      return "EXPIRED";
+    case WireStatus::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireStatus::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+Bytes EncodeFrame(const Frame& frame) {
+  ByteWriter w;
+  w.Reserve(kFrameHeaderBytes + frame.payload.size());
+  w.PutU32(kFrameMagic);
+  w.PutU16(kFrameVersion);
+  w.PutU8(static_cast<uint8_t>(frame.type));
+  w.PutU8(0);  // flags, reserved
+  w.PutU32(static_cast<uint32_t>(frame.payload.size()));
+  w.PutU64(frame.correlation_id);
+  w.PutRaw(frame.payload);
+  return w.Take();
+}
+
+Status FrameDecoder::Poison(FrameFault fault, std::string message) {
+  fault_ = fault;
+  return InvalidArgument(std::move(message));
+}
+
+Status FrameDecoder::Append(const uint8_t* data, size_t n) {
+  if (poisoned()) {
+    return InvalidArgument(std::string("frame stream poisoned: ") +
+                           std::string(FrameFaultName(fault_)));
+  }
+  size_t pos = 0;
+  while (pos < n) {
+    if (!header_valid_) {
+      // Accumulate exactly one header's worth, then validate before a
+      // single payload byte is accepted.
+      size_t want = kFrameHeaderBytes - partial_.size();
+      size_t take = std::min(want, n - pos);
+      partial_.insert(partial_.end(), data + pos, data + pos + take);
+      pos += take;
+      if (partial_.size() < kFrameHeaderBytes) {
+        return OkStatus();
+      }
+      ByteReader r(partial_);
+      uint32_t magic = *r.ReadU32();
+      uint16_t version = *r.ReadU16();
+      uint8_t type = *r.ReadU8();
+      uint8_t flags = *r.ReadU8();
+      uint32_t payload_len = *r.ReadU32();
+      uint64_t corr = *r.ReadU64();
+      if (magic != kFrameMagic) {
+        return Poison(FrameFault::kBadMagic, "frame magic mismatch");
+      }
+      if (version != kFrameVersion) {
+        return Poison(FrameFault::kBadVersion,
+                      "unsupported frame version " + std::to_string(version));
+      }
+      if (type != static_cast<uint8_t>(WireFrameType::kRequest) &&
+          type != static_cast<uint8_t>(WireFrameType::kResponse)) {
+        return Poison(FrameFault::kBadType,
+                      "unknown frame type " + std::to_string(type));
+      }
+      if (flags != 0) {
+        return Poison(FrameFault::kBadFlags, "reserved frame flags set");
+      }
+      if (payload_len > max_payload_) {
+        return Poison(FrameFault::kOversizedFrame,
+                      "declared payload " + std::to_string(payload_len) +
+                          " exceeds limit " + std::to_string(max_payload_));
+      }
+      header_valid_ = true;
+      payload_len_ = payload_len;
+      in_progress_.type = static_cast<WireFrameType>(type);
+      in_progress_.correlation_id = corr;
+      continue;
+    }
+    size_t have = partial_.size() - kFrameHeaderBytes;
+    size_t take = std::min(payload_len_ - have, n - pos);
+    partial_.insert(partial_.end(), data + pos, data + pos + take);
+    pos += take;
+    if (partial_.size() - kFrameHeaderBytes == payload_len_) {
+      in_progress_.payload.assign(partial_.begin() + kFrameHeaderBytes,
+                                  partial_.end());
+      decoded_.push_back(std::move(in_progress_));
+      in_progress_ = Frame{};
+      partial_.clear();
+      header_valid_ = false;
+      payload_len_ = 0;
+    }
+  }
+  return OkStatus();
+}
+
+std::optional<Frame> FrameDecoder::Next() {
+  if (decoded_.empty()) {
+    return std::nullopt;
+  }
+  Frame frame = std::move(decoded_.front());
+  decoded_.pop_front();
+  return frame;
+}
+
+Status FrameDecoder::FinishStream() {
+  if (poisoned()) {
+    return InvalidArgument(std::string("frame stream poisoned: ") +
+                           std::string(FrameFaultName(fault_)));
+  }
+  if (!partial_.empty()) {
+    return Poison(FrameFault::kTruncatedStream,
+                  "stream ended mid-frame with " +
+                      std::to_string(partial_.size()) + " bytes buffered");
+  }
+  return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Payloads.
+
+namespace {
+
+bool DigestIsZero(const Sha256Digest& d) {
+  for (uint8_t b : d) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void PutDigest(ByteWriter* w, const Sha256Digest& d) {
+  w->PutRaw(d.data(), d.size());
+}
+
+Result<Sha256Digest> ReadDigest(ByteReader* r) {
+  Sha256Digest d{};
+  GRT_RETURN_IF_ERROR(r->ReadRaw(d.data(), d.size()));
+  return d;
+}
+
+// Float vectors are the bulk of every payload; length is validated
+// against the bytes actually present before any allocation, so a
+// malicious count cannot force a giant resize.
+void PutF32Vector(ByteWriter* w, const std::vector<float>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  if (!v.empty()) {
+    w->PutRaw(reinterpret_cast<const uint8_t*>(v.data()),
+              v.size() * sizeof(float));
+  }
+}
+
+Result<std::vector<float>> ReadF32Vector(ByteReader* r) {
+  GRT_ASSIGN_OR_RETURN(uint32_t count, r->ReadU32());
+  if (static_cast<size_t>(count) * sizeof(float) > r->remaining()) {
+    return OutOfRange("float vector length " + std::to_string(count) +
+                      " overruns payload");
+  }
+  std::vector<float> v(count);
+  if (count > 0) {
+    GRT_RETURN_IF_ERROR(r->ReadRaw(reinterpret_cast<uint8_t*>(v.data()),
+                                   static_cast<size_t>(count) *
+                                       sizeof(float)));
+  }
+  return v;
+}
+
+}  // namespace
+
+bool WireRequest::has_digest() const { return !DigestIsZero(digest); }
+
+Bytes EncodeWireRequest(const WireRequest& request) {
+  ByteWriter w;
+  w.PutString(request.workload);
+  PutDigest(&w, request.digest);
+  w.PutString(request.output_tensor);
+  w.PutI64(request.deadline_ms);
+  w.PutU32(static_cast<uint32_t>(request.tensors.size()));
+  for (const auto& [name, data] : request.tensors) {
+    w.PutString(name);
+    PutF32Vector(&w, data);
+  }
+  return w.Take();
+}
+
+Result<WireRequest> DecodeWireRequest(const Bytes& payload) {
+  ByteReader r(payload);
+  WireRequest request;
+  GRT_ASSIGN_OR_RETURN(request.workload, r.ReadString());
+  GRT_ASSIGN_OR_RETURN(request.digest, ReadDigest(&r));
+  GRT_ASSIGN_OR_RETURN(request.output_tensor, r.ReadString());
+  GRT_ASSIGN_OR_RETURN(request.deadline_ms, r.ReadI64());
+  GRT_ASSIGN_OR_RETURN(uint32_t n_tensors, r.ReadU32());
+  for (uint32_t i = 0; i < n_tensors; ++i) {
+    GRT_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    GRT_ASSIGN_OR_RETURN(std::vector<float> data, ReadF32Vector(&r));
+    if (!request.tensors.emplace(std::move(name), std::move(data)).second) {
+      return InvalidArgument("duplicate tensor name in request");
+    }
+  }
+  if (!r.Done()) {
+    return InvalidArgument("trailing bytes after request payload");
+  }
+  if (request.workload.empty()) {
+    return InvalidArgument("empty workload name");
+  }
+  return request;
+}
+
+Bytes EncodeWireResponse(const WireResponse& response) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(response.status));
+  w.PutString(response.message);
+  PutDigest(&w, response.digest);
+  PutF32Vector(&w, response.output);
+  w.PutI64(response.queue_wait_ns);
+  w.PutI64(response.service_ns);
+  return w.Take();
+}
+
+Result<WireResponse> DecodeWireResponse(const Bytes& payload) {
+  ByteReader r(payload);
+  WireResponse response;
+  GRT_ASSIGN_OR_RETURN(uint8_t status, r.ReadU8());
+  if (status > static_cast<uint8_t>(WireStatus::kError)) {
+    return InvalidArgument("unknown wire status " + std::to_string(status));
+  }
+  response.status = static_cast<WireStatus>(status);
+  GRT_ASSIGN_OR_RETURN(response.message, r.ReadString());
+  GRT_ASSIGN_OR_RETURN(response.digest, ReadDigest(&r));
+  GRT_ASSIGN_OR_RETURN(response.output, ReadF32Vector(&r));
+  GRT_ASSIGN_OR_RETURN(response.queue_wait_ns, r.ReadI64());
+  GRT_ASSIGN_OR_RETURN(response.service_ns, r.ReadI64());
+  if (!r.Done()) {
+    return InvalidArgument("trailing bytes after response payload");
+  }
+  return response;
+}
+
+}  // namespace grt

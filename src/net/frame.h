@@ -1,0 +1,177 @@
+// Wire frames for the replay serving front-end (DESIGN.md §6g).
+//
+// The serving surface is deliberately tiny — GPUReplay's security story is
+// that the TEE-facing stack has almost no code to attack, and the network
+// protocol inherits the same discipline: one fixed-layout frame header, two
+// frame types, and length-prefixed little-endian payloads built from the
+// same ByteWriter/ByteReader primitives that serialize recordings. Every
+// field a remote peer controls is bounds-checked before a byte of payload
+// is buffered, and a malformed header poisons the stream permanently (a
+// framing error means byte positions can no longer be trusted — there is
+// no resync heuristic to exploit).
+//
+// Frame layout (little-endian, kFrameHeaderBytes total):
+//
+//   offset  size  field
+//        0     4  magic       0x47525453 ("GRTS")
+//        4     2  version     kFrameVersion
+//        6     1  type        WireFrameType
+//        7     1  flags       reserved, must be 0
+//        8     4  payload_len bytes that follow the header
+//       12     8  correlation id (echoed verbatim in the response)
+//
+// A connection carries many interleaved request/response pairs; the
+// correlation id is the multiplexing key. Responses may arrive in any
+// order relative to submission (workers finish when they finish).
+#ifndef GRT_SRC_NET_FRAME_H_
+#define GRT_SRC_NET_FRAME_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/sha256.h"
+#include "src/common/status.h"
+
+namespace grt {
+
+inline constexpr uint32_t kFrameMagic = 0x47525453;  // "GRTS"
+inline constexpr uint16_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+// Default per-frame payload bound (decoder refuses larger declarations).
+inline constexpr size_t kDefaultMaxFramePayload = 8u << 20;
+
+enum class WireFrameType : uint8_t {
+  kRequest = 1,   // client -> server: WireRequest payload
+  kResponse = 2,  // server -> client: WireResponse payload
+};
+
+// Typed decoder faults — the protocol-corpus tests assert on these, and
+// the frontend maps them into its final error reply before closing.
+enum class FrameFault : uint8_t {
+  kNone = 0,
+  kBadMagic,         // first 4 bytes are not kFrameMagic
+  kBadVersion,       // version field unknown
+  kBadType,          // type byte is not a known WireFrameType
+  kBadFlags,         // reserved flags set
+  kOversizedFrame,   // declared payload_len exceeds the decoder limit
+  kTruncatedStream,  // EOF landed mid-frame (FinishStream)
+};
+
+std::string_view FrameFaultName(FrameFault fault);
+
+struct Frame {
+  WireFrameType type = WireFrameType::kRequest;
+  uint64_t correlation_id = 0;
+  Bytes payload;
+};
+
+// Serializes header + payload.
+Bytes EncodeFrame(const Frame& frame);
+
+// Incremental frame decoder over a TCP byte stream. Bytes arrive in
+// arbitrary chunks (the dribble tests feed 1-7 bytes at a time); complete
+// frames pop out of Next() in stream order. The header is validated as
+// soon as its 20 bytes are buffered — before any payload byte is accepted
+// — so an attacker declaring a 4 GB payload is rejected having cost
+// kFrameHeaderBytes of memory, not 4 GB. After any fault the decoder
+// refuses further input: framing errors are not recoverable on a byte
+// stream, the connection must die.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload_bytes)
+      : max_payload_(max_payload_bytes) {}
+
+  // Buffers `n` bytes and parses as many complete frames as they finish.
+  // On a malformed header returns the typed error (and fault() is set);
+  // frames already completed remain retrievable via Next().
+  Status Append(const uint8_t* data, size_t n);
+  Status Append(const Bytes& b) { return Append(b.data(), b.size()); }
+
+  // Next complete frame in stream order, or nullopt when more bytes are
+  // needed.
+  std::optional<Frame> Next();
+
+  // Marks end-of-stream: an EOF with a partial frame buffered is a
+  // truncated stream (mid-frame disconnect), a typed fault.
+  Status FinishStream();
+
+  FrameFault fault() const { return fault_; }
+  bool poisoned() const { return fault_ != FrameFault::kNone; }
+  // Bytes buffered toward the frame currently being decoded. Bounded by
+  // kFrameHeaderBytes + max_payload_bytes regardless of sender behavior.
+  size_t partial_bytes() const { return partial_.size(); }
+  size_t pending_frames() const { return decoded_.size(); }
+
+ private:
+  Status Poison(FrameFault fault, std::string message);
+
+  size_t max_payload_;
+  Bytes partial_;                // current frame's bytes (header + payload)
+  bool header_valid_ = false;    // partial_'s header parsed and validated
+  Frame in_progress_;            // type/corr id once header_valid_
+  size_t payload_len_ = 0;       // declared payload length once header_valid_
+  std::deque<Frame> decoded_;
+  FrameFault fault_ = FrameFault::kNone;
+};
+
+// ---------------------------------------------------------------------------
+// Payloads.
+
+// Wire status of a served request — the protocol-level verdict a remote
+// client branches on. Richer detail rides in `message` (free text, never
+// required for correct client behavior).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kBadRequest = 1,       // frame or payload malformed / duplicate corr id
+  kUnknownWorkload = 2,  // store has no recording for the workload
+  kUnknownDigest = 3,    // client pinned a digest the server cannot serve
+  kBusy = 4,             // admission queue full / per-connection cap hit
+  kExpired = 5,          // deadline passed before a worker replayed it
+  kShuttingDown = 6,     // server draining; request was not admitted
+  kError = 7,            // replay-side failure (stage/replay/readback)
+};
+
+std::string_view WireStatusName(WireStatus status);
+
+// Request payload: which verified recording to replay, the input tensors
+// to stage, and how long the client is willing to wait. `digest`, when
+// nonzero, pins the exact signed recording the client expects (the
+// verify-once admission identity); the server refuses to silently serve
+// different bytes under the same workload name.
+struct WireRequest {
+  std::string workload;
+  Sha256Digest digest{};  // all-zero: serve whatever the store binds
+  std::string output_tensor;
+  int64_t deadline_ms = -1;  // admission deadline; negative: none
+  std::map<std::string, std::vector<float>> tensors;
+
+  bool has_digest() const;
+};
+
+Bytes EncodeWireRequest(const WireRequest& request);
+Result<WireRequest> DecodeWireRequest(const Bytes& payload);
+
+// Response payload. `digest` echoes the plan-cache identity actually
+// served (so unpinned clients can pin subsequent requests).
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+  Sha256Digest digest{};
+  std::vector<float> output;
+  int64_t queue_wait_ns = 0;
+  int64_t service_ns = 0;
+
+  bool ok() const { return status == WireStatus::kOk; }
+};
+
+Bytes EncodeWireResponse(const WireResponse& response);
+Result<WireResponse> DecodeWireResponse(const Bytes& payload);
+
+}  // namespace grt
+
+#endif  // GRT_SRC_NET_FRAME_H_

@@ -1,0 +1,187 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace grt {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+ReplayClient::~ReplayClient() { Close(); }
+
+ReplayClient::ReplayClient(ReplayClient&& other) noexcept
+    : fd_(other.fd_),
+      decoder_(std::move(other.decoder_)),
+      stash_(std::move(other.stash_)) {
+  other.fd_ = -1;
+}
+
+ReplayClient& ReplayClient::operator=(ReplayClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    decoder_ = std::move(other.decoder_);
+    stash_ = std::move(other.stash_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status ReplayClient::Connect(const std::string& host, uint16_t port,
+                             int64_t recv_timeout_ms, int rcvbuf) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Errno("socket");
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (rcvbuf > 0) {
+    // Must precede connect() so the advertised window honors it.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  if (recv_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("connect " + host + ":" + std::to_string(port));
+    Close();
+    return status;
+  }
+  decoder_ = FrameDecoder(kDefaultMaxFramePayload);
+  stash_.clear();
+  return OkStatus();
+}
+
+void ReplayClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ReplayClient::ShutdownWrite() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_WR);
+  }
+}
+
+Status ReplayClient::Send(uint64_t correlation_id,
+                          const WireRequest& request) {
+  Frame frame;
+  frame.type = WireFrameType::kRequest;
+  frame.correlation_id = correlation_id;
+  frame.payload = EncodeWireRequest(request);
+  return SendBytes(EncodeFrame(frame));
+}
+
+Status ReplayClient::SendBytes(const Bytes& bytes) {
+  if (fd_ < 0) {
+    return FailedPrecondition("client not connected");
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return OkStatus();
+}
+
+Result<std::pair<uint64_t, WireResponse>> ReplayClient::RecvAny() {
+  if (!stash_.empty()) {
+    auto it = stash_.begin();
+    std::pair<uint64_t, WireResponse> out{it->first, std::move(it->second)};
+    stash_.erase(it);
+    return out;
+  }
+  return RecvFromWire();
+}
+
+Result<std::pair<uint64_t, WireResponse>> ReplayClient::RecvFromWire() {
+  if (fd_ < 0) {
+    return FailedPrecondition("client not connected");
+  }
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    if (std::optional<Frame> frame = decoder_.Next()) {
+      if (frame->type != WireFrameType::kResponse) {
+        return InvalidArgument("server sent a non-response frame");
+      }
+      GRT_ASSIGN_OR_RETURN(WireResponse response,
+                           DecodeWireResponse(frame->payload));
+      return std::pair<uint64_t, WireResponse>{frame->correlation_id,
+                                               std::move(response)};
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Internal("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Timeout("receive timed out waiting for a response");
+      }
+      return Errno("recv");
+    }
+    GRT_RETURN_IF_ERROR(decoder_.Append(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<WireResponse> ReplayClient::Recv(uint64_t correlation_id) {
+  auto it = stash_.find(correlation_id);
+  if (it != stash_.end()) {
+    WireResponse out = std::move(it->second);
+    stash_.erase(it);
+    return out;
+  }
+  for (;;) {
+    // Read the wire directly: going through RecvAny() would pop the very
+    // responses this loop just stashed and spin forever.
+    GRT_ASSIGN_OR_RETURN(auto pair, RecvFromWire());
+    if (pair.first == correlation_id) {
+      return std::move(pair.second);
+    }
+    stash_.emplace(pair.first, std::move(pair.second));
+  }
+}
+
+Result<WireResponse> ReplayClient::Call(uint64_t correlation_id,
+                                        const WireRequest& request) {
+  GRT_RETURN_IF_ERROR(Send(correlation_id, request));
+  return Recv(correlation_id);
+}
+
+}  // namespace grt

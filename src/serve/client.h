@@ -1,0 +1,71 @@
+// Blocking TCP client for the replay wire protocol (src/net/frame.h).
+//
+// Deliberately simple — one socket, blocking syscalls, incremental
+// FrameDecoder on the receive path — so tests and tools exercise the
+// server's event loop without needing one of their own. Out-of-order
+// responses (the server multiplexes many in-flight requests per
+// connection) are stashed by correlation id, so Call() works even when
+// other requests' replies arrive first.
+#ifndef GRT_SRC_SERVE_CLIENT_H_
+#define GRT_SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/common/status.h"
+#include "src/net/frame.h"
+
+namespace grt {
+
+class ReplayClient {
+ public:
+  ReplayClient() = default;
+  ~ReplayClient();
+
+  ReplayClient(const ReplayClient&) = delete;
+  ReplayClient& operator=(const ReplayClient&) = delete;
+  ReplayClient(ReplayClient&& other) noexcept;
+  ReplayClient& operator=(ReplayClient&& other) noexcept;
+
+  // `recv_timeout_ms` bounds every blocking receive; expiry surfaces as
+  // StatusCode::kTimeout (never a hang). <= 0 means block forever.
+  // `rcvbuf` shrinks the kernel receive buffer (0 = system default) —
+  // the backpressure tests use it to pin the peer's effective window.
+  Status Connect(const std::string& host, uint16_t port,
+                 int64_t recv_timeout_ms = 5000, int rcvbuf = 0);
+  void Close();
+  // Half-close: no more requests, but responses still flow. Lets tests
+  // drive the server's EOF path deterministically.
+  void ShutdownWrite();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Sends one request frame (blocking until fully written).
+  Status Send(uint64_t correlation_id, const WireRequest& request);
+  // Raw-byte escape hatch for protocol tests: writes exactly `bytes`.
+  Status SendBytes(const Bytes& bytes);
+
+  // Receives the next response frame regardless of correlation id.
+  Result<std::pair<uint64_t, WireResponse>> RecvAny();
+  // Receives until the response for `correlation_id` arrives; responses
+  // for other ids are stashed and returned by later Recv/Call calls.
+  Result<WireResponse> Recv(uint64_t correlation_id);
+  // Send + Recv for one request.
+  Result<WireResponse> Call(uint64_t correlation_id,
+                            const WireRequest& request);
+
+ private:
+  // Blocking read of the next response frame off the socket (never
+  // consults the stash — Recv()'s scan loop depends on that).
+  Result<std::pair<uint64_t, WireResponse>> RecvFromWire();
+
+  int fd_ = -1;
+  FrameDecoder decoder_{kDefaultMaxFramePayload};
+  std::map<uint64_t, WireResponse> stash_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SERVE_CLIENT_H_

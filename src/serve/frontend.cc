@@ -1,0 +1,720 @@
+#include "src/serve/frontend.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace grt {
+
+namespace {
+
+// epoll user-data ids for the two non-connection fds.
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kEventId = 1;
+
+// Per-wakeup read budget: a firehose sender cannot starve other
+// connections; level-triggered epoll re-arms whatever is left.
+constexpr int kReadRoundsPerWake = 4;
+constexpr size_t kReadChunk = 64 * 1024;
+
+WireStatus MapStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kBusy;
+    case StatusCode::kTimeout:
+      return WireStatus::kExpired;
+    case StatusCode::kNotFound:
+      return WireStatus::kUnknownWorkload;
+    case StatusCode::kFailedPrecondition:
+      return WireStatus::kShuttingDown;
+    default:
+      return WireStatus::kError;
+  }
+}
+
+Status Errno(const std::string& what) {
+  return Internal(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct ServingFrontend::Conn {
+  Conn(uint64_t id_in, int fd_in, size_t max_payload)
+      : id(id_in), fd(fd_in), decoder(max_payload) {}
+
+  uint64_t id;
+  int fd;
+  FrameDecoder decoder;
+  Bytes outbuf;
+  size_t out_off = 0;  // bytes of outbuf already written
+  std::set<uint64_t> inflight;  // correlation ids at the service
+  bool paused = false;   // reads off: write buffer above the watermark
+  bool closing = false;  // no more reads; close once flushed + drained
+  uint32_t last_events = 0xffffffff;
+
+  size_t pending_out() const { return outbuf.size() - out_off; }
+};
+
+ServingFrontend::CompletionQueue::~CompletionQueue() {
+  if (event_fd >= 0) {
+    ::close(event_fd);
+  }
+}
+
+void ServingFrontend::CompletionQueue::Push(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    items.push_back(std::move(completion));
+  }
+  uint64_t one = 1;
+  // A full eventfd counter (impossible here) or a racing close only cost
+  // the wakeup; the queue itself is intact.
+  ssize_t ignored = ::write(event_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+std::vector<ServingFrontend::Completion>
+ServingFrontend::CompletionQueue::Drain() {
+  std::lock_guard<std::mutex> lock(mu);
+  std::vector<Completion> out;
+  out.swap(items);
+  return out;
+}
+
+ServingFrontend::ServingFrontend(ReplayService* service, FrontendConfig config)
+    : service_(service), config_(std::move(config)) {
+  if (config_.max_frame_payload < 1) {
+    config_.max_frame_payload = 1;
+  }
+  if (config_.write_hard_cap < config_.write_high_watermark) {
+    config_.write_hard_cap = config_.write_high_watermark;
+  }
+  if (config_.max_inflight_per_conn < 1) {
+    config_.max_inflight_per_conn = 1;
+  }
+}
+
+ServingFrontend::~ServingFrontend() { Shutdown(); }
+
+Status ServingFrontend::Start() {
+  if (started_.exchange(true)) {
+    return FailedPrecondition("ServingFrontend already started");
+  }
+
+  completions_ = std::make_shared<CompletionQueue>();
+  completions_->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (completions_->event_fd < 0) {
+    return Errno("eventfd");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Errno("socket");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return InvalidArgument("bad bind address: " + config_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind " + config_.bind_address + ":" +
+                 std::to_string(config_.port));
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Errno("getsockname");
+  }
+  port_.store(ntohs(addr.sin_port), std::memory_order_relaxed);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Errno("epoll_create1");
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Errno("epoll_ctl listen");
+  }
+  listen_registered_ = true;
+  ev.events = EPOLLIN;
+  ev.data.u64 = kEventId;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, completions_->event_fd, &ev) !=
+      0) {
+    return Errno("epoll_ctl eventfd");
+  }
+
+  loop_thread_ = std::thread([this] { Loop(); });
+  return OkStatus();
+}
+
+void ServingFrontend::Shutdown() {
+  if (!started_.load(std::memory_order_relaxed) ||
+      stopped_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (!draining_.exchange(true)) {
+    if (completions_ != nullptr && completions_->event_fd >= 0) {
+      uint64_t one = 1;
+      ssize_t ignored =
+          ::write(completions_->event_fd, &one, sizeof(one));
+      (void)ignored;
+    }
+  }
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  stopped_.store(true, std::memory_order_relaxed);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (epoll_fd_ >= 0) {
+    ::close(epoll_fd_);
+    epoll_fd_ = -1;
+  }
+  // completions_ (and its eventfd) stays alive through the shared_ptr as
+  // long as any service callback still references it.
+}
+
+FrontendStats ServingFrontend::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+bool ServingFrontend::ConnIdle(const Conn& conn) const {
+  return conn.inflight.empty() && conn.pending_out() == 0 &&
+         conn.decoder.pending_frames() == 0;
+}
+
+void ServingFrontend::Loop() {
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    int timeout_ms = drain_started_ ? 20 : -1;
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // epoll fd gone: nothing recoverable
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t id = events[i].data.u64;
+      uint32_t mask = events[i].events;
+      if (id == kListenId) {
+        HandleAccept();
+        continue;
+      }
+      if (id == kEventId) {
+        uint64_t counter = 0;
+        ssize_t ignored =
+            ::read(completions_->event_fd, &counter, sizeof(counter));
+        (void)ignored;
+        HandleCompletions();
+        continue;
+      }
+      auto it = conns_.find(id);
+      if (it == conns_.end()) {
+        continue;  // closed earlier in this batch
+      }
+      Conn* conn = it->second.get();
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0 && (mask & EPOLLIN) == 0) {
+        CloseConn(id, "hangup");
+        continue;
+      }
+      if ((mask & EPOLLOUT) != 0) {
+        FlushWrites(conn);
+        if (conns_.find(id) == conns_.end()) {
+          continue;
+        }
+      }
+      if ((mask & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    if (draining_.load(std::memory_order_relaxed) && !drain_started_) {
+      // Stop accepting first; the listen socket closing is the barrier
+      // that makes "admitted" a closed set.
+      if (listen_registered_) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        listen_registered_ = false;
+      }
+      drain_started_ = true;
+      drain_deadline_ = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(config_.drain_timeout_ms);
+    }
+    if (drain_started_) {
+      DrainTick();
+      if (conns_.empty()) {
+        return;
+      }
+    }
+  }
+}
+
+void ServingFrontend::DrainTick() {
+  std::vector<uint64_t> idle;
+  for (const auto& [id, conn] : conns_) {
+    if (ConnIdle(*conn)) {
+      idle.push_back(id);
+    }
+  }
+  for (uint64_t id : idle) {
+    CloseConn(id, "drain");
+  }
+  if (!conns_.empty() &&
+      std::chrono::steady_clock::now() >= drain_deadline_) {
+    std::vector<uint64_t> all;
+    all.reserve(conns_.size());
+    for (const auto& [id, conn] : conns_) {
+      all.push_back(id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.drain_forced_closes += all.size();
+    }
+    for (uint64_t id : all) {
+      CloseConn(id, "drain-timeout");
+    }
+  }
+}
+
+void ServingFrontend::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      return;  // EAGAIN or a transient error; epoll re-arms
+    }
+    GRT_TRACE_SPAN("accept", "frontend");
+    if (draining_.load(std::memory_order_relaxed) ||
+        conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_connects;
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.so_sndbuf > 0) {
+      int v = config_.so_sndbuf;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+    }
+    uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Conn>(id, fd, config_.max_frame_payload);
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conn->last_events = EPOLLIN;
+    conns_.emplace(id, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accepted;
+      stats_.active_connections = conns_.size();
+    }
+    GRT_OBS_COUNT("frontend.accepted", 1);
+    GRT_OBS_GAUGE_SET("frontend.connections", conns_.size());
+  }
+}
+
+void ServingFrontend::HandleReadable(Conn* conn) {
+  uint8_t buf[kReadChunk];
+  for (int round = 0; round < kReadRoundsPerWake; ++round) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      // Peer EOF. A partial frame buffered at EOF is the mid-frame
+      // disconnect of the protocol corpus: a typed fault, counted, and
+      // the connection (with any state the frame might have built) goes
+      // away — never a half-applied request. A clean-boundary EOF is a
+      // half-close: requests already admitted still get their responses
+      // flushed before the connection dies.
+      Status fin = conn->decoder.FinishStream();
+      if (!fin.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.decode_errors;
+          ++stats_.truncated_streams;
+        }
+        CloseConn(conn->id, "eof-midframe");
+        return;
+      }
+      conn->closing = true;
+      if (ConnIdle(*conn)) {
+        CloseConn(conn->id, "eof");
+      } else {
+        UpdateReadInterest(conn);  // drop EPOLLIN: EOF would re-fire forever
+      }
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return;
+      }
+      CloseConn(conn->id, "recv-error");
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_in += static_cast<uint64_t>(n);
+    }
+    GRT_OBS_COUNT("frontend.bytes_in", static_cast<uint64_t>(n));
+    if (conn->closing) {
+      continue;  // draining the socket; bytes after a fault are discarded
+    }
+    {
+      GRT_TRACE_SPAN("decode", "frontend");
+      Status status = conn->decoder.Append(buf, static_cast<size_t>(n));
+      if (!status.ok()) {
+        // Frames completed before the fault still dispatch — their
+        // replies may even flush before the connection dies.
+        while (std::optional<Frame> frame = conn->decoder.Next()) {
+          HandleFrame(conn, std::move(*frame));
+          if (conns_.find(conn->id) == conns_.end()) {
+            return;
+          }
+        }
+        // Typed framing fault: report it on corr id 0 (the stream has no
+        // trustworthy frame boundary anymore), then write-flush and die.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.decode_errors;
+          if (conn->decoder.fault() == FrameFault::kOversizedFrame) {
+            ++stats_.oversized_disconnects;
+          }
+        }
+        GRT_OBS_COUNT("frontend.decode_errors", 1);
+        SendReply(conn, 0, WireStatus::kBadRequest,
+                  std::string(FrameFaultName(conn->decoder.fault())) + ": " +
+                      status.message());
+        conn->closing = true;
+        if (conns_.find(conn->id) == conns_.end()) {
+          return;  // SendReply's flush already closed it
+        }
+        UpdateReadInterest(conn);
+        if (ConnIdle(*conn)) {
+          CloseConn(conn->id, "decode-error");
+        }
+        return;
+      }
+      while (std::optional<Frame> frame = conn->decoder.Next()) {
+        HandleFrame(conn, std::move(*frame));
+        if (conns_.find(conn->id) == conns_.end()) {
+          return;  // a reply flush closed the connection
+        }
+      }
+    }
+    if (conn->paused || conn->closing) {
+      return;  // backpressure: leave the rest in the kernel buffer
+    }
+    if (n < static_cast<ssize_t>(sizeof(buf))) {
+      return;  // short read: socket drained
+    }
+  }
+}
+
+void ServingFrontend::HandleFrame(Conn* conn, Frame frame) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_in;
+  }
+  GRT_OBS_COUNT("frontend.frames_in", 1);
+  const uint64_t corr = frame.correlation_id;
+  if (frame.type != WireFrameType::kRequest) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+    }
+    SendReply(conn, corr, WireStatus::kBadRequest,
+              "only request frames flow client-to-server");
+    return;
+  }
+  Result<WireRequest> decoded = DecodeWireRequest(frame.payload);
+  if (!decoded.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+    }
+    SendReply(conn, corr, WireStatus::kBadRequest,
+              "bad request payload: " + decoded.status().message());
+    return;
+  }
+  WireRequest request = std::move(decoded).value();
+  if (draining_.load(std::memory_order_relaxed)) {
+    SendReply(conn, corr, WireStatus::kShuttingDown, "server draining");
+    return;
+  }
+  if (conn->inflight.count(corr) != 0) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.duplicate_corr_ids;
+      ++stats_.bad_requests;
+    }
+    SendReply(conn, corr, WireStatus::kBadRequest,
+              "correlation id " + std::to_string(corr) +
+                  " already in flight on this connection");
+    return;
+  }
+  if (conn->inflight.size() >= config_.max_inflight_per_conn) {
+    SendReply(conn, corr, WireStatus::kBusy,
+              "connection in-flight cap (" +
+                  std::to_string(config_.max_inflight_per_conn) +
+                  ") reached");
+    return;
+  }
+  if (request.has_digest()) {
+    // A pinned digest is checked before admission: the client asked for
+    // exact bytes, so a store that binds the workload to anything else
+    // must refuse rather than serve and let the client discover later.
+    Result<Sha256Digest> bound = service_->Preload(request.workload);
+    if (!bound.ok()) {
+      SendReply(conn, corr,
+                bound.status().code() == StatusCode::kNotFound
+                    ? WireStatus::kUnknownWorkload
+                    : WireStatus::kError,
+                bound.status().ToString());
+      return;
+    }
+    if (*bound != request.digest) {
+      SendReply(conn, corr, WireStatus::kUnknownDigest,
+                "pinned digest does not match the recording bound to '" +
+                    request.workload + "'");
+      return;
+    }
+  }
+
+  ReplayRequest replay;
+  replay.workload = std::move(request.workload);
+  replay.tensors = std::move(request.tensors);
+  replay.output_tensor = std::move(request.output_tensor);
+  replay.deadline_ms = request.deadline_ms;
+
+  conn->inflight.insert(corr);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.requests_admitted;
+  }
+  GRT_OBS_COUNT("frontend.requests_admitted", 1);
+  std::shared_ptr<CompletionQueue> cq = completions_;
+  const uint64_t conn_id = conn->id;
+  GRT_TRACE_SPAN("enqueue", "frontend");
+  service_->SubmitCallback(
+      std::move(replay), [cq, conn_id, corr](ReplayResponse response) {
+        // Worker thread: encode here so the loop thread only memcpys.
+        WireResponse wire;
+        wire.status = MapStatus(response.status);
+        if (!response.status.ok()) {
+          wire.message = response.status.ToString();
+        }
+        wire.digest = response.digest;
+        wire.output = std::move(response.output);
+        wire.queue_wait_ns = response.queue_wait_ns;
+        wire.service_ns = response.service_ns;
+        Completion completion;
+        completion.conn_id = conn_id;
+        completion.correlation_id = corr;
+        completion.status = wire.status;
+        Frame reply;
+        reply.type = WireFrameType::kResponse;
+        reply.correlation_id = corr;
+        reply.payload = EncodeWireResponse(wire);
+        completion.encoded_frame = EncodeFrame(reply);
+        cq->Push(std::move(completion));
+      });
+}
+
+void ServingFrontend::HandleCompletions() {
+  std::vector<Completion> batch = completions_->Drain();
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.responses_dropped;
+      continue;
+    }
+    Conn* conn = it->second.get();
+    conn->inflight.erase(completion.correlation_id);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.frames_out;
+      switch (completion.status) {
+        case WireStatus::kOk:
+          ++stats_.responses_ok;
+          break;
+        case WireStatus::kBusy:
+          ++stats_.responses_busy;
+          break;
+        case WireStatus::kExpired:
+          ++stats_.responses_expired;
+          break;
+        default:
+          ++stats_.responses_error;
+          break;
+      }
+    }
+    GRT_OBS_COUNT("frontend.frames_out", 1);
+    conn->outbuf.insert(conn->outbuf.end(), completion.encoded_frame.begin(),
+                        completion.encoded_frame.end());
+    FlushWrites(conn);
+  }
+}
+
+void ServingFrontend::SendReply(Conn* conn, uint64_t corr_id,
+                               WireStatus status, std::string message) {
+  WireResponse wire;
+  wire.status = status;
+  wire.message = std::move(message);
+  Frame reply;
+  reply.type = WireFrameType::kResponse;
+  reply.correlation_id = corr_id;
+  reply.payload = EncodeWireResponse(wire);
+  Bytes encoded = EncodeFrame(reply);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_out;
+    switch (status) {
+      case WireStatus::kOk:
+        ++stats_.responses_ok;
+        break;
+      case WireStatus::kBusy:
+        ++stats_.responses_busy;
+        break;
+      case WireStatus::kExpired:
+        ++stats_.responses_expired;
+        break;
+      default:
+        ++stats_.responses_error;
+        break;
+    }
+  }
+  GRT_OBS_COUNT("frontend.frames_out", 1);
+  conn->outbuf.insert(conn->outbuf.end(), encoded.begin(), encoded.end());
+  FlushWrites(conn);
+}
+
+void ServingFrontend::FlushWrites(Conn* conn) {
+  while (conn->out_off < conn->outbuf.size()) {
+    ssize_t n = ::send(conn->fd, conn->outbuf.data() + conn->out_off,
+                       conn->outbuf.size() - conn->out_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->out_off += static_cast<size_t>(n);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.bytes_out += static_cast<uint64_t>(n);
+      GRT_OBS_COUNT("frontend.bytes_out", static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    CloseConn(conn->id, "send-error");
+    return;
+  }
+  if (conn->out_off == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_off = 0;
+  } else if (conn->out_off > (1u << 20)) {
+    conn->outbuf.erase(conn->outbuf.begin(),
+                       conn->outbuf.begin() +
+                           static_cast<ptrdiff_t>(conn->out_off));
+    conn->out_off = 0;
+  }
+
+  const size_t pending = conn->pending_out();
+  if (pending > config_.write_hard_cap) {
+    // The peer stopped reading long ago; buffering more would let one
+    // stalled connection grow without bound.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.stalled_disconnects;
+    }
+    CloseConn(conn->id, "stalled-reader");
+    return;
+  }
+  if (!conn->paused && pending > config_.write_high_watermark) {
+    conn->paused = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.paused_reads;
+    }
+    GRT_OBS_COUNT("frontend.paused_reads", 1);
+  } else if (conn->paused && pending <= config_.write_high_watermark / 2) {
+    conn->paused = false;
+  }
+  UpdateReadInterest(conn);
+
+  if (conn->closing && ConnIdle(*conn)) {
+    CloseConn(conn->id, "flushed");
+  }
+}
+
+void ServingFrontend::UpdateReadInterest(Conn* conn) {
+  uint32_t events = 0;
+  if (!conn->paused && !conn->closing) {
+    events |= EPOLLIN;
+  }
+  if (conn->pending_out() > 0) {
+    events |= EPOLLOUT;
+  }
+  if (events == conn->last_events) {
+    return;
+  }
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = events;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->last_events = events;
+  }
+}
+
+void ServingFrontend::CloseConn(uint64_t conn_id, const char* /*reason*/) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  ::close(it->second->fd);
+  conns_.erase(it);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.closed;
+    stats_.active_connections = conns_.size();
+  }
+  GRT_OBS_GAUGE_SET("frontend.connections", conns_.size());
+}
+
+}  // namespace grt

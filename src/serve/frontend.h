@@ -1,0 +1,190 @@
+// Epoll TCP serving front-end: ReplayService as a real network server
+// (DESIGN.md §6g).
+//
+// One event-loop thread owns every socket: it accepts connections,
+// incrementally decodes length-prefixed request frames (src/net/frame.h),
+// submits admitted requests to the ReplayService through its callback
+// interface, and writes response frames back as workers complete them.
+// Replay work never runs on the loop thread; worker completions cross
+// back via a completion queue + eventfd wakeup.
+//
+// Flow control is explicit at every hop, because an open-loop client
+// will not slow down for us:
+//
+//   * reads    — per-connection incremental decode with a hard payload
+//                bound; a peer declaring an oversized frame is refused at
+//                the header (20 bytes buffered, not 4 GB) and the
+//                connection dies with a typed error reply.
+//   * admission— per-connection in-flight cap and the service's bounded
+//                deadline queue both convert overload into protocol-level
+//                BUSY replies, never silent drops; a deadline that
+//                expires while queued comes back EXPIRED (the service's
+//                existing expired_in_queue accounting).
+//   * writes   — per-connection bounded output buffer. Above the high
+//                watermark the loop stops reading from that connection
+//                (backpressure propagates to the peer's send window);
+//                above the hard cap the peer is judged dead and the
+//                connection is closed. Output memory is bounded by
+//                construction, no matter how stalled the reader.
+//
+// Shutdown() drains gracefully: the listen socket closes first (new
+// connects are refused), frames already decoded get SHUTTING_DOWN
+// replies, requests already admitted to the service run to completion
+// and their responses are flushed, then connections close. A drain
+// deadline bounds how long a stalled peer can hold the process.
+#ifndef GRT_SRC_SERVE_FRONTEND_H_
+#define GRT_SRC_SERVE_FRONTEND_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/net/frame.h"
+#include "src/serve/service.h"
+
+namespace grt {
+
+struct FrontendConfig {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  // 0: ephemeral; read the bound port via port()
+  int backlog = 128;
+  size_t max_connections = 256;       // excess accepts are closed at once
+  size_t max_frame_payload = 8u << 20;  // decoder bound per frame
+  size_t max_inflight_per_conn = 64;  // excess requests get BUSY replies
+  // Output-buffer watermarks. Above `write_high_watermark` the connection
+  // stops being read (backpressure); reads resume at half the watermark.
+  // Above `write_hard_cap` the peer is not consuming and the connection
+  // is closed, in-flight responses dropped.
+  size_t write_high_watermark = 4u << 20;
+  size_t write_hard_cap = 32u << 20;
+  // Kernel send-buffer size for accepted sockets; 0 = system default.
+  // Setting it small pins down how much the kernel absorbs before writes
+  // back up into the watermark machinery (the backpressure tests use
+  // this; production leaves it 0).
+  int so_sndbuf = 0;
+  // Graceful-drain bound: connections still holding in-flight requests or
+  // unflushed responses this long after Shutdown() are force-closed.
+  int64_t drain_timeout_ms = 10000;
+};
+
+// Counters are cumulative since Start; gauges are instantaneous.
+struct FrontendStats {
+  uint64_t accepted = 0;
+  uint64_t rejected_connects = 0;  // at capacity or draining
+  uint64_t closed = 0;
+  uint64_t active_connections = 0;  // gauge
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t requests_admitted = 0;  // handed to the ReplayService
+  uint64_t responses_ok = 0;
+  uint64_t responses_busy = 0;
+  uint64_t responses_expired = 0;
+  uint64_t responses_error = 0;  // every other non-OK wire status
+  uint64_t decode_errors = 0;    // poisoned streams (typed frame faults)
+  uint64_t bad_requests = 0;     // well-framed but undecodable payloads
+  uint64_t duplicate_corr_ids = 0;
+  uint64_t oversized_disconnects = 0;  // kOversizedFrame faults
+  uint64_t truncated_streams = 0;      // EOF mid-frame
+  uint64_t paused_reads = 0;       // write watermark pauses
+  uint64_t stalled_disconnects = 0;  // write hard cap exceeded
+  uint64_t drain_forced_closes = 0;
+  uint64_t responses_dropped = 0;  // completion arrived for a dead conn
+};
+
+class ServingFrontend {
+ public:
+  // `service` must outlive the frontend and be Start()ed by the caller
+  // (the frontend only submits; it does not own service lifecycle).
+  ServingFrontend(ReplayService* service, FrontendConfig config);
+  ~ServingFrontend();
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  // Binds, listens, and spawns the event-loop thread. After an OK return,
+  // port() is the bound port and the server is accepting.
+  Status Start();
+
+  // Graceful drain (see file header). Idempotent; the destructor calls
+  // it. Blocks until the loop thread exits.
+  void Shutdown();
+
+  uint16_t port() const { return port_; }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+  FrontendStats Stats() const;
+
+ private:
+  struct Conn;
+
+  // A worker-completed response crossing back to the loop thread, already
+  // encoded (the encode cost stays on the worker).
+  struct Completion {
+    uint64_t conn_id = 0;
+    uint64_t correlation_id = 0;
+    WireStatus status = WireStatus::kOk;
+    Bytes encoded_frame;
+  };
+
+  // Shared with service callbacks via shared_ptr: a callback may outlive
+  // the frontend (the service owns queued requests), so everything it
+  // touches — queue, wakeup eventfd — lives here.
+  struct CompletionQueue {
+    std::mutex mu;
+    std::vector<Completion> items;
+    int event_fd = -1;
+    ~CompletionQueue();
+    void Push(Completion completion);  // locks, appends, signals event_fd
+    std::vector<Completion> Drain();
+  };
+
+  void Loop();
+  void HandleAccept();
+  void HandleReadable(Conn* conn);
+  void HandleFrame(Conn* conn, Frame frame);
+  void HandleCompletions();
+  // Encodes and queues an immediate (loop-thread) reply on the connection.
+  void SendReply(Conn* conn, uint64_t corr_id, WireStatus status,
+                 std::string message);
+  void FlushWrites(Conn* conn);
+  void UpdateReadInterest(Conn* conn);
+  void CloseConn(uint64_t conn_id, const char* reason);
+  void DrainTick();
+  bool ConnIdle(const Conn& conn) const;
+
+  ReplayService* service_;
+  FrontendConfig config_;
+
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::shared_ptr<CompletionQueue> completions_;
+  std::thread loop_thread_;
+
+  // Loop-thread-only state.
+  std::map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen fd, 1 = event fd
+  bool listen_registered_ = false;
+  std::chrono::steady_clock::time_point drain_deadline_;
+  bool drain_started_ = false;
+
+  mutable std::mutex stats_mu_;
+  FrontendStats stats_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SERVE_FRONTEND_H_

@@ -83,54 +83,69 @@ void ReplayService::Stop() {
     ReplayResponse response;
     response.workload = item.request.workload;
     response.status = FailedPrecondition("ReplayService stopped");
-    item.promise.set_value(std::move(response));
+    item.done(std::move(response));
   }
 }
 
 std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
-  std::promise<ReplayResponse> promise;
-  std::future<ReplayResponse> future = promise.get_future();
+  // The promise lives in a shared_ptr because std::function requires a
+  // copyable callable; the callback still runs exactly once.
+  auto promise = std::make_shared<std::promise<ReplayResponse>>();
+  std::future<ReplayResponse> future = promise->get_future();
+  SubmitCallback(std::move(request),
+                 [promise](ReplayResponse response) {
+                   promise->set_value(std::move(response));
+                 });
+  return future;
+}
+
+void ReplayService::SubmitCallback(ReplayRequest request,
+                                   std::function<void(ReplayResponse)> done) {
   SteadyPoint now = std::chrono::steady_clock::now();
   std::vector<QueueItem> expired;
+  Status reject = OkStatus();
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (stop_) {
-      ReplayResponse response;
-      response.workload = request.workload;
-      response.status = FailedPrecondition("ReplayService stopped");
-      promise.set_value(std::move(response));
-      return future;
-    }
-    // Sweep already-dead items before judging capacity: a request whose
-    // deadline passed while queued must not hold a slot against this
-    // admission (the pre-sweep behavior rejected live work while dead
-    // work sat in the queue until a worker reached it).
-    expired = SweepExpiredLocked(now);
-    if (queue_.size() >= config_.max_queue) {
-      {
+      reject = FailedPrecondition("ReplayService stopped");
+    } else {
+      // Sweep already-dead items before judging capacity: a request whose
+      // deadline passed while queued must not hold a slot against this
+      // admission (the pre-sweep behavior rejected live work while dead
+      // work sat in the queue until a worker reached it).
+      expired = SweepExpiredLocked(now);
+      if (queue_.size() >= config_.max_queue) {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++stats_.submitted;
         ++stats_.rejected;
+        reject = ResourceExhausted(
+            "admission queue full (" + std::to_string(config_.max_queue) +
+            " pending)");
+      } else {
+        QueueItem item;
+        item.has_deadline = request.deadline_ms >= 0;
+        if (item.has_deadline) {
+          item.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+        }
+        item.request = std::move(request);
+        item.done = std::move(done);
+        item.enqueued = now;
+        queue_.push_back(std::move(item));
+        admitted = true;
+        GRT_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
       }
-      ReplayResponse response;
-      response.workload = request.workload;
-      response.status =
-          ResourceExhausted("admission queue full (" +
-                            std::to_string(config_.max_queue) + " pending)");
-      promise.set_value(std::move(response));
-      FailExpired(std::move(expired), now);
-      return future;
     }
-    QueueItem item;
-    item.has_deadline = request.deadline_ms >= 0;
-    if (item.has_deadline) {
-      item.deadline = now + std::chrono::milliseconds(request.deadline_ms);
-    }
-    item.request = std::move(request);
-    item.promise = std::move(promise);
-    item.enqueued = now;
-    queue_.push_back(std::move(item));
-    GRT_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+  }
+  // Rejection callbacks run inline, but never under queue_mu_ — a caller's
+  // completion path may take its own locks or query Stats().
+  if (!admitted) {
+    ReplayResponse response;
+    response.workload = request.workload;
+    response.status = std::move(reject);
+    done(std::move(response));
+    FailExpired(std::move(expired), now);
+    return;
   }
   FailExpired(std::move(expired), now);
   {
@@ -138,7 +153,6 @@ std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
     ++stats_.submitted;
   }
   queue_cv_.notify_one();
-  return future;
 }
 
 std::vector<ReplayService::QueueItem> ReplayService::SweepExpiredLocked(
@@ -173,7 +187,7 @@ void ReplayService::FailExpired(std::vector<QueueItem> expired,
     response.status = Timeout(
         "deadline expired after " +
         std::to_string(item.request.deadline_ms) + " ms in the queue");
-    item.promise.set_value(std::move(response));
+    item.done(std::move(response));
   }
 }
 
@@ -341,7 +355,7 @@ void ReplayService::ServeOne(int index, QueueItem item) {
       ++stats_.expired_at_dequeue;
     }
     GRT_OBS_COUNT("serve.expired_at_dequeue", 1);
-    item.promise.set_value(std::move(response));
+    item.done(std::move(response));
     return;
   }
 
@@ -379,7 +393,7 @@ void ReplayService::ServeOne(int index, QueueItem item) {
   service_hist_.Record(
       static_cast<uint64_t>(std::max<int64_t>(response.service_ns, 0)));
   RecordOutcome(response);
-  item.promise.set_value(std::move(response));
+  item.done(std::move(response));
 }
 
 ReplayService::Placement ReplayService::PlaceRequest(
@@ -508,6 +522,7 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
                                  ReplayResponse* response) {
   GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
   response->plan_cache_hit = resolved.cache_hit;
+  response->digest = resolved.digest;
 
   // Placement and device acquisition cannot share one critical section (a
   // placement must not wait behind a long replay holding the device

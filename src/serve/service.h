@@ -43,6 +43,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <map>
@@ -102,6 +103,10 @@ struct ReplayRequest {
 struct ReplayResponse {
   Status status = OkStatus();
   std::string workload;
+  // Plan-cache identity actually served (SHA-256 of the stored signed
+  // bytes); all-zero when the request failed before resolution. The TCP
+  // front-end echoes it so remote clients can pin subsequent requests.
+  Sha256Digest digest{};
   std::vector<float> output;  // empty unless output_tensor was set
   ReplayReport report;        // virtual-timeline replay accounting
   int64_t queue_wait_ns = 0;  // wall-clock submission -> dequeue
@@ -194,6 +199,15 @@ class ReplayService {
   // with an error when the queue is full / the service is stopped).
   std::future<ReplayResponse> SubmitAsync(ReplayRequest request);
 
+  // Callback-form submission, for event-driven callers (the TCP front-end
+  // cannot block a thread per future). `done` runs exactly once: on a
+  // worker thread after the replay, on an admission sweep's thread when
+  // the deadline expires in the queue, or inline on the submitting thread
+  // when the request is rejected outright (queue full / service stopped).
+  // It must be cheap and must not re-enter the service.
+  void SubmitCallback(ReplayRequest request,
+                      std::function<void(ReplayResponse)> done);
+
   // Convenience: SubmitAsync + wait. Requires a started service (a sync
   // submit with no workers would deadlock the caller).
   ReplayResponse Submit(ReplayRequest request);
@@ -221,7 +235,7 @@ class ReplayService {
 
   struct QueueItem {
     ReplayRequest request;
-    std::promise<ReplayResponse> promise;
+    std::function<void(ReplayResponse)> done;
     SteadyPoint enqueued;
     bool has_deadline = false;
     SteadyPoint deadline;

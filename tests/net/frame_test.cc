@@ -1,0 +1,298 @@
+// Frame codec tests: round-trips, incremental decode under arbitrary
+// chunking, and the typed-fault contract — every malformed header class
+// poisons the decoder with its specific FrameFault, costs at most one
+// header of buffered memory, and leaves already-decoded frames
+// retrievable.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/net/frame.h"
+
+namespace grt {
+namespace {
+
+Frame MakeFrame(uint64_t corr, size_t payload_bytes) {
+  Frame frame;
+  frame.type = WireFrameType::kRequest;
+  frame.correlation_id = corr;
+  frame.payload.resize(payload_bytes);
+  for (size_t i = 0; i < payload_bytes; ++i) {
+    frame.payload[i] = static_cast<uint8_t>(i * 31 + corr);
+  }
+  return frame;
+}
+
+WireRequest SampleRequest() {
+  WireRequest request;
+  request.workload = "mnist";
+  request.output_tensor = "probs";
+  request.deadline_ms = 250;
+  request.tensors["input"] = {1.0f, -2.5f, 3.25f};
+  request.tensors["fc_w"] = {0.0f, 0.5f};
+  for (size_t i = 0; i < request.digest.size(); ++i) {
+    request.digest[i] = static_cast<uint8_t>(i + 1);
+  }
+  return request;
+}
+
+TEST(FrameCodec, HeaderLayoutIsStable) {
+  Frame frame = MakeFrame(0x1122334455667788ull, 3);
+  Bytes encoded = EncodeFrame(frame);
+  ASSERT_EQ(encoded.size(), kFrameHeaderBytes + 3);
+  // Little-endian magic "GRTS" = 0x47525453 -> bytes 53 54 52 47.
+  EXPECT_EQ(encoded[0], 0x53);
+  EXPECT_EQ(encoded[1], 0x54);
+  EXPECT_EQ(encoded[2], 0x52);
+  EXPECT_EQ(encoded[3], 0x47);
+  EXPECT_EQ(encoded[4], kFrameVersion);
+  EXPECT_EQ(encoded[5], 0);
+  EXPECT_EQ(encoded[6], static_cast<uint8_t>(WireFrameType::kRequest));
+  EXPECT_EQ(encoded[7], 0);  // flags
+  EXPECT_EQ(encoded[8], 3);  // payload_len LE
+  EXPECT_EQ(encoded[12], 0x88);  // correlation id LE
+  EXPECT_EQ(encoded[19], 0x11);
+}
+
+TEST(FrameCodec, RoundTripSingleFrame) {
+  Frame frame = MakeFrame(42, 100);
+  FrameDecoder decoder(1 << 16);
+  ASSERT_TRUE(decoder.Append(EncodeFrame(frame)).ok());
+  std::optional<Frame> out = decoder.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->type, WireFrameType::kRequest);
+  EXPECT_EQ(out->correlation_id, 42u);
+  EXPECT_EQ(out->payload, frame.payload);
+  EXPECT_FALSE(decoder.Next().has_value());
+  EXPECT_TRUE(decoder.FinishStream().ok());
+  EXPECT_FALSE(decoder.poisoned());
+}
+
+TEST(FrameCodec, EmptyPayloadAndBackToBackFrames) {
+  FrameDecoder decoder(1 << 16);
+  Bytes stream;
+  for (uint64_t corr = 0; corr < 5; ++corr) {
+    Bytes one = EncodeFrame(MakeFrame(corr, corr * 7));  // first is empty
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  ASSERT_TRUE(decoder.Append(stream).ok());
+  for (uint64_t corr = 0; corr < 5; ++corr) {
+    std::optional<Frame> out = decoder.Next();
+    ASSERT_TRUE(out.has_value()) << corr;
+    EXPECT_EQ(out->correlation_id, corr);
+    EXPECT_EQ(out->payload.size(), corr * 7);
+  }
+  EXPECT_FALSE(decoder.Next().has_value());
+}
+
+// The dribble contract: any chunking of the byte stream — down to one
+// byte per Append — decodes to the identical frame sequence.
+TEST(FrameCodec, DribbleEveryChunkSize) {
+  Bytes stream;
+  for (uint64_t corr = 0; corr < 3; ++corr) {
+    Bytes one = EncodeFrame(MakeFrame(corr, 33 + corr));
+    stream.insert(stream.end(), one.begin(), one.end());
+  }
+  for (size_t chunk = 1; chunk <= 7; ++chunk) {
+    FrameDecoder decoder(1 << 16);
+    for (size_t pos = 0; pos < stream.size(); pos += chunk) {
+      size_t n = std::min(chunk, stream.size() - pos);
+      ASSERT_TRUE(decoder.Append(stream.data() + pos, n).ok());
+    }
+    for (uint64_t corr = 0; corr < 3; ++corr) {
+      std::optional<Frame> out = decoder.Next();
+      ASSERT_TRUE(out.has_value()) << "chunk=" << chunk << " corr=" << corr;
+      EXPECT_EQ(out->correlation_id, corr);
+      EXPECT_EQ(out->payload, MakeFrame(corr, 33 + corr).payload);
+    }
+    EXPECT_TRUE(decoder.FinishStream().ok());
+  }
+}
+
+struct HeaderFaultCase {
+  const char* name;
+  size_t offset;
+  uint8_t value;
+  FrameFault fault;
+};
+
+TEST(FrameCodec, EachHeaderFaultIsTyped) {
+  const HeaderFaultCase cases[] = {
+      {"bad-magic", 0, 0xAA, FrameFault::kBadMagic},
+      {"bad-version", 4, 0x7F, FrameFault::kBadVersion},
+      {"bad-type", 6, 0x09, FrameFault::kBadType},
+      {"bad-flags", 7, 0x01, FrameFault::kBadFlags},
+  };
+  for (const HeaderFaultCase& c : cases) {
+    Bytes encoded = EncodeFrame(MakeFrame(9, 16));
+    encoded[c.offset] = c.value;
+    FrameDecoder decoder(1 << 16);
+    Status status = decoder.Append(encoded);
+    EXPECT_FALSE(status.ok()) << c.name;
+    EXPECT_EQ(decoder.fault(), c.fault) << c.name;
+    EXPECT_TRUE(decoder.poisoned()) << c.name;
+    // Poisoned decoders refuse everything afterwards.
+    EXPECT_FALSE(decoder.Append(encoded).ok()) << c.name;
+    EXPECT_FALSE(decoder.FinishStream().ok()) << c.name;
+    EXPECT_FALSE(decoder.Next().has_value()) << c.name;
+  }
+}
+
+TEST(FrameCodec, OversizedDeclarationRejectedAtHeader) {
+  Frame frame = MakeFrame(1, 0);
+  Bytes encoded = EncodeFrame(frame);
+  uint32_t huge = 0xC0000000;  // 3 GB declared, zero sent
+  std::memcpy(encoded.data() + 8, &huge, sizeof(huge));
+  FrameDecoder decoder(1 << 20);
+  Status status = decoder.Append(encoded.data(), kFrameHeaderBytes);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(decoder.fault(), FrameFault::kOversizedFrame);
+  // The refusal cost one header of memory, not the declared 3 GB.
+  EXPECT_LE(decoder.partial_bytes(), kFrameHeaderBytes);
+}
+
+TEST(FrameCodec, PayloadAtLimitIsAccepted) {
+  FrameDecoder decoder(64);
+  ASSERT_TRUE(decoder.Append(EncodeFrame(MakeFrame(5, 64))).ok());
+  ASSERT_TRUE(decoder.Next().has_value());
+  FrameDecoder strict(63);
+  EXPECT_FALSE(strict.Append(EncodeFrame(MakeFrame(5, 64))).ok());
+  EXPECT_EQ(strict.fault(), FrameFault::kOversizedFrame);
+}
+
+TEST(FrameCodec, TruncatedStreamFaultOnEofMidFrame) {
+  for (size_t cut : {1u, 10u, 19u, 25u}) {  // mid-header and mid-payload
+    Bytes encoded = EncodeFrame(MakeFrame(2, 16));
+    FrameDecoder decoder(1 << 16);
+    ASSERT_TRUE(decoder.Append(encoded.data(), cut).ok()) << cut;
+    Status fin = decoder.FinishStream();
+    EXPECT_FALSE(fin.ok()) << cut;
+    EXPECT_EQ(decoder.fault(), FrameFault::kTruncatedStream) << cut;
+  }
+  // A clean boundary EOF is not a fault.
+  Bytes encoded = EncodeFrame(MakeFrame(2, 16));
+  FrameDecoder decoder(1 << 16);
+  ASSERT_TRUE(decoder.Append(encoded).ok());
+  EXPECT_TRUE(decoder.FinishStream().ok());
+}
+
+TEST(FrameCodec, CompletedFramesSurviveLaterFault) {
+  Bytes good = EncodeFrame(MakeFrame(7, 8));
+  Bytes bad = EncodeFrame(MakeFrame(8, 8));
+  bad[0] = 0xAA;
+  Bytes stream = good;
+  stream.insert(stream.end(), bad.begin(), bad.end());
+  FrameDecoder decoder(1 << 16);
+  EXPECT_FALSE(decoder.Append(stream).ok());
+  EXPECT_EQ(decoder.fault(), FrameFault::kBadMagic);
+  // Nothing already decoded is lost — the frontend still dispatches it
+  // (its reply may even flush before the connection dies).
+  EXPECT_EQ(decoder.pending_frames(), 1u);
+  std::optional<Frame> out = decoder.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->correlation_id, 7u);
+}
+
+// ------------------------------------------------------------- payloads
+
+TEST(WirePayload, RequestRoundTrip) {
+  WireRequest request = SampleRequest();
+  auto decoded = DecodeWireRequest(EncodeWireRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->workload, request.workload);
+  EXPECT_EQ(decoded->digest, request.digest);
+  EXPECT_EQ(decoded->output_tensor, request.output_tensor);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded->tensors, request.tensors);
+  EXPECT_TRUE(decoded->has_digest());
+}
+
+TEST(WirePayload, UnpinnedRequestHasNoDigest) {
+  WireRequest request = SampleRequest();
+  request.digest = Sha256Digest{};
+  auto decoded = DecodeWireRequest(EncodeWireRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->has_digest());
+}
+
+TEST(WirePayload, ResponseRoundTrip) {
+  WireResponse response;
+  response.status = WireStatus::kExpired;
+  response.message = "deadline passed in queue";
+  response.digest[3] = 0x42;
+  response.output = {9.5f, -1.0f};
+  response.queue_wait_ns = 12345;
+  response.service_ns = 67890;
+  auto decoded = DecodeWireResponse(EncodeWireResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status, WireStatus::kExpired);
+  EXPECT_EQ(decoded->message, response.message);
+  EXPECT_EQ(decoded->digest, response.digest);
+  EXPECT_EQ(decoded->output, response.output);
+  EXPECT_EQ(decoded->queue_wait_ns, 12345);
+  EXPECT_EQ(decoded->service_ns, 67890);
+  EXPECT_FALSE(decoded->ok());
+}
+
+TEST(WirePayload, MalformedRequestsAreRejected) {
+  // Truncation at every prefix length must fail cleanly, never crash or
+  // accept.
+  Bytes good = EncodeWireRequest(SampleRequest());
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Bytes prefix(good.begin(), good.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeWireRequest(prefix).ok()) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected, not ignored.
+  Bytes padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(DecodeWireRequest(padded).ok());
+  // Empty workload.
+  WireRequest nameless = SampleRequest();
+  nameless.workload.clear();
+  EXPECT_FALSE(DecodeWireRequest(EncodeWireRequest(nameless)).ok());
+}
+
+TEST(WirePayload, HostileTensorCountCannotForceAllocation) {
+  // Hand-build a request declaring 2^31 floats in a tiny payload: the
+  // decoder must bound-check against bytes present before allocating.
+  ByteWriter w;
+  w.PutString("mnist");
+  Sha256Digest zero{};
+  w.PutRaw(zero.data(), zero.size());
+  w.PutString("out");
+  w.PutI64(-1);
+  w.PutU32(1);            // one tensor
+  w.PutString("input");
+  w.PutU32(0x80000000u);  // declared float count
+  w.PutU32(0);            // but almost no bytes follow
+  auto decoded = DecodeWireRequest(w.Take());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WirePayload, DuplicateTensorNameRejected) {
+  ByteWriter w;
+  w.PutString("mnist");
+  Sha256Digest zero{};
+  w.PutRaw(zero.data(), zero.size());
+  w.PutString("out");
+  w.PutI64(-1);
+  w.PutU32(2);
+  for (int i = 0; i < 2; ++i) {
+    w.PutString("input");
+    w.PutU32(1);
+    float v = 1.0f;
+    w.PutRaw(reinterpret_cast<const uint8_t*>(&v), sizeof(v));
+  }
+  auto decoded = DecodeWireRequest(w.Take());
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WirePayload, UnknownResponseStatusRejected) {
+  WireResponse response;
+  Bytes encoded = EncodeWireResponse(response);
+  encoded[0] = 0xEE;
+  EXPECT_FALSE(DecodeWireResponse(encoded).ok());
+}
+
+}  // namespace
+}  // namespace grt

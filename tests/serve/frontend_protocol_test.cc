@@ -1,0 +1,268 @@
+// Protocol corpus: every class of malformed input a remote peer can send
+// — truncated headers, oversized length declarations, bad magic/version/
+// type/flags, undecodable payloads, duplicate correlation ids, unknown
+// workloads and digests, mid-frame disconnects — must produce a typed
+// error (a reply, a counted fault, or both), leave the server in a
+// consistent state, and never take down service for well-behaved
+// clients.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/net/frame.h"
+#include "tests/serve/frontend_test_util.h"
+
+namespace grt {
+namespace {
+
+class FrontendProtocolTest : public FrontendFixture {};
+
+// A fresh client must still be served after whatever abuse `abuse` did —
+// the per-connection fault stayed per-connection.
+void ExpectStillServing(uint16_t port,
+                        const WireRequest& request) {
+  ReplayClient good;
+  ASSERT_TRUE(good.Connect("127.0.0.1", port, 30000).ok());
+  auto response = good.Call(99, request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, WireStatus::kOk) << response->message;
+  EXPECT_FALSE(response->output.empty());
+}
+
+TEST_F(FrontendProtocolTest, TruncatedHeaderDisconnectIsTypedAndCounted) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  Bytes frame = EncodeFrame(
+      {WireFrameType::kRequest, 5, EncodeWireRequest(MakeWireRequest(0))});
+  Bytes partial(frame.begin(), frame.begin() + 7);  // mid-header
+  ASSERT_TRUE(client.SendBytes(partial).ok());
+  client.Close();
+  EXPECT_TRUE(WaitForStats([](const FrontendStats& s) {
+    return s.truncated_streams == 1 && s.decode_errors == 1 && s.closed == 1;
+  }));
+  ExpectStillServing(port(), MakeWireRequest(0));
+}
+
+TEST_F(FrontendProtocolTest, MidFramePayloadDisconnect) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  Bytes frame = EncodeFrame(
+      {WireFrameType::kRequest, 6, EncodeWireRequest(MakeWireRequest(0))});
+  // Header complete, payload half-sent, then gone.
+  Bytes partial(frame.begin(),
+                frame.begin() + static_cast<ptrdiff_t>(frame.size() / 2));
+  ASSERT_TRUE(client.SendBytes(partial).ok());
+  client.Close();
+  EXPECT_TRUE(WaitForStats([](const FrontendStats& s) {
+    return s.truncated_streams == 1 && s.closed == 1;
+  }));
+  // The half-request never reached the service.
+  EXPECT_EQ(frontend_->Stats().requests_admitted, 0u);
+  ExpectStillServing(port(), MakeWireRequest(0));
+}
+
+struct HeaderAbuse {
+  const char* name;
+  size_t offset;
+  uint8_t value;
+  const char* fault_name;
+};
+
+TEST_F(FrontendProtocolTest, MalformedHeadersGetErrorReplyThenClose) {
+  Boot();
+  const HeaderAbuse cases[] = {
+      {"bad-magic", 0, 0xAA, "bad-magic"},
+      {"bad-version", 4, 0x7F, "bad-version"},
+      {"bad-type", 6, 0x09, "bad-type"},
+      {"bad-flags", 7, 0x01, "bad-flags"},
+  };
+  uint64_t expected_errors = 0;
+  for (const HeaderAbuse& abuse : cases) {
+    SCOPED_TRACE(abuse.name);
+    ReplayClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
+    Bytes frame = EncodeFrame(
+        {WireFrameType::kRequest, 7, EncodeWireRequest(MakeWireRequest(0))});
+    frame[abuse.offset] = abuse.value;
+    ASSERT_TRUE(client.SendBytes(frame).ok());
+    // Best-effort typed reply on correlation id 0 naming the fault, then
+    // the connection dies (framing is unrecoverable).
+    auto reply = client.RecvAny();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->first, 0u);
+    EXPECT_EQ(reply->second.status, WireStatus::kBadRequest);
+    EXPECT_NE(reply->second.message.find(abuse.fault_name),
+              std::string::npos)
+        << reply->second.message;
+    auto eof = client.RecvAny();
+    EXPECT_FALSE(eof.ok());  // server closed after the reply
+    ++expected_errors;
+    EXPECT_TRUE(WaitForStats([&](const FrontendStats& s) {
+      return s.decode_errors == expected_errors &&
+             s.closed == expected_errors;
+    }));
+  }
+  EXPECT_EQ(frontend_->Stats().requests_admitted, 0u);
+  ExpectStillServing(port(), MakeWireRequest(0));
+}
+
+TEST_F(FrontendProtocolTest, OversizedDeclarationRefusedAtHeader) {
+  FrontendConfig fconfig;
+  fconfig.max_frame_payload = 4096;
+  Boot(ServeConfig{}, fconfig);
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
+  // Declare far beyond the bound; send only the header. The refusal must
+  // come from the declaration alone.
+  Bytes frame = EncodeFrame({WireFrameType::kRequest, 3, Bytes(8192, 0xCD)});
+  ASSERT_TRUE(
+      client.SendBytes(Bytes(frame.begin(), frame.begin() + 20)).ok());
+  auto reply = client.RecvAny();
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->second.status, WireStatus::kBadRequest);
+  EXPECT_NE(reply->second.message.find("oversized-frame"), std::string::npos);
+  EXPECT_TRUE(WaitForStats([](const FrontendStats& s) {
+    return s.oversized_disconnects == 1 && s.closed == 1;
+  }));
+  // The probe must itself fit the 4 KB frame ceiling, so it carries the
+  // input only — replay memory still holds the recorded parameters.
+  ExpectStillServing(port(), MakeWireRequest(0, /*with_params=*/false));
+}
+
+TEST_F(FrontendProtocolTest, UndecodablePayloadKeepsConnectionAlive) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  // Well-framed garbage: framing is intact, so the fault is scoped to
+  // this one request and the connection survives.
+  ASSERT_TRUE(client
+                  .SendBytes(EncodeFrame(
+                      {WireFrameType::kRequest, 21, Bytes(64, 0xEE)}))
+                  .ok());
+  auto reply = client.Recv(21);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->status, WireStatus::kBadRequest);
+  // Same connection, valid request: served.
+  auto good = client.Call(22, MakeWireRequest(0));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->status, WireStatus::kOk);
+  EXPECT_EQ(frontend_->Stats().bad_requests, 1u);
+  EXPECT_EQ(frontend_->Stats().decode_errors, 0u);
+}
+
+TEST_F(FrontendProtocolTest, ResponseTypeFrameFromClientIsRejected) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
+  WireResponse bogus;
+  ASSERT_TRUE(client
+                  .SendBytes(EncodeFrame({WireFrameType::kResponse, 31,
+                                          EncodeWireResponse(bogus)}))
+                  .ok());
+  auto reply = client.Recv(31);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, WireStatus::kBadRequest);
+  auto good = client.Call(32, MakeWireRequest(0));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->status, WireStatus::kOk);
+}
+
+TEST_F(FrontendProtocolTest, UnknownWorkloadAndDigestAreTyped) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  WireRequest unknown = MakeWireRequest(0);
+  unknown.workload = "no-such-model";
+  auto reply = client.Call(41, unknown);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->status, WireStatus::kUnknownWorkload);
+
+  WireRequest mispinned = MakeWireRequest(0);
+  mispinned.digest.fill(0x5A);
+  auto pin_reply = client.Call(42, mispinned);
+  ASSERT_TRUE(pin_reply.ok());
+  EXPECT_EQ(pin_reply->status, WireStatus::kUnknownDigest);
+
+  // Correct pin round-trips, and the digest is echoed.
+  auto digest = service_->Preload(net().name);
+  ASSERT_TRUE(digest.ok());
+  WireRequest pinned = MakeWireRequest(0);
+  pinned.digest = *digest;
+  auto ok_reply = client.Call(43, pinned);
+  ASSERT_TRUE(ok_reply.ok());
+  EXPECT_EQ(ok_reply->status, WireStatus::kOk);
+  EXPECT_EQ(ok_reply->digest, *digest);
+}
+
+TEST_F(FrontendProtocolTest, DuplicateCorrelationIdRejectedConnSurvives) {
+  // Service deliberately not started: the first request parks in the
+  // admission queue, guaranteeing its correlation id is still in flight
+  // when the duplicate arrives.
+  Boot(ServeConfig{}, FrontendConfig{}, /*start_service=*/false);
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  WireRequest request = MakeWireRequest(0);
+  ASSERT_TRUE(client.Send(77, request).ok());
+  ASSERT_TRUE(client.Send(77, request).ok());
+  auto dup = client.Recv(77);  // the duplicate's rejection arrives first
+  ASSERT_TRUE(dup.ok()) << dup.status().ToString();
+  EXPECT_EQ(dup->status, WireStatus::kBadRequest);
+  EXPECT_NE(dup->message.find("already in flight"), std::string::npos);
+  EXPECT_EQ(frontend_->Stats().duplicate_corr_ids, 1u);
+  // Start workers: the original request — untouched by the duplicate —
+  // completes on the same connection.
+  ASSERT_TRUE(service_->Start().ok());
+  auto original = client.Recv(77);
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_EQ(original->status, WireStatus::kOk);
+  EXPECT_FALSE(original->output.empty());
+}
+
+TEST_F(FrontendProtocolTest, SameCorrelationIdFineOnSeparateConnections) {
+  Boot();
+  ReplayClient a, b;
+  ASSERT_TRUE(a.Connect("127.0.0.1", port(), 30000).ok());
+  ASSERT_TRUE(b.Connect("127.0.0.1", port(), 30000).ok());
+  auto ra = a.Call(7, MakeWireRequest(0));
+  auto rb = b.Call(7, MakeWireRequest(1));
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->status, WireStatus::kOk);
+  EXPECT_EQ(rb->status, WireStatus::kOk);
+  EXPECT_EQ(frontend_->Stats().duplicate_corr_ids, 0u);
+}
+
+TEST_F(FrontendProtocolTest, GarbageAfterValidFrameStillServesTheValidOne) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  Bytes stream = EncodeFrame(
+      {WireFrameType::kRequest, 51, EncodeWireRequest(MakeWireRequest(0))});
+  Bytes garbage(kFrameHeaderBytes, 0xAB);  // bad magic right behind it
+  stream.insert(stream.end(), garbage.begin(), garbage.end());
+  ASSERT_TRUE(client.SendBytes(stream).ok());
+  // Both the valid request's response and the framing-error reply arrive;
+  // order is not guaranteed (one is worker-completed, one loop-immediate).
+  bool got_ok = false, got_fault = false;
+  for (int i = 0; i < 2; ++i) {
+    auto reply = client.RecvAny();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    if (reply->first == 51 && reply->second.status == WireStatus::kOk) {
+      got_ok = true;
+    }
+    if (reply->first == 0 &&
+        reply->second.status == WireStatus::kBadRequest) {
+      got_fault = true;
+    }
+  }
+  EXPECT_TRUE(got_ok);
+  EXPECT_TRUE(got_fault);
+  EXPECT_TRUE(WaitForStats(
+      [](const FrontendStats& s) { return s.closed == 1; }));
+  ExpectStillServing(port(), MakeWireRequest(0));
+}
+
+}  // namespace
+}  // namespace grt

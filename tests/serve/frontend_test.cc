@@ -1,0 +1,251 @@
+// Concurrency, admission, and lifecycle suite for the serving front-end
+// (this is the target the TSan CI pass runs).
+//
+// Covers: many connections multiplexing requests through one epoll loop
+// with bitwise-stable outputs, queue-full admission turning into typed
+// BUSY on the wire, deadline expiry inside the admission queue turning
+// into typed EXPIRED, and graceful drain — admitted work completes,
+// late frames get SHUTTING_DOWN, new connects are refused.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tests/serve/frontend_test_util.h"
+
+namespace grt {
+namespace {
+
+class FrontendTest : public FrontendFixture {};
+
+// Eight client threads, each with its own connection and several
+// requests (half of them digest-pinned), all served by the single
+// event loop + worker pool with bitwise-per-seed outputs.
+TEST_F(FrontendTest, ManyConnectionsMultiplexBitwise) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4;
+  ServeConfig sconfig;
+  sconfig.workers = 2;
+  Boot(sconfig);
+
+  auto digest = service_->Preload(net().name);
+  ASSERT_TRUE(digest.ok()) << digest.status().ToString();
+
+  // Clean baselines per input seed (also stages params on each worker's
+  // first touch — requests below carry params anyway to stay order-free).
+  ReplayClient staging;
+  ASSERT_TRUE(staging.Connect("127.0.0.1", port()).ok());
+  std::vector<std::vector<float>> baseline(4);
+  for (uint64_t s = 0; s < 4; ++s) {
+    auto r = staging.Call(900 + s, MakeWireRequest(s));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->status, WireStatus::kOk);
+    baseline[s] = r->output;
+  }
+
+  struct Outcome {
+    bool transport_ok = false;
+    WireStatus status = WireStatus::kError;
+    std::vector<float> output;
+    std::string detail;
+  };
+  std::vector<std::vector<Outcome>> results(
+      kThreads, std::vector<Outcome>(kPerThread));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      ReplayClient client;
+      Status st = client.Connect("127.0.0.1", port());
+      if (!st.ok()) {
+        results[t][0].detail = st.ToString();
+        return;
+      }
+      for (int i = 0; i < kPerThread; ++i) {
+        WireRequest request =
+            MakeWireRequest(static_cast<uint64_t>((t + i) % 4));
+        if (t % 2 == 1) {
+          request.digest = *digest;  // pinned half
+        }
+        auto r = client.Call(static_cast<uint64_t>(t * 100 + i), request);
+        Outcome& out = results[t][i];
+        if (!r.ok()) {
+          out.detail = r.status().ToString();
+          continue;
+        }
+        out.transport_ok = true;
+        out.status = r->status;
+        out.output = std::move(r->output);
+        out.detail = r->message;
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      const Outcome& out = results[t][i];
+      ASSERT_TRUE(out.transport_ok)
+          << "t=" << t << " i=" << i << ": " << out.detail;
+      EXPECT_EQ(out.status, WireStatus::kOk)
+          << "t=" << t << " i=" << i << ": " << out.detail;
+      EXPECT_EQ(out.output, baseline[(t + i) % 4]) << "t=" << t << " i=" << i;
+    }
+  }
+
+  FrontendStats stats = frontend_->Stats();
+  EXPECT_GE(stats.accepted, static_cast<uint64_t>(kThreads) + 1);
+  EXPECT_GE(stats.responses_ok, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(stats.responses_dropped, 0u);
+}
+
+// Admission-queue overflow must come back as protocol-level BUSY, not a
+// closed connection — and the queued requests still complete once the
+// workers start.
+TEST_F(FrontendTest, QueueFullSurfacesAsBusyOnTheWire) {
+  constexpr int kTotal = 10;
+  constexpr int kQueue = 4;
+  ServeConfig sconfig;
+  sconfig.max_queue = kQueue;
+  Boot(sconfig, {}, /*start_service=*/false);  // requests park in the queue
+
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  for (uint64_t i = 1; i <= kTotal; ++i) {
+    // Self-contained requests (params included) so completion order
+    // cannot matter once the workers spin up.
+    ASSERT_TRUE(client.Send(i, MakeWireRequest(i % 4)).ok());
+  }
+
+  // The overflow rejections are synchronous: six BUSY replies arrive
+  // while the service is still stopped.
+  for (uint64_t i = static_cast<uint64_t>(kQueue) + 1; i <= kTotal; ++i) {
+    auto r = client.Recv(i);
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->status, WireStatus::kBusy) << "corr=" << i;
+  }
+
+  ASSERT_TRUE(service_->Start().ok());
+  for (uint64_t i = 1; i <= kQueue; ++i) {
+    auto r = client.Recv(i);
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->status, WireStatus::kOk) << "corr=" << i;
+    EXPECT_FALSE(r->output.empty());
+  }
+
+  FrontendStats stats = frontend_->Stats();
+  EXPECT_EQ(stats.responses_busy, static_cast<uint64_t>(kTotal - kQueue));
+  EXPECT_EQ(stats.responses_ok, static_cast<uint64_t>(kQueue));
+}
+
+// A deadline that expires while the request sits in the admission queue
+// must surface as EXPIRED on the wire and in the service's own stats.
+TEST_F(FrontendTest, DeadlineExpiryInQueueSurfacesAsExpired) {
+  constexpr int kTotal = 5;
+  Boot({}, {}, /*start_service=*/false);
+
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  for (uint64_t i = 1; i <= kTotal; ++i) {
+    ASSERT_TRUE(
+        client
+            .Send(i, MakeWireRequest(i % 4, /*with_params=*/false,
+                                     /*deadline_ms=*/50))
+            .ok());
+  }
+  // Let every deadline lapse while the requests are still parked.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(service_->Start().ok());
+
+  for (uint64_t i = 1; i <= kTotal; ++i) {
+    auto r = client.Recv(i);
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->status, WireStatus::kExpired) << "corr=" << i;
+  }
+
+  ServeStats sstats = service_->Stats();
+  EXPECT_EQ(sstats.expired_in_queue + sstats.expired_at_dequeue,
+            static_cast<size_t>(kTotal));
+  FrontendStats fstats = frontend_->Stats();
+  EXPECT_EQ(fstats.responses_expired, static_cast<uint64_t>(kTotal));
+  EXPECT_EQ(fstats.responses_ok, 0u);
+}
+
+// Graceful drain: requests admitted before Shutdown() complete and
+// flush; frames arriving during the drain get SHUTTING_DOWN; once
+// Shutdown() returns, new connections are refused outright.
+TEST_F(FrontendTest, GracefulDrainCompletesAdmittedRejectsLate) {
+  constexpr uint64_t kParked = 3;
+  constexpr uint64_t kLate = 2;
+  Boot({}, {}, /*start_service=*/false);
+
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
+  for (uint64_t i = 1; i <= kParked; ++i) {
+    ASSERT_TRUE(client.Send(i, MakeWireRequest(i % 4)).ok());
+  }
+  // The drain must start strictly after all three were admitted, or it
+  // would legitimately answer them SHUTTING_DOWN.
+  ASSERT_TRUE(WaitForStats(
+      [](const FrontendStats& s) { return s.requests_admitted >= kParked; }));
+
+  // Receiver: pulls every response until the server closes the stream.
+  std::vector<std::pair<uint64_t, WireStatus>> answered;
+  std::thread receiver([&]() {
+    for (;;) {
+      auto r = client.RecvAny();
+      if (!r.ok()) {
+        return;  // clean server close after the drain flush
+      }
+      answered.emplace_back(r->first, r->second.status);
+    }
+  });
+
+  // Prodder: well inside the drain window, push two late frames (they
+  // must be answered SHUTTING_DOWN, not dropped), then start the service
+  // so the parked requests can finish and the drain can complete.
+  std::thread prodder([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    for (uint64_t i = 1; i <= kLate; ++i) {
+      (void)client.Send(100 + i, MakeWireRequest(i % 4,
+                                                 /*with_params=*/false));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_TRUE(service_->Start().ok());
+  });
+
+  frontend_->Shutdown();  // blocks until the drain finishes
+  prodder.join();
+  receiver.join();
+
+  uint64_t ok = 0, shutting_down = 0;
+  for (const auto& [corr, status] : answered) {
+    if (corr <= kParked) {
+      EXPECT_EQ(status, WireStatus::kOk) << "corr=" << corr;
+      ++ok;
+    } else {
+      EXPECT_EQ(status, WireStatus::kShuttingDown) << "corr=" << corr;
+      ++shutting_down;
+    }
+  }
+  EXPECT_EQ(ok, kParked);
+  EXPECT_EQ(shutting_down, kLate);
+
+  // The listener is gone: fresh connections are refused, not parked.
+  ReplayClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", port(), 500).ok());
+
+  FrontendStats stats = frontend_->Stats();
+  EXPECT_EQ(stats.drain_forced_closes, 0u);
+  EXPECT_EQ(stats.responses_dropped, 0u);
+}
+
+}  // namespace
+}  // namespace grt

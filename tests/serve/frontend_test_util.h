@@ -1,0 +1,145 @@
+// Shared fixture for the serving front-end test suites: records MNIST
+// once per process, and boots a RecordingStore + ReplayService +
+// ServingFrontend per test with configurable knobs (the protocol,
+// stream, fault, and concurrency suites all ride on it).
+#ifndef GRT_TESTS_SERVE_FRONTEND_TEST_UTIL_H_
+#define GRT_TESTS_SERVE_FRONTEND_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/ml/reference.h"
+#include "src/serve/client.h"
+#include "src/serve/frontend.h"
+#include "src/serve/service.h"
+
+namespace grt {
+
+struct RecordedMnist {
+  NetworkDef net;
+  Bytes session_key;
+  Bytes signed_recording;
+};
+
+// Records once per process; nullptr on failure (tests ASSERT on it).
+inline const RecordedMnist* SharedMnist() {
+  static const RecordedMnist* recorded = []() -> const RecordedMnist* {
+    auto* r = new RecordedMnist();
+    r->net = BuildMnist();
+    ClientDevice device(SkuId::kMaliG71Mp8, 11);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, r->net, "OursMDS", WifiConditions(),
+                              &history, 0);
+    if (!m.ok()) {
+      return nullptr;
+    }
+    r->session_key = std::move(m->session_key);
+    r->signed_recording = std::move(m->signed_recording);
+    return r;
+  }();
+  return recorded;
+}
+
+class FrontendFixture : public ::testing::Test {
+ protected:
+  void Boot(ServeConfig sconfig = {}, FrontendConfig fconfig = {},
+            bool start_service = true) {
+    const RecordedMnist* rec = SharedMnist();
+    ASSERT_NE(rec, nullptr) << "MNIST recording failed";
+    store_ = std::make_unique<RecordingStore>(rec->session_key);
+    ASSERT_TRUE(store_->Install(rec->signed_recording).ok());
+    service_ = std::make_unique<ReplayService>(store_.get(), sconfig);
+    if (start_service) {
+      ASSERT_TRUE(service_->Start().ok());
+    }
+    frontend_ = std::make_unique<ServingFrontend>(service_.get(), fconfig);
+    ASSERT_TRUE(frontend_->Start().ok());
+    ASSERT_NE(frontend_->port(), 0);
+  }
+
+  void TearDown() override {
+    if (frontend_ != nullptr) {
+      frontend_->Shutdown();
+    }
+    if (service_ != nullptr) {
+      service_->Stop();
+    }
+  }
+
+  const NetworkDef& net() const { return SharedMnist()->net; }
+  uint16_t port() const { return frontend_->port(); }
+
+  // `with_params` stages the model parameters too (first request per
+  // worker must, so the output is meaningful); later requests can skip
+  // them and stay small.
+  WireRequest MakeWireRequest(uint64_t input_seed, bool with_params = true,
+                              int64_t deadline_ms = 30000) {
+    WireRequest request;
+    request.workload = net().name;
+    request.output_tensor = net().output_tensor;
+    request.deadline_ms = deadline_ms;
+    request.tensors[net().input_tensor] = GenerateInput(net(), input_seed);
+    if (with_params) {
+      for (const TensorDef& t : net().tensors) {
+        if (t.kind == TensorKind::kParam) {
+          request.tensors[t.name] = GenerateParams(net().name, t, 7);
+        }
+      }
+    }
+    return request;
+  }
+
+  // Name of the largest parameter tensor — reading it back makes
+  // responses big enough to drive real write backpressure.
+  std::string BigTensorName() {
+    std::string best;
+    size_t best_size = 0;
+    for (const TensorDef& t : net().tensors) {
+      if (t.kind != TensorKind::kParam) {
+        continue;
+      }
+      size_t size = GenerateParams(net().name, t, 7).size();
+      if (size > best_size) {
+        best_size = size;
+        best = t.name;
+      }
+    }
+    return best;
+  }
+
+  Result<WireResponse> Call(ReplayClient* client, uint64_t corr,
+                            const WireRequest& request) {
+    return client->Call(corr, request);
+  }
+
+  // Polls frontend stats until `pred` holds or the deadline passes.
+  bool WaitForStats(const std::function<bool(const FrontendStats&)>& pred,
+                    int timeout_ms = 5000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (pred(frontend_->Stats())) {
+        return true;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  std::unique_ptr<RecordingStore> store_;
+  std::unique_ptr<ReplayService> service_;
+  std::unique_ptr<ServingFrontend> frontend_;
+};
+
+}  // namespace grt
+
+#endif  // GRT_TESTS_SERVE_FRONTEND_TEST_UTIL_H_

@@ -1,0 +1,203 @@
+// grt_serve: stand up a replay model server on TCP.
+//
+// Records the requested example workloads (the simulation's stand-in for
+// "fetch signed artifacts from the cloud recorder"), installs them in a
+// RecordingStore, preloads their plans, and serves the binary replay
+// protocol (src/net/frame.h) until SIGINT/SIGTERM or --duration elapses.
+// Prints each workload's plan-cache digest so clients can pin requests to
+// the exact signed bytes they expect.
+//
+//   grt_serve --port 7447 --workers 4 --nets mnist,alexnet
+//   grt_serve --duration 30   # ephemeral port, printed on stdout
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/rig.h"
+#include "src/ml/reference.h"
+#include "src/serve/frontend.h"
+#include "src/serve/service.h"
+
+namespace grt {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+Result<NetworkDef> NetByName(const std::string& name) {
+  for (NetworkDef& net : BuildAllNetworks()) {
+    if (net.name == name) {
+      return std::move(net);
+    }
+  }
+  return NotFound("no example network named '" + name + "'");
+}
+
+int Run(int argc, char** argv) {
+  uint16_t port = 0;
+  int workers = 2;
+  int devices = 0;
+  size_t max_queue = 256;
+  int64_t duration_s = 0;  // 0: run until SIGINT/SIGTERM
+  std::vector<std::string> nets = {"mnist"};
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      port = static_cast<uint16_t>(std::atoi(v));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      workers = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--devices") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      devices = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--max-queue") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--duration") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      duration_s = std::atoll(v);
+    } else if (std::strcmp(argv[i], "--nets") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      nets.clear();
+      std::string list = v;
+      size_t pos = 0;
+      while (pos < list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > pos) nets.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: grt_serve [--port P] [--workers N] [--devices N] "
+                   "[--max-queue N] [--duration SECONDS] "
+                   "[--nets name,name,...]\n");
+      return 2;
+    }
+  }
+  if (nets.empty()) {
+    std::fprintf(stderr, "no workloads requested\n");
+    return 2;
+  }
+
+  // Record each workload once; all recordings share one session key so a
+  // single store can verify them.
+  std::printf("recording %zu workload(s)...\n", nets.size());
+  Bytes session_key;
+  std::unique_ptr<RecordingStore> store;
+  for (const std::string& name : nets) {
+    auto net = NetByName(name);
+    if (!net.ok()) {
+      std::fprintf(stderr, "%s\n", net.status().ToString().c_str());
+      return 1;
+    }
+    ClientDevice device(SkuId::kMaliG71Mp8, 11);
+    SpeculationHistory history;
+    auto m = RunRecordVariant(&device, *net, "OursMDS", WifiConditions(),
+                              &history, 0);
+    if (!m.ok()) {
+      std::fprintf(stderr, "recording %s failed: %s\n", name.c_str(),
+                   m.status().ToString().c_str());
+      return 1;
+    }
+    if (store == nullptr) {
+      session_key = m->session_key;
+      store = std::make_unique<RecordingStore>(session_key);
+    }
+    Bytes blob = m->session_key == session_key
+                     ? std::move(m->signed_recording)
+                     : [&] {
+                         // Re-sign under the store's key (simulation-only
+                         // convenience; a real store verifies per-artifact
+                         // signatures).
+                         auto rec = Recording::ParseSigned(
+                             m->signed_recording, m->session_key);
+                         return rec.ok() ? rec->SerializeSigned(session_key)
+                                         : Bytes{};
+                       }();
+    Status installed = store->Install(blob);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "install %s failed: %s\n", name.c_str(),
+                   installed.ToString().c_str());
+      return 1;
+    }
+  }
+
+  ServeConfig config;
+  config.workers = workers;
+  config.devices = devices;
+  config.max_queue = max_queue;
+  ReplayService service(store.get(), config);
+  for (const std::string& name : nets) {
+    auto digest = service.Preload(name);
+    if (!digest.ok()) {
+      std::fprintf(stderr, "preload %s failed: %s\n", name.c_str(),
+                   digest.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  %-12s digest %s\n", name.c_str(),
+                DigestToHex(*digest).c_str());
+  }
+  if (!service.Start().ok()) {
+    std::fprintf(stderr, "service start failed\n");
+    return 1;
+  }
+
+  FrontendConfig fconfig;
+  fconfig.port = port;
+  ServingFrontend frontend(&service, fconfig);
+  Status started = frontend.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "frontend start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on 127.0.0.1:%u (%d workers, queue %zu)\n",
+              frontend.port(), workers, max_queue);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(duration_s);
+  while (g_stop == 0 &&
+         (duration_s <= 0 || std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("draining...\n");
+  frontend.Shutdown();
+  service.Stop();
+  FrontendStats fs = frontend.Stats();
+  ServeStats ss = service.Stats();
+  std::printf("served: %llu frames in, %llu out | ok %llu busy %llu "
+              "expired %llu error %llu | %zu completed, %zu expired, "
+              "%zu rejected\n",
+              static_cast<unsigned long long>(fs.frames_in),
+              static_cast<unsigned long long>(fs.frames_out),
+              static_cast<unsigned long long>(fs.responses_ok),
+              static_cast<unsigned long long>(fs.responses_busy),
+              static_cast<unsigned long long>(fs.responses_expired),
+              static_cast<unsigned long long>(fs.responses_error),
+              ss.completed, ss.expired, ss.rejected);
+  return 0;
+}
+
+}  // namespace
+}  // namespace grt
+
+int main(int argc, char** argv) { return grt::Run(argc, argv); }
