@@ -34,6 +34,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "POLL_EXHAUSTED";
     case StatusCode::kIrqExpired:
       return "IRQ_EXPIRED";
+    case StatusCode::kDigestMismatch:
+      return "DIGEST_MISMATCH";
   }
   return "UNKNOWN";
 }

@@ -33,6 +33,7 @@ enum class StatusCode {
   // timeouts so tests and retry policies can branch on them precisely:
   kPollExhausted,        // ReplayConfig::poll_max_iters spent, predicate unmet
   kIrqExpired,           // ReplayConfig::irq_timeout elapsed with no interrupt
+  kDigestMismatch,       // pinned recording digest != the one resolved
 };
 
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -103,6 +104,9 @@ inline Status PollExhausted(std::string msg) {
 }
 inline Status IrqExpired(std::string msg) {
   return Status(StatusCode::kIrqExpired, std::move(msg));
+}
+inline Status DigestMismatch(std::string msg) {
+  return Status(StatusCode::kDigestMismatch, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK status. A minimal expected<> stand-in

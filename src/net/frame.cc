@@ -113,6 +113,17 @@ Status FrameDecoder::Append(const uint8_t* data, size_t n) {
       payload_len_ = payload_len;
       in_progress_.type = static_cast<WireFrameType>(type);
       in_progress_.correlation_id = corr;
+      if (payload_len_ == 0) {
+        // Complete now: the payload loop below only runs while input
+        // remains, so a zero-payload frame whose header ends exactly at
+        // a chunk boundary would otherwise sit as partial_ until the
+        // peer happened to send more bytes (or EOF miscounted it as a
+        // truncated stream).
+        decoded_.push_back(std::move(in_progress_));
+        in_progress_ = Frame{};
+        partial_.clear();
+        header_valid_ = false;
+      }
       continue;
     }
     size_t have = partial_.size() - kFrameHeaderBytes;

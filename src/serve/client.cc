@@ -161,8 +161,10 @@ Result<std::pair<uint64_t, WireResponse>> ReplayClient::RecvFromWire() {
 }
 
 Result<WireResponse> ReplayClient::Recv(uint64_t correlation_id) {
-  auto it = stash_.find(correlation_id);
-  if (it != stash_.end()) {
+  // lower_bound, not find: multimap::find may return any equivalent
+  // element, and the contract is oldest-first per correlation id.
+  auto it = stash_.lower_bound(correlation_id);
+  if (it != stash_.end() && it->first == correlation_id) {
     WireResponse out = std::move(it->second);
     stash_.erase(it);
     return out;

@@ -63,7 +63,11 @@ class ReplayClient {
 
   int fd_ = -1;
   FrameDecoder decoder_{kDefaultMaxFramePayload};
-  std::map<uint64_t, WireResponse> stash_;
+  // Multimap: the server legitimately sends two responses with one
+  // correlation id (a duplicate request's BAD_REQUEST now, the original's
+  // real reply later); equivalent keys keep arrival order, so Recv hands
+  // them back FIFO instead of silently dropping the second.
+  std::multimap<uint64_t, WireResponse> stash_;
 };
 
 }  // namespace grt

@@ -41,6 +41,8 @@ WireStatus MapStatus(const Status& status) {
       return WireStatus::kExpired;
     case StatusCode::kNotFound:
       return WireStatus::kUnknownWorkload;
+    case StatusCode::kDigestMismatch:
+      return WireStatus::kUnknownDigest;
     case StatusCode::kFailedPrecondition:
       return WireStatus::kShuttingDown;
     default:
@@ -353,6 +355,11 @@ void ServingFrontend::HandleAccept() {
 }
 
 void ServingFrontend::HandleReadable(Conn* conn) {
+  // HandleFrame and SendReply can flush, and a flush can close and free
+  // the Conn (send error, write hard cap). Every liveness re-check below
+  // must go through this captured id, never through `conn`, which is
+  // dangling once the connection leaves conns_.
+  const uint64_t id = conn->id;
   uint8_t buf[kReadChunk];
   for (int round = 0; round < kReadRoundsPerWake; ++round) {
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
@@ -370,12 +377,12 @@ void ServingFrontend::HandleReadable(Conn* conn) {
           ++stats_.decode_errors;
           ++stats_.truncated_streams;
         }
-        CloseConn(conn->id, "eof-midframe");
+        CloseConn(id, "eof-midframe");
         return;
       }
       conn->closing = true;
       if (ConnIdle(*conn)) {
-        CloseConn(conn->id, "eof");
+        CloseConn(id, "eof");
       } else {
         UpdateReadInterest(conn);  // drop EPOLLIN: EOF would re-fire forever
       }
@@ -385,7 +392,7 @@ void ServingFrontend::HandleReadable(Conn* conn) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
         return;
       }
-      CloseConn(conn->id, "recv-error");
+      CloseConn(id, "recv-error");
       return;
     }
     {
@@ -404,12 +411,14 @@ void ServingFrontend::HandleReadable(Conn* conn) {
         // replies may even flush before the connection dies.
         while (std::optional<Frame> frame = conn->decoder.Next()) {
           HandleFrame(conn, std::move(*frame));
-          if (conns_.find(conn->id) == conns_.end()) {
+          if (conns_.find(id) == conns_.end()) {
             return;
           }
         }
         // Typed framing fault: report it on corr id 0 (the stream has no
         // trustworthy frame boundary anymore), then write-flush and die.
+        // `closing` is set before the reply so SendReply's flush closes
+        // the connection itself once it goes idle.
         {
           std::lock_guard<std::mutex> lock(stats_mu_);
           ++stats_.decode_errors;
@@ -418,22 +427,22 @@ void ServingFrontend::HandleReadable(Conn* conn) {
           }
         }
         GRT_OBS_COUNT("frontend.decode_errors", 1);
+        conn->closing = true;
         SendReply(conn, 0, WireStatus::kBadRequest,
                   std::string(FrameFaultName(conn->decoder.fault())) + ": " +
                       status.message());
-        conn->closing = true;
-        if (conns_.find(conn->id) == conns_.end()) {
+        if (conns_.find(id) == conns_.end()) {
           return;  // SendReply's flush already closed it
         }
         UpdateReadInterest(conn);
         if (ConnIdle(*conn)) {
-          CloseConn(conn->id, "decode-error");
+          CloseConn(id, "decode-error");
         }
         return;
       }
       while (std::optional<Frame> frame = conn->decoder.Next()) {
         HandleFrame(conn, std::move(*frame));
-        if (conns_.find(conn->id) == conns_.end()) {
+        if (conns_.find(id) == conns_.end()) {
           return;  // a reply flush closed the connection
         }
       }
@@ -474,6 +483,19 @@ void ServingFrontend::HandleFrame(Conn* conn, Frame frame) {
     return;
   }
   WireRequest request = std::move(decoded).value();
+  if (request.deadline_ms > kMaxDeadlineMs) {
+    // The wire field is an arbitrary int64; values near INT64_MAX would
+    // overflow the service's steady_clock arithmetic. Nothing legitimate
+    // asks for an ~11-day queue deadline, so refuse rather than clamp.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+    }
+    SendReply(conn, corr, WireStatus::kBadRequest,
+              "deadline_ms " + std::to_string(request.deadline_ms) +
+                  " exceeds limit " + std::to_string(kMaxDeadlineMs));
+    return;
+  }
   if (draining_.load(std::memory_order_relaxed)) {
     SendReply(conn, corr, WireStatus::kShuttingDown, "server draining");
     return;
@@ -496,32 +518,18 @@ void ServingFrontend::HandleFrame(Conn* conn, Frame frame) {
                   ") reached");
     return;
   }
-  if (request.has_digest()) {
-    // A pinned digest is checked before admission: the client asked for
-    // exact bytes, so a store that binds the workload to anything else
-    // must refuse rather than serve and let the client discover later.
-    Result<Sha256Digest> bound = service_->Preload(request.workload);
-    if (!bound.ok()) {
-      SendReply(conn, corr,
-                bound.status().code() == StatusCode::kNotFound
-                    ? WireStatus::kUnknownWorkload
-                    : WireStatus::kError,
-                bound.status().ToString());
-      return;
-    }
-    if (*bound != request.digest) {
-      SendReply(conn, corr, WireStatus::kUnknownDigest,
-                "pinned digest does not match the recording bound to '" +
-                    request.workload + "'");
-      return;
-    }
-  }
-
   ReplayRequest replay;
   replay.workload = std::move(request.workload);
   replay.tensors = std::move(request.tensors);
   replay.output_tensor = std::move(request.output_tensor);
   replay.deadline_ms = request.deadline_ms;
+  // A pinned digest rides along to the worker path: RunRequest verifies
+  // it right after Resolve and refuses with kDigestMismatch (wire
+  // UNKNOWN_DIGEST) before staging anything. Verifying here would run
+  // the cold Resolve (hash + parse + verify + compile) on the epoll loop
+  // thread — a remote client pinning uncached workloads could stall
+  // every connection at will.
+  replay.pinned_digest = request.digest;
 
   conn->inflight.insert(corr);
   {

@@ -17,6 +17,15 @@ int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
       .count();
 }
 
+bool DigestIsZero(const Sha256Digest& d) {
+  for (uint8_t b : d) {
+    if (b != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 ReplayService::ReplayService(const RecordingStore* store, ServeConfig config)
@@ -126,7 +135,9 @@ void ReplayService::SubmitCallback(ReplayRequest request,
         QueueItem item;
         item.has_deadline = request.deadline_ms >= 0;
         if (item.has_deadline) {
-          item.deadline = now + std::chrono::milliseconds(request.deadline_ms);
+          item.deadline = now + std::chrono::milliseconds(
+                                    std::min(request.deadline_ms,
+                                             kMaxDeadlineMs));
         }
         item.request = std::move(request);
         item.done = std::move(done);
@@ -523,6 +534,18 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
   GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
   response->plan_cache_hit = resolved.cache_hit;
   response->digest = resolved.digest;
+  if (!DigestIsZero(request.pinned_digest) &&
+      request.pinned_digest != resolved.digest) {
+    // The client pinned exact recording bytes; serving anything else —
+    // even a byte-identical model under a different signature — would let
+    // it discover the substitution only after acting on the output. The
+    // check runs here, not at frontend admission, so the expensive cold
+    // Resolve (hash + parse + verify + compile) never stalls the epoll
+    // loop thread.
+    return DigestMismatch(
+        "pinned digest does not match the recording bound to '" +
+        request.workload + "'");
+  }
 
   // Placement and device acquisition cannot share one critical section (a
   // placement must not wait behind a long replay holding the device

@@ -86,6 +86,14 @@ struct ServeConfig {
   ReplayConfig replay;
 };
 
+// Largest deadline the service honors (~11.5 days). Anything above is
+// clamped at submission: deadline_ms arrives over the wire as an
+// arbitrary int64, and `now + milliseconds(INT64_MAX)` would overflow
+// the steady_clock rep (signed UB wrapping to a past deadline). The TCP
+// front-end rejects above-bound deadlines as BAD_REQUEST before they
+// reach the service.
+constexpr int64_t kMaxDeadlineMs = 1'000'000'000;
+
 struct ReplayRequest {
   std::string workload;
   // Tensors staged before the replay (input, and model parameters on the
@@ -96,8 +104,15 @@ struct ReplayRequest {
   std::string output_tensor;  // read back after replay; empty: none
   // Wall-clock admission deadline, measured from submission. A request
   // still queued `deadline_ms` after submission fails with a timeout
-  // instead of replaying. Negative: no deadline.
+  // instead of replaying. Negative: no deadline; above kMaxDeadlineMs:
+  // clamped.
   int64_t deadline_ms = -1;
+  // Pinned plan identity: when nonzero, the request runs only if the
+  // digest the workload resolves to matches exactly (the client asked
+  // for specific verified bytes). Checked on the worker path after
+  // Resolve — a mismatch fails with StatusCode::kDigestMismatch before
+  // any tensor is staged.
+  Sha256Digest pinned_digest{};
 };
 
 struct ReplayResponse {

@@ -85,6 +85,32 @@ TEST(FrameCodec, EmptyPayloadAndBackToBackFrames) {
   EXPECT_FALSE(decoder.Next().has_value());
 }
 
+// Regression: a zero-payload frame whose header ends exactly at an
+// Append chunk boundary must complete immediately — not sit buffered as
+// a partial frame until the peer happens to send more bytes (a client
+// sending only that frame would hang with no reply, and its EOF would
+// miscount as a truncated stream).
+TEST(FrameCodec, ZeroPayloadFrameAtChunkBoundaryCompletes) {
+  Bytes lone = EncodeFrame(MakeFrame(9, 0));
+  ASSERT_EQ(lone.size(), kFrameHeaderBytes);
+  FrameDecoder whole(1 << 16);
+  ASSERT_TRUE(whole.Append(lone).ok());
+  std::optional<Frame> out = whole.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->correlation_id, 9u);
+  EXPECT_TRUE(out->payload.empty());
+  EXPECT_TRUE(whole.FinishStream().ok());  // nothing buffered at EOF
+
+  // Dribbled one byte per Append: the frame exists the moment the last
+  // header byte lands, with no trailing input to nudge it out.
+  FrameDecoder dribble(1 << 16);
+  for (size_t i = 0; i < lone.size(); ++i) {
+    ASSERT_TRUE(dribble.Append(lone.data() + i, 1).ok());
+  }
+  ASSERT_TRUE(dribble.Next().has_value());
+  EXPECT_TRUE(dribble.FinishStream().ok());
+}
+
 // The dribble contract: any chunking of the byte stream — down to one
 // byte per Append — decodes to the identical frame sequence.
 TEST(FrameCodec, DribbleEveryChunkSize) {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 
 #include "src/net/frame.h"
 #include "tests/serve/frontend_test_util.h"
@@ -218,6 +219,53 @@ TEST_F(FrontendProtocolTest, DuplicateCorrelationIdRejectedConnSurvives) {
   ASSERT_TRUE(original.ok()) << original.status().ToString();
   EXPECT_EQ(original->status, WireStatus::kOk);
   EXPECT_FALSE(original->output.empty());
+}
+
+TEST_F(FrontendProtocolTest, BothRepliesForADuplicatedIdSurviveTheStash) {
+  // The duplicate-corr-id case is the one place the server legitimately
+  // sends two responses with one correlation id (the duplicate's
+  // rejection now, the original's real reply later). Reading a *later*
+  // request first forces both through the client's stash — neither may
+  // be silently dropped.
+  Boot(ServeConfig{}, FrontendConfig{}, /*start_service=*/false);
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  WireRequest request = MakeWireRequest(0);
+  ASSERT_TRUE(client.Send(77, request).ok());
+  ASSERT_TRUE(client.Send(77, request).ok());
+  ASSERT_TRUE(service_->Start().ok());
+  auto later = client.Call(78, MakeWireRequest(1));
+  ASSERT_TRUE(later.ok()) << later.status().ToString();
+  EXPECT_EQ(later->status, WireStatus::kOk);
+  auto dup = client.Recv(77);  // stashed first: the rejection
+  ASSERT_TRUE(dup.ok()) << dup.status().ToString();
+  EXPECT_EQ(dup->status, WireStatus::kBadRequest);
+  auto original = client.Recv(77);  // stashed second: the real reply
+  ASSERT_TRUE(original.ok()) << original.status().ToString();
+  EXPECT_EQ(original->status, WireStatus::kOk);
+  EXPECT_FALSE(original->output.empty());
+}
+
+TEST_F(FrontendProtocolTest, AbsurdDeadlineRejectedBeforeAdmission) {
+  Boot();
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
+  // deadline_ms arrives as an arbitrary int64; near INT64_MAX it would
+  // overflow the service's steady_clock arithmetic into a past deadline.
+  // The frontend refuses it at decode, before admission.
+  WireRequest request = MakeWireRequest(0);
+  request.deadline_ms = std::numeric_limits<int64_t>::max();
+  auto reply = client.Call(61, request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->status, WireStatus::kBadRequest);
+  EXPECT_NE(reply->message.find("deadline_ms"), std::string::npos);
+  EXPECT_EQ(frontend_->Stats().requests_admitted, 0u);
+  // Exactly at the bound is admitted and served on the same connection.
+  WireRequest at_bound = MakeWireRequest(0);
+  at_bound.deadline_ms = kMaxDeadlineMs;
+  auto good = client.Call(62, at_bound);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good->status, WireStatus::kOk);
 }
 
 TEST_F(FrontendProtocolTest, SameCorrelationIdFineOnSeparateConnections) {

@@ -442,6 +442,32 @@ TEST_F(ReplayServiceTest, PreloadCompilesAheadOfTraffic) {
   EXPECT_EQ(stats.plan_hits, 2u);  // second Preload + the served request
 }
 
+TEST_F(ReplayServiceTest, PinnedDigestVerifiedOnTheWorkerPath) {
+  ServeConfig config;
+  config.sku = kSku;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  auto digest = service.Preload("mnist");
+  ASSERT_TRUE(digest.ok());
+
+  ReplayRequest pinned = MakeRequest("mnist", 42);
+  pinned.pinned_digest = *digest;
+  ReplayResponse ok = service.Submit(std::move(pinned));
+  ASSERT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.digest, *digest);
+
+  ReplayRequest mispinned = MakeRequest("mnist", 42);
+  mispinned.pinned_digest = *digest;
+  mispinned.pinned_digest[0] ^= 0xff;
+  ReplayResponse refused = service.Submit(std::move(mispinned));
+  EXPECT_EQ(refused.status.code(), StatusCode::kDigestMismatch);
+  // The request resolved before the mismatch, so the true digest is
+  // echoed — the client learns the correct pin from the refusal.
+  EXPECT_EQ(refused.digest, *digest);
+  EXPECT_TRUE(refused.output.empty());
+}
+
 TEST_F(ReplayServiceTest, UnknownWorkloadFailsTheRequestOnly) {
   ServeConfig config;
   config.sku = kSku;
