@@ -31,8 +31,13 @@
 //                   v4 header block the device pool uses for co-residency
 //                   decisions): classified register ranges, written page
 //                   set, IRQ lines, and slot/AS latch masks
-//   --json          with --footprint, emit the footprint as JSON instead
-//                   of the human-readable table
+//   --fused         with --plan: run the planopt superoptimizer
+//                   (src/analysis/planopt) on the compiled plan and print
+//                   the fused warm schedule, per-op provenance, and the
+//                   warm-invariant vs input-dependent partition; exit
+//                   code 1 if the provenance check rejects the program
+//   --json          with --footprint or --fused, emit JSON instead of the
+//                   human-readable form
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -41,6 +46,7 @@
 
 #include "src/analysis/dataflow/ir.h"
 #include "src/analysis/footprint/footprint.h"
+#include "src/analysis/planopt/planopt.h"
 #include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/harness/table.h"
@@ -158,7 +164,7 @@ int DiffAgainst(const Recording& original, const char* other_path) {
   return 0;
 }
 
-void InspectPlan(const Recording& rec) {
+int InspectPlan(const Recording& rec, bool fused, bool json) {
   ReplayPlan plan = CompileReplayPlan(rec);
   std::printf("\n--- compiled replay plan ---\n");
   std::printf("lowered %zu log entries -> %zu ops + %u initial-image pages "
@@ -213,13 +219,38 @@ void InspectPlan(const Recording& rec) {
                 patch.writable ? "injectable" : "read-only",
                 patch.complete ? "" : "  [INCOMPLETE PAGE LIST]");
   }
+
+  if (fused) {
+    auto sku = FindSku(rec.header.sku);
+    if (!sku.ok()) {
+      std::fprintf(stderr, "cannot resolve SKU for --fused: %s\n",
+                   sku.status().ToString().c_str());
+      return 1;
+    }
+    std::string decline;
+    Status st = AttachWarmProgram(&plan, sku.value(), &decline);
+    if (!st.ok()) {
+      std::fprintf(stderr, "planopt provenance check FAILED: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (plan.warm == nullptr) {
+      std::printf("\n--- fused warm program ---\nsuperoptimizer declined: "
+                  "%s\n",
+                  decline.c_str());
+      return 0;
+    }
+    std::printf("\n--- fused warm program ---\n%s",
+                FormatWarmProgram(plan, json).c_str());
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool lint = false, dump = false, dataflow = false, show_plan = false;
-  bool metrics = false, footprint = false, json = false;
+  bool metrics = false, footprint = false, json = false, fused = false;
   const char* diff_path = nullptr;
   const char* save_path = nullptr;
   for (int i = 1; i < argc; ++i) {
@@ -235,6 +266,9 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--footprint") == 0) {
       footprint = true;
+    } else if (std::strcmp(argv[i], "--fused") == 0) {
+      fused = true;
+      show_plan = true;  // the fused schedule is part of the plan view
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--diff") == 0 && i + 1 < argc) {
@@ -244,8 +278,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--lint] [--dump] [--dataflow] [--plan] "
-                   "[--metrics] [--footprint [--json]] [--diff <other>] "
-                   "[--save <file>]\n",
+                   "[--fused] [--metrics] [--footprint [--json]] "
+                   "[--diff <other>] [--save <file>]\n",
                    argv[0]);
       return 2;
     }
@@ -352,7 +386,10 @@ int main(int argc, char** argv) {
     std::printf("%s", DumpIr(ir, 60).c_str());
   }
   if (show_plan) {
-    InspectPlan(*rec);
+    int rc = InspectPlan(*rec, fused, json);
+    if (rc != 0) {
+      return rc;
+    }
   }
   if (save_path != nullptr) {
     Bytes body = rec->SerializeBody();

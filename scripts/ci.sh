@@ -4,11 +4,14 @@
 #      the deterministic-recording acceptance covers two consecutive runs)
 #   2. replay perf smoke gate: bench/replay_serving --smoke fails if a
 #      warm plan-based replay ever applies at least as many memory bytes
-#      as the interpreter, or diverges from it bitwise; --obs-gate fails
-#      if running with metrics + tracing enabled is more than 5% slower
-#      than running with them off; bench/serving_frontend --smoke fails
-#      if TCP-served outputs diverge bitwise from in-process replay or
-#      the open-loop load points drop/garble any response
+#      as the interpreter, diverges from it bitwise, or the planopt-fused
+#      warm replay misses its per-workload speedup gate; --perf-gate
+#      records vgg16 and fails unless the fused warm replay beats the
+#      interpreter by >= 1.5x with bitwise-identical output; --obs-gate
+#      fails if running with metrics + tracing enabled is more than 5%
+#      slower than running with them off; bench/serving_frontend --smoke
+#      fails if TCP-served outputs diverge bitwise from in-process replay
+#      or the open-loop load points drop/garble any response
 #   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest,
 #      which includes the footprint soundness sweep
 #      (footprint_soundness_test: static footprint ⊇ observed writes on
@@ -21,9 +24,10 @@
 #      worker threads); any reported race fails the gate even when the
 #      assertions all pass
 #   5. clang-tidy over the library sources (src/, including the footprint
-#      analysis in src/analysis/footprint) and the trace tool (profile:
-#      .clang-tidy); any warning fails the gate. Skips cleanly where
-#      clang-tidy is absent.
+#      analysis in src/analysis/footprint and the plan superoptimizer in
+#      src/analysis/planopt) and the trace tool (profile: .clang-tidy);
+#      any warning fails the gate. Skips cleanly where clang-tidy is
+#      absent.
 #
 # Usage: scripts/ci.sh [jobs]
 #   jobs  parallel build/test jobs (default: nproc)
@@ -59,6 +63,8 @@ cmake --build build-ci -j "${JOBS}" --target replay_serving
 SMOKE_JSON="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}"' EXIT
 build-ci/bench/replay_serving --smoke --out "${SMOKE_JSON}"
+echo "=== pass 2/5: planopt fused-replay perf gate (vgg16 >= 1.5x) ==="
+build-ci/bench/replay_serving --perf-gate
 echo "=== pass 2/5: observability overhead gate ==="
 build-ci/bench/replay_serving --obs-gate
 echo "=== pass 2/5: serving front-end perf smoke gate ==="

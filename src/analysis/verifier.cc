@@ -7,6 +7,19 @@
 
 namespace grt {
 
+namespace {
+
+std::vector<VerifierPassFactory>& ExtraPassRegistry() {
+  static std::vector<VerifierPassFactory> registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterVerifierPass(VerifierPassFactory factory) {
+  ExtraPassRegistry().push_back(factory);
+}
+
 RecordingVerifier::RecordingVerifier() {
   passes_.push_back(std::make_unique<GrammarPass>());
   passes_.push_back(std::make_unique<RegisterProtocolPass>());
@@ -16,6 +29,9 @@ RecordingVerifier::RecordingVerifier() {
   passes_.push_back(std::make_unique<SkuCompatPass>());
   passes_.push_back(std::make_unique<OptimizerProvenancePass>());
   passes_.push_back(std::make_unique<FootprintSoundnessPass>());
+  for (VerifierPassFactory factory : ExtraPassRegistry()) {
+    passes_.push_back(factory());
+  }
 }
 
 void RecordingVerifier::AddPass(std::unique_ptr<AnalysisPass> pass) {

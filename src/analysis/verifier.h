@@ -17,9 +17,20 @@
 
 namespace grt {
 
+// Factory for passes contributed from outside this library (e.g. the
+// planopt-soundness pass, which lives with the plan superoptimizer in
+// src/analysis/planopt but must run at recording admission). Factories
+// registered before a RecordingVerifier is constructed are appended
+// after the standard passes. Safe to call from static initializers;
+// VerifyRecording's shared verifier is constructed lazily on first use,
+// after all registrations.
+using VerifierPassFactory = std::unique_ptr<AnalysisPass> (*)();
+void RegisterVerifierPass(VerifierPassFactory factory);
+
 class RecordingVerifier {
  public:
-  // A verifier with all eight standard passes registered.
+  // A verifier with all eight standard passes plus every registered
+  // extra pass.
   RecordingVerifier();
 
   // Registers an additional pass (runs after the standard ones).

@@ -27,6 +27,7 @@ void MaliGpu::HardReset() {
 }
 
 void MaliGpu::SoftReset() {
+  ++reset_epoch_;
   shader_.ready = shader_.trans = 0;
   tiler_.ready = tiler_.trans = 0;
   l2_.ready = l2_.trans = 0;

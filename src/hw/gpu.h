@@ -75,6 +75,14 @@ class MaliGpu {
 
   const GpuSku& sku() const { return sku_; }
 
+  // Monotone counter bumped on every reset (HardReset or a soft-reset
+  // command completing). A fused warm program (src/analysis/planopt) is
+  // valid only while the device state it assumes survives; callers
+  // snapshot the epoch after establishing that state and re-check it
+  // before every fast-path replay — any reset in between (e.g. another
+  // engine scrubbing a shared pool device) invalidates the snapshot.
+  uint64_t reset_epoch() const { return reset_epoch_; }
+
   // Introspection for tests and the energy model.
   uint64_t jobs_completed() const { return jobs_completed_; }
   uint64_t flushes_completed() const { return flush_count_; }
@@ -179,6 +187,7 @@ class MaliGpu {
   uint32_t fault_xor_ = 0;
 
   std::vector<PendingEvent> events_;
+  uint64_t reset_epoch_ = 0;
   uint64_t jobs_completed_ = 0;
   Duration busy_time_ = 0;
 };

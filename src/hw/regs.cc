@@ -564,6 +564,67 @@ uint32_t GpuIrqBitsRaisedBy(uint32_t reg, uint32_t value) {
   return 0;
 }
 
+GpuCommandKind ClassifyGpuCommand(uint32_t value) {
+  switch (value) {
+    case kGpuCommandNop: return GpuCommandKind::kNop;
+    case kGpuCommandSoftReset: return GpuCommandKind::kSoftReset;
+    case kGpuCommandHardReset: return GpuCommandKind::kHardReset;
+    case kGpuCommandCleanCaches:
+    case kGpuCommandCleanInvCaches:
+      return GpuCommandKind::kCacheFlush;
+    default:
+      return GpuCommandKind::kUnknown;
+  }
+}
+
+PowerDomain PowerControlDomain(uint32_t offset, bool* is_on, bool* is_hi) {
+  if (!IsPowerControlRegister(offset)) {
+    return PowerDomain::kNone;
+  }
+  *is_hi = (offset & 0x4) != 0;
+  const uint32_t base = offset & ~0x4u;
+  *is_on = base < kRegShaderPwrOffLo;
+  switch (base) {
+    case kRegShaderPwrOnLo:
+    case kRegShaderPwrOffLo:
+      return PowerDomain::kShader;
+    case kRegTilerPwrOnLo:
+    case kRegTilerPwrOffLo:
+      return PowerDomain::kTiler;
+    case kRegL2PwrOnLo:
+    case kRegL2PwrOffLo:
+      return PowerDomain::kL2;
+    default:
+      return PowerDomain::kNone;
+  }
+}
+
+PowerDomain PowerStatusDomain(uint32_t offset, bool* is_trans, bool* is_hi) {
+  *is_hi = (offset & 0x4) != 0;
+  switch (offset & ~0x4u) {
+    case kRegShaderReadyLo:
+      *is_trans = false;
+      return PowerDomain::kShader;
+    case kRegTilerReadyLo:
+      *is_trans = false;
+      return PowerDomain::kTiler;
+    case kRegL2ReadyLo:
+      *is_trans = false;
+      return PowerDomain::kL2;
+    case kRegShaderPwrTransLo:
+      *is_trans = true;
+      return PowerDomain::kShader;
+    case kRegTilerPwrTransLo:
+      *is_trans = true;
+      return PowerDomain::kTiler;
+    case kRegL2PwrTransLo:
+      *is_trans = true;
+      return PowerDomain::kL2;
+    default:
+      return PowerDomain::kNone;
+  }
+}
+
 bool IsReadIdempotentRegister(uint32_t offset) {
   switch (offset) {
     case kRegGpuCommand:

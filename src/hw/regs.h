@@ -294,6 +294,28 @@ uint32_t ClobberValueClass(uint32_t stimulus_reg, uint32_t stimulus_value);
 // include the power-changed bits because bring-up re-powers cores.
 uint32_t GpuIrqBitsRaisedBy(uint32_t reg, uint32_t value);
 
+// GPU_COMMAND value classification for the plan-effect analysis
+// (src/analysis/planopt): closure grammars key on what a command does,
+// not on its numeric value.
+enum class GpuCommandKind : uint8_t {
+  kNop,
+  kSoftReset,
+  kHardReset,
+  kCacheFlush,  // CLEAN_CACHES / CLEAN_INV_CACHES (same completion protocol)
+  kUnknown,
+};
+GpuCommandKind ClassifyGpuCommand(uint32_t value);
+
+// Power-domain decomposition of the power-control / power-status blocks,
+// used by the planopt abstract power evaluator.
+enum class PowerDomain : uint8_t { kShader, kTiler, kL2, kNone };
+// Decodes a PWRON/PWROFF register: domain, on-vs-off, Lo-vs-Hi word.
+// Returns kNone for non-power-control offsets.
+PowerDomain PowerControlDomain(uint32_t offset, bool* is_on, bool* is_hi);
+// Decodes a READY/PWRTRANS status register the same way. `is_trans` is
+// true for PWRTRANS, false for READY. Returns kNone otherwise.
+PowerDomain PowerStatusDomain(uint32_t offset, bool* is_trans, bool* is_hi);
+
 }  // namespace grt
 
 #endif  // GRT_SRC_HW_REGS_H_

@@ -30,6 +30,11 @@ size_t ReplayPlan::CountOps(LogOp kind) const {
 }
 
 ReplayPlan CompileReplayPlan(const Recording& recording) {
+  return CompileReplayPlan(recording, PlanCompileOptions{});
+}
+
+ReplayPlan CompileReplayPlan(const Recording& recording,
+                             const PlanCompileOptions& options) {
   GRT_OBS_COUNT("plan.compiles", 1);
   GRT_TRACE_SPAN("plan.compile", "plan");
   ReplayPlan plan;
@@ -111,7 +116,9 @@ ReplayPlan CompileReplayPlan(const Recording& recording) {
       plan.regions.push_back(PlanRegion{pa, 0, Bytes(), {}});
     }
     PlanRegion& region = plan.regions.back();
-    region.image.insert(region.image.end(), data.begin(), data.end());
+    if (options.include_images) {
+      region.image.insert(region.image.end(), data.begin(), data.end());
+    }
     region.metastate.push_back(meta);
     ++region.n_pages;
     ++plan.image_pages;

@@ -32,6 +32,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -100,14 +101,132 @@ struct TensorPatch {
   // False when the binding's page list is too short to back all n_floats
   // (injection must fail exactly like the interpreter's page walk would).
   bool complete = true;
+  // Escape analysis (planopt): readback through the chunk table may write
+  // the caller's buffer directly — the tensor's pages back exactly
+  // n_floats and are not aliased by another writable binding's pages, so
+  // the chunk copy is bitwise the interpreter page walk.
+  bool direct_readback = false;
   std::vector<PatchChunk> chunks;
 };
 
+// ------------------------------------------------------- plan format v2
+// A "warm program": the fused schedule a warm replay executes instead of
+// the full op array, produced and proven by src/analysis/planopt. Every
+// source plan op is accounted for exactly once in PlanProvenance; the
+// soundness checker (and verifier pass) re-derives each record's
+// justification from the plan + register semantics, so a tampered or
+// stale program is rejected before it can touch the device.
+
+enum class WarmOpKind : uint8_t {
+  kMemPage,   // mid-replay metastate reapplication (kept)
+  kRegWrite,  // single retained register write
+  kRegRead,   // retained read; verified under verify & verify_mask
+  kPollWait,
+  kDelay,
+  kIrqWait,
+  kRegSpan,  // fused run of adjacent retained writes (span_writes slice)
+};
+
+// One member write of a fused kRegSpan, in execution order.
+struct RegSpanWrite {
+  uint32_t reg = 0;
+  uint32_t value = 0;
+  uint32_t src_index = 0;  // plan op this write was fused from
+};
+
+struct WarmOp {
+  WarmOpKind kind = WarmOpKind::kRegWrite;
+  bool verify = false;
+  uint32_t reg = 0;
+  uint32_t value = 0;
+  uint32_t mask = 0;      // kPollWait
+  uint32_t expected = 0;  // kPollWait
+  // kRegRead: bits actually compared when verifying. All-ones for plain
+  // retained reads; weakened on GPU_IRQ_RAWSTAT reads to exclude bits
+  // owned by elided device-op closures (flush/power/reset completion
+  // bits that no longer get raised).
+  uint32_t verify_mask = 0xFFFFFFFFu;
+  uint8_t irq_lines = 0;   // kIrqWait
+  Duration delay = 0;      // kDelay
+  uint32_t image = 0;      // kMemPage
+  uint32_t span_begin = 0;  // kRegSpan: first index into span_writes
+  uint32_t span_len = 0;    // kRegSpan: member count (>= 2)
+  uint32_t src_index = 0;   // source plan op (non-span kinds)
+};
+
+// Why a source plan op is absent from / present in the warm schedule.
+enum class PlanRewriteKind : uint8_t {
+  kKeep,       // retained verbatim as warm op `warm_index`
+  kFuseSpan,   // fused into kRegSpan warm op `warm_index`, member `aux`
+  kMaskWeaken,  // retained read with verify_mask weakened to ~aux
+  // Elisions (machine-checked justifications; DESIGN.md §6h):
+  kElideConstRead,     // R3: verified read of a constant-class register
+  kElideNondetRead,    // R2: unverified read of a read-idempotent register
+  kElideNoopLatch,     // R1: latch write of the value already latched
+  kElideFlushClosure,  // R4: cache-flush command/poll/ack closure, id aux
+  kElideResetClosure,  // R5: reset command closure, id aux
+  kElidePowerClosure,  // R6: power off/on/ready closure, id aux
+  kElideAsClosure,     // R7: AS latch+UPDATE+status closure, id aux
+};
+
+struct PlanRewrite {
+  PlanRewriteKind kind = PlanRewriteKind::kKeep;
+  uint32_t src_index = 0;   // the source plan op this record justifies
+  uint32_t warm_index = 0;  // kKeep/kFuseSpan/kMaskWeaken: the warm op
+  // kFuseSpan: member ordinal within the span. kMaskWeaken: the weakened
+  // bit set (verify_mask == ~aux). kElide*Closure: closure id grouping
+  // the members of one closure instance.
+  uint32_t aux = 0;
+};
+
+struct PlanProvenance {
+  uint32_t plan_format = 2;
+  // Exactly one record per source plan op, ascending src_index.
+  std::vector<PlanRewrite> rewrites;
+};
+
+struct WarmStats {
+  uint32_t fused_spans = 0;
+  uint32_t fused_writes = 0;  // writes living inside spans
+  uint32_t elided_flush_closures = 0;
+  uint32_t elided_power_closures = 0;
+  uint32_t elided_reset_closures = 0;
+  uint32_t elided_as_closures = 0;
+  uint32_t elided_const_reads = 0;
+  uint32_t elided_nondet_reads = 0;
+  uint32_t elided_noop_latches = 0;
+  uint32_t weakened_reads = 0;
+  uint32_t retained_ops = 0;     // warm ops (spans count once)
+  uint32_t elided_ops = 0;       // source ops with no warm counterpart
+  uint32_t invariant_ops = 0;    // partition: warm-invariant source ops
+  uint32_t input_dep_ops = 0;    // partition: input-dependent source ops
+  uint32_t direct_readback_tensors = 0;
+};
+
+struct WarmProgram {
+  std::vector<WarmOp> ops;
+  std::vector<RegSpanWrite> span_writes;
+  PlanProvenance provenance;
+  WarmStats stats;
+  // GPU_IRQ_RAWSTAT bits the warm program owns: every bit an elided op
+  // could have raised (flush-done, reset-done, power-changed). These stay
+  // latched across warm replays — retained reads of the rawstat are
+  // verified under ~owned, retained polls/waits must not depend on them,
+  // and the executor tolerates a GPU irq line asserted only by owned
+  // bits. Re-derived from provenance by CheckWarmProgram.
+  uint32_t owned_gpu_irq_bits = 0;
+};
+
 struct ReplayPlan {
+  // 1 = flat op array only; 2 = a checked warm program is attached.
+  uint32_t version = 1;
   std::vector<PlanOp> ops;
   std::vector<PlanRegion> regions;
   std::vector<PlanImage> mid_images;
   std::map<std::string, TensorPatch> patches;
+  // Plan format v2 (null on v1 plans): the fused warm schedule plus its
+  // provenance. Built and self-checked by AttachWarmProgram.
+  std::shared_ptr<const WarmProgram> warm;
 
   // Compile-time accounting (inspector / perf gates).
   uint64_t image_bytes = 0;      // total initial-image bytes
@@ -121,10 +240,20 @@ struct ReplayPlan {
   size_t CountOps(LogOp kind) const;
 };
 
+struct PlanCompileOptions {
+  // False: skip copying page images into regions (region layout and
+  // accounting still computed). The planopt soundness pass analyzes only
+  // the op schedule; a skeleton plan avoids re-copying the multi-MB image
+  // on every verification.
+  bool include_images = true;
+};
+
 // Lowers a recording into a plan. Purely mechanical (no verification —
 // run the static verifier before trusting the recording; Replayer::Load
 // does). Never fails: any well-formed log lowers.
 ReplayPlan CompileReplayPlan(const Recording& recording);
+ReplayPlan CompileReplayPlan(const Recording& recording,
+                             const PlanCompileOptions& options);
 
 }  // namespace grt
 

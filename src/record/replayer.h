@@ -81,6 +81,13 @@ struct ReplayConfig {
   // Plan path only: skip re-applying initial-image pages that no write
   // clobbered since the previous replay applied them.
   bool dirty_tracking = true;
+  // Execute the plan's fused warm program (plan format v2, attached by
+  // AttachWarmProgram) on warm replays instead of the full op array. The
+  // fast path additionally requires dirty tracking, an armed device (the
+  // previous replay on this replayer succeeded and left the device
+  // un-scrubbed), and an unchanged GPU reset epoch; otherwise the full
+  // plan runs. No effect on plans without a warm program.
+  bool use_warm_program = true;
 };
 
 struct ReplayReport {
@@ -98,6 +105,25 @@ struct ReplayReport {
   // True when dirty-page tracking was in effect (second and later plan
   // replays on the same loaded recording).
   bool warm = false;
+  // True when the fused warm program executed instead of the full op
+  // array (requires config.use_warm_program and an attached, armed plan).
+  bool warm_program_used = false;
+  // Fused register spans executed and the total writes they covered.
+  size_t fused_spans_executed = 0;
+  size_t fused_writes_executed = 0;
+  // Subset of mem_bytes_applied issued as coalesced multi-page runs
+  // (>= 2 contiguous pages per Write call).
+  uint64_t mem_bytes_applied_fused = 0;
+  // Per-stage virtual-time breakdown of the replay (plan and interpreter
+  // paths). dispatch = job-slot register writes incl. fused spans;
+  // reg_io = all other MMIO traffic incl. poll iterations; shader_exec =
+  // interrupt waits and recorded device delays; page_apply = image,
+  // mid-replay page, and tensor-injection copies. Readback is not part
+  // of Replay() — ReadTensor/ReadTensorInto time it separately.
+  Duration stage_dispatch = 0;
+  Duration stage_reg_io = 0;
+  Duration stage_shader_exec = 0;
+  Duration stage_page_apply = 0;
 };
 
 class Replayer {
@@ -135,6 +161,14 @@ class Replayer {
   // Reads a tensor (typically the output) from the recorded pages.
   Result<std::vector<float>> ReadTensor(const std::string& name) const;
 
+  // Reads a tensor directly into a caller-owned buffer of n_floats
+  // elements, skipping the intermediate vector. On plans whose patch
+  // table proved the tensor's page mapping complete (direct_readback,
+  // set by the planopt escape analysis), the copy walks the precomputed
+  // chunk table; otherwise it falls back to the recorded page walk.
+  Status ReadTensorInto(const std::string& name, float* out,
+                        size_t n_floats) const;
+
   // The device-observed interaction log of the last Replay() (only
   // populated with config.collect_observed).
   const InteractionLog& observed_log() const { return observed_; }
@@ -142,6 +176,15 @@ class Replayer {
   const Recording& recording() const { return *recording_; }
   // Null unless config.use_plan and a recording is loaded.
   const ReplayPlan* plan() const { return plan_.get(); }
+
+  // Bench/test introspection: physical pages written since the image
+  // state was last established (empty when dirty tracking is off). The
+  // dirty-page sweep uses this to target pages that are actually clean
+  // at steady state — pages the replay itself rewrites every run are
+  // re-applied regardless, so dirtying them is not marginal work.
+  const std::unordered_set<uint64_t>& dirty_pages() const {
+    return dirty_pages_;
+  }
 
   // Adjusts the scrub behaviour between replays (layered replay reuses one
   // loaded replayer per segment across ReplayAll calls whose boundary
@@ -155,9 +198,11 @@ class Replayer {
   Status ApplyMemEntry(const LogEntry& e, ReplayReport* report);
   Status InjectStaged();
   Status InjectStagedPlanned(ReplayReport* report);
-  Status WaitIrqLines(uint8_t lines);
+  Status WaitIrqLines(uint8_t lines, uint8_t tolerated = 0);
   Result<ReplayReport> ReplayInterpreted();
   Result<ReplayReport> ReplayPlanned();
+  Status RunPlanOps(ReplayReport* report);
+  Status RunWarmOps(ReplayReport* report);
   Status ApplyPlanImages(bool warm, ReplayReport* report);
   const std::unordered_set<uint64_t>& InjectedPages();
   void ResetReplayState();
@@ -186,6 +231,14 @@ class Replayer {
   bool observer_active_ = false;
   bool have_image_state_ = false;
   std::unordered_set<uint64_t> dirty_pages_;
+  // ---- fused warm program (plan format v2) ----
+  // Armed after a successful replay that left the device un-scrubbed in
+  // the warm program's proven entry power state; disarmed by any replay
+  // failure or reload. The reset-epoch snapshot detects a device reset
+  // between replays (e.g. another engine scrubbing a shared pool device)
+  // and falls back to the full plan.
+  bool warm_armed_ = false;
+  uint64_t warm_epoch_ = 0;
 };
 
 }  // namespace grt

@@ -4,8 +4,10 @@
 #include <utility>
 
 #include "src/analysis/footprint/footprint.h"
+#include "src/analysis/planopt/planopt.h"
 #include "src/analysis/verifier.h"
 #include "src/obs/trace.h"
+#include "src/sku/sku.h"
 
 namespace grt {
 
@@ -288,7 +290,26 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
   if (config_.replay.static_verify) {
     GRT_RETURN_IF_ERROR(VerifyRecording(*recording));
   }
-  auto plan = std::make_shared<const ReplayPlan>(CompileReplayPlan(*recording));
+  auto compiled = std::make_unique<ReplayPlan>(CompileReplayPlan(*recording));
+  // Superoptimize once per cached plan: every worker replayer then picks
+  // up the fused warm schedule through the shared plan. A failed
+  // provenance check refuses the plan outright; a declined build (the
+  // recording has no fusable shape) serves the plain v1 plan.
+  if (config_.fuse_plans) {
+    auto sku = FindSku(config_.sku);
+    if (sku.ok()) {
+      std::string decline_reason;
+      GRT_RETURN_IF_ERROR(
+          AttachWarmProgram(compiled.get(), sku.value(), &decline_reason));
+      std::lock_guard<std::mutex> slock(stats_mu_);
+      if (compiled->warm != nullptr) {
+        ++stats_.plans_fused;
+      } else {
+        ++stats_.fuse_declined;
+      }
+    }
+  }
+  std::shared_ptr<const ReplayPlan> plan = std::move(compiled);
 
   while (plans_.size() >= config_.max_plans) {
     Sha256Digest victim = lru_.back();
@@ -663,8 +684,17 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
   }
   if (!request.output_tensor.empty()) {
     GRT_TRACE_SPAN("readback", "serve");
-    GRT_ASSIGN_OR_RETURN(response->output,
-                         engine.replayer->ReadTensor(request.output_tensor));
+    // Escape-analysed readback: size the response buffer once and let the
+    // replayer fill it through the patch-table chunks (or the page-walk
+    // fallback) — no intermediate vector per request.
+    auto bit = resolved.recording->bindings.find(request.output_tensor);
+    if (bit == resolved.recording->bindings.end()) {
+      return NotFound("no tensor binding '" + request.output_tensor + "'");
+    }
+    response->output.resize(bit->second.n_floats);
+    GRT_RETURN_IF_ERROR(engine.replayer->ReadTensorInto(
+        request.output_tensor, response->output.data(),
+        response->output.size()));
   }
   return OkStatus();
 }
@@ -684,6 +714,9 @@ void ReplayService::RecordOutcome(const ReplayResponse& response) {
     ++stats_.warm_replays;
     stats_.warm_pages_applied += report.pages_applied;
     stats_.warm_pages_skipped += report.pages_skipped_clean;
+  }
+  if (report.warm_program_used) {
+    ++stats_.fused_replays;
   }
   replay_delay_hist_.Record(
       static_cast<uint64_t>(std::max<Duration>(report.delay, 0)));

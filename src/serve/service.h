@@ -84,6 +84,13 @@ struct ServeConfig {
   // placement: the fence is the kSerializable verdict's soundness
   // argument (src/analysis/footprint).
   ReplayConfig replay;
+  // Run the planopt superoptimizer on each cold-resolved plan and attach
+  // the checked warm program (plan format v2). Workers then execute the
+  // fused schedule on warm replays (requires replay.use_warm_program and
+  // dirty tracking). A program that fails its provenance check is never
+  // attached — the resolve fails loudly rather than serving unchecked
+  // rewrites; a declined build (unfusable recording) serves the v1 plan.
+  bool fuse_plans = true;
 };
 
 // Largest deadline the service honors (~11.5 days). Anything above is
@@ -164,6 +171,12 @@ struct ServeStats {
   // and redid placement instead of running unadmitted.
   size_t placement_retries = 0;
   size_t warm_replays = 0;  // replays that ran the dirty-page warm path
+  // Fused-schedule accounting: plans that got a warm program attached at
+  // resolve, builds the superoptimizer declined, and replays that
+  // actually executed the fused warm program.
+  size_t plans_fused = 0;
+  size_t fuse_declined = 0;
+  size_t fused_replays = 0;
   // Memory-application accounting across all replays (the perf gate's
   // numerator: warm replays should push bytes/replay far below cold).
   uint64_t pages_applied = 0;

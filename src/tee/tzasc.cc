@@ -49,4 +49,19 @@ Status Tzasc::WriteGpuRegister(World caller, MaliGpu* gpu, uint32_t offset,
   return gpu->WriteRegister(offset, value);
 }
 
+Status Tzasc::WriteGpuRegisterSpan(World caller, MaliGpu* gpu,
+                                   const RegWrite* writes, size_t n) {
+  if (!Permit(caller)) {
+    ++violations_;
+    return PermissionDenied("GPU MMIO write from non-owning world");
+  }
+  if (soc_ != nullptr && !soc_->gpu_rail_on()) {
+    return DeviceFault("GPU power rail is off (bus error)");
+  }
+  for (size_t i = 0; i < n; ++i) {
+    GRT_RETURN_IF_ERROR(gpu->WriteRegister(writes[i].reg, writes[i].value));
+  }
+  return OkStatus();
+}
+
 }  // namespace grt

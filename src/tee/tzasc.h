@@ -47,6 +47,21 @@ class Tzasc {
   Status WriteGpuRegister(World caller, MaliGpu* gpu, uint32_t offset,
                           uint32_t value);
 
+  // One write of the batched form below.
+  struct RegWrite {
+    uint32_t reg = 0;
+    uint32_t value = 0;
+  };
+
+  // Batched register writes: one ownership/rail check for the whole span,
+  // then the writes issue back-to-back in order. Semantically identical to
+  // n WriteGpuRegister calls (each write still settles device events);
+  // the point is the fused warm-replay path (src/analysis/planopt) paying
+  // the mediation cost once per span instead of once per write. Stops at
+  // the first failing write.
+  Status WriteGpuRegisterSpan(World caller, MaliGpu* gpu,
+                              const RegWrite* writes, size_t n);
+
   // Number of denied accesses (normal world poking secured GPU state);
   // the security tests assert these are blocked, not silently permitted.
   uint64_t violations() const { return violations_; }

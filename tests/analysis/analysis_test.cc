@@ -573,7 +573,7 @@ TEST(Verifier, ReportBookkeeping) {
   RecordingVerifier verifier;
   auto report = verifier.Analyze(rec);
   EXPECT_EQ(report.entries_analyzed, 1u);
-  EXPECT_EQ(report.passes_run, 8u);
+  EXPECT_EQ(report.passes_run, 9u);  // 8 standard + planopt-soundness
   EXPECT_TRUE(report.ok()) << report.ToString();
 }
 

@@ -149,8 +149,8 @@ TEST(OptEquivalence, JobStartDefinitionPinned) {
 }
 
 // A recording that went through the optimizer must be accepted by the
-// sealed-store / replayer admission path end to end (all seven passes,
-// including optimizer-provenance).
+// sealed-store / replayer admission path end to end (all nine passes,
+// including optimizer-provenance and planopt-soundness).
 TEST(OptEquivalence, OptimizedRecordingIsVerifierClean) {
   auto rec = RecordOnce(BuildMnist());
   ASSERT_TRUE(rec.ok()) << rec.status().ToString();

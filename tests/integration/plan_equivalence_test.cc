@@ -1,20 +1,26 @@
 // Plan-vs-interpreter equivalence — the acceptance gate for the compiled
 // replay fast path. For every example network (and the chaos-recorded
-// corpus), the same recording replays on two identically-seeded fresh
-// devices: once under the interpreter (reference engine) and once under
-// the compiled plan, cold then warm. The two engines must produce
-// bitwise-identical outputs, both must match the CPU reference, and the
-// warm plan replay must apply strictly fewer memory bytes than the
-// interpreter — the entire point of compiling the plan.
+// corpus), the same recording replays on three identically-seeded fresh
+// devices: once under the interpreter (reference engine), once under the
+// compiled plan, and once under the planopt-superoptimized (fused) plan,
+// cold then warm. All engines must produce bitwise-identical outputs,
+// all must match the CPU reference, the warm plan replay must apply
+// strictly fewer memory bytes than the interpreter, and the fused warm
+// replay must be faster on the modeled timeline than both — the entire
+// point of compiling and then superoptimizing the plan.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 
 #include "src/analysis/opt/optimizer.h"
+#include "src/analysis/planopt/planopt.h"
 #include "src/harness/chaos.h"
 #include "src/harness/experiment.h"
 #include "src/ml/reference.h"
+#include "src/record/plan.h"
 #include "src/record/replayer.h"
+#include "src/sku/sku.h"
 
 namespace grt {
 namespace {
@@ -39,16 +45,34 @@ struct EngineRun {
   ReplayReport warm;
 };
 
+enum class Engine { kInterp, kPlan, kFused };
+
 // Two back-to-back replays (the deployed steady state: new input, same
 // plan) on one fresh device.
 Result<EngineRun> ReplayColdWarm(const NetworkDef& net, const Recording& rec,
-                                 bool use_plan) {
+                                 Engine engine) {
   ClientDevice device(kSku, kNondetSeed);
   ReplayConfig config;
-  config.use_plan = use_plan;
+  config.use_plan = engine != Engine::kInterp;
+  config.use_warm_program = engine == Engine::kFused;
   Replayer replayer(&device.gpu(), &device.tzasc(), &device.mem(),
                     &device.timeline(), config);
-  GRT_RETURN_IF_ERROR(replayer.Load(rec));
+  if (engine == Engine::kFused) {
+    // Explicit compile + superoptimize: a declined build is a test
+    // failure here, not a silent fallback.
+    auto shared = std::make_shared<const Recording>(rec);
+    auto plan = std::make_unique<ReplayPlan>(CompileReplayPlan(*shared));
+    GRT_ASSIGN_OR_RETURN(GpuSku sku, FindSku(kSku));
+    std::string decline;
+    GRT_RETURN_IF_ERROR(AttachWarmProgram(plan.get(), sku, &decline));
+    if (plan->warm == nullptr) {
+      return Internal("superoptimizer declined " + net.name + ": " + decline);
+    }
+    GRT_RETURN_IF_ERROR(replayer.LoadShared(
+        shared, std::shared_ptr<const ReplayPlan>(std::move(plan))));
+  } else {
+    GRT_RETURN_IF_ERROR(replayer.Load(rec));
+  }
   std::vector<float> input = GenerateInput(net, kInputSeed);
   GRT_RETURN_IF_ERROR(replayer.StageTensor(net.input_tensor, input));
   for (const TensorDef& t : net.tensors) {
@@ -76,22 +100,37 @@ bool BitIdentical(const std::vector<float>& a, const std::vector<float>& b) {
 }
 
 void ExpectPlanEquivalent(const NetworkDef& net, const Recording& rec) {
-  auto interp = ReplayColdWarm(net, rec, /*use_plan=*/false);
+  auto interp = ReplayColdWarm(net, rec, Engine::kInterp);
   ASSERT_TRUE(interp.ok()) << net.name << ": " << interp.status().ToString();
-  auto plan = ReplayColdWarm(net, rec, /*use_plan=*/true);
+  auto plan = ReplayColdWarm(net, rec, Engine::kPlan);
   ASSERT_TRUE(plan.ok()) << net.name << ": " << plan.status().ToString();
+  auto fused = ReplayColdWarm(net, rec, Engine::kFused);
+  ASSERT_TRUE(fused.ok()) << net.name << ": " << fused.status().ToString();
 
   EXPECT_FALSE(interp->cold.plan_used) << net.name;
   EXPECT_TRUE(plan->cold.plan_used) << net.name;
   EXPECT_FALSE(plan->cold.warm) << net.name;
   EXPECT_TRUE(plan->warm.warm) << net.name;
+  // The fused engine's cold replay runs the full plan (and arms the warm
+  // program); its warm replay must actually execute the fused schedule.
+  EXPECT_FALSE(fused->cold.warm_program_used) << net.name;
+  EXPECT_TRUE(fused->warm.warm_program_used) << net.name;
+  EXPECT_GT(fused->warm.fused_spans_executed, 0u) << net.name;
+  EXPECT_GT(fused->warm.fused_writes_executed,
+            fused->warm.fused_spans_executed)
+      << net.name;
 
-  // Bitwise agreement: interpreter and plan, cold and warm, all equal.
+  // Bitwise agreement: interpreter, plan, and fused plan — cold and
+  // warm — all equal.
   EXPECT_TRUE(BitIdentical(interp->cold_output, interp->warm_output))
       << net.name;
   EXPECT_TRUE(BitIdentical(interp->cold_output, plan->cold_output))
       << net.name;
   EXPECT_TRUE(BitIdentical(interp->cold_output, plan->warm_output))
+      << net.name;
+  EXPECT_TRUE(BitIdentical(interp->cold_output, fused->cold_output))
+      << net.name;
+  EXPECT_TRUE(BitIdentical(interp->cold_output, fused->warm_output))
       << net.name;
 
   // The perf contract (acceptance criterion): a warm plan replay applies
@@ -105,12 +144,17 @@ void ExpectPlanEquivalent(const NetworkDef& net, const Recording& rec) {
   EXPECT_GT(plan->warm.pages_skipped_clean, 0u) << net.name;
   // Fewer bytes means a faster replay on the modeled timeline too.
   EXPECT_LT(plan->warm.delay, interp->warm.delay) << net.name;
+  // The fused schedule hoists warm-invariant closures and batches the
+  // submit MMIO: strictly faster than both interpreter and plain plan.
+  EXPECT_LT(fused->warm.delay, interp->warm.delay) << net.name;
+  EXPECT_LT(fused->warm.delay, plan->warm.delay) << net.name;
 
-  // And none of this moved the answer: both engines match the reference.
+  // And none of this moved the answer: all engines match the reference.
   auto ref = RunReference(net, GenerateInput(net, kInputSeed), 7);
   ASSERT_TRUE(ref.ok()) << net.name;
   EXPECT_LE(MaxAbsDiff(interp->cold_output, *ref), 1e-4f) << net.name;
   EXPECT_LE(MaxAbsDiff(plan->warm_output, *ref), 1e-4f) << net.name;
+  EXPECT_LE(MaxAbsDiff(fused->warm_output, *ref), 1e-4f) << net.name;
 }
 
 TEST(PlanEquivalence, Mnist) {
@@ -191,12 +235,19 @@ TEST(PlanEquivalence, OptimizedRecordingLowersEquivalently) {
   auto optimized = OptimizeRecording(*rec, OptimizeOptions{}, &stats);
   ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
 
-  auto baseline = ReplayColdWarm(net, *rec, /*use_plan=*/false);
+  auto baseline = ReplayColdWarm(net, *rec, Engine::kInterp);
   ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  auto plan = ReplayColdWarm(net, *optimized, /*use_plan=*/true);
+  auto plan = ReplayColdWarm(net, *optimized, Engine::kPlan);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
   EXPECT_TRUE(BitIdentical(baseline->cold_output, plan->warm_output));
   EXPECT_LT(plan->warm.mem_bytes_applied, baseline->warm.mem_bytes_applied);
+  // And the superoptimizer composes on top of the §6c-optimized
+  // recording too: same bits, faster still.
+  auto fused = ReplayColdWarm(net, *optimized, Engine::kFused);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  EXPECT_TRUE(fused->warm.warm_program_used);
+  EXPECT_TRUE(BitIdentical(baseline->cold_output, fused->warm_output));
+  EXPECT_LT(fused->warm.delay, plan->warm.delay);
 }
 
 }  // namespace

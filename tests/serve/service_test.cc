@@ -487,6 +487,72 @@ TEST_F(ReplayServiceTest, UnknownWorkloadFailsTheRequestOnly) {
   EXPECT_EQ(stats.completed, 1u);
 }
 
+TEST_F(ReplayServiceTest, FusedPlansServeBitwiseIdenticallyFromSharedPool) {
+  // Superoptimized warm replays under concurrency: two workers share the
+  // device pool and the fused plan; every warm answer must be bitwise
+  // the answer of the cold (full-schedule) replay, and the fused path
+  // must actually run (not silently fall back to the interpreted plan).
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 2;
+  ASSERT_TRUE(config.fuse_plans);  // fusion is the default serving mode
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  ReplayResponse cold = service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_FALSE(cold.report.warm_program_used);
+  ASSERT_FALSE(cold.output.empty());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 4;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerClient; ++i) {
+        ReplayResponse r = service.Submit(MakeRequest("mnist", 42));
+        if (!r.status.ok()) {
+          ++failures;
+          continue;
+        }
+        if (r.output.size() != cold.output.size() ||
+            std::memcmp(r.output.data(), cold.output.data(),
+                        cold.output.size() * sizeof(float)) != 0) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) {
+    t.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, static_cast<size_t>(kClients * kPerClient) + 1);
+  EXPECT_EQ(stats.plans_fused, 1u);
+  EXPECT_EQ(stats.fuse_declined, 0u);
+  EXPECT_GT(stats.fused_replays, 0u);
+
+  // Cross-engine: the un-fused plan service answers the same bits.
+  ServeConfig plain;
+  plain.sku = kSku;
+  plain.fuse_plans = false;
+  ReplayService plain_service(store_.get(), plain);
+  ASSERT_TRUE(plain_service.Start().ok());
+  ReplayResponse via_plain = plain_service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(via_plain.status.ok());
+  ASSERT_EQ(via_plain.output.size(), cold.output.size());
+  EXPECT_EQ(std::memcmp(via_plain.output.data(), cold.output.data(),
+                        cold.output.size() * sizeof(float)),
+            0);
+  EXPECT_EQ(plain_service.Stats().plans_fused, 0u);
+}
+
 TEST_F(ReplayServiceTest, InterpreterModeServesIdenticalAnswers) {
   // Baseline mode for benches: use_plan off serves through the
   // interpreter; answers agree with the plan engine bit for bit.

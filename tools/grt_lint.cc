@@ -10,6 +10,15 @@
 //                                       latches) and the pairwise
 //                                       interference verdicts across the
 //                                       set; --json for machine readers
+//   grt_lint --fused [--json] <recording-body-file>...
+//                                       compile each recording into a
+//                                       ReplayPlan, run the planopt
+//                                       superoptimizer, and dump the fused
+//                                       warm schedule with per-op
+//                                       provenance and the warm-invariant
+//                                       vs input-dependent partition; exit
+//                                       1 if the provenance check rejects
+//                                       a built program
 //   grt_lint --demo                     record a workload in-process, lint
 //                                       the clean recording, then corrupt it
 //                                       and show the verifier catching it
@@ -24,11 +33,14 @@
 #include <vector>
 
 #include "src/analysis/footprint/footprint.h"
+#include "src/analysis/planopt/planopt.h"
 #include "src/analysis/verifier.h"
 #include "src/cloud/session.h"
 #include "src/hw/regs.h"
 #include "src/ml/network.h"
+#include "src/record/plan.h"
 #include "src/record/recording.h"
+#include "src/sku/sku.h"
 
 using namespace grt;
 
@@ -127,6 +139,57 @@ int FootprintMode(const std::vector<const char*>& paths, bool json) {
   return 0;
 }
 
+// Compiles each recording, runs the superoptimizer, and dumps the fused
+// schedule — or reports the provenance-check failure with exit code 1.
+int FusedMode(const std::vector<const char*>& paths, bool json) {
+  int rc = 0;
+  for (const char* path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "grt_lint: cannot open %s\n", path);
+      return 2;
+    }
+    Bytes raw((std::istreambuf_iterator<char>(in)),
+              std::istreambuf_iterator<char>());
+    auto rec = Recording::ParseUnsigned(raw);
+    if (!rec.ok()) {
+      std::fprintf(stderr, "grt_lint: %s: %s\n", path,
+                   rec.status().ToString().c_str());
+      return 2;
+    }
+    auto sku = FindSku(rec->header.sku);
+    if (!sku.ok()) {
+      std::fprintf(stderr, "grt_lint: %s: unknown SKU\n", path);
+      return 2;
+    }
+    ReplayPlan plan = CompileReplayPlan(*rec);
+    std::string decline;
+    Status st = AttachWarmProgram(&plan, sku.value(), &decline);
+    if (!st.ok()) {
+      std::fprintf(stderr,
+                   "%s: planopt provenance check FAILED: %s\n", path,
+                   st.ToString().c_str());
+      rc = 1;
+      continue;
+    }
+    if (!json) {
+      std::printf("%s:\n", path);
+    }
+    if (plan.warm == nullptr) {
+      if (json) {
+        std::printf("{\"path\": \"%s\", \"fused\": false, "
+                    "\"declined\": \"%s\"}\n",
+                    path, decline.c_str());
+      } else {
+        std::printf("superoptimizer declined: %s\n", decline.c_str());
+      }
+      continue;
+    }
+    std::printf("%s", FormatWarmProgram(plan, json).c_str());
+  }
+  return rc;
+}
+
 int Demo() {
   ClientDevice device(SkuId::kMaliG71Mp8);
   NetworkDef net = BuildMnist();
@@ -187,6 +250,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <recording-body-file>... | --footprint [--json] "
+                 "<recording-body-file>... | --fused [--json] "
                  "<recording-body-file>... | --demo\n",
                  argv[0]);
     return 2;
@@ -211,6 +275,24 @@ int main(int argc, char** argv) {
       return 2;
     }
     return FootprintMode(paths, json);
+  }
+  if (std::strcmp(argv[1], "--fused") == 0) {
+    bool json = false;
+    std::vector<const char*> paths;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else {
+        paths.push_back(argv[i]);
+      }
+    }
+    if (paths.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s --fused [--json] <recording-body-file>...\n",
+                   argv[0]);
+      return 2;
+    }
+    return FusedMode(paths, json);
   }
   int rc = 0;
   for (int i = 1; i < argc; ++i) {
