@@ -7,7 +7,10 @@
 #      as the interpreter, diverges from it bitwise, or the planopt-fused
 #      warm replay misses its per-workload speedup gate; --perf-gate
 #      records vgg16 and fails unless the fused warm replay beats the
-#      interpreter by >= 1.5x with bitwise-identical output; --obs-gate
+#      interpreter by >= 1.5x AND the optimized kernel engine beats the
+#      reference engine by >= 2x wall clock, both bitwise-identical;
+#      bench/kernel_bench --smoke fails if any optimized shader-core
+#      kernel diverges bitwise from its pinned reference; --obs-gate
 #      fails if running with metrics + tracing enabled is more than 5%
 #      slower than running with them off; bench/serving_frontend --smoke
 #      fails if TCP-served outputs diverge bitwise from in-process replay
@@ -63,14 +66,19 @@ cmake --build build-ci -j "${JOBS}" --target replay_serving
 SMOKE_JSON="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}"' EXIT
 build-ci/bench/replay_serving --smoke --out "${SMOKE_JSON}"
-echo "=== pass 2/5: planopt fused-replay perf gate (vgg16 >= 1.5x) ==="
+echo "=== pass 2/5: planopt fused-replay + kernel wall perf gate (vgg16) ==="
 build-ci/bench/replay_serving --perf-gate
+echo "=== pass 2/5: kernel bitwise smoke gate ==="
+cmake --build build-ci -j "${JOBS}" --target kernel_bench
+KERNEL_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}"' EXIT
+build-ci/bench/kernel_bench --smoke --out "${KERNEL_JSON}"
 echo "=== pass 2/5: observability overhead gate ==="
 build-ci/bench/replay_serving --obs-gate
 echo "=== pass 2/5: serving front-end perf smoke gate ==="
 cmake --build build-ci -j "${JOBS}" --target serving_frontend
 FRONTEND_JSON="$(mktemp)"
-trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}"' EXIT
 build-ci/bench/serving_frontend --smoke --out "${FRONTEND_JSON}"
 
 run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
@@ -84,7 +92,7 @@ cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}" --target service_test pool_test \
   frontend_test obs_concurrency_test
 TSAN_LOG="$(mktemp)"
-trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}"' EXIT
 build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
 build-ci-tsan/tests/serve/pool_test 2>&1 | tee -a "${TSAN_LOG}"
 build-ci-tsan/tests/serve/frontend_test 2>&1 | tee -a "${TSAN_LOG}"
@@ -98,7 +106,7 @@ fi
 # treat any diagnostic line as a gate failure so new warnings can't land.
 echo "=== pass 5/5: clang-tidy lint gate ==="
 TIDY_LOG="$(mktemp)"
-trap 'rm -f "${SMOKE_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
+trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}" "${TIDY_LOG}"' EXIT
 scripts/run_clang_tidy.sh build-ci src tools/grt_trace.cc 2>&1 | tee "${TIDY_LOG}"
 if grep -E 'warning:|error:' "${TIDY_LOG}" >/dev/null; then
   echo "=== pass 5/5: clang-tidy reported diagnostics — failing ===" >&2

@@ -1,9 +1,14 @@
 #include "src/hw/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace grt {
 
@@ -62,9 +67,153 @@ Result<Bytes> GpuDma::ReadBytes(uint64_t va, uint64_t len, bool as_code) {
   return out;
 }
 
+Result<GpuDma::RangeInfo> GpuDma::ResolveRange(uint64_t va, uint64_t len,
+                                               bool write, bool as_code) {
+  // Same ascending page walk as Read()/Write(), so the fault register
+  // carries the first offending VA exactly as before.
+  RangeInfo info;
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur_va = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur_va & kPageMask));
+    auto t = walker_->Translate(root_pa_, cur_va, tlb_, &fault_);
+    if (!t.ok()) {
+      return t.status();
+    }
+    bool permitted = write ? t.value().flags.write
+                           : (as_code ? t.value().flags.execute
+                                      : t.value().flags.read);
+    if (!permitted) {
+      fault_.status = kFaultPermission;
+      fault_.address = cur_va;
+      return DeviceFault(write ? "MMU permission fault (write)"
+                               : "MMU permission fault (read)");
+    }
+    if (done == 0) {
+      info.first_pa = t.value().pa;
+    } else if (t.value().pa != info.first_pa + done) {
+      info.contiguous = false;
+    }
+    done += chunk;
+  }
+  return info;
+}
+
+Result<const float*> GpuDma::MapReadF32(uint64_t va, size_t n,
+                                        ScratchArena* arena, bool force_copy) {
+  const uint64_t len = static_cast<uint64_t>(n) * sizeof(float);
+  if (len == 0) {
+    return static_cast<const float*>(nullptr);
+  }
+  GRT_ASSIGN_OR_RETURN(RangeInfo range,
+                       ResolveRange(va, len, /*write=*/false,
+                                    /*as_code=*/false));
+  if (!force_copy && range.contiguous && (range.first_pa & 3) == 0) {
+    auto view = mem_->ReadView(range.first_pa, len, MemAccessOrigin::kGpu);
+    if (!view.ok()) {
+      return view.status();
+    }
+    bytes_moved_ += len;
+    return reinterpret_cast<const float*>(view.value());
+  }
+  // Gather fallback: page-crossing discontiguous or unaligned tensors (or
+  // forced copies for aliased operands). The walk above primed the TLB.
+  float* buf = arena->AllocF32(n);
+  auto* dst = reinterpret_cast<uint8_t*>(buf);
+  uint64_t done = 0;
+  while (done < len) {
+    uint64_t cur_va = va + done;
+    uint64_t chunk = std::min<uint64_t>(len - done,
+                                        kPageSize - (cur_va & kPageMask));
+    auto t = walker_->Translate(root_pa_, cur_va, tlb_, &fault_);
+    if (!t.ok()) {
+      return t.status();
+    }
+    GRT_RETURN_IF_ERROR(
+        mem_->Read(t.value().pa, dst + done, chunk, MemAccessOrigin::kGpu));
+    done += chunk;
+  }
+  bytes_moved_ += len;
+  return static_cast<const float*>(buf);
+}
+
+Result<GpuDma::WriteSpanF32> GpuDma::MapWriteF32(uint64_t va, size_t n,
+                                                 ScratchArena* arena,
+                                                 bool force_copy) {
+  WriteSpanF32 span;
+  span.va = va;
+  span.n = n;
+  const uint64_t len = static_cast<uint64_t>(n) * sizeof(float);
+  if (len == 0) {
+    return span;
+  }
+  GRT_ASSIGN_OR_RETURN(RangeInfo range,
+                       ResolveRange(va, len, /*write=*/true,
+                                    /*as_code=*/false));
+  if (!force_copy && range.contiguous && (range.first_pa & 3) == 0) {
+    auto view = mem_->WriteView(range.first_pa, len, MemAccessOrigin::kGpu);
+    if (!view.ok()) {
+      return view.status();
+    }
+    span.data = reinterpret_cast<float*>(view.value());
+    span.pa = range.first_pa;
+    span.direct = true;
+    return span;
+  }
+  span.data = arena->AllocF32(n);
+  return span;
+}
+
+Status GpuDma::CommitWriteF32(const WriteSpanF32& span) {
+  const uint64_t len = static_cast<uint64_t>(span.n) * sizeof(float);
+  if (len == 0) {
+    return OkStatus();
+  }
+  if (span.direct) {
+    bytes_moved_ += len;
+    mem_->NotifyWritten(span.pa, len);
+    return OkStatus();
+  }
+  return Write(span.va, span.data, len);
+}
+
+Status GpuDma::ReadShaderHeader(uint64_t va, uint64_t blob_len, uint8_t* out,
+                                size_t out_cap, size_t* out_len) {
+  uint64_t done = 0;
+  while (done < blob_len) {
+    uint64_t cur_va = va + done;
+    uint64_t chunk = std::min<uint64_t>(blob_len - done,
+                                        kPageSize - (cur_va & kPageMask));
+    auto t = walker_->Translate(root_pa_, cur_va, tlb_, &fault_);
+    if (!t.ok()) {
+      return t.status();
+    }
+    if (!t.value().flags.execute) {
+      fault_.status = kFaultPermission;
+      fault_.address = cur_va;
+      return DeviceFault("MMU permission fault (read)");
+    }
+    // Policy-check every page like a full ReadBytes would, but only copy
+    // the header prefix out.
+    auto view = mem_->ReadView(t.value().pa, chunk, MemAccessOrigin::kGpu);
+    if (!view.ok()) {
+      return view.status();
+    }
+    if (done < out_cap) {
+      uint64_t copy = std::min<uint64_t>(chunk, out_cap - done);
+      std::memcpy(out + done, view.value(), static_cast<size_t>(copy));
+    }
+    done += chunk;
+  }
+  bytes_moved_ += blob_len;
+  *out_len = static_cast<size_t>(std::min<uint64_t>(blob_len, out_cap));
+  return OkStatus();
+}
+
 namespace {
 
-// Reads a float tensor from GPU memory.
+// Reads a float tensor from GPU memory (reference-engine data path).
 Status ReadF32(GpuDma* dma, uint64_t va, std::vector<float>* out, size_t n) {
   out->resize(n);
   return dma->Read(va, out->data(), n * sizeof(float));
@@ -74,10 +223,91 @@ Status WriteF32(GpuDma* dma, uint64_t va, const std::vector<float>& v) {
   return dma->Write(va, v.data(), v.size() * sizeof(float));
 }
 
+// True when the two float spans share any VA byte.
+bool RangesOverlap(uint64_t va_a, size_t n_a, uint64_t va_b, size_t n_b) {
+  const uint64_t la = static_cast<uint64_t>(n_a) * sizeof(float);
+  const uint64_t lb = static_cast<uint64_t>(n_b) * sizeof(float);
+  if (la == 0 || lb == 0) {
+    return false;
+  }
+  return va_a < va_b + lb && va_b < va_a + la;
+}
+
+// Overlapping but not the exact same range. Identical ranges are safe for
+// elementwise kernels (out[i] depends only on in[i]); anything partial
+// needs the buffered read-everything-then-write path.
+bool PartialOverlap(uint64_t va_a, size_t n_a, uint64_t va_b, size_t n_b) {
+  return RangesOverlap(va_a, n_a, va_b, n_b) &&
+         !(va_a == va_b && n_a == n_b);
+}
+
+[[maybe_unused]] const char* KernelSpanName(GpuOp op) {
+  switch (op) {
+    case GpuOp::kNop: return "hw.op.nop";
+    case GpuOp::kGemm: return "hw.op.gemm";
+    case GpuOp::kIm2Col: return "hw.op.im2col";
+    case GpuOp::kConv2d: return "hw.op.conv2d";
+    case GpuOp::kBiasRelu: return "hw.op.bias_relu";
+    case GpuOp::kPoolMax: return "hw.op.pool_max";
+    case GpuOp::kPoolAvg: return "hw.op.pool_avg";
+    case GpuOp::kEltwiseAdd: return "hw.op.eltwise_add";
+    case GpuOp::kSoftmax: return "hw.op.softmax";
+    case GpuOp::kCopy: return "hw.op.copy";
+    case GpuOp::kFill: return "hw.op.fill";
+  }
+  return "hw.op.unknown";
+}
+
+[[maybe_unused]] const char* KernelHistName(GpuOp op) {
+  switch (op) {
+    case GpuOp::kNop: return "hw.op_ns.nop";
+    case GpuOp::kGemm: return "hw.op_ns.gemm";
+    case GpuOp::kIm2Col: return "hw.op_ns.im2col";
+    case GpuOp::kConv2d: return "hw.op_ns.conv2d";
+    case GpuOp::kBiasRelu: return "hw.op_ns.bias_relu";
+    case GpuOp::kPoolMax: return "hw.op_ns.pool_max";
+    case GpuOp::kPoolAvg: return "hw.op_ns.pool_avg";
+    case GpuOp::kEltwiseAdd: return "hw.op_ns.eltwise_add";
+    case GpuOp::kSoftmax: return "hw.op_ns.softmax";
+    case GpuOp::kCopy: return "hw.op_ns.copy";
+    case GpuOp::kFill: return "hw.op_ns.fill";
+  }
+  return "hw.op_ns.unknown";
+}
+
 }  // namespace
 
 Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
                                       uint64_t* macs) {
+  GRT_TRACE_SPAN(KernelSpanName(d.op), "hw");
+#if !defined(GRT_OBS_COMPILED_OUT)
+  const bool timed = obs::Enabled();
+  const auto t0 = timed ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
+#endif
+  Status s = engine_ == KernelEngine::kReference
+                 ? ExecuteJobReference(d, dma, macs)
+                 : ExecuteJobOptimized(d, dma, macs);
+#if !defined(GRT_OBS_COMPILED_OUT)
+  if (timed) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    // Not GRT_OBS_HIST: that macro caches one histogram per call site, but
+    // the metric name here varies per op.
+    obs::MetricsRegistry::Global()
+        .GetHistogram(KernelHistName(d.op))
+        ->Record(static_cast<uint64_t>(ns));
+  }
+#endif
+  return s;
+}
+
+// The pre-rewrite engine: full-tensor DMA copies through fresh vectors,
+// pinned scalar kernels. Baseline for bitwise equality and wall-clock
+// speedup measurement.
+Status ShaderCoreExecutor::ExecuteJobReference(const JobDescriptor& d,
+                                               GpuDma* dma, uint64_t* macs) {
   switch (d.op) {
     case GpuOp::kNop:
       return OkStatus();
@@ -87,28 +317,13 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
       if (m == 0 || k == 0 || n == 0) {
         return DeviceFault("GEMM with zero dimension");
       }
-      std::vector<float> a, b, c(static_cast<size_t>(m) * n, 0.0f);
+      std::vector<float> a, b, c(static_cast<size_t>(m) * n);
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &a,
                                   static_cast<size_t>(m) * k));
       GRT_RETURN_IF_ERROR(
           ReadF32(dma, d.aux_va, &b, static_cast<size_t>(k) * n));
-      for (uint32_t i = 0; i < m; ++i) {
-        for (uint32_t kk = 0; kk < k; ++kk) {
-          float av = a[static_cast<size_t>(i) * k + kk];
-          if (av == 0.0f) {
-            continue;
-          }
-          for (uint32_t j = 0; j < n; ++j) {
-            c[static_cast<size_t>(i) * n + j] +=
-                av * b[static_cast<size_t>(kk) * n + j];
-          }
-        }
-      }
-      if (d.flags & kJobFlagReluFused) {
-        for (float& v : c) {
-          v = std::max(0.0f, v);
-        }
-      }
+      kern::GemmRef(a.data(), b.data(), c.data(), m, k, n,
+                    (d.flags & kJobFlagReluFused) != 0);
       *macs += static_cast<uint64_t>(m) * k * n;
       return WriteF32(dma, d.output_va, c);
     }
@@ -125,27 +340,8 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
       std::vector<float> in;
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &in,
                                   static_cast<size_t>(cin) * h * w));
-      std::vector<float> out(static_cast<size_t>(cin) * kh * kw * oh * ow,
-                             0.0f);
-      size_t col = static_cast<size_t>(oh) * ow;
-      for (uint32_t c = 0; c < cin; ++c) {
-        for (uint32_t ki = 0; ki < kh; ++ki) {
-          for (uint32_t kj = 0; kj < kw; ++kj) {
-            size_t row = (static_cast<size_t>(c) * kh + ki) * kw + kj;
-            for (uint32_t oi = 0; oi < oh; ++oi) {
-              for (uint32_t oj = 0; oj < ow; ++oj) {
-                int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
-                int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
-                float v = 0.0f;
-                if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
-                  v = in[(static_cast<size_t>(c) * h + ii) * w + jj];
-                }
-                out[row * col + static_cast<size_t>(oi) * ow + oj] = v;
-              }
-            }
-          }
-        }
-      }
+      std::vector<float> out(static_cast<size_t>(cin) * kh * kw * oh * ow);
+      kern::Im2ColRef(in.data(), out.data(), cin, h, w, kh, kw, stride, pad);
       *macs += out.size();  // data movement cost proxy
       return WriteF32(dma, d.output_va, out);
     }
@@ -164,58 +360,25 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
                                   static_cast<size_t>(cin) * h * w));
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.aux_va, &wts,
                                   static_cast<size_t>(cout) * cin * kh * kw));
-      std::vector<float> out(static_cast<size_t>(cout) * oh * ow, 0.0f);
-      for (uint32_t co = 0; co < cout; ++co) {
-        for (uint32_t oi = 0; oi < oh; ++oi) {
-          for (uint32_t oj = 0; oj < ow; ++oj) {
-            float acc = 0.0f;
-            for (uint32_t ci = 0; ci < cin; ++ci) {
-              for (uint32_t ki = 0; ki < kh; ++ki) {
-                for (uint32_t kj = 0; kj < kw; ++kj) {
-                  int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
-                  int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
-                  if (ii < 0 || ii >= h || jj < 0 || jj >= w) {
-                    continue;
-                  }
-                  acc += in[(static_cast<size_t>(ci) * h + ii) * w + jj] *
-                         wts[((static_cast<size_t>(co) * cin + ci) * kh + ki) *
-                                 kw +
-                             kj];
-                }
-              }
-            }
-            out[(static_cast<size_t>(co) * oh + oi) * ow + oj] = acc;
-          }
-        }
-      }
-      if (d.flags & kJobFlagReluFused) {
-        for (float& v : out) {
-          v = std::max(0.0f, v);
-        }
-      }
+      std::vector<float> out(static_cast<size_t>(cout) * oh * ow);
+      kern::Conv2dRef(in.data(), wts.data(), out.data(), cin, h, w, cout, kh,
+                      kw, stride, pad, (d.flags & kJobFlagReluFused) != 0);
       *macs += static_cast<uint64_t>(cout) * oh * ow * cin * kh * kw;
       return WriteF32(dma, d.output_va, out);
     }
 
     case GpuOp::kBiasRelu: {
       uint32_t count = d.params[0], bias_len = d.params[1];
+      if (bias_len > 0 && count > 0 && count / bias_len == 0) {
+        return DeviceFault("bias_relu bad shape");
+      }
       std::vector<float> x, b;
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &x, count));
       if (bias_len > 0) {
         GRT_RETURN_IF_ERROR(ReadF32(dma, d.aux_va, &b, bias_len));
       }
-      // Bias is per-channel: count = bias_len * spatial; channel-major.
-      uint32_t spatial = bias_len > 0 ? count / bias_len : count;
-      for (uint32_t i = 0; i < count; ++i) {
-        float v = x[i];
-        if (bias_len > 0) {
-          v += b[(i / spatial) % bias_len];
-        }
-        if (d.flags & kJobFlagReluFused) {
-          v = std::max(0.0f, v);
-        }
-        x[i] = v;
-      }
+      kern::BiasReluRef(x.data(), bias_len > 0 ? b.data() : nullptr, x.data(),
+                        count, bias_len, (d.flags & kJobFlagReluFused) != 0);
       *macs += count;
       return WriteF32(dma, d.output_va, x);
     }
@@ -232,28 +395,9 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
       std::vector<float> in;
       GRT_RETURN_IF_ERROR(
           ReadF32(dma, d.input_va[0], &in, static_cast<size_t>(c) * h * w));
-      std::vector<float> out(static_cast<size_t>(c) * oh * ow, 0.0f);
-      for (uint32_t ci = 0; ci < c; ++ci) {
-        for (uint32_t oi = 0; oi < oh; ++oi) {
-          for (uint32_t oj = 0; oj < ow; ++oj) {
-            float acc = d.op == GpuOp::kPoolMax
-                            ? -std::numeric_limits<float>::infinity()
-                            : 0.0f;
-            for (uint32_t ki = 0; ki < win; ++ki) {
-              for (uint32_t kj = 0; kj < win; ++kj) {
-                float v = in[(static_cast<size_t>(ci) * h + oi * stride + ki) *
-                                 w +
-                             oj * stride + kj];
-                acc = d.op == GpuOp::kPoolMax ? std::max(acc, v) : acc + v;
-              }
-            }
-            if (d.op == GpuOp::kPoolAvg) {
-              acc /= static_cast<float>(win * win);
-            }
-            out[(static_cast<size_t>(ci) * oh + oi) * ow + oj] = acc;
-          }
-        }
-      }
+      std::vector<float> out(static_cast<size_t>(c) * oh * ow);
+      kern::PoolRef(in.data(), out.data(), c, h, w, win, stride,
+                    d.op == GpuOp::kPoolMax);
       *macs += static_cast<uint64_t>(c) * oh * ow * win * win;
       return WriteF32(dma, d.output_va, out);
     }
@@ -263,14 +407,8 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
       std::vector<float> a, b;
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &a, count));
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[1], &b, count));
-      for (uint32_t i = 0; i < count; ++i) {
-        a[i] += b[i];
-      }
-      if (d.flags & kJobFlagReluFused) {
-        for (float& v : a) {
-          v = std::max(0.0f, v);
-        }
-      }
+      kern::EltwiseAddRef(a.data(), b.data(), a.data(), count,
+                          (d.flags & kJobFlagReluFused) != 0);
       *macs += count;
       return WriteF32(dma, d.output_va, a);
     }
@@ -279,18 +417,7 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
       uint32_t count = d.params[0];
       std::vector<float> x;
       GRT_RETURN_IF_ERROR(ReadF32(dma, d.input_va[0], &x, count));
-      float mx = -std::numeric_limits<float>::infinity();
-      for (float v : x) {
-        mx = std::max(mx, v);
-      }
-      double sum = 0.0;
-      for (float& v : x) {
-        v = std::exp(v - mx);
-        sum += v;
-      }
-      for (float& v : x) {
-        v = static_cast<float>(v / sum);
-      }
+      kern::SoftmaxRef(x.data(), x.data(), count);
       *macs += 4ull * count;
       return WriteF32(dma, d.output_va, x);
     }
@@ -316,8 +443,223 @@ Status ShaderCoreExecutor::ExecuteJob(const JobDescriptor& d, GpuDma* dma,
   return DeviceFault("unknown GPU op");
 }
 
+// The zero-copy engine: tensors are mapped as direct views into physical
+// memory when possible (gather/scatter through the arena otherwise), and
+// outputs aliasing an input VA range are forced through an arena buffer so
+// the kernels observe the reference engine's read-everything-then-write
+// semantics. MACs, bytes-moved, and fault behaviour match the reference
+// engine exactly.
+Status ShaderCoreExecutor::ExecuteJobOptimized(const JobDescriptor& d,
+                                               GpuDma* dma, uint64_t* macs) {
+  switch (d.op) {
+    case GpuOp::kNop:
+      return OkStatus();
+
+    case GpuOp::kGemm: {
+      uint32_t m = d.params[0], k = d.params[1], n = d.params[2];
+      if (m == 0 || k == 0 || n == 0) {
+        return DeviceFault("GEMM with zero dimension");
+      }
+      const size_t an = static_cast<size_t>(m) * k;
+      const size_t bn = static_cast<size_t>(k) * n;
+      const size_t cn = static_cast<size_t>(m) * n;
+      arena_.BeginJob(an + bn + cn + 64);
+      const bool clash = RangesOverlap(d.output_va, cn, d.input_va[0], an) ||
+                         RangesOverlap(d.output_va, cn, d.aux_va, bn);
+      GRT_ASSIGN_OR_RETURN(const float* a,
+                           dma->MapReadF32(d.input_va[0], an, &arena_));
+      GRT_ASSIGN_OR_RETURN(const float* b,
+                           dma->MapReadF32(d.aux_va, bn, &arena_));
+      GRT_ASSIGN_OR_RETURN(GpuDma::WriteSpanF32 c,
+                           dma->MapWriteF32(d.output_va, cn, &arena_, clash));
+      kern::GemmOpt(a, b, c.data, m, k, n,
+                    (d.flags & kJobFlagReluFused) != 0);
+      *macs += static_cast<uint64_t>(m) * k * n;
+      return dma->CommitWriteF32(c);
+    }
+
+    case GpuOp::kIm2Col: {
+      uint32_t cin = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t kh = d.params[3], kw = d.params[4];
+      uint32_t stride = d.params[5], pad = d.params[6];
+      if (stride == 0) {
+        return DeviceFault("im2col stride 0");
+      }
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      const size_t in_n = static_cast<size_t>(cin) * h * w;
+      const size_t out_n = static_cast<size_t>(cin) * kh * kw * oh * ow;
+      arena_.BeginJob(in_n + out_n + 48);
+      const bool clash = RangesOverlap(d.output_va, out_n, d.input_va[0], in_n);
+      GRT_ASSIGN_OR_RETURN(const float* in,
+                           dma->MapReadF32(d.input_va[0], in_n, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, out_n, &arena_, clash));
+      kern::Im2ColOpt(in, out.data, cin, h, w, kh, kw, stride, pad);
+      *macs += out_n;  // data movement cost proxy
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kConv2d: {
+      uint32_t cin = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t cout = d.params[3], kh = d.params[4], kw = d.params[5];
+      uint32_t stride = d.params[6], pad = d.params[7];
+      if (stride == 0) {
+        return DeviceFault("conv stride 0");
+      }
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      const size_t in_n = static_cast<size_t>(cin) * h * w;
+      const size_t wt_n = static_cast<size_t>(cout) * cin * kh * kw;
+      const size_t out_n = static_cast<size_t>(cout) * oh * ow;
+      arena_.BeginJob(in_n + wt_n + out_n + 64);
+      const bool clash =
+          RangesOverlap(d.output_va, out_n, d.input_va[0], in_n) ||
+          RangesOverlap(d.output_va, out_n, d.aux_va, wt_n);
+      GRT_ASSIGN_OR_RETURN(const float* in,
+                           dma->MapReadF32(d.input_va[0], in_n, &arena_));
+      GRT_ASSIGN_OR_RETURN(const float* wts,
+                           dma->MapReadF32(d.aux_va, wt_n, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, out_n, &arena_, clash));
+      kern::Conv2dOpt(in, wts, out.data, cin, h, w, cout, kh, kw, stride, pad,
+                      (d.flags & kJobFlagReluFused) != 0);
+      *macs += static_cast<uint64_t>(cout) * oh * ow * cin * kh * kw;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kBiasRelu: {
+      uint32_t count = d.params[0], bias_len = d.params[1];
+      if (bias_len > 0 && count > 0 && count / bias_len == 0) {
+        return DeviceFault("bias_relu bad shape");
+      }
+      arena_.BeginJob(static_cast<size_t>(count) * 2 + bias_len + 64);
+      // Identical-range aliasing is elementwise-safe here: when the bias
+      // range equals the output range, count == bias_len so spatial == 1
+      // and out[i] reads only bias[i].
+      const bool clash =
+          PartialOverlap(d.output_va, count, d.input_va[0], count) ||
+          PartialOverlap(d.output_va, count, d.aux_va, bias_len);
+      GRT_ASSIGN_OR_RETURN(const float* x,
+                           dma->MapReadF32(d.input_va[0], count, &arena_));
+      const float* bias = nullptr;
+      if (bias_len > 0) {
+        GRT_ASSIGN_OR_RETURN(bias, dma->MapReadF32(d.aux_va, bias_len,
+                                                   &arena_));
+      }
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, count, &arena_, clash));
+      kern::BiasReluOpt(x, bias, out.data, count, bias_len,
+                        (d.flags & kJobFlagReluFused) != 0);
+      *macs += count;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kPoolMax:
+    case GpuOp::kPoolAvg: {
+      uint32_t c = d.params[0], h = d.params[1], w = d.params[2];
+      uint32_t win = d.params[3], stride = d.params[4];
+      if (stride == 0 || win == 0) {
+        return DeviceFault("pool with zero window/stride");
+      }
+      uint32_t oh = (h - win) / stride + 1;
+      uint32_t ow = (w - win) / stride + 1;
+      const size_t in_n = static_cast<size_t>(c) * h * w;
+      const size_t out_n = static_cast<size_t>(c) * oh * ow;
+      arena_.BeginJob(in_n + out_n + 48);
+      const bool clash = RangesOverlap(d.output_va, out_n, d.input_va[0], in_n);
+      GRT_ASSIGN_OR_RETURN(const float* in,
+                           dma->MapReadF32(d.input_va[0], in_n, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, out_n, &arena_, clash));
+      kern::PoolOpt(in, out.data, c, h, w, win, stride,
+                    d.op == GpuOp::kPoolMax);
+      *macs += static_cast<uint64_t>(c) * oh * ow * win * win;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kEltwiseAdd: {
+      uint32_t count = d.params[0];
+      arena_.BeginJob(static_cast<size_t>(count) * 3 + 64);
+      const bool clash =
+          PartialOverlap(d.output_va, count, d.input_va[0], count) ||
+          PartialOverlap(d.output_va, count, d.input_va[1], count);
+      GRT_ASSIGN_OR_RETURN(const float* a,
+                           dma->MapReadF32(d.input_va[0], count, &arena_));
+      GRT_ASSIGN_OR_RETURN(const float* b,
+                           dma->MapReadF32(d.input_va[1], count, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, count, &arena_, clash));
+      kern::EltwiseAddOpt(a, b, out.data, count,
+                          (d.flags & kJobFlagReluFused) != 0);
+      *macs += count;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kSoftmax: {
+      uint32_t count = d.params[0];
+      arena_.BeginJob(static_cast<size_t>(count) * 2 + 48);
+      const bool clash =
+          PartialOverlap(d.output_va, count, d.input_va[0], count);
+      GRT_ASSIGN_OR_RETURN(const float* x,
+                           dma->MapReadF32(d.input_va[0], count, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, count, &arena_, clash));
+      kern::SoftmaxOpt(x, out.data, count);
+      *macs += 4ull * count;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kCopy: {
+      uint32_t count = d.params[0];
+      arena_.BeginJob(static_cast<size_t>(count) * 2 + 48);
+      const bool clash =
+          PartialOverlap(d.output_va, count, d.input_va[0], count);
+      GRT_ASSIGN_OR_RETURN(const float* x,
+                           dma->MapReadF32(d.input_va[0], count, &arena_));
+      GRT_ASSIGN_OR_RETURN(
+          GpuDma::WriteSpanF32 out,
+          dma->MapWriteF32(d.output_va, count, &arena_, clash));
+      kern::CopyOpt(x, out.data, count);
+      *macs += count;
+      return dma->CommitWriteF32(out);
+    }
+
+    case GpuOp::kFill: {
+      uint32_t count = d.params[0];
+      float value;
+      uint32_t bits = d.params[1];
+      std::memcpy(&value, &bits, sizeof(value));
+      arena_.BeginJob(static_cast<size_t>(count) + 32);
+      GRT_ASSIGN_OR_RETURN(GpuDma::WriteSpanF32 out,
+                           dma->MapWriteF32(d.output_va, count, &arena_));
+      kern::FillOpt(out.data, count, value);
+      *macs += count;
+      return dma->CommitWriteF32(out);
+    }
+  }
+  return DeviceFault("unknown GPU op");
+}
+
 ExecResult ShaderCoreExecutor::ExecuteChain(uint64_t head_va, uint64_t root_pa,
                                             GpuTlb* tlb) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  ExecResult result = ExecuteChainImpl(head_va, root_pa, tlb);
+  exec_wall_ns_ += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count());
+  return result;
+}
+
+ExecResult ShaderCoreExecutor::ExecuteChainImpl(uint64_t head_va,
+                                                uint64_t root_pa, GpuTlb* tlb) {
   ExecResult result;
   GpuDma dma(&walker_, mem_, tlb, root_pa);
 
@@ -331,15 +673,16 @@ ExecResult ShaderCoreExecutor::ExecuteChain(uint64_t head_va, uint64_t root_pa,
       result.status = DeviceFault("job chain too long");
       return result;
     }
-    auto raw = dma.ReadBytes(va, kJobDescSize);
-    if (!raw.ok()) {
-      result.status = raw.status();
+    uint8_t desc_buf[kJobDescSize];
+    Status rs = dma.Read(va, desc_buf, kJobDescSize);
+    if (!rs.ok()) {
+      result.status = rs;
       result.mmu_fault = dma.fault();
       result.is_mmu_fault = true;
       result.duration += kJobOverhead;
       return result;
     }
-    auto desc = JobDescriptor::Deserialize(raw.value());
+    auto desc = JobDescriptor::Deserialize(desc_buf, kJobDescSize);
     if (!desc.ok()) {
       result.status = desc.status();
       result.duration += kJobOverhead;
@@ -355,17 +698,36 @@ ExecResult ShaderCoreExecutor::ExecuteChain(uint64_t head_va, uint64_t root_pa,
       return result;
     }
 
-    // Shader fetch + validation (requires executable mapping).
+    // Shader fetch + validation (requires executable mapping). The
+    // optimized engine validates execute permission on every blob page but
+    // copies out only the header; the reference engine materializes the
+    // whole blob as before. Both account shader_len bytes moved.
     if (d.shader_va != 0) {
-      auto blob = dma.ReadBytes(d.shader_va, d.shader_len, /*as_code=*/true);
-      if (!blob.ok()) {
-        result.status = blob.status();
-        result.mmu_fault = dma.fault();
-        result.is_mmu_fault = true;
-        result.duration += kJobOverhead;
-        return result;
+      Result<ShaderBlobHeader> header = ShaderBlobHeader{};
+      if (engine_ == KernelEngine::kReference) {
+        auto blob = dma.ReadBytes(d.shader_va, d.shader_len, /*as_code=*/true);
+        if (!blob.ok()) {
+          result.status = blob.status();
+          result.mmu_fault = dma.fault();
+          result.is_mmu_fault = true;
+          result.duration += kJobOverhead;
+          return result;
+        }
+        header = ParseShaderBlob(blob.value());
+      } else {
+        uint8_t hdr_buf[kShaderHeaderSize];
+        size_t hdr_len = 0;
+        Status hs = dma.ReadShaderHeader(d.shader_va, d.shader_len, hdr_buf,
+                                         sizeof(hdr_buf), &hdr_len);
+        if (!hs.ok()) {
+          result.status = hs;
+          result.mmu_fault = dma.fault();
+          result.is_mmu_fault = true;
+          result.duration += kJobOverhead;
+          return result;
+        }
+        header = ParseShaderHeader(hdr_buf, hdr_len, d.shader_len);
       }
-      auto header = ParseShaderBlob(blob.value());
       if (!header.ok()) {
         result.status = header.status();
         result.duration += kJobOverhead;

@@ -9,14 +9,29 @@
 // model (core count × MACs/cycle × clock), so the same workload runs
 // faster on an MP8 than an MP2 — and the JIT's per-SKU tiling is validated
 // by the hardware (core-count mismatch faults the job).
+//
+// Two kernel engines share that contract (kernels.h):
+//   * kOptimized (default) maps tensors as zero-copy views into
+//     PhysicalMemory when their pages are physically contiguous (gather/
+//     scatter through a per-device scratch arena otherwise) and runs the
+//     blocked lane-parallel kernels;
+//   * kReference replays the pre-rewrite data path — full-tensor DMA
+//     copies through fresh vectors and the pinned scalar kernels — as the
+//     golden baseline for bitwise equality and wall-clock speedup gates.
+// Both engines produce bitwise-identical memory contents, identical MMU
+// fault codes/addresses, and identical modeled durations (MACs and
+// bytes-moved accounting are engine-independent), so recordings and the
+// virtual timeline cannot observe which engine ran.
 #ifndef GRT_SRC_HW_EXECUTOR_H_
 #define GRT_SRC_HW_EXECUTOR_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/hw/job_format.h"
+#include "src/hw/kernels.h"
 #include "src/hw/mmu.h"
 #include "src/mem/phys_mem.h"
 #include "src/sku/sku.h"
@@ -35,10 +50,62 @@ class GpuDma {
 
   Result<Bytes> ReadBytes(uint64_t va, uint64_t len, bool as_code = false);
 
+  // ---- zero-copy tensor access (optimized kernel engine) ----
+  //
+  // MapReadF32 returns a pointer to n floats at va: a direct view into
+  // physical memory when every page translates with read permission, the
+  // span is physically contiguous, and the base is 4-byte aligned;
+  // otherwise (or when force_copy) a gather into arena scratch. Fault
+  // semantics match Read(): pages are walked ascending, so the fault
+  // register carries the first offending VA.
+  Result<const float*> MapReadF32(uint64_t va, size_t n, ScratchArena* arena,
+                                  bool force_copy = false);
+
+  // A mapped output tensor. `data` is where the kernel writes; direct
+  // spans point straight into physical memory, buffered spans into arena
+  // scratch that CommitWriteF32 scatters out.
+  struct WriteSpanF32 {
+    float* data = nullptr;
+    uint64_t va = 0;
+    size_t n = 0;
+    uint64_t pa = 0;  // valid when direct
+    bool direct = false;
+  };
+
+  // Write-permission pages are validated here (ascending, same fault the
+  // old write-after-compute path raised), so CommitWriteF32 cannot fault.
+  // force_copy buffers the output in the arena — used when the output VA
+  // range overlaps an input's, to keep the reference engine's
+  // read-everything-then-write semantics.
+  Result<WriteSpanF32> MapWriteF32(uint64_t va, size_t n, ScratchArena* arena,
+                                   bool force_copy = false);
+
+  // Completes a mapped write: fires write observers over the span (direct)
+  // or scatters the buffered data through the page walk. Accounts the
+  // span's bytes exactly like Write().
+  Status CommitWriteF32(const WriteSpanF32& span);
+
+  // Shader fetch without materializing the code body: walks every page of
+  // the blob checking execute permission (ascending), copies out the first
+  // min(blob_len, out_cap) bytes, and accounts blob_len bytes moved —
+  // byte-identical fault and cost behaviour to a full ReadBytes.
+  Status ReadShaderHeader(uint64_t va, uint64_t blob_len, uint8_t* out,
+                          size_t out_cap, size_t* out_len);
+
   const MmuFault& fault() const { return fault_; }
   uint64_t bytes_moved() const { return bytes_moved_; }
 
  private:
+  // Walks [va, va+len) translating every page with the required
+  // permission; reports the span's first physical address and whether it
+  // is one physically-contiguous run.
+  struct RangeInfo {
+    uint64_t first_pa = 0;
+    bool contiguous = true;
+  };
+  Result<RangeInfo> ResolveRange(uint64_t va, uint64_t len, bool write,
+                                 bool as_code);
+
   const MmuWalker* walker_;
   PhysicalMemory* mem_;
   GpuTlb* tlb_;
@@ -66,12 +133,32 @@ class ShaderCoreExecutor {
   // now + result.duration.
   ExecResult ExecuteChain(uint64_t head_va, uint64_t root_pa, GpuTlb* tlb);
 
+  // Selects the kernel implementation set (results are bitwise-identical
+  // either way; benches flip this to measure the optimized engine against
+  // the pinned reference).
+  void set_engine(KernelEngine engine) { engine_ = engine; }
+  KernelEngine engine() const { return engine_; }
+
+  // Cumulative host wall-clock nanoseconds spent inside ExecuteChain.
+  // Chains run synchronously inside dispatch register writes, so this is
+  // the only place real shader-execution time is observable; replay
+  // reports diff it to attribute wall time to the shader stage.
+  uint64_t exec_wall_ns() const { return exec_wall_ns_; }
+
  private:
+  ExecResult ExecuteChainImpl(uint64_t head_va, uint64_t root_pa, GpuTlb* tlb);
   Status ExecuteJob(const JobDescriptor& d, GpuDma* dma, uint64_t* macs);
+  Status ExecuteJobReference(const JobDescriptor& d, GpuDma* dma,
+                             uint64_t* macs);
+  Status ExecuteJobOptimized(const JobDescriptor& d, GpuDma* dma,
+                             uint64_t* macs);
 
   const GpuSku& sku_;
   PhysicalMemory* mem_;
   MmuWalker walker_;
+  KernelEngine engine_ = KernelEngine::kOptimized;
+  ScratchArena arena_;
+  uint64_t exec_wall_ns_ = 0;
 };
 
 }  // namespace grt

@@ -75,6 +75,17 @@ class MaliGpu {
 
   const GpuSku& sku() const { return sku_; }
 
+  // Kernel-engine selection for the shader-core executor (results are
+  // bitwise-identical either way; benches flip this to compare wall-clock
+  // cost of the optimized engine against the pinned reference).
+  void SetKernelEngine(KernelEngine engine) { executor_.set_engine(engine); }
+  KernelEngine kernel_engine() const { return executor_.engine(); }
+
+  // Cumulative host wall-clock ns spent executing job chains (chains run
+  // synchronously inside the dispatch register write; replay reports diff
+  // this counter to attribute wall time to the shader stage).
+  uint64_t exec_wall_ns() const { return executor_.exec_wall_ns(); }
+
   // Monotone counter bumped on every reset (HardReset or a soft-reset
   // command completing). A fused warm program (src/analysis/planopt) is
   // valid only while the device state it assumes survives; callers

@@ -1,5 +1,7 @@
 #include "src/hw/job_format.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 
 namespace grt {
@@ -43,10 +45,15 @@ Bytes JobDescriptor::Serialize() const {
 }
 
 Result<JobDescriptor> JobDescriptor::Deserialize(const Bytes& raw) {
-  if (raw.size() < kJobDescSize) {
+  return Deserialize(raw.data(), raw.size());
+}
+
+Result<JobDescriptor> JobDescriptor::Deserialize(const uint8_t* raw,
+                                                 size_t len) {
+  if (len < kJobDescSize) {
     return InvalidArgument("job descriptor truncated");
   }
-  ByteReader r(raw);
+  ByteReader r(raw, len);
   JobDescriptor d;
   GRT_ASSIGN_OR_RETURN(d.magic, r.ReadU32());
   if (d.magic != kJobDescMagic) {
@@ -94,7 +101,15 @@ Bytes BuildShaderBlob(const ShaderBlobHeader& header) {
 }
 
 Result<ShaderBlobHeader> ParseShaderBlob(const Bytes& raw) {
-  ByteReader r(raw);
+  return ParseShaderHeader(raw.data(), raw.size(), raw.size());
+}
+
+Result<ShaderBlobHeader> ParseShaderHeader(const uint8_t* data, size_t len,
+                                           uint64_t blob_len) {
+  // Reads past the blob's true end must fail exactly as they did when the
+  // whole blob was materialized: bound the reader by blob_len.
+  ByteReader r(data, static_cast<size_t>(
+                         std::min<uint64_t>(len, blob_len)));
   ShaderBlobHeader h;
   GRT_ASSIGN_OR_RETURN(h.magic, r.ReadU32());
   if (h.magic != kShaderMagic) {
@@ -111,7 +126,7 @@ Result<ShaderBlobHeader> ParseShaderBlob(const Bytes& raw) {
   GRT_ASSIGN_OR_RETURN(h.tile_m, r.ReadU32());
   GRT_ASSIGN_OR_RETURN(h.tile_n, r.ReadU32());
   GRT_ASSIGN_OR_RETURN(h.code_len, r.ReadU32());
-  if (h.code_len != r.remaining()) {
+  if (h.code_len != blob_len - kShaderHeaderSize) {
     return DeviceFault("shader blob length mismatch");
   }
   return h;

@@ -72,6 +72,9 @@ struct JobDescriptor {
   // Serialization to/from GPU shared memory (exactly kJobDescSize bytes).
   Bytes Serialize() const;
   static Result<JobDescriptor> Deserialize(const Bytes& raw);
+  // Alloc-free variant (hot path: the executor reads descriptors into a
+  // stack buffer instead of a fresh Bytes per job).
+  static Result<JobDescriptor> Deserialize(const uint8_t* raw, size_t len);
 };
 
 // Shader blob header; followed by `code_len` bytes of pseudo-code whose
@@ -89,11 +92,23 @@ struct ShaderBlobHeader {
   uint32_t code_len = 0;
 };
 
+// Serialized size of ShaderBlobHeader in GPU memory (the code body
+// follows immediately).
+constexpr uint32_t kShaderHeaderSize = 24;
+
 // Builds a complete shader blob (header + pseudo-code body).
 Bytes BuildShaderBlob(const ShaderBlobHeader& header);
 
 // Parses and sanity-checks a shader blob read from GPU memory.
 Result<ShaderBlobHeader> ParseShaderBlob(const Bytes& raw);
+
+// Header-only variant: `data` holds the first `len` bytes of a blob whose
+// full length is `blob_len`. Performs exactly ParseShaderBlob's checks
+// (including the code_len == blob_len - header check) without the code
+// body being materialized — the executor validates execute permission on
+// the body's pages but never copies them.
+Result<ShaderBlobHeader> ParseShaderHeader(const uint8_t* data, size_t len,
+                                           uint64_t blob_len);
 
 }  // namespace grt
 

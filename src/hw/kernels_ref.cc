@@ -1,0 +1,178 @@
+// Pinned scalar reference kernels. These are the exact loops the executor
+// ran before the kernel-engine rewrite (PR: shader-core kernel engine);
+// they define the canonical bit pattern. DO NOT "optimize" these — the
+// golden suite asserts the optimized kernels match them bitwise, and every
+// recorded output in every equivalence/chaos test transitively depends on
+// them.
+#include "src/hw/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace grt {
+namespace kern {
+
+void GemmRef(const float* a, const float* b, float* c, uint32_t m, uint32_t k,
+             uint32_t n, bool relu) {
+  std::fill(c, c + static_cast<size_t>(m) * n, 0.0f);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t kk = 0; kk < k; ++kk) {
+      float av = a[static_cast<size_t>(i) * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      for (uint32_t j = 0; j < n; ++j) {
+        c[static_cast<size_t>(i) * n + j] +=
+            av * b[static_cast<size_t>(kk) * n + j];
+      }
+    }
+  }
+  if (relu) {
+    for (size_t i = 0; i < static_cast<size_t>(m) * n; ++i) {
+      c[i] = std::max(0.0f, c[i]);
+    }
+  }
+}
+
+void Im2ColRef(const float* in, float* out, uint32_t cin, uint32_t h,
+               uint32_t w, uint32_t kh, uint32_t kw, uint32_t stride,
+               uint32_t pad) {
+  uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+  uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+  size_t col = static_cast<size_t>(oh) * ow;
+  for (uint32_t c = 0; c < cin; ++c) {
+    for (uint32_t ki = 0; ki < kh; ++ki) {
+      for (uint32_t kj = 0; kj < kw; ++kj) {
+        size_t row = (static_cast<size_t>(c) * kh + ki) * kw + kj;
+        for (uint32_t oi = 0; oi < oh; ++oi) {
+          for (uint32_t oj = 0; oj < ow; ++oj) {
+            int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+            int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+            float v = 0.0f;
+            if (ii >= 0 && ii < h && jj >= 0 && jj < w) {
+              v = in[(static_cast<size_t>(c) * h + ii) * w + jj];
+            }
+            out[row * col + static_cast<size_t>(oi) * ow + oj] = v;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2dRef(const float* in, const float* wts, float* out, uint32_t cin,
+               uint32_t h, uint32_t w, uint32_t cout, uint32_t kh, uint32_t kw,
+               uint32_t stride, uint32_t pad, bool relu) {
+  uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+  uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+  for (uint32_t co = 0; co < cout; ++co) {
+    for (uint32_t oi = 0; oi < oh; ++oi) {
+      for (uint32_t oj = 0; oj < ow; ++oj) {
+        float acc = 0.0f;
+        for (uint32_t ci = 0; ci < cin; ++ci) {
+          for (uint32_t ki = 0; ki < kh; ++ki) {
+            for (uint32_t kj = 0; kj < kw; ++kj) {
+              int64_t ii = static_cast<int64_t>(oi) * stride + ki - pad;
+              int64_t jj = static_cast<int64_t>(oj) * stride + kj - pad;
+              if (ii < 0 || ii >= h || jj < 0 || jj >= w) {
+                continue;
+              }
+              acc += in[(static_cast<size_t>(ci) * h + ii) * w + jj] *
+                     wts[((static_cast<size_t>(co) * cin + ci) * kh + ki) * kw +
+                         kj];
+            }
+          }
+        }
+        out[(static_cast<size_t>(co) * oh + oi) * ow + oj] = acc;
+      }
+    }
+  }
+  if (relu) {
+    for (size_t i = 0; i < static_cast<size_t>(cout) * oh * ow; ++i) {
+      out[i] = std::max(0.0f, out[i]);
+    }
+  }
+}
+
+void BiasReluRef(const float* x, const float* bias, float* out, uint32_t count,
+                 uint32_t bias_len, bool relu) {
+  // Bias is per-channel: count = bias_len * spatial; channel-major.
+  uint32_t spatial = bias_len > 0 ? count / bias_len : count;
+  for (uint32_t i = 0; i < count; ++i) {
+    float v = x[i];
+    if (bias_len > 0) {
+      v += bias[(i / spatial) % bias_len];
+    }
+    if (relu) {
+      v = std::max(0.0f, v);
+    }
+    out[i] = v;
+  }
+}
+
+void PoolRef(const float* in, float* out, uint32_t c, uint32_t h, uint32_t w,
+             uint32_t win, uint32_t stride, bool is_max) {
+  uint32_t oh = (h - win) / stride + 1;
+  uint32_t ow = (w - win) / stride + 1;
+  for (uint32_t ci = 0; ci < c; ++ci) {
+    for (uint32_t oi = 0; oi < oh; ++oi) {
+      for (uint32_t oj = 0; oj < ow; ++oj) {
+        float acc =
+            is_max ? -std::numeric_limits<float>::infinity() : 0.0f;
+        for (uint32_t ki = 0; ki < win; ++ki) {
+          for (uint32_t kj = 0; kj < win; ++kj) {
+            float v = in[(static_cast<size_t>(ci) * h + oi * stride + ki) * w +
+                         oj * stride + kj];
+            acc = is_max ? std::max(acc, v) : acc + v;
+          }
+        }
+        if (!is_max) {
+          acc /= static_cast<float>(win * win);
+        }
+        out[(static_cast<size_t>(ci) * oh + oi) * ow + oj] = acc;
+      }
+    }
+  }
+}
+
+void EltwiseAddRef(const float* a, const float* b, float* out, uint32_t count,
+                   bool relu) {
+  for (uint32_t i = 0; i < count; ++i) {
+    float v = a[i] + b[i];
+    if (relu) {
+      v = std::max(0.0f, v);
+    }
+    out[i] = v;
+  }
+}
+
+void SoftmaxRef(const float* x, float* out, uint32_t count) {
+  float mx = -std::numeric_limits<float>::infinity();
+  for (uint32_t i = 0; i < count; ++i) {
+    mx = std::max(mx, x[i]);
+  }
+  double sum = 0.0;
+  for (uint32_t i = 0; i < count; ++i) {
+    float e = std::exp(x[i] - mx);
+    out[i] = e;
+    sum += e;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    out[i] = static_cast<float>(out[i] / sum);
+  }
+}
+
+void CopyRef(const float* x, float* out, uint32_t count) {
+  std::memmove(out, x, static_cast<size_t>(count) * sizeof(float));
+}
+
+void FillRef(float* out, uint32_t count, float value) {
+  for (uint32_t i = 0; i < count; ++i) {
+    out[i] = value;
+  }
+}
+
+}  // namespace kern
+}  // namespace grt

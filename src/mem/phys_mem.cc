@@ -58,6 +58,24 @@ Status PhysicalMemory::WriteU64(uint64_t pa, uint64_t v,
   return Write(pa, &v, sizeof(v), origin);
 }
 
+Result<const uint8_t*> PhysicalMemory::ReadView(uint64_t pa, uint64_t len,
+                                                MemAccessOrigin origin) const {
+  GRT_RETURN_IF_ERROR(CheckAccess(pa, len, /*write=*/false, origin));
+  return data_.data() + (pa - base_);
+}
+
+Result<uint8_t*> PhysicalMemory::WriteView(uint64_t pa, uint64_t len,
+                                           MemAccessOrigin origin) {
+  GRT_RETURN_IF_ERROR(CheckAccess(pa, len, /*write=*/true, origin));
+  return data_.data() + (pa - base_);
+}
+
+void PhysicalMemory::NotifyWritten(uint64_t pa, uint64_t len) {
+  for (const auto& [id, observer] : observers_) {
+    observer(pa, len);
+  }
+}
+
 Result<const uint8_t*> PhysicalMemory::PageView(uint64_t page_pa) const {
   if ((page_pa & kPageMask) != 0) {
     return InvalidArgument("PageView requires page-aligned address");

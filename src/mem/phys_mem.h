@@ -102,6 +102,24 @@ class PhysicalMemory {
   Status WriteU64(uint64_t pa, uint64_t v,
                   MemAccessOrigin origin = MemAccessOrigin::kCpuSecureWorld);
 
+  // Zero-copy span views (hot path: the shader-core executor's DMA maps
+  // whole tensors instead of bouncing them through per-op copies). A view
+  // is policy-checked once for the whole span at acquisition; the pointer
+  // is valid until the next reallocation of this memory (never — data_ is
+  // fixed at construction) but callers must not hold it across policy
+  // changes. WriteView callers MUST call NotifyWritten over every byte
+  // range they actually mutate, or write observers (dirty-page tracking,
+  // footprint soundness) silently miss the write.
+  Result<const uint8_t*> ReadView(
+      uint64_t pa, uint64_t len,
+      MemAccessOrigin origin = MemAccessOrigin::kCpuSecureWorld) const;
+  Result<uint8_t*> WriteView(
+      uint64_t pa, uint64_t len,
+      MemAccessOrigin origin = MemAccessOrigin::kCpuSecureWorld);
+  // Fires write observers for a range mutated through a WriteView, as one
+  // batched call (observers that think in pages expand it themselves).
+  void NotifyWritten(uint64_t pa, uint64_t len);
+
   // Snapshot helpers for memory synchronization.
   Result<Bytes> DumpPage(uint64_t page_pa) const;
   // Zero-copy read-only view of one page (hot paths: CRC, delta compare).

@@ -1,5 +1,6 @@
 #include "src/record/replayer.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "src/analysis/planopt/planopt.h"
@@ -22,6 +23,13 @@ bool IsDispatchReg(uint32_t reg) {
   return reg >= kJobSlotBase &&
          reg < kJobSlotBase + static_cast<uint32_t>(kMaxJobSlots) *
                                   kJobSlotStride;
+}
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 void CountReplayReport(const ReplayReport& report) {
@@ -101,7 +109,7 @@ void Replayer::ResetReplayState() {
   observer_active_ = false;
   have_image_state_ = false;
   warm_armed_ = false;
-  dirty_pages_.clear();
+  dirty_pages_.Clear();
   staged_.clear();
   injected_pages_.clear();
   injected_pages_valid_ = false;
@@ -191,10 +199,12 @@ Status Replayer::InjectStagedPlanned(ReplayReport* report) {
 }
 
 Status Replayer::ApplyMemEntry(const LogEntry& e, ReplayReport* report) {
+  const uint64_t w0 = WallNowNs();
   GRT_RETURN_IF_ERROR(mem_->Write(e.pa, e.data.data(), e.data.size(),
                                   MemAccessOrigin::kCpuSecureWorld));
   ++report->pages_applied;
   report->mem_bytes_applied += e.data.size();
+  report->wall_page_apply_ns += WallNowNs() - w0;
   // CPU copy cost for the page.
   timeline_->Advance(static_cast<Duration>(e.data.size() / 8));  // ~8 B/ns
   return OkStatus();
@@ -242,6 +252,8 @@ Result<ReplayReport> Replayer::ReplayInterpreted() {
   ReplayReport report;
   observed_.Clear();
   TimePoint start = timeline_->now();
+  const uint64_t wall0 = WallNowNs();
+  const uint64_t gpu_wall0 = gpu_->exec_wall_ns();
 
   // Lock the GPU into the TEE and scrub hardware state (§3.2).
   tzasc_->AssignGpu(World::kSecure);
@@ -374,6 +386,8 @@ Result<ReplayReport> Replayer::ReplayInterpreted() {
   }
 
   report.delay = timeline_->now() - start;
+  report.wall_ns = WallNowNs() - wall0;
+  report.wall_shader_exec_ns = gpu_->exec_wall_ns() - gpu_wall0;
   CountReplayReport(report);
   return report;
 }
@@ -393,7 +407,7 @@ Status Replayer::ApplyPlanImages(bool warm, ReplayReport* report) {
         uint64_t pa = region.page_pa(i);
         if (injected.count(pa) > 0) {
           apply = false;  // superseded by injected tensor data
-        } else if (warm && dirty_pages_.count(pa) == 0) {
+        } else if (warm && !dirty_pages_.Contains(pa)) {
           apply = false;  // provably still holds the image content
           ++report->pages_skipped_clean;
         } else {
@@ -428,6 +442,8 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   report.plan_used = true;
   observed_.Clear();
   TimePoint start = timeline_->now();
+  const uint64_t wall0 = WallNowNs();
+  const uint64_t gpu_wall0 = gpu_->exec_wall_ns();
 
   tzasc_->AssignGpu(World::kSecure);
 
@@ -435,14 +451,13 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   // between replays: external writes to image pages (another replayer
   // sharing this device, a debugging poke) must invalidate them too.
   if (config_.dirty_tracking && write_observer_id_ == 0) {
+    dirty_pages_.Init(mem_->base(), mem_->size());
     write_observer_id_ =
         mem_->AddWriteObserver([this](uint64_t pa, uint64_t len) {
           if (!observer_active_) {
             return;
           }
-          for (uint64_t p = PageAlignDown(pa); p < pa + len; p += kPageSize) {
-            dirty_pages_.insert(p);
-          }
+          dirty_pages_.MarkRange(pa, len);
         });
   }
   bool warm = config_.dirty_tracking && have_image_state_;
@@ -468,13 +483,15 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   {
     GRT_TRACE_SPAN("replay.stage.page_apply", "replay");
     TimePoint t0 = timeline_->now();
+    const uint64_t w0 = WallNowNs();
     GRT_RETURN_IF_ERROR(ApplyPlanImages(warm, &report));
     // Image state is established; from here every write dirties its page.
-    dirty_pages_.clear();
+    dirty_pages_.Clear();
     observer_active_ = config_.dirty_tracking;
     have_image_state_ = config_.dirty_tracking;
     GRT_RETURN_IF_ERROR(InjectStagedPlanned(&report));
     report.stage_page_apply += timeline_->now() - t0;
+    report.wall_page_apply_ns += WallNowNs() - w0;
   }
 
   GRT_RETURN_IF_ERROR(fused ? RunWarmOps(&report) : RunPlanOps(&report));
@@ -496,6 +513,8 @@ Result<ReplayReport> Replayer::ReplayPlanned() {
   }
 
   report.delay = timeline_->now() - start;
+  report.wall_ns = WallNowNs() - wall0;
+  report.wall_shader_exec_ns = gpu_->exec_wall_ns() - gpu_wall0;
   CountReplayReport(report);
   return report;
 }
@@ -511,10 +530,12 @@ Status Replayer::RunPlanOps(ReplayReport* report) {
         if (injected.count(im.pa) > 0) {
           break;  // superseded by injected tensor data
         }
+        const uint64_t w0 = WallNowNs();
         GRT_RETURN_IF_ERROR(mem_->Write(im.pa, im.data.data(), im.data.size(),
                                         MemAccessOrigin::kCpuSecureWorld));
         ++report->pages_applied;
         report->mem_bytes_applied += im.data.size();
+        report->wall_page_apply_ns += WallNowNs() - w0;
         timeline_->Advance(static_cast<Duration>(im.data.size() / 8));
         report->stage_page_apply +=
             static_cast<Duration>(im.data.size() / 8);
@@ -615,10 +636,12 @@ Status Replayer::RunWarmOps(ReplayReport* report) {
         if (injected.count(im.pa) > 0) {
           break;  // superseded by injected tensor data
         }
+        const uint64_t w0 = WallNowNs();
         GRT_RETURN_IF_ERROR(mem_->Write(im.pa, im.data.data(), im.data.size(),
                                         MemAccessOrigin::kCpuSecureWorld));
         ++report->pages_applied;
         report->mem_bytes_applied += im.data.size();
+        report->wall_page_apply_ns += WallNowNs() - w0;
         timeline_->Advance(static_cast<Duration>(im.data.size() / 8));
         report->stage_page_apply +=
             static_cast<Duration>(im.data.size() / 8);

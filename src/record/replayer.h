@@ -34,6 +34,7 @@
 #ifndef GRT_SRC_RECORD_REPLAYER_H_
 #define GRT_SRC_RECORD_REPLAYER_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -44,11 +45,70 @@
 #include "src/common/clock.h"
 #include "src/common/status.h"
 #include "src/hw/gpu.h"
+#include "src/mem/phys_mem.h"
 #include "src/record/plan.h"
 #include "src/record/recording.h"
 #include "src/tee/tzasc.h"
 
 namespace grt {
+
+// Dirty-page set over the physical carveout, kept as a bitmap so the
+// write-observer hot path (fired on every PhysicalMemory write, including
+// each GPU DMA commit) marks a run of pages with a few word ops instead of
+// per-page hash inserts.
+class DirtyPageSet {
+ public:
+  // (Re)binds the set to [base, base+size); clears all marks.
+  void Init(uint64_t base, uint64_t size) {
+    base_ = base;
+    bits_.assign((size / kPageSize + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  // Marks every page overlapping [pa, pa+len). Addresses outside the bound
+  // range are ignored (they cannot hold plan image pages).
+  void MarkRange(uint64_t pa, uint64_t len) {
+    if (len == 0) {
+      return;
+    }
+    for (uint64_t p = PageAlignDown(pa); p < pa + len; p += kPageSize) {
+      if (p < base_) {
+        continue;
+      }
+      const uint64_t idx = (p - base_) / kPageSize;
+      const uint64_t word = idx / 64;
+      if (word >= bits_.size()) {
+        break;
+      }
+      const uint64_t mask = 1ull << (idx % 64);
+      if ((bits_[word] & mask) == 0) {
+        bits_[word] |= mask;
+        ++count_;
+      }
+    }
+  }
+
+  bool Contains(uint64_t page_pa) const {
+    if (page_pa < base_) {
+      return false;
+    }
+    const uint64_t idx = (page_pa - base_) / kPageSize;
+    const uint64_t word = idx / 64;
+    return word < bits_.size() && (bits_[word] >> (idx % 64)) & 1;
+  }
+
+  void Clear() {
+    std::fill(bits_.begin(), bits_.end(), 0);
+    count_ = 0;
+  }
+
+  size_t Count() const { return count_; }
+
+ private:
+  uint64_t base_ = 0;
+  std::vector<uint64_t> bits_;
+  size_t count_ = 0;
+};
 
 struct ReplayConfig {
   bool verify_reads = true;
@@ -124,6 +184,13 @@ struct ReplayReport {
   Duration stage_reg_io = 0;
   Duration stage_shader_exec = 0;
   Duration stage_page_apply = 0;
+  // Host wall-clock breakdown (steady_clock ns). Unlike the virtual-time
+  // stages above, these observe the real cost of the shader-core kernel
+  // engine and page application — the modeled timeline is engine-invariant
+  // by construction, so kernel speedups are only visible here.
+  uint64_t wall_ns = 0;
+  uint64_t wall_shader_exec_ns = 0;  // inside ExecuteChain (kernel engine)
+  uint64_t wall_page_apply_ns = 0;   // image/mid-page/tensor copies
 };
 
 class Replayer {
@@ -182,9 +249,7 @@ class Replayer {
   // dirty-page sweep uses this to target pages that are actually clean
   // at steady state — pages the replay itself rewrites every run are
   // re-applied regardless, so dirtying them is not marginal work.
-  const std::unordered_set<uint64_t>& dirty_pages() const {
-    return dirty_pages_;
-  }
+  const DirtyPageSet& dirty_pages() const { return dirty_pages_; }
 
   // Adjusts the scrub behaviour between replays (layered replay reuses one
   // loaded replayer per segment across ReplayAll calls whose boundary
@@ -230,7 +295,7 @@ class Replayer {
   int write_observer_id_ = 0;
   bool observer_active_ = false;
   bool have_image_state_ = false;
-  std::unordered_set<uint64_t> dirty_pages_;
+  DirtyPageSet dirty_pages_;
   // ---- fused warm program (plan format v2) ----
   // Armed after a successful replay that left the device un-scrubbed in
   // the warm program's proven entry power state; disarmed by any replay

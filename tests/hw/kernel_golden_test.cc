@@ -1,0 +1,622 @@
+// Kernel golden suite: every GpuOp executed through the full job path
+// under both kernel engines (pinned scalar reference vs optimized
+// zero-copy/SIMD), asserting bitwise-identical output bytes, identical
+// modeled duration (which covers MACs *and* bytes-moved accounting), and
+// identical fault behaviour. Shapes include odd/tail sizes, page-crossing
+// tensors over physically discontiguous (reversed) pages, unaligned
+// bases, in-place operands, and partially-overlapping operands.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/hw/executor.h"
+
+namespace grt {
+namespace {
+
+constexpr uint64_t kBase = 0x80000000ull;
+constexpr uint64_t kSize = 16 << 20;
+
+// Deterministic pseudo-random tensor data including exact +0.0f and -0.0f
+// entries (the GEMM zero-skip treats both as zero; both engines must
+// agree).
+std::vector<float> TestData(size_t n, uint32_t seed) {
+  std::vector<float> v(n);
+  uint32_t s = seed * 2654435761u + 12345u;
+  for (size_t i = 0; i < n; ++i) {
+    s = s * 1664525u + 1013904223u;
+    float f = static_cast<float>(static_cast<int32_t>(s >> 8) % 1000) / 250.0f;
+    if (s % 7 == 0) {
+      f = 0.0f;
+    } else if (s % 11 == 0) {
+      f = -0.0f;
+    }
+    v[i] = f;
+  }
+  return v;
+}
+
+// Bare-metal single-engine rig (same shape as the executor_test harness,
+// but constructed fresh per engine so each run starts from identical
+// memory).
+class Rig {
+ public:
+  explicit Rig(KernelEngine engine)
+      : sku_(FindSku(SkuId::kMaliG71Mp8).value()),
+        mem_(kBase, kSize),
+        alloc_(kBase, kSize),
+        builder_(sku_.pt_format, &mem_, &alloc_),
+        executor_(sku_, &mem_) {
+    EXPECT_TRUE(builder_.Init().ok());
+    executor_.set_engine(engine);
+  }
+
+  // Maps n_pages at the next free VA. `reversed` maps the VA range onto
+  // physically *descending* pages, guaranteeing the span is discontiguous
+  // (forces the optimized engine's gather/scatter path).
+  uint64_t Map(uint64_t n_pages, PteFlags flags, bool reversed = false) {
+    uint64_t va = next_va_;
+    std::vector<uint64_t> pas(n_pages);
+    for (uint64_t i = 0; i < n_pages; ++i) {
+      pas[i] = alloc_.AllocPage().value();
+    }
+    for (uint64_t i = 0; i < n_pages; ++i) {
+      uint64_t pa = reversed ? pas[n_pages - 1 - i] : pas[i];
+      EXPECT_TRUE(builder_.MapPage(va + i * kPageSize, pa, flags).ok());
+      pa_of_[va + i * kPageSize] = pa;
+    }
+    next_va_ += (n_pages + 1) * kPageSize;  // guard gap
+    return va;
+  }
+
+  void WriteVa(uint64_t va, const void* data, uint64_t len) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    uint64_t done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Write(pa_of_[page_va] + off, p + done, chunk).ok());
+      done += chunk;
+    }
+  }
+
+  std::vector<uint8_t> ReadVaBytes(uint64_t va, uint64_t len) {
+    std::vector<uint8_t> out(len);
+    uint64_t done = 0;
+    while (done < len) {
+      uint64_t page_va = (va + done) & ~kPageMask;
+      uint64_t off = (va + done) & kPageMask;
+      uint64_t chunk = std::min<uint64_t>(len - done, kPageSize - off);
+      EXPECT_TRUE(mem_.Read(pa_of_[page_va] + off, out.data() + done,
+                            chunk).ok());
+      done += chunk;
+    }
+    return out;
+  }
+
+  void WriteF32(uint64_t va, const std::vector<float>& v) {
+    WriteVa(va, v.data(), v.size() * sizeof(float));
+  }
+
+  // Installs a shader + descriptor for `d`; returns the descriptor va.
+  uint64_t InstallJob(JobDescriptor d, uint64_t next_job_va = 0) {
+    ShaderBlobHeader h;
+    h.layout_version = sku_.mem_layout_version;
+    h.op = d.op;
+    h.core_count = static_cast<uint32_t>(sku_.core_count());
+    h.code_len = 256;
+    Bytes blob = BuildShaderBlob(h);
+    uint64_t shader_va = Map(1, {true, false, true});
+    WriteVa(shader_va, blob.data(), blob.size());
+
+    d.layout_version = sku_.mem_layout_version;
+    d.shader_va = shader_va;
+    d.shader_len = static_cast<uint32_t>(blob.size());
+    d.next_job_va = next_job_va;
+    uint64_t desc_va = Map(1, {true, false, false});
+    Bytes raw = d.Serialize();
+    WriteVa(desc_va, raw.data(), raw.size());
+    return desc_va;
+  }
+
+  ExecResult Execute(uint64_t chain_va) {
+    return executor_.ExecuteChain(chain_va, builder_.root_pa(), &tlb_);
+  }
+
+ private:
+  GpuSku sku_;
+  PhysicalMemory mem_;
+  PageAllocator alloc_;
+  PageTableBuilder builder_;
+  ShaderCoreExecutor executor_;
+  GpuTlb tlb_;
+  uint64_t next_va_ = 0x10000000;
+  std::map<uint64_t, uint64_t> pa_of_;
+};
+
+struct Prepared {
+  uint64_t chain = 0;
+  uint64_t out_va = 0;
+  uint64_t out_bytes = 0;
+};
+
+struct Outcome {
+  ExecResult result;
+  std::vector<uint8_t> out;
+};
+
+// Runs the same scenario on a fresh rig per engine and asserts full
+// parity: status, fault register content, modeled duration (covers MACs
+// and bytes-moved), and bitwise output bytes.
+template <typename SetupFn>
+void ExpectEngineParity(SetupFn setup) {
+  Outcome res[2];
+  const KernelEngine engines[2] = {KernelEngine::kReference,
+                                   KernelEngine::kOptimized};
+  for (int i = 0; i < 2; ++i) {
+    Rig rig(engines[i]);
+    Prepared p = setup(rig);
+    res[i].result = rig.Execute(p.chain);
+    if (p.out_bytes > 0) {
+      res[i].out = rig.ReadVaBytes(p.out_va, p.out_bytes);
+    }
+  }
+  const ExecResult& ref = res[0].result;
+  const ExecResult& opt = res[1].result;
+  EXPECT_EQ(ref.status.ok(), opt.status.ok())
+      << "ref: " << ref.status.ToString() << " opt: " << opt.status.ToString();
+  EXPECT_EQ(ref.status.message(), opt.status.message());
+  EXPECT_EQ(ref.is_mmu_fault, opt.is_mmu_fault);
+  EXPECT_EQ(ref.mmu_fault.status, opt.mmu_fault.status);
+  EXPECT_EQ(ref.mmu_fault.address, opt.mmu_fault.address);
+  EXPECT_EQ(ref.duration, opt.duration);
+  EXPECT_EQ(ref.total_macs, opt.total_macs);
+  EXPECT_EQ(ref.jobs_executed, opt.jobs_executed);
+  EXPECT_EQ(res[0].out, res[1].out) << "output bytes differ";
+}
+
+Prepared GemmCase(Rig& rig, uint32_t m, uint32_t k, uint32_t n, bool relu,
+                  bool reversed = false) {
+  auto pages = [](size_t floats) {
+    return (floats * 4 + kPageSize - 1) / kPageSize;
+  };
+  uint64_t a = rig.Map(pages(static_cast<size_t>(m) * k) , {true, false, false},
+                       reversed);
+  uint64_t b = rig.Map(pages(static_cast<size_t>(k) * n), {true, false, false},
+                       reversed);
+  uint64_t c = rig.Map(pages(static_cast<size_t>(m) * n), {true, true, false},
+                       reversed);
+  rig.WriteF32(a, TestData(static_cast<size_t>(m) * k, m * 31 + k));
+  rig.WriteF32(b, TestData(static_cast<size_t>(k) * n, k * 17 + n));
+  JobDescriptor d;
+  d.op = GpuOp::kGemm;
+  if (relu) {
+    d.flags = kJobFlagReluFused;
+  }
+  d.input_va[0] = a;
+  d.aux_va = b;
+  d.output_va = c;
+  d.params = {m, k, n, 0, 0, 0, 0, 0};
+  return {rig.InstallJob(d), c, static_cast<uint64_t>(m) * n * 4};
+}
+
+TEST(KernelGolden, GemmOddShapes) {
+  const uint32_t shapes[][3] = {{5, 7, 9},  {1, 3, 8},    {4, 1, 6},
+                                {3, 5, 1},  {9, 2, 2},    {16, 16, 16},
+                                {33, 17, 31}, {37, 29, 1}, {2, 64, 5}};
+  for (const auto& s : shapes) {
+    for (bool relu : {false, true}) {
+      ExpectEngineParity([&](Rig& rig) {
+        return GemmCase(rig, s[0], s[1], s[2], relu);
+      });
+    }
+  }
+}
+
+TEST(KernelGolden, GemmPageCrossingReversedPages) {
+  // 40x40 tensors span 2 pages each; reversed physical order forces the
+  // optimized engine onto the gather/scatter path.
+  ExpectEngineParity(
+      [](Rig& rig) { return GemmCase(rig, 40, 40, 40, true, true); });
+}
+
+TEST(KernelGolden, GemmZeroDimFaultParity) {
+  ExpectEngineParity([](Rig& rig) { return GemmCase(rig, 0, 3, 3, false); });
+  ExpectEngineParity([](Rig& rig) { return GemmCase(rig, 3, 0, 3, false); });
+}
+
+TEST(KernelGolden, Im2ColShapes) {
+  const uint32_t shapes[][7] = {
+      // cin, h, w, kh, kw, stride, pad
+      {3, 7, 5, 3, 3, 1, 1},  {2, 8, 8, 3, 3, 2, 0}, {1, 5, 5, 1, 1, 1, 0},
+      {4, 6, 7, 5, 3, 1, 2},  {2, 9, 9, 3, 3, 3, 1}, {1, 3, 3, 5, 5, 1, 2},
+      {3, 16, 16, 3, 3, 1, 1}};
+  for (const auto& s : shapes) {
+    ExpectEngineParity([&](Rig& rig) -> Prepared {
+      uint32_t cin = s[0], h = s[1], w = s[2], kh = s[3], kw = s[4];
+      uint32_t stride = s[5], pad = s[6];
+      uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+      uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+      size_t in_n = static_cast<size_t>(cin) * h * w;
+      size_t out_n = static_cast<size_t>(cin) * kh * kw * oh * ow;
+      uint64_t in = rig.Map((in_n * 4) / kPageSize + 1, {true, false, false});
+      uint64_t out = rig.Map((out_n * 4) / kPageSize + 1, {true, true, false});
+      rig.WriteF32(in, TestData(in_n, cin * 7 + h));
+      JobDescriptor d;
+      d.op = GpuOp::kIm2Col;
+      d.input_va[0] = in;
+      d.output_va = out;
+      d.params = {cin, h, w, kh, kw, stride, pad, 0};
+      return {rig.InstallJob(d), out, out_n * 4};
+    });
+  }
+}
+
+TEST(KernelGolden, Conv2dShapes) {
+  const uint32_t shapes[][8] = {
+      // cin, h, w, cout, kh, kw, stride, pad
+      {3, 7, 7, 4, 3, 3, 1, 1},  {2, 9, 5, 3, 3, 3, 1, 0},
+      {1, 8, 8, 2, 5, 5, 2, 2},  {4, 5, 5, 1, 1, 1, 1, 0},
+      {3, 16, 16, 8, 3, 3, 1, 1}, {2, 7, 9, 3, 3, 1, 2, 1}};
+  for (const auto& s : shapes) {
+    for (bool relu : {false, true}) {
+      ExpectEngineParity([&](Rig& rig) -> Prepared {
+        uint32_t cin = s[0], h = s[1], w = s[2], cout = s[3];
+        uint32_t kh = s[4], kw = s[5], stride = s[6], pad = s[7];
+        uint32_t oh = (h + 2 * pad - kh) / stride + 1;
+        uint32_t ow = (w + 2 * pad - kw) / stride + 1;
+        size_t in_n = static_cast<size_t>(cin) * h * w;
+        size_t wt_n = static_cast<size_t>(cout) * cin * kh * kw;
+        size_t out_n = static_cast<size_t>(cout) * oh * ow;
+        uint64_t in = rig.Map((in_n * 4) / kPageSize + 1, {true, false, false});
+        uint64_t wt = rig.Map((wt_n * 4) / kPageSize + 1, {true, false, false});
+        uint64_t out =
+            rig.Map((out_n * 4) / kPageSize + 1, {true, true, false});
+        rig.WriteF32(in, TestData(in_n, h * 3 + w));
+        rig.WriteF32(wt, TestData(wt_n, cout * 13 + kh));
+        JobDescriptor d;
+        d.op = GpuOp::kConv2d;
+        if (relu) {
+          d.flags = kJobFlagReluFused;
+        }
+        d.input_va[0] = in;
+        d.aux_va = wt;
+        d.output_va = out;
+        d.params = {cin, h, w, cout, kh, kw, stride, pad};
+        return {rig.InstallJob(d), out, out_n * 4};
+      });
+    }
+  }
+}
+
+TEST(KernelGolden, PoolShapes) {
+  const uint32_t shapes[][5] = {// c, h, w, win, stride
+                                {3, 7, 5, 3, 2}, {2, 4, 4, 2, 2},
+                                {1, 9, 9, 3, 3}, {4, 8, 8, 2, 2},
+                                {2, 5, 7, 3, 1}};
+  for (const auto& s : shapes) {
+    for (GpuOp op : {GpuOp::kPoolMax, GpuOp::kPoolAvg}) {
+      ExpectEngineParity([&](Rig& rig) -> Prepared {
+        uint32_t c = s[0], h = s[1], w = s[2], win = s[3], stride = s[4];
+        uint32_t oh = (h - win) / stride + 1;
+        uint32_t ow = (w - win) / stride + 1;
+        size_t in_n = static_cast<size_t>(c) * h * w;
+        size_t out_n = static_cast<size_t>(c) * oh * ow;
+        uint64_t in = rig.Map((in_n * 4) / kPageSize + 1, {true, false, false});
+        uint64_t out =
+            rig.Map((out_n * 4) / kPageSize + 1, {true, true, false});
+        rig.WriteF32(in, TestData(in_n, c * 5 + win));
+        JobDescriptor d;
+        d.op = op;
+        d.input_va[0] = in;
+        d.output_va = out;
+        d.params = {c, h, w, win, stride, 0, 0, 0};
+        return {rig.InstallJob(d), out, out_n * 4};
+      });
+    }
+  }
+}
+
+TEST(KernelGolden, BiasReluShapes) {
+  const uint32_t shapes[][2] = {// count, bias_len
+                                {12, 3}, {7, 7}, {5, 0}, {7, 3},
+                                {1, 1},  {1024, 16}, {0, 3}};
+  for (const auto& s : shapes) {
+    for (bool relu : {false, true}) {
+      ExpectEngineParity([&](Rig& rig) -> Prepared {
+        uint32_t count = s[0], bias_len = s[1];
+        uint64_t x = rig.Map(2, {true, false, false});
+        uint64_t b = rig.Map(1, {true, false, false});
+        uint64_t out = rig.Map(2, {true, true, false});
+        rig.WriteF32(x, TestData(count, count * 3));
+        rig.WriteF32(b, TestData(bias_len, bias_len + 41));
+        JobDescriptor d;
+        d.op = GpuOp::kBiasRelu;
+        if (relu) {
+          d.flags = kJobFlagReluFused;
+        }
+        d.input_va[0] = x;
+        d.aux_va = b;
+        d.output_va = out;
+        d.params = {count, bias_len, 0, 0, 0, 0, 0, 0};
+        return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+      });
+    }
+  }
+}
+
+TEST(KernelGolden, BiasReluBadShapeFaultParity) {
+  // count < bias_len (nonzero): spatial would be 0 — both engines fault
+  // identically instead of dividing by zero.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint64_t x = rig.Map(1, {true, false, false});
+    uint64_t b = rig.Map(1, {true, false, false});
+    uint64_t out = rig.Map(1, {true, true, false});
+    rig.WriteF32(x, TestData(3, 9));
+    rig.WriteF32(b, TestData(8, 10));
+    JobDescriptor d;
+    d.op = GpuOp::kBiasRelu;
+    d.input_va[0] = x;
+    d.aux_va = b;
+    d.output_va = out;
+    d.params = {3, 8, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), 0, 0};
+  });
+}
+
+TEST(KernelGolden, EltwiseAddOddCounts) {
+  for (uint32_t count : {1u, 7u, 51u, 1025u}) {
+    for (bool relu : {false, true}) {
+      ExpectEngineParity([&](Rig& rig) -> Prepared {
+        uint64_t a = rig.Map(2, {true, false, false});
+        uint64_t b = rig.Map(2, {true, false, false});
+        uint64_t out = rig.Map(2, {true, true, false});
+        rig.WriteF32(a, TestData(count, count));
+        rig.WriteF32(b, TestData(count, count + 1));
+        JobDescriptor d;
+        d.op = GpuOp::kEltwiseAdd;
+        if (relu) {
+          d.flags = kJobFlagReluFused;
+        }
+        d.input_va[0] = a;
+        d.input_va[1] = b;
+        d.output_va = out;
+        d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+        return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+      });
+    }
+  }
+}
+
+TEST(KernelGolden, SoftmaxCounts) {
+  for (uint32_t count : {1u, 9u, 100u, 1000u}) {
+    ExpectEngineParity([&](Rig& rig) -> Prepared {
+      uint64_t x = rig.Map(1, {true, false, false});
+      uint64_t out = rig.Map(1, {true, true, false});
+      rig.WriteF32(x, TestData(count, count * 13));
+      JobDescriptor d;
+      d.op = GpuOp::kSoftmax;
+      d.input_va[0] = x;
+      d.output_va = out;
+      d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+      return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+    });
+  }
+}
+
+TEST(KernelGolden, CopyAndFill) {
+  for (uint32_t count : {1u, 13u, 2000u}) {
+    ExpectEngineParity([&](Rig& rig) -> Prepared {
+      uint64_t x = rig.Map(2, {true, false, false});
+      uint64_t out = rig.Map(2, {true, true, false});
+      rig.WriteF32(x, TestData(count, count * 3 + 5));
+      JobDescriptor d;
+      d.op = GpuOp::kCopy;
+      d.input_va[0] = x;
+      d.output_va = out;
+      d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+      return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+    });
+    ExpectEngineParity([&](Rig& rig) -> Prepared {
+      uint64_t out = rig.Map(2, {true, true, false});
+      float v = -3.25f;
+      uint32_t bits;
+      std::memcpy(&bits, &v, 4);
+      JobDescriptor d;
+      d.op = GpuOp::kFill;
+      d.output_va = out;
+      d.params = {count, bits, 0, 0, 0, 0, 0, 0};
+      return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+    });
+  }
+}
+
+TEST(KernelGolden, UnalignedBaseForcesGather) {
+  // Tensor bases at +2 bytes: translation succeeds but pa % 4 != 0, so
+  // the optimized engine must stage through the arena.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t count = 300;
+    uint64_t a = rig.Map(2, {true, false, false}) + 2;
+    uint64_t b = rig.Map(2, {true, false, false}) + 2;
+    uint64_t out = rig.Map(2, {true, true, false}) + 2;
+    rig.WriteF32(a, TestData(count, 77));
+    rig.WriteF32(b, TestData(count, 78));
+    JobDescriptor d;
+    d.op = GpuOp::kEltwiseAdd;
+    d.flags = kJobFlagReluFused;
+    d.input_va[0] = a;
+    d.input_va[1] = b;
+    d.output_va = out;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+  });
+}
+
+TEST(KernelGolden, InPlaceOps) {
+  // out == in (identical range): elementwise-safe, the optimized engine
+  // may run in place but must still match the reference byte-for-byte.
+  ExpectEngineParity([](Rig& rig) -> Prepared {  // bias_relu in place
+    uint32_t count = 48, bias_len = 4;
+    uint64_t x = rig.Map(1, {true, true, false});
+    uint64_t b = rig.Map(1, {true, false, false});
+    rig.WriteF32(x, TestData(count, 5));
+    rig.WriteF32(b, TestData(bias_len, 6));
+    JobDescriptor d;
+    d.op = GpuOp::kBiasRelu;
+    d.flags = kJobFlagReluFused;
+    d.input_va[0] = x;
+    d.aux_va = b;
+    d.output_va = x;
+    d.params = {count, bias_len, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), x, static_cast<uint64_t>(count) * 4};
+  });
+  ExpectEngineParity([](Rig& rig) -> Prepared {  // a += a
+    uint32_t count = 65;
+    uint64_t x = rig.Map(1, {true, true, false});
+    rig.WriteF32(x, TestData(count, 15));
+    JobDescriptor d;
+    d.op = GpuOp::kEltwiseAdd;
+    d.input_va[0] = x;
+    d.input_va[1] = x;
+    d.output_va = x;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), x, static_cast<uint64_t>(count) * 4};
+  });
+  ExpectEngineParity([](Rig& rig) -> Prepared {  // softmax in place
+    uint32_t count = 33;
+    uint64_t x = rig.Map(1, {true, true, false});
+    rig.WriteF32(x, TestData(count, 25));
+    JobDescriptor d;
+    d.op = GpuOp::kSoftmax;
+    d.input_va[0] = x;
+    d.output_va = x;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), x, static_cast<uint64_t>(count) * 4};
+  });
+  ExpectEngineParity([](Rig& rig) -> Prepared {  // copy onto itself
+    uint32_t count = 21;
+    uint64_t x = rig.Map(1, {true, true, false});
+    rig.WriteF32(x, TestData(count, 35));
+    JobDescriptor d;
+    d.op = GpuOp::kCopy;
+    d.input_va[0] = x;
+    d.output_va = x;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), x, static_cast<uint64_t>(count) * 4};
+  });
+}
+
+TEST(KernelGolden, PartialOverlapForcesBufferedWrite) {
+  // GEMM output range starting inside the B matrix: the reference engine
+  // reads everything before writing anything; the optimized engine must
+  // buffer the output to reproduce that.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t m = 6, k = 5, n = 4;
+    uint64_t a = rig.Map(1, {true, false, false});
+    uint64_t region = rig.Map(2, {true, true, false});
+    uint64_t b = region;
+    uint64_t c = region + (static_cast<uint64_t>(k) * n - 2) * 4;
+    rig.WriteF32(a, TestData(static_cast<size_t>(m) * k, 81));
+    rig.WriteF32(b, TestData(static_cast<size_t>(k) * n, 82));
+    JobDescriptor d;
+    d.op = GpuOp::kGemm;
+    d.input_va[0] = a;
+    d.aux_va = b;
+    d.output_va = c;
+    d.params = {m, k, n, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), c, static_cast<uint64_t>(m) * n * 4};
+  });
+  // Elementwise partial overlap (out = a shifted by one element).
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t count = 40;
+    uint64_t region = rig.Map(1, {true, true, false});
+    uint64_t a = region;
+    uint64_t out = region + 4;
+    rig.WriteF32(a, TestData(count + 1, 91));
+    JobDescriptor d;
+    d.op = GpuOp::kEltwiseAdd;
+    d.input_va[0] = a;
+    d.input_va[1] = a;
+    d.output_va = out;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), out, static_cast<uint64_t>(count) * 4};
+  });
+}
+
+TEST(KernelGolden, WriteFaultParity) {
+  // Read-only output: the reference engine faults at the post-compute
+  // write, the optimized engine at map time — identical fault register
+  // content and modeled duration either way.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t count = 16;
+    uint64_t x = rig.Map(1, {true, false, false});
+    uint64_t out = rig.Map(1, {true, false, false});  // no write permission
+    rig.WriteF32(x, TestData(count, 3));
+    JobDescriptor d;
+    d.op = GpuOp::kCopy;
+    d.input_va[0] = x;
+    d.output_va = out;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), 0, 0};
+  });
+}
+
+TEST(KernelGolden, UnmappedTensorFaultParity) {
+  // Tensor extends past its mapping into the guard gap: both engines
+  // report the translate fault at the same first unmapped VA.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t count = 3000;  // 12000 bytes > 2 pages
+    uint64_t x = rig.Map(2, {true, false, false});
+    uint64_t out = rig.Map(3, {true, true, false});
+    JobDescriptor d;
+    d.op = GpuOp::kCopy;
+    d.input_va[0] = x;
+    d.output_va = out;
+    d.params = {count, 0, 0, 0, 0, 0, 0, 0};
+    return {rig.InstallJob(d), 0, 0};
+  });
+}
+
+TEST(KernelGolden, ChainedJobsReuseArena) {
+  // fill -> gemm -> softmax in one chain: the optimized engine reuses one
+  // arena across jobs; results must still match the reference exactly.
+  ExpectEngineParity([](Rig& rig) -> Prepared {
+    uint32_t m = 9, k = 8, n = 7;
+    uint64_t a = rig.Map(1, {true, true, false});
+    uint64_t b = rig.Map(1, {true, false, false});
+    uint64_t c = rig.Map(1, {true, true, false});
+    uint64_t s = rig.Map(1, {true, true, false});
+    rig.WriteF32(b, TestData(static_cast<size_t>(k) * n, 57));
+
+    JobDescriptor sm;
+    sm.op = GpuOp::kSoftmax;
+    sm.input_va[0] = c;
+    sm.output_va = s;
+    sm.params = {m * n, 0, 0, 0, 0, 0, 0, 0};
+    uint64_t third = rig.InstallJob(sm);
+
+    JobDescriptor gm;
+    gm.op = GpuOp::kGemm;
+    gm.input_va[0] = a;
+    gm.aux_va = b;
+    gm.output_va = c;
+    gm.params = {m, k, n, 0, 0, 0, 0, 0};
+    uint64_t second = rig.InstallJob(gm, third);
+
+    JobDescriptor fill;
+    fill.op = GpuOp::kFill;
+    fill.output_va = a;
+    float v = 0.75f;
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    fill.params = {m * k, bits, 0, 0, 0, 0, 0, 0};
+    uint64_t first = rig.InstallJob(fill, second);
+    return {first, s, static_cast<uint64_t>(m) * n * 4};
+  });
+}
+
+}  // namespace
+}  // namespace grt
