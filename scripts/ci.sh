@@ -14,7 +14,12 @@
 #      fails if running with metrics + tracing enabled is more than 5%
 #      slower than running with them off; bench/serving_frontend --smoke
 #      fails if TCP-served outputs diverge bitwise from in-process replay
-#      or the open-loop load points drop/garble any response
+#      or the open-loop load points drop/garble any response;
+#      bench/serving_frontend --fairness-gate fails if a bucket-limited
+#      flood tenant can inflate an unthrottled trickle tenant's p95 past
+#      3x its solo baseline or shed any of its requests, or if
+#      same-digest batching misses its 1.2x goodput gate / perturbs a
+#      single output byte
 #   3. ASan+UBSan build (-DGRT_SANITIZE=address,undefined) + full ctest,
 #      which includes the footprint soundness sweep
 #      (footprint_soundness_test: static footprint ⊇ observed writes on
@@ -80,6 +85,10 @@ cmake --build build-ci -j "${JOBS}" --target serving_frontend
 FRONTEND_JSON="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}"' EXIT
 build-ci/bench/serving_frontend --smoke --out "${FRONTEND_JSON}"
+echo "=== pass 2/5: multi-tenant fairness + batching smoke gate ==="
+FAIRNESS_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}" "${FAIRNESS_JSON}"' EXIT
+build-ci/bench/serving_frontend --fairness-gate --out "${FAIRNESS_JSON}"
 
 run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
   -DGRT_SANITIZE=address,undefined
@@ -90,11 +99,12 @@ run_pass "pass 3/5 (asan+ubsan)" build-ci-san \
 echo "=== pass 4/5: tsan concurrency gate (serve + obs) ==="
 cmake -B build-ci-tsan -S . -DGRT_SANITIZE=thread
 cmake --build build-ci-tsan -j "${JOBS}" --target service_test pool_test \
-  frontend_test obs_concurrency_test
+  scheduler_test frontend_test obs_concurrency_test
 TSAN_LOG="$(mktemp)"
 trap 'rm -f "${SMOKE_JSON}" "${KERNEL_JSON}" "${FRONTEND_JSON}" "${TSAN_LOG}"' EXIT
 build-ci-tsan/tests/serve/service_test 2>&1 | tee "${TSAN_LOG}"
 build-ci-tsan/tests/serve/pool_test 2>&1 | tee -a "${TSAN_LOG}"
+build-ci-tsan/tests/serve/scheduler_test 2>&1 | tee -a "${TSAN_LOG}"
 build-ci-tsan/tests/serve/frontend_test 2>&1 | tee -a "${TSAN_LOG}"
 build-ci-tsan/tests/obs/obs_concurrency_test 2>&1 | tee -a "${TSAN_LOG}"
 if grep -E 'WARNING: ThreadSanitizer' "${TSAN_LOG}" >/dev/null; then

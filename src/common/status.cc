@@ -36,6 +36,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IRQ_EXPIRED";
     case StatusCode::kDigestMismatch:
       return "DIGEST_MISMATCH";
+    case StatusCode::kTenantThrottled:
+      return "TENANT_THROTTLED";
   }
   return "UNKNOWN";
 }

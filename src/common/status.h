@@ -34,6 +34,7 @@ enum class StatusCode {
   kPollExhausted,        // ReplayConfig::poll_max_iters spent, predicate unmet
   kIrqExpired,           // ReplayConfig::irq_timeout elapsed with no interrupt
   kDigestMismatch,       // pinned recording digest != the one resolved
+  kTenantThrottled,      // per-tenant admission bucket empty (serve-side)
 };
 
 // Human-readable name for a status code ("OK", "INVALID_ARGUMENT", ...).
@@ -107,6 +108,9 @@ inline Status IrqExpired(std::string msg) {
 }
 inline Status DigestMismatch(std::string msg) {
   return Status(StatusCode::kDigestMismatch, std::move(msg));
+}
+inline Status TenantThrottled(std::string msg) {
+  return Status(StatusCode::kTenantThrottled, std::move(msg));
 }
 
 // Result<T>: either a value or a non-OK status. A minimal expected<> stand-in

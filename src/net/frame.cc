@@ -43,6 +43,8 @@ std::string_view WireStatusName(WireStatus status) {
       return "SHUTTING_DOWN";
     case WireStatus::kError:
       return "ERROR";
+    case WireStatus::kTenantThrottled:
+      return "TENANT_THROTTLED";
   }
   return "UNKNOWN";
 }
@@ -53,7 +55,7 @@ Bytes EncodeFrame(const Frame& frame) {
   w.PutU32(kFrameMagic);
   w.PutU16(kFrameVersion);
   w.PutU8(static_cast<uint8_t>(frame.type));
-  w.PutU8(0);  // flags, reserved
+  w.PutU8(frame.flags);
   w.PutU32(static_cast<uint32_t>(frame.payload.size()));
   w.PutU64(frame.correlation_id);
   w.PutRaw(frame.payload);
@@ -92,7 +94,7 @@ Status FrameDecoder::Append(const uint8_t* data, size_t n) {
       if (magic != kFrameMagic) {
         return Poison(FrameFault::kBadMagic, "frame magic mismatch");
       }
-      if (version != kFrameVersion) {
+      if (version < kFrameVersionMin || version > kFrameVersion) {
         return Poison(FrameFault::kBadVersion,
                       "unsupported frame version " + std::to_string(version));
       }
@@ -101,7 +103,14 @@ Status FrameDecoder::Append(const uint8_t* data, size_t n) {
         return Poison(FrameFault::kBadType,
                       "unknown frame type " + std::to_string(type));
       }
-      if (flags != 0) {
+      // v1 predates flags entirely; on v2 the only defined bit is the
+      // has-tenant marker, and only request payloads may carry one.
+      uint8_t allowed = 0;
+      if (version >= 2 &&
+          type == static_cast<uint8_t>(WireFrameType::kRequest)) {
+        allowed = kFrameFlagHasTenant;
+      }
+      if ((flags & ~allowed) != 0) {
         return Poison(FrameFault::kBadFlags, "reserved frame flags set");
       }
       if (payload_len > max_payload_) {
@@ -112,6 +121,7 @@ Status FrameDecoder::Append(const uint8_t* data, size_t n) {
       header_valid_ = true;
       payload_len_ = payload_len;
       in_progress_.type = static_cast<WireFrameType>(type);
+      in_progress_.flags = flags;
       in_progress_.correlation_id = corr;
       if (payload_len_ == 0) {
         // Complete now: the payload loop below only runs while input
@@ -219,6 +229,10 @@ Result<std::vector<float>> ReadF32Vector(ByteReader* r) {
 
 bool WireRequest::has_digest() const { return !DigestIsZero(digest); }
 
+uint8_t WireRequestFlags(const WireRequest& request) {
+  return request.tenant.empty() ? 0 : kFrameFlagHasTenant;
+}
+
 Bytes EncodeWireRequest(const WireRequest& request) {
   ByteWriter w;
   w.PutString(request.workload);
@@ -230,10 +244,13 @@ Bytes EncodeWireRequest(const WireRequest& request) {
     w.PutString(name);
     PutF32Vector(&w, data);
   }
+  if (!request.tenant.empty()) {
+    w.PutString(request.tenant);
+  }
   return w.Take();
 }
 
-Result<WireRequest> DecodeWireRequest(const Bytes& payload) {
+Result<WireRequest> DecodeWireRequest(const Bytes& payload, bool has_tenant) {
   ByteReader r(payload);
   WireRequest request;
   GRT_ASSIGN_OR_RETURN(request.workload, r.ReadString());
@@ -246,6 +263,12 @@ Result<WireRequest> DecodeWireRequest(const Bytes& payload) {
     GRT_ASSIGN_OR_RETURN(std::vector<float> data, ReadF32Vector(&r));
     if (!request.tensors.emplace(std::move(name), std::move(data)).second) {
       return InvalidArgument("duplicate tensor name in request");
+    }
+  }
+  if (has_tenant) {
+    GRT_ASSIGN_OR_RETURN(request.tenant, r.ReadString());
+    if (request.tenant.empty()) {
+      return InvalidArgument("has-tenant flag set with empty tenant id");
     }
   }
   if (!r.Done()) {
@@ -272,7 +295,7 @@ Result<WireResponse> DecodeWireResponse(const Bytes& payload) {
   ByteReader r(payload);
   WireResponse response;
   GRT_ASSIGN_OR_RETURN(uint8_t status, r.ReadU8());
-  if (status > static_cast<uint8_t>(WireStatus::kError)) {
+  if (status > static_cast<uint8_t>(WireStatus::kTenantThrottled)) {
     return InvalidArgument("unknown wire status " + std::to_string(status));
   }
   response.status = static_cast<WireStatus>(status);

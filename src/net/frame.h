@@ -14,11 +14,18 @@
 //
 //   offset  size  field
 //        0     4  magic       0x47525453 ("GRTS")
-//        4     2  version     kFrameVersion
+//        4     2  version     kFrameVersion (v1 still accepted on decode)
 //        6     1  type        WireFrameType
-//        7     1  flags       reserved, must be 0
+//        7     1  flags       bit 0: request payload carries a tenant id
+//                             (version >= 2 requests only); other bits
+//                             reserved, must be 0
 //        8     4  payload_len bytes that follow the header
 //       12     8  correlation id (echoed verbatim in the response)
+//
+// Version history: v1 had no flags (byte 7 must be 0) and no tenant field.
+// v2 adds kFrameFlagHasTenant on request frames; when set, the request
+// payload ends with a tenant-id string. A v1 client therefore keeps
+// working unmodified and its requests land on the default tenant ("").
 //
 // A connection carries many interleaved request/response pairs; the
 // correlation id is the multiplexing key. Responses may arrive in any
@@ -40,8 +47,13 @@
 namespace grt {
 
 inline constexpr uint32_t kFrameMagic = 0x47525453;  // "GRTS"
-inline constexpr uint16_t kFrameVersion = 1;
+inline constexpr uint16_t kFrameVersion = 2;
+// Oldest frame version the decoder still accepts (pre-tenant clients).
+inline constexpr uint16_t kFrameVersionMin = 1;
 inline constexpr size_t kFrameHeaderBytes = 20;
+// Header flag bits. kFrameFlagHasTenant is only legal on kRequest frames
+// of version >= 2; every other bit remains reserved-must-be-zero.
+inline constexpr uint8_t kFrameFlagHasTenant = 0x01;
 // Default per-frame payload bound (decoder refuses larger declarations).
 inline constexpr size_t kDefaultMaxFramePayload = 8u << 20;
 
@@ -66,8 +78,11 @@ std::string_view FrameFaultName(FrameFault fault);
 
 struct Frame {
   WireFrameType type = WireFrameType::kRequest;
+  uint8_t flags = 0;  // kFrameFlag* bits; echoed by the decoder
   uint64_t correlation_id = 0;
   Bytes payload;
+
+  bool has_tenant() const { return (flags & kFrameFlagHasTenant) != 0; }
 };
 
 // Serializes header + payload.
@@ -134,6 +149,7 @@ enum class WireStatus : uint8_t {
   kExpired = 5,          // deadline passed before a worker replayed it
   kShuttingDown = 6,     // server draining; request was not admitted
   kError = 7,            // replay-side failure (stage/replay/readback)
+  kTenantThrottled = 8,  // tenant over its admission rate; retry later
 };
 
 std::string_view WireStatusName(WireStatus status);
@@ -149,12 +165,25 @@ struct WireRequest {
   std::string output_tensor;
   int64_t deadline_ms = -1;  // admission deadline; negative: none
   std::map<std::string, std::vector<float>> tensors;
+  // Owning tenant for admission control; empty means the default tenant.
+  // Rides the wire as a trailing field gated by kFrameFlagHasTenant so v1
+  // payload bytes are unchanged.
+  std::string tenant;
 
   bool has_digest() const;
 };
 
+// Header flags the encoded form of `request` requires on its frame:
+// kFrameFlagHasTenant when a tenant id is present, 0 otherwise.
+uint8_t WireRequestFlags(const WireRequest& request);
+
+// Encodes the v1 field layout, then appends the tenant id iff non-empty
+// (the caller advertises that via WireRequestFlags on the frame header).
 Bytes EncodeWireRequest(const WireRequest& request);
-Result<WireRequest> DecodeWireRequest(const Bytes& payload);
+// `has_tenant` mirrors the frame's kFrameFlagHasTenant bit: when set, a
+// trailing tenant string is required; when clear, trailing bytes fault.
+Result<WireRequest> DecodeWireRequest(const Bytes& payload,
+                                      bool has_tenant = false);
 
 // Response payload. `digest` echoes the plan-cache identity actually
 // served (so unpinned clients can pin subsequent requests).

@@ -94,6 +94,9 @@ Status ReplayClient::Send(uint64_t correlation_id,
                           const WireRequest& request) {
   Frame frame;
   frame.type = WireFrameType::kRequest;
+  // The has-tenant header flag must agree with the payload layout: the
+  // server decodes the trailing tenant field iff the flag is set.
+  frame.flags = WireRequestFlags(request);
   frame.correlation_id = correlation_id;
   frame.payload = EncodeWireRequest(request);
   return SendBytes(EncodeFrame(frame));
@@ -152,6 +155,17 @@ Result<std::pair<uint64_t, WireResponse>> ReplayClient::RecvFromWire() {
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_RCVTIMEO fired. The decoder is a member, so any partial
+        // header/payload it buffered survives this return untouched: the
+        // next Recv resumes the same frame mid-byte instead of misparsing
+        // the stream from a torn offset. Surface where the timeout landed
+        // so callers can tell a quiet server from a stalled mid-frame
+        // send.
+        if (decoder_.partial_bytes() > 0) {
+          return Timeout("receive timed out mid-frame (" +
+                         std::to_string(decoder_.partial_bytes()) +
+                         " bytes buffered; stream state preserved)");
+        }
         return Timeout("receive timed out waiting for a response");
       }
       return Errno("recv");

@@ -31,6 +31,10 @@ class ReplayClient {
 
   // `recv_timeout_ms` bounds every blocking receive; expiry surfaces as
   // StatusCode::kTimeout (never a hang). <= 0 means block forever.
+  // A timeout is non-destructive even mid-frame: partially received
+  // header/payload bytes stay buffered in the member decoder, and the
+  // next Recv resumes the same frame where the stream stalled (the
+  // dribble-then-stall test in tests/net pins this down).
   // `rcvbuf` shrinks the kernel receive buffer (0 = system default) —
   // the backpressure tests use it to pin the peer's effective window.
   Status Connect(const std::string& host, uint16_t port,

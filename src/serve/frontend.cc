@@ -45,6 +45,8 @@ WireStatus MapStatus(const Status& status) {
       return WireStatus::kUnknownDigest;
     case StatusCode::kFailedPrecondition:
       return WireStatus::kShuttingDown;
+    case StatusCode::kTenantThrottled:
+      return WireStatus::kTenantThrottled;
     default:
       return WireStatus::kError;
   }
@@ -472,7 +474,8 @@ void ServingFrontend::HandleFrame(Conn* conn, Frame frame) {
               "only request frames flow client-to-server");
     return;
   }
-  Result<WireRequest> decoded = DecodeWireRequest(frame.payload);
+  Result<WireRequest> decoded =
+      DecodeWireRequest(frame.payload, frame.has_tenant());
   if (!decoded.ok()) {
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -530,6 +533,10 @@ void ServingFrontend::HandleFrame(Conn* conn, Frame frame) {
   // thread — a remote client pinning uncached workloads could stall
   // every connection at will.
   replay.pinned_digest = request.digest;
+  // Tenant identity flows with the request (v1 frames carry none and land
+  // on the default tenant); the service's token bucket may refuse it
+  // inline, which surfaces as TENANT_THROTTLED through the callback.
+  replay.tenant = std::move(request.tenant);
 
   conn->inflight.insert(corr);
   {
@@ -589,6 +596,9 @@ void ServingFrontend::HandleCompletions() {
         case WireStatus::kExpired:
           ++stats_.responses_expired;
           break;
+        case WireStatus::kTenantThrottled:
+          ++stats_.responses_throttled;
+          break;
         default:
           ++stats_.responses_error;
           break;
@@ -623,6 +633,9 @@ void ServingFrontend::SendReply(Conn* conn, uint64_t corr_id,
         break;
       case WireStatus::kExpired:
         ++stats_.responses_expired;
+        break;
+      case WireStatus::kTenantThrottled:
+        ++stats_.responses_throttled;
         break;
       default:
         ++stats_.responses_error;

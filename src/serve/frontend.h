@@ -89,6 +89,7 @@ struct FrontendStats {
   uint64_t responses_ok = 0;
   uint64_t responses_busy = 0;
   uint64_t responses_expired = 0;
+  uint64_t responses_throttled = 0;  // tenant over its admission bucket
   uint64_t responses_error = 0;  // every other non-OK wire status
   uint64_t decode_errors = 0;    // poisoned streams (typed frame faults)
   uint64_t bad_requests = 0;     // well-framed but undecodable payloads

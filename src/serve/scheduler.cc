@@ -1,0 +1,54 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+
+namespace grt {
+
+TokenBucket::TokenBucket(TenantLimit limit, SteadyPoint now)
+    : limit_(limit), last_(now) {
+  tokens_ = capacity();
+}
+
+double TokenBucket::capacity() const {
+  if (unlimited()) {
+    return 0.0;
+  }
+  if (limit_.burst > 0.0) {
+    return limit_.burst;
+  }
+  return std::max(limit_.rate_per_sec, 1.0);
+}
+
+double TokenBucket::RefilledTokens(SteadyPoint now) const {
+  if (now <= last_) {
+    return tokens_;
+  }
+  double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(now - last_)
+          .count();
+  return std::min(capacity(), tokens_ + elapsed_s * limit_.rate_per_sec);
+}
+
+bool TokenBucket::TryAcquire(SteadyPoint now) {
+  if (unlimited()) {
+    return true;
+  }
+  tokens_ = RefilledTokens(now);
+  if (now > last_) {
+    last_ = now;
+  }
+  if (tokens_ < 1.0) {
+    return false;
+  }
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::TokensAt(SteadyPoint now) const {
+  if (unlimited()) {
+    return 0.0;
+  }
+  return RefilledTokens(now);
+}
+
+}  // namespace grt

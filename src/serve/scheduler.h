@@ -1,0 +1,63 @@
+// Multi-tenant admission primitives for the replay serving engine
+// (DESIGN.md §6j).
+//
+// The paper's replay model makes one TEE-side GPU cheap enough to share
+// across many clients; the scheduler is what keeps that sharing safe to
+// rely on. Admission is a classic token bucket per tenant: tokens refill
+// continuously at `rate_per_sec` up to `burst`, one request costs one
+// token, and an empty bucket throttles instantly (kTenantThrottled) —
+// over-rate traffic is refused at the door instead of aging out of the
+// queue where it would steal dispatch slots from in-rate tenants.
+//
+// Time is passed in explicitly as steady_clock points rather than read
+// inside the bucket, so the refill math is deterministic under test: the
+// rate-boundary tests drive a synthetic clock through exact token
+// quantities without sleeping.
+#ifndef GRT_SRC_SERVE_SCHEDULER_H_
+#define GRT_SRC_SERVE_SCHEDULER_H_
+
+#include <chrono>
+
+namespace grt {
+
+// Per-tenant admission limit. rate_per_sec <= 0 disables throttling for
+// the tenant (the bucket always admits). burst <= 0 defaults the bucket
+// capacity to max(rate_per_sec, 1): one second of traffic, and never a
+// bucket too small to admit a single request.
+struct TenantLimit {
+  double rate_per_sec = 0.0;
+  double burst = 0.0;
+};
+
+class TokenBucket {
+ public:
+  using SteadyPoint = std::chrono::steady_clock::time_point;
+
+  TokenBucket() = default;
+  // A new bucket starts full: a tenant's first burst is admitted whole.
+  TokenBucket(TenantLimit limit, SteadyPoint now);
+
+  bool unlimited() const { return limit_.rate_per_sec <= 0.0; }
+  double capacity() const;
+
+  // Refills for the elapsed time, then consumes one token if a whole one
+  // is available. `now` values that move backwards are treated as no
+  // elapsed time (steady_clock never does this; synthetic test clocks
+  // might).
+  bool TryAcquire(SteadyPoint now);
+
+  // Tokens available at `now` (after refill, before any consumption).
+  // Test/introspection surface; does not mutate.
+  double TokensAt(SteadyPoint now) const;
+
+ private:
+  double RefilledTokens(SteadyPoint now) const;
+
+  TenantLimit limit_{};
+  double tokens_ = 0.0;
+  SteadyPoint last_{};
+};
+
+}  // namespace grt
+
+#endif  // GRT_SRC_SERVE_SCHEDULER_H_

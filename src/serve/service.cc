@@ -38,6 +38,12 @@ ReplayService::ReplayService(const RecordingStore* store, ServeConfig config)
   if (config_.max_plans < 1) {
     config_.max_plans = 1;
   }
+  if (config_.max_batch < 1) {
+    config_.max_batch = 1;
+  }
+  if (config_.default_deadline_ms < 1) {
+    config_.default_deadline_ms = 1;
+  }
   // A serving worker never collects observed logs (that is the §3.4
   // debugging path, and it forces the interpreter).
   config_.replay.collect_observed = false;
@@ -113,6 +119,9 @@ std::future<ReplayResponse> ReplayService::SubmitAsync(ReplayRequest request) {
 void ReplayService::SubmitCallback(ReplayRequest request,
                                    std::function<void(ReplayResponse)> done) {
   SteadyPoint now = std::chrono::steady_clock::now();
+  // The request body is moved into the queue on admission; keep the
+  // tenant for the post-admission accounting.
+  const std::string tenant = request.tenant;
   std::vector<QueueItem> expired;
   Status reject = OkStatus();
   bool admitted = false;
@@ -126,10 +135,26 @@ void ReplayService::SubmitCallback(ReplayRequest request,
       // admission (the pre-sweep behavior rejected live work while dead
       // work sat in the queue until a worker reached it).
       expired = SweepExpiredLocked(now);
-      if (queue_.size() >= config_.max_queue) {
+      // Tenant bucket before queue capacity: an over-rate tenant is
+      // refused even when the queue has room — throttling is a rate
+      // verdict, not a load verdict, so a flooding tenant drains its
+      // bucket and then cannot touch the queue at all.
+      if (!TenantBucketLocked(request.tenant, now).TryAcquire(now)) {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.submitted;
+        ++stats_.throttled;
+        TenantServeStats& t = stats_.tenants[request.tenant];
+        ++t.submitted;
+        ++t.throttled;
+        reject = TenantThrottled("tenant '" + request.tenant +
+                                 "' over its admission rate");
+      } else if (queue_.size() >= config_.max_queue) {
         std::lock_guard<std::mutex> slock(stats_mu_);
         ++stats_.submitted;
         ++stats_.rejected;
+        TenantServeStats& t = stats_.tenants[request.tenant];
+        ++t.submitted;
+        ++t.rejected;
         reject = ResourceExhausted(
             "admission queue full (" + std::to_string(config_.max_queue) +
             " pending)");
@@ -141,6 +166,14 @@ void ReplayService::SubmitCallback(ReplayRequest request,
                                     std::min(request.deadline_ms,
                                              kMaxDeadlineMs));
         }
+        // EDF key: the real deadline, or the virtual one for deadline-free
+        // requests (ordering only — the expiry sweeps never read it).
+        item.edf_deadline =
+            item.has_deadline
+                ? item.deadline
+                : now + std::chrono::milliseconds(
+                            std::max<int64_t>(config_.default_deadline_ms, 1));
+        item.seq = next_seq_++;
         item.request = std::move(request);
         item.done = std::move(done);
         item.enqueued = now;
@@ -153,6 +186,9 @@ void ReplayService::SubmitCallback(ReplayRequest request,
   // Rejection callbacks run inline, but never under queue_mu_ — a caller's
   // completion path may take its own locks or query Stats().
   if (!admitted) {
+    if (reject.code() == StatusCode::kTenantThrottled) {
+      GRT_OBS_COUNT("serve.throttled", 1);
+    }
     ReplayResponse response;
     response.workload = request.workload;
     response.status = std::move(reject);
@@ -164,6 +200,7 @@ void ReplayService::SubmitCallback(ReplayRequest request,
   {
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.submitted;
+    ++stats_.tenants[tenant].submitted;
   }
   queue_cv_.notify_one();
 }
@@ -191,6 +228,9 @@ void ReplayService::FailExpired(std::vector<QueueItem> expired,
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.expired += expired.size();
     stats_.expired_in_queue += expired.size();
+    for (const QueueItem& item : expired) {
+      ++stats_.tenants[item.request.tenant].expired;
+    }
   }
   GRT_OBS_COUNT("serve.expired_in_queue", expired.size());
   for (QueueItem& item : expired) {
@@ -202,6 +242,30 @@ void ReplayService::FailExpired(std::vector<QueueItem> expired,
         std::to_string(item.request.deadline_ms) + " ms in the queue");
     item.done(std::move(response));
   }
+}
+
+TokenBucket& ReplayService::TenantBucketLocked(const std::string& tenant,
+                                               SteadyPoint now) {
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    auto limit = config_.tenant_limits.find(tenant);
+    TenantLimit chosen = limit != config_.tenant_limits.end()
+                             ? limit->second
+                             : config_.default_tenant_limit;
+    it = buckets_.emplace(tenant, TokenBucket(chosen, now)).first;
+  }
+  return it->second;
+}
+
+obs::Histogram& ReplayService::TenantWaitHist(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(tenant_hist_mu_);
+  auto it = tenant_wait_hists_.find(tenant);
+  if (it == tenant_wait_hists_.end()) {
+    it = tenant_wait_hists_
+             .emplace(tenant, std::make_unique<obs::Histogram>())
+             .first;
+  }
+  return *it->second;
 }
 
 ReplayResponse ReplayService::Submit(ReplayRequest request) {
@@ -317,6 +381,10 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
     plans_.erase(victim);
     std::lock_guard<std::mutex> slock(stats_mu_);
     ++stats_.plan_evictions;
+    // Keep the residency snapshot honest at every mutation: refreshing it
+    // only on the insert below let a Stats() between evict and insert
+    // over-report cache residency.
+    stats_.plans_cached = plans_.size();
   }
   PlanEntry entry;
   entry.recording = recording;
@@ -344,7 +412,7 @@ Result<ReplayService::ResolvedPlan> ReplayService::Resolve(
 
 void ReplayService::WorkerLoop(int index) {
   for (;;) {
-    QueueItem item;
+    std::vector<QueueItem> batch;
     std::vector<QueueItem> expired;
     SteadyPoint now;
     {
@@ -355,77 +423,162 @@ void ReplayService::WorkerLoop(int index) {
         // a stopping service does not run stale work.
         return;
       }
-      item = std::move(queue_.front());
-      queue_.pop_front();
+      batch = PopBatchLocked();
       // Pop-side sweep: everything left in the queue that is already dead
-      // rejects now, not one `ServeOne` at a time.
+      // rejects now, not one pop at a time.
       now = std::chrono::steady_clock::now();
       expired = SweepExpiredLocked(now);
       GRT_OBS_GAUGE_SET("serve.queue_depth", queue_.size());
+      if (batch.size() > 1) {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.batches;
+        stats_.batched_requests += batch.size() - 1;
+      }
     }
     FailExpired(std::move(expired), now);
-    ServeOne(index, std::move(item));
+    ServeBatch(index, std::move(batch));
   }
 }
 
-void ReplayService::ServeOne(int index, QueueItem item) {
-  SteadyPoint dequeued = std::chrono::steady_clock::now();
-  ReplayResponse response;
-  response.workload = item.request.workload;
-  response.worker = index;
-  response.queue_wait_ns = ElapsedNs(item.enqueued, dequeued);
-  queue_wait_hist_.Record(
-      static_cast<uint64_t>(std::max<int64_t>(response.queue_wait_ns, 0)));
-
-  if (item.has_deadline && dequeued > item.deadline) {
-    response.status = Timeout(
-        "deadline expired after " +
-        std::to_string(item.request.deadline_ms) + " ms in the queue");
-    {
-      std::lock_guard<std::mutex> slock(stats_mu_);
-      ++stats_.expired;
-      ++stats_.expired_at_dequeue;
+std::vector<ReplayService::QueueItem> ReplayService::PopBatchLocked() {
+  // EDF: pop the earliest effective deadline; among equals, the oldest
+  // admission (seq). O(depth) scan per pop — depth is bounded by
+  // max_queue and a scan over a few hundred items is noise next to a
+  // replay.
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    if (it->edf_deadline < best->edf_deadline ||
+        (it->edf_deadline == best->edf_deadline && it->seq < best->seq)) {
+      best = it;
     }
-    GRT_OBS_COUNT("serve.expired_at_dequeue", 1);
-    item.done(std::move(response));
+  }
+  std::vector<QueueItem> batch;
+  batch.reserve(1);
+  batch.push_back(std::move(*best));
+  queue_.erase(best);
+  // Same-digest batching: pull queued requests for the same workload (in
+  // admission order) behind the EDF winner, so they share its placement,
+  // engine residency, and device hold. Followers jump ahead of
+  // earlier-deadline requests for other workloads — the classic batching
+  // latency/throughput trade, bounded by max_batch; each follower's own
+  // deadline is still checked at dequeue.
+  if (config_.max_batch > 1 && !queue_.empty()) {
+    // By value: the push_backs below can reallocate `batch` and would
+    // invalidate a reference into its front element.
+    const std::string workload = batch.front().request.workload;
+    for (auto it = queue_.begin();
+         it != queue_.end() && batch.size() < config_.max_batch;) {
+      if (it->request.workload == workload) {
+        batch.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return batch;
+}
+
+void ReplayService::ServeBatch(int index, std::vector<QueueItem> batch) {
+  SteadyPoint dequeued = std::chrono::steady_clock::now();
+  std::vector<BatchMember> members(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    BatchMember& m = members[i];
+    m.item = std::move(batch[i]);
+    m.response.workload = m.item.request.workload;
+    m.response.worker = index;
+    m.response.queue_wait_ns = ElapsedNs(m.item.enqueued, dequeued);
+    uint64_t wait =
+        static_cast<uint64_t>(std::max<int64_t>(m.response.queue_wait_ns, 0));
+    queue_wait_hist_.Record(wait);
+    TenantWaitHist(m.item.request.tenant).Record(wait);
+  }
+
+  // At-dequeue expiry, per member: an expired member dissolves out of the
+  // batch here (its tenant eats the expiry), the rest still serve.
+  for (BatchMember& m : members) {
+    if (m.item.has_deadline && dequeued > m.item.deadline) {
+      m.response.status = Timeout(
+          "deadline expired after " +
+          std::to_string(m.item.request.deadline_ms) + " ms in the queue");
+      {
+        std::lock_guard<std::mutex> slock(stats_mu_);
+        ++stats_.expired;
+        ++stats_.expired_at_dequeue;
+        ++stats_.tenants[m.item.request.tenant].expired;
+      }
+      GRT_OBS_COUNT("serve.expired_at_dequeue", 1);
+      m.finished = true;
+      m.item.done(std::move(m.response));
+    }
+  }
+
+  std::vector<BatchMember*> live;
+  live.reserve(members.size());
+  for (BatchMember& m : members) {
+    if (!m.finished) {
+      live.push_back(&m);
+    }
+  }
+  if (live.empty()) {
     return;
+  }
+  for (BatchMember* m : live) {
+    m->response.batch_size = live.size();
   }
 
 #if !defined(GRT_OBS_COMPILED_OUT)
-  // Backfill the queue wait as its own trace span (ends where the request
-  // span starts), so a trace shows admission latency per request. Queue
-  // waits of different requests overlap arbitrarily (request B queues
-  // while A is served), so each gets its own lane — a dedicated tid well
-  // above any real thread id — keeping every per-tid timeline properly
-  // nested.
+  // Backfill each member's queue wait as its own trace span (ends where
+  // the request span starts), so a trace shows admission latency per
+  // request. Queue waits of different requests overlap arbitrarily
+  // (request B queues while A is served), so each gets its own lane — a
+  // dedicated tid well above any real thread id — keeping every per-tid
+  // timeline properly nested.
   {
     obs::TraceCollector& collector = obs::TraceCollector::Global();
     if (collector.active()) {
       constexpr uint32_t kQueueLaneBase = 1u << 20;
       static std::atomic<uint32_t> queue_lane{0};
-      obs::TraceEvent queue_event;
-      queue_event.name = "queue";
-      queue_event.cat = "serve";
       int64_t now_ns = collector.NowNs();
-      queue_event.dur_ns = std::max<int64_t>(response.queue_wait_ns, 0);
-      queue_event.ts_ns = std::max<int64_t>(now_ns - queue_event.dur_ns, 0);
-      queue_event.tid = kQueueLaneBase +
-                        queue_lane.fetch_add(1, std::memory_order_relaxed);
-      collector.Record(std::move(queue_event));
+      for (BatchMember* m : live) {
+        obs::TraceEvent queue_event;
+        queue_event.name = "queue";
+        queue_event.cat = "serve";
+        queue_event.dur_ns = std::max<int64_t>(m->response.queue_wait_ns, 0);
+        queue_event.ts_ns = std::max<int64_t>(now_ns - queue_event.dur_ns, 0);
+        queue_event.tid = kQueueLaneBase +
+                          queue_lane.fetch_add(1, std::memory_order_relaxed);
+        collector.Record(std::move(queue_event));
+      }
     }
   }
 #endif
 
+  Status shared;
   {
     GRT_TRACE_SPAN("request", "serve");
-    response.status = RunRequest(index, item.request, &response);
+    shared = RunBatch(index, live, dequeued);
   }
-  response.service_ns =
+  // A batch-wide error (resolve/placement infrastructure, before any
+  // member replayed) lands on every member still unfinished.
+  for (BatchMember* m : live) {
+    if (!m->finished) {
+      if (!shared.ok()) {
+        m->response.status = shared;
+      }
+      FinishMember(m, dequeued);
+    }
+  }
+}
+
+void ReplayService::FinishMember(BatchMember* member, SteadyPoint dequeued) {
+  member->response.service_ns =
       ElapsedNs(dequeued, std::chrono::steady_clock::now());
-  service_hist_.Record(
-      static_cast<uint64_t>(std::max<int64_t>(response.service_ns, 0)));
-  RecordOutcome(response);
-  item.done(std::move(response));
+  service_hist_.Record(static_cast<uint64_t>(
+      std::max<int64_t>(member->response.service_ns, 0)));
+  RecordOutcome(member->response, member->item.request.tenant);
+  member->finished = true;
+  member->item.done(std::move(member->response));
 }
 
 ReplayService::Placement ReplayService::PlaceRequest(
@@ -550,22 +703,30 @@ ReplayService::Placement ReplayService::PlaceRequest(
   return placement;
 }
 
-Status ReplayService::RunRequest(int index, const ReplayRequest& request,
-                                 ReplayResponse* response) {
-  GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved, Resolve(request.workload));
-  response->plan_cache_hit = resolved.cache_hit;
-  response->digest = resolved.digest;
-  if (!DigestIsZero(request.pinned_digest) &&
-      request.pinned_digest != resolved.digest) {
-    // The client pinned exact recording bytes; serving anything else —
-    // even a byte-identical model under a different signature — would let
-    // it discover the substitution only after acting on the output. The
-    // check runs here, not at frontend admission, so the expensive cold
-    // Resolve (hash + parse + verify + compile) never stalls the epoll
-    // loop thread.
-    return DigestMismatch(
-        "pinned digest does not match the recording bound to '" +
-        request.workload + "'");
+Status ReplayService::RunBatch(int index, std::vector<BatchMember*>& batch,
+                               SteadyPoint dequeued) {
+  // One Resolve serves the whole batch: members share a workload by
+  // construction (PopBatchLocked), so they share the digest, plan, and
+  // footprint — that sharing is what batching amortizes.
+  GRT_ASSIGN_OR_RETURN(ResolvedPlan resolved,
+                       Resolve(batch.front()->item.request.workload));
+  for (BatchMember* m : batch) {
+    m->response.plan_cache_hit = resolved.cache_hit;
+    m->response.digest = resolved.digest;
+    const ReplayRequest& request = m->item.request;
+    if (!DigestIsZero(request.pinned_digest) &&
+        request.pinned_digest != resolved.digest) {
+      // The client pinned exact recording bytes; serving anything else —
+      // even a byte-identical model under a different signature — would
+      // let it discover the substitution only after acting on the output.
+      // The check runs here, not at frontend admission, so the expensive
+      // cold Resolve (hash + parse + verify + compile) never stalls the
+      // epoll loop thread. Per member: one mispinned request must not
+      // take down the batchmates it rode in with.
+      m->response.status = DigestMismatch(
+          "pinned digest does not match the recording bound to '" +
+          request.workload + "'");
+    }
   }
 
   // Placement and device acquisition cannot share one critical section (a
@@ -623,9 +784,14 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
     std::lock_guard<std::mutex> slock(stats_mu_);
     stats_.placement_retries += retries;
   }
-  response->device = placement.device;
-  response->coresident = placement.coresident;
-  // dlock keeps this device ours for the rest of the request.
+  for (BatchMember* m : batch) {
+    m->response.device = placement.device;
+    m->response.coresident = placement.coresident;
+  }
+  // dlock keeps this device ours for the rest of the batch: members
+  // replay back-to-back with no interleaved foreign replay, so every
+  // follower after the first hits the dirty-page warm path exactly as if
+  // it were the only traffic on the device.
   PooledDevice& dev = *pool_[placement.device];
 
   DeviceEngine& engine = dev.engines[resolved.digest];
@@ -672,40 +838,63 @@ Status ReplayService::RunRequest(int index, const ReplayRequest& request,
     }
   }
 
-  {
-    GRT_TRACE_SPAN("stage_input", "serve");
-    for (const auto& [name, data] : request.tensors) {
-      GRT_RETURN_IF_ERROR(engine.replayer->StageTensor(name, data));
+  // Per-member serve: stage this member's tensors (overwriting the
+  // previous member's staging in place — same plan, same bindings, the
+  // exact sequence consecutive unbatched same-plan requests would run on
+  // this device, which is why batched outputs are bitwise identical to
+  // unbatched ones), replay, read back. A member's failure finishes only
+  // that member; its batchmates still serve.
+  auto serve_member = [&](BatchMember* m) -> Status {
+    const ReplayRequest& request = m->item.request;
+    ReplayResponse* response = &m->response;
+    {
+      GRT_TRACE_SPAN("stage_input", "serve");
+      for (const auto& [name, data] : request.tensors) {
+        GRT_RETURN_IF_ERROR(engine.replayer->StageTensor(name, data));
+      }
     }
-  }
-  {
-    GRT_TRACE_SPAN("replay", "serve");
-    GRT_ASSIGN_OR_RETURN(response->report, engine.replayer->Replay());
-  }
-  if (!request.output_tensor.empty()) {
-    GRT_TRACE_SPAN("readback", "serve");
-    // Escape-analysed readback: size the response buffer once and let the
-    // replayer fill it through the patch-table chunks (or the page-walk
-    // fallback) — no intermediate vector per request.
-    auto bit = resolved.recording->bindings.find(request.output_tensor);
-    if (bit == resolved.recording->bindings.end()) {
-      return NotFound("no tensor binding '" + request.output_tensor + "'");
+    {
+      GRT_TRACE_SPAN("replay", "serve");
+      GRT_ASSIGN_OR_RETURN(response->report, engine.replayer->Replay());
     }
-    response->output.resize(bit->second.n_floats);
-    GRT_RETURN_IF_ERROR(engine.replayer->ReadTensorInto(
-        request.output_tensor, response->output.data(),
-        response->output.size()));
+    if (!request.output_tensor.empty()) {
+      GRT_TRACE_SPAN("readback", "serve");
+      // Escape-analysed readback: size the response buffer once and let
+      // the replayer fill it through the patch-table chunks (or the
+      // page-walk fallback) — no intermediate vector per request.
+      auto bit = resolved.recording->bindings.find(request.output_tensor);
+      if (bit == resolved.recording->bindings.end()) {
+        return NotFound("no tensor binding '" + request.output_tensor + "'");
+      }
+      response->output.resize(bit->second.n_floats);
+      GRT_RETURN_IF_ERROR(engine.replayer->ReadTensorInto(
+          request.output_tensor, response->output.data(),
+          response->output.size()));
+    }
+    return OkStatus();
+  };
+  for (BatchMember* m : batch) {
+    if (m->response.status.ok()) {
+      m->response.status = serve_member(m);
+    }
+    // Finish each member as its replay lands (batchmates later in the
+    // pop order are still pending; their callbacks must not wait on a
+    // member that already has its answer).
+    FinishMember(m, dequeued);
   }
   return OkStatus();
 }
 
-void ReplayService::RecordOutcome(const ReplayResponse& response) {
+void ReplayService::RecordOutcome(const ReplayResponse& response,
+                                  const std::string& tenant) {
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (!response.status.ok()) {
     ++stats_.failed;
+    ++stats_.tenants[tenant].failed;
     return;
   }
   ++stats_.completed;
+  ++stats_.tenants[tenant].completed;
   const ReplayReport& report = response.report;
   stats_.pages_applied += report.pages_applied;
   stats_.pages_skipped_clean += report.pages_skipped_clean;
@@ -762,6 +951,9 @@ obs::MetricsSnapshot ReplayService::SnapshotMetrics() const {
   snap.counters["serve.expired"] = s.expired;
   snap.counters["serve.expired_in_queue"] = s.expired_in_queue;
   snap.counters["serve.expired_at_dequeue"] = s.expired_at_dequeue;
+  snap.counters["serve.throttled"] = s.throttled;
+  snap.counters["serve.batches"] = s.batches;
+  snap.counters["serve.batched_requests"] = s.batched_requests;
   snap.counters["serve.plan_hits"] = s.plan_hits;
   snap.counters["serve.plan_misses"] = s.plan_misses;
   snap.counters["serve.plan_evictions"] = s.plan_evictions;
@@ -780,6 +972,26 @@ obs::MetricsSnapshot ReplayService::SnapshotMetrics() const {
   snap.histograms["serve.queue_wait_ns"] = queue_wait_hist_.Snapshot();
   snap.histograms["serve.service_ns"] = service_hist_.Snapshot();
   snap.histograms["serve.replay_delay_ns"] = replay_delay_hist_.Snapshot();
+  // Per-tenant overlays, keyed "serve.tenant.<id>.*" (the default tenant
+  // "" publishes as "default" so the key stays parseable).
+  for (const auto& [tenant, t] : s.tenants) {
+    std::string prefix =
+        "serve.tenant." + (tenant.empty() ? std::string("default") : tenant);
+    snap.counters[prefix + ".submitted"] = t.submitted;
+    snap.counters[prefix + ".completed"] = t.completed;
+    snap.counters[prefix + ".failed"] = t.failed;
+    snap.counters[prefix + ".rejected"] = t.rejected;
+    snap.counters[prefix + ".expired"] = t.expired;
+    snap.counters[prefix + ".throttled"] = t.throttled;
+  }
+  {
+    std::lock_guard<std::mutex> lock(tenant_hist_mu_);
+    for (const auto& [tenant, hist] : tenant_wait_hists_) {
+      std::string prefix =
+          "serve.tenant." + (tenant.empty() ? std::string("default") : tenant);
+      snap.histograms[prefix + ".queue_wait_ns"] = hist->Snapshot();
+    }
+  }
   return snap;
 }
 

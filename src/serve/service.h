@@ -61,6 +61,7 @@
 #include "src/record/plan.h"
 #include "src/record/replayer.h"
 #include "src/record/store.h"
+#include "src/serve/scheduler.h"
 
 namespace grt {
 
@@ -91,6 +92,27 @@ struct ServeConfig {
   // attached — the resolve fails loudly rather than serving unchecked
   // rewrites; a declined build (unfusable recording) serves the v1 plan.
   bool fuse_plans = true;
+  // --- Multi-tenant scheduling (DESIGN.md §6j) ---
+  // Per-tenant token-bucket admission. A tenant named in `tenant_limits`
+  // uses its own limit; every other tenant (the default tenant ""
+  // included) uses `default_tenant_limit`. rate_per_sec <= 0 means
+  // unlimited — the seed behavior, so single-tenant deployments see no
+  // change. An over-bucket submit is refused inline with
+  // StatusCode::kTenantThrottled (never queued: over-rate traffic must
+  // not hold dispatch slots against in-rate tenants).
+  TenantLimit default_tenant_limit;
+  std::map<std::string, TenantLimit> tenant_limits;
+  // Virtual deadline (EDF ordering only, never expiry) assigned to
+  // deadline-free requests: item.enqueued + default_deadline_ms. Without
+  // it, `deadline_ms = -1` requests would order after every deadlined
+  // request forever under sustained load — the EDF starvation bug.
+  int64_t default_deadline_ms = 100;
+  // Same-digest batching: a worker that pops a request also pulls up to
+  // max_batch-1 more queued requests for the same workload and replays
+  // them back-to-back on one resident engine — one placement, one engine
+  // build, one device hold; per-request work shrinks to stage + replay +
+  // readback. 1 disables batching.
+  size_t max_batch = 8;
 };
 
 // Largest deadline the service honors (~11.5 days). Anything above is
@@ -120,6 +142,10 @@ struct ReplayRequest {
   // Resolve — a mismatch fails with StatusCode::kDigestMismatch before
   // any tensor is staged.
   Sha256Digest pinned_digest{};
+  // Owning tenant for admission control and accounting; empty is the
+  // default tenant (where all pre-tenant clients land). Every outcome —
+  // completion, rejection, expiry, throttle — is charged to this tenant.
+  std::string tenant;
 };
 
 struct ReplayResponse {
@@ -137,6 +163,22 @@ struct ReplayResponse {
   int device = -1;         // pool device the replay ran on
   bool coresident = false; // device hosted another plan's engine too
   bool plan_cache_hit = false;
+  // Requests replayed in the same worker pop as this one (1: unbatched).
+  // Batch members share one placement + engine acquisition.
+  size_t batch_size = 1;
+};
+
+// Per-tenant slice of the outcome counters. `submitted` counts every
+// submit attempt by the tenant, including ones refused at the door;
+// submitted == completed + failed + rejected + expired + throttled once
+// the tenant's traffic has drained.
+struct TenantServeStats {
+  size_t submitted = 0;
+  size_t completed = 0;
+  size_t failed = 0;
+  size_t rejected = 0;   // admission queue full
+  size_t expired = 0;    // deadline misses (in queue or at dequeue)
+  size_t throttled = 0;  // token bucket empty at submit
 };
 
 // Snapshot of service counters (Stats() — coherent under one lock).
@@ -150,6 +192,14 @@ struct ServeStats {
   // admission/pop sweep, vs. discovered by the worker that popped it.
   size_t expired_in_queue = 0;
   size_t expired_at_dequeue = 0;
+  // Submits refused because the tenant's token bucket was empty. Never
+  // queued, so throttles are invisible to queue_depth/expired.
+  size_t throttled = 0;
+  // Same-digest batching: worker pops that replayed more than one
+  // request, and how many requests rode along as batch followers
+  // (a batch of n adds 1 batch and n-1 followers).
+  size_t batches = 0;
+  size_t batched_requests = 0;
   size_t queue_depth = 0;
   size_t plans_cached = 0;
   size_t plan_hits = 0;
@@ -192,6 +242,10 @@ struct ServeStats {
   Duration replay_delay_p50 = 0;
   Duration replay_delay_p95 = 0;
   Duration replay_delay_p99 = 0;
+
+  // Per-tenant outcome slices, keyed by tenant id ("" = default tenant).
+  // A tenant appears after its first submit.
+  std::map<std::string, TenantServeStats> tenants;
 
   // Fraction of image pages a warm replay had to re-apply because the
   // previous run dirtied them (staged-tensor pages excluded by the
@@ -267,6 +321,14 @@ class ReplayService {
     SteadyPoint enqueued;
     bool has_deadline = false;
     SteadyPoint deadline;
+    // EDF dispatch key. For deadlined requests this is the real deadline;
+    // deadline-free requests get the virtual deadline enqueued +
+    // default_deadline_ms, which orders them (no starvation under
+    // sustained deadlined load) but never expires them — the sweeps only
+    // ever look at has_deadline/deadline.
+    SteadyPoint edf_deadline;
+    // Admission order, the EDF tie-break: equal deadlines pop FIFO.
+    uint64_t seq = 0;
   };
 
   // One compiled, verified plan published to all workers. `generation`
@@ -338,7 +400,21 @@ class ReplayService {
     bool coresident = false;
   };
 
+  // One request in a worker pop. Batch members replay back-to-back on the
+  // same resident engine; `finished` marks members failed early (expired
+  // at dequeue, pinned-digest mismatch, per-member stage/replay error)
+  // whose callbacks already ran.
+  struct BatchMember {
+    QueueItem item;
+    ReplayResponse response;
+    bool finished = false;
+  };
+
   void WorkerLoop(int index);
+  // Pops the EDF-minimum item (earliest edf_deadline, seq tie-break) and
+  // pulls up to max_batch-1 same-workload followers out of the queue, in
+  // queue order. Caller holds queue_mu_ and guarantees !queue_.empty().
+  std::vector<QueueItem> PopBatchLocked();
   Result<ResolvedPlan> Resolve(const std::string& workload);
   // Picks (under pool_mu_) the device this request runs on, evicting
   // conflicting shadow entries when unavoidable, and records the plan in
@@ -352,10 +428,24 @@ class ReplayService {
   Placement PlaceRequest(int worker_index, const Sha256Digest& digest,
                          const std::shared_ptr<const ResourceFootprint>& fp,
                          uint64_t generation, int pinned = -1);
-  void ServeOne(int index, QueueItem item);
-  Status RunRequest(int index, const ReplayRequest& request,
-                    ReplayResponse* response);
-  void RecordOutcome(const ReplayResponse& response);
+  void ServeBatch(int index, std::vector<QueueItem> batch);
+  // Resolves, places, and replays every unfinished member of `batch` on
+  // one device hold. A returned error is batch-wide (resolve/placement
+  // infrastructure failed before any member replayed) and the caller
+  // charges it to every unfinished member; per-member errors (pinned
+  // digest, stage/replay/readback) finish just that member inside.
+  Status RunBatch(int index, std::vector<BatchMember*>& batch,
+                  SteadyPoint dequeued);
+  void RecordOutcome(const ReplayResponse& response,
+                     const std::string& tenant);
+  // Finishes one batch member: service time, outcome counters, callback.
+  void FinishMember(BatchMember* member, SteadyPoint dequeued);
+  // The tenant's admission bucket, created from config on first use.
+  // Caller holds queue_mu_.
+  TokenBucket& TenantBucketLocked(const std::string& tenant, SteadyPoint now);
+  // Per-tenant queue-wait histogram (internally thread-safe once
+  // created; the map itself is guarded by tenant_hist_mu_).
+  obs::Histogram& TenantWaitHist(const std::string& tenant);
   // Removes every queued item whose deadline has passed; the caller
   // fulfills the returned items via FailExpired() outside queue_mu_.
   std::vector<QueueItem> SweepExpiredLocked(SteadyPoint now);
@@ -367,6 +457,11 @@ class ReplayService {
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<QueueItem> queue_;
+  // Per-tenant admission buckets, lazily created from config (guarded by
+  // queue_mu_ — admission already holds it, and bucket state must be
+  // judged against the same queue the verdict admits into).
+  std::map<std::string, TokenBucket> buckets_;
+  uint64_t next_seq_ = 0;  // EDF FIFO tie-break (guarded by queue_mu_)
   bool started_ = false;
   bool stop_ = false;
 
@@ -384,6 +479,13 @@ class ReplayService {
   obs::Histogram queue_wait_hist_;    // wall-clock ns, submission -> dequeue
   obs::Histogram service_hist_;       // wall-clock ns, stage+replay+readback
   obs::Histogram replay_delay_hist_;  // virtual-timeline ns (Table-2 metric)
+
+  // Per-tenant queue-wait histograms (the fairness evidence: one tenant's
+  // flood shows up in *its* wait distribution, not the victim's). The
+  // unique_ptr keeps Histogram addresses stable across map growth so
+  // recording threads can hold references outside the map mutex.
+  mutable std::mutex tenant_hist_mu_;
+  std::map<std::string, std::unique_ptr<obs::Histogram>> tenant_wait_hists_;
 
   mutable std::mutex pool_mu_;
   std::vector<std::map<Sha256Digest, ResidentInfo>> residents_;

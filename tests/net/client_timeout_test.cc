@@ -1,0 +1,208 @@
+// SO_RCVTIMEO behavior of ReplayClient::Recv when the server stalls
+// mid-frame: the timeout must surface as a typed kTimeout (never a hang,
+// never a poisoned stream), the member decoder must keep the partial
+// header/payload bytes it buffered, and the next Recv must resume the
+// same frame exactly where the stream stalled.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "src/net/frame.h"
+#include "src/serve/client.h"
+
+namespace grt {
+namespace {
+
+// Minimal raw loopback server: the test scripts exactly which bytes hit
+// the client's socket and when.
+class RawServer {
+ public:
+  ~RawServer() {
+    CloseConn();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+    }
+  }
+
+  bool Listen() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) {
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 1) != 0) {
+      return false;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      return false;
+    }
+    port_ = ntohs(addr.sin_port);
+    return true;
+  }
+
+  uint16_t port() const { return port_; }
+
+  bool Accept() {
+    conn_fd_ = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn_fd_ < 0) {
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(conn_fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+
+  bool SendBytes(const uint8_t* data, size_t n) {
+    size_t off = 0;
+    while (off < n) {
+      ssize_t sent = ::send(conn_fd_, data + off, n - off, MSG_NOSIGNAL);
+      if (sent <= 0) {
+        return false;
+      }
+      off += static_cast<size_t>(sent);
+    }
+    return true;
+  }
+
+  bool SendSlice(const Bytes& bytes, size_t begin, size_t end) {
+    return SendBytes(bytes.data() + begin, end - begin);
+  }
+
+  void CloseConn() {
+    if (conn_fd_ >= 0) {
+      ::close(conn_fd_);
+      conn_fd_ = -1;
+    }
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int conn_fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+Bytes MakeResponseFrame(uint64_t correlation_id, const std::string& message) {
+  WireResponse response;
+  response.status = WireStatus::kOk;
+  response.message = message;
+  response.output = {1.0f, 2.0f, 3.0f};
+  Frame frame;
+  frame.type = WireFrameType::kResponse;
+  frame.correlation_id = correlation_id;
+  frame.payload = EncodeWireResponse(response);
+  return EncodeFrame(frame);
+}
+
+constexpr int64_t kRecvTimeoutMs = 200;
+
+TEST(ClientTimeout, QuietSocketTimesOutWithoutPartialState) {
+  RawServer server;
+  ASSERT_TRUE(server.Listen());
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), kRecvTimeoutMs).ok());
+  ASSERT_TRUE(server.Accept());
+
+  auto r = client.RecvAny();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  // Nothing was buffered, so the message must not claim mid-frame state.
+  EXPECT_EQ(r.status().ToString().find("mid-frame"), std::string::npos)
+      << r.status().ToString();
+
+  // The connection is still perfectly usable after the timeout.
+  Bytes frame = MakeResponseFrame(9, "late");
+  ASSERT_TRUE(server.SendSlice(frame, 0, frame.size()));
+  auto ok = client.RecvAny();
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->first, 9u);
+  EXPECT_EQ(ok->second.message, "late");
+}
+
+TEST(ClientTimeout, DribbleThenStallMidHeaderResumesSameFrame) {
+  RawServer server;
+  ASSERT_TRUE(server.Listen());
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), kRecvTimeoutMs).ok());
+  ASSERT_TRUE(server.Accept());
+
+  Bytes first = MakeResponseFrame(1, "first");
+  Bytes second = MakeResponseFrame(2, "second");
+
+  // 7 bytes: magic + version + one byte of type — a torn header.
+  ASSERT_TRUE(server.SendSlice(first, 0, 7));
+  auto stalled = client.RecvAny();
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.status().code(), StatusCode::kTimeout);
+  // The typed timeout names the buffered byte count so callers can tell a
+  // stalled mid-frame send from a quiet server.
+  EXPECT_NE(stalled.status().ToString().find("mid-frame"), std::string::npos)
+      << stalled.status().ToString();
+  EXPECT_NE(stalled.status().ToString().find("7 bytes"), std::string::npos)
+      << stalled.status().ToString();
+
+  // Resume: remainder of frame one plus all of frame two. The decoder
+  // must stitch the torn header back together, not restart at a bad
+  // offset (which would fault on magic).
+  ASSERT_TRUE(server.SendSlice(first, 7, first.size()));
+  ASSERT_TRUE(server.SendSlice(second, 0, second.size()));
+  auto a = client.RecvAny();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  EXPECT_EQ(a->first, 1u);
+  EXPECT_EQ(a->second.message, "first");
+  auto b = client.RecvAny();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b->first, 2u);
+  EXPECT_EQ(b->second.message, "second");
+}
+
+TEST(ClientTimeout, StallMidPayloadPreservesDecodedPrefix) {
+  RawServer server;
+  ASSERT_TRUE(server.Listen());
+  ReplayClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), kRecvTimeoutMs).ok());
+  ASSERT_TRUE(server.Accept());
+
+  Bytes frame = MakeResponseFrame(7, "payload-stall");
+  ASSERT_GT(frame.size(), kFrameHeaderBytes + 4);
+  // Full header plus a few payload bytes, then silence.
+  size_t cut = kFrameHeaderBytes + 4;
+  ASSERT_TRUE(server.SendSlice(frame, 0, cut));
+  auto stalled = client.RecvAny();
+  ASSERT_FALSE(stalled.ok());
+  EXPECT_EQ(stalled.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(stalled.status().ToString().find("mid-frame"), std::string::npos)
+      << stalled.status().ToString();
+
+  // Repeated timeouts with zero progress stay non-destructive too.
+  auto stalled_again = client.RecvAny();
+  ASSERT_FALSE(stalled_again.ok());
+  EXPECT_EQ(stalled_again.status().code(), StatusCode::kTimeout);
+
+  ASSERT_TRUE(server.SendSlice(frame, cut, frame.size()));
+  auto done = client.RecvAny();
+  ASSERT_TRUE(done.ok()) << done.status().ToString();
+  EXPECT_EQ(done->first, 7u);
+  EXPECT_EQ(done->second.message, "payload-stall");
+  ASSERT_EQ(done->second.output.size(), 3u);
+  EXPECT_EQ(done->second.output[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace grt

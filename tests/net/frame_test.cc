@@ -147,7 +147,9 @@ TEST(FrameCodec, EachHeaderFaultIsTyped) {
       {"bad-magic", 0, 0xAA, FrameFault::kBadMagic},
       {"bad-version", 4, 0x7F, FrameFault::kBadVersion},
       {"bad-type", 6, 0x09, FrameFault::kBadType},
-      {"bad-flags", 7, 0x01, FrameFault::kBadFlags},
+      // Bit 0 is the has-tenant flag (legal on v2 requests); bit 1 and up
+      // stay reserved-must-be-zero.
+      {"bad-flags", 7, 0x02, FrameFault::kBadFlags},
   };
   for (const HeaderFaultCase& c : cases) {
     Bytes encoded = EncodeFrame(MakeFrame(9, 16));
@@ -318,6 +320,99 @@ TEST(WirePayload, UnknownResponseStatusRejected) {
   Bytes encoded = EncodeWireResponse(response);
   encoded[0] = 0xEE;
   EXPECT_FALSE(DecodeWireResponse(encoded).ok());
+  // kTenantThrottled (8) is the highest defined status; 9 is not a
+  // status.
+  encoded[0] = 9;
+  EXPECT_FALSE(DecodeWireResponse(encoded).ok());
+}
+
+// --- Version-2 frames: legacy acceptance and the has-tenant flag. ---
+
+TEST(FrameCodec, LegacyV1FrameStillDecodes) {
+  // A v1 client predates the tenant flag entirely: same header layout,
+  // version field 1, flags 0. It must keep decoding unchanged.
+  Bytes encoded = EncodeFrame(MakeFrame(7, 24));
+  encoded[4] = 1;  // version LE low byte (high byte already 0)
+  FrameDecoder decoder(1 << 16);
+  ASSERT_TRUE(decoder.Append(encoded).ok());
+  std::optional<Frame> out = decoder.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->correlation_id, 7u);
+  EXPECT_FALSE(out->has_tenant());
+  EXPECT_TRUE(decoder.FinishStream().ok());
+}
+
+TEST(FrameCodec, TenantFlagOnV1FrameFaults) {
+  // v1 never defined any flag; the tenant bit is a v2 construct and a v1
+  // frame carrying it is malformed.
+  Bytes encoded = EncodeFrame(MakeFrame(7, 8));
+  encoded[4] = 1;
+  encoded[7] = kFrameFlagHasTenant;
+  FrameDecoder decoder(1 << 16);
+  EXPECT_FALSE(decoder.Append(encoded).ok());
+  EXPECT_EQ(decoder.fault(), FrameFault::kBadFlags);
+}
+
+TEST(FrameCodec, TenantFlagOnResponseFaults) {
+  // Only requests carry tenant identity; a response frame with the flag
+  // set is a server bug or an attack, not a protocol extension.
+  Frame frame = MakeFrame(3, 8);
+  frame.type = WireFrameType::kResponse;
+  frame.flags = kFrameFlagHasTenant;
+  Bytes encoded = EncodeFrame(frame);
+  FrameDecoder decoder(1 << 16);
+  EXPECT_FALSE(decoder.Append(encoded).ok());
+  EXPECT_EQ(decoder.fault(), FrameFault::kBadFlags);
+}
+
+TEST(FrameCodec, TenantFlagOnRequestDecodes) {
+  Frame frame = MakeFrame(11, 16);
+  frame.flags = kFrameFlagHasTenant;
+  FrameDecoder decoder(1 << 16);
+  ASSERT_TRUE(decoder.Append(EncodeFrame(frame)).ok());
+  std::optional<Frame> out = decoder.Next();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->has_tenant());
+  EXPECT_EQ(out->payload, frame.payload);
+}
+
+TEST(WirePayload, TenantRoundTrip) {
+  WireRequest request = SampleRequest();
+  request.tenant = "acme";
+  EXPECT_EQ(WireRequestFlags(request), kFrameFlagHasTenant);
+  Bytes encoded = EncodeWireRequest(request);
+  auto decoded = DecodeWireRequest(encoded, /*has_tenant=*/true);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->tenant, "acme");
+  EXPECT_EQ(decoded->workload, request.workload);
+  EXPECT_EQ(decoded->tensors, request.tensors);
+  // The flag and the payload must agree: without the flag the trailing
+  // tenant field is trailing garbage, and with the flag but no tenant
+  // bytes the payload is truncated.
+  EXPECT_FALSE(DecodeWireRequest(encoded, /*has_tenant=*/false).ok());
+  Bytes bare = EncodeWireRequest(SampleRequest());
+  EXPECT_FALSE(DecodeWireRequest(bare, /*has_tenant=*/true).ok());
+}
+
+TEST(WirePayload, TenantlessRequestEncodesV1Bytes) {
+  // A request without a tenant encodes the exact v1 payload layout, and
+  // WireRequestFlags asks for no header flag — old servers keep parsing
+  // new clients that don't use tenancy.
+  WireRequest request = SampleRequest();
+  EXPECT_EQ(WireRequestFlags(request), 0);
+  auto decoded = DecodeWireRequest(EncodeWireRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->tenant.empty());
+}
+
+TEST(WirePayload, ThrottledResponseStatusRoundTrips) {
+  WireResponse response;
+  response.status = WireStatus::kTenantThrottled;
+  response.message = "tenant over rate";
+  auto decoded = DecodeWireResponse(EncodeWireResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status, WireStatus::kTenantThrottled);
+  EXPECT_EQ(WireStatusName(decoded->status), "TENANT_THROTTLED");
 }
 
 }  // namespace

@@ -35,7 +35,9 @@ TEST_F(FrontendProtocolTest, TruncatedHeaderDisconnectIsTypedAndCounted) {
   ReplayClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
   Bytes frame = EncodeFrame(
-      {WireFrameType::kRequest, 5, EncodeWireRequest(MakeWireRequest(0))});
+      {.type = WireFrameType::kRequest,
+                   .correlation_id = 5,
+                   .payload = EncodeWireRequest(MakeWireRequest(0))});
   Bytes partial(frame.begin(), frame.begin() + 7);  // mid-header
   ASSERT_TRUE(client.SendBytes(partial).ok());
   client.Close();
@@ -50,7 +52,9 @@ TEST_F(FrontendProtocolTest, MidFramePayloadDisconnect) {
   ReplayClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", port()).ok());
   Bytes frame = EncodeFrame(
-      {WireFrameType::kRequest, 6, EncodeWireRequest(MakeWireRequest(0))});
+      {.type = WireFrameType::kRequest,
+                   .correlation_id = 6,
+                   .payload = EncodeWireRequest(MakeWireRequest(0))});
   // Header complete, payload half-sent, then gone.
   Bytes partial(frame.begin(),
                 frame.begin() + static_cast<ptrdiff_t>(frame.size() / 2));
@@ -77,7 +81,9 @@ TEST_F(FrontendProtocolTest, MalformedHeadersGetErrorReplyThenClose) {
       {"bad-magic", 0, 0xAA, "bad-magic"},
       {"bad-version", 4, 0x7F, "bad-version"},
       {"bad-type", 6, 0x09, "bad-type"},
-      {"bad-flags", 7, 0x01, "bad-flags"},
+      // 0x01 is the legal has-tenant bit on v2 requests; 0x02 is the
+      // lowest reserved bit and must still fault.
+      {"bad-flags", 7, 0x02, "bad-flags"},
   };
   uint64_t expected_errors = 0;
   for (const HeaderAbuse& abuse : cases) {
@@ -85,7 +91,9 @@ TEST_F(FrontendProtocolTest, MalformedHeadersGetErrorReplyThenClose) {
     ReplayClient client;
     ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
     Bytes frame = EncodeFrame(
-        {WireFrameType::kRequest, 7, EncodeWireRequest(MakeWireRequest(0))});
+        {.type = WireFrameType::kRequest,
+                   .correlation_id = 7,
+                   .payload = EncodeWireRequest(MakeWireRequest(0))});
     frame[abuse.offset] = abuse.value;
     ASSERT_TRUE(client.SendBytes(frame).ok());
     // Best-effort typed reply on correlation id 0 naming the fault, then
@@ -117,7 +125,9 @@ TEST_F(FrontendProtocolTest, OversizedDeclarationRefusedAtHeader) {
   ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
   // Declare far beyond the bound; send only the header. The refusal must
   // come from the declaration alone.
-  Bytes frame = EncodeFrame({WireFrameType::kRequest, 3, Bytes(8192, 0xCD)});
+  Bytes frame = EncodeFrame({.type = WireFrameType::kRequest,
+                   .correlation_id = 3,
+                   .payload = Bytes(8192, 0xCD)});
   ASSERT_TRUE(
       client.SendBytes(Bytes(frame.begin(), frame.begin() + 20)).ok());
   auto reply = client.RecvAny();
@@ -140,7 +150,9 @@ TEST_F(FrontendProtocolTest, UndecodablePayloadKeepsConnectionAlive) {
   // this one request and the connection survives.
   ASSERT_TRUE(client
                   .SendBytes(EncodeFrame(
-                      {WireFrameType::kRequest, 21, Bytes(64, 0xEE)}))
+                      {.type = WireFrameType::kRequest,
+                   .correlation_id = 21,
+                   .payload = Bytes(64, 0xEE)}))
                   .ok());
   auto reply = client.Recv(21);
   ASSERT_TRUE(reply.ok()) << reply.status().ToString();
@@ -159,8 +171,9 @@ TEST_F(FrontendProtocolTest, ResponseTypeFrameFromClientIsRejected) {
   ASSERT_TRUE(client.Connect("127.0.0.1", port(), 10000).ok());
   WireResponse bogus;
   ASSERT_TRUE(client
-                  .SendBytes(EncodeFrame({WireFrameType::kResponse, 31,
-                                          EncodeWireResponse(bogus)}))
+                  .SendBytes(EncodeFrame({.type = WireFrameType::kResponse,
+                   .correlation_id = 31,
+                   .payload = EncodeWireResponse(bogus)}))
                   .ok());
   auto reply = client.Recv(31);
   ASSERT_TRUE(reply.ok());
@@ -287,7 +300,9 @@ TEST_F(FrontendProtocolTest, GarbageAfterValidFrameStillServesTheValidOne) {
   ReplayClient client;
   ASSERT_TRUE(client.Connect("127.0.0.1", port(), 30000).ok());
   Bytes stream = EncodeFrame(
-      {WireFrameType::kRequest, 51, EncodeWireRequest(MakeWireRequest(0))});
+      {.type = WireFrameType::kRequest,
+                   .correlation_id = 51,
+                   .payload = EncodeWireRequest(MakeWireRequest(0))});
   Bytes garbage(kFrameHeaderBytes, 0xAB);  // bad magic right behind it
   stream.insert(stream.end(), garbage.begin(), garbage.end());
   ASSERT_TRUE(client.SendBytes(stream).ok());

@@ -199,6 +199,33 @@ TEST_F(ReplayServiceTest, EvictionDuringConcurrentRepliesIsSafe) {
   EXPECT_EQ(stats.completed, 10u);
 }
 
+TEST_F(ReplayServiceTest, PlansCachedStaysConsistentAcrossEvictions) {
+  // Regression: stats_.plans_cached was refreshed only on the insert
+  // (miss) path, so a reader between an eviction and the next insert saw
+  // a stale residency count. Every cache mutation now refreshes it, and
+  // the published gauge agrees with Stats() exactly.
+  ServeConfig config;
+  config.sku = kSku;
+  config.workers = 1;
+  config.max_plans = 1;
+  ReplayService service(store_.get(), config);
+  ASSERT_TRUE(service.Start().ok());
+
+  ReplayResponse first = service.Submit(MakeRequest("mnist", 42));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  EXPECT_EQ(service.Stats().plans_cached, 1u);
+
+  // mnist-b evicts mnist (max_plans = 1): residency is exactly 1, both
+  // through Stats() and through the metrics gauge.
+  ReplayResponse second = service.Submit(MakeRequest("mnist-b", 42));
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  ServeStats stats = service.Stats();
+  EXPECT_EQ(stats.plan_evictions, 1u);
+  EXPECT_EQ(stats.plans_cached, 1u);
+  obs::MetricsSnapshot snap = service.SnapshotMetrics();
+  EXPECT_EQ(snap.gauge("serve.plans_cached"), 1);
+}
+
 TEST_F(ReplayServiceTest, DeadlineExpiresWhileQueued) {
   ServeConfig config;
   config.sku = kSku;

@@ -11,7 +11,9 @@
 //   grt_serve --duration 30   # ephemeral port, printed on stdout
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,12 +40,63 @@ Result<NetworkDef> NetByName(const std::string& name) {
   return NotFound("no example network named '" + name + "'");
 }
 
+void PrintUsage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: grt_serve [--port P] [--workers N] [--devices N]\n"
+      "                 [--max-queue N] [--max-batch N] [--duration SECONDS]\n"
+      "                 [--nets name,name,...]\n"
+      "                 [--tenant-rate R] [--tenant-burst B]\n"
+      "                 [--tenant NAME=RATE[:BURST]]...\n"
+      "\n"
+      "  --port P          TCP port (0: ephemeral, printed on stdout)\n"
+      "  --workers N       service worker threads (default 2)\n"
+      "  --devices N       simulated GPUs in the pool (0: one per worker)\n"
+      "  --max-queue N     admission queue bound (default 256)\n"
+      "  --max-batch N     same-digest batch cap per worker pop (default 8;\n"
+      "                    1 disables batching)\n"
+      "  --duration S      serve S seconds then drain (0: until SIGINT)\n"
+      "  --nets a,b,...    example workloads to record and serve\n"
+      "  --tenant-rate R   default per-tenant admission rate, requests/sec\n"
+      "                    (applies to every tenant without its own limit,\n"
+      "                    the default tenant included; 0: unlimited)\n"
+      "  --tenant-burst B  default per-tenant bucket capacity (0: one\n"
+      "                    second of --tenant-rate, never below 1)\n"
+      "  --tenant SPEC     per-tenant override NAME=RATE[:BURST];\n"
+      "                    repeatable, e.g. --tenant acme=200:50\n"
+      "\n"
+      "Over-bucket submits are refused on the wire as TENANT_THROTTLED;\n"
+      "clients without a tenant id land on the default tenant.\n");
+}
+
+// NAME=RATE[:BURST] -> tenant_limits entry. Returns false on parse error.
+bool ParseTenantSpec(const std::string& spec,
+                     std::map<std::string, TenantLimit>* limits) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return false;
+  }
+  TenantLimit limit;
+  std::string rest = spec.substr(eq + 1);
+  size_t colon = rest.find(':');
+  char* end = nullptr;
+  limit.rate_per_sec = std::strtod(rest.substr(0, colon).c_str(), &end);
+  if (colon != std::string::npos) {
+    limit.burst = std::strtod(rest.substr(colon + 1).c_str(), &end);
+  }
+  (*limits)[spec.substr(0, eq)] = limit;
+  return true;
+}
+
 int Run(int argc, char** argv) {
   uint16_t port = 0;
   int workers = 2;
   int devices = 0;
   size_t max_queue = 256;
+  size_t max_batch = 8;
   int64_t duration_s = 0;  // 0: run until SIGINT/SIGTERM
+  TenantLimit default_limit;
+  std::map<std::string, TenantLimit> tenant_limits;
   std::vector<std::string> nets = {"mnist"};
   for (int i = 1; i < argc; ++i) {
     auto next = [&]() -> const char* {
@@ -65,6 +118,30 @@ int Run(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return 2;
       max_queue = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--max-batch") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      max_batch = static_cast<size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--tenant-rate") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      default_limit.rate_per_sec = std::atof(v);
+    } else if (std::strcmp(argv[i], "--tenant-burst") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      default_limit.burst = std::atof(v);
+    } else if (std::strcmp(argv[i], "--tenant") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      if (!ParseTenantSpec(v, &tenant_limits)) {
+        std::fprintf(stderr, "bad --tenant spec '%s' (want NAME=RATE[:BURST])\n",
+                     v);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      PrintUsage(stdout);
+      return 0;
     } else if (std::strcmp(argv[i], "--duration") == 0) {
       const char* v = next();
       if (v == nullptr) return 2;
@@ -82,10 +159,7 @@ int Run(int argc, char** argv) {
         pos = comma + 1;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: grt_serve [--port P] [--workers N] [--devices N] "
-                   "[--max-queue N] [--duration SECONDS] "
-                   "[--nets name,name,...]\n");
+      PrintUsage(stderr);
       return 2;
     }
   }
@@ -141,6 +215,9 @@ int Run(int argc, char** argv) {
   config.workers = workers;
   config.devices = devices;
   config.max_queue = max_queue;
+  config.max_batch = max_batch;
+  config.default_tenant_limit = default_limit;
+  config.tenant_limits = std::move(tenant_limits);
   ReplayService service(store.get(), config);
   for (const std::string& name : nets) {
     auto digest = service.Preload(name);
@@ -185,15 +262,24 @@ int Run(int argc, char** argv) {
   FrontendStats fs = frontend.Stats();
   ServeStats ss = service.Stats();
   std::printf("served: %llu frames in, %llu out | ok %llu busy %llu "
-              "expired %llu error %llu | %zu completed, %zu expired, "
-              "%zu rejected\n",
+              "expired %llu throttled %llu error %llu | %zu completed, "
+              "%zu expired, %zu rejected, %zu throttled | %zu batches "
+              "(%zu riders)\n",
               static_cast<unsigned long long>(fs.frames_in),
               static_cast<unsigned long long>(fs.frames_out),
               static_cast<unsigned long long>(fs.responses_ok),
               static_cast<unsigned long long>(fs.responses_busy),
               static_cast<unsigned long long>(fs.responses_expired),
+              static_cast<unsigned long long>(fs.responses_throttled),
               static_cast<unsigned long long>(fs.responses_error),
-              ss.completed, ss.expired, ss.rejected);
+              ss.completed, ss.expired, ss.rejected, ss.throttled,
+              ss.batches, ss.batched_requests);
+  for (const auto& [tenant, t] : ss.tenants) {
+    std::printf("  tenant %-12s submitted %zu completed %zu expired %zu "
+                "rejected %zu throttled %zu\n",
+                tenant.empty() ? "(default)" : tenant.c_str(), t.submitted,
+                t.completed, t.expired, t.rejected, t.throttled);
+  }
   return 0;
 }
 
